@@ -1,0 +1,199 @@
+//! **Section VII-B extension** — higher-dimensional design spaces.
+//!
+//! The paper argues that greedy search-space pruning is viable on ARGO's
+//! 3-D space but breaks down as dimensions grow, while the BayesOpt
+//! auto-tuner extends naturally. This bench adds a fourth parallelization
+//! parameter — the sampling pipeline's *prefetch depth* — on top of
+//! (processes, sampling cores, training cores), builds the 4-D surface from
+//! the platform model (prefetch trades memory footprint against pipeline
+//! stalls), and compares a dimension-generic BayesOpt (GP over `[f64; 4]`)
+//! against greedy per-axis pruning and random search at an equal budget.
+
+use argo_bench::mean_std;
+use argo_graph::datasets::REDDIT;
+use argo_platform::{Library, ModelKind, PerfModel, SamplerKind, Setup, ICE_LAKE_8380H};
+use argo_rt::{enumerate_space, Config};
+use argo_tune::acquisition::expected_improvement;
+use argo_tune::gp::GaussianProcess;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Prefetch depths considered (4th dimension).
+const PREFETCH: [usize; 6] = [1, 2, 3, 4, 6, 8];
+
+/// Epoch time of (config, prefetch): shallow prefetch stalls the pipeline
+/// when sampling is slow relative to training; deep prefetch wastes memory
+/// bandwidth on speculative batches.
+fn objective(m: &PerfModel, c: Config, prefetch: usize) -> f64 {
+    let base = m.epoch_time(c);
+    let sample = m.sampling_time(c);
+    let train = m.gather_time(c).max(m.compute_time(c));
+    // Stall factor: needs roughly sample/train batches in flight.
+    let needed = (sample / train.max(1e-9)).clamp(0.5, 8.0);
+    let q = prefetch as f64;
+    let stall = 1.0 + 0.06 * ((needed - q).max(0.0) / needed).powi(2) * (sample / (sample + train));
+    let waste = 1.0 + 0.004 * (q - needed).max(0.0);
+    base * stall * waste
+}
+
+type Point = (Config, usize);
+
+fn full_space() -> Vec<Point> {
+    let mut out = Vec::new();
+    for c in enumerate_space(112) {
+        for &q in &PREFETCH {
+            out.push((c, q));
+        }
+    }
+    out
+}
+
+fn normalize(p: &Point) -> [f64; 4] {
+    [
+        (p.0.n_proc as f64 - 2.0) / 6.0,
+        (p.0.n_samp as f64 - 1.0) / 3.0,
+        (p.0.n_train as f64 - 1.0) / 52.0,
+        (p.1 as f64 - 1.0) / 7.0,
+    ]
+}
+
+fn bayesopt_4d(m: &PerfModel, space: &[Point], budget: usize, seed: u64) -> f64 {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut seen: Vec<usize> = Vec::new();
+    let mut x: Vec<[f64; 4]> = Vec::new();
+    let mut y: Vec<f64> = Vec::new();
+    for _ in 0..5.min(budget) {
+        let i = rng.gen_range(0..space.len());
+        seen.push(i);
+        x.push(normalize(&space[i]));
+        y.push(objective(m, space[i].0, space[i].1).ln());
+    }
+    while y.len() < budget {
+        let gp: GaussianProcess<4> = GaussianProcess::fit(&x, &y);
+        let best = y.iter().copied().fold(f64::INFINITY, f64::min);
+        let mut top = (f64::NEG_INFINITY, 0usize);
+        // Scan a strided subset for speed; the full space has ~4k points.
+        for (i, p) in space.iter().enumerate() {
+            if seen.contains(&i) {
+                continue;
+            }
+            let (mean, std) = gp.predict(&normalize(p));
+            let ei = expected_improvement(mean, std, best, 0.01);
+            if ei > top.0 {
+                top = (ei, i);
+            }
+        }
+        let i = top.1;
+        seen.push(i);
+        x.push(normalize(&space[i]));
+        y.push(objective(m, space[i].0, space[i].1).ln());
+    }
+    y.iter().copied().fold(f64::INFINITY, f64::min).exp()
+}
+
+fn pruning_4d(m: &PerfModel, budget: usize) -> f64 {
+    // Greedy per-axis halving over (p, s, t, q): probes 2·dims + 1 points per
+    // round — probe count per round grows linearly, rounds needed grow with
+    // dimension, and the axis-independence assumption starts to bite.
+    let mut lo = [2i64, 1, 1, 0];
+    let mut hi = [8i64, 4, 53, (PREFETCH.len() - 1) as i64];
+    let clamp_point = |v: [i64; 4]| -> (Config, usize) {
+        let space = argo_tune::SearchSpace::for_cores(112);
+        let c = space.project(v[0], v[1], v[2]);
+        let q = PREFETCH[(v[3].clamp(0, (PREFETCH.len() - 1) as i64)) as usize];
+        (c, q)
+    };
+    let mut best = f64::INFINITY;
+    let mut evals = 0usize;
+    while evals < budget {
+        let mid = [
+            (lo[0] + hi[0]) / 2,
+            (lo[1] + hi[1]) / 2,
+            (lo[2] + hi[2]) / 2,
+            (lo[3] + hi[3]) / 2,
+        ];
+        let mut probes = vec![mid];
+        for d in 0..4 {
+            let mut a = mid;
+            a[d] = lo[d];
+            let mut b = mid;
+            b[d] = hi[d];
+            probes.push(a);
+            probes.push(b);
+        }
+        let mut round_best: Option<([i64; 4], f64)> = None;
+        for pr in probes {
+            if evals >= budget {
+                break;
+            }
+            let (c, q) = clamp_point(pr);
+            let t = objective(m, c, q);
+            evals += 1;
+            best = best.min(t);
+            if round_best.as_ref().is_none_or(|(_, bt)| t < *bt) {
+                round_best = Some((pr, t));
+            }
+        }
+        if let Some((center, _)) = round_best {
+            for d in 0..4 {
+                let span = ((hi[d] - lo[d]) / 2).max(1);
+                lo[d] = (center[d] - span / 2).max(lo[d]);
+                hi[d] = (center[d] + (span + 1) / 2).min(hi[d]);
+            }
+        }
+        if lo == hi {
+            break;
+        }
+    }
+    best
+}
+
+fn random_4d(m: &PerfModel, space: &[Point], budget: usize, seed: u64) -> f64 {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..budget)
+        .map(|_| {
+            let p = &space[rng.gen_range(0..space.len())];
+            objective(m, p.0, p.1)
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    println!("=== Section VII-B extension: 4-D design space (+ prefetch depth) ===\n");
+    let m = PerfModel::new(Setup {
+        platform: ICE_LAKE_8380H,
+        library: Library::Dgl,
+        sampler: SamplerKind::Shadow, // sampling-bound: prefetch matters
+        model: ModelKind::Gcn,
+        dataset: REDDIT,
+    });
+    let space = full_space();
+    println!("space size: {} points (3-D space × {} prefetch depths)", space.len(), PREFETCH.len());
+    let optimal = space
+        .iter()
+        .map(|p| objective(&m, p.0, p.1))
+        .fold(f64::INFINITY, f64::min);
+    println!("exhaustive optimum: {optimal:.2}s\n");
+    let budget = 45; // the paper's ShaDow budget, now on a 6x larger space
+    println!("budget: {budget} evaluations ({:.1}% of the 4-D space)\n", 100.0 * budget as f64 / space.len() as f64);
+
+    let bo: Vec<f64> = (0..3).map(|s| bayesopt_4d(&m, &space, budget, s)).collect();
+    let (bo_mean, bo_std) = mean_std(&bo);
+    println!("BayesOpt (GP over [f64;4]):  {bo_mean:.2}s±{bo_std:.2}  ({:.2}x of optimal)", optimal / bo_mean);
+
+    let pruned = pruning_4d(&m, budget);
+    println!("greedy 4-D pruning:          {pruned:.2}s  ({:.2}x of optimal)", optimal / pruned);
+
+    let rnd: Vec<f64> = (0..3).map(|s| random_4d(&m, &space, budget, 100 + s)).collect();
+    let (r_mean, r_std) = mean_std(&rnd);
+    println!("random search:               {r_mean:.2}s±{r_std:.2}  ({:.2}x of optimal)", optimal / r_mean);
+
+    assert!(
+        optimal / bo_mean >= 0.9,
+        "BayesOpt must stay near-optimal in 4-D"
+    );
+    assert!(bo_mean <= r_mean * 1.01, "BayesOpt must beat random search");
+    println!("\nBayesOpt keeps its sample efficiency as the dimension grows, while the");
+    println!("pruning heuristic must spend its budget probing every axis — the paper's");
+    println!("argument for the auto-tuning approach (Section VII-B).");
+}

@@ -1,0 +1,85 @@
+//! **Auto-tuner ablation** — acquisition-function choice.
+//!
+//! The paper's auto-tuner uses an acquisition function that "balances
+//! exploration … and exploitation" (Section V-C) without naming it;
+//! scikit-optimize's default is Expected Improvement. This ablation swaps
+//! EI for Lower Confidence Bound, Probability of Improvement and pure
+//! greedy-mean under the paper's search budget, on the noisy modeled
+//! surface, across four representative tasks.
+
+use argo_bench::mean_std;
+use argo_graph::datasets::{OGBN_PAPERS100M, OGBN_PRODUCTS, REDDIT};
+use argo_platform::{Library, ModelKind, PerfModel, SamplerKind, Setup, ICE_LAKE_8380H};
+use argo_tune::acquisition::Acquisition;
+use argo_tune::{paper_num_searches, BayesOpt, SearchSpace, Searcher};
+
+fn main() {
+    println!("=== Ablation: acquisition function of the auto-tuner ===\n");
+    let tasks = [
+        (SamplerKind::Neighbor, ModelKind::Sage, REDDIT),
+        (SamplerKind::Neighbor, ModelKind::Sage, OGBN_PAPERS100M),
+        (SamplerKind::Shadow, ModelKind::Gcn, REDDIT),
+        (SamplerKind::Shadow, ModelKind::Gcn, OGBN_PRODUCTS),
+    ];
+    let acqs = [
+        Acquisition::ExpectedImprovement,
+        Acquisition::LowerConfidenceBound,
+        Acquisition::ProbabilityOfImprovement,
+        Acquisition::GreedyMean,
+    ];
+    println!(
+        "{:<28} {:>14} {:>14} {:>14} {:>14}",
+        "task (Ice Lake, DGL)", "EI", "LCB", "PI", "greedy-mean"
+    );
+    let mut ei_total = 0.0;
+    let mut greedy_total = 0.0;
+    for (sampler, model, dataset) in tasks {
+        let m = PerfModel::new(Setup {
+            platform: ICE_LAKE_8380H,
+            library: Library::Dgl,
+            sampler,
+            model,
+            dataset,
+        });
+        let budget = paper_num_searches(112, matches!(sampler, SamplerKind::Shadow));
+        let optimal = m.argo_best_epoch_time(112).1;
+        let mut cells = Vec::new();
+        for acq in acqs {
+            let runs: Vec<f64> = (0..5u64)
+                .map(|seed| {
+                    let mut bo =
+                        BayesOpt::new(SearchSpace::for_cores(112), seed).with_acquisition(acq);
+                    for i in 0..budget {
+                        let c = bo.suggest();
+                        bo.observe(c, m.epoch_time_noisy(c, seed * 977 + i as u64));
+                    }
+                    m.epoch_time(bo.best().unwrap().0)
+                })
+                .collect();
+            let (mean, _) = mean_std(&runs);
+            cells.push(optimal / mean);
+            match acq {
+                Acquisition::ExpectedImprovement => ei_total += optimal / mean,
+                Acquisition::GreedyMean => greedy_total += optimal / mean,
+                _ => {}
+            }
+        }
+        println!(
+            "{:<28} {:>13.2}x {:>13.2}x {:>13.2}x {:>13.2}x",
+            format!("{}-{} {}", sampler.name(), model.name(), dataset.name),
+            cells[0],
+            cells[1],
+            cells[2],
+            cells[3]
+        );
+    }
+    println!("\n(values: speed of the found configuration relative to the exhaustive optimum,");
+    println!(" mean of 5 seeded runs at the paper's 5-6% budget)");
+    assert!(
+        ei_total >= greedy_total - 0.1,
+        "EI should not lose to pure exploitation overall"
+    );
+    println!("\nExploration-aware acquisitions (EI/LCB/PI) all stay near-optimal; pure");
+    println!("exploitation can lock onto an early local basin — the reason BayesOpt needs");
+    println!("an exploration term (paper Section V-C).");
+}

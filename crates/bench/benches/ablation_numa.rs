@@ -1,0 +1,70 @@
+//! **Section IX extension** — NUMA-aware core binding and data placement.
+//!
+//! The paper's profiling found that more than half of ARGO's memory accesses
+//! on the 4-socket Ice Lake crossed the UPI links, capping bandwidth and
+//! flattening the scaling curves past 64 cores; making ARGO NUMA-aware is
+//! its stated future work. This bench evaluates that extension in the
+//! platform model: processes pinned socket-locally
+//! (`CoreBinder::plan_numa`) with node-local feature shards vs the plain
+//! contiguous plan.
+
+use argo_bench::{platform_tag, DATASETS, PLATFORMS, SAMPLER_MODELS};
+use argo_platform::{Library, PerfModel, Setup};
+use argo_rt::{enumerate_space, CoreBinder};
+
+fn main() {
+    println!("=== Section IX extension: NUMA-aware binding vs plain contiguous binding ===\n");
+    // First: the binder itself.
+    let binder = CoreBinder::new(112);
+    let plan = binder.plan_numa(4, 8, 2, 6).expect("8x(2+6) fits 4x28");
+    println!("socket-local plan for 8 processes x (2 samp + 6 train) on 4x28 cores:");
+    for (p, b) in plan.iter().enumerate() {
+        let socket = binder.socket_of(b.sampling.ids()[0], 4);
+        println!(
+            "  process {p}: socket {socket}, sampling {}, training {}",
+            b.sampling, b.training
+        );
+    }
+
+    println!("\nepoch-time gain of NUMA-aware deployment (best config per task):");
+    println!(
+        "{:<24} {:<26} {:>12} {:>12} {:>8}",
+        "platform", "task", "plain (s)", "aware (s)", "gain"
+    );
+    for platform in PLATFORMS {
+        for (sampler, model) in SAMPLER_MODELS {
+            for dataset in DATASETS {
+                let m = PerfModel::new(Setup {
+                    platform,
+                    library: Library::Pyg, // heavier memory traffic
+                    sampler,
+                    model,
+                    dataset,
+                });
+                // Best configuration under each deployment.
+                let space = enumerate_space(platform.total_cores);
+                let plain = space
+                    .iter()
+                    .map(|&c| m.epoch_time(c))
+                    .fold(f64::INFINITY, f64::min);
+                let aware = space
+                    .iter()
+                    .map(|&c| m.epoch_time_numa_aware(c))
+                    .fold(f64::INFINITY, f64::min);
+                println!(
+                    "{:<24} {:<26} {:>12.2} {:>12.2} {:>7.2}%",
+                    platform_tag(&platform),
+                    format!("{}-{} {}", sampler.name(), model.name(), dataset.name),
+                    plain,
+                    aware,
+                    (plain / aware - 1.0) * 100.0
+                );
+                assert!(aware <= plain + 1e-9, "NUMA awareness must never hurt");
+            }
+        }
+    }
+    println!("\nGains concentrate on the 4-socket Ice Lake and on gather-heavy tasks, and are");
+    println!("bounded by how often the UPI ceiling (rather than per-batch overhead or the");
+    println!("sampler) is the binding constraint — consistent with the paper's observation");
+    println!("that the remote-access share, not raw bandwidth, limits scaling past 64 cores.");
+}

@@ -1,0 +1,57 @@
+//! **Section VII-B ablation** — search-space pruning vs Bayesian
+//! optimization: a greedy coordinate-pruning searcher (halve the range of
+//! one dimension at a time around the best observed cell) is competitive on
+//! a low-dimensional space but relies on structure BayesOpt does not need;
+//! the paper argues BayesOpt generalizes to higher-dimensional spaces.
+
+use argo_bench::mean_std;
+use argo_graph::datasets::REDDIT;
+use argo_platform::{Library, ModelKind, PerfModel, SamplerKind, Setup, ICE_LAKE_8380H};
+use argo_tune::{BayesOpt, GreedyPruning, SearchSpace, Searcher};
+
+fn main() {
+    println!("=== Section VII-B: search-space pruning vs Bayesian optimization ===\n");
+    let m = PerfModel::new(Setup {
+        platform: ICE_LAKE_8380H,
+        library: Library::Dgl,
+        sampler: SamplerKind::Neighbor,
+        model: ModelKind::Sage,
+        dataset: REDDIT,
+    });
+    let optimal = m.argo_best_epoch_time(112).1;
+    let budget = 35;
+    let mut pruning = GreedyPruning::new(SearchSpace::for_cores(112));
+    for _ in 0..budget {
+        let c = pruning.suggest();
+        pruning.observe(c, m.epoch_time(c));
+    }
+    let (pc, pt) = pruning.best().expect("observed");
+    println!("exhaustive optimum: {optimal:.2}s");
+    println!(
+        "greedy pruning ({budget} evals):   {:.2}s ({:.2}x of optimal) at {}",
+        pt,
+        optimal / pt,
+        pc
+    );
+    let bo: Vec<f64> = (0..5)
+        .map(|seed| {
+            let mut bo = BayesOpt::new(SearchSpace::for_cores(112), seed);
+            for _ in 0..budget {
+                let c = bo.suggest();
+                bo.observe(c, m.epoch_time(c));
+            }
+            bo.best().unwrap().1
+        })
+        .collect();
+    let (bo_mean, bo_std) = mean_std(&bo);
+    println!(
+        "BayesOpt     ({budget} evals):   {:.2}s±{:.2} ({:.2}x of optimal)",
+        bo_mean,
+        bo_std,
+        optimal / bo_mean
+    );
+    println!("\nOn this 3-D space both reach the optimum's neighborhood; pruning assumes a");
+    println!("monotone basin per axis and its probe count grows exponentially with extra");
+    println!("dimensions, while BayesOpt needs no such structure (paper Section VII-B).");
+    assert!(optimal / bo_mean > 0.85);
+}

@@ -1,0 +1,91 @@
+//! **Model cross-validation** — the discrete-event pipeline simulator vs
+//! the analytic epoch-time model.
+//!
+//! Two independent implementations of the same schedule (closed formulas vs
+//! event-by-event execution with queueing and memory processor-sharing)
+//! should agree on the *shape* of the design space: correlated epoch times,
+//! matching optima, and the same qualitative effects (memory overlap grows
+//! with processes; the default setup underperforms in both).
+
+use argo_bench::mean_std;
+use argo_graph::datasets::{OGBN_PRODUCTS, REDDIT};
+use argo_platform::{Library, ModelKind, PerfModel, PipelineSim, SamplerKind, Setup, ICE_LAKE_8380H};
+use argo_rt::{enumerate_space, Config};
+
+fn main() {
+    println!("=== Cross-validation: discrete-event simulator vs analytic model ===\n");
+    for (sampler, mk, ds) in [
+        (SamplerKind::Neighbor, ModelKind::Sage, OGBN_PRODUCTS),
+        (SamplerKind::Shadow, ModelKind::Gcn, REDDIT),
+    ] {
+        let m = PerfModel::new(Setup {
+            platform: ICE_LAKE_8380H,
+            library: Library::Dgl,
+            sampler,
+            model: mk,
+            dataset: ds,
+        });
+        let sim = PipelineSim::new(&m);
+        let configs: Vec<Config> = enumerate_space(112).into_iter().step_by(23).collect();
+        let analytic: Vec<f64> = configs.iter().map(|&c| m.epoch_time(c)).collect();
+        let des: Vec<f64> = configs.iter().map(|&c| sim.simulate(c).epoch_time).collect();
+        // Pearson correlation of log times.
+        let la: Vec<f64> = analytic.iter().map(|t| t.ln()).collect();
+        let ld: Vec<f64> = des.iter().map(|t| t.ln()).collect();
+        let (ma, _) = mean_std(&la);
+        let (md, _) = mean_std(&ld);
+        let cov: f64 = la.iter().zip(&ld).map(|(a, d)| (a - ma) * (d - md)).sum();
+        let va: f64 = la.iter().map(|a| (a - ma).powi(2)).sum();
+        let vd: f64 = ld.iter().map(|d| (d - md).powi(2)).sum();
+        let r = cov / (va.sqrt() * vd.sqrt()).max(1e-12);
+        let ratios: Vec<f64> = des.iter().zip(&analytic).map(|(d, a)| d / a).collect();
+        let (rm, rs) = mean_std(&ratios);
+        println!("{}:", m.setup().label());
+        println!("  {} configurations sampled from the 694-point space", configs.len());
+        println!("  log-time correlation: r = {r:.3}");
+        println!("  DES/analytic epoch-time ratio: {rm:.2} ± {rs:.2}");
+        let best_a = configs[la
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0];
+        let best_d = configs[ld
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0];
+        println!("  analytic optimum: {best_a}; DES optimum: {best_d}");
+        let des_at_a = sim.simulate(best_a).epoch_time;
+        let des_min = des.iter().copied().fold(f64::INFINITY, f64::min);
+        println!(
+            "  analytic optimum evaluated by DES: {:.2}s vs DES optimum {:.2}s ({:.2}x)\n",
+            des_at_a,
+            des_min,
+            des_min / des_at_a
+        );
+        assert!(r > 0.75, "models disagree: r = {r}");
+        assert!(des_at_a <= des_min * 1.35);
+    }
+    // Emergent overlap: the simulator's memory concurrency with processes.
+    let m = PerfModel::new(Setup {
+        platform: ICE_LAKE_8380H,
+        library: Library::Dgl,
+        sampler: SamplerKind::Neighbor,
+        model: ModelKind::Sage,
+        dataset: OGBN_PRODUCTS,
+    });
+    let sim = PipelineSim::new(&m);
+    println!("emergent gather overlap (mean concurrent memory jobs while busy):");
+    for p in [2usize, 4, 8] {
+        let out = sim.simulate(Config::new(p, 1, 6));
+        println!(
+            "  {p} processes: {:.2} concurrent gathers, memory busy {:.0}% of the epoch",
+            out.mean_memory_concurrency,
+            out.memory_busy_fraction * 100.0
+        );
+    }
+    println!("\nThe executable schedule reproduces the analytic model's landscape — the");
+    println!("Figure 2 overlap emerges from event dynamics rather than a formula.");
+}

@@ -1,0 +1,48 @@
+//! **Figure 1** — state-of-the-art GNN libraries suffer from poor
+//! scalability: normalized training performance of PyG and DGL (default
+//! setup, single process) vs. allocated cores on the 4-socket Ice Lake,
+//! 3-layer GraphSAGE on ogbn-products. The paper's curves flatten past
+//! 16 cores; so do these.
+
+use argo_bench::bar;
+use argo_graph::datasets::OGBN_PRODUCTS;
+use argo_platform::{Library, ModelKind, PerfModel, SamplerKind, Setup, ICE_LAKE_8380H};
+
+fn main() {
+    println!("=== Figure 1: baseline scalability (Neighbor-SAGE, ogbn-products, Ice Lake) ===");
+    println!("normalized speedup over 4 cores; paper: no speedup past 16 cores\n");
+    let cores_axis = [4usize, 8, 16, 32, 64, 112];
+    for library in [Library::Pyg, Library::Dgl] {
+        let model = PerfModel::new(Setup {
+            platform: ICE_LAKE_8380H,
+            library,
+            sampler: SamplerKind::Neighbor,
+            model: ModelKind::Sage,
+            dataset: OGBN_PRODUCTS,
+        });
+        let t4 = model.baseline_epoch_time(4);
+        println!("{}:", library.name());
+        let mut prev = 0.0;
+        let mut peak_cores = 4;
+        let mut peak = 0.0;
+        for &c in &cores_axis {
+            let speedup = t4 / model.baseline_epoch_time(c);
+            if speedup > peak {
+                peak = speedup;
+                peak_cores = c;
+            }
+            println!(
+                "  {:>3} cores: {:>5.2}x  {}",
+                c,
+                speedup,
+                bar(speedup / 8.0, 32)
+            );
+            prev = speedup;
+        }
+        let _ = prev;
+        println!(
+            "  -> peak at {peak_cores} cores; gain from 16 to 112 cores: {:.2}x (paper: ~1x)\n",
+            (t4 / model.baseline_epoch_time(112)) / (t4 / model.baseline_epoch_time(16))
+        );
+    }
+}

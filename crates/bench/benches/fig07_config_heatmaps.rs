@@ -1,0 +1,69 @@
+//! **Figure 7** — the optimal configuration varies across setups: epoch-time
+//! heatmaps over (number of processes × number of sampling cores), training
+//! cores held constant, for eight (sampler-model / dataset / platform)
+//! setups. The dark-blue optimum of the paper is marked `*` here.
+
+use argo_bench::{platform_tag, PLATFORMS, SAMPLER_MODELS};
+use argo_graph::datasets::{OGBN_PRODUCTS, REDDIT};
+use argo_platform::{Library, PerfModel, Setup};
+use argo_rt::Config;
+
+fn main() {
+    println!("=== Figure 7: optimal configuration across setups ===");
+    println!("rows: sampling cores (1..4); cols: processes (2..8); value: epoch time (s)");
+    println!("training cores fixed at 8 per process; '*' marks the minimum\n");
+    for platform in PLATFORMS {
+        for (sampler, modelk) in SAMPLER_MODELS {
+            for dataset in [REDDIT, OGBN_PRODUCTS] {
+                let m = PerfModel::new(Setup {
+                    platform,
+                    library: Library::Dgl,
+                    sampler,
+                    model: modelk,
+                    dataset,
+                });
+                println!("-- {} | {} --", platform_tag(&platform), m.setup().label());
+                let t_fixed = 8usize;
+                // Find the grid minimum first.
+                let mut best = (0usize, 0usize, f64::INFINITY);
+                for s in 1..=4usize {
+                    for p in 2..=8usize {
+                        let c = Config::new(p, s, t_fixed);
+                        if !c.fits(platform.total_cores) {
+                            continue;
+                        }
+                        let t = m.epoch_time(c);
+                        if t < best.2 {
+                            best = (p, s, t);
+                        }
+                    }
+                }
+                print!("{:>8}", "samp\\proc");
+                for p in 2..=8usize {
+                    print!("{p:>9}");
+                }
+                println!();
+                for s in 1..=4usize {
+                    print!("{s:>8} ");
+                    for p in 2..=8usize {
+                        let c = Config::new(p, s, t_fixed);
+                        if !c.fits(platform.total_cores) {
+                            print!("{:>9}", "-");
+                            continue;
+                        }
+                        let t = m.epoch_time(c);
+                        let mark = if (p, s) == (best.0, best.1) { '*' } else { ' ' };
+                        print!("{:>8.2}{}", t, mark);
+                    }
+                    println!();
+                }
+                println!(
+                    "   optimum: {} processes x {} sampling cores ({:.2}s)\n",
+                    best.0, best.1, best.2
+                );
+            }
+        }
+    }
+    println!("The optimum shifts across setups (2-8 processes, 1-4 sampling cores) with no");
+    println!("single pattern — the paper's argument for learning a distinct model per setup.");
+}

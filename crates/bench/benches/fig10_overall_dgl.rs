@@ -1,0 +1,7 @@
+//! **Figure 10** — overall training time (200 epochs) of DGL vs DGL+ARGO
+//! across all eight tasks on both platforms; the end-to-end ARGO time
+//! includes the online-learning overhead and the sub-optimal search epochs.
+
+fn main() {
+    argo_bench::overall_performance(argo_platform::Library::Dgl);
+}

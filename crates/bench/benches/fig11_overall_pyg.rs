@@ -1,0 +1,6 @@
+//! **Figure 11** — overall training time (200 epochs) of PyG vs PyG+ARGO
+//! across all eight tasks on both platforms.
+
+fn main() {
+    argo_bench::overall_performance(argo_platform::Library::Pyg);
+}

@@ -1,0 +1,118 @@
+//! Criterion micro-benchmarks of the core kernels: SpMM, GEMM, neighbor and
+//! ShaDow sampling, GP fitting, gradient all-reduce. These are the building
+//! blocks whose relative costs the platform model's coefficients abstract.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use argo_graph::generators::power_law;
+use argo_rt::AllReduce;
+use argo_sample::{NeighborSampler, Sampler, ShadowSampler};
+use argo_tensor::{Matrix, SparseMatrix};
+use argo_tune::gp::GaussianProcess;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn random_csr(rows: usize, cols: usize, nnz_per_row: usize) -> SparseMatrix {
+    let mut indptr = vec![0usize];
+    let mut indices = Vec::new();
+    for i in 0..rows {
+        for k in 0..nnz_per_row {
+            indices.push(((i * 31 + k * 97) % cols) as u32);
+        }
+        indptr.push(indices.len());
+    }
+    SparseMatrix::new(rows, cols, indptr, indices, None)
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let a = random_csr(2048, 2048, 16);
+    let d = Matrix::xavier(2048, 64, 1);
+    c.bench_function("spmm_2048x2048_nnz16_f64", |b| b.iter(|| a.spmm(&d)));
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let a = Matrix::xavier(256, 256, 2);
+    let b_ = Matrix::xavier(256, 256, 3);
+    c.bench_function("gemm_256", |b| b.iter(|| a.matmul(&b_)));
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let g = Arc::new(power_law(20_000, 200_000, 0.8, 5));
+    let seeds: Vec<u32> = (0..256).collect();
+    let neighbor = NeighborSampler::paper_default();
+    let shadow = ShadowSampler::paper_default();
+    c.bench_function("neighbor_sample_b256", |b| {
+        b.iter_batched(
+            || SmallRng::seed_from_u64(9),
+            |mut rng| neighbor.sample(&g, &seeds, &mut rng),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("shadow_sample_b256", |b| {
+        b.iter_batched(
+            || SmallRng::seed_from_u64(9),
+            |mut rng| shadow.sample(&g, &seeds, &mut rng),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_gp(c: &mut Criterion) {
+    let n = 40;
+    let x: Vec<[f64; 3]> = (0..n)
+        .map(|i| {
+            let t = i as f64 / n as f64;
+            [t, (t * 7.0) % 1.0, (t * 13.0) % 1.0]
+        })
+        .collect();
+    let y: Vec<f64> = x.iter().map(|v| (v[0] * 6.0).sin() + v[1]).collect();
+    c.bench_function("gp_fit_40obs", |b| b.iter(|| GaussianProcess::fit(&x, &y)));
+    let gp = GaussianProcess::fit(&x, &y);
+    c.bench_function("gp_predict", |b| b.iter(|| gp.predict(&[0.3, 0.5, 0.7])));
+}
+
+fn bench_attention_kernels(c: &mut Criterion) {
+    // Edge softmax + SDDMM on a GAT-sized block.
+    let a = random_csr(4096, 4096, 12);
+    let sl: Vec<f32> = (0..4096).map(|i| (i % 7) as f32 * 0.1).collect();
+    let sr: Vec<f32> = (0..4096).map(|i| (i % 5) as f32 * 0.2).collect();
+    c.bench_function("sddmm_add_4096_nnz12", |b| b.iter(|| a.sddmm_add(&sl, &sr)));
+    let logits = a.sddmm_add(&sl, &sr);
+    c.bench_function("edge_softmax_4096_nnz12", |b| b.iter(|| logits.row_softmax()));
+    let z = Matrix::xavier(4096, 32, 4);
+    let dh = Matrix::xavier(4096, 32, 5);
+    c.bench_function("sddmm_dot_4096_f32", |b| b.iter(|| a.sddmm(&dh, &z)));
+}
+
+fn bench_gather(c: &mut Criterion) {
+    use argo_graph::features::Features;
+    let feats = Features::new(vec![0.5f32; 100_000 * 64], 64);
+    let ids: Vec<u32> = (0..8192u32).map(|i| (i * 37) % 100_000).collect();
+    c.bench_function("feature_gather_8192x64", |b| b.iter(|| feats.gather(&ids)));
+}
+
+fn bench_allreduce(c: &mut Criterion) {
+    c.bench_function("allreduce_4x100k", |b| {
+        b.iter(|| {
+            let ar = Arc::new(AllReduce::new(4, 100_000));
+            std::thread::scope(|s| {
+                for r in 0..4 {
+                    let ar = Arc::clone(&ar);
+                    s.spawn(move || {
+                        let mut buf = vec![r as f32; 100_000];
+                        ar.reduce_mean(&mut buf);
+                    });
+                }
+            });
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_spmm, bench_gemm, bench_sampling, bench_gp, bench_attention_kernels, bench_gather, bench_allreduce
+);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! **Table IV** — epoch time (sec) of the configuration found by each search
+//! algorithm, DGL backend: Exhaustive / Default / Simulated Annealing /
+//! Auto-Tuner, 2 platforms x 2 sampler-models x 4 datasets.
+
+fn main() {
+    argo_bench::search_quality_table(argo_platform::Library::Dgl);
+}

@@ -1,0 +1,6 @@
+//! **Table V** — epoch time (sec) of the configuration found by each search
+//! algorithm, PyG backend.
+
+fn main() {
+    argo_bench::search_quality_table(argo_platform::Library::Pyg);
+}

@@ -1,0 +1,170 @@
+//! # argo-cli — command-line front end
+//!
+//! `argo train` runs real auto-tuned GNN training on a synthetic dataset;
+//! `argo simulate` evaluates the paper-scale platform model for one task;
+//! `argo space` inspects the design space. The argument parser is a tiny
+//! hand-rolled `--key value` reader (no external dependency).
+
+use std::collections::HashMap;
+
+use argo_graph::datasets::{DatasetSpec, FLICKR, OGBN_PAPERS100M, OGBN_PRODUCTS, REDDIT};
+use argo_platform::{Library, ModelKind, PlatformSpec, SamplerKind, ICE_LAKE_8380H, SAPPHIRE_RAPIDS_6430L};
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cli {
+    /// First positional argument.
+    pub command: String,
+    /// `--key value` pairs (keys without the leading dashes).
+    pub options: HashMap<String, String>,
+}
+
+/// Parses `args` (without the program name). Flags must be `--key value`
+/// pairs; a missing value or an unknown shape is an error.
+pub fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut it = args.iter();
+    let command = it.next().cloned().ok_or("missing subcommand")?;
+    if command.starts_with("--") {
+        return Err(format!("expected subcommand, got flag {command}"));
+    }
+    let mut options = HashMap::new();
+    while let Some(key) = it.next() {
+        let stripped = key
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got {key}"))?;
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag --{stripped} needs a value"))?;
+        options.insert(stripped.to_string(), value.clone());
+    }
+    Ok(Cli { command, options })
+}
+
+impl Cli {
+    /// String option with a default.
+    pub fn get<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.options.get(key).map(String::as_str).unwrap_or(default)
+    }
+
+    /// Numeric option with a default.
+    pub fn get_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse '{v}'")),
+        }
+    }
+}
+
+/// Resolves a dataset name.
+pub fn dataset_by_name(name: &str) -> Result<DatasetSpec, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "flickr" => Ok(FLICKR),
+        "reddit" => Ok(REDDIT),
+        "products" | "ogbn-products" => Ok(OGBN_PRODUCTS),
+        "papers" | "papers100m" | "ogbn-papers100m" => Ok(OGBN_PAPERS100M),
+        other => Err(format!(
+            "unknown dataset '{other}' (expected flickr|reddit|products|papers100m)"
+        )),
+    }
+}
+
+/// Resolves a platform name.
+pub fn platform_by_name(name: &str) -> Result<PlatformSpec, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "icelake" | "ice-lake" | "8380h" => Ok(ICE_LAKE_8380H),
+        "spr" | "sapphirerapids" | "sapphire-rapids" | "6430l" => Ok(SAPPHIRE_RAPIDS_6430L),
+        other => Err(format!("unknown platform '{other}' (expected icelake|spr)")),
+    }
+}
+
+/// Resolves a library name.
+pub fn library_by_name(name: &str) -> Result<Library, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "dgl" => Ok(Library::Dgl),
+        "pyg" => Ok(Library::Pyg),
+        other => Err(format!("unknown library '{other}' (expected dgl|pyg)")),
+    }
+}
+
+/// Resolves a modeled sampler name.
+pub fn sampler_kind_by_name(name: &str) -> Result<SamplerKind, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "neighbor" => Ok(SamplerKind::Neighbor),
+        "shadow" => Ok(SamplerKind::Shadow),
+        other => Err(format!("unknown sampler '{other}' (expected neighbor|shadow)")),
+    }
+}
+
+/// Resolves a modeled model name.
+pub fn model_kind_by_name(name: &str) -> Result<ModelKind, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "sage" | "graphsage" => Ok(ModelKind::Sage),
+        "gcn" => Ok(ModelKind::Gcn),
+        other => Err(format!("unknown model '{other}' (expected sage|gcn)")),
+    }
+}
+
+/// Help text.
+pub fn usage() -> &'static str {
+    "argo — auto-tuning runtime for scalable GNN training (paper reproduction)
+
+USAGE:
+  argo train    [--dataset flickr] [--scale 0.02] [--sampler neighbor|shadow|saint|cluster]
+                [--model sage|gcn|gat] [--epochs 20] [--n-search 5] [--batch 512]
+                [--hidden 64] [--layers 2] [--seed 0] [--save FILE] [--load FILE]
+      run real auto-tuned training on a synthetic (or saved) dataset
+
+  argo simulate [--platform icelake|spr] [--library dgl|pyg]
+                [--sampler neighbor|shadow] [--model sage|gcn] [--dataset products]
+      evaluate the paper-scale platform model: default vs auto-tuned vs optimal
+
+  argo space    [--cores 112]
+      inspect the configuration design space
+
+  argo info
+      list datasets and platforms"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let cli = parse_args(&argv("train --dataset reddit --epochs 30")).unwrap();
+        assert_eq!(cli.command, "train");
+        assert_eq!(cli.get("dataset", "flickr"), "reddit");
+        assert_eq!(cli.get_num::<usize>("epochs", 0).unwrap(), 30);
+        assert_eq!(cli.get_num::<usize>("n-search", 5).unwrap(), 5);
+    }
+
+    #[test]
+    fn rejects_missing_value_and_bad_flag() {
+        assert!(parse_args(&argv("train --dataset")).is_err());
+        assert!(parse_args(&argv("train dataset reddit")).is_err());
+        assert!(parse_args(&argv("--train")).is_err());
+        assert!(parse_args(&[]).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_numbers() {
+        let cli = parse_args(&argv("train --epochs abc")).unwrap();
+        assert!(cli.get_num::<usize>("epochs", 1).is_err());
+    }
+
+    #[test]
+    fn name_resolution() {
+        assert_eq!(dataset_by_name("Products").unwrap().name, "ogbn-products");
+        assert_eq!(dataset_by_name("papers100m").unwrap().name, "ogbn-papers100M");
+        assert!(dataset_by_name("imagenet").is_err());
+        assert_eq!(platform_by_name("ICELAKE").unwrap().total_cores, 112);
+        assert_eq!(platform_by_name("spr").unwrap().total_cores, 64);
+        assert!(library_by_name("jax").is_err());
+        assert_eq!(sampler_kind_by_name("shadow").unwrap(), SamplerKind::Shadow);
+        assert_eq!(model_kind_by_name("graphsage").unwrap(), ModelKind::Sage);
+    }
+}

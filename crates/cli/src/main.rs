@@ -1,0 +1,224 @@
+//! The `argo` binary. See [`argo_cli::usage`] for commands.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use argo_cli::{
+    dataset_by_name, library_by_name, model_kind_by_name, parse_args, platform_by_name,
+    sampler_kind_by_name, usage, Cli,
+};
+use argo_core::{Argo, ArgoOptions};
+use argo_engine::{evaluate_accuracy, Engine, EngineOptions};
+use argo_graph::Dataset;
+use argo_nn::{Arch, ConfusionMatrix};
+use argo_platform::{PerfModel, Setup};
+use argo_sample::{ClusterGcnSampler, NeighborSampler, Sampler, SaintRwSampler, ShadowSampler};
+use argo_tune::{paper_num_searches, SearchSpace};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cli = parse_args(args)?;
+    match cli.command.as_str() {
+        "train" => train(&cli),
+        "simulate" => simulate(&cli),
+        "space" => space(&cli),
+        "info" => {
+            info();
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand '{other}'")),
+    }
+}
+
+fn load_or_synthesize(cli: &Cli) -> Result<Arc<Dataset>, String> {
+    if let Some(path) = cli.options.get("load") {
+        let mut f = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+        let d = argo_graph::io::read_dataset(&mut f).map_err(|e| format!("read {path}: {e}"))?;
+        return Ok(Arc::new(d));
+    }
+    let spec = dataset_by_name(cli.get("dataset", "flickr"))?;
+    let scale: f64 = cli.get_num("scale", 0.02)?;
+    let seed: u64 = cli.get_num("seed", 0)?;
+    Ok(Arc::new(spec.synthesize(scale, seed)))
+}
+
+fn train(cli: &Cli) -> Result<(), String> {
+    let dataset = load_or_synthesize(cli)?;
+    if let Some(path) = cli.options.get("save") {
+        let mut f = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+        argo_graph::io::write_dataset(&mut f, &dataset).map_err(|e| format!("write: {e}"))?;
+        println!("saved dataset to {path}");
+    }
+    let layers: usize = cli.get_num("layers", 2)?;
+    let sampler: Arc<dyn Sampler> = match cli.get("sampler", "neighbor") {
+        "neighbor" => Arc::new(NeighborSampler::new(vec![10, 5, 5][..layers.min(3)].to_vec())),
+        "shadow" => Arc::new(ShadowSampler::new(vec![10, 5], layers)),
+        "saint" => Arc::new(SaintRwSampler::new(3, layers)),
+        "cluster" => Arc::new(ClusterGcnSampler::new(&dataset.graph, 32, layers)),
+        other => return Err(format!("unknown sampler '{other}'")),
+    };
+    let arch = match cli.get("model", "sage") {
+        "sage" | "graphsage" => Arch::Sage,
+        "gcn" => Arch::Gcn,
+        "gat" => Arch::Gat { heads: cli.get_num("heads", 2)? },
+        other => return Err(format!("unknown model '{other}'")),
+    };
+    let epochs: usize = cli.get_num("epochs", 20)?;
+    let n_search: usize = cli.get_num("n-search", 5)?;
+    let mut engine = Engine::new(
+        Arc::clone(&dataset),
+        sampler,
+        EngineOptions {
+            kind: arch,
+            hidden: cli.get_num("hidden", 64)?,
+            num_layers: layers,
+            global_batch: cli.get_num("batch", 512)?,
+            lr: cli.get_num("lr", 3e-3)?,
+            seed: cli.get_num("seed", 0)?,
+            ..Default::default()
+        },
+    );
+    println!(
+        "training {} on {} ({} nodes, {} classes) for {epochs} epochs, {n_search} searches",
+        arch.name(),
+        dataset.spec.name,
+        dataset.graph.num_nodes(),
+        dataset.num_classes
+    );
+    let mut runtime = Argo::new(ArgoOptions {
+        n_search: n_search.max(1),
+        epochs: epochs.max(n_search.max(1)),
+        ..Default::default()
+    });
+    let report = runtime.train(&mut engine, |epoch, config, stats| {
+        println!(
+            "epoch {epoch:>3} {config}: {:.3}s loss {:.4} acc {:.3}",
+            stats.epoch_time, stats.loss, stats.train_accuracy
+        );
+    });
+    println!("\nselected {} (space: {} configs)", report.config_opt, report.space_size);
+    println!("total time {:.2}s (tuning included)", report.total_time);
+    // Final metrics on the validation split.
+    let model = engine.model();
+    let acc = evaluate_accuracy(&model, &dataset, &dataset.val_nodes);
+    let sampler_eval = NeighborSampler::new(vec![dataset.graph.max_degree().max(1); layers]);
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+    let mut preds: Vec<u32> = Vec::new();
+    let mut truth: Vec<u32> = Vec::new();
+    for chunk in dataset.val_nodes.chunks(256) {
+        let batch = argo_sample::Sampler::sample(&sampler_eval, &dataset.graph, chunk, &mut rng);
+        let logits = model.forward(&batch, &dataset.features, None);
+        for (i, &v) in chunk.iter().enumerate() {
+            let row = logits.row(i);
+            let mut best = 0usize;
+            for (j, &x) in row.iter().enumerate() {
+                if x > row[best] {
+                    best = j;
+                }
+            }
+            preds.push(best as u32);
+            truth.push(dataset.labels[v as usize]);
+        }
+    }
+    let cm = ConfusionMatrix::from_predictions(&preds, &truth, dataset.num_classes);
+    println!(
+        "validation: accuracy {:.3}, macro-F1 {:.3}, micro-F1 {:.3} (n={})",
+        acc,
+        cm.macro_f1(),
+        cm.micro_f1(),
+        dataset.val_nodes.len()
+    );
+    Ok(())
+}
+
+fn simulate(cli: &Cli) -> Result<(), String> {
+    let platform = platform_by_name(cli.get("platform", "icelake"))?;
+    let library = library_by_name(cli.get("library", "dgl"))?;
+    let sampler = sampler_kind_by_name(cli.get("sampler", "neighbor"))?;
+    let model = model_kind_by_name(cli.get("model", "sage"))?;
+    let dataset = dataset_by_name(cli.get("dataset", "products"))?;
+    let m = PerfModel::new(Setup {
+        platform,
+        library,
+        sampler,
+        model,
+        dataset,
+    });
+    println!("task: {} on {} ({})", m.setup().label(), platform.name, library.name());
+    let (best_cfg, best) = m.argo_best_epoch_time(platform.total_cores);
+    let default = m.epoch_time(m.default_config());
+    println!("  default setup    : {:.2}s/epoch at {}", default, m.default_config());
+    println!("  exhaustive best  : {best:.2}s/epoch at {best_cfg}");
+    let n_search = paper_num_searches(
+        platform.total_cores,
+        matches!(sampler, argo_platform::SamplerKind::Shadow),
+    );
+    let mut runtime = Argo::new(ArgoOptions {
+        n_search,
+        epochs: 200,
+        total_cores: platform.total_cores,
+        seed: cli.get_num("seed", 0)?,
+    });
+    let report = runtime.run_modeled(&m);
+    println!(
+        "  auto-tuner       : {:.2}s/epoch at {} ({} searches, {:.2}x of optimal)",
+        report.best_epoch_time,
+        report.config_opt,
+        n_search,
+        best / report.best_epoch_time
+    );
+    println!(
+        "  200-epoch total  : default {:.0}s vs ARGO {:.0}s ({:.2}x speedup)",
+        200.0 * default,
+        report.total_time,
+        200.0 * default / report.total_time
+    );
+    Ok(())
+}
+
+fn space(cli: &Cli) -> Result<(), String> {
+    let cores: usize = cli.get_num("cores", argo_rt::num_available_cores().max(4))?;
+    let space = SearchSpace::for_cores(cores);
+    println!("design space for {cores} cores: {} configurations", space.len());
+    println!("  processes 2..8, sampling cores 1..4, training cores 1..(cores/p − s)");
+    let show = 8.min(space.len());
+    for i in 0..show {
+        println!("  {}", space.get(i));
+    }
+    if space.len() > show {
+        println!("  … {} more", space.len() - show);
+    }
+    Ok(())
+}
+
+fn info() {
+    println!("datasets (paper Table III):");
+    for s in argo_graph::datasets::ALL_SPECS {
+        println!(
+            "  {:<16} |V|={:<11} |E|={:<13} f0={:<4} classes={}",
+            s.name, s.num_nodes, s.num_edges, s.f0, s.f2
+        );
+    }
+    println!("\nplatforms (paper Table II):");
+    for p in [argo_platform::ICE_LAKE_8380H, argo_platform::SAPPHIRE_RAPIDS_6430L] {
+        println!(
+            "  {:<34} {} sockets, {} cores, {} GB/s peak",
+            p.name, p.sockets, p.total_cores, p.peak_bw_gbs
+        );
+    }
+}

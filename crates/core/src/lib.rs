@@ -1,0 +1,330 @@
+//! # argo-core — the ARGO runtime, as a user-facing API
+//!
+//! The paper's Listing 1 enables ARGO with a two-line wrapper:
+//!
+//! ```python
+//! runtime = ARGO(n_search=20, epoch=200)
+//! runtime.run(train, args=(...))
+//! ```
+//!
+//! [`Argo`] is the Rust equivalent. The training function receives the
+//! configuration the runtime chose (number of processes, sampling cores,
+//! training cores) and how many epochs to run under it, and returns the
+//! measured time — exactly the contract Listing 3 imposes on the modified
+//! DGL training script (`num_workers` and `ep` become variables the runtime
+//! controls).
+//!
+//! ```
+//! use argo_core::{Argo, ArgoOptions};
+//!
+//! // A toy "training function": epoch time depends on the configuration.
+//! let mut runtime = Argo::new(ArgoOptions {
+//!     n_search: 10,
+//!     epochs: 40,
+//!     total_cores: 16,
+//!     seed: 0,
+//! });
+//! let report = runtime.run(|config, epochs| {
+//!     let per_epoch = 1.0 + (config.n_proc as f64 - 4.0).powi(2) * 0.05
+//!         + (config.n_samp as f64 - 2.0).powi(2) * 0.1;
+//!     per_epoch * epochs as f64
+//! });
+//! assert_eq!(report.epochs_run, 40);
+//! assert!(report.config_opt.fits(16));
+//! ```
+//!
+//! For training real models, [`Argo::train`] drives an
+//! [`argo_engine::Engine`] directly; for paper-scale studies,
+//! [`Argo::run_modeled`] drives an [`argo_platform::PerfModel`].
+
+use argo_engine::{Engine, EpochStats};
+use argo_platform::PerfModel;
+use argo_rt::{Config, TraceRecorder};
+use argo_tune::{BayesOpt, SearchSpace, Searcher};
+
+pub use argo_rt::Config as ArgoConfig;
+
+/// Options of the ARGO runtime (mirrors `ARGO(n_search=…, epoch=…)`).
+#[derive(Clone, Copy, Debug)]
+pub struct ArgoOptions {
+    /// Online-learning searches before the best configuration is reused
+    /// (the paper uses 5–6% of the design space, Table VI).
+    pub n_search: usize,
+    /// Total training epochs.
+    pub epochs: usize,
+    /// Cores the runtime may allocate (defaults to the host's).
+    pub total_cores: usize,
+    /// RNG seed for the tuner.
+    pub seed: u64,
+}
+
+impl Default for ArgoOptions {
+    fn default() -> Self {
+        // On hosts with fewer than 4 cores the plan is logical: threads
+        // oversubscribe and core binding degrades to a no-op, so ARGO stays
+        // functional (if not faster) on small machines.
+        let total_cores = argo_rt::num_available_cores().max(4);
+        Self {
+            n_search: 10,
+            epochs: 200,
+            total_cores,
+            seed: 0,
+        }
+    }
+}
+
+/// Report of a completed ARGO run.
+#[derive(Clone, Debug)]
+pub struct ArgoReport {
+    /// The configuration selected by the auto-tuner and reused after online
+    /// learning.
+    pub config_opt: Config,
+    /// Epoch time of `config_opt` when it was found.
+    pub best_epoch_time: f64,
+    /// Every configuration evaluated during online learning with its epoch
+    /// time.
+    pub history: Vec<(Config, f64)>,
+    /// End-to-end time including auto-tuning overhead and sub-optimal
+    /// search epochs (what Figures 10/11 report).
+    pub total_time: f64,
+    /// Epochs actually run.
+    pub epochs_run: usize,
+    /// Design-space size for this machine.
+    pub space_size: usize,
+}
+
+/// The ARGO runtime (paper Listing 1).
+pub struct Argo {
+    opts: ArgoOptions,
+    space: SearchSpace,
+}
+
+impl Argo {
+    /// Creates a runtime. Panics if the machine is too small to host even
+    /// the smallest multi-process configuration (4 cores).
+    pub fn new(opts: ArgoOptions) -> Self {
+        assert!(opts.n_search >= 1, "need at least one search epoch");
+        assert!(
+            opts.epochs >= opts.n_search,
+            "epochs ({}) must cover n_search ({})",
+            opts.epochs,
+            opts.n_search
+        );
+        let mut opts = opts;
+        opts.total_cores = opts.total_cores.max(4);
+        let space = SearchSpace::for_cores(opts.total_cores);
+        Self { opts, space }
+    }
+
+    /// Runtime options.
+    pub fn options(&self) -> &ArgoOptions {
+        &self.opts
+    }
+
+    /// The design space the tuner searches.
+    pub fn space(&self) -> &SearchSpace {
+        &self.space
+    }
+
+    /// Runs training under ARGO: `train(config, epochs)` must train for
+    /// `epochs` epochs under `config` and return the elapsed time in
+    /// seconds. During online learning it is called with `epochs = 1`;
+    /// afterwards once with the remaining epochs (mirroring the `ep`
+    /// variable of Listing 3).
+    pub fn run(&mut self, mut train: impl FnMut(Config, usize) -> f64) -> ArgoReport {
+        // No point searching longer than the space is large (tiny hosts).
+        let n_search = self.opts.n_search.min(self.opts.epochs).min(self.space.len());
+        let mut tuner = BayesOpt::new(self.space.clone(), self.opts.seed);
+        let mut history = Vec::with_capacity(n_search);
+        let mut total_time = 0.0;
+        for _ in 0..n_search {
+            let config = tuner.suggest();
+            let t = train(config, 1);
+            tuner.observe(config, t);
+            history.push((config, t));
+            total_time += t;
+        }
+        let (config_opt, best_epoch_time) = tuner.best().expect("n_search >= 1");
+        let remaining = self.opts.epochs - n_search;
+        if remaining > 0 {
+            total_time += train(config_opt, remaining);
+        }
+        ArgoReport {
+            config_opt,
+            best_epoch_time,
+            history,
+            total_time,
+            epochs_run: self.opts.epochs,
+            space_size: self.space.len(),
+        }
+    }
+
+    /// Trains a real [`Engine`] under ARGO, reporting per-epoch statistics
+    /// through `on_epoch`.
+    pub fn train(
+        &mut self,
+        engine: &mut Engine,
+        mut on_epoch: impl FnMut(usize, Config, &EpochStats),
+    ) -> ArgoReport {
+        let trace = TraceRecorder::disabled();
+        let mut epoch_idx = 0usize;
+        self.run(|config, epochs| {
+            let mut elapsed = 0.0;
+            for _ in 0..epochs {
+                let stats = engine.train_epoch(config, &trace);
+                on_epoch(epoch_idx, config, &stats);
+                epoch_idx += 1;
+                elapsed += stats.epoch_time;
+            }
+            elapsed
+        })
+    }
+
+    /// Runs the full schedule against a modeled platform (paper-scale
+    /// studies on hardware this host does not have).
+    pub fn run_modeled(&mut self, model: &PerfModel) -> ArgoReport {
+        self.run(|config, epochs| model.epoch_time(config) * epochs as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use argo_engine::EngineOptions;
+    use argo_graph::datasets::{FLICKR, OGBN_PRODUCTS};
+    use argo_platform::{
+        Library, ModelKind, SamplerKind, Setup, ICE_LAKE_8380H,
+    };
+    use argo_sample::NeighborSampler;
+    use std::sync::Arc;
+
+    fn toy_objective(config: Config, epochs: usize) -> f64 {
+        let per = 1.0
+            + 0.05 * (config.n_proc as f64 - 5.0).powi(2)
+            + 0.08 * (config.n_samp as f64 - 2.0).powi(2)
+            + 0.01 * (config.n_train as f64 - 6.0).powi(2);
+        per * epochs as f64
+    }
+
+    #[test]
+    fn run_respects_epoch_budget() {
+        let mut argo = Argo::new(ArgoOptions {
+            n_search: 8,
+            epochs: 50,
+            total_cores: 32,
+            seed: 1,
+        });
+        let mut search_calls = 0usize;
+        let mut reuse_epochs = 0usize;
+        let report = argo.run(|c, e| {
+            if e == 1 {
+                search_calls += 1;
+            } else {
+                reuse_epochs += e;
+            }
+            toy_objective(c, e)
+        });
+        assert_eq!(search_calls, 8);
+        assert_eq!(reuse_epochs, 42);
+        assert_eq!(report.epochs_run, 50);
+        assert_eq!(report.history.len(), 8);
+        assert!(report.config_opt.fits(32));
+    }
+
+    #[test]
+    fn total_time_accounts_search_and_reuse() {
+        let mut argo = Argo::new(ArgoOptions {
+            n_search: 5,
+            epochs: 20,
+            total_cores: 16,
+            seed: 2,
+        });
+        let report = argo.run(toy_objective);
+        let search_sum: f64 = report.history.iter().map(|(_, t)| t).sum();
+        let expect = search_sum + toy_objective(report.config_opt, 15);
+        assert!((report.total_time - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn n_search_equal_epochs_is_all_search() {
+        let mut argo = Argo::new(ArgoOptions {
+            n_search: 6,
+            epochs: 6,
+            total_cores: 16,
+            seed: 3,
+        });
+        let report = argo.run(toy_objective);
+        assert_eq!(report.history.len(), 6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn epochs_below_n_search_panics() {
+        Argo::new(ArgoOptions {
+            n_search: 10,
+            epochs: 5,
+            total_cores: 16,
+            seed: 0,
+        });
+    }
+
+    #[test]
+    fn run_modeled_matches_direct_model_calls() {
+        let model = PerfModel::new(Setup {
+            platform: ICE_LAKE_8380H,
+            library: Library::Dgl,
+            sampler: SamplerKind::Neighbor,
+            model: ModelKind::Sage,
+            dataset: OGBN_PRODUCTS,
+        });
+        let mut argo = Argo::new(ArgoOptions {
+            n_search: 35,
+            epochs: 200,
+            total_cores: 112,
+            seed: 4,
+        });
+        let report = argo.run_modeled(&model);
+        // The reused configuration is near-optimal (≥85% of exhaustive).
+        let opt = model.argo_best_epoch_time(112).1;
+        assert!(
+            opt / report.best_epoch_time > 0.85,
+            "found {} vs optimal {opt}",
+            report.best_epoch_time
+        );
+        assert_eq!(report.space_size, 694);
+    }
+
+    #[test]
+    fn train_drives_a_real_engine() {
+        let dataset = Arc::new(FLICKR.synthesize(0.008, 3));
+        let sampler: Arc<dyn argo_sample::Sampler> = Arc::new(NeighborSampler::new(vec![6, 3]));
+        let mut engine = Engine::new(
+            dataset,
+            sampler,
+            EngineOptions {
+                hidden: 8,
+                num_layers: 2,
+                global_batch: 64,
+                total_cores: 16,
+                ..Default::default()
+            },
+        );
+        let mut argo = Argo::new(ArgoOptions {
+            n_search: 3,
+            epochs: 5,
+            total_cores: 16,
+            seed: 5,
+        });
+        let mut epochs_seen = Vec::new();
+        let report = argo.train(&mut engine, |i, c, stats| {
+            epochs_seen.push((i, c, stats.loss));
+        });
+        assert_eq!(epochs_seen.len(), 5);
+        assert_eq!(engine.epochs_done(), 5);
+        // Epoch indices in order.
+        assert!(epochs_seen.windows(2).all(|w| w[1].0 == w[0].0 + 1));
+        // Final epochs reuse config_opt.
+        assert_eq!(epochs_seen.last().unwrap().1, report.config_opt);
+        assert!(report.total_time > 0.0);
+    }
+}

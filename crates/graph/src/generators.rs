@@ -1,0 +1,223 @@
+//! Deterministic synthetic graph generators.
+//!
+//! The paper's datasets (Flickr, Reddit, ogbn-products, ogbn-papers100M) are
+//! all heavy-tailed social/co-purchase/citation graphs. The workload effects
+//! ARGO exploits — expensive neighbor sampling, shared-neighbor reuse across
+//! mini-batches, bandwidth-bound feature gathering — are driven by the degree
+//! distribution, so the stand-in generators here reproduce power-law degrees
+//! with a controllable average degree.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::csr::Graph;
+use crate::NodeId;
+
+/// Chung–Lu power-law graph: node `i` gets weight `(i + i0)^(-alpha)` and
+/// `num_edges` endpoint pairs are drawn with probability proportional to the
+/// weights, giving an expected power-law degree sequence.
+///
+/// The graph is undirected (both directions stored) and deterministic in
+/// `seed`.
+pub fn power_law(num_nodes: usize, num_edges: usize, alpha: f64, seed: u64) -> Graph {
+    assert!(num_nodes >= 2, "need at least two nodes");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Cumulative weight table for endpoint sampling by binary search.
+    let i0 = 10.0; // offset keeps the hub degrees bounded
+    let mut cum = Vec::with_capacity(num_nodes);
+    let mut total = 0.0f64;
+    for i in 0..num_nodes {
+        total += (i as f64 + i0).powf(-alpha);
+        cum.push(total);
+    }
+    let sample = |rng: &mut SmallRng, cum: &[f64]| -> NodeId {
+        let x = rng.gen::<f64>() * total;
+        match cum.binary_search_by(|p| p.partial_cmp(&x).unwrap()) {
+            Ok(i) | Err(i) => (i.min(num_nodes - 1)) as NodeId,
+        }
+    };
+    let mut edges = Vec::with_capacity(num_edges);
+    for _ in 0..num_edges {
+        let u = sample(&mut rng, &cum);
+        let mut v = sample(&mut rng, &cum);
+        if u == v {
+            v = ((u as usize + 1) % num_nodes) as NodeId; // avoid self-loop
+        }
+        edges.push((u, v));
+    }
+    Graph::from_edges(num_nodes, &edges, true)
+}
+
+/// Erdős–Rényi `G(n, m)` graph with exactly `num_edges` undirected edges
+/// (endpoint pairs drawn uniformly; self-loops redrawn as neighbor shift).
+pub fn erdos_renyi(num_nodes: usize, num_edges: usize, seed: u64) -> Graph {
+    assert!(num_nodes >= 2);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(num_edges);
+    for _ in 0..num_edges {
+        let u = rng.gen_range(0..num_nodes) as NodeId;
+        let mut v = rng.gen_range(0..num_nodes) as NodeId;
+        if u == v {
+            v = ((u as usize + 1) % num_nodes) as NodeId;
+        }
+        edges.push((u, v));
+    }
+    Graph::from_edges(num_nodes, &edges, true)
+}
+
+/// RMAT-style recursive-matrix graph (Graph500 parameters a=0.57, b=0.19,
+/// c=0.19 by default) — skewed like real web/social graphs.
+pub fn rmat(scale: u32, edge_factor: usize, seed: u64) -> Graph {
+    let n = 1usize << scale;
+    let m = n * edge_factor;
+    let (a, b, c) = (0.57, 0.19, 0.19);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let (mut u, mut v) = (0usize, 0usize);
+        for _ in 0..scale {
+            let r: f64 = rng.gen();
+            let (du, dv) = if r < a {
+                (0, 0)
+            } else if r < a + b {
+                (0, 1)
+            } else if r < a + b + c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u = (u << 1) | du;
+            v = (v << 1) | dv;
+        }
+        if u == v {
+            v = (v + 1) % n;
+        }
+        edges.push((u as NodeId, v as NodeId));
+    }
+    Graph::from_edges(n, &edges, true)
+}
+
+/// A community-structured graph used for *learnable* synthetic datasets:
+/// nodes are split into `num_communities` equal blocks and each drawn edge is
+/// intra-community with probability `homophily` (endpoints within the block
+/// are chosen power-law, preserving heavy tails).
+pub fn planted_communities(
+    num_nodes: usize,
+    num_edges: usize,
+    num_communities: usize,
+    homophily: f64,
+    seed: u64,
+) -> Graph {
+    assert!(num_communities >= 1 && num_nodes >= 2 * num_communities);
+    assert!((0.0..=1.0).contains(&homophily));
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let block = num_nodes.div_ceil(num_communities);
+    // Power-law rank within the whole graph; community of node v is v / block.
+    let pick_in = |rng: &mut SmallRng, comm: usize| -> NodeId {
+        let lo = comm * block;
+        let hi = ((comm + 1) * block).min(num_nodes);
+        // Zipf-ish: bias toward low offsets inside the block.
+        let span = hi - lo;
+        let x: f64 = rng.gen::<f64>();
+        let off = ((x * x) * span as f64) as usize; // quadratic skew
+        (lo + off.min(span - 1)) as NodeId
+    };
+    let mut edges = Vec::with_capacity(num_edges);
+    for _ in 0..num_edges {
+        let cu = rng.gen_range(0..num_communities);
+        let cv = if rng.gen::<f64>() < homophily {
+            cu
+        } else {
+            rng.gen_range(0..num_communities)
+        };
+        let u = pick_in(&mut rng, cu);
+        let mut v = pick_in(&mut rng, cv);
+        if u == v {
+            v = ((v as usize + 1) % num_nodes) as NodeId;
+        }
+        edges.push((u, v));
+    }
+    Graph::from_edges(num_nodes, &edges, true)
+}
+
+/// Community id of `v` for a graph built by [`planted_communities`].
+pub fn community_of(v: NodeId, num_nodes: usize, num_communities: usize) -> usize {
+    let block = num_nodes.div_ceil(num_communities);
+    (v as usize / block).min(num_communities - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_law_deterministic_and_valid() {
+        let g1 = power_law(1000, 5000, 0.8, 7);
+        let g2 = power_law(1000, 5000, 0.8, 7);
+        assert_eq!(g1, g2);
+        g1.validate().unwrap();
+        assert_eq!(g1.num_nodes(), 1000);
+        // Undirected: both directions stored (self-loops avoided).
+        assert_eq!(g1.num_edges(), 10000);
+    }
+
+    #[test]
+    fn power_law_is_heavy_tailed() {
+        let g = power_law(2000, 20000, 0.9, 3);
+        let max = g.max_degree() as f64;
+        let avg = g.avg_degree();
+        assert!(max > 5.0 * avg, "max {max} should dwarf avg {avg}");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(power_law(500, 2000, 0.8, 1), power_law(500, 2000, 0.8, 2));
+    }
+
+    #[test]
+    fn erdos_renyi_uniformish() {
+        let g = erdos_renyi(2000, 20000, 11);
+        g.validate().unwrap();
+        let max = g.max_degree() as f64;
+        let avg = g.avg_degree();
+        // Uniform graph: max degree stays within a small factor of the mean.
+        assert!(max < 4.0 * avg, "max {max}, avg {avg}");
+    }
+
+    #[test]
+    fn rmat_shape() {
+        let g = rmat(10, 8, 5);
+        assert_eq!(g.num_nodes(), 1024);
+        g.validate().unwrap();
+        assert!(g.max_degree() as f64 > 4.0 * g.avg_degree());
+    }
+
+    #[test]
+    fn planted_communities_homophilous() {
+        let n = 3000;
+        let k = 6;
+        let g = planted_communities(n, 30000, k, 0.9, 13);
+        g.validate().unwrap();
+        let mut intra = 0usize;
+        let mut total = 0usize;
+        for v in 0..n as NodeId {
+            for &u in g.neighbors(v) {
+                total += 1;
+                if community_of(u, n, k) == community_of(v, n, k) {
+                    intra += 1;
+                }
+            }
+        }
+        let frac = intra as f64 / total as f64;
+        assert!(frac > 0.8, "intra-community fraction {frac}");
+    }
+
+    #[test]
+    fn community_of_covers_all_ids() {
+        let n = 103;
+        let k = 7;
+        for v in 0..n as NodeId {
+            assert!(community_of(v, n, k) < k);
+        }
+    }
+}

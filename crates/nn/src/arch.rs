@@ -1,0 +1,204 @@
+//! Architecture selection and the type-erased model used by the engine.
+//!
+//! The Multi-Process Engine replicates one model per process; [`AnyModel`]
+//! lets it hold any of the supported architectures (GCN, GraphSAGE, GAT)
+//! behind one concrete, `Send` type with the flat parameter/gradient API
+//! DDP-style synchronization needs.
+
+use argo_graph::features::Features;
+use argo_rt::ThreadPool;
+use argo_sample::batch::SampledBatch;
+use argo_tensor::Matrix;
+
+use crate::gat::Gat;
+use crate::model::{Gnn, GnnKind, StepStats};
+
+/// Which GNN architecture to train.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Arch {
+    /// Graph Convolutional Network (paper Eq. 1).
+    Gcn,
+    /// GraphSAGE with mean aggregator (paper Eq. 2).
+    Sage,
+    /// Graph Attention Network with `heads` attention heads (extension).
+    Gat {
+        /// Number of attention heads (hidden dim must divide evenly).
+        heads: usize,
+    },
+}
+
+impl Arch {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Arch::Gcn => "GCN",
+            Arch::Sage => "GraphSAGE",
+            Arch::Gat { .. } => "GAT",
+        }
+    }
+}
+
+impl From<GnnKind> for Arch {
+    fn from(k: GnnKind) -> Self {
+        match k {
+            GnnKind::Gcn => Arch::Gcn,
+            GnnKind::Sage => Arch::Sage,
+        }
+    }
+}
+
+/// A trained model of any supported architecture.
+pub enum AnyModel {
+    /// GCN or GraphSAGE.
+    Gnn(Gnn),
+    /// Graph attention network.
+    Gat(Gat),
+}
+
+impl AnyModel {
+    /// Builds the architecture `arch` with the given dimensions.
+    pub fn build(
+        arch: Arch,
+        in_dim: usize,
+        hidden: usize,
+        out_dim: usize,
+        num_layers: usize,
+        seed: u64,
+    ) -> Self {
+        match arch {
+            Arch::Gcn => AnyModel::Gnn(Gnn::new(GnnKind::Gcn, in_dim, hidden, out_dim, num_layers, seed)),
+            Arch::Sage => AnyModel::Gnn(Gnn::new(GnnKind::Sage, in_dim, hidden, out_dim, num_layers, seed)),
+            Arch::Gat { heads } => AnyModel::Gat(Gat::new(in_dim, hidden, out_dim, num_layers, heads, seed)),
+        }
+    }
+
+    /// Inference logits over the batch seeds.
+    pub fn forward(&self, batch: &SampledBatch, feats: &Features, pool: Option<&ThreadPool>) -> Matrix {
+        match self {
+            AnyModel::Gnn(m) => m.forward(batch, feats, pool),
+            AnyModel::Gat(m) => m.forward(batch, feats, pool),
+        }
+    }
+
+    /// One training step (loss + backward into the gradient buffers).
+    pub fn train_step(
+        &mut self,
+        batch: &SampledBatch,
+        feats: &Features,
+        labels: &[u32],
+        pool: Option<&ThreadPool>,
+    ) -> StepStats {
+        match self {
+            AnyModel::Gnn(m) => m.train_step(batch, feats, labels, pool),
+            AnyModel::Gat(m) => m.train_step(batch, feats, labels, pool),
+        }
+    }
+
+    /// Flat parameter vector.
+    pub fn params_flat(&self, out: &mut Vec<f32>) {
+        match self {
+            AnyModel::Gnn(m) => m.params_flat(out),
+            AnyModel::Gat(m) => m.params_flat(out),
+        }
+    }
+
+    /// Restores parameters from a flat vector.
+    pub fn set_params_flat(&mut self, flat: &[f32]) {
+        match self {
+            AnyModel::Gnn(m) => m.set_params_flat(flat),
+            AnyModel::Gat(m) => m.set_params_flat(flat),
+        }
+    }
+
+    /// Flat gradient vector.
+    pub fn grads_flat(&self, out: &mut Vec<f32>) {
+        match self {
+            AnyModel::Gnn(m) => m.grads_flat(out),
+            AnyModel::Gat(m) => m.grads_flat(out),
+        }
+    }
+
+    /// Restores gradients from a flat vector.
+    pub fn set_grads_flat(&mut self, flat: &[f32]) {
+        match self {
+            AnyModel::Gnn(m) => m.set_grads_flat(flat),
+            AnyModel::Gat(m) => m.set_grads_flat(flat),
+        }
+    }
+
+    /// Total scalar parameters.
+    pub fn num_params(&self) -> usize {
+        match self {
+            AnyModel::Gnn(m) => m.num_params(),
+            AnyModel::Gat(m) => m.num_params(),
+        }
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        match self {
+            AnyModel::Gnn(m) => m.num_layers(),
+            AnyModel::Gat(m) => m.num_layers(),
+        }
+    }
+
+    /// Architecture name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AnyModel::Gnn(m) => m.kind().name(),
+            AnyModel::Gat(_) => "GAT",
+        }
+    }
+}
+
+impl From<Gnn> for AnyModel {
+    fn from(m: Gnn) -> Self {
+        AnyModel::Gnn(m)
+    }
+}
+
+impl From<Gat> for AnyModel {
+    fn from(m: Gat) -> Self {
+        AnyModel::Gat(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_dispatches() {
+        let g = AnyModel::build(Arch::Gcn, 10, 8, 3, 2, 1);
+        assert_eq!(g.name(), "GCN");
+        assert_eq!(g.num_layers(), 2);
+        let s = AnyModel::build(Arch::Sage, 10, 8, 3, 2, 1);
+        assert_eq!(s.name(), "GraphSAGE");
+        assert!(s.num_params() > g.num_params(), "SAGE concat doubles fan-in");
+        let a = AnyModel::build(Arch::Gat { heads: 2 }, 10, 8, 3, 2, 1);
+        assert_eq!(a.name(), "GAT");
+        assert!(a.num_params() > 0);
+    }
+
+    #[test]
+    fn flat_roundtrip_through_erasure() {
+        for arch in [Arch::Gcn, Arch::Sage, Arch::Gat { heads: 2 }] {
+            let mut m = AnyModel::build(arch, 6, 4, 3, 2, 9);
+            let mut p = Vec::new();
+            m.params_flat(&mut p);
+            assert_eq!(p.len(), m.num_params(), "{arch:?}");
+            let scaled: Vec<f32> = p.iter().map(|x| x * 0.5).collect();
+            m.set_params_flat(&scaled);
+            let mut p2 = Vec::new();
+            m.params_flat(&mut p2);
+            assert_eq!(p2, scaled);
+        }
+    }
+
+    #[test]
+    fn gnnkind_converts() {
+        assert_eq!(Arch::from(GnnKind::Gcn), Arch::Gcn);
+        assert_eq!(Arch::from(GnnKind::Sage), Arch::Sage);
+        assert_eq!(Arch::Gat { heads: 4 }.name(), "GAT");
+    }
+}

@@ -1,0 +1,563 @@
+//! GCN / GraphSAGE models with manual forward and backward passes.
+
+use argo_graph::features::Features;
+use argo_rt::ThreadPool;
+use argo_sample::batch::SampledBatch;
+use argo_tensor::ops::{accuracy, add_bias, bias_grad, relu_backward, relu_inplace, softmax_cross_entropy};
+use argo_tensor::{Matrix, SparseMatrix};
+
+/// Which aggregation rule a model uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GnnKind {
+    /// Graph Convolutional Network — Eq. 1.
+    Gcn,
+    /// GraphSAGE with mean aggregator and self-concat — Eq. 2.
+    Sage,
+}
+
+impl GnnKind {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GnnKind::Gcn => "GCN",
+            GnnKind::Sage => "GraphSAGE",
+        }
+    }
+}
+
+struct Layer {
+    w: Matrix,
+    b: Vec<f32>,
+    dw: Matrix,
+    db: Vec<f32>,
+}
+
+impl Layer {
+    fn new(in_dim: usize, out_dim: usize, seed: u64) -> Self {
+        Self {
+            w: Matrix::xavier(in_dim, out_dim, seed),
+            b: vec![0.0; out_dim],
+            dw: Matrix::zeros(in_dim, out_dim),
+            db: vec![0.0; out_dim],
+        }
+    }
+}
+
+/// Statistics of one training step.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StepStats {
+    /// Mean cross-entropy loss over the batch.
+    pub loss: f32,
+    /// Training accuracy on the batch.
+    pub accuracy: f64,
+    /// Number of target nodes.
+    pub num_seeds: usize,
+}
+
+/// One layer's normalized adjacency plus the output-row count; uniform view
+/// over bipartite blocks and square ShaDow subgraphs.
+struct LayerAdj {
+    norm: SparseMatrix,
+    n_dst: usize,
+}
+
+/// A multi-layer GNN (hidden dims all equal, ReLU between layers, no
+/// activation after the last layer — paper's standard 3-layer setup).
+pub struct Gnn {
+    kind: GnnKind,
+    layers: Vec<Layer>,
+    dims: Vec<usize>, // layer input/output dims: [in, hidden, ..., out]
+}
+
+impl Gnn {
+    /// Builds an `num_layers`-deep model `in_dim → hidden × (L-1) → out_dim`,
+    /// deterministic in `seed`.
+    pub fn new(
+        kind: GnnKind,
+        in_dim: usize,
+        hidden: usize,
+        out_dim: usize,
+        num_layers: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(num_layers >= 1 && in_dim > 0 && hidden > 0 && out_dim > 0);
+        let mut dims = Vec::with_capacity(num_layers + 1);
+        dims.push(in_dim);
+        for _ in 1..num_layers {
+            dims.push(hidden);
+        }
+        dims.push(out_dim);
+        let layers = (0..num_layers)
+            .map(|l| {
+                let fan_in = match kind {
+                    GnnKind::Gcn => dims[l],
+                    GnnKind::Sage => 2 * dims[l],
+                };
+                Layer::new(fan_in, dims[l + 1], seed.wrapping_add(l as u64 * 7919))
+            })
+            .collect();
+        Self { kind, layers, dims }
+    }
+
+    /// Model kind.
+    pub fn kind(&self) -> GnnKind {
+        self.kind
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total number of scalar parameters.
+    pub fn num_params(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.w.data().len() + l.b.len())
+            .sum()
+    }
+
+    fn layer_adjs(&self, batch: &SampledBatch) -> Vec<LayerAdj> {
+        match batch {
+            SampledBatch::Blocks(mb) => {
+                assert_eq!(
+                    mb.blocks.len(),
+                    self.layers.len(),
+                    "batch depth != model depth"
+                );
+                mb.blocks
+                    .iter()
+                    .map(|b| LayerAdj {
+                        norm: match self.kind {
+                            GnnKind::Gcn => b.gcn_normalized(),
+                            GnnKind::Sage => b.mean_normalized(),
+                        },
+                        n_dst: b.dst_nodes.len(),
+                    })
+                    .collect()
+            }
+            SampledBatch::Subgraph(sb) => {
+                let norm = match self.kind {
+                    GnnKind::Gcn => sb.gcn_normalized(),
+                    GnnKind::Sage => sb.mean_normalized(),
+                };
+                (0..self.layers.len())
+                    .map(|_| LayerAdj {
+                        norm: norm.clone(),
+                        n_dst: sb.nodes.len(),
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Layer forward: returns `(output, pre-activation cache)`.
+    ///
+    /// * GCN: `z = (Â h) W + b`
+    /// * SAGE: `z = [h_self ‖ mean(h)] W + b`
+    ///
+    /// ReLU is applied when `relu` is true (all layers except the last).
+    fn layer_forward(
+        &self,
+        l: usize,
+        adj: &LayerAdj,
+        h: &Matrix,
+        relu: bool,
+        pool: Option<&ThreadPool>,
+    ) -> (Matrix, Matrix, Option<Vec<bool>>) {
+        let agg = spmm(&adj.norm, h, pool);
+        let cat = match self.kind {
+            GnnKind::Gcn => agg,
+            GnnKind::Sage => {
+                // Self rows are the first n_dst rows of the layer input.
+                let self_rows = take_rows(h, adj.n_dst);
+                self_rows.concat_cols(&agg)
+            }
+        };
+        let mut z = matmul(&cat, &self.layers[l].w, pool);
+        add_bias(&mut z, &self.layers[l].b);
+        let mask = if relu { Some(relu_inplace(&mut z)) } else { None };
+        (z, cat, mask)
+    }
+
+    /// Inference forward pass; returns logits over the batch's seeds.
+    pub fn forward(
+        &self,
+        batch: &SampledBatch,
+        feats: &Features,
+        pool: Option<&ThreadPool>,
+    ) -> Matrix {
+        let adjs = self.layer_adjs(batch);
+        let input = gather_features(feats, batch.input_nodes());
+        let mut h = input;
+        for (l, adj) in adjs.iter().enumerate() {
+            let relu = l + 1 < self.layers.len();
+            let (z, _, _) = self.layer_forward(l, adj, &h, relu, pool);
+            h = z;
+        }
+        match batch {
+            SampledBatch::Blocks(_) => h,
+            SampledBatch::Subgraph(sb) => select_rows(&h, &sb.seed_positions),
+        }
+    }
+
+    /// One training step: forward, loss, full backward. Gradients are
+    /// written into the model's gradient buffers (overwriting previous
+    /// contents); parameters are *not* updated — the engine averages
+    /// gradients across processes first, then calls an optimizer.
+    pub fn train_step(
+        &mut self,
+        batch: &SampledBatch,
+        feats: &Features,
+        labels: &[u32],
+        pool: Option<&ThreadPool>,
+    ) -> StepStats {
+        let adjs = self.layer_adjs(batch);
+        let input = gather_features(feats, batch.input_nodes());
+        // Forward, caching per-layer inputs, concats and masks.
+        let mut h = input;
+        let mut caches: Vec<(Matrix, Matrix, Option<Vec<bool>>)> =
+            Vec::with_capacity(self.layers.len());
+        for (l, adj) in adjs.iter().enumerate() {
+            let relu = l + 1 < self.layers.len();
+            let (z, cat, mask) = self.layer_forward(l, adj, &h, relu, pool);
+            caches.push((std::mem::replace(&mut h, z), cat, mask));
+        }
+        // Loss over seeds.
+        let seeds = batch.seeds();
+        let seed_labels: Vec<u32> = seeds.iter().map(|&v| labels[v as usize]).collect();
+        let logits = match batch {
+            SampledBatch::Blocks(_) => h.clone(),
+            SampledBatch::Subgraph(sb) => select_rows(&h, &sb.seed_positions),
+        };
+        let (loss, dlogits) = softmax_cross_entropy(&logits, &seed_labels);
+        let acc = accuracy(&logits, &seed_labels);
+        // Scatter loss gradient back to the full output rows.
+        let mut grad = match batch {
+            SampledBatch::Blocks(_) => dlogits,
+            SampledBatch::Subgraph(sb) => scatter_rows(&dlogits, &sb.seed_positions, h.rows()),
+        };
+        // Backward through the layers.
+        for l in (0..self.layers.len()).rev() {
+            let (layer_input, cat, mask) = &caches[l];
+            if let Some(m) = mask {
+                relu_backward(&mut grad, m);
+            }
+            let dw = cat.matmul_transpose_self(&grad);
+            let db = bias_grad(&grad);
+            let dcat = grad.matmul_transpose_other(&self.layers[l].w);
+            self.layers[l].dw = dw;
+            self.layers[l].db = db;
+            if l == 0 {
+                break; // input features get no gradient
+            }
+            let adj = &adjs[l];
+            grad = match self.kind {
+                GnnKind::Gcn => adj.norm.spmm_transpose(&dcat),
+                GnnKind::Sage => {
+                    let f_in = layer_input.cols();
+                    let (dself, dmean) = dcat.split_cols(f_in);
+                    let mut dh = adj.norm.spmm_transpose(&dmean);
+                    // Self-path gradient lands on the first n_dst src rows.
+                    for r in 0..adj.n_dst {
+                        for (a, b) in dh.row_mut(r).iter_mut().zip(dself.row(r)) {
+                            *a += b;
+                        }
+                    }
+                    dh
+                }
+            };
+        }
+        StepStats {
+            loss,
+            accuracy: acc,
+            num_seeds: seeds.len(),
+        }
+    }
+
+    /// Flattens all gradients (layer order, `W` then `b`) into `out`.
+    pub fn grads_flat(&self, out: &mut Vec<f32>) {
+        out.clear();
+        for l in &self.layers {
+            out.extend_from_slice(l.dw.data());
+            out.extend_from_slice(&l.db);
+        }
+    }
+
+    /// Overwrites gradients from a flat buffer (inverse of
+    /// [`Gnn::grads_flat`]).
+    pub fn set_grads_flat(&mut self, flat: &[f32]) {
+        let mut at = 0usize;
+        for l in &mut self.layers {
+            let nw = l.dw.data().len();
+            l.dw.data_mut().copy_from_slice(&flat[at..at + nw]);
+            at += nw;
+            let nb = l.db.len();
+            l.db.copy_from_slice(&flat[at..at + nb]);
+            at += nb;
+        }
+        assert_eq!(at, flat.len(), "flat gradient length mismatch");
+    }
+
+    /// Flattens all parameters into `out` (same layout as gradients).
+    pub fn params_flat(&self, out: &mut Vec<f32>) {
+        out.clear();
+        for l in &self.layers {
+            out.extend_from_slice(l.w.data());
+            out.extend_from_slice(&l.b);
+        }
+    }
+
+    /// Overwrites parameters from a flat buffer.
+    pub fn set_params_flat(&mut self, flat: &[f32]) {
+        let mut at = 0usize;
+        for l in &mut self.layers {
+            let nw = l.w.data().len();
+            l.w.data_mut().copy_from_slice(&flat[at..at + nw]);
+            at += nw;
+            let nb = l.b.len();
+            l.b.copy_from_slice(&flat[at..at + nb]);
+            at += nb;
+        }
+        assert_eq!(at, flat.len(), "flat parameter length mismatch");
+    }
+
+    /// Layer dimensions `[in, hidden…, out]`.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+}
+
+fn spmm(a: &SparseMatrix, h: &Matrix, pool: Option<&ThreadPool>) -> Matrix {
+    match pool {
+        Some(p) if p.size() > 1 && a.rows() >= 64 => a.spmm_pool(h, p),
+        _ => a.spmm(h),
+    }
+}
+
+fn matmul(a: &Matrix, b: &Matrix, pool: Option<&ThreadPool>) -> Matrix {
+    match pool {
+        Some(p) if p.size() > 1 && a.rows() >= 64 => a.matmul_pool(b, p),
+        _ => a.matmul(b),
+    }
+}
+
+fn gather_features(feats: &Features, ids: &[u32]) -> Matrix {
+    let g = feats.gather(ids);
+    Matrix::from_vec(ids.len(), feats.dim(), g.data().to_vec())
+}
+
+fn take_rows(m: &Matrix, n: usize) -> Matrix {
+    let mut out = Matrix::zeros(n, m.cols());
+    for r in 0..n {
+        out.row_mut(r).copy_from_slice(m.row(r));
+    }
+    out
+}
+
+fn select_rows(m: &Matrix, rows: &[usize]) -> Matrix {
+    let mut out = Matrix::zeros(rows.len(), m.cols());
+    for (i, &r) in rows.iter().enumerate() {
+        out.row_mut(i).copy_from_slice(m.row(r));
+    }
+    out
+}
+
+fn scatter_rows(m: &Matrix, rows: &[usize], total: usize) -> Matrix {
+    let mut out = Matrix::zeros(total, m.cols());
+    for (i, &r) in rows.iter().enumerate() {
+        out.row_mut(r).copy_from_slice(m.row(i));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use argo_graph::datasets::FLICKR;
+    use argo_sample::{NeighborSampler, Sampler, ShadowSampler};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn tiny_dataset() -> argo_graph::Dataset {
+        FLICKR.synthesize(0.01, 11)
+    }
+
+    fn sample_blocks(d: &argo_graph::Dataset, n: usize, layers: usize) -> SampledBatch {
+        let s = NeighborSampler::new(vec![5; layers]);
+        let seeds: Vec<u32> = d.train_nodes.iter().copied().take(n).collect();
+        s.sample(&d.graph, &seeds, &mut SmallRng::seed_from_u64(3))
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let d = tiny_dataset();
+        let batch = sample_blocks(&d, 8, 2);
+        let model = Gnn::new(GnnKind::Sage, d.feat_dim(), 16, d.num_classes, 2, 1);
+        let logits = model.forward(&batch, &d.features, None);
+        assert_eq!(logits.rows(), 8);
+        assert_eq!(logits.cols(), d.num_classes);
+    }
+
+    #[test]
+    fn forward_shadow_shapes() {
+        let d = tiny_dataset();
+        let s = ShadowSampler::new(vec![5, 3], 2);
+        let seeds: Vec<u32> = d.train_nodes.iter().copied().take(6).collect();
+        let batch = s.sample(&d.graph, &seeds, &mut SmallRng::seed_from_u64(5));
+        let model = Gnn::new(GnnKind::Gcn, d.feat_dim(), 16, d.num_classes, 2, 2);
+        let logits = model.forward(&batch, &d.features, None);
+        assert_eq!(logits.rows(), 6);
+        assert_eq!(logits.cols(), d.num_classes);
+    }
+
+    #[test]
+    fn num_params_counts() {
+        let m = Gnn::new(GnnKind::Gcn, 10, 8, 3, 2, 1);
+        // L1: 10*8 + 8; L2: 8*3 + 3.
+        assert_eq!(m.num_params(), 80 + 8 + 24 + 3);
+        let s = Gnn::new(GnnKind::Sage, 10, 8, 3, 2, 1);
+        // SAGE doubles fan-in: 20*8+8 + 16*3+3.
+        assert_eq!(s.num_params(), 160 + 8 + 48 + 3);
+    }
+
+    #[test]
+    fn flat_roundtrip() {
+        let mut m = Gnn::new(GnnKind::Sage, 6, 4, 3, 2, 7);
+        let mut p = Vec::new();
+        m.params_flat(&mut p);
+        assert_eq!(p.len(), m.num_params());
+        let doubled: Vec<f32> = p.iter().map(|x| x * 2.0).collect();
+        m.set_params_flat(&doubled);
+        let mut p2 = Vec::new();
+        m.params_flat(&mut p2);
+        assert_eq!(p2, doubled);
+    }
+
+    #[test]
+    fn train_step_fills_grads() {
+        let d = tiny_dataset();
+        let batch = sample_blocks(&d, 16, 2);
+        let mut m = Gnn::new(GnnKind::Sage, d.feat_dim(), 16, d.num_classes, 2, 3);
+        let stats = m.train_step(&batch, &d.features, &d.labels, None);
+        assert!(stats.loss.is_finite() && stats.loss > 0.0);
+        assert_eq!(stats.num_seeds, 16);
+        let mut g = Vec::new();
+        m.grads_flat(&mut g);
+        assert_eq!(g.len(), m.num_params());
+        let nonzero = g.iter().filter(|x| **x != 0.0).count();
+        assert!(nonzero > g.len() / 4, "gradients mostly zero: {nonzero}/{}", g.len());
+    }
+
+    /// Finite-difference check of the full backward pass (the core
+    /// correctness test for manual backprop).
+    fn fd_check(kind: GnnKind, use_shadow: bool) {
+        let d = tiny_dataset();
+        let batch = if use_shadow {
+            let s = ShadowSampler::new(vec![4, 3], 2);
+            let seeds: Vec<u32> = d.train_nodes.iter().copied().take(5).collect();
+            s.sample(&d.graph, &seeds, &mut SmallRng::seed_from_u64(9))
+        } else {
+            sample_blocks(&d, 5, 2)
+        };
+        let mut m = Gnn::new(kind, d.feat_dim(), 6, d.num_classes, 2, 5);
+        m.train_step(&batch, &d.features, &d.labels, None);
+        let mut analytic = Vec::new();
+        m.grads_flat(&mut analytic);
+        let mut params = Vec::new();
+        m.params_flat(&mut params);
+        let seeds = batch.seeds();
+        let seed_labels: Vec<u32> = seeds.iter().map(|&v| d.labels[v as usize]).collect();
+        let loss_at = |m: &mut Gnn, p: &[f32]| -> f32 {
+            m.set_params_flat(p);
+            let logits = m.forward(&batch, &d.features, None);
+            softmax_cross_entropy(&logits, &seed_labels).0
+        };
+        let eps = 3e-3f32;
+        // Spot-check a spread of parameter coordinates.
+        let n = params.len();
+        for &i in &[0usize, n / 5, n / 3, n / 2, 2 * n / 3, n - 1] {
+            let mut p = params.clone();
+            p[i] += eps;
+            let lp = loss_at(&mut m, &p);
+            p[i] = params[i] - eps;
+            let lm = loss_at(&mut m, &p);
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - analytic[i]).abs() < 2e-2_f32.max(0.2 * fd.abs()),
+                "{kind:?} shadow={use_shadow} param {i}: fd {fd} vs analytic {}",
+                analytic[i]
+            );
+        }
+        m.set_params_flat(&params);
+    }
+
+    #[test]
+    fn backward_matches_finite_difference_gcn_blocks() {
+        fd_check(GnnKind::Gcn, false);
+    }
+
+    #[test]
+    fn backward_matches_finite_difference_sage_blocks() {
+        fd_check(GnnKind::Sage, false);
+    }
+
+    #[test]
+    fn backward_matches_finite_difference_gcn_shadow() {
+        fd_check(GnnKind::Gcn, true);
+    }
+
+    #[test]
+    fn backward_matches_finite_difference_sage_shadow() {
+        fd_check(GnnKind::Sage, true);
+    }
+
+    #[test]
+    fn pool_and_serial_forward_agree() {
+        let d = tiny_dataset();
+        let batch = sample_blocks(&d, 64, 2);
+        let model = Gnn::new(GnnKind::Sage, d.feat_dim(), 16, d.num_classes, 2, 1);
+        let a = model.forward(&batch, &d.features, None);
+        let pool = ThreadPool::new("t", 3);
+        let b = model.forward(&batch, &d.features, Some(&pool));
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let d = tiny_dataset();
+        let mut m = Gnn::new(GnnKind::Sage, d.feat_dim(), 16, d.num_classes, 2, 4);
+        let mut opt = crate::optim::Adam::new(m.num_params(), 0.01);
+        let mut first = None;
+        let mut last = 0.0;
+        for step in 0..30 {
+            let s = NeighborSampler::new(vec![5, 5]);
+            let seeds: Vec<u32> = d
+                .train_nodes
+                .iter()
+                .copied()
+                .skip((step * 32) % d.train_nodes.len().saturating_sub(32).max(1))
+                .take(32)
+                .collect();
+            let batch = s.sample(&d.graph, &seeds, &mut SmallRng::seed_from_u64(step as u64));
+            let stats = m.train_step(&batch, &d.features, &d.labels, None);
+            if first.is_none() {
+                first = Some(stats.loss);
+            }
+            last = stats.loss;
+            let mut g = Vec::new();
+            m.grads_flat(&mut g);
+            let mut p = Vec::new();
+            m.params_flat(&mut p);
+            crate::optim::Optimizer::step(&mut opt, &mut p, &g);
+            m.set_params_flat(&p);
+        }
+        assert!(
+            last < first.unwrap() * 0.7,
+            "loss {last} did not drop from {}",
+            first.unwrap()
+        );
+    }
+}

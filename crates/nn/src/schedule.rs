@@ -1,0 +1,108 @@
+//! Learning-rate schedules.
+//!
+//! A schedule maps the epoch index to an LR multiplier; the engine applies
+//! it identically on every DDP replica (the multiplier depends only on the
+//! epoch counter, so replicas stay synchronized).
+
+/// A learning-rate schedule.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LrSchedule {
+    /// Constant learning rate.
+    Constant,
+    /// Multiply by `gamma` every `every` epochs.
+    StepDecay {
+        /// Epoch period.
+        every: u64,
+        /// Decay factor in (0, 1].
+        gamma: f32,
+    },
+    /// Cosine annealing from 1 down to `floor` over `horizon` epochs, then
+    /// held at `floor`.
+    Cosine {
+        /// Annealing horizon in epochs.
+        horizon: u64,
+        /// Final multiplier in [0, 1].
+        floor: f32,
+    },
+    /// Linear warm-up from `start` to 1 over `epochs` epochs, constant after.
+    Warmup {
+        /// Warm-up length.
+        epochs: u64,
+        /// Initial multiplier in (0, 1].
+        start: f32,
+    },
+}
+
+impl LrSchedule {
+    /// LR multiplier at `epoch` (0-based).
+    pub fn multiplier(&self, epoch: u64) -> f32 {
+        match *self {
+            LrSchedule::Constant => 1.0,
+            LrSchedule::StepDecay { every, gamma } => {
+                assert!(every > 0 && gamma > 0.0 && gamma <= 1.0);
+                gamma.powi((epoch / every) as i32)
+            }
+            LrSchedule::Cosine { horizon, floor } => {
+                assert!(horizon > 0 && (0.0..=1.0).contains(&floor));
+                if epoch >= horizon {
+                    return floor;
+                }
+                let t = epoch as f32 / horizon as f32;
+                let cos = 0.5 * (1.0 + (std::f32::consts::PI * t).cos());
+                floor + (1.0 - floor) * cos
+            }
+            LrSchedule::Warmup { epochs, start } => {
+                assert!(epochs > 0 && start > 0.0 && start <= 1.0);
+                if epoch >= epochs {
+                    1.0
+                } else {
+                    start + (1.0 - start) * (epoch as f32 / epochs as f32)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_one() {
+        for e in [0u64, 10, 1000] {
+            assert_eq!(LrSchedule::Constant.multiplier(e), 1.0);
+        }
+    }
+
+    #[test]
+    fn step_decay_steps() {
+        let s = LrSchedule::StepDecay { every: 10, gamma: 0.5 };
+        assert_eq!(s.multiplier(0), 1.0);
+        assert_eq!(s.multiplier(9), 1.0);
+        assert_eq!(s.multiplier(10), 0.5);
+        assert_eq!(s.multiplier(25), 0.25);
+    }
+
+    #[test]
+    fn cosine_monotone_then_floor() {
+        let s = LrSchedule::Cosine { horizon: 100, floor: 0.1 };
+        assert!((s.multiplier(0) - 1.0).abs() < 1e-6);
+        let mut prev = 2.0f32;
+        for e in (0..100).step_by(10) {
+            let m = s.multiplier(e);
+            assert!(m <= prev + 1e-6, "not monotone at {e}");
+            prev = m;
+        }
+        assert!((s.multiplier(100) - 0.1).abs() < 1e-6);
+        assert!((s.multiplier(10_000) - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn warmup_ramps_to_one() {
+        let s = LrSchedule::Warmup { epochs: 4, start: 0.2 };
+        assert!((s.multiplier(0) - 0.2).abs() < 1e-6);
+        assert!(s.multiplier(2) > s.multiplier(1));
+        assert_eq!(s.multiplier(4), 1.0);
+        assert_eq!(s.multiplier(50), 1.0);
+    }
+}

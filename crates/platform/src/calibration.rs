@@ -1,0 +1,190 @@
+//! The paper's published evaluation numbers, as data.
+//!
+//! Tables IV/V report, per (platform, library, sampler-model, dataset), the
+//! epoch time of the exhaustive optimum and the default setup's normalized
+//! speed. These constants are the calibration targets of [`crate::perf`]
+//! and let tests and benches compute model-vs-paper ratios without
+//! hard-coding numbers in multiple places.
+
+use argo_graph::datasets::{DatasetSpec, FLICKR, OGBN_PAPERS100M, OGBN_PRODUCTS, REDDIT};
+
+use crate::library::Library;
+use crate::perf::{PerfModel, Setup};
+use crate::spec::{PlatformSpec, ICE_LAKE_8380H, SAPPHIRE_RAPIDS_6430L};
+use crate::workload::{ModelKind, SamplerKind};
+
+/// One row of Table IV/V.
+#[derive(Clone, Copy, Debug)]
+pub struct PaperRow {
+    /// Platform of the row.
+    pub platform: PlatformSpec,
+    /// Library (Table IV = DGL, Table V = PyG).
+    pub library: Library,
+    /// Sampler of the task.
+    pub sampler: SamplerKind,
+    /// Model of the task.
+    pub model: ModelKind,
+    /// Dataset of the task.
+    pub dataset: DatasetSpec,
+    /// Exhaustive-optimal epoch time in seconds (`None` where the paper
+    /// could not run the exhaustive search — PyG papers100M).
+    pub exhaustive_s: Option<f64>,
+    /// Default setup's speed normalized to the optimum (Table IV/V "(x)").
+    pub default_x: f64,
+    /// Auto-tuner's normalized speed.
+    pub autotuner_x: f64,
+}
+
+impl PaperRow {
+    /// The modeled setup for this row.
+    pub fn setup(&self) -> Setup {
+        Setup {
+            platform: self.platform,
+            library: self.library,
+            sampler: self.sampler,
+            model: self.model,
+            dataset: self.dataset,
+        }
+    }
+
+    /// Our model's optimal epoch time for this row.
+    pub fn modeled_optimal(&self) -> f64 {
+        PerfModel::new(self.setup())
+            .argo_best_epoch_time(self.platform.total_cores)
+            .1
+    }
+
+    /// Ratio modeled/paper for the exhaustive optimum (None when the paper
+    /// has no exhaustive number).
+    pub fn optimal_ratio(&self) -> Option<f64> {
+        self.exhaustive_s.map(|p| self.modeled_optimal() / p)
+    }
+}
+
+macro_rules! row {
+    ($plat:expr, $lib:expr, $samp:expr, $model:expr, $ds:expr, $ex:expr, $def:expr, $at:expr) => {
+        PaperRow {
+            platform: $plat,
+            library: $lib,
+            sampler: $samp,
+            model: $model,
+            dataset: $ds,
+            exhaustive_s: $ex,
+            default_x: $def,
+            autotuner_x: $at,
+        }
+    };
+}
+
+/// Table IV (DGL), all 16 rows in paper order.
+pub fn table4_dgl() -> Vec<PaperRow> {
+    use Library::Dgl as L;
+    use ModelKind::{Gcn, Sage};
+    use SamplerKind::{Neighbor as N, Shadow as S};
+    let il = ICE_LAKE_8380H;
+    let spr = SAPPHIRE_RAPIDS_6430L;
+    vec![
+        row!(il, L, N, Sage, FLICKR, Some(1.98), 0.93, 1.00),
+        row!(il, L, N, Sage, REDDIT, Some(13.83), 0.81, 0.97),
+        row!(il, L, N, Sage, OGBN_PRODUCTS, Some(11.19), 0.54, 0.96),
+        row!(il, L, N, Sage, OGBN_PAPERS100M, Some(115.4), 0.75, 0.99),
+        row!(il, L, S, Gcn, FLICKR, Some(1.34), 0.73, 0.96),
+        row!(il, L, S, Gcn, REDDIT, Some(32.68), 0.16, 0.93),
+        row!(il, L, S, Gcn, OGBN_PRODUCTS, Some(14.68), 0.29, 0.93),
+        row!(il, L, S, Gcn, OGBN_PAPERS100M, Some(107.8), 0.62, 0.97),
+        row!(spr, L, N, Sage, FLICKR, Some(1.81), 0.94, 0.96),
+        row!(spr, L, N, Sage, REDDIT, Some(11.25), 0.79, 1.00),
+        row!(spr, L, N, Sage, OGBN_PRODUCTS, Some(7.40), 0.48, 0.94),
+        row!(spr, L, N, Sage, OGBN_PAPERS100M, Some(41.48), 0.61, 0.99),
+        row!(spr, L, S, Gcn, FLICKR, Some(1.28), 0.73, 1.00),
+        row!(spr, L, S, Gcn, REDDIT, Some(32.12), 0.23, 0.96),
+        row!(spr, L, S, Gcn, OGBN_PRODUCTS, Some(11.42), 0.23, 0.90),
+        row!(spr, L, S, Gcn, OGBN_PAPERS100M, Some(54.56), 0.49, 0.96),
+    ]
+}
+
+/// Table V (PyG), all 16 rows in paper order.
+pub fn table5_pyg() -> Vec<PaperRow> {
+    use Library::Pyg as L;
+    use ModelKind::{Gcn, Sage};
+    use SamplerKind::{Neighbor as N, Shadow as S};
+    let il = ICE_LAKE_8380H;
+    let spr = SAPPHIRE_RAPIDS_6430L;
+    vec![
+        row!(il, L, N, Sage, FLICKR, Some(5.46), 1.00, 0.90),
+        row!(il, L, N, Sage, REDDIT, Some(41.83), 0.78, 1.00),
+        row!(il, L, N, Sage, OGBN_PRODUCTS, Some(161.4), 0.87, 0.97),
+        row!(il, L, N, Sage, OGBN_PAPERS100M, None, 0.82, 1.00),
+        row!(il, L, S, Gcn, FLICKR, Some(9.48), 0.33, 0.96),
+        row!(il, L, S, Gcn, REDDIT, Some(40.75), 0.23, 0.98),
+        row!(il, L, S, Gcn, OGBN_PRODUCTS, Some(71.94), 0.19, 0.99),
+        row!(il, L, S, Gcn, OGBN_PAPERS100M, None, 0.94, 1.00),
+        row!(spr, L, N, Sage, FLICKR, Some(5.67), 0.92, 0.97),
+        row!(spr, L, N, Sage, REDDIT, Some(47.36), 0.87, 1.00),
+        row!(spr, L, N, Sage, OGBN_PRODUCTS, Some(117.9), 0.76, 0.95),
+        row!(spr, L, N, Sage, OGBN_PAPERS100M, None, 0.87, 1.00),
+        row!(spr, L, S, Gcn, FLICKR, Some(8.49), 0.30, 1.00),
+        row!(spr, L, S, Gcn, REDDIT, Some(36.41), 0.21, 1.00),
+        row!(spr, L, S, Gcn, OGBN_PRODUCTS, Some(64.52), 0.20, 1.00),
+        row!(spr, L, S, Gcn, OGBN_PAPERS100M, None, 0.81, 1.00),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_rows_each() {
+        assert_eq!(table4_dgl().len(), 16);
+        assert_eq!(table5_pyg().len(), 16);
+    }
+
+    #[test]
+    fn paper_autotuner_is_at_least_90_percent_everywhere() {
+        // Sanity of the transcription: the paper's headline claim holds in
+        // its own table.
+        for r in table4_dgl().into_iter().chain(table5_pyg()) {
+            assert!(r.autotuner_x >= 0.90, "{:?}", r.dataset.name);
+            assert!(r.default_x <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn model_within_calibration_band_on_dgl() {
+        // Every DGL row's modeled optimum is within 0.2–5× of the paper —
+        // the repo-wide calibration contract (EXPERIMENTS.md).
+        for r in table4_dgl() {
+            let ratio = r.optimal_ratio().unwrap();
+            assert!(
+                (0.2..5.0).contains(&ratio),
+                "{} {}: ratio {ratio}",
+                r.library.name(),
+                r.dataset.name
+            );
+        }
+    }
+
+    #[test]
+    fn pyg_products_is_the_known_outlier() {
+        // Table V's PyG/products row is documented as the one cell our cost
+        // profile does not chase (EXPERIMENTS.md).
+        let rows = table5_pyg();
+        let products_il = &rows[2];
+        let ratio = products_il.optimal_ratio().unwrap();
+        assert!(ratio < 0.5, "outlier expected to stay under-modeled, got {ratio}");
+        // All other exhaustive PyG rows stay within the band.
+        for (i, r) in rows.iter().enumerate() {
+            if i == 2 || i == 10 {
+                continue; // the two PyG-products rows
+            }
+            if let Some(ratio) = r.optimal_ratio() {
+                assert!(
+                    (0.2..5.0).contains(&ratio),
+                    "row {i} {}: ratio {ratio}",
+                    r.dataset.name
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,407 @@
+//! Discrete-event simulation of the ARGO multi-process pipeline.
+//!
+//! The analytic [`crate::perf::PerfModel`] predicts epoch times with closed
+//! formulas; this module *executes* the schedule instead: per process, a
+//! pool of sampler workers produces batches into a bounded prefetch queue, a
+//! trainer drains it — each batch is a memory-bound **gather** on a
+//! processor-shared memory resource followed by a CPU-bound **compute** —
+//! and every iteration ends in a synchronous all-reduce barrier across
+//! processes. Exactly the Figure 2/4 structure, with queueing and
+//! contention emerging from the event dynamics rather than from formulas.
+//!
+//! Used to cross-validate the analytic model (see the `des_validation`
+//! bench) and to generate schedule traces at paper scale.
+
+use argo_rt::{Config, Stage, TraceEvent};
+
+use crate::perf::PerfModel;
+
+/// One memory job in the processor-shared memory resource.
+#[derive(Clone, Copy, Debug)]
+struct MemJob {
+    /// Remaining bytes to transfer.
+    remaining: f64,
+    /// Process waiting on this job.
+    process: usize,
+    /// When the job started (for tracing).
+    started: f64,
+}
+
+/// Per-process pipeline state.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum ProcState {
+    /// Waiting for a sampled batch of the current iteration.
+    AwaitBatch,
+    /// Gather in flight on the memory resource.
+    Gathering,
+    /// Compute phase running until the stored time.
+    Computing(f64),
+    /// Finished this iteration's work; waiting at the barrier.
+    AtBarrier,
+    /// All iterations done.
+    Done,
+}
+
+/// Result of one simulated epoch.
+#[derive(Clone, Debug)]
+pub struct SimOutcome {
+    /// Simulated epoch time in seconds.
+    pub epoch_time: f64,
+    /// Fraction of the epoch during which the memory resource was busy.
+    pub memory_busy_fraction: f64,
+    /// Mean number of concurrent memory jobs while busy.
+    pub mean_memory_concurrency: f64,
+    /// Schedule trace (sample/gather/compute/sync intervals per process).
+    pub trace: Vec<TraceEvent>,
+}
+
+/// Discrete-event simulator configured from the same task description as
+/// the analytic model.
+pub struct PipelineSim<'a> {
+    model: &'a PerfModel,
+    /// Cap on simulated iterations (the rest of the epoch is extrapolated —
+    /// the pipeline reaches steady state after a few iterations).
+    max_iterations: usize,
+    /// Prefetch queue depth per process.
+    prefetch: usize,
+}
+
+impl<'a> PipelineSim<'a> {
+    /// A simulator over the same setup as `model`.
+    pub fn new(model: &'a PerfModel) -> Self {
+        Self {
+            model,
+            max_iterations: 24,
+            prefetch: 3,
+        }
+    }
+
+    /// Sets the per-process prefetch depth.
+    pub fn with_prefetch(mut self, prefetch: usize) -> Self {
+        self.prefetch = prefetch.max(1);
+        self
+    }
+
+    /// Simulates one epoch under `config`.
+    pub fn simulate(&self, config: Config) -> SimOutcome {
+        let m = self.model;
+        let setup = m.setup();
+        let w = setup.workload();
+        let iters_total = w.iterations_per_epoch().round().max(1.0) as usize;
+        let iters = iters_total.min(self.max_iterations);
+        let p = config.n_proc;
+
+        // Per-batch (per-process, per-iteration) primitive durations derived
+        // from the same calibrated quantities the analytic model uses.
+        let sample_batch = m.sampling_time(config); // already per process
+        let gather_bytes_total = {
+            // gather_time() = bytes / achievable_bw → recover bytes.
+            m.gather_time(config) * m.achievable_bandwidth(config) * 1e9
+        };
+        let gather_bytes = gather_bytes_total / p as f64;
+        let bw = m.achievable_bandwidth(config) * 1e9; // bytes/s, aggregate
+        let compute_batch = m.compute_time(config); // per process
+        let sync_cost = setup.library.profile().sync_cost_per_proc * p as f64;
+
+        // Event-driven state.
+        let mut now = 0.0f64;
+        let mut trace: Vec<TraceEvent> = Vec::new();
+        // Sampler: per process, count of batches ready and the completion
+        // time of the batch currently being produced (single logical
+        // sampler whose rate already includes the worker parallelism).
+        let mut ready: Vec<usize> = vec![1; p]; // first batch pre-sampled at t=0 cost
+        let mut sampler_busy_until: Vec<Option<f64>> = (0..p)
+            .map(|_| Some(sample_batch)) // producing batch #2
+            .collect();
+        let mut sampled_count: Vec<usize> = vec![2; p]; // 1 ready + 1 in flight
+        let mut state: Vec<ProcState> = vec![ProcState::AwaitBatch; p];
+        let mut iter_done: Vec<usize> = vec![0; p];
+        let mut mem_jobs: Vec<MemJob> = Vec::new();
+        let mut mem_busy_time = 0.0f64;
+        let mut mem_conc_integral = 0.0f64;
+
+        let advance_memory = |jobs: &mut Vec<MemJob>, dt: f64| {
+            if jobs.is_empty() || dt <= 0.0 {
+                return;
+            }
+            let rate_each = bw / jobs.len() as f64;
+            for j in jobs.iter_mut() {
+                j.remaining -= rate_each * dt;
+            }
+        };
+
+        let mut guard = 0usize;
+        loop {
+            guard += 1;
+            assert!(
+                guard < 1_000_000,
+                "DES livelock: now={now}, states={state:?}, ready={ready:?}, sampler={sampler_busy_until:?}, mem_jobs={}, iter_done={iter_done:?}",
+                mem_jobs.len()
+            );
+            // Dispatch ready work first: processes awaiting a batch start
+            // their gather as soon as one is queued (also covers t = 0 and
+            // post-barrier release).
+            for rank in 0..p {
+                if state[rank] == ProcState::AwaitBatch && ready[rank] > 0 {
+                    ready[rank] -= 1;
+                    if sampler_busy_until[rank].is_none() && sampled_count[rank] < iters {
+                        sampler_busy_until[rank] = Some(now + sample_batch);
+                        sampled_count[rank] += 1;
+                    }
+                    mem_jobs.push(MemJob {
+                        remaining: gather_bytes,
+                        process: rank,
+                        started: now,
+                    });
+                    state[rank] = ProcState::Gathering;
+                }
+            }
+            // Barrier: when every live process arrived, apply the sync cost
+            // and release them into the next iteration.
+            if state.iter().all(|s| matches!(s, ProcState::AtBarrier | ProcState::Done))
+                && state.contains(&ProcState::AtBarrier)
+            {
+                let sync_end = now + sync_cost;
+                for rank in 0..p {
+                    if state[rank] == ProcState::AtBarrier {
+                        trace.push(TraceEvent {
+                            process: rank,
+                            stage: Stage::Sync,
+                            start: now,
+                            end: sync_end,
+                        });
+                        iter_done[rank] += 1;
+                        state[rank] = if iter_done[rank] >= iters {
+                            ProcState::Done
+                        } else {
+                            ProcState::AwaitBatch
+                        };
+                    }
+                }
+                now = sync_end;
+                continue; // released processes dispatch at the loop top
+            }
+            if state.iter().all(|s| *s == ProcState::Done) {
+                break;
+            }
+            // Next event time: sampler completions, memory completions,
+            // compute completions.
+            let mut t_next = f64::INFINITY;
+            for b in sampler_busy_until.iter().flatten() {
+                t_next = t_next.min(*b);
+            }
+            if !mem_jobs.is_empty() {
+                let rate_each = bw / mem_jobs.len() as f64;
+                for j in &mem_jobs {
+                    t_next = t_next.min(now + j.remaining.max(0.0) / rate_each);
+                }
+            }
+            for s in &state {
+                if let ProcState::Computing(t) = s {
+                    t_next = t_next.min(*t);
+                }
+            }
+            assert!(
+                t_next.is_finite(),
+                "deadlock: no pending events (states {state:?})"
+            );
+            // Advance time and shared resources.
+            let dt = (t_next - now).max(0.0);
+            if !mem_jobs.is_empty() {
+                mem_busy_time += dt;
+                mem_conc_integral += dt * mem_jobs.len() as f64;
+            }
+            advance_memory(&mut mem_jobs, dt);
+            now = t_next;
+
+            // Sampler completions → batch ready, maybe start the next one.
+            for rank in 0..p {
+                if let Some(t) = sampler_busy_until[rank] {
+                    if t <= now + 1e-15 {
+                        ready[rank] += 1;
+                        trace.push(TraceEvent {
+                            process: rank,
+                            stage: Stage::Sample,
+                            start: t - sample_batch,
+                            end: t,
+                        });
+                        if sampled_count[rank] < iters && ready[rank] < self.prefetch {
+                            sampler_busy_until[rank] = Some(now + sample_batch);
+                            sampled_count[rank] += 1;
+                        } else {
+                            sampler_busy_until[rank] = None;
+                        }
+                    }
+                }
+            }
+            // Memory completions → enter compute.
+            let mut finished: Vec<usize> = Vec::new();
+            mem_jobs.retain(|j| {
+                // Completion threshold of one byte: at memory-system rates
+                // that is ~1e-11 s of error, while a bytes-scale epsilon
+                // can strand a job whose remaining time underflows f64
+                // (now + 1e-17 == now), livelocking the simulation.
+                if j.remaining <= 1.0 {
+                    finished.push(j.process);
+                    trace.push(TraceEvent {
+                        process: j.process,
+                        stage: Stage::Gather,
+                        start: j.started,
+                        end: now,
+                    });
+                    false
+                } else {
+                    true
+                }
+            });
+            for rank in finished {
+                state[rank] = ProcState::Computing(now + compute_batch);
+            }
+            // Compute completions → barrier.
+            #[allow(clippy::needless_range_loop)] // `state[rank]` is also written
+            for rank in 0..p {
+                if let ProcState::Computing(t) = state[rank] {
+                    if t <= now + 1e-15 {
+                        trace.push(TraceEvent {
+                            process: rank,
+                            stage: Stage::Compute,
+                            start: t - compute_batch,
+                            end: t,
+                        });
+                        state[rank] = ProcState::AtBarrier;
+                    }
+                }
+            }
+        }
+
+        // Extrapolate the simulated steady-state iteration time to the full
+        // epoch, then add the per-epoch launch/partition overheads that the
+        // analytic model also charges.
+        let per_iter = now / iters as f64;
+        let overheads = {
+            // epoch_time = iters_total·iteration_time + overheads ⇒ recover.
+            let analytic = m.epoch_time(config);
+            analytic - w.iterations_per_epoch() * m.iteration_time(config)
+        };
+        let epoch_time = per_iter * iters_total as f64 + overheads.max(0.0);
+        SimOutcome {
+            epoch_time,
+            memory_busy_fraction: (mem_busy_time / now).clamp(0.0, 1.0),
+            mean_memory_concurrency: if mem_busy_time > 0.0 {
+                mem_conc_integral / mem_busy_time
+            } else {
+                0.0
+            },
+            trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::Library;
+    use crate::perf::Setup;
+    use crate::spec::ICE_LAKE_8380H;
+    use crate::workload::{ModelKind, SamplerKind};
+    use argo_graph::datasets::{OGBN_PRODUCTS, REDDIT};
+    use argo_rt::enumerate_space;
+
+    fn model(sampler: SamplerKind, mk: ModelKind, ds: argo_graph::DatasetSpec) -> PerfModel {
+        PerfModel::new(Setup {
+            platform: ICE_LAKE_8380H,
+            library: Library::Dgl,
+            sampler,
+            model: mk,
+            dataset: ds,
+        })
+    }
+
+    #[test]
+    fn simulation_terminates_and_is_positive() {
+        let m = model(SamplerKind::Neighbor, ModelKind::Sage, OGBN_PRODUCTS);
+        let sim = PipelineSim::new(&m);
+        for cfg in enumerate_space(112).iter().step_by(61) {
+            let out = sim.simulate(*cfg);
+            assert!(out.epoch_time.is_finite() && out.epoch_time > 0.0, "{cfg}");
+            assert!((0.0..=1.0).contains(&out.memory_busy_fraction));
+        }
+    }
+
+    #[test]
+    fn trace_contains_all_stages_for_all_processes() {
+        let m = model(SamplerKind::Neighbor, ModelKind::Sage, REDDIT);
+        let cfg = Config::new(4, 2, 6);
+        let out = PipelineSim::new(&m).simulate(cfg);
+        for rank in 0..4 {
+            for stage in [Stage::Sample, Stage::Gather, Stage::Compute, Stage::Sync] {
+                assert!(
+                    out.trace.iter().any(|e| e.process == rank && e.stage == stage),
+                    "missing {stage:?} for process {rank}"
+                );
+            }
+        }
+        // Intervals are well-formed.
+        assert!(out.trace.iter().all(|e| e.end >= e.start - 1e-12));
+    }
+
+    #[test]
+    fn des_correlates_with_analytic_model() {
+        // The executable schedule and the closed-form model must tell the
+        // same story: strongly correlated epoch times over the space, and
+        // the analytic optimum lands near the DES optimum.
+        let m = model(SamplerKind::Neighbor, ModelKind::Sage, OGBN_PRODUCTS);
+        let sim = PipelineSim::new(&m);
+        let configs: Vec<Config> = enumerate_space(112).into_iter().step_by(17).collect();
+        let analytic: Vec<f64> = configs.iter().map(|&c| m.epoch_time(c).ln()).collect();
+        let des: Vec<f64> = configs.iter().map(|&c| sim.simulate(c).epoch_time.ln()).collect();
+        let n = configs.len() as f64;
+        let (ma, md) = (
+            analytic.iter().sum::<f64>() / n,
+            des.iter().sum::<f64>() / n,
+        );
+        let cov: f64 = analytic
+            .iter()
+            .zip(&des)
+            .map(|(a, d)| (a - ma) * (d - md))
+            .sum();
+        let va: f64 = analytic.iter().map(|a| (a - ma).powi(2)).sum();
+        let vd: f64 = des.iter().map(|d| (d - md).powi(2)).sum();
+        let r = cov / (va.sqrt() * vd.sqrt()).max(1e-12);
+        assert!(r > 0.8, "analytic/DES correlation too weak: {r}");
+
+        let best_analytic = configs
+            .iter()
+            .zip(&analytic)
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        let des_at_analytic_best = sim.simulate(*best_analytic).epoch_time;
+        let des_min = des.iter().copied().fold(f64::INFINITY, f64::min).exp();
+        assert!(
+            des_at_analytic_best <= des_min * 1.3,
+            "analytic optimum is poor under DES: {des_at_analytic_best} vs {des_min}"
+        );
+    }
+
+    #[test]
+    fn memory_concurrency_grows_with_processes() {
+        let m = model(SamplerKind::Neighbor, ModelKind::Sage, REDDIT);
+        let sim = PipelineSim::new(&m);
+        let c2 = sim.simulate(Config::new(2, 1, 6)).mean_memory_concurrency;
+        let c8 = sim.simulate(Config::new(8, 1, 6)).mean_memory_concurrency;
+        assert!(
+            c8 > c2,
+            "more processes should overlap more gathers: {c2} vs {c8}"
+        );
+    }
+
+    #[test]
+    fn deeper_prefetch_never_slows_the_pipeline() {
+        let m = model(SamplerKind::Shadow, ModelKind::Gcn, REDDIT);
+        let cfg = Config::new(4, 1, 6);
+        let shallow = PipelineSim::new(&m).with_prefetch(1).simulate(cfg).epoch_time;
+        let deep = PipelineSim::new(&m).with_prefetch(4).simulate(cfg).epoch_time;
+        assert!(deep <= shallow * 1.001, "prefetch 4 ({deep}) vs 1 ({shallow})");
+    }
+}

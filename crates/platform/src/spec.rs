@@ -1,0 +1,133 @@
+//! Platform specifications (paper Table II).
+
+/// A multi-core CPU platform.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PlatformSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Number of sockets.
+    pub sockets: usize,
+    /// Total physical cores.
+    pub total_cores: usize,
+    /// Base frequency in GHz.
+    pub freq_ghz: f64,
+    /// Last-level cache in MB (aggregate).
+    pub llc_mb: f64,
+    /// Memory size in GB.
+    pub memory_gb: f64,
+    /// Peak memory bandwidth in GB/s (aggregate across sockets).
+    pub peak_bw_gbs: f64,
+    /// Fraction of the peak bandwidth that survives cross-socket (UPI)
+    /// traffic. The paper's profiling found >50% of accesses remote on the
+    /// 4-socket Ice Lake, capping useful bandwidth (Section IX).
+    pub numa_bw_factor: f64,
+    /// Achievable streaming bandwidth of a single core in GB/s (how many
+    /// cores it takes to saturate the memory system).
+    pub per_core_bw_gbs: f64,
+    /// Relative single-core speed on the GNN software stack (IPC ×
+    /// effective frequency, normalized to the Ice Lake 8380H). Sapphire
+    /// Rapids clocks lower but its Golden Cove cores + DDR5 run this
+    /// workload faster per core (Tables IV/V).
+    pub core_speed_factor: f64,
+}
+
+/// Intel Xeon 8380H, 4 sockets × 28 cores (paper Table II).
+pub const ICE_LAKE_8380H: PlatformSpec = PlatformSpec {
+    name: "Intel Ice Lake Xeon 8380H",
+    sockets: 4,
+    total_cores: 112,
+    freq_ghz: 2.9,
+    llc_mb: 154.0,
+    memory_gb: 384.0,
+    peak_bw_gbs: 275.0,
+    numa_bw_factor: 0.68,
+    per_core_bw_gbs: 11.0,
+    core_speed_factor: 1.0,
+};
+
+/// Intel Xeon 6430L, 2 sockets × 32 cores (paper Table II).
+pub const SAPPHIRE_RAPIDS_6430L: PlatformSpec = PlatformSpec {
+    name: "Intel Sapphire Rapids Xeon 6430L",
+    sockets: 2,
+    total_cores: 64,
+    freq_ghz: 2.1,
+    llc_mb: 120.0,
+    memory_gb: 1024.0,
+    peak_bw_gbs: 563.0,
+    numa_bw_factor: 0.85,
+    per_core_bw_gbs: 14.0,
+    core_speed_factor: 1.12,
+};
+
+impl PlatformSpec {
+    /// Cores per socket.
+    pub fn cores_per_socket(&self) -> usize {
+        self.total_cores / self.sockets
+    }
+
+    /// Usable aggregate bandwidth once the NUMA penalty is applied.
+    pub fn effective_bw_gbs(&self) -> f64 {
+        self.peak_bw_gbs * self.numa_bw_factor
+    }
+
+    /// A spec describing the *host* this process runs on (core count and a
+    /// conservative generic bandwidth estimate) — used when ARGO runs in
+    /// measured mode on real hardware.
+    pub fn detect_host() -> PlatformSpec {
+        let cores = argo_rt::num_available_cores();
+        PlatformSpec {
+            name: "host",
+            sockets: 1,
+            total_cores: cores,
+            freq_ghz: 2.5,
+            llc_mb: 32.0,
+            memory_gb: 16.0,
+            peak_bw_gbs: 25.0 * (cores as f64).min(4.0),
+            numa_bw_factor: 1.0,
+            per_core_bw_gbs: 12.0,
+            core_speed_factor: 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_values_verbatim() {
+        assert_eq!(ICE_LAKE_8380H.sockets, 4);
+        assert_eq!(ICE_LAKE_8380H.total_cores, 112);
+        assert!((ICE_LAKE_8380H.freq_ghz - 2.9).abs() < 1e-9);
+        assert!((ICE_LAKE_8380H.llc_mb - 154.0).abs() < 1e-9);
+        assert!((ICE_LAKE_8380H.memory_gb - 384.0).abs() < 1e-9);
+        assert!((ICE_LAKE_8380H.peak_bw_gbs - 275.0).abs() < 1e-9);
+        assert_eq!(SAPPHIRE_RAPIDS_6430L.sockets, 2);
+        assert_eq!(SAPPHIRE_RAPIDS_6430L.total_cores, 64);
+        assert!((SAPPHIRE_RAPIDS_6430L.freq_ghz - 2.1).abs() < 1e-9);
+        assert!((SAPPHIRE_RAPIDS_6430L.peak_bw_gbs - 563.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cores_per_socket() {
+        assert_eq!(ICE_LAKE_8380H.cores_per_socket(), 28);
+        assert_eq!(SAPPHIRE_RAPIDS_6430L.cores_per_socket(), 32);
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // intentional paper-value checks
+    fn spr_has_more_bandwidth_but_fewer_cores() {
+        // The platform contrast the paper exploits.
+        assert!(SAPPHIRE_RAPIDS_6430L.peak_bw_gbs > ICE_LAKE_8380H.peak_bw_gbs);
+        assert!(SAPPHIRE_RAPIDS_6430L.total_cores < ICE_LAKE_8380H.total_cores);
+        // 4-socket NUMA penalty is harsher.
+        assert!(ICE_LAKE_8380H.numa_bw_factor < SAPPHIRE_RAPIDS_6430L.numa_bw_factor);
+    }
+
+    #[test]
+    fn host_detection_is_sane() {
+        let h = PlatformSpec::detect_host();
+        assert!(h.total_cores >= 1);
+        assert!(h.peak_bw_gbs > 0.0);
+    }
+}

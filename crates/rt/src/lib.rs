@@ -1,0 +1,34 @@
+//! # argo-rt — runtime substrate for ARGO
+//!
+//! Low-level parallel-runtime primitives that every other ARGO crate builds
+//! on:
+//!
+//! * [`ThreadPool`] — a fixed-size worker pool whose threads can be *pinned*
+//!   to explicit CPU cores. ARGO's contribution is deciding how many cores
+//!   serve the sampling stage vs. the model-propagation stage of each GNN
+//!   training process, so unlike rayon's global pool, every pool here is
+//!   created with an explicit [`CoreSet`].
+//! * [`CoreBinder`] / [`CoreSet`] — the Rust equivalent of the paper's
+//!   `taskset` usage (Section IV-B3): plans a partition of the machine's
+//!   cores across processes and stages, and (on Linux) applies it with
+//!   `sched_setaffinity`.
+//! * [`allreduce`] — the synchronous gradient all-reduce used by the
+//!   Multi-Process Engine to emulate PyTorch DDP (Section IV-B2).
+//! * [`trace`] — a lightweight event recorder used to regenerate the paper's
+//!   Figure 2 time-traces.
+//! * [`rng`] — deterministic seed fan-out so that multi-process runs are
+//!   reproducible and semantics tests can compare runs bit-for-bit.
+
+pub mod affinity;
+pub mod allreduce;
+pub mod config;
+pub mod pool;
+pub mod rng;
+pub mod trace;
+
+pub use affinity::{bind_current_thread, num_available_cores, CoreBinder, CoreSet, StageBinding};
+pub use config::{enumerate_space, Config};
+pub use allreduce::AllReduce;
+pub use pool::ThreadPool;
+pub use rng::SeedSequence;
+pub use trace::{Stage, TraceEvent, TraceRecorder};

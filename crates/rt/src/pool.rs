@@ -1,0 +1,316 @@
+//! A fixed-size worker pool with explicit core pinning.
+//!
+//! ARGO separates the cores that run mini-batch sampling from the cores that
+//! run model propagation (paper Section IV), so a global work-stealing pool
+//! is the wrong abstraction: each stage of each process owns its own
+//! [`ThreadPool`] built over an explicit [`CoreSet`].
+//!
+//! The pool supports `'static` task submission ([`ThreadPool::execute`]) and
+//! scoped data-parallel loops ([`ThreadPool::parallel_for`] /
+//! [`ThreadPool::parallel_chunks_mut`]) that block until every worker
+//! finished, which makes borrowing local data sound.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Condvar, Mutex};
+
+use crate::affinity::{bind_current_thread, CoreSet};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Completion {
+    remaining: AtomicUsize,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl Completion {
+    fn new(n: usize) -> Self {
+        Self {
+            remaining: AtomicUsize::new(n),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn finish_one(&self) {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _g = self.lock.lock();
+            self.cv.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut g = self.lock.lock();
+        while self.remaining.load(Ordering::Acquire) != 0 {
+            self.cv.wait(&mut g);
+        }
+    }
+}
+
+/// A pool of worker threads pinned to a fixed core set.
+pub struct ThreadPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    size: usize,
+}
+
+impl ThreadPool {
+    /// Creates a pool with one worker per core in `cores`, each pinned to its
+    /// core (when the OS supports it and the core exists on the host).
+    pub fn pinned(name: &str, cores: &CoreSet) -> Self {
+        assert!(!cores.is_empty(), "pool needs at least one core");
+        Self::build(name, cores.len(), Some(cores.clone()))
+    }
+
+    /// Creates an unpinned pool with `size` workers.
+    pub fn new(name: &str, size: usize) -> Self {
+        assert!(size > 0, "pool needs at least one worker");
+        Self::build(name, size, None)
+    }
+
+    fn build(name: &str, size: usize, cores: Option<CoreSet>) -> Self {
+        let (sender, receiver) = unbounded::<Job>();
+        let mut workers = Vec::with_capacity(size);
+        for i in 0..size {
+            let rx = receiver.clone();
+            let pin = cores
+                .as_ref()
+                .map(|cs| CoreSet::new(vec![cs.ids()[i % cs.len()]]));
+            let handle = std::thread::Builder::new()
+                .name(format!("{name}-{i}"))
+                .spawn(move || {
+                    if let Some(cs) = pin {
+                        let _ = bind_current_thread(&cs);
+                    }
+                    while let Ok(job) = rx.recv() {
+                        job();
+                    }
+                })
+                .expect("spawn pool worker");
+            workers.push(handle);
+        }
+        Self {
+            sender: Some(sender),
+            workers,
+            size,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Submits a fire-and-forget task.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.sender
+            .as_ref()
+            .expect("pool alive")
+            .send(Box::new(job))
+            .expect("pool workers alive");
+    }
+
+    /// Runs `f(i)` for every `i in 0..n`, distributing contiguous chunks over
+    /// the workers, and blocks until all iterations are complete.
+    ///
+    /// `f` may borrow from the caller's stack: the call does not return until
+    /// every worker has finished, which keeps the (internally `unsafe`)
+    /// lifetime extension sound.
+    pub fn parallel_for<F>(&self, n: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        self.parallel_ranges(n, |range| {
+            for i in range {
+                f(i);
+            }
+        });
+    }
+
+    /// Runs `f(range)` over a partition of `0..n` into roughly equal
+    /// contiguous ranges, one batch per worker. Blocks until done.
+    pub fn parallel_ranges<F>(&self, n: usize, f: F)
+    where
+        F: Fn(std::ops::Range<usize>) + Sync,
+    {
+        if n == 0 {
+            return;
+        }
+        let tasks = self.size.min(n);
+        if tasks == 1 {
+            f(0..n);
+            return;
+        }
+        let completion = Arc::new(Completion::new(tasks));
+        // SAFETY: we block on `completion.wait()` before returning, so the
+        // borrowed closure outlives every worker's use of it.
+        let f_static: &(dyn Fn(std::ops::Range<usize>) + Sync) = &f;
+        let f_static: &'static (dyn Fn(std::ops::Range<usize>) + Sync) =
+            unsafe { std::mem::transmute(f_static) };
+        let chunk = n.div_ceil(tasks);
+        for t in 0..tasks {
+            let start = t * chunk;
+            let end = ((t + 1) * chunk).min(n);
+            if start >= end {
+                completion.finish_one();
+                continue;
+            }
+            let completion = Arc::clone(&completion);
+            self.execute(move || {
+                f_static(start..end);
+                completion.finish_one();
+            });
+        }
+        completion.wait();
+    }
+
+    /// Splits `data` into `self.size()` contiguous chunks and passes each
+    /// `(chunk_index, chunk)` to `f` on a worker. Blocks until done.
+    pub fn parallel_chunks_mut<T, F>(&self, data: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        let n = data.len();
+        if n == 0 {
+            return;
+        }
+        let tasks = self.size.min(n);
+        if tasks == 1 {
+            f(0, data);
+            return;
+        }
+        // `parallel_ranges` partitions 0..n into chunks of exactly this size,
+        // so the ranges it hands out are precisely the chunks we want.
+        let chunk = n.div_ceil(tasks);
+        let base = data.as_mut_ptr() as usize;
+        self.parallel_ranges(n, move |range| {
+            let idx = range.start / chunk;
+            // SAFETY: ranges from `parallel_ranges` are disjoint sub-ranges
+            // of 0..n, so each reconstructed slice is a disjoint `&mut` view
+            // into `data`, which outlives this blocking call.
+            let slice = unsafe {
+                std::slice::from_raw_parts_mut((base as *mut T).add(range.start), range.len())
+            };
+            f(idx, slice);
+        });
+    }
+
+    /// Maps `f` over `0..n` in parallel and sums the results.
+    pub fn parallel_sum<F>(&self, n: usize, f: F) -> f64
+    where
+        F: Fn(usize) -> f64 + Sync,
+    {
+        let partials = Mutex::new(0.0f64);
+        self.parallel_ranges(n, |range| {
+            let mut local = 0.0;
+            for i in range {
+                local += f(i);
+            }
+            *partials.lock() += local;
+        });
+        partials.into_inner()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        drop(self.sender.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn parallel_for_visits_every_index_once() {
+        let pool = ThreadPool::new("t", 4);
+        let hits: Vec<AtomicU64> = (0..1000).map(|_| AtomicU64::new(0)).collect();
+        pool.parallel_for(1000, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_for_empty_is_noop() {
+        let pool = ThreadPool::new("t", 2);
+        pool.parallel_for(0, |_| panic!("must not run"));
+    }
+
+    #[test]
+    fn parallel_sum_matches_serial() {
+        let pool = ThreadPool::new("t", 3);
+        let s = pool.parallel_sum(100, |i| i as f64);
+        assert_eq!(s, (0..100).sum::<usize>() as f64);
+    }
+
+    #[test]
+    fn parallel_chunks_mut_covers_all() {
+        let pool = ThreadPool::new("t", 4);
+        let mut v = vec![0u32; 137];
+        pool.parallel_chunks_mut(&mut v, |_, chunk| {
+            for x in chunk {
+                *x += 1;
+            }
+        });
+        assert!(v.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn parallel_chunks_mut_chunk_indices_are_offsets() {
+        let pool = ThreadPool::new("t", 4);
+        let mut v = vec![0usize; 64];
+        let chunk = 64usize.div_ceil(4);
+        pool.parallel_chunks_mut(&mut v, |idx, c| {
+            for (j, x) in c.iter_mut().enumerate() {
+                *x = idx * chunk + j;
+            }
+        });
+        let expect: Vec<usize> = (0..64).collect();
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn pinned_pool_runs() {
+        let cores = CoreSet::range(0, 2);
+        let pool = ThreadPool::pinned("p", &cores);
+        assert_eq!(pool.size(), 2);
+        let s = pool.parallel_sum(10, |i| i as f64);
+        assert_eq!(s, 45.0);
+    }
+
+    #[test]
+    fn execute_runs_detached_jobs() {
+        let pool = ThreadPool::new("t", 2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..16 {
+            let c = Arc::clone(&counter);
+            pool.execute(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool); // join workers
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn borrowing_local_data_is_sound() {
+        let pool = ThreadPool::new("t", 4);
+        let data: Vec<u64> = (0..512).collect();
+        let total = Mutex::new(0u64);
+        pool.parallel_ranges(data.len(), |r| {
+            let local: u64 = data[r].iter().sum();
+            *total.lock() += local;
+        });
+        assert_eq!(total.into_inner(), (0..512u64).sum::<u64>());
+    }
+}

@@ -1,0 +1,275 @@
+//! Execution-trace recording for Figure 2 style time-lines.
+//!
+//! The paper motivates multi-processing with a time-trace (Figure 2) showing
+//! that memory-intensive phases (e.g. `aten::index_select` feature gathering)
+//! of one process overlap with compute-intensive phases of another.
+//! [`TraceRecorder`] collects `(process, stage, start, end)` intervals with
+//! negligible overhead so benches can print the same kind of time-line.
+
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// The pipeline stage an interval belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Mini-batch subgraph sampling (graph traversal; latency bound).
+    Sample,
+    /// Feature gathering / `index_select` (memory-bandwidth bound).
+    Gather,
+    /// Forward + backward propagation (compute bound).
+    Compute,
+    /// Gradient synchronization across processes (communication).
+    Sync,
+}
+
+impl Stage {
+    /// Short label used in printed traces.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Stage::Sample => "sample",
+            Stage::Gather => "gather",
+            Stage::Compute => "compute",
+            Stage::Sync => "sync",
+        }
+    }
+}
+
+/// One recorded interval.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceEvent {
+    /// Emitting process rank.
+    pub process: usize,
+    /// Pipeline stage.
+    pub stage: Stage,
+    /// Interval start, seconds since recorder creation.
+    pub start: f64,
+    /// Interval end, seconds since recorder creation.
+    pub end: f64,
+}
+
+/// Thread-safe interval recorder.
+pub struct TraceRecorder {
+    origin: Instant,
+    events: Mutex<Vec<TraceEvent>>,
+    enabled: bool,
+}
+
+impl TraceRecorder {
+    /// An active recorder.
+    pub fn new() -> Self {
+        Self {
+            origin: Instant::now(),
+            events: Mutex::new(Vec::new()),
+            enabled: true,
+        }
+    }
+
+    /// A recorder that drops all events (zero overhead in hot loops).
+    pub fn disabled() -> Self {
+        Self {
+            origin: Instant::now(),
+            events: Mutex::new(Vec::new()),
+            enabled: false,
+        }
+    }
+
+    /// Whether events are being kept.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Seconds since the recorder was created.
+    pub fn now(&self) -> f64 {
+        self.origin.elapsed().as_secs_f64()
+    }
+
+    /// Records an interval for `process`/`stage` spanning `[start, end]`
+    /// (both in recorder time, see [`TraceRecorder::now`]).
+    pub fn record(&self, process: usize, stage: Stage, start: f64, end: f64) {
+        if !self.enabled {
+            return;
+        }
+        self.events.lock().push(TraceEvent {
+            process,
+            stage,
+            start,
+            end,
+        });
+    }
+
+    /// Times `f` and records it as one interval.
+    pub fn timed<T>(&self, process: usize, stage: Stage, f: impl FnOnce() -> T) -> T {
+        if !self.enabled {
+            return f();
+        }
+        let start = self.now();
+        let out = f();
+        let end = self.now();
+        self.record(process, stage, start, end);
+        out
+    }
+
+    /// Snapshot of all events, sorted by start time.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut v = self.events.lock().clone();
+        v.sort_by(|a, b| a.start.total_cmp(&b.start));
+        v
+    }
+
+    /// Total time spent in `stage` by `process`.
+    pub fn stage_time(&self, process: usize, stage: Stage) -> f64 {
+        self.events
+            .lock()
+            .iter()
+            .filter(|e| e.process == process && e.stage == stage)
+            .map(|e| e.end - e.start)
+            .sum()
+    }
+
+    /// Fraction of `[0, horizon]` during which at least one process was in a
+    /// memory-bound stage ([`Stage::Gather`] or [`Stage::Sample`]) *while*
+    /// another was in [`Stage::Compute`] — the overlap the paper's Figure 2
+    /// illustrates. Returns 0 when fewer than two processes traced.
+    pub fn overlap_fraction(&self, horizon: f64) -> f64 {
+        if horizon <= 0.0 {
+            return 0.0;
+        }
+        let events = self.events.lock();
+        const BINS: usize = 2048;
+        let mut mem = vec![false; BINS];
+        let mut cpu = vec![false; BINS];
+        let mut procs = std::collections::HashSet::new();
+        for e in events.iter() {
+            procs.insert(e.process);
+            let lo = ((e.start / horizon) * BINS as f64).floor().max(0.0) as usize;
+            let hi = (((e.end / horizon) * BINS as f64).ceil() as usize).min(BINS);
+            let target = match e.stage {
+                Stage::Gather | Stage::Sample => &mut mem,
+                Stage::Compute => &mut cpu,
+                Stage::Sync => continue,
+            };
+            for b in target.iter_mut().take(hi).skip(lo) {
+                *b = true;
+            }
+        }
+        if procs.len() < 2 {
+            return 0.0;
+        }
+        let both = mem.iter().zip(cpu.iter()).filter(|(m, c)| **m && **c).count();
+        both as f64 / BINS as f64
+    }
+}
+
+impl TraceRecorder {
+    /// Serializes the events as a Chrome tracing JSON array
+    /// (`chrome://tracing` / Perfetto "complete" events, one track per
+    /// process), so real Figure-2 traces can be inspected visually.
+    pub fn to_chrome_json(&self) -> String {
+        let events = self.events();
+        let mut out = String::with_capacity(events.len() * 96 + 2);
+        out.push('[');
+        for (i, e) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            // Times in microseconds, as the format requires.
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{:.1},\"dur\":{:.1},\"pid\":0,\"tid\":{}}}",
+                e.stage.label(),
+                e.start * 1e6,
+                (e.end - e.start).max(0.0) * 1e6,
+                e.process
+            ));
+        }
+        out.push(']');
+        out
+    }
+}
+
+impl Default for TraceRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_sorts() {
+        let t = TraceRecorder::new();
+        t.record(0, Stage::Compute, 0.5, 0.9);
+        t.record(1, Stage::Gather, 0.1, 0.4);
+        let ev = t.events();
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[0].process, 1);
+        assert!(ev[0].start < ev[1].start);
+    }
+
+    #[test]
+    fn disabled_drops_events() {
+        let t = TraceRecorder::disabled();
+        t.record(0, Stage::Sync, 0.0, 1.0);
+        let out = t.timed(0, Stage::Compute, || 42);
+        assert_eq!(out, 42);
+        assert!(t.events().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn stage_time_sums_intervals() {
+        let t = TraceRecorder::new();
+        t.record(0, Stage::Sample, 0.0, 0.25);
+        t.record(0, Stage::Sample, 0.5, 0.75);
+        t.record(0, Stage::Compute, 0.25, 0.5);
+        t.record(1, Stage::Sample, 0.0, 1.0);
+        assert!((t.stage_time(0, Stage::Sample) - 0.5).abs() < 1e-12);
+        assert!((t.stage_time(0, Stage::Compute) - 0.25).abs() < 1e-12);
+        assert!((t.stage_time(1, Stage::Sample) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_detects_interleaving() {
+        let t = TraceRecorder::new();
+        // Process 0 gathers 0..0.5 while process 1 computes 0..0.5.
+        t.record(0, Stage::Gather, 0.0, 0.5);
+        t.record(1, Stage::Compute, 0.0, 0.5);
+        let f = t.overlap_fraction(1.0);
+        assert!(f > 0.45 && f <= 0.55, "overlap {f}");
+    }
+
+    #[test]
+    fn overlap_zero_for_single_process() {
+        let t = TraceRecorder::new();
+        t.record(0, Stage::Gather, 0.0, 0.5);
+        t.record(0, Stage::Compute, 0.5, 1.0);
+        assert_eq!(t.overlap_fraction(1.0), 0.0);
+    }
+
+    #[test]
+    fn chrome_json_shape() {
+        let t = TraceRecorder::new();
+        t.record(0, Stage::Gather, 0.001, 0.002);
+        t.record(1, Stage::Compute, 0.002, 0.004);
+        let json = t.to_chrome_json();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 2);
+        assert!(json.contains("\"name\":\"gather\""));
+        assert!(json.contains("\"tid\":1"));
+        // µs conversion: 0.001s -> 1000µs.
+        assert!(json.contains("\"ts\":1000.0"));
+        // Empty recorder gives an empty array.
+        assert_eq!(TraceRecorder::new().to_chrome_json(), "[]");
+    }
+
+    #[test]
+    fn timed_measures_nonnegative() {
+        let t = TraceRecorder::new();
+        t.timed(0, Stage::Compute, || std::thread::sleep(std::time::Duration::from_millis(1)));
+        let ev = t.events();
+        assert_eq!(ev.len(), 1);
+        assert!(ev[0].end >= ev[0].start);
+    }
+}

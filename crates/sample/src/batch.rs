@@ -1,0 +1,266 @@
+//! Sampled mini-batch structures.
+
+use argo_graph::NodeId;
+use argo_tensor::SparseMatrix;
+
+/// One bipartite message-passing layer of a sampled mini-batch
+/// (DGL calls this a *block*).
+///
+/// Rows of `adj` are the `dst_nodes` (outputs of this layer), columns are the
+/// `src_nodes` (inputs). By construction `src_nodes` starts with a copy of
+/// `dst_nodes`, so a layer can read its own previous-layer embedding at row
+/// `i` from source position `i` (needed by GraphSAGE's concat, Eq. 2).
+#[derive(Clone, Debug)]
+pub struct Block {
+    /// Global ids of input nodes; the first `dst_nodes.len()` entries equal
+    /// `dst_nodes`.
+    pub src_nodes: Vec<NodeId>,
+    /// Global ids of output nodes.
+    pub dst_nodes: Vec<NodeId>,
+    /// Sampled adjacency: `dst_nodes.len() x src_nodes.len()`, no values.
+    pub adj: SparseMatrix,
+    /// Global (full-graph) degree of each dst node — GCN normalization.
+    pub dst_degree: Vec<f32>,
+    /// Global degree of each src node.
+    pub src_degree: Vec<f32>,
+}
+
+impl Block {
+    /// Row-mean normalization: value `1/k_i` for each of the `k_i` sampled
+    /// in-edges of dst `i` (GraphSAGE mean aggregator).
+    pub fn mean_normalized(&self) -> SparseMatrix {
+        let indptr = self.adj.indptr();
+        let mut values = vec![0.0f32; self.adj.nnz()];
+        for i in 0..self.adj.rows() {
+            let (lo, hi) = (indptr[i], indptr[i + 1]);
+            if hi > lo {
+                let inv = 1.0 / (hi - lo) as f32;
+                for v in &mut values[lo..hi] {
+                    *v = inv;
+                }
+            }
+        }
+        self.adj.with_values(values)
+    }
+
+    /// Symmetric GCN normalization: value `1/sqrt(D(v)·D(u))` using *global*
+    /// degrees (Eq. 1).
+    pub fn gcn_normalized(&self) -> SparseMatrix {
+        let indptr = self.adj.indptr();
+        let indices = self.adj.indices();
+        let mut values = vec![0.0f32; self.adj.nnz()];
+        for i in 0..self.adj.rows() {
+            let dv = self.dst_degree[i].max(1.0);
+            for k in indptr[i]..indptr[i + 1] {
+                let du = self.src_degree[indices[k] as usize].max(1.0);
+                values[k] = 1.0 / (dv * du).sqrt();
+            }
+        }
+        self.adj.with_values(values)
+    }
+
+    /// Number of sampled edges in this block.
+    pub fn num_edges(&self) -> usize {
+        self.adj.nnz()
+    }
+}
+
+/// A layered mini-batch from neighbor sampling.
+///
+/// `blocks[0]` is the *input-side* layer: its `src_nodes` are the nodes whose
+/// raw features must be gathered. `blocks.last()` has `dst_nodes == seeds`.
+#[derive(Clone, Debug)]
+pub struct MiniBatch {
+    /// Target (output) nodes of this batch.
+    pub seeds: Vec<NodeId>,
+    /// Blocks ordered input layer → output layer.
+    pub blocks: Vec<Block>,
+}
+
+impl MiniBatch {
+    /// Nodes whose input features are needed.
+    pub fn input_nodes(&self) -> &[NodeId] {
+        &self.blocks[0].src_nodes
+    }
+
+    /// Total sampled edges across all layers — the paper's workload proxy
+    /// ("the number of aggregations performed is proportional to the number
+    /// of edges", Section V-A1).
+    pub fn total_edges(&self) -> usize {
+        self.blocks.iter().map(Block::num_edges).sum()
+    }
+}
+
+/// A ShaDow-style batch: one induced localized subgraph shared by all GNN
+/// layers; outputs are read at `seed_positions`.
+#[derive(Clone, Debug)]
+pub struct SubgraphBatch {
+    /// Global ids of subgraph nodes (features gathered for all of them).
+    pub nodes: Vec<NodeId>,
+    /// Square relabeled adjacency over `nodes` (no values).
+    pub adj: SparseMatrix,
+    /// Positions of the seeds within `nodes`.
+    pub seed_positions: Vec<usize>,
+    /// Global degree of each subgraph node.
+    pub degree: Vec<f32>,
+}
+
+impl SubgraphBatch {
+    /// Row-mean normalization over the induced subgraph.
+    pub fn mean_normalized(&self) -> SparseMatrix {
+        let indptr = self.adj.indptr();
+        let mut values = vec![0.0f32; self.adj.nnz()];
+        for i in 0..self.adj.rows() {
+            let (lo, hi) = (indptr[i], indptr[i + 1]);
+            if hi > lo {
+                let inv = 1.0 / (hi - lo) as f32;
+                for v in &mut values[lo..hi] {
+                    *v = inv;
+                }
+            }
+        }
+        self.adj.with_values(values)
+    }
+
+    /// Symmetric GCN normalization using global degrees.
+    pub fn gcn_normalized(&self) -> SparseMatrix {
+        let indptr = self.adj.indptr();
+        let indices = self.adj.indices();
+        let mut values = vec![0.0f32; self.adj.nnz()];
+        for i in 0..self.adj.rows() {
+            let dv = self.degree[i].max(1.0);
+            for k in indptr[i]..indptr[i + 1] {
+                let du = self.degree[indices[k] as usize].max(1.0);
+                values[k] = 1.0 / (dv * du).sqrt();
+            }
+        }
+        self.adj.with_values(values)
+    }
+}
+
+/// Either shape of sampled batch.
+#[derive(Clone, Debug)]
+pub enum SampledBatch {
+    /// Layered bipartite blocks (neighbor sampling).
+    Blocks(MiniBatch),
+    /// One induced subgraph (ShaDow sampling).
+    Subgraph(SubgraphBatch),
+}
+
+impl SampledBatch {
+    /// Target nodes of the batch.
+    pub fn seeds(&self) -> Vec<NodeId> {
+        match self {
+            SampledBatch::Blocks(mb) => mb.seeds.clone(),
+            SampledBatch::Subgraph(sb) => {
+                sb.seed_positions.iter().map(|&p| sb.nodes[p]).collect()
+            }
+        }
+    }
+
+    /// Nodes whose raw features must be gathered.
+    pub fn input_nodes(&self) -> &[NodeId] {
+        match self {
+            SampledBatch::Blocks(mb) => mb.input_nodes(),
+            SampledBatch::Subgraph(sb) => &sb.nodes,
+        }
+    }
+
+    /// Total edges processed by one forward pass (workload proxy). For
+    /// ShaDow the subgraph adjacency is traversed once per layer.
+    pub fn total_edges(&self, num_layers: usize) -> usize {
+        match self {
+            SampledBatch::Blocks(mb) => mb.total_edges(),
+            SampledBatch::Subgraph(sb) => sb.adj.nnz() * num_layers,
+        }
+    }
+
+    /// Number of seed (target) nodes.
+    pub fn num_seeds(&self) -> usize {
+        match self {
+            SampledBatch::Blocks(mb) => mb.seeds.len(),
+            SampledBatch::Subgraph(sb) => sb.seed_positions.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block() -> Block {
+        // 2 dst, 3 src; dst0 <- {src0, src2}, dst1 <- {src1}
+        Block {
+            src_nodes: vec![10, 11, 12],
+            dst_nodes: vec![10, 11],
+            adj: SparseMatrix::new(2, 3, vec![0, 2, 3], vec![0, 2, 1], None),
+            dst_degree: vec![4.0, 9.0],
+            src_degree: vec![4.0, 9.0, 1.0],
+        }
+    }
+
+    #[test]
+    fn mean_normalization_rows_sum_to_one() {
+        let b = block();
+        let m = b.mean_normalized();
+        let vals = m.values().unwrap();
+        assert_eq!(vals, &[0.5, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn gcn_normalization_uses_global_degrees() {
+        let b = block();
+        let g = b.gcn_normalized();
+        let vals = g.values().unwrap();
+        // dst0 (deg 4) <- src0 (deg 4): 1/sqrt(16) = 0.25
+        assert!((vals[0] - 0.25).abs() < 1e-6);
+        // dst0 (deg 4) <- src2 (deg 1): 1/sqrt(4) = 0.5
+        assert!((vals[1] - 0.5).abs() < 1e-6);
+        // dst1 (deg 9) <- src1 (deg 9): 1/9
+        assert!((vals[2] - 1.0 / 9.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn minibatch_accessors() {
+        let b0 = block();
+        let b1 = block();
+        let mb = MiniBatch {
+            seeds: vec![10, 11],
+            blocks: vec![b0, b1],
+        };
+        assert_eq!(mb.input_nodes(), &[10, 11, 12]);
+        assert_eq!(mb.total_edges(), 6);
+        let sb = SampledBatch::Blocks(mb);
+        assert_eq!(sb.seeds(), vec![10, 11]);
+        assert_eq!(sb.num_seeds(), 2);
+        assert_eq!(sb.total_edges(3), 6);
+    }
+
+    #[test]
+    fn subgraph_batch_accessors() {
+        let sb = SubgraphBatch {
+            nodes: vec![5, 6, 7],
+            adj: SparseMatrix::new(3, 3, vec![0, 1, 2, 2], vec![1, 0], None),
+            seed_positions: vec![0],
+            degree: vec![1.0, 1.0, 0.0],
+        };
+        let s = SampledBatch::Subgraph(sb);
+        assert_eq!(s.seeds(), vec![5]);
+        assert_eq!(s.input_nodes(), &[5, 6, 7]);
+        assert_eq!(s.total_edges(3), 6); // 2 edges × 3 layers
+    }
+
+    #[test]
+    fn subgraph_mean_norm_handles_empty_rows() {
+        let sb = SubgraphBatch {
+            nodes: vec![1, 2],
+            adj: SparseMatrix::new(2, 2, vec![0, 1, 1], vec![1], None),
+            seed_positions: vec![0, 1],
+            degree: vec![3.0, 3.0],
+        };
+        let m = sb.mean_normalized();
+        assert_eq!(m.values().unwrap(), &[1.0]);
+        let g = sb.gcn_normalized();
+        assert!((g.values().unwrap()[0] - 1.0 / 3.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,51 @@
+//! # argo-sample — mini-batch GNN samplers and the pipelined data loader
+//!
+//! Implements the two representative sampling algorithms the paper evaluates
+//! (Section II-B):
+//!
+//! * [`NeighborSampler`] — layer-wise neighbor sampling with per-layer
+//!   fanouts (the paper uses `[15, 10, 5]` for a 3-layer model);
+//! * [`ShadowSampler`] — ShaDow-GNN style: build a localized subgraph around
+//!   each seed (fanouts `[10, 5]`), then run *all* GNN layers inside it.
+//!
+//! Sampled batches come in two shapes ([`SampledBatch`]): a stack of
+//! bipartite [`Block`]s (neighbor sampling) or one induced subgraph
+//! ([`SubgraphBatch`], ShaDow). Both carry everything the model needs:
+//! relabeled CSR adjacency, global input-node ids for feature gathering, and
+//! degree information for GCN/SAGE normalization.
+//!
+//! [`loader::PipelinedLoader`] overlaps sampling with training — the
+//! optimization whose core allocation ARGO auto-tunes — by prefetching
+//! batches on dedicated sampler threads (bound to the *sampling cores*)
+//! while the training cores consume them **in deterministic order**.
+
+pub mod batch;
+pub mod cluster;
+pub mod loader;
+pub mod neighbor;
+pub mod saint;
+pub mod shadow;
+pub mod stats;
+
+pub use batch::{Block, MiniBatch, SampledBatch, SubgraphBatch};
+pub use cluster::{full_graph_batch, ClusterGcnSampler};
+pub use loader::PipelinedLoader;
+pub use neighbor::NeighborSampler;
+pub use saint::SaintRwSampler;
+pub use shadow::ShadowSampler;
+pub use stats::{batch_workload, WorkloadStats};
+
+use argo_graph::{Graph, NodeId};
+use rand::rngs::SmallRng;
+
+/// A mini-batch subgraph sampler.
+pub trait Sampler: Send + Sync {
+    /// Samples the computation structure for `seeds`.
+    fn sample(&self, graph: &Graph, seeds: &[NodeId], rng: &mut SmallRng) -> SampledBatch;
+
+    /// Human-readable name ("Neighbor", "ShaDow").
+    fn name(&self) -> &'static str;
+
+    /// Number of GNN layers this sampler prepares batches for.
+    fn num_layers(&self) -> usize;
+}

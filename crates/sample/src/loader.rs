@@ -1,0 +1,280 @@
+//! Pipelined mini-batch loading: sampling overlapped with training.
+//!
+//! State-of-the-art GNN libraries overlap mini-batch sampling with model
+//! propagation (paper Section V-A2); ARGO's auto-tuner decides how many
+//! cores each side gets. [`PipelinedLoader`] implements the sampling side:
+//! `n_samp` sampler threads (bound to the process's *sampling cores*)
+//! prefetch batches into a bounded channel while the training thread
+//! consumes them **in deterministic batch order** — batch `i` of epoch `e`
+//! is always drawn from RNG seed `seed_for(e, i)` regardless of which worker
+//! produced it, so pipelining never perturbs training semantics.
+
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use argo_graph::{Graph, NodeId};
+use argo_rt::affinity::{bind_current_thread, CoreSet};
+use argo_rt::SeedSequence;
+use crossbeam::channel::{bounded, Receiver};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::batch::SampledBatch;
+use crate::Sampler;
+
+struct Indexed {
+    index: usize,
+    batch: SampledBatch,
+}
+
+impl PartialEq for Indexed {
+    fn eq(&self, other: &Self) -> bool {
+        self.index == other.index
+    }
+}
+impl Eq for Indexed {}
+impl PartialOrd for Indexed {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Indexed {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.index.cmp(&self.index) // min-heap on index
+    }
+}
+
+/// Prefetching mini-batch loader. Iterate it to receive
+/// `(batch_index, SampledBatch)` in index order.
+pub struct PipelinedLoader {
+    rx: Receiver<Indexed>,
+    reorder: BinaryHeap<Indexed>,
+    next: usize,
+    total: usize,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl PipelinedLoader {
+    /// Starts `n_samp` sampler threads producing all batches of one epoch.
+    ///
+    /// * `seeds` — this process's training targets (already partitioned).
+    /// * `batch_size` — local batch size (global batch / number of
+    ///   processes, per the Multi-Process Engine).
+    /// * `epoch_seeds` — the [`SeedSequence`] child for this process;
+    ///   batch `i` of epoch `epoch` uses `epoch_seeds.seed_for(epoch, i)`.
+    /// * `cores` — sampling cores to bind the workers to (empty = unbound).
+    /// * `prefetch` — channel capacity (bounds memory).
+    #[allow(clippy::too_many_arguments)]
+    pub fn start(
+        graph: Arc<Graph>,
+        sampler: Arc<dyn Sampler>,
+        seeds: Arc<Vec<NodeId>>,
+        batch_size: usize,
+        epoch: u64,
+        epoch_seeds: SeedSequence,
+        n_samp: usize,
+        cores: CoreSet,
+        prefetch: usize,
+    ) -> Self {
+        assert!(batch_size > 0 && n_samp > 0);
+        let total = seeds.len().div_ceil(batch_size);
+        let (tx, rx) = bounded::<Indexed>(prefetch.max(1));
+        let cursor = Arc::new(AtomicUsize::new(0));
+        let mut workers = Vec::with_capacity(n_samp);
+        for w in 0..n_samp {
+            let graph = Arc::clone(&graph);
+            let sampler = Arc::clone(&sampler);
+            let seeds = Arc::clone(&seeds);
+            let cursor = Arc::clone(&cursor);
+            let tx = tx.clone();
+            let my_core = if cores.is_empty() {
+                None
+            } else {
+                Some(CoreSet::new(vec![cores.ids()[w % cores.len()]]))
+            };
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("argo-sampler-{w}"))
+                    .spawn(move || {
+                        if let Some(c) = &my_core {
+                            let _ = bind_current_thread(c);
+                        }
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= total {
+                                break;
+                            }
+                            let lo = i * batch_size;
+                            let hi = ((i + 1) * batch_size).min(seeds.len());
+                            let mut rng =
+                                SmallRng::seed_from_u64(epoch_seeds.seed_for(epoch, i as u64));
+                            let batch = sampler.sample(&graph, &seeds[lo..hi], &mut rng);
+                            if tx.send(Indexed { index: i, batch }).is_err() {
+                                break; // consumer dropped
+                            }
+                        }
+                    })
+                    .expect("spawn sampler"),
+            );
+        }
+        Self {
+            rx,
+            reorder: BinaryHeap::new(),
+            next: 0,
+            total,
+            workers,
+        }
+    }
+
+    /// Number of batches this epoch will produce.
+    pub fn num_batches(&self) -> usize {
+        self.total
+    }
+}
+
+impl Iterator for PipelinedLoader {
+    type Item = (usize, SampledBatch);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next >= self.total {
+            return None;
+        }
+        loop {
+            if let Some(top) = self.reorder.peek() {
+                if top.index == self.next {
+                    let item = self.reorder.pop().unwrap();
+                    self.next += 1;
+                    return Some((item.index, item.batch));
+                }
+            }
+            match self.rx.recv() {
+                Ok(item) => self.reorder.push(item),
+                Err(_) => return None, // workers gone with batches missing
+            }
+        }
+    }
+}
+
+impl Drop for PipelinedLoader {
+    fn drop(&mut self) {
+        // Unblock producers waiting on a full channel, then join.
+        while self.rx.try_recv().is_ok() {}
+        drop(std::mem::replace(&mut self.rx, bounded(1).1));
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::neighbor::NeighborSampler;
+    use argo_graph::generators::power_law;
+
+    fn setup() -> (Arc<Graph>, Arc<dyn Sampler>, Arc<Vec<NodeId>>) {
+        let g = Arc::new(power_law(500, 5000, 0.8, 1));
+        let s: Arc<dyn Sampler> = Arc::new(NeighborSampler::new(vec![5, 3]));
+        let seeds: Arc<Vec<NodeId>> = Arc::new((0..100).collect());
+        (g, s, seeds)
+    }
+
+    #[test]
+    fn yields_all_batches_in_order() {
+        let (g, s, seeds) = setup();
+        let loader = PipelinedLoader::start(
+            g,
+            s,
+            seeds,
+            16,
+            0,
+            SeedSequence::new(42),
+            3,
+            CoreSet::default(),
+            4,
+        );
+        assert_eq!(loader.num_batches(), 7);
+        let idxs: Vec<usize> = loader.map(|(i, _)| i).collect();
+        assert_eq!(idxs, vec![0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn batch_content_independent_of_worker_count() {
+        let (g, s, seeds) = setup();
+        let run = |n_samp: usize| -> Vec<Vec<NodeId>> {
+            PipelinedLoader::start(
+                Arc::clone(&g),
+                Arc::clone(&s),
+                Arc::clone(&seeds),
+                10,
+                3,
+                SeedSequence::new(7),
+                n_samp,
+                CoreSet::default(),
+                2,
+            )
+            .map(|(_, b)| b.input_nodes().to_vec())
+            .collect()
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn last_batch_is_short() {
+        let (g, s, _) = setup();
+        let seeds: Arc<Vec<NodeId>> = Arc::new((0..25).collect());
+        let loader = PipelinedLoader::start(
+            g,
+            s,
+            seeds,
+            10,
+            0,
+            SeedSequence::new(1),
+            2,
+            CoreSet::default(),
+            2,
+        );
+        let sizes: Vec<usize> = loader.map(|(_, b)| b.num_seeds()).collect();
+        assert_eq!(sizes, vec![10, 10, 5]);
+    }
+
+    #[test]
+    fn early_drop_does_not_hang() {
+        let (g, s, seeds) = setup();
+        let mut loader = PipelinedLoader::start(
+            g,
+            s,
+            seeds,
+            4,
+            0,
+            SeedSequence::new(5),
+            2,
+            CoreSet::default(),
+            1,
+        );
+        let _ = loader.next();
+        drop(loader); // must join cleanly even with batches unconsumed
+    }
+
+    #[test]
+    fn different_epochs_differ() {
+        let (g, s, seeds) = setup();
+        let collect = |epoch: u64| -> Vec<Vec<NodeId>> {
+            PipelinedLoader::start(
+                Arc::clone(&g),
+                Arc::clone(&s),
+                Arc::clone(&seeds),
+                10,
+                epoch,
+                SeedSequence::new(7),
+                2,
+                CoreSet::default(),
+                2,
+            )
+            .map(|(_, b)| b.input_nodes().to_vec())
+            .collect()
+        };
+        assert_ne!(collect(0), collect(1));
+    }
+}

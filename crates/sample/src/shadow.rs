@@ -1,0 +1,215 @@
+//! ShaDow-GNN sampling (Zeng et al. 2021; paper Section II-B).
+//!
+//! For every mini-batch, a localized subgraph is built by sampling `L'` hops
+//! around the seeds (the paper uses fanouts `[10, 5]`); the GNN then runs all
+//! of its layers *inside* that subgraph, decoupling model depth from
+//! receptive-field scope and avoiding neighbor explosion.
+
+use argo_graph::{Graph, NodeId};
+use argo_tensor::SparseMatrix;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::batch::{SampledBatch, SubgraphBatch};
+use crate::Sampler;
+
+/// ShaDow sampler: localized-subgraph fanouts plus the number of GNN layers
+/// that will run on the subgraph.
+#[derive(Clone, Debug)]
+pub struct ShadowSampler {
+    fanouts: Vec<usize>,
+    num_layers: usize,
+}
+
+impl ShadowSampler {
+    /// `fanouts` bound the per-hop expansion of the localized subgraph;
+    /// `num_layers` is the depth of the GNN that will run on it.
+    pub fn new(fanouts: Vec<usize>, num_layers: usize) -> Self {
+        assert!(!fanouts.is_empty() && fanouts.iter().all(|&f| f > 0));
+        assert!(num_layers > 0);
+        Self { fanouts, num_layers }
+    }
+
+    /// The paper's configuration: localized fanouts `[10, 5]` under a
+    /// 3-layer model.
+    pub fn paper_default() -> Self {
+        Self::new(vec![10, 5], 3)
+    }
+
+    /// The configured fanouts.
+    pub fn fanouts(&self) -> &[usize] {
+        &self.fanouts
+    }
+}
+
+impl Sampler for ShadowSampler {
+    fn sample(&self, graph: &Graph, seeds: &[NodeId], rng: &mut SmallRng) -> SampledBatch {
+        // Hop-limited randomized BFS from all seeds at once; dedup keeps the
+        // union of the localized subgraphs, seeds first.
+        let mut nodes: Vec<NodeId> = seeds.to_vec();
+        let mut local: std::collections::HashMap<NodeId, u32> =
+            std::collections::HashMap::with_capacity(seeds.len() * 8);
+        for (i, &v) in seeds.iter().enumerate() {
+            assert!(
+                local.insert(v, i as u32).is_none(),
+                "duplicate seed {v} in ShaDow batch"
+            );
+        }
+        let mut frontier: Vec<NodeId> = seeds.to_vec();
+        let mut scratch: Vec<NodeId> = Vec::new();
+        for &fanout in &self.fanouts {
+            let mut next: Vec<NodeId> = Vec::new();
+            for &v in &frontier {
+                let neigh = graph.neighbors(v);
+                let take = fanout.min(neigh.len());
+                if neigh.len() <= fanout {
+                    scratch.clear();
+                    scratch.extend_from_slice(neigh);
+                } else {
+                    scratch.clear();
+                    scratch.extend_from_slice(neigh);
+                    for i in 0..take {
+                        let j = rng.gen_range(i..scratch.len());
+                        scratch.swap(i, j);
+                    }
+                    scratch.truncate(take);
+                }
+                for &u in scratch.iter().take(take) {
+                    if let std::collections::hash_map::Entry::Vacant(e) = local.entry(u) {
+                        e.insert(nodes.len() as u32);
+                        nodes.push(u);
+                        next.push(u);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        // Induced adjacency over the collected nodes, relabeled.
+        let n = nodes.len();
+        let mut indptr = Vec::with_capacity(n + 1);
+        indptr.push(0usize);
+        let mut indices: Vec<u32> = Vec::new();
+        for &v in &nodes {
+            let mut row: Vec<u32> = graph
+                .neighbors(v)
+                .iter()
+                .filter_map(|u| local.get(u).copied())
+                .collect();
+            row.sort_unstable();
+            indices.extend_from_slice(&row);
+            indptr.push(indices.len());
+        }
+        let adj = SparseMatrix::new(n, n, indptr, indices, None);
+        let degree = nodes.iter().map(|&v| graph.degree(v) as f32).collect();
+        SampledBatch::Subgraph(SubgraphBatch {
+            seed_positions: (0..seeds.len()).collect(),
+            nodes,
+            adj,
+            degree,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "ShaDow"
+    }
+
+    fn num_layers(&self) -> usize {
+        self.num_layers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use argo_graph::generators::power_law;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    fn subgraph(batch: SampledBatch) -> SubgraphBatch {
+        match batch {
+            SampledBatch::Subgraph(sb) => sb,
+            _ => panic!("expected subgraph"),
+        }
+    }
+
+    #[test]
+    fn seeds_lead_the_node_list() {
+        let g = power_law(300, 3000, 0.8, 1);
+        let s = ShadowSampler::paper_default();
+        let sb = subgraph(s.sample(&g, &[7, 8, 9], &mut rng(2)));
+        assert_eq!(&sb.nodes[..3], &[7, 8, 9]);
+        assert_eq!(sb.seed_positions, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn subgraph_edges_exist_in_parent() {
+        let g = power_law(300, 3000, 0.8, 3);
+        let s = ShadowSampler::new(vec![5, 3], 2);
+        let sb = subgraph(s.sample(&g, &[1, 2], &mut rng(4)));
+        for i in 0..sb.adj.rows() {
+            let v = sb.nodes[i];
+            for k in sb.adj.indptr()[i]..sb.adj.indptr()[i + 1] {
+                let u = sb.nodes[sb.adj.indices()[k] as usize];
+                assert!(g.has_edge(v, u));
+            }
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_is_symmetric() {
+        // Parent graph is undirected, so the induced adjacency must be too.
+        let g = power_law(300, 3000, 0.8, 5);
+        let s = ShadowSampler::paper_default();
+        let sb = subgraph(s.sample(&g, &[0, 10, 20], &mut rng(6)));
+        let dense = sb.adj.to_dense();
+        for i in 0..dense.rows() {
+            for j in 0..dense.cols() {
+                assert_eq!(dense.get(i, j), dense.get(j, i), "asym at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn growth_is_bounded_by_fanouts() {
+        let g = power_law(2000, 40000, 0.7, 7);
+        let seeds: Vec<NodeId> = (0..8).collect();
+        let s = ShadowSampler::new(vec![10, 5], 3);
+        let sb = subgraph(s.sample(&g, &seeds, &mut rng(8)));
+        // Upper bound: seeds * (1 + 10 + 10*5).
+        assert!(sb.nodes.len() <= 8 * 61, "grew to {}", sb.nodes.len());
+        assert!(sb.nodes.len() >= 8);
+    }
+
+    #[test]
+    fn deterministic_in_rng() {
+        let g = power_law(500, 5000, 0.8, 9);
+        let s = ShadowSampler::paper_default();
+        let a = subgraph(s.sample(&g, &[3, 4], &mut rng(11)));
+        let b = subgraph(s.sample(&g, &[3, 4], &mut rng(11)));
+        assert_eq!(a.nodes, b.nodes);
+        assert_eq!(a.adj.indices(), b.adj.indices());
+    }
+
+    #[test]
+    fn no_duplicate_nodes() {
+        let g = power_law(500, 5000, 0.8, 10);
+        let s = ShadowSampler::paper_default();
+        let sb = subgraph(s.sample(&g, &(0..20).collect::<Vec<_>>(), &mut rng(12)));
+        let mut ids = sb.nodes.clone();
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), before);
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_seeds_panic() {
+        let g = power_law(100, 500, 0.8, 13);
+        let s = ShadowSampler::paper_default();
+        s.sample(&g, &[1, 1], &mut rng(1));
+    }
+}

@@ -1,0 +1,342 @@
+//! Dense row-major matrix and GEMM kernels.
+
+use argo_rt::ThreadPool;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Dense `rows x cols` matrix of `f32`, row-major.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Wraps existing data (`data.len() == rows * cols`).
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Xavier/Glorot-uniform initialization, deterministic in `seed`.
+    pub fn xavier(rows: usize, cols: usize, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let bound = (6.0 / (rows + cols) as f32).sqrt();
+        let data = (0..rows * cols).map(|_| rng.gen_range(-bound..bound)).collect();
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Backing storage.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable backing storage.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Row `r` as a slice.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row `r`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Element `(r, c)`.
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets element `(r, c)`.
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// `self @ other` (serial, ikj-ordered for cache friendliness).
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        matmul_rows_into(self, other, 0..self.rows, out.data_mut());
+        out
+    }
+
+    /// `self @ other` with the row loop parallelized over `pool`.
+    pub fn matmul_pool(&self, other: &Matrix, pool: &ThreadPool) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        let n_cols = other.cols;
+        // Partition output rows across workers; each worker writes a disjoint
+        // row range.
+        let rows = self.rows;
+        let out_ptr = out.data.as_mut_ptr() as usize;
+        pool.parallel_ranges(rows, |range| {
+            // SAFETY: each range is a disjoint set of output rows.
+            let dst = unsafe {
+                std::slice::from_raw_parts_mut(
+                    (out_ptr as *mut f32).add(range.start * n_cols),
+                    range.len() * n_cols,
+                )
+            };
+            matmul_rows_into(self, other, range, dst);
+        });
+        out
+    }
+
+    /// `selfᵀ @ other` (used for weight gradients: `dW = Xᵀ dY`).
+    pub fn matmul_transpose_self(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "matmul_transpose_self shape mismatch");
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for k in 0..self.rows {
+            let xr = self.row(k);
+            let yr = other.row(k);
+            for (i, &x) in xr.iter().enumerate() {
+                if x == 0.0 {
+                    continue;
+                }
+                let dst = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (d, &y) in dst.iter_mut().zip(yr) {
+                    *d += x * y;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self @ otherᵀ` (used for input gradients: `dX = dY Wᵀ`).
+    pub fn matmul_transpose_other(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_transpose_other shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a = self.row(i);
+            for j in 0..other.rows {
+                let b = other.row(j);
+                let mut acc = 0.0f32;
+                for (x, y) in a.iter().zip(b) {
+                    acc += x * y;
+                }
+                out.data[i * other.rows + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Horizontal concatenation `[self | other]` (GraphSAGE concat, Eq. 2).
+    pub fn concat_cols(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "concat_cols row mismatch");
+        let cols = self.cols + other.cols;
+        let mut out = Matrix::zeros(self.rows, cols);
+        for r in 0..self.rows {
+            out.data[r * cols..r * cols + self.cols].copy_from_slice(self.row(r));
+            out.data[r * cols + self.cols..(r + 1) * cols].copy_from_slice(other.row(r));
+        }
+        out
+    }
+
+    /// Splits columns at `at`: inverse of [`Matrix::concat_cols`].
+    pub fn split_cols(&self, at: usize) -> (Matrix, Matrix) {
+        assert!(at <= self.cols);
+        let mut a = Matrix::zeros(self.rows, at);
+        let mut b = Matrix::zeros(self.rows, self.cols - at);
+        for r in 0..self.rows {
+            a.row_mut(r).copy_from_slice(&self.row(r)[..at]);
+            b.row_mut(r).copy_from_slice(&self.row(r)[at..]);
+        }
+        (a, b)
+    }
+
+    /// Element-wise `self += alpha * other`.
+    pub fn axpy(&mut self, alpha: f32, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Scales all elements by `alpha`.
+    pub fn scale(&mut self, alpha: f32) {
+        for a in self.data.iter_mut() {
+            *a *= alpha;
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Takes the rows listed in `ids` into a new matrix.
+    pub fn gather_rows(&self, ids: &[u32]) -> Matrix {
+        let mut out = Matrix::zeros(ids.len(), self.cols);
+        for (i, &v) in ids.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(self.row(v as usize));
+        }
+        out
+    }
+}
+
+/// Computes rows `range` of `a @ b` into `dst` (row-major, `range.len() x
+/// b.cols` starting at `dst[0]`).
+fn matmul_rows_into(a: &Matrix, b: &Matrix, range: std::ops::Range<usize>, dst: &mut [f32]) {
+    let n = b.cols;
+    debug_assert_eq!(dst.len(), range.len() * n);
+    for (oi, i) in range.enumerate() {
+        let arow = a.row(i);
+        let drow = &mut dst[oi * n..(oi + 1) * n];
+        for (k, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = b.row(k);
+            for (d, &bv) in drow.iter_mut().zip(brow) {
+                *d += av * bv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, v: &[f32]) -> Matrix {
+        Matrix::from_vec(rows, cols, v.to_vec())
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let b = m(3, 2, &[7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Matrix::xavier(5, 5, 1);
+        let mut id = Matrix::zeros(5, 5);
+        for i in 0..5 {
+            id.set(i, i, 1.0);
+        }
+        assert_eq!(a.matmul(&id), a);
+    }
+
+    #[test]
+    fn matmul_pool_matches_serial() {
+        let pool = ThreadPool::new("t", 3);
+        let a = Matrix::xavier(17, 9, 2);
+        let b = Matrix::xavier(9, 13, 3);
+        let serial = a.matmul(&b);
+        let parallel = a.matmul_pool(&b, &pool);
+        for (x, y) in serial.data().iter().zip(parallel.data()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn matmul_shape_mismatch_panics() {
+        m(2, 3, &[0.; 6]).matmul(&m(2, 2, &[0.; 4]));
+    }
+
+    #[test]
+    fn transpose_self_matches_explicit() {
+        let x = Matrix::xavier(6, 4, 5);
+        let y = Matrix::xavier(6, 3, 6);
+        let got = x.matmul_transpose_self(&y);
+        // Explicit transpose then matmul.
+        let mut xt = Matrix::zeros(4, 6);
+        for i in 0..6 {
+            for j in 0..4 {
+                xt.set(j, i, x.get(i, j));
+            }
+        }
+        let want = xt.matmul(&y);
+        for (a, b) in got.data().iter().zip(want.data()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn transpose_other_matches_explicit() {
+        let x = Matrix::xavier(5, 4, 7);
+        let w = Matrix::xavier(3, 4, 8);
+        let got = x.matmul_transpose_other(&w);
+        let mut wt = Matrix::zeros(4, 3);
+        for i in 0..3 {
+            for j in 0..4 {
+                wt.set(j, i, w.get(i, j));
+            }
+        }
+        let want = x.matmul(&wt);
+        for (a, b) in got.data().iter().zip(want.data()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn concat_and_split_roundtrip() {
+        let a = Matrix::xavier(4, 3, 9);
+        let b = Matrix::xavier(4, 2, 10);
+        let cat = a.concat_cols(&b);
+        assert_eq!(cat.cols(), 5);
+        let (a2, b2) = cat.split_cols(3);
+        assert_eq!(a, a2);
+        assert_eq!(b, b2);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = m(1, 3, &[1., 2., 3.]);
+        let b = m(1, 3, &[10., 20., 30.]);
+        a.axpy(0.1, &b);
+        assert_eq!(a.data(), &[2., 4., 6.]);
+        a.scale(0.5);
+        assert_eq!(a.data(), &[1., 2., 3.]);
+    }
+
+    #[test]
+    fn gather_rows_selects() {
+        let a = m(3, 2, &[0., 1., 2., 3., 4., 5.]);
+        let g = a.gather_rows(&[2, 0]);
+        assert_eq!(g.data(), &[4., 5., 0., 1.]);
+    }
+
+    #[test]
+    fn xavier_is_bounded_and_deterministic() {
+        let a = Matrix::xavier(10, 10, 4);
+        let bound = (6.0f32 / 20.0).sqrt();
+        assert!(a.data().iter().all(|x| x.abs() <= bound));
+        assert_eq!(a, Matrix::xavier(10, 10, 4));
+        assert_ne!(a, Matrix::xavier(10, 10, 5));
+    }
+
+    #[test]
+    fn frobenius_norm_known() {
+        let a = m(1, 2, &[3., 4.]);
+        assert!((a.frobenius_norm() - 5.0).abs() < 1e-6);
+    }
+}

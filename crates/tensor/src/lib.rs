@@ -1,0 +1,21 @@
+//! # argo-tensor — minimal dense/sparse tensor kernels for GNN training
+//!
+//! This crate is the Rust stand-in for the numerical backend the paper's GNN
+//! libraries get from PyTorch: a dense row-major [`Matrix`] with the GEMM,
+//! bias/activation and loss kernels a 3-layer GNN needs, plus the two
+//! "fundamental GNN kernels" DGL builds message passing on (paper
+//! Section II-C):
+//!
+//! * **SpMM** — sparse × dense, used for feature aggregation (Eq. 1–2);
+//! * **SDDMM** — sampled dense-dense, used for edge-wise scores.
+//!
+//! Every kernel has a serial form and (where it matters) a pool-parallel
+//! form that runs on an [`argo_rt::ThreadPool`], so the engine can bind the
+//! compute to the *training cores* chosen by the auto-tuner.
+
+pub mod dense;
+pub mod ops;
+pub mod sparse;
+
+pub use dense::Matrix;
+pub use sparse::SparseMatrix;

@@ -1,0 +1,293 @@
+//! Element-wise and loss kernels with their backward passes.
+
+use crate::dense::Matrix;
+
+/// In-place ReLU; returns the activation mask needed by the backward pass.
+pub fn relu_inplace(x: &mut Matrix) -> Vec<bool> {
+    let mut mask = Vec::with_capacity(x.data().len());
+    for v in x.data_mut().iter_mut() {
+        let active = *v > 0.0;
+        mask.push(active);
+        if !active {
+            *v = 0.0;
+        }
+    }
+    mask
+}
+
+/// Backward of ReLU: zeroes gradient where the activation was clipped.
+pub fn relu_backward(grad: &mut Matrix, mask: &[bool]) {
+    assert_eq!(grad.data().len(), mask.len(), "relu mask mismatch");
+    for (g, &m) in grad.data_mut().iter_mut().zip(mask) {
+        if !m {
+            *g = 0.0;
+        }
+    }
+}
+
+/// LeakyReLU over a value slice: `x if x > 0 else slope·x`. Returns the
+/// per-element derivative (1 or `slope`) for the backward pass.
+pub fn leaky_relu_inplace(x: &mut [f32], slope: f32) -> Vec<f32> {
+    let mut deriv = Vec::with_capacity(x.len());
+    for v in x.iter_mut() {
+        if *v > 0.0 {
+            deriv.push(1.0);
+        } else {
+            *v *= slope;
+            deriv.push(slope);
+        }
+    }
+    deriv
+}
+
+/// Inverted dropout: zeroes each element with probability `p` and scales
+/// survivors by `1/(1-p)` so the expectation is unchanged. Returns the kept
+/// mask (with the scale folded in) for the backward pass. Deterministic in
+/// the supplied RNG — required so DDP replicas can reproduce each other.
+pub fn dropout_inplace(x: &mut Matrix, p: f32, rng: &mut impl rand::Rng) -> Vec<f32> {
+    assert!((0.0..1.0).contains(&p), "dropout prob must be in [0,1)");
+    if p == 0.0 {
+        return vec![1.0; x.data().len()];
+    }
+    let keep = 1.0 - p;
+    let scale = 1.0 / keep;
+    let mut mask = Vec::with_capacity(x.data().len());
+    for v in x.data_mut().iter_mut() {
+        if rng.gen::<f32>() < keep {
+            *v *= scale;
+            mask.push(scale);
+        } else {
+            *v = 0.0;
+            mask.push(0.0);
+        }
+    }
+    mask
+}
+
+/// Backward of dropout: multiply by the stored mask.
+pub fn dropout_backward(grad: &mut Matrix, mask: &[f32]) {
+    assert_eq!(grad.data().len(), mask.len(), "dropout mask mismatch");
+    for (g, &m) in grad.data_mut().iter_mut().zip(mask) {
+        *g *= m;
+    }
+}
+
+/// Adds the bias row vector to every row of `x`.
+pub fn add_bias(x: &mut Matrix, bias: &[f32]) {
+    assert_eq!(x.cols(), bias.len(), "bias length mismatch");
+    for r in 0..x.rows() {
+        for (v, b) in x.row_mut(r).iter_mut().zip(bias) {
+            *v += b;
+        }
+    }
+}
+
+/// Bias gradient: column-wise sum of the output gradient.
+pub fn bias_grad(dy: &Matrix) -> Vec<f32> {
+    let mut g = vec![0.0f32; dy.cols()];
+    for r in 0..dy.rows() {
+        for (acc, v) in g.iter_mut().zip(dy.row(r)) {
+            *acc += v;
+        }
+    }
+    g
+}
+
+/// Softmax cross-entropy over rows of `logits` against integer `labels`.
+///
+/// Returns `(mean_loss, dlogits)` where `dlogits` is the gradient of the
+/// *mean* loss (already divided by the batch size) — matching what a DDP
+/// process computes on its local mini-batch before gradient averaging.
+pub fn softmax_cross_entropy(logits: &Matrix, labels: &[u32]) -> (f32, Matrix) {
+    assert_eq!(logits.rows(), labels.len(), "labels length mismatch");
+    assert!(logits.rows() > 0, "empty batch");
+    let n = logits.rows();
+    let c = logits.cols();
+    let mut grad = Matrix::zeros(n, c);
+    let mut loss = 0.0f64;
+    let inv_n = 1.0 / n as f32;
+    for (i, &lab) in labels.iter().enumerate() {
+        let row = logits.row(i);
+        let label = lab as usize;
+        assert!(label < c, "label {label} out of range {c}");
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0f32;
+        for &v in row {
+            denom += (v - max).exp();
+        }
+        let log_denom = denom.ln();
+        loss += f64::from(log_denom - (row[label] - max));
+        let grow = grad.row_mut(i);
+        for (j, &v) in row.iter().enumerate() {
+            let p = (v - max).exp() / denom;
+            grow[j] = (p - if j == label { 1.0 } else { 0.0 }) * inv_n;
+        }
+    }
+    ((loss / n as f64) as f32, grad)
+}
+
+/// Fraction of rows whose argmax equals the label.
+pub fn accuracy(logits: &Matrix, labels: &[u32]) -> f64 {
+    assert_eq!(logits.rows(), labels.len());
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let mut correct = 0usize;
+    for (i, &lab) in labels.iter().enumerate() {
+        let row = logits.row(i);
+        let mut best = 0usize;
+        for (j, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = j;
+            }
+        }
+        if best == lab as usize {
+            correct += 1;
+        }
+    }
+    correct as f64 / labels.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clips_and_masks() {
+        let mut x = Matrix::from_vec(1, 4, vec![-1.0, 0.0, 2.0, -0.5]);
+        let mask = relu_inplace(&mut x);
+        assert_eq!(x.data(), &[0.0, 0.0, 2.0, 0.0]);
+        assert_eq!(mask, vec![false, false, true, false]);
+    }
+
+    #[test]
+    fn relu_backward_masks_grad() {
+        let mut g = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        relu_backward(&mut g, &[true, false, true]);
+        assert_eq!(g.data(), &[1.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn dropout_preserves_expectation_and_masks() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+        let n = 20_000;
+        let mut x = Matrix::from_vec(1, n, vec![1.0; n]);
+        let mask = dropout_inplace(&mut x, 0.3, &mut rng);
+        let mean: f32 = x.data().iter().sum::<f32>() / n as f32;
+        assert!((mean - 1.0).abs() < 0.05, "expectation drifted: {mean}");
+        let dropped = x.data().iter().filter(|v| **v == 0.0).count() as f32 / n as f32;
+        assert!((dropped - 0.3).abs() < 0.03, "drop rate {dropped}");
+        // Backward applies the same mask.
+        let mut g = Matrix::from_vec(1, n, vec![1.0; n]);
+        dropout_backward(&mut g, &mask);
+        assert_eq!(g.data(), x.data());
+    }
+
+    #[test]
+    fn dropout_zero_prob_is_identity() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        let mut x = Matrix::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]);
+        let mask = dropout_inplace(&mut x, 0.0, &mut rng);
+        assert_eq!(x.data(), &[1.0, 2.0, 3.0, 4.0]);
+        assert!(mask.iter().all(|&m| m == 1.0));
+    }
+
+    #[test]
+    fn dropout_deterministic_in_rng() {
+        use rand::SeedableRng;
+        let run = || {
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(9);
+            let mut x = Matrix::from_vec(2, 8, (0..16).map(|i| i as f32).collect());
+            dropout_inplace(&mut x, 0.5, &mut rng);
+            x
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn leaky_relu_scales_negatives() {
+        let mut x = vec![-2.0f32, 0.0, 3.0];
+        let d = leaky_relu_inplace(&mut x, 0.2);
+        assert_eq!(x, vec![-0.4, 0.0, 3.0]);
+        assert_eq!(d, vec![0.2, 0.2, 1.0]);
+    }
+
+    #[test]
+    fn bias_roundtrip() {
+        let mut x = Matrix::zeros(2, 3);
+        add_bias(&mut x, &[1.0, 2.0, 3.0]);
+        assert_eq!(x.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(x.row(1), &[1.0, 2.0, 3.0]);
+        let g = bias_grad(&x);
+        assert_eq!(g, vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn xent_uniform_logits() {
+        // Uniform logits over c classes: loss = ln(c).
+        let logits = Matrix::zeros(2, 4);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0, 3]);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+        // Gradient rows sum to zero.
+        for i in 0..2 {
+            let s: f32 = grad.row(i).iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+        // True-class entry negative, others positive.
+        assert!(grad.get(0, 0) < 0.0 && grad.get(0, 1) > 0.0);
+    }
+
+    #[test]
+    fn xent_confident_correct_is_low_loss() {
+        let logits = Matrix::from_vec(1, 3, vec![10.0, -10.0, -10.0]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss < 1e-3, "loss {loss}");
+    }
+
+    #[test]
+    fn xent_gradient_matches_finite_difference() {
+        let logits = Matrix::from_vec(2, 3, vec![0.5, -0.2, 0.1, 1.0, 0.0, -1.0]);
+        let labels = [2u32, 0u32];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3f32;
+        for r in 0..2 {
+            for c in 0..3 {
+                let mut plus = logits.clone();
+                plus.set(r, c, plus.get(r, c) + eps);
+                let mut minus = logits.clone();
+                minus.set(r, c, minus.get(r, c) - eps);
+                let (lp, _) = softmax_cross_entropy(&plus, &labels);
+                let (lm, _) = softmax_cross_entropy(&minus, &labels);
+                let fd = (lp - lm) / (2.0 * eps);
+                assert!(
+                    (fd - grad.get(r, c)).abs() < 1e-3,
+                    "fd {fd} vs analytic {} at ({r},{c})",
+                    grad.get(r, c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn xent_is_stable_for_large_logits() {
+        let logits = Matrix::from_vec(1, 2, vec![1000.0, -1000.0]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss.is_finite());
+        assert!(grad.data().iter().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    fn accuracy_counts() {
+        let logits = Matrix::from_vec(3, 2, vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4]);
+        assert!((accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(accuracy(&Matrix::zeros(0, 2), &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn label_out_of_range_panics() {
+        softmax_cross_entropy(&Matrix::zeros(1, 2), &[5]);
+    }
+}

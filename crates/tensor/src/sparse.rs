@@ -1,0 +1,463 @@
+//! CSR sparse matrix with the two fundamental GNN kernels: SpMM and SDDMM
+//! (paper Section II-C).
+
+use argo_rt::ThreadPool;
+
+use crate::dense::Matrix;
+
+/// A `rows x cols` sparse matrix in CSR form with optional explicit values
+/// (implicit value 1.0 when `values` is `None`) — exactly the shape of a
+/// sampled message-passing block: rows are destination nodes, columns are
+/// source nodes, values are normalization coefficients.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SparseMatrix {
+    rows: usize,
+    cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    values: Option<Vec<f32>>,
+}
+
+impl SparseMatrix {
+    /// Builds a CSR matrix; validates the structure.
+    pub fn new(
+        rows: usize,
+        cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<u32>,
+        values: Option<Vec<f32>>,
+    ) -> Self {
+        assert_eq!(indptr.len(), rows + 1, "indptr length");
+        assert_eq!(indptr[0], 0, "indptr[0]");
+        assert_eq!(*indptr.last().unwrap(), indices.len(), "indptr end");
+        assert!(indptr.windows(2).all(|w| w[0] <= w[1]), "indptr monotone");
+        assert!(indices.iter().all(|&c| (c as usize) < cols), "col in range");
+        if let Some(v) = &values {
+            assert_eq!(v.len(), indices.len(), "values length");
+        }
+        Self {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Row pointer array.
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
+    /// Column indices.
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// Explicit values, if any.
+    pub fn values(&self) -> Option<&[f32]> {
+        self.values.as_deref()
+    }
+
+    /// Value of the `k`-th stored entry.
+    #[inline]
+    fn value_at(&self, k: usize) -> f32 {
+        self.values.as_ref().map_or(1.0, |v| v[k])
+    }
+
+    /// **SpMM**: `self @ dense`, the feature-aggregation kernel (Eq. 1–2).
+    pub fn spmm(&self, dense: &Matrix) -> Matrix {
+        assert_eq!(self.cols, dense.rows(), "spmm shape mismatch");
+        let mut out = Matrix::zeros(self.rows, dense.cols());
+        self.spmm_rows_into(dense, 0..self.rows, &mut out);
+        out
+    }
+
+    /// SpMM with the row loop parallelized over `pool`.
+    pub fn spmm_pool(&self, dense: &Matrix, pool: &ThreadPool) -> Matrix {
+        assert_eq!(self.cols, dense.rows(), "spmm shape mismatch");
+        let mut out = Matrix::zeros(self.rows, dense.cols());
+        let n = dense.cols();
+        let out_ptr = out.data_mut().as_mut_ptr() as usize;
+        pool.parallel_ranges(self.rows, |range| {
+            for i in range {
+                // SAFETY: each output row is written by exactly one worker.
+                let drow = unsafe {
+                    std::slice::from_raw_parts_mut((out_ptr as *mut f32).add(i * n), n)
+                };
+                self.row_accumulate(dense, i, drow);
+            }
+        });
+        out
+    }
+
+    fn spmm_rows_into(&self, dense: &Matrix, range: std::ops::Range<usize>, out: &mut Matrix) {
+        for i in range {
+            let n = out.cols();
+            let drow = &mut out.data_mut()[i * n..(i + 1) * n];
+            self.row_accumulate(dense, i, drow);
+        }
+    }
+
+    #[inline]
+    fn row_accumulate(&self, dense: &Matrix, i: usize, drow: &mut [f32]) {
+        for k in self.indptr[i]..self.indptr[i + 1] {
+            let j = self.indices[k] as usize;
+            let w = self.value_at(k);
+            let src = dense.row(j);
+            for (d, &s) in drow.iter_mut().zip(src) {
+                *d += w * s;
+            }
+        }
+    }
+
+    /// **Transposed SpMM**: `selfᵀ @ dense`. Needed by the backward pass of
+    /// feature aggregation (`dX = Aᵀ dY`).
+    pub fn spmm_transpose(&self, dense: &Matrix) -> Matrix {
+        assert_eq!(self.rows, dense.rows(), "spmm_transpose shape mismatch");
+        let mut out = Matrix::zeros(self.cols, dense.cols());
+        for i in 0..self.rows {
+            let src = dense.row(i);
+            for k in self.indptr[i]..self.indptr[i + 1] {
+                let j = self.indices[k] as usize;
+                let w = self.value_at(k);
+                let n = out.cols();
+                let drow = &mut out.data_mut()[j * n..(j + 1) * n];
+                for (d, &s) in drow.iter_mut().zip(src) {
+                    *d += w * s;
+                }
+            }
+        }
+        out
+    }
+
+    /// **SDDMM**: for every stored entry `(i, j)` computes `a_i · b_j`
+    /// (rows of `a` and `b`), returning a sparse matrix with the same
+    /// structure and the dot products as values.
+    #[allow(clippy::needless_range_loop)] // CSR walk indexes `vals` by entry
+    pub fn sddmm(&self, a: &Matrix, b: &Matrix) -> SparseMatrix {
+        assert_eq!(a.rows(), self.rows, "sddmm a rows");
+        assert_eq!(b.rows(), self.cols, "sddmm b rows");
+        assert_eq!(a.cols(), b.cols(), "sddmm inner dim");
+        let mut vals = vec![0.0f32; self.nnz()];
+        for i in 0..self.rows {
+            let ar = a.row(i);
+            for k in self.indptr[i]..self.indptr[i + 1] {
+                let j = self.indices[k] as usize;
+                let br = b.row(j);
+                let mut acc = 0.0f32;
+                for (x, y) in ar.iter().zip(br) {
+                    acc += x * y;
+                }
+                vals[k] = acc;
+            }
+        }
+        SparseMatrix::new(
+            self.rows,
+            self.cols,
+            self.indptr.clone(),
+            self.indices.clone(),
+            Some(vals),
+        )
+    }
+
+    /// Broadcast-add SDDMM variant (`u_add_v` in DGL terms): value of entry
+    /// `(i, j)` becomes `row_vals[i] + col_vals[j]` — the edge-score
+    /// computation of attention models (GAT).
+    #[allow(clippy::needless_range_loop)] // CSR walk indexes values by entry
+    pub fn sddmm_add(&self, row_vals: &[f32], col_vals: &[f32]) -> SparseMatrix {
+        assert_eq!(row_vals.len(), self.rows, "sddmm_add row length");
+        assert_eq!(col_vals.len(), self.cols, "sddmm_add col length");
+        let mut vals = vec![0.0f32; self.nnz()];
+        for i in 0..self.rows {
+            for k in self.indptr[i]..self.indptr[i + 1] {
+                vals[k] = row_vals[i] + col_vals[self.indices[k] as usize];
+            }
+        }
+        self.with_values(vals)
+    }
+
+    /// Row-wise softmax over the stored values (edge softmax): within each
+    /// row the values are replaced by `exp(v - max) / Σ exp(v - max)`.
+    /// Rows without entries are left empty. Panics if no values are set.
+    pub fn row_softmax(&self) -> SparseMatrix {
+        let v = self.values.as_ref().expect("row_softmax needs values");
+        let mut out = v.clone();
+        for i in 0..self.rows {
+            let (lo, hi) = (self.indptr[i], self.indptr[i + 1]);
+            if lo == hi {
+                continue;
+            }
+            let max = out[lo..hi].iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut denom = 0.0f32;
+            for x in &mut out[lo..hi] {
+                *x = (*x - max).exp();
+                denom += *x;
+            }
+            for x in &mut out[lo..hi] {
+                *x /= denom;
+            }
+        }
+        self.with_values(out)
+    }
+
+    /// Backward of [`SparseMatrix::row_softmax`]: given the softmax output
+    /// `alpha` (this matrix's values) and upstream gradient `d_alpha`,
+    /// returns `d_logits`: `α_k (dα_k − Σ_{k'∈row} α_{k'} dα_{k'})`.
+    pub fn row_softmax_backward(&self, d_alpha: &[f32]) -> Vec<f32> {
+        let alpha = self.values.as_ref().expect("row_softmax_backward needs values");
+        assert_eq!(d_alpha.len(), alpha.len(), "gradient length");
+        let mut out = vec![0.0f32; alpha.len()];
+        for i in 0..self.rows {
+            let (lo, hi) = (self.indptr[i], self.indptr[i + 1]);
+            let dot: f32 = alpha[lo..hi]
+                .iter()
+                .zip(&d_alpha[lo..hi])
+                .map(|(a, d)| a * d)
+                .sum();
+            for k in lo..hi {
+                out[k] = alpha[k] * (d_alpha[k] - dot);
+            }
+        }
+        out
+    }
+
+    /// Sums the stored values within each row (e.g. `Σ_k de_k` per dst node
+    /// in attention backward). Panics if no values are set.
+    pub fn row_value_sums(&self) -> Vec<f32> {
+        let v = self.values.as_ref().expect("row_value_sums needs values");
+        let mut out = vec![0.0f32; self.rows];
+        for i in 0..self.rows {
+            out[i] = v[self.indptr[i]..self.indptr[i + 1]].iter().sum();
+        }
+        out
+    }
+
+    /// Sums the stored values per *column* (scatter to sources).
+    pub fn col_value_sums(&self) -> Vec<f32> {
+        let v = self.values.as_ref().expect("col_value_sums needs values");
+        let mut out = vec![0.0f32; self.cols];
+        for (k, &j) in self.indices.iter().enumerate() {
+            out[j as usize] += v[k];
+        }
+        out
+    }
+
+    /// Replaces the values; structure unchanged.
+    pub fn with_values(&self, values: Vec<f32>) -> SparseMatrix {
+        assert_eq!(values.len(), self.nnz());
+        SparseMatrix::new(
+            self.rows,
+            self.cols,
+            self.indptr.clone(),
+            self.indices.clone(),
+            Some(values),
+        )
+    }
+
+    /// Converts to dense (for tests / tiny matrices).
+    pub fn to_dense(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            for k in self.indptr[i]..self.indptr[i + 1] {
+                let j = self.indices[k] as usize;
+                let cur = out.get(i, j);
+                out.set(i, j, cur + self.value_at(k));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// [[1, 0, 2], [0, 3, 0]]
+    fn sample() -> SparseMatrix {
+        SparseMatrix::new(2, 3, vec![0, 2, 3], vec![0, 2, 1], Some(vec![1.0, 2.0, 3.0]))
+    }
+
+    #[test]
+    fn spmm_matches_dense() {
+        let s = sample();
+        let d = Matrix::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]);
+        let got = s.spmm(&d);
+        let want = s.to_dense().matmul(&d);
+        assert_eq!(got.data(), want.data());
+    }
+
+    #[test]
+    fn spmm_implicit_ones() {
+        let s = SparseMatrix::new(2, 2, vec![0, 1, 2], vec![1, 0], None);
+        let d = Matrix::from_vec(2, 1, vec![10., 20.]);
+        let got = s.spmm(&d);
+        assert_eq!(got.data(), &[20., 10.]);
+    }
+
+    #[test]
+    fn spmm_pool_matches_serial() {
+        let pool = ThreadPool::new("t", 4);
+        // Random-ish structure.
+        let rows = 50;
+        let cols = 40;
+        let mut indptr = vec![0usize];
+        let mut indices = Vec::new();
+        let mut vals = Vec::new();
+        for i in 0..rows {
+            for j in 0..cols {
+                if (i * 7 + j * 13) % 5 == 0 {
+                    indices.push(j as u32);
+                    vals.push(((i + j) % 3) as f32 + 0.5);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        let s = SparseMatrix::new(rows, cols, indptr, indices, Some(vals));
+        let d = Matrix::xavier(cols, 8, 3);
+        let a = s.spmm(&d);
+        let b = s.spmm_pool(&d, &pool);
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn spmm_transpose_matches_dense_transpose() {
+        let s = sample();
+        let d = Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        let got = s.spmm_transpose(&d);
+        // dense: s.to_dense()ᵀ @ d
+        let sd = s.to_dense();
+        let mut st = Matrix::zeros(3, 2);
+        for i in 0..2 {
+            for j in 0..3 {
+                st.set(j, i, sd.get(i, j));
+            }
+        }
+        let want = st.matmul(&d);
+        assert_eq!(got.data(), want.data());
+    }
+
+    #[test]
+    fn sddmm_computes_dots() {
+        let s = SparseMatrix::new(2, 2, vec![0, 1, 2], vec![1, 0], None);
+        let a = Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        let b = Matrix::from_vec(2, 2, vec![5., 6., 7., 8.]);
+        let out = s.sddmm(&a, &b);
+        // entry (0,1): a0·b1 = 1*7+2*8 = 23; entry (1,0): a1·b0 = 3*5+4*6=39.
+        assert_eq!(out.values().unwrap(), &[23.0, 39.0]);
+        assert_eq!(out.indices(), s.indices());
+    }
+
+    #[test]
+    fn to_dense_roundtrip_values() {
+        let s = sample();
+        let d = s.to_dense();
+        assert_eq!(d.get(0, 0), 1.0);
+        assert_eq!(d.get(0, 2), 2.0);
+        assert_eq!(d.get(1, 1), 3.0);
+        assert_eq!(d.get(1, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_indptr_panics() {
+        SparseMatrix::new(2, 2, vec![0, 3, 2], vec![0, 1], None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn col_out_of_range_panics() {
+        SparseMatrix::new(1, 2, vec![0, 1], vec![5], None);
+    }
+
+    #[test]
+    fn sddmm_add_broadcasts() {
+        let s = SparseMatrix::new(2, 3, vec![0, 2, 3], vec![0, 2, 1], None);
+        let out = s.sddmm_add(&[10.0, 20.0], &[1.0, 2.0, 3.0]);
+        assert_eq!(out.values().unwrap(), &[11.0, 13.0, 22.0]);
+    }
+
+    #[test]
+    fn row_softmax_rows_sum_to_one() {
+        let s = SparseMatrix::new(3, 3, vec![0, 2, 2, 5], vec![0, 1, 0, 1, 2], None)
+            .with_values(vec![1.0, 2.0, 5.0, 5.0, 5.0]);
+        let sm = s.row_softmax();
+        let v = sm.values().unwrap();
+        assert!((v[0] + v[1] - 1.0).abs() < 1e-6);
+        assert!(v[1] > v[0]); // larger logit gets more mass
+        assert!((v[2] + v[3] + v[4] - 1.0).abs() < 1e-6);
+        assert!((v[2] - 1.0 / 3.0).abs() < 1e-6); // uniform row
+    }
+
+    #[test]
+    fn row_softmax_stable_for_large_values() {
+        let s = SparseMatrix::new(1, 2, vec![0, 2], vec![0, 1], Some(vec![1000.0, -1000.0]));
+        let v = s.row_softmax();
+        assert!(v.values().unwrap().iter().all(|x| x.is_finite()));
+        assert!((v.values().unwrap()[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn row_softmax_backward_matches_finite_difference() {
+        let logits = vec![0.3f32, -0.5, 1.2, 0.1];
+        let s = SparseMatrix::new(2, 2, vec![0, 2, 4], vec![0, 1, 0, 1], Some(logits.clone()));
+        let alpha = s.row_softmax();
+        // Upstream grad on alpha.
+        let d_alpha = vec![0.7f32, -0.2, 0.4, 0.9];
+        let analytic = alpha.row_softmax_backward(&d_alpha);
+        // FD on loss = Σ d_alpha · softmax(logits).
+        let eps = 1e-3f32;
+        for k in 0..4 {
+            let mut lp = logits.clone();
+            lp[k] += eps;
+            let mut lm = logits.clone();
+            lm[k] -= eps;
+            let f = |l: Vec<f32>| -> f32 {
+                let sm = s.with_values(l).row_softmax();
+                sm.values().unwrap().iter().zip(&d_alpha).map(|(a, d)| a * d).sum()
+            };
+            let fd = (f(lp) - f(lm)) / (2.0 * eps);
+            assert!((fd - analytic[k]).abs() < 1e-3, "k={k}: fd {fd} vs {}", analytic[k]);
+        }
+    }
+
+    #[test]
+    fn row_and_col_value_sums() {
+        let s = SparseMatrix::new(2, 3, vec![0, 2, 3], vec![0, 2, 1], Some(vec![1.0, 2.0, 3.0]));
+        assert_eq!(s.row_value_sums(), vec![3.0, 3.0]);
+        assert_eq!(s.col_value_sums(), vec![1.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn with_values_preserves_structure() {
+        let s = sample();
+        let t = s.with_values(vec![9.0, 9.0, 9.0]);
+        assert_eq!(t.indptr(), s.indptr());
+        assert_eq!(t.values().unwrap(), &[9.0, 9.0, 9.0]);
+    }
+
+    #[test]
+    fn empty_rows_ok() {
+        let s = SparseMatrix::new(3, 2, vec![0, 0, 1, 1], vec![1], None);
+        let d = Matrix::from_vec(2, 1, vec![5., 7.]);
+        let out = s.spmm(&d);
+        assert_eq!(out.data(), &[0., 7., 0.]);
+    }
+}

@@ -1,0 +1,171 @@
+//! Acquisition functions for Bayesian optimization (paper Section V-C:
+//! "an acquisition function, which balances exploration … and
+//! exploitation …, to decide the next sample point").
+
+/// Abramowitz–Stegun style erf approximation (max abs error ≈ 1.5e-7).
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Standard normal CDF.
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+/// Standard normal PDF.
+pub fn normal_pdf(z: f64) -> f64 {
+    (-0.5 * z * z).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Expected Improvement for *minimization*: how much below the incumbent
+/// `best` the posterior `(mean, std)` is expected to land, with exploration
+/// bonus `xi`.
+pub fn expected_improvement(mean: f64, std: f64, best: f64, xi: f64) -> f64 {
+    if std <= 1e-12 {
+        return (best - mean - xi).max(0.0);
+    }
+    let delta = best - mean - xi;
+    let z = delta / std;
+    (delta * normal_cdf(z) + std * normal_pdf(z)).max(0.0)
+}
+
+/// Lower Confidence Bound for minimization: `μ − κσ` (smaller is more
+/// attractive). The negation is returned so that, like EI, **larger is
+/// better**: `−(μ − κσ)`.
+pub fn lower_confidence_bound(mean: f64, std: f64, kappa: f64) -> f64 {
+    -(mean - kappa * std)
+}
+
+/// Probability of Improvement for minimization: `Φ((best − μ − ξ)/σ)`.
+pub fn probability_of_improvement(mean: f64, std: f64, best: f64, xi: f64) -> f64 {
+    if std <= 1e-12 {
+        return if mean < best - xi { 1.0 } else { 0.0 };
+    }
+    normal_cdf((best - mean - xi) / std)
+}
+
+/// The acquisition functions available to the tuner (EI is the paper's
+/// choice; the others support the acquisition ablation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Acquisition {
+    /// Expected Improvement (default).
+    ExpectedImprovement,
+    /// Lower Confidence Bound with κ = 2.
+    LowerConfidenceBound,
+    /// Probability of Improvement.
+    ProbabilityOfImprovement,
+    /// Pure exploitation: pick the lowest posterior mean.
+    GreedyMean,
+}
+
+impl Acquisition {
+    /// Scores a candidate; **larger is better** for every variant.
+    pub fn score(&self, mean: f64, std: f64, best: f64) -> f64 {
+        match self {
+            Acquisition::ExpectedImprovement => expected_improvement(mean, std, best, 0.01),
+            Acquisition::LowerConfidenceBound => lower_confidence_bound(mean, std, 2.0),
+            Acquisition::ProbabilityOfImprovement => probability_of_improvement(mean, std, best, 0.01),
+            Acquisition::GreedyMean => -mean,
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Acquisition::ExpectedImprovement => "EI",
+            Acquisition::LowerConfidenceBound => "LCB",
+            Acquisition::ProbabilityOfImprovement => "PI",
+            Acquisition::GreedyMean => "greedy-mean",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_cdf_reference_points() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+        assert!(normal_cdf(8.0) > 0.999999);
+    }
+
+    #[test]
+    fn pdf_symmetric_and_peaked() {
+        assert!((normal_pdf(0.0) - 0.39894228).abs() < 1e-7);
+        assert!((normal_pdf(1.3) - normal_pdf(-1.3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ei_is_nonnegative() {
+        for mean in [-2.0, 0.0, 2.0] {
+            for std in [0.0, 0.1, 1.0] {
+                for best in [-1.0, 0.0, 1.0] {
+                    assert!(expected_improvement(mean, std, best, 0.01) >= 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ei_prefers_lower_posterior_mean() {
+        let a = expected_improvement(0.5, 0.2, 1.0, 0.0);
+        let b = expected_improvement(0.9, 0.2, 1.0, 0.0);
+        assert!(a > b);
+    }
+
+    #[test]
+    fn ei_rewards_uncertainty_when_mean_is_poor() {
+        // Posterior mean above the incumbent: only variance can help.
+        let narrow = expected_improvement(1.5, 0.01, 1.0, 0.0);
+        let wide = expected_improvement(1.5, 1.0, 1.0, 0.0);
+        assert!(wide > narrow);
+        assert!(narrow < 1e-9);
+    }
+
+    #[test]
+    fn zero_std_is_deterministic_improvement() {
+        assert!((expected_improvement(0.4, 0.0, 1.0, 0.0) - 0.6).abs() < 1e-12);
+        assert_eq!(expected_improvement(1.4, 0.0, 1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn lcb_prefers_low_mean_and_high_variance() {
+        assert!(lower_confidence_bound(1.0, 0.5, 2.0) > lower_confidence_bound(2.0, 0.5, 2.0));
+        assert!(lower_confidence_bound(1.0, 1.0, 2.0) > lower_confidence_bound(1.0, 0.1, 2.0));
+    }
+
+    #[test]
+    fn pi_bounds_and_degenerate() {
+        let p = probability_of_improvement(0.5, 0.3, 1.0, 0.0);
+        assert!((0.0..=1.0).contains(&p));
+        assert!(p > 0.5, "mean below incumbent");
+        assert_eq!(probability_of_improvement(0.5, 0.0, 1.0, 0.0), 1.0);
+        assert_eq!(probability_of_improvement(1.5, 0.0, 1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn acquisition_variants_rank_sensibly() {
+        for acq in [
+            Acquisition::ExpectedImprovement,
+            Acquisition::LowerConfidenceBound,
+            Acquisition::ProbabilityOfImprovement,
+            Acquisition::GreedyMean,
+        ] {
+            // Lower posterior mean must score at least as high, all else equal.
+            let lo = acq.score(0.5, 0.2, 1.0);
+            let hi = acq.score(1.5, 0.2, 1.0);
+            assert!(lo >= hi, "{} ranks a worse mean higher", acq.name());
+        }
+    }
+}

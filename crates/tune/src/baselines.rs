@@ -1,0 +1,397 @@
+//! Search baselines of the paper's auto-tuner evaluation (Section VI-D):
+//! exhaustive search and simulated annealing. (The third baseline, the
+//! libraries' *default* setup, is a fixed configuration —
+//! `PerfModel::default_config` — and needs no searcher.)
+
+use argo_rt::Config;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::space::SearchSpace;
+use crate::Searcher;
+
+/// Visits every configuration once, in order. Finds the true optimum at the
+/// cost of one epoch per configuration (726/408 epochs in the paper —
+/// "prohibitively expensive").
+pub struct ExhaustiveSearch {
+    space: SearchSpace,
+    next: usize,
+    observed: Vec<(Config, f64)>,
+}
+
+impl ExhaustiveSearch {
+    /// A fresh sweep over `space`.
+    pub fn new(space: SearchSpace) -> Self {
+        Self {
+            space,
+            next: 0,
+            observed: Vec::new(),
+        }
+    }
+
+    /// Whether every configuration has been visited.
+    pub fn done(&self) -> bool {
+        self.next >= self.space.len()
+    }
+}
+
+impl Searcher for ExhaustiveSearch {
+    fn suggest(&mut self) -> Config {
+        self.space.get(self.next.min(self.space.len() - 1))
+    }
+
+    fn observe(&mut self, config: Config, value: f64) {
+        self.observed.push((config, value));
+        self.next += 1;
+    }
+
+    fn best(&self) -> Option<(Config, f64)> {
+        self.observed
+            .iter()
+            .copied()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+    }
+
+    fn name(&self) -> &'static str {
+        "Exhaustive"
+    }
+}
+
+/// Simulated annealing: random-restart local moves with Metropolis
+/// acceptance — "a random search algorithm that searches for the optimal
+/// solution globally" (Section VI-D). Matched to the same search budget as
+/// the auto-tuner for a fair comparison.
+pub struct SimulatedAnnealing {
+    space: SearchSpace,
+    rng: SmallRng,
+    temperature: f64,
+    cooling: f64,
+    current: Option<(Config, f64)>,
+    pending: Option<Config>,
+    observed: Vec<(Config, f64)>,
+}
+
+impl SimulatedAnnealing {
+    /// A fresh annealer over `space`, deterministic in `seed`.
+    ///
+    /// The initial temperature is set relative to the objective scale as
+    /// observations arrive (first accepted value), with geometric cooling.
+    pub fn new(space: SearchSpace, seed: u64) -> Self {
+        Self {
+            space,
+            rng: SmallRng::seed_from_u64(seed),
+            temperature: 0.3, // relative (objective values are normalized by the incumbent)
+            cooling: 0.88,
+            current: None,
+            pending: None,
+            observed: Vec::new(),
+        }
+    }
+
+    fn neighbor(&mut self, c: Config) -> Config {
+        // Perturb one coordinate by ±1 (processes/sampling) or ±25%
+        // (training cores), projected back onto the space.
+        let dim = self.rng.gen_range(0..3);
+        let step: i64 = if self.rng.gen_bool(0.5) { 1 } else { -1 };
+        let (mut p, mut s, mut t) = (c.n_proc as i64, c.n_samp as i64, c.n_train as i64);
+        match dim {
+            0 => p += step,
+            1 => s += step,
+            _ => t += step * (1 + t / 4),
+        }
+        self.space.project(p, s, t)
+    }
+}
+
+impl Searcher for SimulatedAnnealing {
+    fn suggest(&mut self) -> Config {
+        if let Some(p) = self.pending {
+            return p;
+        }
+        let c = match self.current {
+            None => {
+                use rand::Rng;
+                let i = self.rng.gen_range(0..self.space.len());
+                self.space.get(i)
+            }
+            Some((cur, _)) => self.neighbor(cur),
+        };
+        self.pending = Some(c);
+        c
+    }
+
+    fn observe(&mut self, config: Config, value: f64) {
+        assert!(value.is_finite() && value > 0.0);
+        self.pending = None;
+        self.observed.push((config, value));
+        match self.current {
+            None => self.current = Some((config, value)),
+            Some((_, cur_v)) => {
+                let accept = if value <= cur_v {
+                    true
+                } else {
+                    // Relative degradation against temperature.
+                    let delta = (value - cur_v) / cur_v;
+                    self.rng.gen::<f64>() < (-delta / self.temperature).exp()
+                };
+                if accept {
+                    self.current = Some((config, value));
+                }
+                self.temperature *= self.cooling;
+            }
+        }
+    }
+
+    fn best(&self) -> Option<(Config, f64)> {
+        self.observed
+            .iter()
+            .copied()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+    }
+
+    fn name(&self) -> &'static str {
+        "Sim. Anneal."
+    }
+}
+
+/// Greedy search-space pruning (paper Section VII-B): probes the corners
+/// and midpoint of the current (p, s, t) box, then halves the box around the
+/// best probe — the "prune sub-optimal configurations" alternative the
+/// paper contrasts with BayesOpt. Works well in 3-D, degrades as dimensions
+/// grow.
+pub struct GreedyPruning {
+    space: SearchSpace,
+    lo: [i64; 3],
+    hi: [i64; 3],
+    probes: Vec<Config>,
+    probe_at: usize,
+    round_best: Option<(Config, f64)>,
+    observed: Vec<(Config, f64)>,
+    pending: Option<Config>,
+}
+
+impl GreedyPruning {
+    /// A fresh pruning search over `space`.
+    pub fn new(space: SearchSpace) -> Self {
+        let (mut lo, mut hi) = ([i64::MAX; 3], [i64::MIN; 3]);
+        for c in space.configs() {
+            let v = [c.n_proc as i64, c.n_samp as i64, c.n_train as i64];
+            for d in 0..3 {
+                lo[d] = lo[d].min(v[d]);
+                hi[d] = hi[d].max(v[d]);
+            }
+        }
+        let mut s = Self {
+            space,
+            lo,
+            hi,
+            probes: Vec::new(),
+            probe_at: 0,
+            round_best: None,
+            observed: Vec::new(),
+            pending: None,
+        };
+        s.start_round();
+        s
+    }
+
+    fn start_round(&mut self) {
+        let mid = [
+            (self.lo[0] + self.hi[0]) / 2,
+            (self.lo[1] + self.hi[1]) / 2,
+            (self.lo[2] + self.hi[2]) / 2,
+        ];
+        let mut pts = vec![mid];
+        for d in 0..3 {
+            let mut a = mid;
+            a[d] = self.lo[d];
+            let mut b = mid;
+            b[d] = self.hi[d];
+            pts.push(a);
+            pts.push(b);
+        }
+        self.probes = pts
+            .into_iter()
+            .map(|v| self.space.project(v[0], v[1], v[2]))
+            .collect();
+        self.probes.dedup();
+        self.probe_at = 0;
+        self.round_best = None;
+    }
+
+    #[allow(clippy::needless_range_loop)] // lo/hi/center walked per axis
+    fn shrink(&mut self) {
+        if let Some((best, _)) = self.round_best {
+            let center = [best.n_proc as i64, best.n_samp as i64, best.n_train as i64];
+            for d in 0..3 {
+                let span = ((self.hi[d] - self.lo[d]) / 2).max(1);
+                self.lo[d] = (center[d] - span / 2).max(self.lo[d]);
+                self.hi[d] = (center[d] + (span + 1) / 2).min(self.hi[d]);
+            }
+        }
+        self.start_round();
+    }
+}
+
+impl Searcher for GreedyPruning {
+    fn suggest(&mut self) -> Config {
+        if let Some(p) = self.pending {
+            return p;
+        }
+        if self.probe_at >= self.probes.len() {
+            self.shrink();
+        }
+        let c = self.probes[self.probe_at.min(self.probes.len() - 1)];
+        self.pending = Some(c);
+        c
+    }
+
+    fn observe(&mut self, config: Config, value: f64) {
+        assert!(value.is_finite() && value > 0.0);
+        self.pending = None;
+        self.probe_at += 1;
+        self.observed.push((config, value));
+        if self.round_best.is_none_or(|(_, b)| value < b) {
+            self.round_best = Some((config, value));
+        }
+    }
+
+    fn best(&self) -> Option<(Config, f64)> {
+        self.observed
+            .iter()
+            .copied()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+    }
+
+    fn name(&self) -> &'static str {
+        "Greedy pruning"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn objective(c: Config) -> f64 {
+        let p = c.n_proc as f64;
+        let s = c.n_samp as f64;
+        let t = c.n_train as f64;
+        1.0 + 0.15 * (p - 6.0).powi(2) + 0.3 * (s - 2.0).powi(2) + 0.02 * (t - 8.0).powi(2)
+    }
+
+    #[test]
+    fn exhaustive_finds_true_optimum() {
+        let space = SearchSpace::for_cores(32);
+        let truth = space
+            .configs()
+            .iter()
+            .map(|&c| objective(c))
+            .fold(f64::INFINITY, f64::min);
+        let mut ex = ExhaustiveSearch::new(space.clone());
+        for _ in 0..space.len() {
+            let c = ex.suggest();
+            ex.observe(c, objective(c));
+        }
+        assert!(ex.done());
+        assert_eq!(ex.best().unwrap().1, truth);
+    }
+
+    #[test]
+    fn exhaustive_visits_each_config_once() {
+        let space = SearchSpace::for_cores(16);
+        let mut ex = ExhaustiveSearch::new(space.clone());
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..space.len() {
+            let c = ex.suggest();
+            assert!(seen.insert(c));
+            ex.observe(c, 1.0);
+        }
+        assert_eq!(seen.len(), space.len());
+    }
+
+    #[test]
+    fn annealing_improves_over_time() {
+        let space = SearchSpace::for_cores(64);
+        let mut sa = SimulatedAnnealing::new(space, 5);
+        let mut first = None;
+        for _ in 0..40 {
+            let c = sa.suggest();
+            let v = objective(c);
+            sa.observe(c, v);
+            first.get_or_insert(v);
+        }
+        assert!(sa.best().unwrap().1 <= first.unwrap());
+    }
+
+    #[test]
+    fn annealing_stays_in_space() {
+        let space = SearchSpace::for_cores(48);
+        let mut sa = SimulatedAnnealing::new(space.clone(), 11);
+        for _ in 0..60 {
+            let c = sa.suggest();
+            assert!(space.contains(c), "{c} escaped the space");
+            sa.observe(c, objective(c));
+        }
+    }
+
+    #[test]
+    fn annealing_seeds_give_dispersion() {
+        // The paper reports a standard deviation for SA across runs.
+        let space = SearchSpace::for_cores(64);
+        let mut results = Vec::new();
+        for seed in 0..6 {
+            let mut sa = SimulatedAnnealing::new(space.clone(), seed);
+            for _ in 0..20 {
+                let c = sa.suggest();
+                sa.observe(c, objective(c));
+            }
+            results.push(sa.best().unwrap().1);
+        }
+        let distinct: std::collections::HashSet<u64> =
+            results.iter().map(|v| v.to_bits()).collect();
+        assert!(distinct.len() > 1, "SA runs should disperse");
+    }
+
+    #[test]
+    fn suggest_idempotent() {
+        let mut sa = SimulatedAnnealing::new(SearchSpace::for_cores(16), 1);
+        assert_eq!(sa.suggest(), sa.suggest());
+    }
+
+    #[test]
+    fn pruning_converges_on_separable_objective() {
+        let space = SearchSpace::for_cores(64);
+        let optimal = space
+            .configs()
+            .iter()
+            .map(|&c| objective(c))
+            .fold(f64::INFINITY, f64::min);
+        let mut pr = GreedyPruning::new(space.clone());
+        for _ in 0..35 {
+            let c = pr.suggest();
+            assert!(space.contains(c));
+            pr.observe(c, objective(c));
+        }
+        let found = pr.best().unwrap().1;
+        assert!(
+            optimal / found > 0.85,
+            "pruning found {found} vs optimal {optimal}"
+        );
+    }
+
+    #[test]
+    fn pruning_is_deterministic_and_idempotent() {
+        let run = || {
+            let mut pr = GreedyPruning::new(SearchSpace::for_cores(32));
+            let mut out = Vec::new();
+            for _ in 0..15 {
+                let c = pr.suggest();
+                assert_eq!(c, pr.suggest());
+                pr.observe(c, objective(c));
+                out.push(c);
+            }
+            out
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,250 @@
+//! A small Gaussian-process regressor (Matérn-5/2 kernel, Cholesky solve)
+//! — the BayesOpt surrogate model (paper Section V-C).
+
+/// Dense symmetric-positive-definite solver via Cholesky decomposition.
+/// Stores the lower-triangular factor `L` with `A = L Lᵀ`.
+#[derive(Clone, Debug)]
+pub struct Cholesky {
+    n: usize,
+    l: Vec<f64>, // row-major lower triangle (full square storage)
+}
+
+impl Cholesky {
+    /// Factors the `n×n` SPD matrix `a` (row-major). Returns `None` when the
+    /// matrix is not positive definite.
+    pub fn factor(a: &[f64], n: usize) -> Option<Self> {
+        assert_eq!(a.len(), n * n);
+        let mut l = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[i * n + j];
+                for k in 0..j {
+                    sum -= l[i * n + k] * l[j * n + k];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return None;
+                    }
+                    l[i * n + i] = sum.sqrt();
+                } else {
+                    l[i * n + j] = sum / l[j * n + j];
+                }
+            }
+        }
+        Some(Self { n, l })
+    }
+
+    /// Solves `A x = b`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n);
+        let n = self.n;
+        // Forward: L y = b.
+        let mut y = b.to_vec();
+        for i in 0..n {
+            for k in 0..i {
+                y[i] -= self.l[i * n + k] * y[k];
+            }
+            y[i] /= self.l[i * n + i];
+        }
+        // Backward: Lᵀ x = y.
+        let mut x = y;
+        for i in (0..n).rev() {
+            for k in i + 1..n {
+                x[i] -= self.l[k * n + i] * x[k];
+            }
+            x[i] /= self.l[i * n + i];
+        }
+        x
+    }
+
+    /// Log-determinant of `A` (= 2·Σ log L_ii).
+    pub fn log_det(&self) -> f64 {
+        (0..self.n).map(|i| self.l[i * self.n + i].ln()).sum::<f64>() * 2.0
+    }
+}
+
+/// Matérn-5/2 covariance between two points at scaled distance `r/ℓ`.
+fn matern52(r: f64, length_scale: f64) -> f64 {
+    let s = (5.0f64).sqrt() * r / length_scale;
+    (1.0 + s + s * s / 3.0) * (-s).exp()
+}
+
+fn dist<const D: usize>(a: &[f64; D], b: &[f64; D]) -> f64 {
+    let mut d2 = 0.0;
+    for k in 0..D {
+        let d = a[k] - b[k];
+        d2 += d * d;
+    }
+    d2.sqrt()
+}
+
+/// GP posterior over a scalar function of normalized `D`-dimensional
+/// configurations (`D = 3` for ARGO's space; higher dimensions support the
+/// paper's Section VII-B extension direction).
+///
+/// Targets are standardized internally; predictions are returned in the
+/// original units.
+#[derive(Clone, Debug)]
+pub struct GaussianProcess<const D: usize = 3> {
+    x: Vec<[f64; D]>,
+    alpha: Vec<f64>,       // (K + σ²I)⁻¹ y (standardized)
+    chol: Cholesky,
+    length_scale: f64,
+    noise: f64,
+    y_mean: f64,
+    y_std: f64,
+}
+
+impl<const D: usize> GaussianProcess<D> {
+    /// Fits a GP to `(x, y)`; the length scale is selected from a small grid
+    /// by maximizing the log marginal likelihood. Needs at least 2 points.
+    pub fn fit(x: &[[f64; D]], y: &[f64]) -> GaussianProcess<D> {
+        assert_eq!(x.len(), y.len());
+        assert!(x.len() >= 2, "GP needs at least two observations");
+        let n = x.len();
+        let y_mean = y.iter().sum::<f64>() / n as f64;
+        let y_var = y.iter().map(|v| (v - y_mean).powi(2)).sum::<f64>() / n as f64;
+        let y_std = y_var.sqrt().max(1e-9);
+        let ys: Vec<f64> = y.iter().map(|v| (v - y_mean) / y_std).collect();
+        let noise = 1e-3;
+
+        // Select the kernel length scale by maximizing the log marginal
+        // likelihood over a small grid.
+        let mut best: Option<(f64, f64, Cholesky, Vec<f64>)> = None;
+        for &ls in &[0.15, 0.3, 0.6, 1.2] {
+            let mut k = vec![0.0f64; n * n];
+            for i in 0..n {
+                for j in 0..n {
+                    k[i * n + j] = matern52(dist(&x[i], &x[j]), ls);
+                }
+                k[i * n + i] += noise;
+            }
+            let Some(chol) = Cholesky::factor(&k, n) else {
+                continue;
+            };
+            let alpha = chol.solve(&ys);
+            // log p(y) = −½ yᵀα − ½ log|K| + const.
+            let fit_term: f64 = ys.iter().zip(&alpha).map(|(a, b)| a * b).sum();
+            let lml = -0.5 * fit_term - 0.5 * chol.log_det();
+            if best.as_ref().is_none_or(|(b, _, _, _)| lml > *b) {
+                best = Some((lml, ls, chol, alpha));
+            }
+        }
+        let (_, length_scale, chol, alpha) = best.expect("at least one length scale factors");
+        GaussianProcess {
+            x: x.to_vec(),
+            alpha,
+            chol,
+            length_scale,
+            noise,
+            y_mean,
+            y_std,
+        }
+    }
+
+    /// The selected kernel length scale.
+    pub fn length_scale(&self) -> f64 {
+        self.length_scale
+    }
+
+    /// Posterior mean and standard deviation at `q` (original units).
+    pub fn predict(&self, q: &[f64; D]) -> (f64, f64) {
+        let n = self.x.len();
+        let mut kstar = vec![0.0f64; n];
+        for (k, xi) in kstar.iter_mut().zip(&self.x) {
+            *k = matern52(dist(xi, q), self.length_scale);
+        }
+        let mean_std: f64 = kstar.iter().zip(&self.alpha).map(|(a, b)| a * b).sum();
+        let v = self.chol.solve(&kstar);
+        let kss = matern52(0.0, self.length_scale) + self.noise;
+        let var = (kss - kstar.iter().zip(&v).map(|(a, b)| a * b).sum::<f64>()).max(1e-12);
+        (
+            mean_std * self.y_std + self.y_mean,
+            var.sqrt() * self.y_std,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cholesky_solves_spd_system() {
+        // A = [[4,2],[2,3]], b = [10, 9] → x = [1.5, 2.0]
+        let a = vec![4.0, 2.0, 2.0, 3.0];
+        let c = Cholesky::factor(&a, 2).unwrap();
+        let x = c.solve(&[10.0, 9.0]);
+        assert!((x[0] - 1.5).abs() < 1e-10);
+        assert!((x[1] - 2.0).abs() < 1e-10);
+        // log det = ln(4·3 − 4) = ln 8.
+        assert!((c.log_det() - 8.0f64.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = vec![1.0, 2.0, 2.0, 1.0]; // eigenvalues 3, −1
+        assert!(Cholesky::factor(&a, 2).is_none());
+    }
+
+    #[test]
+    fn matern_properties() {
+        assert!((matern52(0.0, 0.5) - 1.0).abs() < 1e-12);
+        assert!(matern52(0.1, 0.5) > matern52(0.5, 0.5));
+        assert!(matern52(10.0, 0.5) < 1e-6);
+    }
+
+    #[test]
+    fn gp_interpolates_observations() {
+        let x = vec![
+            [0.0, 0.0, 0.0],
+            [0.5, 0.2, 0.1],
+            [1.0, 1.0, 1.0],
+            [0.2, 0.8, 0.4],
+        ];
+        let y = vec![3.0, 1.0, 5.0, 2.0];
+        let gp = GaussianProcess::fit(&x, &y);
+        for (xi, yi) in x.iter().zip(&y) {
+            let (m, s) = gp.predict(xi);
+            assert!((m - yi).abs() < 0.3, "mean {m} vs {yi}");
+            assert!(s < 0.6, "posterior std {s} at observed point");
+        }
+    }
+
+    #[test]
+    fn gp_uncertainty_grows_away_from_data() {
+        let x = vec![[0.0, 0.0, 0.0], [0.1, 0.0, 0.0], [0.0, 0.1, 0.0]];
+        let y = vec![1.0, 1.1, 0.9];
+        let gp = GaussianProcess::fit(&x, &y);
+        let (_, s_near) = gp.predict(&[0.05, 0.05, 0.0]);
+        let (_, s_far) = gp.predict(&[1.0, 1.0, 1.0]);
+        assert!(s_far > 2.0 * s_near, "near {s_near} far {s_far}");
+    }
+
+    #[test]
+    fn gp_handles_constant_targets() {
+        let x = vec![[0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0]];
+        let y = vec![2.0, 2.0, 2.0];
+        let gp = GaussianProcess::fit(&x, &y);
+        let (m, s) = gp.predict(&[0.5, 0.5, 0.5]);
+        assert!((m - 2.0).abs() < 1e-6);
+        assert!(s.is_finite());
+    }
+
+    #[test]
+    fn gp_learns_smooth_function() {
+        // f(x) = sin(2πx₀) sampled on a grid; check held-out prediction.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..12 {
+            let t = i as f64 / 11.0;
+            x.push([t, 0.0, 0.0]);
+            y.push((2.0 * std::f64::consts::PI * t).sin());
+        }
+        let gp = GaussianProcess::fit(&x, &y);
+        let q = [0.37, 0.0, 0.0];
+        let truth = (2.0 * std::f64::consts::PI * 0.37).sin();
+        let (m, _) = gp.predict(&q);
+        assert!((m - truth).abs() < 0.15, "pred {m} vs {truth}");
+    }
+}

@@ -1,0 +1,158 @@
+//! Algorithm 1 — Online Auto-Tuning.
+//!
+//! ```text
+//! Input: num_searches      Output: config_opt
+//! Tuner = BayesOpt(); config = Tuner.init()
+//! for i in num_of_epochs:
+//!     if i < num_searches:                    # Online Learning
+//!         epoch_time = ARGO(config, GNN_Train)
+//!         config = Tuner.train(epoch_time, config)
+//!     else:                                   # Reuse the optimum
+//!         config_opt = Tuner.get_opt()
+//!         ARGO(config_opt, GNN_Train)
+//! ```
+//!
+//! [`OnlineAutoTuner`] is generic over the searcher and the objective, so
+//! the same loop drives the real engine (measured epoch times) and the
+//! platform model (modeled epoch times), as well as the simulated-annealing
+//! baseline under an identical budget.
+
+use std::time::Instant;
+
+use argo_rt::Config;
+
+use crate::Searcher;
+
+/// Outcome of a full online-tuned training run.
+#[derive(Clone, Debug)]
+pub struct TuningReport {
+    /// The configuration reused after online learning concluded.
+    pub config_opt: Config,
+    /// Objective value (epoch time) of `config_opt` when it was found.
+    pub best_epoch_time: f64,
+    /// Every (config, epoch time) evaluated during online learning, in
+    /// order.
+    pub history: Vec<(Config, f64)>,
+    /// Sum of all epoch times over the whole run (search epochs — including
+    /// the sub-optimal ones the paper counts as auto-tuning overhead — plus
+    /// the reuse epochs). This is the Figure 10/11 end-to-end time.
+    pub total_time: f64,
+    /// CPU seconds spent inside the tuner itself (fit + acquisition) — the
+    /// Section VI-D overhead numbers.
+    pub tuner_overhead: f64,
+}
+
+/// Drives a [`Searcher`] through Algorithm 1.
+pub struct OnlineAutoTuner<S: Searcher> {
+    searcher: S,
+    num_searches: usize,
+}
+
+impl<S: Searcher> OnlineAutoTuner<S> {
+    /// An online tuner that spends `num_searches` epochs learning.
+    pub fn new(searcher: S, num_searches: usize) -> Self {
+        assert!(num_searches >= 1);
+        Self {
+            searcher,
+            num_searches,
+        }
+    }
+
+    /// The wrapped searcher.
+    pub fn searcher(&self) -> &S {
+        &self.searcher
+    }
+
+    /// Runs `total_epochs` of training through `objective` (which trains one
+    /// epoch under the given configuration and returns its epoch time).
+    pub fn run(
+        mut self,
+        total_epochs: usize,
+        mut objective: impl FnMut(Config) -> f64,
+    ) -> TuningReport {
+        assert!(total_epochs >= self.num_searches);
+        let mut history = Vec::with_capacity(self.num_searches);
+        let mut total_time = 0.0;
+        let mut tuner_overhead = 0.0;
+        for _ in 0..self.num_searches {
+            let t0 = Instant::now();
+            let config = self.searcher.suggest();
+            tuner_overhead += t0.elapsed().as_secs_f64();
+            let epoch_time = objective(config);
+            total_time += epoch_time;
+            let t1 = Instant::now();
+            self.searcher.observe(config, epoch_time);
+            tuner_overhead += t1.elapsed().as_secs_f64();
+            history.push((config, epoch_time));
+        }
+        let (config_opt, best_epoch_time) =
+            self.searcher.best().expect("num_searches >= 1 observation");
+        for _ in self.num_searches..total_epochs {
+            total_time += objective(config_opt);
+        }
+        TuningReport {
+            config_opt,
+            best_epoch_time,
+            history,
+            total_time,
+            tuner_overhead,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bayesopt::BayesOpt;
+    use crate::space::SearchSpace;
+
+    fn objective(c: Config) -> f64 {
+        let p = c.n_proc as f64;
+        let s = c.n_samp as f64;
+        let t = c.n_train as f64;
+        1.0 + 0.1 * (p - 5.0).powi(2) + 0.2 * (s - 2.0).powi(2) + 0.03 * (t - 6.0).powi(2)
+    }
+
+    fn tuner(seed: u64, n: usize) -> OnlineAutoTuner<BayesOpt> {
+        OnlineAutoTuner::new(BayesOpt::new(SearchSpace::for_cores(64), seed), n)
+    }
+
+    #[test]
+    fn algorithm1_reuses_best_after_learning() {
+        let report = tuner(3, 20).run(200, objective);
+        assert_eq!(report.history.len(), 20);
+        // Total = search epochs at their own cost + 180 reuse epochs at the
+        // best cost.
+        let search_sum: f64 = report.history.iter().map(|(_, v)| v).sum();
+        let expect = search_sum + 180.0 * objective(report.config_opt);
+        assert!((report.total_time - expect).abs() < 1e-9);
+        assert!((report.best_epoch_time - objective(report.config_opt)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn config_opt_is_best_of_history() {
+        let report = tuner(9, 25).run(25, objective);
+        let hist_best = report
+            .history
+            .iter()
+            .map(|(_, v)| *v)
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(report.best_epoch_time, hist_best);
+    }
+
+    #[test]
+    fn overhead_is_small_and_measured() {
+        let report = tuner(1, 20).run(40, objective);
+        assert!(report.tuner_overhead > 0.0);
+        // The paper requires <1% of training time; with a sub-millisecond
+        // Rust GP the bar is easily met for second-scale epochs, but here
+        // epochs are synthetic, so just sanity-bound it.
+        assert!(report.tuner_overhead < 5.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_budget_below_searches() {
+        tuner(1, 30).run(10, objective);
+    }
+}

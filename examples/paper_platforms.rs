@@ -1,0 +1,50 @@
+//! Paper-scale study on the modeled platforms: auto-tune DGL Neighbor-SAGE
+//! on ogbn-products for the 112-core Ice Lake and the 64-core Sapphire
+//! Rapids (Table II), and compare the auto-tuner's pick against the default
+//! setup and the exhaustive optimum — a one-binary tour of Tables IV/VI.
+//!
+//! Run with: `cargo run --release --example paper_platforms`
+
+use argo::core::{Argo, ArgoOptions};
+use argo::graph::datasets::OGBN_PRODUCTS;
+use argo::platform::{Library, ModelKind, PerfModel, SamplerKind, Setup, ICE_LAKE_8380H, SAPPHIRE_RAPIDS_6430L};
+use argo::tune::paper_num_searches;
+
+fn main() {
+    for platform in [ICE_LAKE_8380H, SAPPHIRE_RAPIDS_6430L] {
+        let model = PerfModel::new(Setup {
+            platform,
+            library: Library::Dgl,
+            sampler: SamplerKind::Neighbor,
+            model: ModelKind::Sage,
+            dataset: OGBN_PRODUCTS,
+        });
+        println!("=== {} ({} cores, {} GB/s) ===", platform.name, platform.total_cores, platform.peak_bw_gbs);
+        let n_search = paper_num_searches(platform.total_cores, false);
+        let mut runtime = Argo::new(ArgoOptions {
+            n_search,
+            epochs: 200,
+            total_cores: platform.total_cores,
+            seed: 0,
+        });
+        let report = runtime.run_modeled(&model);
+        println!("online learning ({n_search} searches over {} configs):", report.space_size);
+        let mut incumbent = f64::INFINITY;
+        for (i, (c, t)) in report.history.iter().enumerate() {
+            incumbent = incumbent.min(*t);
+            println!("  search {i:>2}: tried {c} -> {t:.2}s (incumbent {incumbent:.2}s)");
+        }
+        let (opt_cfg, opt_t) = model.argo_best_epoch_time(platform.total_cores);
+        let default_t = model.epoch_time(model.default_config());
+        println!("\n  exhaustive optimum : {opt_t:.2}s at {opt_cfg}");
+        println!("  default setup      : {default_t:.2}s at {} ({:.2}x of optimal)", model.default_config(), opt_t / default_t);
+        println!(
+            "  auto-tuner found   : {:.2}s at {} ({:.2}x of optimal, {:.1}% of space explored)\n",
+            report.best_epoch_time,
+            report.config_opt,
+            opt_t / report.best_epoch_time,
+            100.0 * n_search as f64 / report.space_size as f64
+        );
+        assert!(opt_t / report.best_epoch_time >= 0.9);
+    }
+}
