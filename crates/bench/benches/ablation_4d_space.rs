@@ -168,25 +168,43 @@ fn main() {
         dataset: REDDIT,
     });
     let space = full_space();
-    println!("space size: {} points (3-D space × {} prefetch depths)", space.len(), PREFETCH.len());
+    println!(
+        "space size: {} points (3-D space × {} prefetch depths)",
+        space.len(),
+        PREFETCH.len()
+    );
     let optimal = space
         .iter()
         .map(|p| objective(&m, p.0, p.1))
         .fold(f64::INFINITY, f64::min);
     println!("exhaustive optimum: {optimal:.2}s\n");
     let budget = 45; // the paper's ShaDow budget, now on a 6x larger space
-    println!("budget: {budget} evaluations ({:.1}% of the 4-D space)\n", 100.0 * budget as f64 / space.len() as f64);
+    println!(
+        "budget: {budget} evaluations ({:.1}% of the 4-D space)\n",
+        100.0 * budget as f64 / space.len() as f64
+    );
 
     let bo: Vec<f64> = (0..3).map(|s| bayesopt_4d(&m, &space, budget, s)).collect();
     let (bo_mean, bo_std) = mean_std(&bo);
-    println!("BayesOpt (GP over [f64;4]):  {bo_mean:.2}s±{bo_std:.2}  ({:.2}x of optimal)", optimal / bo_mean);
+    println!(
+        "BayesOpt (GP over [f64;4]):  {bo_mean:.2}s±{bo_std:.2}  ({:.2}x of optimal)",
+        optimal / bo_mean
+    );
 
     let pruned = pruning_4d(&m, budget);
-    println!("greedy 4-D pruning:          {pruned:.2}s  ({:.2}x of optimal)", optimal / pruned);
+    println!(
+        "greedy 4-D pruning:          {pruned:.2}s  ({:.2}x of optimal)",
+        optimal / pruned
+    );
 
-    let rnd: Vec<f64> = (0..3).map(|s| random_4d(&m, &space, budget, 100 + s)).collect();
+    let rnd: Vec<f64> = (0..3)
+        .map(|s| random_4d(&m, &space, budget, 100 + s))
+        .collect();
     let (r_mean, r_std) = mean_std(&rnd);
-    println!("random search:               {r_mean:.2}s±{r_std:.2}  ({:.2}x of optimal)", optimal / r_mean);
+    println!(
+        "random search:               {r_mean:.2}s±{r_std:.2}  ({:.2}x of optimal)",
+        optimal / r_mean
+    );
 
     assert!(
         optimal / bo_mean >= 0.9,

@@ -9,7 +9,9 @@
 
 use argo_bench::mean_std;
 use argo_graph::datasets::{OGBN_PRODUCTS, REDDIT};
-use argo_platform::{Library, ModelKind, PerfModel, PipelineSim, SamplerKind, Setup, ICE_LAKE_8380H};
+use argo_platform::{
+    Library, ModelKind, PerfModel, PipelineSim, SamplerKind, Setup, ICE_LAKE_8380H,
+};
 use argo_rt::{enumerate_space, Config};
 
 fn main() {
@@ -28,7 +30,10 @@ fn main() {
         let sim = PipelineSim::new(&m);
         let configs: Vec<Config> = enumerate_space(112).into_iter().step_by(23).collect();
         let analytic: Vec<f64> = configs.iter().map(|&c| m.epoch_time(c)).collect();
-        let des: Vec<f64> = configs.iter().map(|&c| sim.simulate(c).epoch_time).collect();
+        let des: Vec<f64> = configs
+            .iter()
+            .map(|&c| sim.simulate(c).epoch_time)
+            .collect();
         // Pearson correlation of log times.
         let la: Vec<f64> = analytic.iter().map(|t| t.ln()).collect();
         let ld: Vec<f64> = des.iter().map(|t| t.ln()).collect();
@@ -41,7 +46,10 @@ fn main() {
         let ratios: Vec<f64> = des.iter().zip(&analytic).map(|(d, a)| d / a).collect();
         let (rm, rs) = mean_std(&ratios);
         println!("{}:", m.setup().label());
-        println!("  {} configurations sampled from the 694-point space", configs.len());
+        println!(
+            "  {} configurations sampled from the 694-point space",
+            configs.len()
+        );
         println!("  log-time correlation: r = {r:.3}");
         println!("  DES/analytic epoch-time ratio: {rm:.2} ± {rs:.2}");
         let best_a = configs[la

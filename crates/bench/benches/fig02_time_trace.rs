@@ -51,7 +51,11 @@ fn render(trace: &TraceRecorder, horizon: f64, n_proc: usize) {
                     *c = ch;
                 }
             }
-            println!("  P{p} {:>7}: {}", stage.label(), row.iter().collect::<String>());
+            println!(
+                "  P{p} {:>7}: {}",
+                stage.label(),
+                row.iter().collect::<String>()
+            );
         }
     }
 }

@@ -29,7 +29,9 @@ fn main() {
     let split_inputs = split_a.input_nodes().len() + split_b.input_nodes().len();
 
     println!("joint batch {{0,1}}: {joint_edges} aggregation edges, {joint_inputs} input nodes");
-    println!("split batches {{0}},{{1}}: {split_edges} aggregation edges, {split_inputs} input nodes");
+    println!(
+        "split batches {{0}},{{1}}: {split_edges} aggregation edges, {split_inputs} input nodes"
+    );
     println!(
         "-> splitting inflates the workload {:.2}x (node 2's aggregation of nodes 3,4 is computed twice)\n",
         split_edges as f64 / joint_edges as f64
@@ -51,6 +53,9 @@ fn main() {
             .total_edges(3);
     }
     println!("at scale (synthetic products, batch 256 vs 8x32):");
-    println!("  joint {joint} edges, split {split} edges ({:.2}x)", split as f64 / joint as f64);
+    println!(
+        "  joint {joint} edges, split {split} edges ({:.2}x)",
+        split as f64 / joint as f64
+    );
     assert!(split as f64 > joint as f64 * 1.01);
 }

@@ -24,7 +24,10 @@ fn main() {
     });
     let w = model.setup().workload();
     println!("(modeled, paper scale: ogbn-products, batch 1024, Ice Lake)");
-    println!("{:>6} {:>16} {:>10} | {:>9} {:>24}", "procs", "epoch edges", "rel", "bw util", "");
+    println!(
+        "{:>6} {:>16} {:>10} | {:>9} {:>24}",
+        "procs", "epoch edges", "rel", "bw util", ""
+    );
     let base = w.epoch_edges(1);
     for p in [1usize, 2, 4, 6, 8, 10, 12, 16] {
         let edges = w.epoch_edges(p);
@@ -46,7 +49,10 @@ fn main() {
     let sampler = NeighborSampler::paper_default();
     let seeds = &d.train_nodes;
     let global_batch = 256;
-    println!("{:>6} {:>14} {:>10} {:>14}", "procs", "edges", "rel", "input nodes");
+    println!(
+        "{:>6} {:>14} {:>10} {:>14}",
+        "procs", "edges", "rel", "input nodes"
+    );
     let base = epoch_workload(&d.graph, &sampler, seeds, global_batch, 1, 5);
     let mut last_rel = 0.0;
     for p in [1usize, 2, 4, 8, 16] {
@@ -61,6 +67,8 @@ fn main() {
         last_rel > 1.02,
         "measured workload must grow with the process count (got {last_rel:.3}x at 16 procs)"
     );
-    println!("\nBoth curves rise with the process count while bandwidth flattens after ~8 processes,");
+    println!(
+        "\nBoth curves rise with the process count while bandwidth flattens after ~8 processes,"
+    );
     println!("matching the paper's Figure 6 trade-off.");
 }

@@ -7,7 +7,9 @@ use argo_graph::datasets::OGBN_PRODUCTS;
 use argo_platform::{Library, ModelKind, PerfModel, SamplerKind, Setup};
 
 fn main() {
-    println!("=== Figure 8: scalability with and without ARGO (Neighbor-SAGE, ogbn-products) ===\n");
+    println!(
+        "=== Figure 8: scalability with and without ARGO (Neighbor-SAGE, ogbn-products) ===\n"
+    );
     for platform in PLATFORMS {
         println!("-- {} --", platform_tag(&platform));
         let axis: Vec<usize> = if platform.total_cores >= 100 {

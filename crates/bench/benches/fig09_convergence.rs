@@ -32,7 +32,10 @@ fn curve(n_proc: usize, epochs: usize) -> Vec<(usize, f64)> {
     let trace = TraceRecorder::disabled();
     let mut out = Vec::new();
     let mut minibatches = 0usize;
-    out.push((0, evaluate_accuracy(&engine.model(), &dataset, &dataset.val_nodes)));
+    out.push((
+        0,
+        evaluate_accuracy(&engine.model(), &dataset, &dataset.val_nodes),
+    ));
     for _ in 0..epochs {
         let stats = engine.train_epoch(Config::new(n_proc, 1, 1), &trace);
         minibatches += stats.minibatches;
@@ -52,7 +55,10 @@ fn main() {
     for n in [2usize, 3, 4] {
         curves.push((format!("ARGO:{n}"), curve(n, epochs)));
     }
-    println!("{:<14} accuracy after each epoch (x = cumulative mini-batches)", "run");
+    println!(
+        "{:<14} accuracy after each epoch (x = cumulative mini-batches)",
+        "run"
+    );
     for (name, c) in &curves {
         let pts: Vec<String> = c
             .iter()

@@ -50,7 +50,10 @@ fn main() {
     // Distribution over the full 3-D space (what the exhaustive search
     // walks through).
     println!("\nfull space: {} configurations", space.len());
-    println!("epoch time range: {tmin:.2}s (optimal) .. {tmax:.2}s (worst), spread {:.1}x", tmax / tmin);
+    println!(
+        "epoch time range: {tmin:.2}s (optimal) .. {tmax:.2}s (worst), spread {:.1}x",
+        tmax / tmin
+    );
     println!("\nhistogram of epoch times across the space:");
     let bins = 12usize;
     let mut counts = vec![0usize; bins];
@@ -62,7 +65,11 @@ fn main() {
     for (b, &c) in counts.iter().enumerate() {
         let lo = tmin + (tmax - tmin) * b as f64 / bins as f64;
         let hi = tmin + (tmax - tmin) * (b + 1) as f64 / bins as f64;
-        println!("  {lo:>7.2}-{hi:<7.2} {:>4} {}", c, bar(c as f64 / cmax as f64, 40));
+        println!(
+            "  {lo:>7.2}-{hi:<7.2} {:>4} {}",
+            c,
+            bar(c as f64 / cmax as f64, 40)
+        );
     }
     let within_5pct = times.iter().filter(|&&t| t <= tmin * 1.05).count();
     println!(

@@ -80,7 +80,9 @@ fn bench_attention_kernels(c: &mut Criterion) {
     let sr: Vec<f32> = (0..4096).map(|i| (i % 5) as f32 * 0.2).collect();
     c.bench_function("sddmm_add_4096_nnz12", |b| b.iter(|| a.sddmm_add(&sl, &sr)));
     let logits = a.sddmm_add(&sl, &sr);
-    c.bench_function("edge_softmax_4096_nnz12", |b| b.iter(|| logits.row_softmax()));
+    c.bench_function("edge_softmax_4096_nnz12", |b| {
+        b.iter(|| logits.row_softmax())
+    });
     let z = Matrix::xavier(4096, 32, 4);
     let dh = Matrix::xavier(4096, 32, 5);
     c.bench_function("sddmm_dot_4096_f32", |b| b.iter(|| a.sddmm(&dh, &z)));

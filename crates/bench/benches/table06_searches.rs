@@ -60,7 +60,9 @@ fn main() {
             approx_bytes as f64 / 1e6
         );
     }
-    println!("\n(paper, scikit-optimize in Python: 7.7-9.6s / 20MB on Ice Lake, 1.5-3.8s / 10MB on");
+    println!(
+        "\n(paper, scikit-optimize in Python: 7.7-9.6s / 20MB on Ice Lake, 1.5-3.8s / 10MB on"
+    );
     println!(" Sapphire Rapids; the from-scratch Rust GP is orders of magnitude cheaper, well");
     println!(" under the paper's <1%-of-training-time bound.)");
 }

@@ -8,7 +8,10 @@
 //! This library holds the shared task definitions.
 
 use argo_graph::datasets::{DatasetSpec, FLICKR, OGBN_PAPERS100M, OGBN_PRODUCTS, REDDIT};
-use argo_platform::{Library, ModelKind, PerfModel, PlatformSpec, SamplerKind, Setup, ICE_LAKE_8380H, SAPPHIRE_RAPIDS_6430L};
+use argo_platform::{
+    Library, ModelKind, PerfModel, PlatformSpec, SamplerKind, Setup, ICE_LAKE_8380H,
+    SAPPHIRE_RAPIDS_6430L,
+};
 
 /// The four paper datasets in Table III order.
 pub const DATASETS: [DatasetSpec; 4] = [FLICKR, REDDIT, OGBN_PRODUCTS, OGBN_PAPERS100M];
@@ -156,10 +159,14 @@ pub fn search_quality_table(library: Library) {
                     m.epoch_time(s.best().unwrap().0)
                 };
                 let sa: Vec<f64> = (0..RUNS)
-                    .map(|seed| run_searcher(Box::new(SimulatedAnnealing::new(space.clone(), seed)), seed))
+                    .map(|seed| {
+                        run_searcher(Box::new(SimulatedAnnealing::new(space.clone(), seed)), seed)
+                    })
                     .collect();
                 let bo: Vec<f64> = (0..RUNS)
-                    .map(|seed| run_searcher(Box::new(BayesOpt::new(space.clone(), seed)), seed + 100))
+                    .map(|seed| {
+                        run_searcher(Box::new(BayesOpt::new(space.clone(), seed)), seed + 100)
+                    })
                     .collect();
                 let (sa_m, sa_s) = mean_std(&sa);
                 let (bo_m, _) = mean_std(&bo);

@@ -7,8 +7,12 @@
 
 use std::collections::HashMap;
 
+pub mod report;
+
 use argo_graph::datasets::{DatasetSpec, FLICKR, OGBN_PAPERS100M, OGBN_PRODUCTS, REDDIT};
-use argo_platform::{Library, ModelKind, PlatformSpec, SamplerKind, ICE_LAKE_8380H, SAPPHIRE_RAPIDS_6430L};
+use argo_platform::{
+    Library, ModelKind, PlatformSpec, SamplerKind, ICE_LAKE_8380H, SAPPHIRE_RAPIDS_6430L,
+};
 
 /// Parsed command line: a subcommand plus `--key value` options.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -50,7 +54,19 @@ impl Cli {
     pub fn get_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.options.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse '{v}'")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: cannot parse '{v}'")),
+        }
+    }
+
+    /// Boolean option (`--key true|false|1|0|yes|no`), default `false`.
+    pub fn get_bool(&self, key: &str) -> Result<bool, String> {
+        match self.options.get(key).map(String::as_str) {
+            None => Ok(false),
+            Some("true" | "1" | "yes" | "on") => Ok(true),
+            Some("false" | "0" | "no" | "off") => Ok(false),
+            Some(v) => Err(format!("--{key}: expected true|false, got '{v}'")),
         }
     }
 }
@@ -91,7 +107,9 @@ pub fn sampler_kind_by_name(name: &str) -> Result<SamplerKind, String> {
     match name.to_ascii_lowercase().as_str() {
         "neighbor" => Ok(SamplerKind::Neighbor),
         "shadow" => Ok(SamplerKind::Shadow),
-        other => Err(format!("unknown sampler '{other}' (expected neighbor|shadow)")),
+        other => Err(format!(
+            "unknown sampler '{other}' (expected neighbor|shadow)"
+        )),
     }
 }
 
@@ -112,17 +130,30 @@ USAGE:
   argo train    [--dataset flickr] [--scale 0.02] [--sampler neighbor|shadow|saint|cluster]
                 [--model sage|gcn|gat] [--epochs 20] [--n-search 5] [--batch 512]
                 [--hidden 64] [--layers 2] [--seed 0] [--save FILE] [--load FILE]
+                [--metrics-out run.jsonl] [--trace-out trace.json] [--report true]
       run real auto-tuned training on a synthetic (or saved) dataset
 
   argo simulate [--platform icelake|spr] [--library dgl|pyg]
                 [--sampler neighbor|shadow] [--model sage|gcn] [--dataset products]
+                [--metrics-out run.jsonl] [--report true]
       evaluate the paper-scale platform model: default vs auto-tuned vs optimal
+
+  argo report   --metrics run.jsonl
+      render a telemetry report (per-stage p50/p95/max, tuner convergence)
+      from a JSONL event file written with --metrics-out
 
   argo space    [--cores 112]
       inspect the configuration design space
 
   argo info
-      list datasets and platforms"
+      list datasets and platforms
+
+TELEMETRY:
+  --metrics-out FILE   write structured run events (epoch_start/epoch_end,
+                       stage_summary, tuner_trial, config_applied) as JSONL
+  --trace-out FILE     write a Chrome-tracing JSON of stage intervals
+                       (load in chrome://tracing or https://ui.perfetto.dev)
+  --report true        print the telemetry report after the run"
 }
 
 #[cfg(test)]
@@ -159,7 +190,10 @@ mod tests {
     #[test]
     fn name_resolution() {
         assert_eq!(dataset_by_name("Products").unwrap().name, "ogbn-products");
-        assert_eq!(dataset_by_name("papers100m").unwrap().name, "ogbn-papers100M");
+        assert_eq!(
+            dataset_by_name("papers100m").unwrap().name,
+            "ogbn-papers100M"
+        );
         assert!(dataset_by_name("imagenet").is_err());
         assert_eq!(platform_by_name("ICELAKE").unwrap().total_cores, 112);
         assert_eq!(platform_by_name("spr").unwrap().total_cores, 64);

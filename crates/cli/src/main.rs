@@ -5,14 +5,15 @@ use std::sync::Arc;
 
 use argo_cli::{
     dataset_by_name, library_by_name, model_kind_by_name, parse_args, platform_by_name,
-    sampler_kind_by_name, usage, Cli,
+    report::render_report, sampler_kind_by_name, usage, Cli,
 };
 use argo_core::{Argo, ArgoOptions};
 use argo_engine::{evaluate_accuracy, Engine, EngineOptions};
 use argo_graph::Dataset;
 use argo_nn::{Arch, ConfusionMatrix};
 use argo_platform::{PerfModel, Setup};
-use argo_sample::{ClusterGcnSampler, NeighborSampler, Sampler, SaintRwSampler, ShadowSampler};
+use argo_rt::{RunLogger, Source, Telemetry};
+use argo_sample::{ClusterGcnSampler, NeighborSampler, SaintRwSampler, Sampler, ShadowSampler};
 use argo_tune::{paper_num_searches, SearchSpace};
 
 fn main() -> ExitCode {
@@ -31,6 +32,7 @@ fn run(args: &[String]) -> Result<(), String> {
     match cli.command.as_str() {
         "train" => train(&cli),
         "simulate" => simulate(&cli),
+        "report" => report(&cli),
         "space" => space(&cli),
         "info" => {
             info();
@@ -42,6 +44,60 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         other => Err(format!("unknown subcommand '{other}'")),
     }
+}
+
+/// Builds the run's telemetry sinks: active iff any telemetry flag
+/// (`--metrics-out`, `--trace-out`, `--report true`) is present. Returns
+/// the handle plus whether to print the report afterwards.
+fn telemetry_for(cli: &Cli, source: Source) -> Result<(Telemetry, bool), String> {
+    let want_report = cli.get_bool("report")?;
+    let active = want_report
+        || cli.options.contains_key("metrics-out")
+        || cli.options.contains_key("trace-out");
+    let tel = if active {
+        Telemetry::with_source(source)
+    } else {
+        Telemetry::disabled()
+    };
+    Ok((tel, want_report))
+}
+
+/// Writes the `--metrics-out` JSONL and `--trace-out` Chrome-trace files
+/// and prints the report when requested.
+fn flush_telemetry(cli: &Cli, tel: &Telemetry, want_report: bool) -> Result<(), String> {
+    if let Some(path) = cli.options.get("metrics-out") {
+        std::fs::write(path, tel.logger.to_jsonl()).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote {} events to {path}", tel.logger.len());
+    }
+    if let Some(path) = cli.options.get("trace-out") {
+        std::fs::write(path, tel.trace.to_chrome_json())
+            .map_err(|e| format!("write {path}: {e}"))?;
+        println!(
+            "wrote {} trace events to {path} (open in chrome://tracing or ui.perfetto.dev)",
+            tel.trace.events().len()
+        );
+    }
+    if want_report {
+        let events: Vec<_> = tel
+            .logger
+            .events()
+            .into_iter()
+            .map(|(ts, e)| (e, ts, tel.logger.source()))
+            .collect();
+        print!("\n{}", render_report(&events, Some(tel)));
+    }
+    Ok(())
+}
+
+fn report(cli: &Cli) -> Result<(), String> {
+    let path = cli
+        .options
+        .get("metrics")
+        .ok_or("report needs --metrics FILE (a JSONL written with --metrics-out)")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let events = RunLogger::parse_jsonl(&text)?;
+    print!("{}", render_report(&events, None));
+    Ok(())
 }
 
 fn load_or_synthesize(cli: &Cli) -> Result<Arc<Dataset>, String> {
@@ -57,6 +113,8 @@ fn load_or_synthesize(cli: &Cli) -> Result<Arc<Dataset>, String> {
 }
 
 fn train(cli: &Cli) -> Result<(), String> {
+    // Validate telemetry flags before the (potentially long) run starts.
+    let (tel, want_report) = telemetry_for(cli, Source::Measured)?;
     let dataset = load_or_synthesize(cli)?;
     if let Some(path) = cli.options.get("save") {
         let mut f = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
@@ -65,7 +123,9 @@ fn train(cli: &Cli) -> Result<(), String> {
     }
     let layers: usize = cli.get_num("layers", 2)?;
     let sampler: Arc<dyn Sampler> = match cli.get("sampler", "neighbor") {
-        "neighbor" => Arc::new(NeighborSampler::new(vec![10, 5, 5][..layers.min(3)].to_vec())),
+        "neighbor" => Arc::new(NeighborSampler::new(
+            vec![10, 5, 5][..layers.min(3)].to_vec(),
+        )),
         "shadow" => Arc::new(ShadowSampler::new(vec![10, 5], layers)),
         "saint" => Arc::new(SaintRwSampler::new(3, layers)),
         "cluster" => Arc::new(ClusterGcnSampler::new(&dataset.graph, 32, layers)),
@@ -74,7 +134,9 @@ fn train(cli: &Cli) -> Result<(), String> {
     let arch = match cli.get("model", "sage") {
         "sage" | "graphsage" => Arch::Sage,
         "gcn" => Arch::Gcn,
-        "gat" => Arch::Gat { heads: cli.get_num("heads", 2)? },
+        "gat" => Arch::Gat {
+            heads: cli.get_num("heads", 2)?,
+        },
         other => return Err(format!("unknown model '{other}'")),
     };
     let epochs: usize = cli.get_num("epochs", 20)?;
@@ -104,13 +166,16 @@ fn train(cli: &Cli) -> Result<(), String> {
         epochs: epochs.max(n_search.max(1)),
         ..Default::default()
     });
-    let report = runtime.train(&mut engine, |epoch, config, stats| {
+    let report = runtime.train_telemetry(&mut engine, &tel, |epoch, config, stats| {
         println!(
             "epoch {epoch:>3} {config}: {:.3}s loss {:.4} acc {:.3}",
             stats.epoch_time, stats.loss, stats.train_accuracy
         );
     });
-    println!("\nselected {} (space: {} configs)", report.config_opt, report.space_size);
+    println!(
+        "\nselected {} (space: {} configs)",
+        report.config_opt, report.space_size
+    );
     println!("total time {:.2}s (tuning included)", report.total_time);
     // Final metrics on the validation split.
     let model = engine.model();
@@ -143,10 +208,13 @@ fn train(cli: &Cli) -> Result<(), String> {
         cm.micro_f1(),
         dataset.val_nodes.len()
     );
+    flush_telemetry(cli, &tel, want_report)?;
     Ok(())
 }
 
 fn simulate(cli: &Cli) -> Result<(), String> {
+    // Validate telemetry flags before the (potentially long) run starts.
+    let (tel, want_report) = telemetry_for(cli, Source::Modeled)?;
     let platform = platform_by_name(cli.get("platform", "icelake"))?;
     let library = library_by_name(cli.get("library", "dgl"))?;
     let sampler = sampler_kind_by_name(cli.get("sampler", "neighbor"))?;
@@ -159,10 +227,19 @@ fn simulate(cli: &Cli) -> Result<(), String> {
         model,
         dataset,
     });
-    println!("task: {} on {} ({})", m.setup().label(), platform.name, library.name());
+    println!(
+        "task: {} on {} ({})",
+        m.setup().label(),
+        platform.name,
+        library.name()
+    );
     let (best_cfg, best) = m.argo_best_epoch_time(platform.total_cores);
     let default = m.epoch_time(m.default_config());
-    println!("  default setup    : {:.2}s/epoch at {}", default, m.default_config());
+    println!(
+        "  default setup    : {:.2}s/epoch at {}",
+        default,
+        m.default_config()
+    );
     println!("  exhaustive best  : {best:.2}s/epoch at {best_cfg}");
     let n_search = paper_num_searches(
         platform.total_cores,
@@ -174,7 +251,7 @@ fn simulate(cli: &Cli) -> Result<(), String> {
         total_cores: platform.total_cores,
         seed: cli.get_num("seed", 0)?,
     });
-    let report = runtime.run_modeled(&m);
+    let report = runtime.run_modeled_telemetry(&m, &tel);
     println!(
         "  auto-tuner       : {:.2}s/epoch at {} ({} searches, {:.2}x of optimal)",
         report.best_epoch_time,
@@ -188,13 +265,17 @@ fn simulate(cli: &Cli) -> Result<(), String> {
         report.total_time,
         200.0 * default / report.total_time
     );
+    flush_telemetry(cli, &tel, want_report)?;
     Ok(())
 }
 
 fn space(cli: &Cli) -> Result<(), String> {
     let cores: usize = cli.get_num("cores", argo_rt::num_available_cores().max(4))?;
     let space = SearchSpace::for_cores(cores);
-    println!("design space for {cores} cores: {} configurations", space.len());
+    println!(
+        "design space for {cores} cores: {} configurations",
+        space.len()
+    );
     println!("  processes 2..8, sampling cores 1..4, training cores 1..(cores/p − s)");
     let show = 8.min(space.len());
     for i in 0..show {
@@ -215,7 +296,10 @@ fn info() {
         );
     }
     println!("\nplatforms (paper Table II):");
-    for p in [argo_platform::ICE_LAKE_8380H, argo_platform::SAPPHIRE_RAPIDS_6430L] {
+    for p in [
+        argo_platform::ICE_LAKE_8380H,
+        argo_platform::SAPPHIRE_RAPIDS_6430L,
+    ] {
         println!(
             "  {:<34} {} sockets, {} cores, {} GB/s peak",
             p.name, p.sockets, p.total_cores, p.peak_bw_gbs

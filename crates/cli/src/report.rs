@@ -1,0 +1,295 @@
+//! Rendering of telemetry into the `argo report` text output.
+//!
+//! Works from two sources that can be combined:
+//! * a live [`Telemetry`] handle right after a run (histogram quantiles,
+//!   overlap gauge), and/or
+//! * the structured events themselves — which is all a JSONL file written
+//!   with `--metrics-out` contains, so `argo report --metrics run.jsonl`
+//!   renders the same sections offline.
+
+use std::collections::BTreeMap;
+
+use argo_rt::telemetry::names;
+use argo_rt::{RunEvent, Source, Telemetry};
+
+/// p50/p95/max of a sample set.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Percentiles {
+    pub p50: f64,
+    pub p95: f64,
+    pub max: f64,
+}
+
+/// Exact percentiles of raw samples (nearest-rank). Returns `None` for an
+/// empty set.
+pub fn percentiles(samples: &[f64]) -> Option<Percentiles> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut v: Vec<f64> = samples.to_vec();
+    v.sort_by(f64::total_cmp);
+    let rank = |q: f64| {
+        let idx = ((q * v.len() as f64).ceil() as usize).clamp(1, v.len()) - 1;
+        v[idx]
+    };
+    Some(Percentiles {
+        p50: rank(0.50),
+        p95: rank(0.95),
+        max: *v.last().unwrap(),
+    })
+}
+
+fn fmt_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3}s")
+    } else if s >= 1e-3 {
+        format!("{:.3}ms", s * 1e3)
+    } else {
+        format!("{:.1}µs", s * 1e6)
+    }
+}
+
+/// Renders the report from parsed events plus (optionally) the live
+/// telemetry handle the run used. With a live handle, per-stage quantiles
+/// come from the per-iteration histograms and the overlap fraction from its
+/// gauge; from events alone, quantiles are over per-epoch stage totals.
+pub fn render_report(events: &[(RunEvent, f64, Source)], live: Option<&Telemetry>) -> String {
+    let mut out = String::new();
+
+    // ---- Run summary --------------------------------------------------
+    let mut epoch_times = Vec::new();
+    let mut sources = (0usize, 0usize); // (measured, modeled)
+    for (e, _, s) in events {
+        if let RunEvent::EpochEnd { record, .. } = e {
+            epoch_times.push(record.epoch_time);
+            match s {
+                Source::Measured => sources.0 += 1,
+                Source::Modeled => sources.1 += 1,
+            }
+        }
+    }
+    out.push_str(&format!(
+        "epochs: {} ({} measured, {} modeled), total epoch time {:.3}s\n",
+        epoch_times.len(),
+        sources.0,
+        sources.1,
+        epoch_times.iter().sum::<f64>()
+    ));
+    if let Some(p) = percentiles(&epoch_times) {
+        out.push_str(&format!(
+            "epoch time: p50 {} p95 {} max {}\n",
+            fmt_seconds(p.p50),
+            fmt_seconds(p.p95),
+            fmt_seconds(p.max)
+        ));
+    }
+
+    // ---- Per-stage section -------------------------------------------
+    // From events: per-epoch stage totals; from a live handle: the
+    // per-iteration histograms (finer-grained).
+    let mut by_stage: BTreeMap<String, (Vec<f64>, u64)> = BTreeMap::new();
+    for (e, _, _) in events {
+        if let RunEvent::StageSummary { summary, .. } = e {
+            let entry = by_stage.entry(summary.stage.clone()).or_default();
+            entry.0.push(summary.seconds);
+            entry.1 += summary.count;
+        }
+    }
+    let live_hists: BTreeMap<String, std::sync::Arc<argo_rt::metrics::Histogram>> = live
+        .map(|t| t.metrics.histograms().into_iter().collect())
+        .unwrap_or_default();
+    if !by_stage.is_empty() || !live_hists.is_empty() {
+        out.push_str("\nper-stage timings");
+        out.push_str(if live.is_some() {
+            " (per iteration, histogram quantiles):\n"
+        } else {
+            " (per epoch, from stage summaries):\n"
+        });
+        let stages = ["sample", "gather", "compute", "sync"];
+        for stage in stages {
+            let hist_name = format!("stage_seconds/{stage}");
+            if let Some(h) = live_hists.get(&hist_name) {
+                if h.count() == 0 {
+                    continue;
+                }
+                out.push_str(&format!(
+                    "  {stage:<8} p50 {:>10} p95 {:>10} max {:>10} total {:>10} n={}\n",
+                    fmt_seconds(h.quantile(0.50)),
+                    fmt_seconds(h.quantile(0.95)),
+                    fmt_seconds(h.max()),
+                    fmt_seconds(h.sum()),
+                    h.count()
+                ));
+            } else if let Some((samples, count)) = by_stage.get(stage) {
+                if let Some(p) = percentiles(samples) {
+                    out.push_str(&format!(
+                        "  {stage:<8} p50 {:>10} p95 {:>10} max {:>10} total {:>10} n={}\n",
+                        fmt_seconds(p.p50),
+                        fmt_seconds(p.p95),
+                        fmt_seconds(p.max),
+                        fmt_seconds(samples.iter().sum::<f64>()),
+                        count
+                    ));
+                }
+            }
+        }
+    }
+
+    // ---- Overlap fraction (Figure 2) ---------------------------------
+    if let Some(t) = live {
+        let gauges: BTreeMap<String, f64> = t.metrics.gauges().into_iter().collect();
+        if let Some(f) = gauges.get(names::OVERLAP_FRACTION) {
+            out.push_str(&format!("\ngather/compute overlap fraction: {f:.3}\n"));
+        } else if t.trace.is_enabled() && !t.trace.events().is_empty() {
+            out.push_str(&format!(
+                "\ngather/compute overlap fraction: {:.3}\n",
+                t.trace.overlap_fraction(t.trace.now())
+            ));
+        }
+    }
+
+    // ---- Tuner convergence -------------------------------------------
+    let trials: Vec<_> = events
+        .iter()
+        .filter_map(|(e, _, _)| match e {
+            RunEvent::TunerTrial(t) => Some(t),
+            _ => None,
+        })
+        .collect();
+    if !trials.is_empty() {
+        out.push_str("\ntuner convergence (incumbent best per trial):\n");
+        for t in &trials {
+            let marker = if (t.epoch_time - t.best_epoch_time).abs() < 1e-12 {
+                " *"
+            } else {
+                ""
+            };
+            out.push_str(&format!(
+                "  trial {:>3} {:<22} {:>9} best {:>9}{marker}\n",
+                t.trial,
+                t.config.to_string(),
+                fmt_seconds(t.epoch_time),
+                fmt_seconds(t.best_epoch_time),
+            ));
+        }
+        let last = trials.last().unwrap();
+        out.push_str(&format!(
+            "  selected {} at {} after {} trials (tuner cpu: suggest {}, observe {})\n",
+            last.best_config,
+            fmt_seconds(last.best_epoch_time),
+            trials.len(),
+            fmt_seconds(trials.iter().map(|t| t.suggest_seconds).sum::<f64>()),
+            fmt_seconds(trials.iter().map(|t| t.observe_seconds).sum::<f64>()),
+        ));
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use argo_rt::{Config, EpochRecord, RunLogger, StageSummaryRecord, TrialRecord};
+
+    fn evs() -> Vec<(RunEvent, f64, Source)> {
+        let c = Config::new(2, 1, 2);
+        let mk = |e: RunEvent| (e, 0.0, Source::Measured);
+        vec![
+            mk(RunEvent::EpochStart {
+                epoch: 0,
+                config: c,
+            }),
+            mk(RunEvent::StageSummary {
+                epoch: 0,
+                summary: StageSummaryRecord {
+                    stage: "gather".into(),
+                    seconds: 0.2,
+                    count: 10,
+                },
+            }),
+            mk(RunEvent::StageSummary {
+                epoch: 0,
+                summary: StageSummaryRecord {
+                    stage: "compute".into(),
+                    seconds: 0.6,
+                    count: 10,
+                },
+            }),
+            mk(RunEvent::EpochEnd {
+                epoch: 0,
+                config: c,
+                record: EpochRecord {
+                    epoch_time: 1.0,
+                    loss: 0.5,
+                    train_accuracy: 0.7,
+                    iterations: 5,
+                    minibatches: 10,
+                    edges: 100,
+                    sync_time: 0.1,
+                },
+            }),
+            mk(RunEvent::TunerTrial(TrialRecord {
+                trial: 0,
+                config: c,
+                epoch_time: 1.0,
+                best_config: c,
+                best_epoch_time: 1.0,
+                suggest_seconds: 1e-4,
+                observe_seconds: 1e-4,
+            })),
+            mk(RunEvent::TunerTrial(TrialRecord {
+                trial: 1,
+                config: Config::new(4, 1, 1),
+                epoch_time: 0.8,
+                best_config: Config::new(4, 1, 1),
+                best_epoch_time: 0.8,
+                suggest_seconds: 1e-4,
+                observe_seconds: 1e-4,
+            })),
+        ]
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let p = percentiles(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]).unwrap();
+        assert_eq!(p.p50, 5.0);
+        assert_eq!(p.p95, 10.0);
+        assert_eq!(p.max, 10.0);
+        assert!(percentiles(&[]).is_none());
+        let single = percentiles(&[3.5]).unwrap();
+        assert_eq!((single.p50, single.p95, single.max), (3.5, 3.5, 3.5));
+    }
+
+    #[test]
+    fn report_renders_all_sections_from_events() {
+        let text = render_report(&evs(), None);
+        assert!(text.contains("epochs: 1 (1 measured, 0 modeled)"));
+        assert!(text.contains("per-stage timings"));
+        assert!(text.contains("gather"));
+        assert!(text.contains("p50"));
+        assert!(text.contains("tuner convergence"));
+        assert!(text.contains("trial   1"));
+        assert!(text.contains("selected (proc=4, samp=1, train=1)"));
+    }
+
+    #[test]
+    fn report_roundtrips_through_jsonl() {
+        // Encoding to JSONL and parsing back renders identically.
+        let logger = RunLogger::new();
+        for (e, _, _) in evs() {
+            logger.log(e);
+        }
+        let parsed = RunLogger::parse_jsonl(&logger.to_jsonl()).unwrap();
+        let a = render_report(&parsed, None);
+        let b = render_report(&evs(), None);
+        // Timestamps differ but are not rendered, so texts match.
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn report_empty_events_is_benign() {
+        let text = render_report(&[], None);
+        assert!(text.contains("epochs: 0"));
+        assert!(!text.contains("tuner convergence"));
+    }
+}

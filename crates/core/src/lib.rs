@@ -37,9 +37,12 @@
 //! [`argo_engine::Engine`] directly; for paper-scale studies,
 //! [`Argo::run_modeled`] drives an [`argo_platform::PerfModel`].
 
+use std::time::Instant;
+
 use argo_engine::{Engine, EpochStats};
 use argo_platform::PerfModel;
-use argo_rt::{Config, TraceRecorder};
+use argo_rt::telemetry::names;
+use argo_rt::{Config, RunEvent, Telemetry, TrialRecord};
 use argo_tune::{BayesOpt, SearchSpace, Searcher};
 
 pub use argo_rt::Config as ArgoConfig;
@@ -131,22 +134,72 @@ impl Argo {
     /// seconds. During online learning it is called with `epochs = 1`;
     /// afterwards once with the remaining epochs (mirroring the `ep`
     /// variable of Listing 3).
-    pub fn run(&mut self, mut train: impl FnMut(Config, usize) -> f64) -> ArgoReport {
+    pub fn run(&mut self, train: impl FnMut(Config, usize) -> f64) -> ArgoReport {
+        self.run_telemetry(train, &Telemetry::disabled())
+    }
+
+    /// Like [`Argo::run`], but emits the tuner's introspection telemetry:
+    /// one `tuner_trial` event per search epoch (candidate configuration,
+    /// observed epoch time, incumbent best, suggest/observe CPU seconds), a
+    /// `config_applied` event on every configuration switch, and tuner
+    /// metrics into `telemetry.metrics`.
+    pub fn run_telemetry(
+        &mut self,
+        mut train: impl FnMut(Config, usize) -> f64,
+        telemetry: &Telemetry,
+    ) -> ArgoReport {
         // No point searching longer than the space is large (tiny hosts).
-        let n_search = self.opts.n_search.min(self.opts.epochs).min(self.space.len());
+        let n_search = self
+            .opts
+            .n_search
+            .min(self.opts.epochs)
+            .min(self.space.len());
+        let metrics = &telemetry.metrics;
+        let trials = metrics.counter(names::TUNER_TRIALS_TOTAL);
+        let suggest_h = metrics.time_histogram(names::TUNER_SUGGEST_SECONDS);
+        let observe_h = metrics.time_histogram(names::TUNER_OBSERVE_SECONDS);
+        let best_gauge = metrics.gauge(names::TUNER_BEST_EPOCH_SECONDS);
+
         let mut tuner = BayesOpt::new(self.space.clone(), self.opts.seed);
         let mut history = Vec::with_capacity(n_search);
         let mut total_time = 0.0;
-        for _ in 0..n_search {
+        for trial in 0..n_search {
+            let t0 = Instant::now();
             let config = tuner.suggest();
+            let suggest_seconds = t0.elapsed().as_secs_f64();
+            telemetry.logger.log(RunEvent::ConfigApplied {
+                config,
+                reason: "search".to_string(),
+            });
             let t = train(config, 1);
+            let t1 = Instant::now();
             tuner.observe(config, t);
+            let observe_seconds = t1.elapsed().as_secs_f64();
             history.push((config, t));
             total_time += t;
+
+            let (best_config, best_epoch_time) = tuner.best().expect("observed this trial");
+            trials.inc();
+            suggest_h.observe(suggest_seconds);
+            observe_h.observe(observe_seconds);
+            best_gauge.set(best_epoch_time);
+            telemetry.logger.log(RunEvent::TunerTrial(TrialRecord {
+                trial: trial as u64,
+                config,
+                epoch_time: t,
+                best_config,
+                best_epoch_time,
+                suggest_seconds,
+                observe_seconds,
+            }));
         }
         let (config_opt, best_epoch_time) = tuner.best().expect("n_search >= 1");
         let remaining = self.opts.epochs - n_search;
         if remaining > 0 {
+            telemetry.logger.log(RunEvent::ConfigApplied {
+                config: config_opt,
+                reason: "reuse".to_string(),
+            });
             total_time += train(config_opt, remaining);
         }
         ArgoReport {
@@ -164,26 +217,64 @@ impl Argo {
     pub fn train(
         &mut self,
         engine: &mut Engine,
+        on_epoch: impl FnMut(usize, Config, &EpochStats),
+    ) -> ArgoReport {
+        self.train_telemetry(engine, &Telemetry::disabled(), on_epoch)
+    }
+
+    /// Trains a real [`Engine`] under ARGO with the full telemetry layer:
+    /// per-epoch engine telemetry (stage histograms, structured epoch
+    /// events) plus the tuner introspection of [`Argo::run_telemetry`], all
+    /// into the same sinks.
+    pub fn train_telemetry(
+        &mut self,
+        engine: &mut Engine,
+        telemetry: &Telemetry,
         mut on_epoch: impl FnMut(usize, Config, &EpochStats),
     ) -> ArgoReport {
-        let trace = TraceRecorder::disabled();
         let mut epoch_idx = 0usize;
-        self.run(|config, epochs| {
-            let mut elapsed = 0.0;
-            for _ in 0..epochs {
-                let stats = engine.train_epoch(config, &trace);
-                on_epoch(epoch_idx, config, &stats);
-                epoch_idx += 1;
-                elapsed += stats.epoch_time;
-            }
-            elapsed
-        })
+        self.run_telemetry(
+            |config, epochs| {
+                let mut elapsed = 0.0;
+                for _ in 0..epochs {
+                    let stats = engine.train_epoch_telemetry(config, telemetry);
+                    on_epoch(epoch_idx, config, &stats);
+                    epoch_idx += 1;
+                    elapsed += stats.epoch_time;
+                }
+                elapsed
+            },
+            telemetry,
+        )
     }
 
     /// Runs the full schedule against a modeled platform (paper-scale
     /// studies on hardware this host does not have).
     pub fn run_modeled(&mut self, model: &PerfModel) -> ArgoReport {
         self.run(|config, epochs| model.epoch_time(config) * epochs as f64)
+    }
+
+    /// Like [`Argo::run_modeled`], but emits per-epoch modeled telemetry
+    /// through [`PerfModel::record_epoch`] alongside the tuner events —
+    /// the same schema a measured run produces. Build `telemetry` with
+    /// [`argo_rt::Source::Modeled`] so the provenance is tagged.
+    pub fn run_modeled_telemetry(
+        &mut self,
+        model: &PerfModel,
+        telemetry: &Telemetry,
+    ) -> ArgoReport {
+        let mut epoch_idx = 0u64;
+        self.run_telemetry(
+            |config, epochs| {
+                let mut elapsed = 0.0;
+                for _ in 0..epochs {
+                    elapsed += model.record_epoch(telemetry, epoch_idx, config);
+                    epoch_idx += 1;
+                }
+                elapsed
+            },
+            telemetry,
+        )
     }
 }
 
@@ -192,9 +283,7 @@ mod tests {
     use super::*;
     use argo_engine::EngineOptions;
     use argo_graph::datasets::{FLICKR, OGBN_PRODUCTS};
-    use argo_platform::{
-        Library, ModelKind, SamplerKind, Setup, ICE_LAKE_8380H,
-    };
+    use argo_platform::{Library, ModelKind, SamplerKind, Setup, ICE_LAKE_8380H};
     use argo_sample::NeighborSampler;
     use std::sync::Arc;
 
@@ -326,5 +415,81 @@ mod tests {
         // Final epochs reuse config_opt.
         assert_eq!(epochs_seen.last().unwrap().1, report.config_opt);
         assert!(report.total_time > 0.0);
+    }
+
+    #[test]
+    fn run_telemetry_traces_convergence() {
+        use argo_rt::RunEvent;
+        let tel = Telemetry::new();
+        let mut argo = Argo::new(ArgoOptions {
+            n_search: 6,
+            epochs: 30,
+            total_cores: 32,
+            seed: 7,
+        });
+        let report = argo.run_telemetry(toy_objective, &tel);
+        let events = tel.logger.events();
+        let trials: Vec<_> = events
+            .iter()
+            .filter_map(|(_, e)| match e {
+                RunEvent::TunerTrial(t) => Some(t),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(trials.len(), 6);
+        assert_eq!(trials.last().unwrap().best_config, report.config_opt);
+        // Incumbent-best trajectory is non-increasing.
+        assert!(trials
+            .windows(2)
+            .all(|w| w[1].best_epoch_time <= w[0].best_epoch_time));
+        // Telemetry must not change the outcome.
+        let mut argo2 = Argo::new(ArgoOptions {
+            n_search: 6,
+            epochs: 30,
+            total_cores: 32,
+            seed: 7,
+        });
+        let plain = argo2.run(toy_objective);
+        assert_eq!(plain.config_opt, report.config_opt);
+        assert_eq!(plain.history, report.history);
+    }
+
+    #[test]
+    fn modeled_telemetry_tags_source_and_covers_all_epochs() {
+        use argo_rt::{RunEvent, Source};
+        let model = PerfModel::new(Setup {
+            platform: ICE_LAKE_8380H,
+            library: Library::Dgl,
+            sampler: SamplerKind::Neighbor,
+            model: ModelKind::Sage,
+            dataset: OGBN_PRODUCTS,
+        });
+        let tel = Telemetry::with_source(Source::Modeled);
+        let mut argo = Argo::new(ArgoOptions {
+            n_search: 5,
+            epochs: 12,
+            total_cores: 112,
+            seed: 4,
+        });
+        let report = argo.run_modeled_telemetry(&model, &tel);
+        let parsed = argo_rt::RunLogger::parse_jsonl(&tel.logger.to_jsonl()).unwrap();
+        assert!(parsed.iter().all(|(_, _, s)| *s == Source::Modeled));
+        let ends: Vec<_> = parsed
+            .iter()
+            .filter_map(|(e, _, _)| match e {
+                RunEvent::EpochEnd { epoch, .. } => Some(*epoch),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ends, (0..12).collect::<Vec<u64>>());
+        // Sum of modeled epoch times equals the report's total.
+        let total: f64 = parsed
+            .iter()
+            .filter_map(|(e, _, _)| match e {
+                RunEvent::EpochEnd { record, .. } => Some(record.epoch_time),
+                _ => None,
+            })
+            .sum();
+        assert!((total - report.total_time).abs() < 1e-9 * report.total_time.max(1.0));
     }
 }

@@ -7,7 +7,12 @@ use argo_graph::partition::random_partition;
 use argo_graph::Dataset;
 use argo_nn::{AnyModel, AnyOptimizer, Arch, LrSchedule, Optimizer, OptimizerKind};
 use argo_rt::affinity::CoreSet;
-use argo_rt::{AllReduce, Config, CoreBinder, SeedSequence, Stage, ThreadPool, TraceRecorder};
+use argo_rt::metrics::{Counter, Histogram, MetricsRegistry};
+use argo_rt::telemetry::names;
+use argo_rt::{
+    AllReduce, Config, CoreBinder, EpochRecord, RunEvent, RunLogger, SeedSequence, Stage,
+    StageSummaryRecord, Telemetry, ThreadPool, TraceRecorder,
+};
 use argo_sample::{PipelinedLoader, Sampler};
 
 /// Construction options for an [`Engine`].
@@ -87,6 +92,44 @@ struct ProcessResult {
     sync_time: f64,
     params: Vec<f32>,
     opt: AnyOptimizer,
+}
+
+/// Per-stage metric handles shared by all training processes of one epoch.
+/// Handles are lock-free to touch, so cloning one set per process keeps the
+/// hot loop cheap.
+#[derive(Clone)]
+struct StageMetrics {
+    sample: Arc<Histogram>,
+    gather: Arc<Histogram>,
+    compute: Arc<Histogram>,
+    sync: Arc<Histogram>,
+    iterations: Counter,
+    minibatches: Counter,
+    edges: Counter,
+}
+
+impl StageMetrics {
+    fn new(metrics: &MetricsRegistry) -> Self {
+        let stage = |s: Stage| metrics.time_histogram(&Telemetry::stage_histogram_name(s));
+        Self {
+            sample: stage(Stage::Sample),
+            gather: stage(Stage::Gather),
+            compute: stage(Stage::Compute),
+            sync: stage(Stage::Sync),
+            iterations: metrics.counter(names::ITERATIONS_TOTAL),
+            minibatches: metrics.counter(names::MINIBATCHES_TOTAL),
+            edges: metrics.counter(names::EDGES_TOTAL),
+        }
+    }
+
+    fn for_stage(&self, stage: Stage) -> &Arc<Histogram> {
+        match stage {
+            Stage::Sample => &self.sample,
+            Stage::Gather => &self.gather,
+            Stage::Compute => &self.compute,
+            Stage::Sync => &self.sync,
+        }
+    }
 }
 
 /// A persistent GNN training session whose epochs can each run under a
@@ -176,6 +219,30 @@ impl Engine {
     /// (adds a small instrumentation overhead; use
     /// [`TraceRecorder::disabled`] otherwise).
     pub fn train_epoch(&mut self, config: Config, trace: &TraceRecorder) -> EpochStats {
+        self.train_epoch_impl(config, trace, None, None)
+    }
+
+    /// Like [`Engine::train_epoch`], but wired to the full telemetry layer:
+    /// stage intervals go to `telemetry.trace`, per-iteration stage
+    /// durations and workload counters to `telemetry.metrics`, and
+    /// `epoch_start`/`epoch_end`/`stage_summary` events to
+    /// `telemetry.logger`.
+    pub fn train_epoch_telemetry(&mut self, config: Config, telemetry: &Telemetry) -> EpochStats {
+        self.train_epoch_impl(
+            config,
+            &telemetry.trace,
+            Some(&telemetry.metrics),
+            Some(&telemetry.logger),
+        )
+    }
+
+    fn train_epoch_impl(
+        &mut self,
+        config: Config,
+        trace: &TraceRecorder,
+        metrics: Option<&MetricsRegistry>,
+        logger: Option<&RunLogger>,
+    ) -> EpochStats {
         let n_proc = config.n_proc;
         let binder = CoreBinder::new(self.opts.total_cores.max(config.total_cores()));
         let plan = binder
@@ -196,6 +263,25 @@ impl Engine {
         let allreduce = Arc::new(AllReduce::new(n_proc, self.params.len()));
         let epoch = self.epoch;
 
+        let stage_metrics = metrics.filter(|m| m.is_enabled()).map(StageMetrics::new);
+        // Histograms are cumulative across epochs; snapshot them so the
+        // per-epoch stage summaries below can report deltas.
+        let stage_snapshot: Vec<(Stage, f64, u64)> = stage_metrics
+            .as_ref()
+            .map(|sm| {
+                ALL_STAGES
+                    .iter()
+                    .map(|&s| {
+                        let h = sm.for_stage(s);
+                        (s, h.sum(), h.count())
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        if let Some(l) = logger {
+            l.log(RunEvent::EpochStart { epoch, config });
+        }
+
         let start = Instant::now();
         let results: Vec<ProcessResult> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n_proc);
@@ -209,6 +295,7 @@ impl Engine {
                 let opt0 = self.opt.clone();
                 let proc_seeds = self.seeds.child(rank as u64);
                 let opts = self.opts.clone();
+                let stage_metrics = stage_metrics.clone();
                 handles.push(scope.spawn(move || {
                     run_process(
                         rank,
@@ -225,10 +312,14 @@ impl Engine {
                         binding.training,
                         allreduce,
                         trace,
+                        stage_metrics,
                     )
                 }));
             }
-            handles.into_iter().map(|h| h.join().expect("process panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("process panicked"))
+                .collect()
         });
         let epoch_time = start.elapsed().as_secs_f64();
 
@@ -244,17 +335,65 @@ impl Engine {
         let loss_sum = r0.loss_sum + results.iter().map(|r| r.loss_sum).sum::<f64>();
         let acc_sum = r0.acc_sum + results.iter().map(|r| r.acc_sum).sum::<f64>();
         let batches = iterations * n_proc;
-        EpochStats {
+        let stats = EpochStats {
             epoch_time,
-            loss: if batches > 0 { (loss_sum / batches as f64) as f32 } else { 0.0 },
-            train_accuracy: if batches > 0 { acc_sum / batches as f64 } else { 0.0 },
+            loss: if batches > 0 {
+                (loss_sum / batches as f64) as f32
+            } else {
+                0.0
+            },
+            train_accuracy: if batches > 0 {
+                acc_sum / batches as f64
+            } else {
+                0.0
+            },
             iterations,
             minibatches: batches,
             edges: total_edges,
             sync_time: r0.sync_time,
+        };
+
+        if let Some(m) = metrics.filter(|m| m.is_enabled()) {
+            m.time_histogram(names::EPOCH_SECONDS).observe(epoch_time);
+            m.counter(names::EPOCHS_TOTAL).inc();
+            if trace.is_enabled() {
+                m.gauge(names::OVERLAP_FRACTION)
+                    .set(trace.overlap_fraction(trace.now()));
+            }
         }
+        if let Some(l) = logger {
+            if let Some(sm) = &stage_metrics {
+                for (stage, sum0, count0) in &stage_snapshot {
+                    let h = sm.for_stage(*stage);
+                    l.log(RunEvent::StageSummary {
+                        epoch,
+                        summary: StageSummaryRecord {
+                            stage: stage.label().to_string(),
+                            seconds: h.sum() - sum0,
+                            count: h.count() - count0,
+                        },
+                    });
+                }
+            }
+            l.log(RunEvent::EpochEnd {
+                epoch,
+                config,
+                record: EpochRecord {
+                    epoch_time: stats.epoch_time,
+                    loss: f64::from(stats.loss),
+                    train_accuracy: stats.train_accuracy,
+                    iterations: stats.iterations as u64,
+                    minibatches: stats.minibatches as u64,
+                    edges: stats.edges as u64,
+                    sync_time: stats.sync_time,
+                },
+            });
+        }
+        stats
     }
 }
+
+const ALL_STAGES: [Stage; 4] = [Stage::Sample, Stage::Gather, Stage::Compute, Stage::Sync];
 
 #[allow(clippy::too_many_arguments)]
 fn run_process(
@@ -272,6 +411,7 @@ fn run_process(
     training_cores: CoreSet,
     allreduce: Arc<AllReduce>,
     trace: &TraceRecorder,
+    stage_metrics: Option<StageMetrics>,
 ) -> ProcessResult {
     // Local model replica (DDP-style).
     let mut model = AnyModel::build(
@@ -312,20 +452,33 @@ fn run_process(
     let mut edges = 0usize;
     let mut sync_time = 0.0f64;
 
+    let sm = stage_metrics.as_ref();
+    let observe = |stage: Stage, start: f64, end: f64| {
+        trace.record(rank, stage, start, end);
+        if let Some(sm) = sm {
+            sm.for_stage(stage).observe(end - start);
+        }
+    };
+
     let mut wait_from = trace.now();
     for (_i, batch) in loader {
-        trace.record(rank, Stage::Sample, wait_from, trace.now());
-        if trace.is_enabled() {
+        observe(Stage::Sample, wait_from, trace.now());
+        if trace.is_enabled() || sm.is_some() {
             // Instrument the bandwidth-bound feature gather separately
             // (Figure 2's `aten::index_select`); the gather inside
             // `train_step` is what actually feeds the model.
-            trace.timed(rank, Stage::Gather, || {
-                std::hint::black_box(dataset.features.gather(batch.input_nodes()));
-            });
+            let g0 = trace.now();
+            std::hint::black_box(dataset.features.gather(batch.input_nodes()));
+            observe(Stage::Gather, g0, trace.now());
         }
-        let stats = trace.timed(rank, Stage::Compute, || {
-            model.train_step(&batch, &dataset.features, &dataset.labels, train_pool.as_ref())
-        });
+        let c0 = trace.now();
+        let stats = model.train_step(
+            &batch,
+            &dataset.features,
+            &dataset.labels,
+            train_pool.as_ref(),
+        );
+        observe(Stage::Compute, c0, trace.now());
         edges += batch.total_edges(opts.num_layers);
         loss_sum += f64::from(stats.loss);
         acc_sum += stats.accuracy;
@@ -337,13 +490,20 @@ fn run_process(
         allreduce.reduce_mean(&mut grads);
         let t1 = trace.now();
         sync_time += t1 - t0;
-        trace.record(rank, Stage::Sync, t0, t1);
+        observe(Stage::Sync, t0, t1);
         if let Some(max_norm) = opts.grad_clip {
             argo_nn::optim::clip_grad_norm(&mut grads, max_norm);
         }
         opt.step(&mut params, &grads);
         model.set_params_flat(&params);
         iterations += 1;
+        if let Some(sm) = sm {
+            sm.minibatches.inc();
+            sm.edges.add(batch.total_edges(opts.num_layers) as u64);
+            if rank == 0 {
+                sm.iterations.inc();
+            }
+        }
         wait_from = trace.now();
     }
 
@@ -408,8 +568,18 @@ mod tests {
         let mut e4 = Engine::new(Arc::clone(&d), neighbor(), opts(64));
         let s4 = e4.train_epoch(Config::new(4, 1, 1), &TraceRecorder::disabled());
         let expect = n_train / 64;
-        assert!((s1.iterations as i64 - expect as i64).abs() <= 1, "{} vs {}", s1.iterations, expect);
-        assert!((s4.iterations as i64 - expect as i64).abs() <= 1, "{} vs {}", s4.iterations, expect);
+        assert!(
+            (s1.iterations as i64 - expect as i64).abs() <= 1,
+            "{} vs {}",
+            s1.iterations,
+            expect
+        );
+        assert!(
+            (s4.iterations as i64 - expect as i64).abs() <= 1,
+            "{} vs {}",
+            s4.iterations,
+            expect
+        );
         // Total seeds consumed per iteration is the same.
         assert_eq!(s4.minibatches, s4.iterations * 4);
     }
@@ -469,6 +639,103 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_epoch_emits_metrics_and_events() {
+        use argo_rt::telemetry::names;
+        let mut e = Engine::new(tiny(), neighbor(), opts(64));
+        let tel = Telemetry::new();
+        let stats = e.train_epoch_telemetry(Config::new(2, 1, 1), &tel);
+
+        // Counters track the stats exactly.
+        let counters: std::collections::BTreeMap<_, _> =
+            tel.metrics.counters().into_iter().collect();
+        assert_eq!(counters[names::EPOCHS_TOTAL], 1);
+        assert_eq!(counters[names::ITERATIONS_TOTAL], stats.iterations as u64);
+        assert_eq!(counters[names::MINIBATCHES_TOTAL], stats.minibatches as u64);
+        assert_eq!(counters[names::EDGES_TOTAL], stats.edges as u64);
+
+        // Stage histograms saw one observation per mini-batch.
+        let hists: std::collections::BTreeMap<_, _> =
+            tel.metrics.histograms().into_iter().collect();
+        let compute = &hists[&Telemetry::stage_histogram_name(Stage::Compute)];
+        assert_eq!(compute.count(), stats.minibatches as u64);
+        assert!(compute.sum() > 0.0);
+        let epoch_h = &hists[names::EPOCH_SECONDS];
+        assert_eq!(epoch_h.count(), 1);
+        assert!((epoch_h.sum() - stats.epoch_time).abs() < 1e-9);
+
+        // Structured events: one epoch_start, four stage summaries, one
+        // epoch_end whose record mirrors the returned stats.
+        let events = tel.logger.events();
+        let kinds: Vec<&str> = events.iter().map(|(_, e)| e.kind()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "epoch_start",
+                "stage_summary",
+                "stage_summary",
+                "stage_summary",
+                "stage_summary",
+                "epoch_end"
+            ]
+        );
+        match &events.last().unwrap().1 {
+            argo_rt::RunEvent::EpochEnd {
+                epoch,
+                config,
+                record,
+            } => {
+                assert_eq!(*epoch, 0);
+                assert_eq!(config.n_proc, 2);
+                assert!((record.epoch_time - stats.epoch_time).abs() < 1e-12);
+                assert_eq!(record.iterations, stats.iterations as u64);
+            }
+            other => panic!("expected epoch_end, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sync_time_agrees_with_metrics() {
+        use std::collections::BTreeMap;
+        // Single process: the sync histogram's total is exactly the
+        // EpochStats sync_time (both sum the same rank-0 intervals).
+        let mut e = Engine::new(tiny(), neighbor(), opts(64));
+        let tel = Telemetry::new();
+        let stats = e.train_epoch_telemetry(Config::new(1, 1, 1), &tel);
+        let hists: BTreeMap<_, _> = tel.metrics.histograms().into_iter().collect();
+        let sync = &hists[&Telemetry::stage_histogram_name(Stage::Sync)];
+        let tol = 1e-6 + 0.05 * stats.sync_time;
+        assert!(
+            (sync.sum() - stats.sync_time).abs() <= tol,
+            "sync histogram {} vs stats {}",
+            sync.sum(),
+            stats.sync_time
+        );
+        assert_eq!(sync.count(), stats.iterations as u64);
+
+        // Multi-process: stats report rank 0 only, so the all-rank
+        // histogram total must be at least that and count every rank.
+        let mut e = Engine::new(tiny(), neighbor(), opts(64));
+        let tel = Telemetry::new();
+        let stats = e.train_epoch_telemetry(Config::new(2, 1, 1), &tel);
+        let hists: BTreeMap<_, _> = tel.metrics.histograms().into_iter().collect();
+        let sync = &hists[&Telemetry::stage_histogram_name(Stage::Sync)];
+        assert!(sync.sum() >= stats.sync_time * 0.95);
+        assert_eq!(sync.count(), (stats.iterations * 2) as u64);
+    }
+
+    #[test]
+    fn telemetry_disabled_is_inert_and_stats_match() {
+        let mut e = Engine::new(tiny(), neighbor(), opts(64));
+        let tel = Telemetry::disabled();
+        let stats = e.train_epoch_telemetry(Config::new(2, 1, 1), &tel);
+        assert!(stats.iterations > 0);
+        assert!(tel.metrics.counters().is_empty());
+        assert!(tel.metrics.histograms().is_empty());
+        assert!(tel.logger.is_empty());
+        assert!(tel.trace.events().is_empty());
+    }
+
+    #[test]
     fn more_processes_than_batch_still_works() {
         // Degenerate split: global batch 4 over 4 processes → local batch 1.
         let mut e = Engine::new(tiny(), neighbor(), opts(4));
@@ -511,7 +778,12 @@ mod tests {
         for _ in 0..4 {
             last = e.train_epoch(Config::new(2, 1, 1), &TraceRecorder::disabled());
         }
-        assert!(last.loss < first.loss, "GAT loss {} !< {}", last.loss, first.loss);
+        assert!(
+            last.loss < first.loss,
+            "GAT loss {} !< {}",
+            last.loss,
+            first.loss
+        );
     }
 
     #[test]
@@ -519,7 +791,10 @@ mod tests {
         use argo_nn::Optimizer;
         let mut o = opts(64);
         o.lr = 1e-2;
-        o.lr_schedule = LrSchedule::StepDecay { every: 2, gamma: 0.5 };
+        o.lr_schedule = LrSchedule::StepDecay {
+            every: 2,
+            gamma: 0.5,
+        };
         let mut e = Engine::new(tiny(), neighbor(), o);
         for _ in 0..2 {
             e.train_epoch(Config::new(1, 1, 1), &TraceRecorder::disabled());

@@ -25,7 +25,10 @@ impl Graph {
     pub fn from_edges(num_nodes: usize, edges: &[(NodeId, NodeId)], undirected: bool) -> Self {
         let mut degree = vec![0usize; num_nodes];
         for &(s, d) in edges {
-            assert!((s as usize) < num_nodes && (d as usize) < num_nodes, "edge ({s},{d}) out of range");
+            assert!(
+                (s as usize) < num_nodes && (d as usize) < num_nodes,
+                "edge ({s},{d}) out of range"
+            );
             degree[s as usize] += 1;
             if undirected && s != d {
                 degree[d as usize] += 1;
@@ -113,7 +116,10 @@ impl Graph {
 
     /// Maximum out-degree.
     pub fn max_degree(&self) -> usize {
-        (0..self.num_nodes()).map(|v| self.degree(v as NodeId)).max().unwrap_or(0)
+        (0..self.num_nodes())
+            .map(|v| self.degree(v as NodeId))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Checks CSR structural invariants: monotone `indptr` starting at 0 and

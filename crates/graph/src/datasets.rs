@@ -186,11 +186,17 @@ mod tests {
         assert!(d.num_classes >= 2);
         assert!(d.labels.iter().all(|&l| (l as usize) < d.num_classes));
         assert!(!d.train_nodes.is_empty());
-        assert!(d.train_nodes.iter().all(|&v| (v as usize) < d.graph.num_nodes()));
+        assert!(d
+            .train_nodes
+            .iter()
+            .all(|&v| (v as usize) < d.graph.num_nodes()));
         // Average degree close to the (capped) spec degree.
         let want = FLICKR.avg_degree().min(24.0);
         let got = d.graph.avg_degree();
-        assert!((got - want).abs() / want < 0.25, "avg degree {got} vs {want}");
+        assert!(
+            (got - want).abs() / want < 0.25,
+            "avg degree {got} vs {want}"
+        );
     }
 
     #[test]

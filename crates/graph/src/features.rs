@@ -16,7 +16,10 @@ pub struct Features {
 impl Features {
     /// Wraps raw data; `data.len()` must be a multiple of `dim`.
     pub fn new(data: Vec<f32>, dim: usize) -> Self {
-        assert!(dim > 0 && data.len().is_multiple_of(dim), "data not a multiple of dim");
+        assert!(
+            dim > 0 && data.len().is_multiple_of(dim),
+            "data not a multiple of dim"
+        );
         Self { data, dim }
     }
 
@@ -161,8 +164,16 @@ mod tests {
         for v in 0..200u32 {
             let best = (0..4)
                 .min_by(|&a, &b| {
-                    let da: f32 = centroids[a].iter().zip(f.row(v)).map(|(c, x)| (c - x).powi(2)).sum();
-                    let db: f32 = centroids[b].iter().zip(f.row(v)).map(|(c, x)| (c - x).powi(2)).sum();
+                    let da: f32 = centroids[a]
+                        .iter()
+                        .zip(f.row(v))
+                        .map(|(c, x)| (c - x).powi(2))
+                        .sum();
+                    let db: f32 = centroids[b]
+                        .iter()
+                        .zip(f.row(v))
+                        .map(|(c, x)| (c - x).powi(2))
+                        .sum();
                     da.total_cmp(&db)
                 })
                 .unwrap();

@@ -122,7 +122,13 @@ pub fn write_dataset(w: &mut impl Write, d: &Dataset) -> io::Result<()> {
     let name = d.spec.name.as_bytes();
     write_u64(w, name.len() as u64)?;
     w.write_all(name)?;
-    for v in [d.spec.num_nodes, d.spec.num_edges, d.spec.f0, d.spec.f1, d.spec.f2] {
+    for v in [
+        d.spec.num_nodes,
+        d.spec.num_edges,
+        d.spec.f0,
+        d.spec.f1,
+        d.spec.f2,
+    ] {
         write_u64(w, v as u64)?;
     }
     Ok(())
@@ -198,12 +204,13 @@ pub fn read_edge_list(r: &mut impl Read, undirected: bool) -> io::Result<(Graph,
     let mut remap: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
     let mut ids: Vec<u64> = Vec::new();
     let mut edges: Vec<(u32, u32)> = Vec::new();
-    let local = |raw: u64, remap: &mut std::collections::HashMap<u64, u32>, ids: &mut Vec<u64>| -> u32 {
-        *remap.entry(raw).or_insert_with(|| {
-            ids.push(raw);
-            (ids.len() - 1) as u32
-        })
-    };
+    let local =
+        |raw: u64, remap: &mut std::collections::HashMap<u64, u32>, ids: &mut Vec<u64>| -> u32 {
+            *remap.entry(raw).or_insert_with(|| {
+                ids.push(raw);
+                (ids.len() - 1) as u32
+            })
+        };
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
@@ -214,9 +221,16 @@ pub fn read_edge_list(r: &mut impl Read, undirected: bool) -> io::Result<(Graph,
         let (Some(a), Some(b)) = (a, b) else {
             return Err(bad(&format!("line {}: expected 'src dst'", lineno + 1)));
         };
-        let a: u64 = a.parse().map_err(|_| bad(&format!("line {}: bad id '{a}'", lineno + 1)))?;
-        let b: u64 = b.parse().map_err(|_| bad(&format!("line {}: bad id '{b}'", lineno + 1)))?;
-        let (u, v) = (local(a, &mut remap, &mut ids), local(b, &mut remap, &mut ids));
+        let a: u64 = a
+            .parse()
+            .map_err(|_| bad(&format!("line {}: bad id '{a}'", lineno + 1)))?;
+        let b: u64 = b
+            .parse()
+            .map_err(|_| bad(&format!("line {}: bad id '{b}'", lineno + 1)))?;
+        let (u, v) = (
+            local(a, &mut remap, &mut ids),
+            local(b, &mut remap, &mut ids),
+        );
         edges.push((u, v));
     }
     if ids.is_empty() {

@@ -131,8 +131,14 @@ mod tests {
     #[test]
     fn random_partition_deterministic_in_seed() {
         let items = all_items(50);
-        assert_eq!(random_partition(&items, 3, 1), random_partition(&items, 3, 1));
-        assert_ne!(random_partition(&items, 3, 1), random_partition(&items, 3, 2));
+        assert_eq!(
+            random_partition(&items, 3, 1),
+            random_partition(&items, 3, 1)
+        );
+        assert_ne!(
+            random_partition(&items, 3, 1),
+            random_partition(&items, 3, 2)
+        );
     }
 
     #[test]

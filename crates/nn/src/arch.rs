@@ -66,14 +66,35 @@ impl AnyModel {
         seed: u64,
     ) -> Self {
         match arch {
-            Arch::Gcn => AnyModel::Gnn(Gnn::new(GnnKind::Gcn, in_dim, hidden, out_dim, num_layers, seed)),
-            Arch::Sage => AnyModel::Gnn(Gnn::new(GnnKind::Sage, in_dim, hidden, out_dim, num_layers, seed)),
-            Arch::Gat { heads } => AnyModel::Gat(Gat::new(in_dim, hidden, out_dim, num_layers, heads, seed)),
+            Arch::Gcn => AnyModel::Gnn(Gnn::new(
+                GnnKind::Gcn,
+                in_dim,
+                hidden,
+                out_dim,
+                num_layers,
+                seed,
+            )),
+            Arch::Sage => AnyModel::Gnn(Gnn::new(
+                GnnKind::Sage,
+                in_dim,
+                hidden,
+                out_dim,
+                num_layers,
+                seed,
+            )),
+            Arch::Gat { heads } => {
+                AnyModel::Gat(Gat::new(in_dim, hidden, out_dim, num_layers, heads, seed))
+            }
         }
     }
 
     /// Inference logits over the batch seeds.
-    pub fn forward(&self, batch: &SampledBatch, feats: &Features, pool: Option<&ThreadPool>) -> Matrix {
+    pub fn forward(
+        &self,
+        batch: &SampledBatch,
+        feats: &Features,
+        pool: Option<&ThreadPool>,
+    ) -> Matrix {
         match self {
             AnyModel::Gnn(m) => m.forward(batch, feats, pool),
             AnyModel::Gat(m) => m.forward(batch, feats, pool),
@@ -174,7 +195,10 @@ mod tests {
         assert_eq!(g.num_layers(), 2);
         let s = AnyModel::build(Arch::Sage, 10, 8, 3, 2, 1);
         assert_eq!(s.name(), "GraphSAGE");
-        assert!(s.num_params() > g.num_params(), "SAGE concat doubles fan-in");
+        assert!(
+            s.num_params() > g.num_params(),
+            "SAGE concat doubles fan-in"
+        );
         let a = AnyModel::build(Arch::Gat { heads: 2 }, 10, 8, 3, 2, 1);
         assert_eq!(a.name(), "GAT");
         assert!(a.num_params() > 0);

@@ -104,7 +104,10 @@ impl Gat {
         seed: u64,
     ) -> Self {
         assert!(num_layers >= 1 && heads >= 1 && in_dim > 0 && hidden > 0 && out_dim > 0);
-        assert!(hidden.is_multiple_of(heads), "hidden dim must divide evenly into heads");
+        assert!(
+            hidden.is_multiple_of(heads),
+            "hidden dim must divide evenly into heads"
+        );
         let mut layers = Vec::with_capacity(num_layers);
         let mut d_in = in_dim;
         for l in 0..num_layers {
@@ -114,7 +117,13 @@ impl Gat {
             } else {
                 (hidden / heads, true)
             };
-            layers.push(GatLayer::new(d_in, d_out, heads, concat, seed.wrapping_add(l as u64 * 131)));
+            layers.push(GatLayer::new(
+                d_in,
+                d_out,
+                heads,
+                concat,
+                seed.wrapping_add(l as u64 * 131),
+            ));
             d_in = layers[l].output_dim();
         }
         Self { layers }
@@ -142,7 +151,11 @@ impl Gat {
     fn layer_adjs(&self, batch: &SampledBatch) -> Vec<(SparseMatrix, usize)> {
         match batch {
             SampledBatch::Blocks(mb) => {
-                assert_eq!(mb.blocks.len(), self.layers.len(), "batch depth != model depth");
+                assert_eq!(
+                    mb.blocks.len(),
+                    self.layers.len(),
+                    "batch depth != model depth"
+                );
                 mb.blocks
                     .iter()
                     .map(|b| (b.adj.clone(), b.dst_nodes.len()))
@@ -209,7 +222,11 @@ impl Gat {
             head_caches.push((alpha, deriv));
         }
         add_bias(&mut out, &layer.b);
-        let relu_mask = if relu { Some(relu_inplace(&mut out)) } else { None };
+        let relu_mask = if relu {
+            Some(relu_inplace(&mut out))
+        } else {
+            None
+        };
         (
             out,
             GatCache {
@@ -222,7 +239,12 @@ impl Gat {
     }
 
     /// Inference forward; logits over the batch seeds.
-    pub fn forward(&self, batch: &SampledBatch, feats: &Features, pool: Option<&ThreadPool>) -> Matrix {
+    pub fn forward(
+        &self,
+        batch: &SampledBatch,
+        feats: &Features,
+        pool: Option<&ThreadPool>,
+    ) -> Matrix {
         let adjs = self.layer_adjs(batch);
         let mut hcur = gather(feats, batch.input_nodes());
         for (l, (adj, n_dst)) in adjs.iter().enumerate() {
@@ -414,7 +436,8 @@ fn gather(feats: &Features, ids: &[u32]) -> Matrix {
 fn slice_cols(m: &Matrix, start: usize, len: usize) -> Matrix {
     let mut out = Matrix::zeros(m.rows(), len);
     for r in 0..m.rows() {
-        out.row_mut(r).copy_from_slice(&m.row(r)[start..start + len]);
+        out.row_mut(r)
+            .copy_from_slice(&m.row(r)[start..start + len]);
     }
     out
 }
@@ -505,7 +528,9 @@ mod tests {
         // α rows sum to 1 for every dst with at least one in-edge.
         let d = tiny();
         let gat = Gat::new(d.feat_dim(), 8, d.num_classes, 2, 2, 7);
-        let SampledBatch::Blocks(mb) = blocks(&d, 8) else { panic!() };
+        let SampledBatch::Blocks(mb) = blocks(&d, 8) else {
+            panic!()
+        };
         let block = &mb.blocks[0];
         // Recompute a head's α through the public kernels.
         let x = gather(&d.features, &block.src_nodes);
@@ -515,9 +540,21 @@ mod tests {
         let mut sl = vec![0.0f32; n_dst];
         let mut sr = vec![0.0f32; zc.rows()];
         for j in 0..zc.rows() {
-            sr[j] = gat.layers[0].ar.row(0).iter().zip(zc.row(j)).map(|(a, v)| a * v).sum();
+            sr[j] = gat.layers[0]
+                .ar
+                .row(0)
+                .iter()
+                .zip(zc.row(j))
+                .map(|(a, v)| a * v)
+                .sum();
             if j < n_dst {
-                sl[j] = gat.layers[0].al.row(0).iter().zip(zc.row(j)).map(|(a, v)| a * v).sum();
+                sl[j] = gat.layers[0]
+                    .al
+                    .row(0)
+                    .iter()
+                    .zip(zc.row(j))
+                    .map(|(a, v)| a * v)
+                    .sum();
             }
         }
         let mut logits = block.adj.sddmm_add(&sl, &sr).values().unwrap().to_vec();

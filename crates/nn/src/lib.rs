@@ -21,8 +21,8 @@ pub mod optim;
 pub mod schedule;
 
 pub use arch::{AnyModel, Arch};
-pub use metrics::ConfusionMatrix;
 pub use gat::Gat;
+pub use metrics::ConfusionMatrix;
 pub use model::{Gnn, GnnKind, StepStats};
 pub use optim::{clip_grad_norm, Adam, AnyOptimizer, Optimizer, OptimizerKind, Sgd};
 pub use schedule::LrSchedule;

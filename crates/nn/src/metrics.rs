@@ -15,7 +15,10 @@ impl ConfusionMatrix {
     /// Builds the matrix from logits (argmax prediction) and labels.
     pub fn from_logits(logits: &Matrix, labels: &[u32], classes: usize) -> Self {
         assert_eq!(logits.rows(), labels.len());
-        assert!(logits.cols() <= classes || logits.cols() == classes, "class mismatch");
+        assert!(
+            logits.cols() <= classes || logits.cols() == classes,
+            "class mismatch"
+        );
         let mut counts = vec![vec![0usize; classes]; classes];
         for (i, &lab) in labels.iter().enumerate() {
             let row = logits.row(i);
@@ -67,8 +70,14 @@ impl ConfusionMatrix {
 
     fn tp_fp_fn(&self, c: usize) -> (usize, usize, usize) {
         let tp = self.counts[c][c];
-        let fp: usize = (0..self.classes()).filter(|&t| t != c).map(|t| self.counts[t][c]).sum();
-        let fnn: usize = (0..self.classes()).filter(|&p| p != c).map(|p| self.counts[c][p]).sum();
+        let fp: usize = (0..self.classes())
+            .filter(|&t| t != c)
+            .map(|t| self.counts[t][c])
+            .sum();
+        let fnn: usize = (0..self.classes())
+            .filter(|&p| p != c)
+            .map(|p| self.counts[c][p])
+            .sum();
         (tp, fp, fnn)
     }
 

@@ -3,7 +3,9 @@
 use argo_graph::features::Features;
 use argo_rt::ThreadPool;
 use argo_sample::batch::SampledBatch;
-use argo_tensor::ops::{accuracy, add_bias, bias_grad, relu_backward, relu_inplace, softmax_cross_entropy};
+use argo_tensor::ops::{
+    accuracy, add_bias, bias_grad, relu_backward, relu_inplace, softmax_cross_entropy,
+};
 use argo_tensor::{Matrix, SparseMatrix};
 
 /// Which aggregation rule a model uses.
@@ -176,7 +178,11 @@ impl Gnn {
         };
         let mut z = matmul(&cat, &self.layers[l].w, pool);
         add_bias(&mut z, &self.layers[l].b);
-        let mask = if relu { Some(relu_inplace(&mut z)) } else { None };
+        let mask = if relu {
+            Some(relu_inplace(&mut z))
+        } else {
+            None
+        };
         (z, cat, mask)
     }
 
@@ -446,7 +452,11 @@ mod tests {
         m.grads_flat(&mut g);
         assert_eq!(g.len(), m.num_params());
         let nonzero = g.iter().filter(|x| **x != 0.0).count();
-        assert!(nonzero > g.len() / 4, "gradients mostly zero: {nonzero}/{}", g.len());
+        assert!(
+            nonzero > g.len() / 4,
+            "gradients mostly zero: {nonzero}/{}",
+            g.len()
+        );
     }
 
     /// Finite-difference check of the full backward pass (the core

@@ -118,7 +118,11 @@ impl Optimizer for Adam {
 /// `max_norm / ‖g‖`. Returns the pre-clip norm.
 pub fn clip_grad_norm(grads: &mut [f32], max_norm: f32) -> f32 {
     assert!(max_norm > 0.0);
-    let norm = grads.iter().map(|g| (*g as f64) * (*g as f64)).sum::<f64>().sqrt() as f32;
+    let norm = grads
+        .iter()
+        .map(|g| (*g as f64) * (*g as f64))
+        .sum::<f64>()
+        .sqrt() as f32;
     if norm > max_norm && norm > 0.0 {
         let scale = max_norm / norm;
         for g in grads.iter_mut() {

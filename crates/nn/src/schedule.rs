@@ -76,7 +76,10 @@ mod tests {
 
     #[test]
     fn step_decay_steps() {
-        let s = LrSchedule::StepDecay { every: 10, gamma: 0.5 };
+        let s = LrSchedule::StepDecay {
+            every: 10,
+            gamma: 0.5,
+        };
         assert_eq!(s.multiplier(0), 1.0);
         assert_eq!(s.multiplier(9), 1.0);
         assert_eq!(s.multiplier(10), 0.5);
@@ -85,7 +88,10 @@ mod tests {
 
     #[test]
     fn cosine_monotone_then_floor() {
-        let s = LrSchedule::Cosine { horizon: 100, floor: 0.1 };
+        let s = LrSchedule::Cosine {
+            horizon: 100,
+            floor: 0.1,
+        };
         assert!((s.multiplier(0) - 1.0).abs() < 1e-6);
         let mut prev = 2.0f32;
         for e in (0..100).step_by(10) {
@@ -99,7 +105,10 @@ mod tests {
 
     #[test]
     fn warmup_ramps_to_one() {
-        let s = LrSchedule::Warmup { epochs: 4, start: 0.2 };
+        let s = LrSchedule::Warmup {
+            epochs: 4,
+            start: 0.2,
+        };
         assert!((s.multiplier(0) - 0.2).abs() < 1e-6);
         assert!(s.multiplier(2) > s.multiplier(1));
         assert_eq!(s.multiplier(4), 1.0);

@@ -10,52 +10,338 @@ use argo_platform::{
 fn main() {
     // (platform, lib, sampler, model, dataset, paper_exhaustive, paper_default_x)
     let rows = [
-        ("IL ", Library::Dgl, SamplerKind::Neighbor, ModelKind::Sage, FLICKR, 1.98, 0.93),
-        ("IL ", Library::Dgl, SamplerKind::Neighbor, ModelKind::Sage, REDDIT, 13.83, 0.81),
-        ("IL ", Library::Dgl, SamplerKind::Neighbor, ModelKind::Sage, OGBN_PRODUCTS, 11.19, 0.54),
-        ("IL ", Library::Dgl, SamplerKind::Neighbor, ModelKind::Sage, OGBN_PAPERS100M, 115.4, 0.75),
-        ("IL ", Library::Dgl, SamplerKind::Shadow, ModelKind::Gcn, FLICKR, 1.34, 0.73),
-        ("IL ", Library::Dgl, SamplerKind::Shadow, ModelKind::Gcn, REDDIT, 32.68, 0.16),
-        ("IL ", Library::Dgl, SamplerKind::Shadow, ModelKind::Gcn, OGBN_PRODUCTS, 14.68, 0.29),
-        ("IL ", Library::Dgl, SamplerKind::Shadow, ModelKind::Gcn, OGBN_PAPERS100M, 107.8, 0.62),
-        ("SPR", Library::Dgl, SamplerKind::Neighbor, ModelKind::Sage, FLICKR, 1.81, 0.94),
-        ("SPR", Library::Dgl, SamplerKind::Neighbor, ModelKind::Sage, REDDIT, 11.25, 0.79),
-        ("SPR", Library::Dgl, SamplerKind::Neighbor, ModelKind::Sage, OGBN_PRODUCTS, 7.40, 0.48),
-        ("SPR", Library::Dgl, SamplerKind::Neighbor, ModelKind::Sage, OGBN_PAPERS100M, 41.48, 0.61),
-        ("SPR", Library::Dgl, SamplerKind::Shadow, ModelKind::Gcn, FLICKR, 1.28, 0.73),
-        ("SPR", Library::Dgl, SamplerKind::Shadow, ModelKind::Gcn, REDDIT, 32.12, 0.23),
-        ("SPR", Library::Dgl, SamplerKind::Shadow, ModelKind::Gcn, OGBN_PRODUCTS, 11.42, 0.23),
-        ("SPR", Library::Dgl, SamplerKind::Shadow, ModelKind::Gcn, OGBN_PAPERS100M, 54.56, 0.49),
-        ("IL ", Library::Pyg, SamplerKind::Neighbor, ModelKind::Sage, FLICKR, 5.46, 1.00),
-        ("IL ", Library::Pyg, SamplerKind::Neighbor, ModelKind::Sage, REDDIT, 41.83, 0.78),
-        ("IL ", Library::Pyg, SamplerKind::Neighbor, ModelKind::Sage, OGBN_PRODUCTS, 161.4, 0.87),
-        ("IL ", Library::Pyg, SamplerKind::Neighbor, ModelKind::Sage, OGBN_PAPERS100M, 321.8, 0.82),
-        ("IL ", Library::Pyg, SamplerKind::Shadow, ModelKind::Gcn, FLICKR, 9.48, 0.33),
-        ("IL ", Library::Pyg, SamplerKind::Shadow, ModelKind::Gcn, REDDIT, 40.75, 0.23),
-        ("IL ", Library::Pyg, SamplerKind::Shadow, ModelKind::Gcn, OGBN_PRODUCTS, 71.94, 0.19),
-        ("IL ", Library::Pyg, SamplerKind::Shadow, ModelKind::Gcn, OGBN_PAPERS100M, 315.5, 0.94),
-        ("SPR", Library::Pyg, SamplerKind::Neighbor, ModelKind::Sage, FLICKR, 5.67, 0.92),
-        ("SPR", Library::Pyg, SamplerKind::Neighbor, ModelKind::Sage, REDDIT, 47.36, 0.87),
-        ("SPR", Library::Pyg, SamplerKind::Neighbor, ModelKind::Sage, OGBN_PRODUCTS, 117.9, 0.76),
-        ("SPR", Library::Pyg, SamplerKind::Neighbor, ModelKind::Sage, OGBN_PAPERS100M, 256.4, 0.87),
-        ("SPR", Library::Pyg, SamplerKind::Shadow, ModelKind::Gcn, FLICKR, 8.49, 0.30),
-        ("SPR", Library::Pyg, SamplerKind::Shadow, ModelKind::Gcn, REDDIT, 36.41, 0.21),
-        ("SPR", Library::Pyg, SamplerKind::Shadow, ModelKind::Gcn, OGBN_PRODUCTS, 64.52, 0.20),
-        ("SPR", Library::Pyg, SamplerKind::Shadow, ModelKind::Gcn, OGBN_PAPERS100M, 191.2, 0.81),
+        (
+            "IL ",
+            Library::Dgl,
+            SamplerKind::Neighbor,
+            ModelKind::Sage,
+            FLICKR,
+            1.98,
+            0.93,
+        ),
+        (
+            "IL ",
+            Library::Dgl,
+            SamplerKind::Neighbor,
+            ModelKind::Sage,
+            REDDIT,
+            13.83,
+            0.81,
+        ),
+        (
+            "IL ",
+            Library::Dgl,
+            SamplerKind::Neighbor,
+            ModelKind::Sage,
+            OGBN_PRODUCTS,
+            11.19,
+            0.54,
+        ),
+        (
+            "IL ",
+            Library::Dgl,
+            SamplerKind::Neighbor,
+            ModelKind::Sage,
+            OGBN_PAPERS100M,
+            115.4,
+            0.75,
+        ),
+        (
+            "IL ",
+            Library::Dgl,
+            SamplerKind::Shadow,
+            ModelKind::Gcn,
+            FLICKR,
+            1.34,
+            0.73,
+        ),
+        (
+            "IL ",
+            Library::Dgl,
+            SamplerKind::Shadow,
+            ModelKind::Gcn,
+            REDDIT,
+            32.68,
+            0.16,
+        ),
+        (
+            "IL ",
+            Library::Dgl,
+            SamplerKind::Shadow,
+            ModelKind::Gcn,
+            OGBN_PRODUCTS,
+            14.68,
+            0.29,
+        ),
+        (
+            "IL ",
+            Library::Dgl,
+            SamplerKind::Shadow,
+            ModelKind::Gcn,
+            OGBN_PAPERS100M,
+            107.8,
+            0.62,
+        ),
+        (
+            "SPR",
+            Library::Dgl,
+            SamplerKind::Neighbor,
+            ModelKind::Sage,
+            FLICKR,
+            1.81,
+            0.94,
+        ),
+        (
+            "SPR",
+            Library::Dgl,
+            SamplerKind::Neighbor,
+            ModelKind::Sage,
+            REDDIT,
+            11.25,
+            0.79,
+        ),
+        (
+            "SPR",
+            Library::Dgl,
+            SamplerKind::Neighbor,
+            ModelKind::Sage,
+            OGBN_PRODUCTS,
+            7.40,
+            0.48,
+        ),
+        (
+            "SPR",
+            Library::Dgl,
+            SamplerKind::Neighbor,
+            ModelKind::Sage,
+            OGBN_PAPERS100M,
+            41.48,
+            0.61,
+        ),
+        (
+            "SPR",
+            Library::Dgl,
+            SamplerKind::Shadow,
+            ModelKind::Gcn,
+            FLICKR,
+            1.28,
+            0.73,
+        ),
+        (
+            "SPR",
+            Library::Dgl,
+            SamplerKind::Shadow,
+            ModelKind::Gcn,
+            REDDIT,
+            32.12,
+            0.23,
+        ),
+        (
+            "SPR",
+            Library::Dgl,
+            SamplerKind::Shadow,
+            ModelKind::Gcn,
+            OGBN_PRODUCTS,
+            11.42,
+            0.23,
+        ),
+        (
+            "SPR",
+            Library::Dgl,
+            SamplerKind::Shadow,
+            ModelKind::Gcn,
+            OGBN_PAPERS100M,
+            54.56,
+            0.49,
+        ),
+        (
+            "IL ",
+            Library::Pyg,
+            SamplerKind::Neighbor,
+            ModelKind::Sage,
+            FLICKR,
+            5.46,
+            1.00,
+        ),
+        (
+            "IL ",
+            Library::Pyg,
+            SamplerKind::Neighbor,
+            ModelKind::Sage,
+            REDDIT,
+            41.83,
+            0.78,
+        ),
+        (
+            "IL ",
+            Library::Pyg,
+            SamplerKind::Neighbor,
+            ModelKind::Sage,
+            OGBN_PRODUCTS,
+            161.4,
+            0.87,
+        ),
+        (
+            "IL ",
+            Library::Pyg,
+            SamplerKind::Neighbor,
+            ModelKind::Sage,
+            OGBN_PAPERS100M,
+            321.8,
+            0.82,
+        ),
+        (
+            "IL ",
+            Library::Pyg,
+            SamplerKind::Shadow,
+            ModelKind::Gcn,
+            FLICKR,
+            9.48,
+            0.33,
+        ),
+        (
+            "IL ",
+            Library::Pyg,
+            SamplerKind::Shadow,
+            ModelKind::Gcn,
+            REDDIT,
+            40.75,
+            0.23,
+        ),
+        (
+            "IL ",
+            Library::Pyg,
+            SamplerKind::Shadow,
+            ModelKind::Gcn,
+            OGBN_PRODUCTS,
+            71.94,
+            0.19,
+        ),
+        (
+            "IL ",
+            Library::Pyg,
+            SamplerKind::Shadow,
+            ModelKind::Gcn,
+            OGBN_PAPERS100M,
+            315.5,
+            0.94,
+        ),
+        (
+            "SPR",
+            Library::Pyg,
+            SamplerKind::Neighbor,
+            ModelKind::Sage,
+            FLICKR,
+            5.67,
+            0.92,
+        ),
+        (
+            "SPR",
+            Library::Pyg,
+            SamplerKind::Neighbor,
+            ModelKind::Sage,
+            REDDIT,
+            47.36,
+            0.87,
+        ),
+        (
+            "SPR",
+            Library::Pyg,
+            SamplerKind::Neighbor,
+            ModelKind::Sage,
+            OGBN_PRODUCTS,
+            117.9,
+            0.76,
+        ),
+        (
+            "SPR",
+            Library::Pyg,
+            SamplerKind::Neighbor,
+            ModelKind::Sage,
+            OGBN_PAPERS100M,
+            256.4,
+            0.87,
+        ),
+        (
+            "SPR",
+            Library::Pyg,
+            SamplerKind::Shadow,
+            ModelKind::Gcn,
+            FLICKR,
+            8.49,
+            0.30,
+        ),
+        (
+            "SPR",
+            Library::Pyg,
+            SamplerKind::Shadow,
+            ModelKind::Gcn,
+            REDDIT,
+            36.41,
+            0.21,
+        ),
+        (
+            "SPR",
+            Library::Pyg,
+            SamplerKind::Shadow,
+            ModelKind::Gcn,
+            OGBN_PRODUCTS,
+            64.52,
+            0.20,
+        ),
+        (
+            "SPR",
+            Library::Pyg,
+            SamplerKind::Shadow,
+            ModelKind::Gcn,
+            OGBN_PAPERS100M,
+            191.2,
+            0.81,
+        ),
     ];
     println!(
         "{:<4} {:<4} {:<9} {:<5} {:<16} {:>9} {:>9} {:>6} | {:>7} {:>7} {:>6} | best-config",
-        "plat", "lib", "sampler", "model", "dataset", "paper(s)", "model(s)", "ratio", "pap d×", "mod d×", ""
+        "plat",
+        "lib",
+        "sampler",
+        "model",
+        "dataset",
+        "paper(s)",
+        "model(s)",
+        "ratio",
+        "pap d×",
+        "mod d×",
+        ""
     );
     for (plat, lib, sampler, model, dataset, paper, paper_dx) in rows {
-        let platform = if plat == "IL " { ICE_LAKE_8380H } else { SAPPHIRE_RAPIDS_6430L };
-        let m = PerfModel::new(Setup { platform, library: lib, sampler, model, dataset });
+        let platform = if plat == "IL " {
+            ICE_LAKE_8380H
+        } else {
+            SAPPHIRE_RAPIDS_6430L
+        };
+        let m = PerfModel::new(Setup {
+            platform,
+            library: lib,
+            sampler,
+            model,
+            dataset,
+        });
         let (best, t) = m.argo_best_epoch_time(platform.total_cores);
         let def = m.epoch_time(m.default_config());
         println!(
             "{:<4} {:<4} {:<9} {:<5} {:<16} {:>9.2} {:>9.2} {:>6.2} | {:>7.2} {:>7.2} {:>6} | {}",
-            plat, lib.name(), sampler.name(), model.name(), dataset.name,
-            paper, t, t / paper, paper_dx, t / def, "", best
+            plat,
+            lib.name(),
+            sampler.name(),
+            model.name(),
+            dataset.name,
+            paper,
+            t,
+            t / paper,
+            paper_dx,
+            t / def,
+            "",
+            best
         );
     }
     // Figure 1/8 baseline scaling (DGL Neighbor-SAGE products, Ice Lake).
@@ -72,7 +358,10 @@ fn main() {
         let (bc, ta) = m.argo_best_epoch_time(cores);
         println!(
             "  {:>3} cores: baseline {:>5.2}x  argo {:>5.2}x  (argo best {})",
-            cores, t4 / m.baseline_epoch_time(cores), t4 / ta, bc
+            cores,
+            t4 / m.baseline_epoch_time(cores),
+            t4 / ta,
+            bc
         );
     }
 }

@@ -172,7 +172,10 @@ mod tests {
         let rows = table5_pyg();
         let products_il = &rows[2];
         let ratio = products_il.optimal_ratio().unwrap();
-        assert!(ratio < 0.5, "outlier expected to stay under-modeled, got {ratio}");
+        assert!(
+            ratio < 0.5,
+            "outlier expected to stay under-modeled, got {ratio}"
+        );
         // All other exhaustive PyG rows stay within the band.
         for (i, r) in rows.iter().enumerate() {
             if i == 2 || i == 10 {

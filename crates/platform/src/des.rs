@@ -158,7 +158,9 @@ impl<'a> PipelineSim<'a> {
             }
             // Barrier: when every live process arrived, apply the sync cost
             // and release them into the next iteration.
-            if state.iter().all(|s| matches!(s, ProcState::AtBarrier | ProcState::Done))
+            if state
+                .iter()
+                .all(|s| matches!(s, ProcState::AtBarrier | ProcState::Done))
                 && state.contains(&ProcState::AtBarrier)
             {
                 let sync_end = now + sync_cost;
@@ -336,7 +338,9 @@ mod tests {
         for rank in 0..4 {
             for stage in [Stage::Sample, Stage::Gather, Stage::Compute, Stage::Sync] {
                 assert!(
-                    out.trace.iter().any(|e| e.process == rank && e.stage == stage),
+                    out.trace
+                        .iter()
+                        .any(|e| e.process == rank && e.stage == stage),
                     "missing {stage:?} for process {rank}"
                 );
             }
@@ -354,7 +358,10 @@ mod tests {
         let sim = PipelineSim::new(&m);
         let configs: Vec<Config> = enumerate_space(112).into_iter().step_by(17).collect();
         let analytic: Vec<f64> = configs.iter().map(|&c| m.epoch_time(c).ln()).collect();
-        let des: Vec<f64> = configs.iter().map(|&c| sim.simulate(c).epoch_time.ln()).collect();
+        let des: Vec<f64> = configs
+            .iter()
+            .map(|&c| sim.simulate(c).epoch_time.ln())
+            .collect();
         let n = configs.len() as f64;
         let (ma, md) = (
             analytic.iter().sum::<f64>() / n,
@@ -400,8 +407,17 @@ mod tests {
     fn deeper_prefetch_never_slows_the_pipeline() {
         let m = model(SamplerKind::Shadow, ModelKind::Gcn, REDDIT);
         let cfg = Config::new(4, 1, 6);
-        let shallow = PipelineSim::new(&m).with_prefetch(1).simulate(cfg).epoch_time;
-        let deep = PipelineSim::new(&m).with_prefetch(4).simulate(cfg).epoch_time;
-        assert!(deep <= shallow * 1.001, "prefetch 4 ({deep}) vs 1 ({shallow})");
+        let shallow = PipelineSim::new(&m)
+            .with_prefetch(1)
+            .simulate(cfg)
+            .epoch_time;
+        let deep = PipelineSim::new(&m)
+            .with_prefetch(4)
+            .simulate(cfg)
+            .epoch_time;
+        assert!(
+            deep <= shallow * 1.001,
+            "prefetch 4 ({deep}) vs 1 ({shallow})"
+        );
     }
 }

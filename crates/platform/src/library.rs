@@ -148,8 +148,14 @@ mod tests {
     #[test]
     fn accessors_dispatch() {
         let d = DGL_PROFILE;
-        assert_eq!(d.sampler_cost_per_edge(SamplerKind::Neighbor), d.neighbor_cost_per_edge);
-        assert_eq!(d.sampler_cost_per_edge(SamplerKind::Shadow), d.shadow_cost_per_edge);
+        assert_eq!(
+            d.sampler_cost_per_edge(SamplerKind::Neighbor),
+            d.neighbor_cost_per_edge
+        );
+        assert_eq!(
+            d.sampler_cost_per_edge(SamplerKind::Shadow),
+            d.shadow_cost_per_edge
+        );
     }
 
     #[test]

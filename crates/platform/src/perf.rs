@@ -25,7 +25,10 @@
 //!    grows with the process count; re-partitioning on process-count changes
 //!    adds a per-epoch cost (Section V-A1).
 
-use argo_rt::{enumerate_space, Config};
+use argo_rt::telemetry::names;
+use argo_rt::{
+    enumerate_space, Config, EpochRecord, RunEvent, Stage, StageSummaryRecord, Telemetry,
+};
 
 use crate::library::Library;
 use crate::spec::PlatformSpec;
@@ -138,7 +141,10 @@ impl PerfModel {
             * prof.sampler_cost_per_edge(self.setup.sampler)
             * self.sampler_size_penalty()
             / self.setup.platform.core_speed_factor;
-        let speedup = Self::amdahl(config.n_samp, prof.sampler_parallel_fraction(self.setup.sampler));
+        let speedup = Self::amdahl(
+            config.n_samp,
+            prof.sampler_parallel_fraction(self.setup.sampler),
+        );
         // Mild contention penalty for piling cores onto a serial sampler
         // (Section V-A2: extra sampling cores can even slow things down).
         let contention = 1.0
@@ -193,7 +199,12 @@ impl PerfModel {
         let plat = &self.setup.platform;
         let binder = argo_rt::CoreBinder::new(plat.total_cores);
         let local_plan_exists = binder
-            .plan_numa(plat.sockets.max(1), config.n_proc, config.n_samp, config.n_train)
+            .plan_numa(
+                plat.sockets.max(1),
+                config.n_proc,
+                config.n_samp,
+                config.n_train,
+            )
             .is_some();
         if !local_plan_exists {
             return self.epoch_time(config);
@@ -216,8 +227,8 @@ impl PerfModel {
         let w = self.setup.workload().iteration(config.n_proc);
         let prof = self.setup.library.profile();
         let per_proc_flops = w.flops / config.n_proc as f64;
-        let cpu = per_proc_flops
-            / (prof.gflops_per_core * 1e9 * self.setup.platform.core_speed_factor);
+        let cpu =
+            per_proc_flops / (prof.gflops_per_core * 1e9 * self.setup.platform.core_speed_factor);
         cpu / Self::amdahl(config.n_train, prof.train_parallel_fraction)
             + prof.per_batch_overhead / self.setup.platform.core_speed_factor
     }
@@ -244,9 +255,8 @@ impl PerfModel {
         let w = self.setup.workload();
         let iters = w.iterations_per_epoch();
         let launch = LAUNCH_COST_PER_PROC * config.n_proc as f64;
-        let partition = PARTITION_COST_PER_NODE
-            * w.train_nodes()
-            * (1.0 + 0.2 * (config.n_proc as f64 - 1.0));
+        let partition =
+            PARTITION_COST_PER_NODE * w.train_nodes() * (1.0 + 0.2 * (config.n_proc as f64 - 1.0));
         iters * self.iteration_time(config) + launch + partition
     }
 
@@ -296,6 +306,78 @@ impl PerfModel {
         }
         best.expect("non-empty space")
     }
+
+    /// Emits the modeled telemetry of one epoch under `config` — the same
+    /// event schema and metric names a measured [`argo_engine`] epoch
+    /// produces, so real and modeled runs are directly comparable. Pass a
+    /// [`Telemetry`] built with `Source::Modeled` so consumers can tell the
+    /// provenance apart. Returns the modeled epoch time.
+    pub fn record_epoch(&self, telemetry: &Telemetry, epoch: u64, config: Config) -> f64 {
+        let epoch_time = self.epoch_time(config);
+        let w = self.setup.workload();
+        let iters = w.iterations_per_epoch().round().max(1.0);
+        let prof = self.setup.library.profile();
+        // Per-iteration modeled stage durations (sample/gather/compute are
+        // concurrent across stages; sync is serial per iteration).
+        let per_iter = [
+            (Stage::Sample, self.sampling_time(config)),
+            (Stage::Gather, self.gather_time(config)),
+            (Stage::Compute, self.compute_time(config)),
+            (Stage::Sync, prof.sync_cost_per_proc * config.n_proc as f64),
+        ];
+
+        telemetry.logger.log(RunEvent::EpochStart { epoch, config });
+        if telemetry.metrics.is_enabled() {
+            for (stage, t) in per_iter {
+                telemetry
+                    .metrics
+                    .time_histogram(&Telemetry::stage_histogram_name(stage))
+                    .observe(t);
+            }
+            telemetry
+                .metrics
+                .time_histogram(names::EPOCH_SECONDS)
+                .observe(epoch_time);
+            telemetry.metrics.counter(names::EPOCHS_TOTAL).inc();
+            telemetry
+                .metrics
+                .counter(names::ITERATIONS_TOTAL)
+                .add(iters as u64);
+            telemetry
+                .metrics
+                .counter(names::MINIBATCHES_TOTAL)
+                .add(iters as u64 * config.n_proc as u64);
+            telemetry
+                .metrics
+                .counter(names::EDGES_TOTAL)
+                .add(w.epoch_edges(config.n_proc) as u64);
+        }
+        for (stage, t) in per_iter {
+            telemetry.logger.log(RunEvent::StageSummary {
+                epoch,
+                summary: StageSummaryRecord {
+                    stage: stage.label().to_string(),
+                    seconds: t * iters,
+                    count: iters as u64,
+                },
+            });
+        }
+        telemetry.logger.log(RunEvent::EpochEnd {
+            epoch,
+            config,
+            record: EpochRecord {
+                epoch_time,
+                // The performance model predicts time, not convergence.
+                loss: 0.0,
+                train_accuracy: 0.0,
+                iterations: iters as u64,
+                minibatches: iters as u64 * config.n_proc as u64,
+                edges: w.epoch_edges(config.n_proc) as u64,
+                sync_time: prof.sync_cost_per_proc * config.n_proc as f64 * iters,
+            },
+        });
+        epoch_time
+    }
 }
 
 fn splitmix(mut z: u64) -> u64 {
@@ -339,6 +421,39 @@ mod tests {
             ModelKind::Sage,
             OGBN_PRODUCTS,
         )
+    }
+
+    #[test]
+    fn record_epoch_shares_measured_schema() {
+        use argo_rt::Source;
+        let model = products_dgl_il();
+        let tel = Telemetry::with_source(Source::Modeled);
+        let config = model.default_config();
+        let t = model.record_epoch(&tel, 0, config);
+        assert!((t - model.epoch_time(config)).abs() < 1e-12);
+
+        // Events round-trip through JSONL with the modeled tag.
+        let parsed = argo_rt::RunLogger::parse_jsonl(&tel.logger.to_jsonl()).unwrap();
+        assert_eq!(parsed.len(), 6); // start + 4 stage summaries + end
+        assert!(parsed.iter().all(|(_, _, s)| *s == Source::Modeled));
+        match &parsed.last().unwrap().0 {
+            RunEvent::EpochEnd { record, .. } => {
+                assert!((record.epoch_time - t).abs() < 1e-12);
+                assert!(record.iterations > 0);
+                assert!(record.sync_time > 0.0 && record.sync_time < t);
+            }
+            other => panic!("expected epoch_end, got {other:?}"),
+        }
+
+        // Metric names match the engine's.
+        let names_seen: Vec<String> = tel
+            .metrics
+            .histograms()
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        assert!(names_seen.contains(&Telemetry::stage_histogram_name(Stage::Gather)));
+        assert!(names_seen.contains(&names::EPOCH_SECONDS.to_string()));
     }
 
     #[test]
@@ -397,8 +512,20 @@ mod tests {
     fn shadow_speedup_exceeds_neighbor_speedup() {
         // Section VI-E: ShaDow benefits more from ARGO because only
         // multi-processing parallelizes its sampler.
-        let nb = setup(ICE_LAKE_8380H, Library::Dgl, SamplerKind::Neighbor, ModelKind::Sage, OGBN_PRODUCTS);
-        let sh = setup(ICE_LAKE_8380H, Library::Dgl, SamplerKind::Shadow, ModelKind::Gcn, OGBN_PRODUCTS);
+        let nb = setup(
+            ICE_LAKE_8380H,
+            Library::Dgl,
+            SamplerKind::Neighbor,
+            ModelKind::Sage,
+            OGBN_PRODUCTS,
+        );
+        let sh = setup(
+            ICE_LAKE_8380H,
+            Library::Dgl,
+            SamplerKind::Shadow,
+            ModelKind::Gcn,
+            OGBN_PRODUCTS,
+        );
         let sp_nb = nb.epoch_time(nb.default_config()) / nb.argo_best_epoch_time(112).1;
         let sp_sh = sh.epoch_time(sh.default_config()) / sh.argo_best_epoch_time(112).1;
         assert!(
@@ -467,11 +594,24 @@ mod tests {
     #[test]
     fn pyg_is_slower_than_dgl() {
         for dataset in [REDDIT, OGBN_PRODUCTS] {
-            let d = setup(ICE_LAKE_8380H, Library::Dgl, SamplerKind::Neighbor, ModelKind::Sage, dataset);
-            let p = setup(ICE_LAKE_8380H, Library::Pyg, SamplerKind::Neighbor, ModelKind::Sage, dataset);
+            let d = setup(
+                ICE_LAKE_8380H,
+                Library::Dgl,
+                SamplerKind::Neighbor,
+                ModelKind::Sage,
+                dataset,
+            );
+            let p = setup(
+                ICE_LAKE_8380H,
+                Library::Pyg,
+                SamplerKind::Neighbor,
+                ModelKind::Sage,
+                dataset,
+            );
             assert!(
                 p.argo_best_epoch_time(112).1 > d.argo_best_epoch_time(112).1,
-                "{}", dataset.name
+                "{}",
+                dataset.name
             );
         }
     }
@@ -484,7 +624,12 @@ mod tests {
             (SamplerKind::Neighbor, ModelKind::Sage, FLICKR, 1.98),
             (SamplerKind::Neighbor, ModelKind::Sage, REDDIT, 13.83),
             (SamplerKind::Neighbor, ModelKind::Sage, OGBN_PRODUCTS, 11.19),
-            (SamplerKind::Neighbor, ModelKind::Sage, OGBN_PAPERS100M, 115.4),
+            (
+                SamplerKind::Neighbor,
+                ModelKind::Sage,
+                OGBN_PAPERS100M,
+                115.4,
+            ),
             (SamplerKind::Shadow, ModelKind::Gcn, FLICKR, 1.34),
             (SamplerKind::Shadow, ModelKind::Gcn, REDDIT, 32.68),
             (SamplerKind::Shadow, ModelKind::Gcn, OGBN_PRODUCTS, 14.68),
@@ -527,11 +672,17 @@ mod tests {
         };
         let il = max_gain(ICE_LAKE_8380H);
         let spr = max_gain(SAPPHIRE_RAPIDS_6430L);
-        assert!(il >= spr, "4-socket gain {il} should be >= 2-socket gain {spr}");
+        assert!(
+            il >= spr,
+            "4-socket gain {il} should be >= 2-socket gain {spr}"
+        );
         // In this calibration, per-batch framework overheads dominate the
         // gather phase, so the recovered bandwidth yields a measurable but
         // modest gain (the ablation bench reports the full sweep).
-        assert!(il > 1.004, "Ice Lake should see a visible gain somewhere, got {il}");
+        assert!(
+            il > 1.004,
+            "Ice Lake should see a visible gain somewhere, got {il}"
+        );
     }
 
     #[test]

@@ -351,7 +351,13 @@ mod tests {
                     let w = WorkloadModel::paper(d, s, m);
                     for np in [1, 2, 4, 8, 16] {
                         let it = w.iteration(np);
-                        for v in [it.edges, it.input_nodes, it.gather_bytes, it.flops, it.sampler_edge_visits] {
+                        for v in [
+                            it.edges,
+                            it.input_nodes,
+                            it.gather_bytes,
+                            it.flops,
+                            it.sampler_edge_visits,
+                        ] {
                             assert!(v.is_finite() && v > 0.0, "{d:?} {s:?} {m:?} np={np}");
                         }
                     }

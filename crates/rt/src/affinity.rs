@@ -51,7 +51,11 @@ impl CoreSet {
     /// Splits the set into `(first, rest)` where `first` holds the first
     /// `n` cores. Panics if `n > len`.
     pub fn split_at(&self, n: usize) -> (CoreSet, CoreSet) {
-        assert!(n <= self.ids.len(), "split_at({n}) on CoreSet of {}", self.ids.len());
+        assert!(
+            n <= self.ids.len(),
+            "split_at({n}) on CoreSet of {}",
+            self.ids.len()
+        );
         let (a, b) = self.ids.split_at(n);
         (CoreSet { ids: a.to_vec() }, CoreSet { ids: b.to_vec() })
     }
@@ -201,7 +205,9 @@ pub fn num_available_cores() -> usize {
             }
         }
     }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Binds the calling thread to the given cores.

@@ -17,7 +17,10 @@ pub struct Config {
 impl Config {
     /// Creates a configuration; all fields must be positive.
     pub fn new(n_proc: usize, n_samp: usize, n_train: usize) -> Self {
-        assert!(n_proc > 0 && n_samp > 0 && n_train > 0, "config fields must be positive");
+        assert!(
+            n_proc > 0 && n_samp > 0 && n_train > 0,
+            "config fields must be positive"
+        );
         Self {
             n_proc,
             n_samp,
@@ -60,7 +63,11 @@ pub fn enumerate_space(cores: usize) -> Vec<Config> {
 
 impl fmt::Display for Config {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "(proc={}, samp={}, train={})", self.n_proc, self.n_samp, self.n_train)
+        write!(
+            f,
+            "(proc={}, samp={}, train={})",
+            self.n_proc, self.n_samp, self.n_train
+        )
     }
 }
 
@@ -84,6 +91,9 @@ mod tests {
 
     #[test]
     fn display() {
-        assert_eq!(Config::new(2, 1, 3).to_string(), "(proc=2, samp=1, train=3)");
+        assert_eq!(
+            Config::new(2, 1, 3).to_string(),
+            "(proc=2, samp=1, train=3)"
+        );
     }
 }

@@ -1,0 +1,516 @@
+//! Structured run events (JSONL) — the run-level half of the telemetry
+//! layer.
+//!
+//! Every meaningful runtime decision becomes one [`RunEvent`]: epochs
+//! starting and ending (with full [`EpochRecord`] statistics), per-stage
+//! summaries, auto-tuner trials (candidate configuration, observed epoch
+//! time, incumbent best, tuner CPU cost) and configuration switches. The
+//! [`RunLogger`] collects them thread-safely and serializes one JSON object
+//! per line, so a run's history can be replayed, diffed, or rendered by
+//! `argo report` — and since the platform model emits the *same* schema
+//! with [`Source::Modeled`], real and modeled runs are directly comparable.
+
+use std::io::Write;
+
+use parking_lot::Mutex;
+
+use crate::config::Config;
+use crate::json::Json;
+
+/// Where telemetry came from: a real measured run or the DES/platform
+/// model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Source {
+    Measured,
+    Modeled,
+}
+
+impl Source {
+    pub fn label(&self) -> &'static str {
+        match self {
+            Source::Measured => "measured",
+            Source::Modeled => "modeled",
+        }
+    }
+
+    fn from_label(s: &str) -> Result<Self, String> {
+        match s {
+            "measured" => Ok(Source::Measured),
+            "modeled" => Ok(Source::Modeled),
+            other => Err(format!("unknown source '{other}'")),
+        }
+    }
+}
+
+/// Epoch statistics carried by [`RunEvent::EpochEnd`]. Mirrors the
+/// engine's `EpochStats` (the engine depends on this crate, so the
+/// telemetry-side record lives here).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EpochRecord {
+    /// Wall-clock epoch time in seconds — the auto-tuner's objective.
+    pub epoch_time: f64,
+    /// Mean training loss across all iterations and processes.
+    pub loss: f64,
+    /// Mean training accuracy.
+    pub train_accuracy: f64,
+    /// Synchronized iterations executed.
+    pub iterations: u64,
+    /// Mini-batches executed across all processes.
+    pub minibatches: u64,
+    /// Total sampled edges (workload proxy, paper Figure 6).
+    pub edges: u64,
+    /// Seconds inside gradient synchronization (rank 0).
+    pub sync_time: f64,
+}
+
+/// Per-stage aggregate carried by [`RunEvent::StageSummary`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct StageSummaryRecord {
+    /// Stage label (`sample`/`gather`/`compute`/`sync`).
+    pub stage: String,
+    /// Total seconds spent in the stage (summed over processes).
+    pub seconds: f64,
+    /// Number of recorded intervals.
+    pub count: u64,
+}
+
+/// One auto-tuner search step carried by [`RunEvent::TunerTrial`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TrialRecord {
+    /// Zero-based search-epoch index.
+    pub trial: u64,
+    /// Candidate configuration the searcher proposed.
+    pub config: Config,
+    /// Observed objective (epoch time, seconds).
+    pub epoch_time: f64,
+    /// Incumbent best configuration after observing this trial.
+    pub best_config: Config,
+    /// Incumbent best objective after observing this trial.
+    pub best_epoch_time: f64,
+    /// CPU seconds the searcher spent proposing (GP fit + acquisition).
+    pub suggest_seconds: f64,
+    /// CPU seconds the searcher spent absorbing the observation.
+    pub observe_seconds: f64,
+}
+
+/// A structured event in a training run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RunEvent {
+    /// An epoch began under `config`.
+    EpochStart { epoch: u64, config: Config },
+    /// An epoch finished; `record` holds its statistics.
+    EpochEnd {
+        epoch: u64,
+        config: Config,
+        record: EpochRecord,
+    },
+    /// Aggregate time of one pipeline stage over an epoch.
+    StageSummary {
+        epoch: u64,
+        summary: StageSummaryRecord,
+    },
+    /// One online-learning search step of the auto-tuner.
+    TunerTrial(TrialRecord),
+    /// The runtime switched to `config` (`reason` = `search` while
+    /// learning online, `reuse` once the optimum is locked in).
+    ConfigApplied { config: Config, reason: String },
+}
+
+fn config_json(c: Config) -> Json {
+    Json::obj(vec![
+        ("n_proc", Json::Num(c.n_proc as f64)),
+        ("n_samp", Json::Num(c.n_samp as f64)),
+        ("n_train", Json::Num(c.n_train as f64)),
+    ])
+}
+
+fn config_from_json(v: &Json) -> Result<Config, String> {
+    let field = |k: &str| {
+        v.get(k)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("config missing '{k}'"))
+    };
+    Ok(Config::new(
+        field("n_proc")? as usize,
+        field("n_samp")? as usize,
+        field("n_train")? as usize,
+    ))
+}
+
+impl RunEvent {
+    /// Event-type tag (`"epoch_end"`, `"tuner_trial"`, …).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RunEvent::EpochStart { .. } => "epoch_start",
+            RunEvent::EpochEnd { .. } => "epoch_end",
+            RunEvent::StageSummary { .. } => "stage_summary",
+            RunEvent::TunerTrial(_) => "tuner_trial",
+            RunEvent::ConfigApplied { .. } => "config_applied",
+        }
+    }
+
+    /// Encodes the event as one JSON object with envelope fields `event`,
+    /// `ts` (seconds since the logger's origin) and `source`.
+    pub fn to_json(&self, ts: f64, source: Source) -> Json {
+        let mut fields = vec![
+            ("event", Json::str(self.kind())),
+            ("ts", Json::Num(ts)),
+            ("source", Json::str(source.label())),
+        ];
+        match self {
+            RunEvent::EpochStart { epoch, config } => {
+                fields.push(("epoch", Json::Num(*epoch as f64)));
+                fields.push(("config", config_json(*config)));
+            }
+            RunEvent::EpochEnd {
+                epoch,
+                config,
+                record,
+            } => {
+                fields.push(("epoch", Json::Num(*epoch as f64)));
+                fields.push(("config", config_json(*config)));
+                fields.push((
+                    "stats",
+                    Json::obj(vec![
+                        ("epoch_time", Json::Num(record.epoch_time)),
+                        ("loss", Json::Num(record.loss)),
+                        ("train_accuracy", Json::Num(record.train_accuracy)),
+                        ("iterations", Json::Num(record.iterations as f64)),
+                        ("minibatches", Json::Num(record.minibatches as f64)),
+                        ("edges", Json::Num(record.edges as f64)),
+                        ("sync_time", Json::Num(record.sync_time)),
+                    ]),
+                ));
+            }
+            RunEvent::StageSummary { epoch, summary } => {
+                fields.push(("epoch", Json::Num(*epoch as f64)));
+                fields.push(("stage", Json::str(&summary.stage)));
+                fields.push(("seconds", Json::Num(summary.seconds)));
+                fields.push(("count", Json::Num(summary.count as f64)));
+            }
+            RunEvent::TunerTrial(t) => {
+                fields.push(("trial", Json::Num(t.trial as f64)));
+                fields.push(("config", config_json(t.config)));
+                fields.push(("epoch_time", Json::Num(t.epoch_time)));
+                fields.push(("best_config", config_json(t.best_config)));
+                fields.push(("best_epoch_time", Json::Num(t.best_epoch_time)));
+                fields.push(("suggest_seconds", Json::Num(t.suggest_seconds)));
+                fields.push(("observe_seconds", Json::Num(t.observe_seconds)));
+            }
+            RunEvent::ConfigApplied { config, reason } => {
+                fields.push(("config", config_json(*config)));
+                fields.push(("reason", Json::str(reason)));
+            }
+        }
+        Json::obj(fields)
+    }
+
+    /// Decodes an event from its JSON object form; returns the event with
+    /// its envelope `(ts, source)`.
+    pub fn from_json(v: &Json) -> Result<(RunEvent, f64, Source), String> {
+        let kind = v
+            .get("event")
+            .and_then(Json::as_str)
+            .ok_or("missing 'event'")?;
+        let ts = v.get("ts").and_then(Json::as_f64).ok_or("missing 'ts'")?;
+        let source = Source::from_label(
+            v.get("source")
+                .and_then(Json::as_str)
+                .ok_or("missing 'source'")?,
+        )?;
+        let epoch = || {
+            v.get("epoch")
+                .and_then(Json::as_u64)
+                .ok_or("missing 'epoch'")
+        };
+        let num = |obj: &Json, k: &str| {
+            obj.get(k)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("missing '{k}'"))
+        };
+        let event = match kind {
+            "epoch_start" => RunEvent::EpochStart {
+                epoch: epoch()?,
+                config: config_from_json(v.get("config").ok_or("missing 'config'")?)?,
+            },
+            "epoch_end" => {
+                let stats = v.get("stats").ok_or("missing 'stats'")?;
+                RunEvent::EpochEnd {
+                    epoch: epoch()?,
+                    config: config_from_json(v.get("config").ok_or("missing 'config'")?)?,
+                    record: EpochRecord {
+                        epoch_time: num(stats, "epoch_time")?,
+                        loss: num(stats, "loss")?,
+                        train_accuracy: num(stats, "train_accuracy")?,
+                        iterations: num(stats, "iterations")? as u64,
+                        minibatches: num(stats, "minibatches")? as u64,
+                        edges: num(stats, "edges")? as u64,
+                        sync_time: num(stats, "sync_time")?,
+                    },
+                }
+            }
+            "stage_summary" => RunEvent::StageSummary {
+                epoch: epoch()?,
+                summary: StageSummaryRecord {
+                    stage: v
+                        .get("stage")
+                        .and_then(Json::as_str)
+                        .ok_or("missing 'stage'")?
+                        .to_string(),
+                    seconds: num(v, "seconds")?,
+                    count: num(v, "count")? as u64,
+                },
+            },
+            "tuner_trial" => RunEvent::TunerTrial(TrialRecord {
+                trial: v
+                    .get("trial")
+                    .and_then(Json::as_u64)
+                    .ok_or("missing 'trial'")?,
+                config: config_from_json(v.get("config").ok_or("missing 'config'")?)?,
+                epoch_time: num(v, "epoch_time")?,
+                best_config: config_from_json(
+                    v.get("best_config").ok_or("missing 'best_config'")?,
+                )?,
+                best_epoch_time: num(v, "best_epoch_time")?,
+                suggest_seconds: num(v, "suggest_seconds")?,
+                observe_seconds: num(v, "observe_seconds")?,
+            }),
+            "config_applied" => RunEvent::ConfigApplied {
+                config: config_from_json(v.get("config").ok_or("missing 'config'")?)?,
+                reason: v
+                    .get("reason")
+                    .and_then(Json::as_str)
+                    .ok_or("missing 'reason'")?
+                    .to_string(),
+            },
+            other => return Err(format!("unknown event kind '{other}'")),
+        };
+        Ok((event, ts, source))
+    }
+}
+
+/// Thread-safe collector of [`RunEvent`]s with JSONL export.
+pub struct RunLogger {
+    origin: std::time::Instant,
+    source: Source,
+    events: Mutex<Vec<(f64, RunEvent)>>,
+    enabled: bool,
+}
+
+impl RunLogger {
+    /// An active logger for measured runs.
+    pub fn new() -> Self {
+        Self::with_source(Source::Measured)
+    }
+
+    /// An active logger tagging every event with `source`.
+    pub fn with_source(source: Source) -> Self {
+        Self {
+            origin: std::time::Instant::now(),
+            source,
+            events: Mutex::new(Vec::new()),
+            enabled: true,
+        }
+    }
+
+    /// A logger that drops all events (zero overhead in hot loops).
+    pub fn disabled() -> Self {
+        Self {
+            origin: std::time::Instant::now(),
+            source: Source::Measured,
+            events: Mutex::new(Vec::new()),
+            enabled: false,
+        }
+    }
+
+    /// Whether events are being kept.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The source tag applied to emitted events.
+    pub fn source(&self) -> Source {
+        self.source
+    }
+
+    /// Records one event, stamped with seconds since logger creation.
+    pub fn log(&self, event: RunEvent) {
+        if !self.enabled {
+            return;
+        }
+        let ts = self.origin.elapsed().as_secs_f64();
+        self.events.lock().push((ts, event));
+    }
+
+    /// Snapshot of `(ts, event)` pairs in emission order.
+    pub fn events(&self) -> Vec<(f64, RunEvent)> {
+        self.events.lock().clone()
+    }
+
+    /// Number of events recorded.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+
+    /// Serializes all events as JSONL (one JSON object per line).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (ts, event) in self.events.lock().iter() {
+            out.push_str(&event.to_json(*ts, self.source).encode());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes [`RunLogger::to_jsonl`] to `w`.
+    pub fn write_jsonl(&self, w: &mut impl Write) -> std::io::Result<()> {
+        w.write_all(self.to_jsonl().as_bytes())
+    }
+
+    /// Parses a JSONL document back into `(event, ts, source)` triples.
+    /// Blank lines are skipped; any malformed line is an error.
+    pub fn parse_jsonl(text: &str) -> Result<Vec<(RunEvent, f64, Source)>, String> {
+        let mut out = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let v = Json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+            out.push(RunEvent::from_json(&v).map_err(|e| format!("line {}: {e}", i + 1))?);
+        }
+        Ok(out)
+    }
+}
+
+impl Default for RunLogger {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<RunEvent> {
+        let c = Config::new(2, 1, 2);
+        vec![
+            RunEvent::ConfigApplied {
+                config: c,
+                reason: "search".to_string(),
+            },
+            RunEvent::EpochStart {
+                epoch: 0,
+                config: c,
+            },
+            RunEvent::StageSummary {
+                epoch: 0,
+                summary: StageSummaryRecord {
+                    stage: "gather".to_string(),
+                    seconds: 0.125,
+                    count: 17,
+                },
+            },
+            RunEvent::EpochEnd {
+                epoch: 0,
+                config: c,
+                record: EpochRecord {
+                    epoch_time: 1.5,
+                    loss: 0.693,
+                    train_accuracy: 0.51,
+                    iterations: 12,
+                    minibatches: 24,
+                    edges: 4096,
+                    sync_time: 0.25,
+                },
+            },
+            RunEvent::TunerTrial(TrialRecord {
+                trial: 0,
+                config: c,
+                epoch_time: 1.5,
+                best_config: c,
+                best_epoch_time: 1.5,
+                suggest_seconds: 1e-4,
+                observe_seconds: 2e-4,
+            }),
+        ]
+    }
+
+    #[test]
+    fn jsonl_roundtrip_preserves_every_event() {
+        let logger = RunLogger::new();
+        for e in sample_events() {
+            logger.log(e);
+        }
+        let text = logger.to_jsonl();
+        assert_eq!(text.lines().count(), 5);
+        let parsed = RunLogger::parse_jsonl(&text).unwrap();
+        assert_eq!(parsed.len(), 5);
+        for ((event, ts, source), want) in parsed.iter().zip(sample_events()) {
+            assert_eq!(event, &want);
+            assert!(*ts >= 0.0);
+            assert_eq!(*source, Source::Measured);
+        }
+    }
+
+    #[test]
+    fn modeled_source_survives_roundtrip() {
+        let logger = RunLogger::with_source(Source::Modeled);
+        logger.log(RunEvent::EpochStart {
+            epoch: 3,
+            config: Config::new(4, 2, 2),
+        });
+        let parsed = RunLogger::parse_jsonl(&logger.to_jsonl()).unwrap();
+        assert_eq!(parsed[0].2, Source::Modeled);
+    }
+
+    #[test]
+    fn disabled_logger_drops_events() {
+        let logger = RunLogger::disabled();
+        logger.log(RunEvent::EpochStart {
+            epoch: 0,
+            config: Config::new(2, 1, 1),
+        });
+        assert!(logger.is_empty());
+        assert_eq!(logger.to_jsonl(), "");
+        assert!(!logger.is_enabled());
+    }
+
+    #[test]
+    fn timestamps_are_monotone() {
+        let logger = RunLogger::new();
+        for e in sample_events() {
+            logger.log(e);
+        }
+        let ts: Vec<f64> = logger.events().iter().map(|(t, _)| *t).collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(RunLogger::parse_jsonl("{\"event\":\"epoch_start\"}").is_err());
+        assert!(RunLogger::parse_jsonl("not json").is_err());
+        // Blank lines are fine.
+        assert_eq!(RunLogger::parse_jsonl("\n\n").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn event_kinds_are_stable() {
+        let kinds: Vec<&str> = sample_events().iter().map(|e| e.kind()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "config_applied",
+                "epoch_start",
+                "stage_summary",
+                "epoch_end",
+                "tuner_trial"
+            ]
+        );
+    }
+}

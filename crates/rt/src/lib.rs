@@ -16,19 +16,31 @@
 //!   Multi-Process Engine to emulate PyTorch DDP (Section IV-B2).
 //! * [`trace`] — a lightweight event recorder used to regenerate the paper's
 //!   Figure 2 time-traces.
+//! * [`metrics`] / [`events`] / [`telemetry`] — the observability layer:
+//!   lock-cheap counters/gauges/histograms, structured JSONL run events
+//!   (epoch stats, tuner trials, config switches) and the [`Telemetry`]
+//!   handle that bundles them with the trace recorder.
 //! * [`rng`] — deterministic seed fan-out so that multi-process runs are
 //!   reproducible and semantics tests can compare runs bit-for-bit.
 
 pub mod affinity;
 pub mod allreduce;
 pub mod config;
+pub mod events;
+pub mod json;
+pub mod metrics;
 pub mod pool;
 pub mod rng;
+pub mod telemetry;
 pub mod trace;
 
 pub use affinity::{bind_current_thread, num_available_cores, CoreBinder, CoreSet, StageBinding};
-pub use config::{enumerate_space, Config};
 pub use allreduce::AllReduce;
+pub use config::{enumerate_space, Config};
+pub use events::{EpochRecord, RunEvent, RunLogger, Source, StageSummaryRecord, TrialRecord};
+pub use json::Json;
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use pool::ThreadPool;
 pub use rng::SeedSequence;
+pub use telemetry::Telemetry;
 pub use trace::{Stage, TraceEvent, TraceRecorder};

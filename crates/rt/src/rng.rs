@@ -44,7 +44,9 @@ impl SeedSequence {
     /// A concrete 64-bit seed for coordinate (`a`, `b`) under this sequence —
     /// typically (epoch, batch).
     pub fn seed_for(&self, a: u64, b: u64) -> u64 {
-        splitmix64(self.root ^ splitmix64(a.wrapping_mul(0x9E37_79B9)) ^ splitmix64(b ^ 0x5DEECE66D))
+        splitmix64(
+            self.root ^ splitmix64(a.wrapping_mul(0x9E37_79B9)) ^ splitmix64(b ^ 0x5DEECE66D),
+        )
     }
 }
 
@@ -85,7 +87,10 @@ mod tests {
     fn splitmix_reference_values() {
         // Values from the canonical SplitMix64 reference implementation
         // seeded with 0: first output is mix(0 + gamma).
-        assert_eq!(splitmix64(0x9E3779B97F4A7C15 - 0x9E3779B97F4A7C15), splitmix64(0));
+        assert_eq!(
+            splitmix64(0x9E3779B97F4A7C15 - 0x9E3779B97F4A7C15),
+            splitmix64(0)
+        );
         assert_ne!(splitmix64(0), 0);
         assert_ne!(splitmix64(1), splitmix64(2));
     }

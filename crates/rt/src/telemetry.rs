@@ -1,0 +1,144 @@
+//! One handle bundling the three telemetry sinks.
+//!
+//! The engine, auto-tuner and platform model all want the same trio: a
+//! [`TraceRecorder`] for Figure-2 interval traces, a [`MetricsRegistry`] for
+//! counters/gauges/histograms, and a [`RunLogger`] for structured JSONL
+//! events. [`Telemetry`] carries them together (each behind an `Arc`, so a
+//! clone per training process is cheap) and provides the canonical metric
+//! names so producers and the `report` renderer agree.
+
+use std::sync::Arc;
+
+use crate::events::{RunLogger, Source};
+use crate::metrics::MetricsRegistry;
+use crate::trace::{Stage, TraceRecorder};
+
+/// Shared handle to all telemetry sinks. Cloning shares the same
+/// underlying recorder, registry and logger.
+#[derive(Clone)]
+pub struct Telemetry {
+    pub trace: Arc<TraceRecorder>,
+    pub metrics: Arc<MetricsRegistry>,
+    pub logger: Arc<RunLogger>,
+}
+
+impl Telemetry {
+    /// All sinks active, tagged as a measured run.
+    pub fn new() -> Self {
+        Self {
+            trace: Arc::new(TraceRecorder::new()),
+            metrics: Arc::new(MetricsRegistry::new()),
+            logger: Arc::new(RunLogger::new()),
+        }
+    }
+
+    /// All sinks active, with events tagged `source` (use
+    /// [`Source::Modeled`] for platform/DES runs so real and modeled
+    /// telemetry share one schema).
+    pub fn with_source(source: Source) -> Self {
+        Self {
+            trace: Arc::new(TraceRecorder::new()),
+            metrics: Arc::new(MetricsRegistry::new()),
+            logger: Arc::new(RunLogger::with_source(source)),
+        }
+    }
+
+    /// All sinks disabled — zero overhead in hot loops.
+    pub fn disabled() -> Self {
+        Self {
+            trace: Arc::new(TraceRecorder::disabled()),
+            metrics: Arc::new(MetricsRegistry::disabled()),
+            logger: Arc::new(RunLogger::disabled()),
+        }
+    }
+
+    /// Builds a handle around existing sinks.
+    pub fn from_parts(
+        trace: Arc<TraceRecorder>,
+        metrics: Arc<MetricsRegistry>,
+        logger: Arc<RunLogger>,
+    ) -> Self {
+        Self {
+            trace,
+            metrics,
+            logger,
+        }
+    }
+
+    /// Canonical histogram name for per-iteration stage durations, e.g.
+    /// `stage_seconds/gather`.
+    pub fn stage_histogram_name(stage: Stage) -> String {
+        format!("stage_seconds/{}", stage.label())
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Well-known metric names shared by producers and the report renderer.
+pub mod names {
+    /// Histogram of whole-epoch wall-clock seconds.
+    pub const EPOCH_SECONDS: &str = "epoch_seconds";
+    /// Counter of completed epochs.
+    pub const EPOCHS_TOTAL: &str = "epochs_total";
+    /// Counter of executed mini-batches (all processes).
+    pub const MINIBATCHES_TOTAL: &str = "minibatches_total";
+    /// Counter of sampled edges (all processes).
+    pub const EDGES_TOTAL: &str = "edges_total";
+    /// Counter of synchronized iterations.
+    pub const ITERATIONS_TOTAL: &str = "iterations_total";
+    /// Counter of auto-tuner trials.
+    pub const TUNER_TRIALS_TOTAL: &str = "tuner_trials_total";
+    /// Histogram of tuner suggest (GP fit + acquisition) CPU seconds.
+    pub const TUNER_SUGGEST_SECONDS: &str = "tuner_suggest_seconds";
+    /// Histogram of tuner observe CPU seconds.
+    pub const TUNER_OBSERVE_SECONDS: &str = "tuner_observe_seconds";
+    /// Gauge: best (lowest) epoch time seen by the tuner so far.
+    pub const TUNER_BEST_EPOCH_SECONDS: &str = "tuner_best_epoch_seconds";
+    /// Gauge: overlap fraction of the most recent epoch (Figure 2).
+    pub const OVERLAP_FRACTION: &str = "overlap_fraction";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_sinks() {
+        let t = Telemetry::new();
+        let t2 = t.clone();
+        t.metrics.counter("c").inc();
+        assert_eq!(t2.metrics.counters(), vec![("c".to_string(), 1)]);
+        t2.trace.record(0, Stage::Sample, 0.0, 0.1);
+        assert_eq!(t.trace.events().len(), 1);
+    }
+
+    #[test]
+    fn disabled_is_inert() {
+        let t = Telemetry::disabled();
+        assert!(!t.trace.is_enabled());
+        assert!(!t.metrics.is_enabled());
+        assert!(!t.logger.is_enabled());
+    }
+
+    #[test]
+    fn stage_histogram_names() {
+        assert_eq!(
+            Telemetry::stage_histogram_name(Stage::Gather),
+            "stage_seconds/gather"
+        );
+        assert_eq!(
+            Telemetry::stage_histogram_name(Stage::Sync),
+            "stage_seconds/sync"
+        );
+    }
+
+    #[test]
+    fn modeled_source_propagates() {
+        let t = Telemetry::with_source(Source::Modeled);
+        assert_eq!(t.logger.source(), Source::Modeled);
+    }
+}

@@ -86,15 +86,23 @@ impl TraceRecorder {
 
     /// Records an interval for `process`/`stage` spanning `[start, end]`
     /// (both in recorder time, see [`TraceRecorder::now`]).
+    ///
+    /// Inverted intervals (`end < start`) are a caller bug; they are clamped
+    /// to zero-length at `start` so aggregate statistics can never go
+    /// negative, and debug builds assert.
     pub fn record(&self, process: usize, stage: Stage, start: f64, end: f64) {
         if !self.enabled {
             return;
         }
+        debug_assert!(
+            end >= start,
+            "trace interval ends before it starts: {stage:?} [{start}, {end}]"
+        );
         self.events.lock().push(TraceEvent {
             process,
             stage,
             start,
-            end,
+            end: end.max(start),
         });
     }
 
@@ -142,8 +150,14 @@ impl TraceRecorder {
         let mut procs = std::collections::HashSet::new();
         for e in events.iter() {
             procs.insert(e.process);
-            let lo = ((e.start / horizon) * BINS as f64).floor().max(0.0) as usize;
-            let hi = (((e.end / horizon) * BINS as f64).ceil() as usize).min(BINS);
+            // Clamp both endpoints into [0, BINS]: events may legitimately
+            // extend past `horizon` (callers often pass the epoch time while
+            // a straggler rank finishes later) or sit entirely outside it.
+            let lo = (((e.start / horizon) * BINS as f64).floor().max(0.0) as usize).min(BINS);
+            let hi = (((e.end / horizon) * BINS as f64).ceil().max(0.0) as usize).min(BINS);
+            if lo >= hi {
+                continue;
+            }
             let target = match e.stage {
                 Stage::Gather | Stage::Sample => &mut mem,
                 Stage::Compute => &mut cpu,
@@ -156,7 +170,11 @@ impl TraceRecorder {
         if procs.len() < 2 {
             return 0.0;
         }
-        let both = mem.iter().zip(cpu.iter()).filter(|(m, c)| **m && **c).count();
+        let both = mem
+            .iter()
+            .zip(cpu.iter())
+            .filter(|(m, c)| **m && **c)
+            .count();
         both as f64 / BINS as f64
     }
 }
@@ -265,9 +283,35 @@ mod tests {
     }
 
     #[test]
+    fn overlap_robust_to_events_past_horizon() {
+        let t = TraceRecorder::new();
+        // Straggler intervals extend past (or sit entirely outside) the
+        // horizon; they must be clamped, not panic or inflate the fraction.
+        t.record(0, Stage::Gather, 0.0, 5.0);
+        t.record(1, Stage::Compute, 0.0, 5.0);
+        t.record(0, Stage::Gather, 9.0, 12.0);
+        t.record(1, Stage::Compute, -3.0, -1.0);
+        let f = t.overlap_fraction(1.0);
+        assert!((0.0..=1.0).contains(&f), "overlap {f}");
+        assert!(f > 0.99, "fully overlapped inside horizon, got {f}");
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "ends before it starts"))]
+    fn record_clamps_inverted_interval() {
+        let t = TraceRecorder::new();
+        // Debug builds assert on the caller bug; release builds clamp the
+        // interval to zero length so stage times stay non-negative.
+        t.record(0, Stage::Sync, 1.0, 0.5);
+        assert_eq!(t.stage_time(0, Stage::Sync), 0.0);
+    }
+
+    #[test]
     fn timed_measures_nonnegative() {
         let t = TraceRecorder::new();
-        t.timed(0, Stage::Compute, || std::thread::sleep(std::time::Duration::from_millis(1)));
+        t.timed(0, Stage::Compute, || {
+            std::thread::sleep(std::time::Duration::from_millis(1))
+        });
         let ev = t.events();
         assert_eq!(ev.len(), 1);
         assert!(ev[0].end >= ev[0].start);

@@ -152,9 +152,7 @@ impl SampledBatch {
     pub fn seeds(&self) -> Vec<NodeId> {
         match self {
             SampledBatch::Blocks(mb) => mb.seeds.clone(),
-            SampledBatch::Subgraph(sb) => {
-                sb.seed_positions.iter().map(|&p| sb.nodes[p]).collect()
-            }
+            SampledBatch::Subgraph(sb) => sb.seed_positions.iter().map(|&p| sb.nodes[p]).collect(),
         }
     }
 

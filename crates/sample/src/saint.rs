@@ -151,8 +151,10 @@ mod tests {
     fn longer_walks_visit_more() {
         let g = power_law(500, 8000, 0.7, 3);
         let seeds: Vec<NodeId> = (0..16).collect();
-        let short = subgraph(SaintRwSampler::new(1, 2).sample(&g, &seeds, &mut SmallRng::seed_from_u64(9)));
-        let long = subgraph(SaintRwSampler::new(6, 2).sample(&g, &seeds, &mut SmallRng::seed_from_u64(9)));
+        let short =
+            subgraph(SaintRwSampler::new(1, 2).sample(&g, &seeds, &mut SmallRng::seed_from_u64(9)));
+        let long =
+            subgraph(SaintRwSampler::new(6, 2).sample(&g, &seeds, &mut SmallRng::seed_from_u64(9)));
         assert!(long.nodes.len() > short.nodes.len());
     }
 }

@@ -27,7 +27,10 @@ impl ShadowSampler {
     pub fn new(fanouts: Vec<usize>, num_layers: usize) -> Self {
         assert!(!fanouts.is_empty() && fanouts.iter().all(|&f| f > 0));
         assert!(num_layers > 0);
-        Self { fanouts, num_layers }
+        Self {
+            fanouts,
+            num_layers,
+        }
     }
 
     /// The paper's configuration: localized fanouts `[10, 5]` under a

@@ -32,7 +32,9 @@ impl Matrix {
     pub fn xavier(rows: usize, cols: usize, seed: u64) -> Self {
         let mut rng = SmallRng::seed_from_u64(seed);
         let bound = (6.0 / (rows + cols) as f32).sqrt();
-        let data = (0..rows * cols).map(|_| rng.gen_range(-bound..bound)).collect();
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
         Self { rows, cols, data }
     }
 
@@ -108,7 +110,10 @@ impl Matrix {
 
     /// `selfᵀ @ other` (used for weight gradients: `dW = Xᵀ dY`).
     pub fn matmul_transpose_self(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.rows, other.rows, "matmul_transpose_self shape mismatch");
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_transpose_self shape mismatch"
+        );
         let mut out = Matrix::zeros(self.cols, other.cols);
         for k in 0..self.rows {
             let xr = self.row(k);
@@ -128,7 +133,10 @@ impl Matrix {
 
     /// `self @ otherᵀ` (used for input gradients: `dX = dY Wᵀ`).
     pub fn matmul_transpose_other(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.cols, "matmul_transpose_other shape mismatch");
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_transpose_other shape mismatch"
+        );
         let mut out = Matrix::zeros(self.rows, other.rows);
         for i in 0..self.rows {
             let a = self.row(i);

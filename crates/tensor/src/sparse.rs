@@ -97,9 +97,8 @@ impl SparseMatrix {
         pool.parallel_ranges(self.rows, |range| {
             for i in range {
                 // SAFETY: each output row is written by exactly one worker.
-                let drow = unsafe {
-                    std::slice::from_raw_parts_mut((out_ptr as *mut f32).add(i * n), n)
-                };
+                let drow =
+                    unsafe { std::slice::from_raw_parts_mut((out_ptr as *mut f32).add(i * n), n) };
                 self.row_accumulate(dense, i, drow);
             }
         });
@@ -203,7 +202,10 @@ impl SparseMatrix {
             if lo == hi {
                 continue;
             }
-            let max = out[lo..hi].iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let max = out[lo..hi]
+                .iter()
+                .copied()
+                .fold(f32::NEG_INFINITY, f32::max);
             let mut denom = 0.0f32;
             for x in &mut out[lo..hi] {
                 *x = (*x - max).exp();
@@ -220,7 +222,10 @@ impl SparseMatrix {
     /// `alpha` (this matrix's values) and upstream gradient `d_alpha`,
     /// returns `d_logits`: `α_k (dα_k − Σ_{k'∈row} α_{k'} dα_{k'})`.
     pub fn row_softmax_backward(&self, d_alpha: &[f32]) -> Vec<f32> {
-        let alpha = self.values.as_ref().expect("row_softmax_backward needs values");
+        let alpha = self
+            .values
+            .as_ref()
+            .expect("row_softmax_backward needs values");
         assert_eq!(d_alpha.len(), alpha.len(), "gradient length");
         let mut out = vec![0.0f32; alpha.len()];
         for i in 0..self.rows {
@@ -290,7 +295,13 @@ mod tests {
 
     /// [[1, 0, 2], [0, 3, 0]]
     fn sample() -> SparseMatrix {
-        SparseMatrix::new(2, 3, vec![0, 2, 3], vec![0, 2, 1], Some(vec![1.0, 2.0, 3.0]))
+        SparseMatrix::new(
+            2,
+            3,
+            vec![0, 2, 3],
+            vec![0, 2, 1],
+            Some(vec![1.0, 2.0, 3.0]),
+        )
     }
 
     #[test]
@@ -431,16 +442,31 @@ mod tests {
             lm[k] -= eps;
             let f = |l: Vec<f32>| -> f32 {
                 let sm = s.with_values(l).row_softmax();
-                sm.values().unwrap().iter().zip(&d_alpha).map(|(a, d)| a * d).sum()
+                sm.values()
+                    .unwrap()
+                    .iter()
+                    .zip(&d_alpha)
+                    .map(|(a, d)| a * d)
+                    .sum()
             };
             let fd = (f(lp) - f(lm)) / (2.0 * eps);
-            assert!((fd - analytic[k]).abs() < 1e-3, "k={k}: fd {fd} vs {}", analytic[k]);
+            assert!(
+                (fd - analytic[k]).abs() < 1e-3,
+                "k={k}: fd {fd} vs {}",
+                analytic[k]
+            );
         }
     }
 
     #[test]
     fn row_and_col_value_sums() {
-        let s = SparseMatrix::new(2, 3, vec![0, 2, 3], vec![0, 2, 1], Some(vec![1.0, 2.0, 3.0]));
+        let s = SparseMatrix::new(
+            2,
+            3,
+            vec![0, 2, 3],
+            vec![0, 2, 1],
+            Some(vec![1.0, 2.0, 3.0]),
+        );
         assert_eq!(s.row_value_sums(), vec![3.0, 3.0]);
         assert_eq!(s.col_value_sums(), vec![1.0, 3.0, 2.0]);
     }

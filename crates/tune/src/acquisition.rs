@@ -72,7 +72,9 @@ impl Acquisition {
         match self {
             Acquisition::ExpectedImprovement => expected_improvement(mean, std, best, 0.01),
             Acquisition::LowerConfidenceBound => lower_confidence_bound(mean, std, 2.0),
-            Acquisition::ProbabilityOfImprovement => probability_of_improvement(mean, std, best, 0.01),
+            Acquisition::ProbabilityOfImprovement => {
+                probability_of_improvement(mean, std, best, 0.01)
+            }
             Acquisition::GreedyMean => -mean,
         }
     }

@@ -70,7 +70,11 @@ impl BayesOpt {
             .collect();
         // Model log epoch time: multiplicative effects become additive and
         // the GP is less distorted by heavy-tailed slow configs.
-        let y: Vec<f64> = self.observed.iter().map(|(_, v)| v.max(1e-9).ln()).collect();
+        let y: Vec<f64> = self
+            .observed
+            .iter()
+            .map(|(_, v)| v.max(1e-9).ln())
+            .collect();
         let gp = GaussianProcess::fit(&x, &y);
         let best = y.iter().copied().fold(f64::INFINITY, f64::min);
         let mut top: Option<(f64, usize)> = None;
@@ -125,7 +129,10 @@ impl Searcher for BayesOpt {
     }
 
     fn observe(&mut self, config: Config, value: f64) {
-        assert!(value.is_finite() && value > 0.0, "objective must be positive");
+        assert!(
+            value.is_finite() && value > 0.0,
+            "objective must be positive"
+        );
         if let Some(i) = self.space.index_of(config) {
             self.observed_idx[i] = true;
         }

@@ -59,7 +59,10 @@ impl Cholesky {
 
     /// Log-determinant of `A` (= 2·Σ log L_ii).
     pub fn log_det(&self) -> f64 {
-        (0..self.n).map(|i| self.l[i * self.n + i].ln()).sum::<f64>() * 2.0
+        (0..self.n)
+            .map(|i| self.l[i * self.n + i].ln())
+            .sum::<f64>()
+            * 2.0
     }
 }
 
@@ -87,7 +90,7 @@ fn dist<const D: usize>(a: &[f64; D], b: &[f64; D]) -> f64 {
 #[derive(Clone, Debug)]
 pub struct GaussianProcess<const D: usize = 3> {
     x: Vec<[f64; D]>,
-    alpha: Vec<f64>,       // (K + σ²I)⁻¹ y (standardized)
+    alpha: Vec<f64>, // (K + σ²I)⁻¹ y (standardized)
     chol: Cholesky,
     length_scale: f64,
     noise: f64,
@@ -158,10 +161,7 @@ impl<const D: usize> GaussianProcess<D> {
         let v = self.chol.solve(&kstar);
         let kss = matern52(0.0, self.length_scale) + self.noise;
         let var = (kss - kstar.iter().zip(&v).map(|(a, b)| a * b).sum::<f64>()).max(1e-12);
-        (
-            mean_std * self.y_std + self.y_mean,
-            var.sqrt() * self.y_std,
-        )
+        (mean_std * self.y_std + self.y_mean, var.sqrt() * self.y_std)
     }
 }
 

@@ -19,7 +19,8 @@
 
 use std::time::Instant;
 
-use argo_rt::Config;
+use argo_rt::telemetry::names;
+use argo_rt::{Config, RunEvent, Telemetry, TrialRecord};
 
 use crate::Searcher;
 
@@ -65,28 +66,71 @@ impl<S: Searcher> OnlineAutoTuner<S> {
 
     /// Runs `total_epochs` of training through `objective` (which trains one
     /// epoch under the given configuration and returns its epoch time).
-    pub fn run(
+    pub fn run(self, total_epochs: usize, objective: impl FnMut(Config) -> f64) -> TuningReport {
+        self.run_telemetry(total_epochs, objective, &Telemetry::disabled())
+    }
+
+    /// Like [`OnlineAutoTuner::run`], but emits one `tuner_trial` event per
+    /// search epoch (candidate config, observed epoch time, incumbent best,
+    /// GP fit/acquisition CPU time), a `config_applied` event on every
+    /// configuration switch, and tuner metrics into `telemetry.metrics`.
+    pub fn run_telemetry(
         mut self,
         total_epochs: usize,
         mut objective: impl FnMut(Config) -> f64,
+        telemetry: &Telemetry,
     ) -> TuningReport {
         assert!(total_epochs >= self.num_searches);
+        let metrics = &telemetry.metrics;
+        let trials = metrics.counter(names::TUNER_TRIALS_TOTAL);
+        let suggest_h = metrics.time_histogram(names::TUNER_SUGGEST_SECONDS);
+        let observe_h = metrics.time_histogram(names::TUNER_OBSERVE_SECONDS);
+        let best_gauge = metrics.gauge(names::TUNER_BEST_EPOCH_SECONDS);
+
         let mut history = Vec::with_capacity(self.num_searches);
         let mut total_time = 0.0;
         let mut tuner_overhead = 0.0;
-        for _ in 0..self.num_searches {
+        for trial in 0..self.num_searches {
             let t0 = Instant::now();
             let config = self.searcher.suggest();
-            tuner_overhead += t0.elapsed().as_secs_f64();
+            let suggest_seconds = t0.elapsed().as_secs_f64();
+            tuner_overhead += suggest_seconds;
+            telemetry.logger.log(RunEvent::ConfigApplied {
+                config,
+                reason: "search".to_string(),
+            });
             let epoch_time = objective(config);
             total_time += epoch_time;
             let t1 = Instant::now();
             self.searcher.observe(config, epoch_time);
-            tuner_overhead += t1.elapsed().as_secs_f64();
+            let observe_seconds = t1.elapsed().as_secs_f64();
+            tuner_overhead += observe_seconds;
             history.push((config, epoch_time));
+
+            let (best_config, best_epoch_time) =
+                self.searcher.best().expect("observed at least one trial");
+            trials.inc();
+            suggest_h.observe(suggest_seconds);
+            observe_h.observe(observe_seconds);
+            best_gauge.set(best_epoch_time);
+            telemetry.logger.log(RunEvent::TunerTrial(TrialRecord {
+                trial: trial as u64,
+                config,
+                epoch_time,
+                best_config,
+                best_epoch_time,
+                suggest_seconds,
+                observe_seconds,
+            }));
         }
         let (config_opt, best_epoch_time) =
             self.searcher.best().expect("num_searches >= 1 observation");
+        if self.num_searches < total_epochs {
+            telemetry.logger.log(RunEvent::ConfigApplied {
+                config: config_opt,
+                reason: "reuse".to_string(),
+            });
+        }
         for _ in self.num_searches..total_epochs {
             total_time += objective(config_opt);
         }
@@ -154,5 +198,60 @@ mod tests {
     #[should_panic]
     fn rejects_budget_below_searches() {
         tuner(1, 30).run(10, objective);
+    }
+
+    #[test]
+    fn telemetry_emits_trial_per_search_epoch() {
+        use argo_rt::telemetry::names;
+        let tel = Telemetry::new();
+        let report = tuner(7, 12).run_telemetry(20, objective, &tel);
+
+        let events = tel.logger.events();
+        let trials: Vec<&TrialRecord> = events
+            .iter()
+            .filter_map(|(_, e)| match e {
+                RunEvent::TunerTrial(t) => Some(t),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(trials.len(), 12);
+        // Trials mirror the report history and the incumbent best is the
+        // running minimum — the convergence trace `argo report` renders.
+        let mut running_best = f64::INFINITY;
+        for (i, t) in trials.iter().enumerate() {
+            assert_eq!(t.trial, i as u64);
+            assert_eq!((t.config, t.epoch_time), report.history[i]);
+            running_best = running_best.min(t.epoch_time);
+            assert!((t.best_epoch_time - running_best).abs() < 1e-12);
+            assert!(t.suggest_seconds >= 0.0 && t.observe_seconds >= 0.0);
+        }
+        assert_eq!(trials.last().unwrap().best_config, report.config_opt);
+
+        // Config switches: one "search" per trial, one final "reuse".
+        let reasons: Vec<&str> = events
+            .iter()
+            .filter_map(|(_, e)| match e {
+                RunEvent::ConfigApplied { reason, .. } => Some(reason.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(reasons.iter().filter(|r| **r == "search").count(), 12);
+        assert_eq!(reasons.iter().filter(|r| **r == "reuse").count(), 1);
+        assert_eq!(reasons.last(), Some(&"reuse"));
+
+        let counters: std::collections::BTreeMap<_, _> =
+            tel.metrics.counters().into_iter().collect();
+        assert_eq!(counters[names::TUNER_TRIALS_TOTAL], 12);
+        let gauges: std::collections::BTreeMap<_, _> = tel.metrics.gauges().into_iter().collect();
+        assert!((gauges[names::TUNER_BEST_EPOCH_SECONDS] - report.best_epoch_time).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_without_telemetry_matches_run_telemetry() {
+        let a = tuner(5, 10).run(15, objective);
+        let b = tuner(5, 10).run_telemetry(15, objective, &Telemetry::disabled());
+        assert_eq!(a.config_opt, b.config_opt);
+        assert_eq!(a.history, b.history);
+        assert!((a.total_time - b.total_time).abs() < 1e-9);
     }
 }

@@ -18,7 +18,10 @@ impl SearchSpace {
     /// paper's 726/408 counts).
     pub fn for_cores(cores: usize) -> Self {
         let configs = enumerate_space(cores);
-        assert!(!configs.is_empty(), "machine too small for ARGO ({cores} cores)");
+        assert!(
+            !configs.is_empty(),
+            "machine too small for ARGO ({cores} cores)"
+        );
         let mut min = [f64::INFINITY; 3];
         let mut max = [f64::NEG_INFINITY; 3];
         for c in &configs {
@@ -155,7 +158,10 @@ mod tests {
         assert!(s.contains(c));
         // Projecting an existing member returns it.
         let m = s.get(7);
-        assert_eq!(s.project(m.n_proc as i64, m.n_samp as i64, m.n_train as i64), m);
+        assert_eq!(
+            s.project(m.n_proc as i64, m.n_samp as i64, m.n_train as i64),
+            m
+        );
     }
 
     #[test]

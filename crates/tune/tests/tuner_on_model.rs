@@ -3,10 +3,18 @@
 //! same objective the benches use.
 
 use argo_graph::datasets::{OGBN_PRODUCTS, REDDIT};
-use argo_platform::{Library, ModelKind, PerfModel, SamplerKind, Setup, ICE_LAKE_8380H, SAPPHIRE_RAPIDS_6430L};
-use argo_tune::{paper_num_searches, BayesOpt, OnlineAutoTuner, SearchSpace, Searcher, SimulatedAnnealing};
+use argo_platform::{
+    Library, ModelKind, PerfModel, SamplerKind, Setup, ICE_LAKE_8380H, SAPPHIRE_RAPIDS_6430L,
+};
+use argo_tune::{
+    paper_num_searches, BayesOpt, OnlineAutoTuner, SearchSpace, Searcher, SimulatedAnnealing,
+};
 
-fn model(platform: argo_platform::PlatformSpec, sampler: SamplerKind, modelk: ModelKind) -> PerfModel {
+fn model(
+    platform: argo_platform::PlatformSpec,
+    sampler: SamplerKind,
+    modelk: ModelKind,
+) -> PerfModel {
     PerfModel::new(Setup {
         platform,
         library: Library::Dgl,
@@ -27,15 +35,17 @@ fn bayesopt_reaches_90_percent_of_optimal_with_paper_budget() {
     for (platform, sampler, modelk) in [
         (ICE_LAKE_8380H, SamplerKind::Neighbor, ModelKind::Sage),
         (ICE_LAKE_8380H, SamplerKind::Shadow, ModelKind::Gcn),
-        (SAPPHIRE_RAPIDS_6430L, SamplerKind::Neighbor, ModelKind::Sage),
+        (
+            SAPPHIRE_RAPIDS_6430L,
+            SamplerKind::Neighbor,
+            ModelKind::Sage,
+        ),
         (SAPPHIRE_RAPIDS_6430L, SamplerKind::Shadow, ModelKind::Gcn),
     ] {
         let m = model(platform, sampler, modelk);
         let opt = optimum(&m);
-        let budget = paper_num_searches(
-            platform.total_cores,
-            matches!(sampler, SamplerKind::Shadow),
-        );
+        let budget =
+            paper_num_searches(platform.total_cores, matches!(sampler, SamplerKind::Shadow));
         let mut wins = 0;
         let runs = 5;
         for seed in 0..runs {

@@ -110,7 +110,10 @@ fn main() {
         }
     });
     let after = evaluate_accuracy(&engine.model(), &dataset, &dataset.val_nodes);
-    println!("\nARGO picked {} out of {} configurations", report.config_opt, report.space_size);
+    println!(
+        "\nARGO picked {} out of {} configurations",
+        report.config_opt, report.space_size
+    );
     println!("validation accuracy: {before:.3} -> {after:.3}");
     assert!(after > before + 0.2, "GCN should learn the topics");
 }

@@ -74,7 +74,10 @@ fn main() {
         .iter()
         .map(|&a| iteration_time(a))
         .fold(f64::INFINITY, f64::min);
-    println!("CPU-GPU RL pipeline: {CPU_CORES} CPU cores, {GPU_SMS} SMs, {} allocations", space.len());
+    println!(
+        "CPU-GPU RL pipeline: {CPU_CORES} CPU cores, {GPU_SMS} SMs, {} allocations",
+        space.len()
+    );
     println!("exhaustive optimum: {optimal:.3}s per iteration\n");
 
     // Online BayesOpt, exactly as the ARGO auto-tuner works.

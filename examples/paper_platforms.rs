@@ -7,7 +7,9 @@
 
 use argo::core::{Argo, ArgoOptions};
 use argo::graph::datasets::OGBN_PRODUCTS;
-use argo::platform::{Library, ModelKind, PerfModel, SamplerKind, Setup, ICE_LAKE_8380H, SAPPHIRE_RAPIDS_6430L};
+use argo::platform::{
+    Library, ModelKind, PerfModel, SamplerKind, Setup, ICE_LAKE_8380H, SAPPHIRE_RAPIDS_6430L,
+};
 use argo::tune::paper_num_searches;
 
 fn main() {
@@ -19,7 +21,10 @@ fn main() {
             model: ModelKind::Sage,
             dataset: OGBN_PRODUCTS,
         });
-        println!("=== {} ({} cores, {} GB/s) ===", platform.name, platform.total_cores, platform.peak_bw_gbs);
+        println!(
+            "=== {} ({} cores, {} GB/s) ===",
+            platform.name, platform.total_cores, platform.peak_bw_gbs
+        );
         let n_search = paper_num_searches(platform.total_cores, false);
         let mut runtime = Argo::new(ArgoOptions {
             n_search,
@@ -28,7 +33,10 @@ fn main() {
             seed: 0,
         });
         let report = runtime.run_modeled(&model);
-        println!("online learning ({n_search} searches over {} configs):", report.space_size);
+        println!(
+            "online learning ({n_search} searches over {} configs):",
+            report.space_size
+        );
         let mut incumbent = f64::INFINITY;
         for (i, (c, t)) in report.history.iter().enumerate() {
             incumbent = incumbent.min(*t);
@@ -37,7 +45,11 @@ fn main() {
         let (opt_cfg, opt_t) = model.argo_best_epoch_time(platform.total_cores);
         let default_t = model.epoch_time(model.default_config());
         println!("\n  exhaustive optimum : {opt_t:.2}s at {opt_cfg}");
-        println!("  default setup      : {default_t:.2}s at {} ({:.2}x of optimal)", model.default_config(), opt_t / default_t);
+        println!(
+            "  default setup      : {default_t:.2}s at {} ({:.2}x of optimal)",
+            model.default_config(),
+            opt_t / default_t
+        );
         println!(
             "  auto-tuner found   : {:.2}s at {} ({:.2}x of optimal, {:.1}% of space explored)\n",
             report.best_epoch_time,

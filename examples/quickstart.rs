@@ -59,9 +59,16 @@ fn main() {
     });
 
     let acc_after = evaluate_accuracy(&engine.model(), &dataset, &dataset.val_nodes);
-    println!("\nauto-tuner explored {} configurations out of {}", report.history.len(), report.space_size);
+    println!(
+        "\nauto-tuner explored {} configurations out of {}",
+        report.history.len(),
+        report.space_size
+    );
     println!("selected configuration: {}", report.config_opt);
-    println!("total training time: {:.2}s (auto-tuning overhead included)", report.total_time);
+    println!(
+        "total training time: {:.2}s (auto-tuning overhead included)",
+        report.total_time
+    );
     println!("validation accuracy: {acc_before:.3} -> {acc_after:.3}");
     assert!(acc_after > acc_before, "training should improve accuracy");
 }

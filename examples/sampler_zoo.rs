@@ -11,9 +11,7 @@ use argo::core::{Argo, ArgoOptions};
 use argo::engine::{evaluate_accuracy, Engine, EngineOptions};
 use argo::graph::datasets::FLICKR;
 use argo::nn::Arch;
-use argo::sample::{
-    ClusterGcnSampler, NeighborSampler, SaintRwSampler, Sampler, ShadowSampler,
-};
+use argo::sample::{ClusterGcnSampler, NeighborSampler, SaintRwSampler, Sampler, ShadowSampler};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -26,8 +24,14 @@ fn main() {
         dataset.num_classes
     );
     let samplers: Vec<(&str, Arc<dyn Sampler>)> = vec![
-        ("Neighbor [10,5]", Arc::new(NeighborSampler::new(vec![10, 5]))),
-        ("ShaDow [10,5]", Arc::new(ShadowSampler::new(vec![10, 5], 2))),
+        (
+            "Neighbor [10,5]",
+            Arc::new(NeighborSampler::new(vec![10, 5])),
+        ),
+        (
+            "ShaDow [10,5]",
+            Arc::new(ShadowSampler::new(vec![10, 5], 2)),
+        ),
         ("SAINT-RW (len 3)", Arc::new(SaintRwSampler::new(3, 2))),
         (
             "ClusterGCN (32 cl.)",

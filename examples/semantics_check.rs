@@ -83,11 +83,19 @@ fn main() {
         let mut curve = Vec::new();
         for _ in 0..epochs {
             engine.train_epoch(Config::new(n_proc, 1, 1), &TraceRecorder::disabled());
-            curve.push(evaluate_accuracy(&engine.model(), &dataset, &dataset.val_nodes));
+            curve.push(evaluate_accuracy(
+                &engine.model(),
+                &dataset,
+                &dataset.val_nodes,
+            ));
         }
         println!(
             "  ARGO:{n_proc}  {}",
-            curve.iter().map(|a| format!("{a:.3}")).collect::<Vec<_>>().join(" ")
+            curve
+                .iter()
+                .map(|a| format!("{a:.3}"))
+                .collect::<Vec<_>>()
+                .join(" ")
         );
         curves.push(curve);
     }

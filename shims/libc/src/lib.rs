@@ -1,0 +1,90 @@
+//! Minimal stand-in for `libc`, used when the real crate cannot be fetched
+//! (offline build environments). Declares the scheduler-affinity surface
+//! this workspace uses directly against the system C library; the `CPU_*`
+//! helpers mirror the glibc macros.
+
+#![allow(non_camel_case_types, non_snake_case)]
+// The CPU_* helpers are `unsafe fn` purely for signature parity with the
+// real `libc` crate; they are safe in this pure-Rust implementation.
+#![allow(clippy::missing_safety_doc)]
+
+pub type c_int = i32;
+pub type pid_t = i32;
+pub type size_t = usize;
+
+const CPU_SETSIZE_BITS: usize = 1024;
+const MASK_WORDS: usize = CPU_SETSIZE_BITS / 64;
+
+/// Mirror of glibc's `cpu_set_t`: a 1024-bit CPU mask.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct cpu_set_t {
+    bits: [u64; MASK_WORDS],
+}
+
+impl Default for cpu_set_t {
+    fn default() -> Self {
+        Self {
+            bits: [0; MASK_WORDS],
+        }
+    }
+}
+
+/// Clears every CPU in `set` (glibc `CPU_ZERO`).
+pub unsafe fn CPU_ZERO(set: &mut cpu_set_t) {
+    set.bits = [0; MASK_WORDS];
+}
+
+/// Adds `cpu` to `set` (glibc `CPU_SET`). CPUs beyond the mask are ignored.
+pub unsafe fn CPU_SET(cpu: usize, set: &mut cpu_set_t) {
+    if cpu < CPU_SETSIZE_BITS {
+        set.bits[cpu / 64] |= 1u64 << (cpu % 64);
+    }
+}
+
+/// Whether `cpu` is in `set` (glibc `CPU_ISSET`).
+pub unsafe fn CPU_ISSET(cpu: usize, set: &cpu_set_t) -> bool {
+    cpu < CPU_SETSIZE_BITS && set.bits[cpu / 64] & (1u64 << (cpu % 64)) != 0
+}
+
+/// Number of CPUs in `set` (glibc `CPU_COUNT`).
+pub unsafe fn CPU_COUNT(set: &cpu_set_t) -> c_int {
+    set.bits.iter().map(|w| w.count_ones()).sum::<u32>() as c_int
+}
+
+#[cfg(target_os = "linux")]
+extern "C" {
+    pub fn sched_getaffinity(pid: pid_t, cpusetsize: size_t, mask: *mut cpu_set_t) -> c_int;
+    pub fn sched_setaffinity(pid: pid_t, cpusetsize: size_t, mask: *const cpu_set_t) -> c_int;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_count() {
+        let mut set = cpu_set_t::default();
+        unsafe {
+            CPU_ZERO(&mut set);
+            assert_eq!(CPU_COUNT(&set), 0);
+            CPU_SET(0, &mut set);
+            CPU_SET(63, &mut set);
+            CPU_SET(64, &mut set);
+            CPU_SET(1023, &mut set);
+            CPU_SET(4096, &mut set); // out of range: ignored
+            assert_eq!(CPU_COUNT(&set), 4);
+            assert!(CPU_ISSET(63, &set));
+            assert!(!CPU_ISSET(1, &set));
+        }
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn getaffinity_reports_at_least_one_cpu() {
+        let mut set = cpu_set_t::default();
+        let rc = unsafe { sched_getaffinity(0, std::mem::size_of::<cpu_set_t>(), &mut set) };
+        assert_eq!(rc, 0);
+        assert!(unsafe { CPU_COUNT(&set) } >= 1);
+    }
+}

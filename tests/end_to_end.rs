@@ -99,11 +99,7 @@ fn gat_learns_end_to_end() {
 
 #[test]
 fn saint_rw_sampler_learns() {
-    let (before, after) = train_and_eval(
-        Arch::Sage,
-        Arc::new(SaintRwSampler::new(4, 2)),
-        tiny(8),
-    );
+    let (before, after) = train_and_eval(Arch::Sage, Arc::new(SaintRwSampler::new(4, 2)), tiny(8));
     assert!(after > before + 0.2, "SAINT-RW: {before} -> {after}");
 }
 
@@ -154,7 +150,10 @@ fn minibatch_converges_faster_per_epoch_than_full_graph() {
     let mut mb_loss = f32::INFINITY;
     for _ in 0..epochs {
         mb_loss = engine
-            .train_epoch(argo::rt::Config::new(2, 1, 1), &argo::rt::TraceRecorder::disabled())
+            .train_epoch(
+                argo::rt::Config::new(2, 1, 1),
+                &argo::rt::TraceRecorder::disabled(),
+            )
             .loss;
     }
     assert!(
@@ -211,5 +210,8 @@ fn reddit_like_density_works() {
         argo::rt::Config::new(4, 1, 1),
         &argo::rt::TraceRecorder::disabled(),
     );
-    assert!(s2.loss < s1.loss * 1.5, "training must not diverge across configs");
+    assert!(
+        s2.loss < s1.loss * 1.5,
+        "training must not diverge across configs"
+    );
 }

@@ -2,11 +2,18 @@
 //! `cargo test` guards the reproduction (the benches print the full data).
 
 use argo::graph::datasets::{FLICKR, OGBN_PAPERS100M, OGBN_PRODUCTS, REDDIT};
-use argo::platform::{Library, ModelKind, PerfModel, SamplerKind, Setup, ICE_LAKE_8380H, SAPPHIRE_RAPIDS_6430L};
+use argo::platform::{
+    Library, ModelKind, PerfModel, SamplerKind, Setup, ICE_LAKE_8380H, SAPPHIRE_RAPIDS_6430L,
+};
 use argo::rt::Config;
 use argo::tune::{paper_num_searches, BayesOpt, SearchSpace, Searcher};
 
-fn model(library: Library, sampler: SamplerKind, mk: ModelKind, dataset: argo::graph::DatasetSpec) -> PerfModel {
+fn model(
+    library: Library,
+    sampler: SamplerKind,
+    mk: ModelKind,
+    dataset: argo::graph::DatasetSpec,
+) -> PerfModel {
     PerfModel::new(Setup {
         platform: ICE_LAKE_8380H,
         library,
@@ -20,7 +27,12 @@ fn model(library: Library, sampler: SamplerKind, mk: ModelKind, dataset: argo::g
 #[test]
 fn fig1_baselines_flatten_past_16_cores() {
     for library in [Library::Dgl, Library::Pyg] {
-        let m = model(library, SamplerKind::Neighbor, ModelKind::Sage, OGBN_PRODUCTS);
+        let m = model(
+            library,
+            SamplerKind::Neighbor,
+            ModelKind::Sage,
+            OGBN_PRODUCTS,
+        );
         let gain = m.baseline_epoch_time(16) / m.baseline_epoch_time(112);
         assert!(
             gain < 1.35,
@@ -34,7 +46,12 @@ fn fig1_baselines_flatten_past_16_cores() {
 /// process count.
 #[test]
 fn fig6_workload_and_bandwidth() {
-    let m = model(Library::Dgl, SamplerKind::Neighbor, ModelKind::Sage, OGBN_PRODUCTS);
+    let m = model(
+        Library::Dgl,
+        SamplerKind::Neighbor,
+        ModelKind::Sage,
+        OGBN_PRODUCTS,
+    );
     let w = m.setup().workload();
     assert!(w.epoch_edges(8) > w.epoch_edges(1) * 1.05);
     assert!(w.epoch_edges(16) >= w.epoch_edges(8));
@@ -47,7 +64,10 @@ fn fig6_workload_and_bandwidth() {
 #[test]
 fn fig7_optima_vary_across_setups() {
     let mut optima = std::collections::HashSet::new();
-    for (s, mk) in [(SamplerKind::Neighbor, ModelKind::Sage), (SamplerKind::Shadow, ModelKind::Gcn)] {
+    for (s, mk) in [
+        (SamplerKind::Neighbor, ModelKind::Sage),
+        (SamplerKind::Shadow, ModelKind::Gcn),
+    ] {
         for d in [FLICKR, REDDIT, OGBN_PRODUCTS, OGBN_PAPERS100M] {
             let m = model(Library::Dgl, s, mk, d);
             let (cfg, _) = m.argo_best_epoch_time(112);
@@ -55,7 +75,10 @@ fn fig7_optima_vary_across_setups() {
             optima.insert(cfg);
         }
     }
-    assert!(optima.len() >= 3, "optimal configs should vary across setups");
+    assert!(
+        optima.len() >= 3,
+        "optimal configs should vary across setups"
+    );
 }
 
 /// Figure 8: ARGO out-scales the baseline past 16 cores on both platforms.
@@ -72,7 +95,11 @@ fn fig8_argo_scales_past_16_cores() {
         let cores = platform.total_cores;
         let base_gain = m.baseline_epoch_time(16) / m.baseline_epoch_time(cores);
         let argo_gain = m.argo_best_epoch_time(16).1 / m.argo_best_epoch_time(cores).1;
-        assert!(argo_gain > base_gain, "{}: {argo_gain} !> {base_gain}", platform.name);
+        assert!(
+            argo_gain > base_gain,
+            "{}: {argo_gain} !> {base_gain}",
+            platform.name
+        );
         assert!(argo_gain > 1.25);
     }
 }
@@ -83,9 +110,18 @@ fn fig8_argo_scales_past_16_cores() {
 fn tables45_default_always_loses() {
     for library in [Library::Dgl, Library::Pyg] {
         for platform in [ICE_LAKE_8380H, SAPPHIRE_RAPIDS_6430L] {
-            for (s, mk) in [(SamplerKind::Neighbor, ModelKind::Sage), (SamplerKind::Shadow, ModelKind::Gcn)] {
+            for (s, mk) in [
+                (SamplerKind::Neighbor, ModelKind::Sage),
+                (SamplerKind::Shadow, ModelKind::Gcn),
+            ] {
                 for d in [FLICKR, REDDIT, OGBN_PRODUCTS, OGBN_PAPERS100M] {
-                    let m = PerfModel::new(Setup { platform, library, sampler: s, model: mk, dataset: d });
+                    let m = PerfModel::new(Setup {
+                        platform,
+                        library,
+                        sampler: s,
+                        model: mk,
+                        dataset: d,
+                    });
                     let best = m.argo_best_epoch_time(platform.total_cores).1;
                     let default = m.epoch_time(m.default_config());
                     assert!(best < default, "{} {}", library.name(), m.setup().label());
@@ -100,7 +136,10 @@ fn tables45_default_always_loses() {
 /// in the tune crate's integration tests and the table benches).
 #[test]
 fn table4_autotuner_within_90_percent() {
-    for (s, mk) in [(SamplerKind::Neighbor, ModelKind::Sage), (SamplerKind::Shadow, ModelKind::Gcn)] {
+    for (s, mk) in [
+        (SamplerKind::Neighbor, ModelKind::Sage),
+        (SamplerKind::Shadow, ModelKind::Gcn),
+    ] {
         let m = model(Library::Dgl, s, mk, OGBN_PRODUCTS);
         let opt = m.argo_best_epoch_time(112).1;
         let budget = paper_num_searches(112, matches!(s, SamplerKind::Shadow));
@@ -110,7 +149,11 @@ fn table4_autotuner_within_90_percent() {
             bo.observe(c, m.epoch_time(c));
         }
         let found = bo.best().unwrap().1;
-        assert!(opt / found >= 0.9, "{}: {found} vs optimal {opt}", m.setup().label());
+        assert!(
+            opt / found >= 0.9,
+            "{}: {found} vs optimal {opt}",
+            m.setup().label()
+        );
     }
 }
 
@@ -136,15 +179,25 @@ fn fig10_shadow_speedup_dominates() {
         let sh = model(library, SamplerKind::Shadow, ModelKind::Gcn, REDDIT);
         let sp = |m: &PerfModel| m.epoch_time(m.default_config()) / m.argo_best_epoch_time(112).1;
         let (sp_nb, sp_sh) = (sp(&nb), sp(&sh));
-        assert!(sp_sh > sp_nb, "{}: shadow {sp_sh} !> neighbor {sp_nb}", library.name());
-        assert!(sp_sh > 2.0 && sp_sh < 12.0, "shadow speedup {sp_sh} out of range");
+        assert!(
+            sp_sh > sp_nb,
+            "{}: shadow {sp_sh} !> neighbor {sp_nb}",
+            library.name()
+        );
+        assert!(
+            sp_sh > 2.0 && sp_sh < 12.0,
+            "shadow speedup {sp_sh} out of range"
+        );
     }
 }
 
 /// Section VI-D: DGL is faster than PyG on every task (the table pairs).
 #[test]
 fn dgl_beats_pyg_on_all_rows() {
-    for (s, mk) in [(SamplerKind::Neighbor, ModelKind::Sage), (SamplerKind::Shadow, ModelKind::Gcn)] {
+    for (s, mk) in [
+        (SamplerKind::Neighbor, ModelKind::Sage),
+        (SamplerKind::Shadow, ModelKind::Gcn),
+    ] {
         for d in [FLICKR, REDDIT, OGBN_PRODUCTS, OGBN_PAPERS100M] {
             let dgl = model(Library::Dgl, s, mk, d).argo_best_epoch_time(112).1;
             let pyg = model(Library::Pyg, s, mk, d).argo_best_epoch_time(112).1;

@@ -1,0 +1,202 @@
+//! End-to-end tests of the telemetry layer: a real auto-tuned training run
+//! (and a modeled one) through the full stack — engine + tuner + sinks —
+//! producing parseable JSONL with `epoch_end` and `tuner_trial` events,
+//! valid Chrome-trace JSON, and a report with per-stage quantiles and the
+//! incumbent-best trajectory.
+
+use std::sync::Arc;
+
+use argo::core::{Argo, ArgoOptions};
+use argo::engine::{Engine, EngineOptions};
+use argo::graph::datasets::{FLICKR, OGBN_PRODUCTS};
+use argo::platform::{Library, ModelKind, PerfModel, SamplerKind, Setup, ICE_LAKE_8380H};
+use argo::rt::telemetry::names;
+use argo::rt::{Json, RunEvent, RunLogger, Source, Telemetry};
+use argo::sample::NeighborSampler;
+
+fn tiny_engine(seed: u64) -> Engine {
+    let dataset = Arc::new(FLICKR.synthesize(0.008, seed));
+    let sampler: Arc<dyn argo::sample::Sampler> = Arc::new(NeighborSampler::new(vec![6, 3]));
+    Engine::new(
+        dataset,
+        sampler,
+        EngineOptions {
+            hidden: 8,
+            num_layers: 2,
+            global_batch: 64,
+            total_cores: 16,
+            seed,
+            ..Default::default()
+        },
+    )
+}
+
+#[test]
+fn measured_run_produces_full_telemetry() {
+    let mut engine = tiny_engine(11);
+    let mut argo = Argo::new(ArgoOptions {
+        n_search: 3,
+        epochs: 5,
+        total_cores: 16,
+        seed: 11,
+    });
+    let tel = Telemetry::new();
+    let report = argo.train_telemetry(&mut engine, &tel, |_, _, _| {});
+
+    // --- JSONL: parseable, with epoch_end and tuner_trial events --------
+    let jsonl = tel.logger.to_jsonl();
+    let parsed = RunLogger::parse_jsonl(&jsonl).expect("JSONL must parse");
+    assert!(!parsed.is_empty());
+    assert!(parsed.iter().all(|(_, _, s)| *s == Source::Measured));
+    let epoch_ends: Vec<_> = parsed
+        .iter()
+        .filter_map(|(e, _, _)| match e {
+            RunEvent::EpochEnd { epoch, record, .. } => Some((*epoch, *record)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(epoch_ends.len(), 5, "one epoch_end per epoch");
+    assert_eq!(epoch_ends.last().unwrap().0, 4);
+    let trials: Vec<_> = parsed
+        .iter()
+        .filter_map(|(e, _, _)| match e {
+            RunEvent::TunerTrial(t) => Some(*t),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(trials.len(), 3, "one tuner_trial per search epoch");
+    // Incumbent best matches the report and is non-increasing.
+    assert!(trials
+        .windows(2)
+        .all(|w| w[1].best_epoch_time <= w[0].best_epoch_time));
+    assert_eq!(trials.last().unwrap().best_config, report.config_opt);
+    // Suggest/observe CPU time is captured.
+    assert!(trials
+        .iter()
+        .all(|t| t.suggest_seconds >= 0.0 && t.observe_seconds >= 0.0));
+
+    // --- Chrome trace: valid JSON array of complete events --------------
+    let chrome = tel.trace.to_chrome_json();
+    let v = Json::parse(&chrome).expect("chrome trace must be valid JSON");
+    let arr = v.as_arr().expect("top-level array");
+    assert!(!arr.is_empty());
+    for e in arr {
+        assert_eq!(e.get("ph").and_then(Json::as_str), Some("X"));
+        assert!(e.get("ts").and_then(Json::as_f64).is_some());
+        assert!(e.get("dur").and_then(Json::as_f64).unwrap() >= 0.0);
+    }
+
+    // --- Metrics agree with the structured events ------------------------
+    let counters: std::collections::BTreeMap<_, _> = tel.metrics.counters().into_iter().collect();
+    assert_eq!(counters[names::EPOCHS_TOTAL], 5);
+    assert_eq!(counters[names::TUNER_TRIALS_TOTAL], 3);
+    let total_iters: u64 = epoch_ends.iter().map(|(_, r)| r.iterations).sum();
+    assert_eq!(counters[names::ITERATIONS_TOTAL], total_iters);
+
+    // EpochStats::sync_time (rank 0) reconciles with the sync histogram,
+    // which covers every rank: per-epoch sync_time sums to at most the
+    // histogram total, and both are positive.
+    let hists: std::collections::BTreeMap<_, _> = tel.metrics.histograms().into_iter().collect();
+    let sync = &hists["stage_seconds/sync"];
+    let stats_sync: f64 = epoch_ends.iter().map(|(_, r)| r.sync_time).sum();
+    assert!(stats_sync > 0.0);
+    assert!(
+        sync.sum() >= stats_sync * 0.95,
+        "{} < {}",
+        sync.sum(),
+        stats_sync
+    );
+
+    // --- Report renders per-stage quantiles and the convergence trace ----
+    let text = argo_cli::report::render_report(&parsed, Some(&tel));
+    assert!(text.contains("per-stage timings"));
+    assert!(text.contains("p50") && text.contains("p95"));
+    assert!(text.contains("compute"));
+    assert!(text.contains("tuner convergence"));
+    assert!(text.contains("selected "));
+}
+
+#[test]
+fn modeled_run_shares_schema_with_measured() {
+    let model = PerfModel::new(Setup {
+        platform: ICE_LAKE_8380H,
+        library: Library::Dgl,
+        sampler: SamplerKind::Neighbor,
+        model: ModelKind::Sage,
+        dataset: OGBN_PRODUCTS,
+    });
+    let tel = Telemetry::with_source(Source::Modeled);
+    let mut argo = Argo::new(ArgoOptions {
+        n_search: 4,
+        epochs: 8,
+        total_cores: 112,
+        seed: 2,
+    });
+    argo.run_modeled_telemetry(&model, &tel);
+    let parsed = RunLogger::parse_jsonl(&tel.logger.to_jsonl()).unwrap();
+    assert!(parsed.iter().all(|(_, _, s)| *s == Source::Modeled));
+    // Exactly the same event kinds a measured run emits.
+    let mut kinds: Vec<&str> = parsed.iter().map(|(e, _, _)| e.kind()).collect();
+    kinds.sort_unstable();
+    kinds.dedup();
+    assert_eq!(
+        kinds,
+        vec![
+            "config_applied",
+            "epoch_end",
+            "epoch_start",
+            "stage_summary",
+            "tuner_trial"
+        ]
+    );
+    // The offline report renders from the file alone.
+    let text = argo_cli::report::render_report(&parsed, None);
+    assert!(text.contains("8 modeled"));
+    assert!(text.contains("tuner convergence"));
+}
+
+#[test]
+fn cli_flow_writes_and_reads_back_files() {
+    // The CLI flow without spawning a process: run → write JSONL → parse →
+    // render, exactly what `argo train --metrics-out F` + `argo report
+    // --metrics F` do.
+    let mut engine = tiny_engine(5);
+    let mut argo = Argo::new(ArgoOptions {
+        n_search: 2,
+        epochs: 3,
+        total_cores: 16,
+        seed: 5,
+    });
+    let tel = Telemetry::new();
+    argo.train_telemetry(&mut engine, &tel, |_, _, _| {});
+
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("argo-telemetry-test-{}.jsonl", std::process::id()));
+    std::fs::write(&path, tel.logger.to_jsonl()).unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    let parsed = RunLogger::parse_jsonl(&text).unwrap();
+    assert!(parsed.iter().any(|(e, _, _)| e.kind() == "epoch_end"));
+    assert!(parsed.iter().any(|(e, _, _)| e.kind() == "tuner_trial"));
+    let report = argo_cli::report::render_report(&parsed, None);
+    assert!(report.contains("epochs: 3"));
+}
+
+#[test]
+fn chrome_json_empty_and_disabled_recorders() {
+    use argo::rt::TraceRecorder;
+    assert_eq!(TraceRecorder::new().to_chrome_json(), "[]");
+    let disabled = TraceRecorder::disabled();
+    disabled.record(0, argo::rt::Stage::Compute, 0.0, 1.0);
+    assert_eq!(disabled.to_chrome_json(), "[]");
+    // Both still parse as valid (empty) JSON arrays.
+    assert_eq!(
+        Json::parse(&disabled.to_chrome_json())
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .len(),
+        0
+    );
+}
