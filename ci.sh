@@ -10,8 +10,14 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (-D warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo clippy (-D clippy::too_many_arguments)"
+cargo clippy --workspace --all-targets -- -D clippy::too_many_arguments
+
 echo "==> cargo build --release"
 cargo build --workspace --release
+
+echo "==> cargo test -q -p argo-sample"
+cargo test -q -p argo-sample
 
 echo "==> cargo test -q"
 cargo test --workspace -q

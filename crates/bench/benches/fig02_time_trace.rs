@@ -10,7 +10,7 @@ use argo_graph::datasets::OGBN_PRODUCTS;
 use argo_rt::{Config, Stage, TraceRecorder};
 use argo_sample::NeighborSampler;
 
-fn run_trace(n_proc: usize) -> (TraceRecorder, f64) {
+fn run_trace(n_proc: usize) -> (Arc<TraceRecorder>, f64) {
     let dataset = Arc::new(OGBN_PRODUCTS.synthesize(0.002, 7));
     let sampler: Arc<dyn argo_sample::Sampler> = Arc::new(NeighborSampler::new(vec![10, 5]));
     let mut engine = Engine::new(
@@ -25,8 +25,9 @@ fn run_trace(n_proc: usize) -> (TraceRecorder, f64) {
             ..Default::default()
         },
     );
-    let trace = TraceRecorder::new();
-    let stats = engine.train_epoch(Config::new(n_proc, 1, 1), &trace);
+    let trace = Arc::new(TraceRecorder::new());
+    let tel = argo_rt::Telemetry::with_trace(Arc::clone(&trace));
+    let stats = engine.train_epoch(Config::new(n_proc, 1, 1), Some(&tel));
     (trace, stats.epoch_time)
 }
 

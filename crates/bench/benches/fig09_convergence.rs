@@ -9,7 +9,7 @@ use std::sync::Arc;
 use argo_engine::{evaluate_accuracy, Engine, EngineOptions};
 use argo_graph::datasets::OGBN_PRODUCTS;
 use argo_nn::OptimizerKind;
-use argo_rt::{Config, TraceRecorder};
+use argo_rt::Config;
 use argo_sample::NeighborSampler;
 
 fn curve(n_proc: usize, epochs: usize) -> Vec<(usize, f64)> {
@@ -29,7 +29,6 @@ fn curve(n_proc: usize, epochs: usize) -> Vec<(usize, f64)> {
             ..Default::default()
         },
     );
-    let trace = TraceRecorder::disabled();
     let mut out = Vec::new();
     let mut minibatches = 0usize;
     out.push((
@@ -37,7 +36,7 @@ fn curve(n_proc: usize, epochs: usize) -> Vec<(usize, f64)> {
         evaluate_accuracy(&engine.model(), &dataset, &dataset.val_nodes),
     ));
     for _ in 0..epochs {
-        let stats = engine.train_epoch(Config::new(n_proc, 1, 1), &trace);
+        let stats = engine.train_epoch(Config::new(n_proc, 1, 1), None);
         minibatches += stats.minibatches;
         out.push((
             minibatches,

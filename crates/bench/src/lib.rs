@@ -91,7 +91,7 @@ pub fn overall_performance(library: Library) {
                     total_cores: platform.total_cores,
                     seed: 7,
                 });
-                let report = argo.run_modeled(&m);
+                let report = argo.run_modeled(&m, None);
                 let speedup = default_total / report.total_time;
                 max_speedup = max_speedup.max(speedup);
                 println!(

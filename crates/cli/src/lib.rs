@@ -129,9 +129,11 @@ pub fn usage() -> &'static str {
 USAGE:
   argo train    [--dataset flickr] [--scale 0.02] [--sampler neighbor|shadow|saint|cluster]
                 [--model sage|gcn|gat] [--epochs 20] [--n-search 5] [--batch 512]
-                [--hidden 64] [--layers 2] [--seed 0] [--save FILE] [--load FILE]
+                [--hidden 64] [--layers 2] [--seed 0] [--cache-rows 0]
+                [--save FILE] [--load FILE]
                 [--metrics-out run.jsonl] [--trace-out trace.json] [--report true]
-      run real auto-tuned training on a synthetic (or saved) dataset
+      run real auto-tuned training on a synthetic (or saved) dataset;
+      --cache-rows N enables the cross-batch feature cache (N rows, 0 = off)
 
   argo simulate [--platform icelake|spr] [--library dgl|pyg]
                 [--sampler neighbor|shadow] [--model sage|gcn] [--dataset products]
@@ -139,8 +141,8 @@ USAGE:
       evaluate the paper-scale platform model: default vs auto-tuned vs optimal
 
   argo report   --metrics run.jsonl
-      render a telemetry report (per-stage p50/p95/max, tuner convergence)
-      from a JSONL event file written with --metrics-out
+      render a telemetry report (per-stage p50/p95/max, feature-cache hit
+      rates, tuner convergence) from a JSONL file written with --metrics-out
 
   argo space    [--cores 112]
       inspect the configuration design space

@@ -7,7 +7,7 @@ use argo_cli::{
     dataset_by_name, library_by_name, model_kind_by_name, parse_args, platform_by_name,
     report::render_report, sampler_kind_by_name, usage, Cli,
 };
-use argo_core::{Argo, ArgoOptions};
+use argo_core::{Argo, ArgoOptions, Error};
 use argo_engine::{evaluate_accuracy, Engine, EngineOptions};
 use argo_graph::Dataset;
 use argo_nn::{Arch, ConfusionMatrix};
@@ -21,14 +21,18 @@ fn main() -> ExitCode {
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}\n\n{}", usage());
+            // One-line diagnostic; the full usage only for argument errors.
+            eprintln!("error: {e}");
+            if matches!(e, Error::InvalidArgument(_)) {
+                eprintln!("\n{}", usage());
+            }
             ExitCode::FAILURE
         }
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
-    let cli = parse_args(args)?;
+fn run(args: &[String]) -> Result<(), Error> {
+    let cli = parse_args(args).map_err(Error::InvalidArgument)?;
     match cli.command.as_str() {
         "train" => train(&cli),
         "simulate" => simulate(&cli),
@@ -42,15 +46,35 @@ fn run(args: &[String]) -> Result<(), String> {
             println!("{}", usage());
             Ok(())
         }
-        other => Err(format!("unknown subcommand '{other}'")),
+        other => Err(Error::InvalidArgument(format!(
+            "unknown subcommand '{other}'"
+        ))),
     }
 }
 
 /// Builds the run's telemetry sinks: active iff any telemetry flag
 /// (`--metrics-out`, `--trace-out`, `--report true`) is present. Returns
 /// the handle plus whether to print the report afterwards.
-fn telemetry_for(cli: &Cli, source: Source) -> Result<(Telemetry, bool), String> {
-    let want_report = cli.get_bool("report")?;
+fn telemetry_for(cli: &Cli, source: Source) -> Result<(Telemetry, bool), Error> {
+    let want_report = cli.get_bool("report").map_err(Error::InvalidArgument)?;
+    // Reject an unwritable --metrics-out/--trace-out destination up front,
+    // before the (potentially long) run produces events it cannot flush.
+    for key in ["metrics-out", "trace-out"] {
+        if let Some(path) = cli.options.get(key) {
+            if path.is_empty() {
+                return Err(Error::InvalidArgument(format!("--{key} needs a file path")));
+            }
+            let parent = std::path::Path::new(path).parent();
+            if let Some(dir) = parent.filter(|d| !d.as_os_str().is_empty()) {
+                if !dir.is_dir() {
+                    return Err(Error::InvalidArgument(format!(
+                        "--{key} {path}: directory {} does not exist",
+                        dir.display()
+                    )));
+                }
+            }
+        }
+    }
     let active = want_report
         || cli.options.contains_key("metrics-out")
         || cli.options.contains_key("trace-out");
@@ -64,14 +88,15 @@ fn telemetry_for(cli: &Cli, source: Source) -> Result<(Telemetry, bool), String>
 
 /// Writes the `--metrics-out` JSONL and `--trace-out` Chrome-trace files
 /// and prints the report when requested.
-fn flush_telemetry(cli: &Cli, tel: &Telemetry, want_report: bool) -> Result<(), String> {
+fn flush_telemetry(cli: &Cli, tel: &Telemetry, want_report: bool) -> Result<(), Error> {
     if let Some(path) = cli.options.get("metrics-out") {
-        std::fs::write(path, tel.logger.to_jsonl()).map_err(|e| format!("write {path}: {e}"))?;
+        std::fs::write(path, tel.logger.to_jsonl())
+            .map_err(|e| Error::Io(format!("write {path}: {e}")))?;
         println!("wrote {} events to {path}", tel.logger.len());
     }
     if let Some(path) = cli.options.get("trace-out") {
         std::fs::write(path, tel.trace.to_chrome_json())
-            .map_err(|e| format!("write {path}: {e}"))?;
+            .map_err(|e| Error::Io(format!("write {path}: {e}")))?;
         println!(
             "wrote {} trace events to {path} (open in chrome://tracing or ui.perfetto.dev)",
             tel.trace.events().len()
@@ -89,21 +114,24 @@ fn flush_telemetry(cli: &Cli, tel: &Telemetry, want_report: bool) -> Result<(), 
     Ok(())
 }
 
-fn report(cli: &Cli) -> Result<(), String> {
-    let path = cli
-        .options
-        .get("metrics")
-        .ok_or("report needs --metrics FILE (a JSONL written with --metrics-out)")?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+fn report(cli: &Cli) -> Result<(), Error> {
+    let path = cli.options.get("metrics").ok_or_else(|| {
+        Error::InvalidArgument(
+            "report needs --metrics FILE (a JSONL written with --metrics-out)".into(),
+        )
+    })?;
+    let text = std::fs::read_to_string(path).map_err(|e| Error::Io(format!("read {path}: {e}")))?;
     let events = RunLogger::parse_jsonl(&text)?;
     print!("{}", render_report(&events, None));
     Ok(())
 }
 
-fn load_or_synthesize(cli: &Cli) -> Result<Arc<Dataset>, String> {
+fn load_or_synthesize(cli: &Cli) -> Result<Arc<Dataset>, Error> {
     if let Some(path) = cli.options.get("load") {
-        let mut f = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
-        let d = argo_graph::io::read_dataset(&mut f).map_err(|e| format!("read {path}: {e}"))?;
+        let mut f =
+            std::fs::File::open(path).map_err(|e| Error::Io(format!("open {path}: {e}")))?;
+        let d = argo_graph::io::read_dataset(&mut f)
+            .map_err(|e| Error::Io(format!("read {path}: {e}")))?;
         return Ok(Arc::new(d));
     }
     let spec = dataset_by_name(cli.get("dataset", "flickr"))?;
@@ -112,13 +140,15 @@ fn load_or_synthesize(cli: &Cli) -> Result<Arc<Dataset>, String> {
     Ok(Arc::new(spec.synthesize(scale, seed)))
 }
 
-fn train(cli: &Cli) -> Result<(), String> {
+fn train(cli: &Cli) -> Result<(), Error> {
     // Validate telemetry flags before the (potentially long) run starts.
     let (tel, want_report) = telemetry_for(cli, Source::Measured)?;
     let dataset = load_or_synthesize(cli)?;
     if let Some(path) = cli.options.get("save") {
-        let mut f = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
-        argo_graph::io::write_dataset(&mut f, &dataset).map_err(|e| format!("write: {e}"))?;
+        let mut f =
+            std::fs::File::create(path).map_err(|e| Error::Io(format!("create {path}: {e}")))?;
+        argo_graph::io::write_dataset(&mut f, &dataset)
+            .map_err(|e| Error::Io(format!("write: {e}")))?;
         println!("saved dataset to {path}");
     }
     let layers: usize = cli.get_num("layers", 2)?;
@@ -129,7 +159,7 @@ fn train(cli: &Cli) -> Result<(), String> {
         "shadow" => Arc::new(ShadowSampler::new(vec![10, 5], layers)),
         "saint" => Arc::new(SaintRwSampler::new(3, layers)),
         "cluster" => Arc::new(ClusterGcnSampler::new(&dataset.graph, 32, layers)),
-        other => return Err(format!("unknown sampler '{other}'")),
+        other => return Err(Error::InvalidArgument(format!("unknown sampler '{other}'"))),
     };
     let arch = match cli.get("model", "sage") {
         "sage" | "graphsage" => Arch::Sage,
@@ -137,22 +167,24 @@ fn train(cli: &Cli) -> Result<(), String> {
         "gat" => Arch::Gat {
             heads: cli.get_num("heads", 2)?,
         },
-        other => return Err(format!("unknown model '{other}'")),
+        other => return Err(Error::InvalidArgument(format!("unknown model '{other}'"))),
     };
     let epochs: usize = cli.get_num("epochs", 20)?;
     let n_search: usize = cli.get_num("n-search", 5)?;
+    let cache_rows: usize = cli
+        .get_num("cache-rows", 0)
+        .map_err(Error::InvalidArgument)?;
     let mut engine = Engine::new(
         Arc::clone(&dataset),
         sampler,
-        EngineOptions {
-            kind: arch,
-            hidden: cli.get_num("hidden", 64)?,
-            num_layers: layers,
-            global_batch: cli.get_num("batch", 512)?,
-            lr: cli.get_num("lr", 3e-3)?,
-            seed: cli.get_num("seed", 0)?,
-            ..Default::default()
-        },
+        EngineOptions::builder()
+            .with_kind(arch)
+            .with_hidden(cli.get_num("hidden", 64)?)
+            .with_num_layers(layers)
+            .with_global_batch(cli.get_num("batch", 512)?)
+            .with_lr(cli.get_num("lr", 3e-3)?)
+            .with_seed(cli.get_num("seed", 0)?)
+            .with_cache_capacity(cache_rows),
     );
     println!(
         "training {} on {} ({} nodes, {} classes) for {epochs} epochs, {n_search} searches",
@@ -166,7 +198,8 @@ fn train(cli: &Cli) -> Result<(), String> {
         epochs: epochs.max(n_search.max(1)),
         ..Default::default()
     });
-    let report = runtime.train_telemetry(&mut engine, &tel, |epoch, config, stats| {
+    let tel_opt = if tel.is_enabled() { Some(&tel) } else { None };
+    let report = runtime.train(&mut engine, tel_opt, |epoch, config, stats| {
         println!(
             "epoch {epoch:>3} {config}: {:.3}s loss {:.4} acc {:.3}",
             stats.epoch_time, stats.loss, stats.train_accuracy
@@ -212,7 +245,7 @@ fn train(cli: &Cli) -> Result<(), String> {
     Ok(())
 }
 
-fn simulate(cli: &Cli) -> Result<(), String> {
+fn simulate(cli: &Cli) -> Result<(), Error> {
     // Validate telemetry flags before the (potentially long) run starts.
     let (tel, want_report) = telemetry_for(cli, Source::Modeled)?;
     let platform = platform_by_name(cli.get("platform", "icelake"))?;
@@ -251,7 +284,8 @@ fn simulate(cli: &Cli) -> Result<(), String> {
         total_cores: platform.total_cores,
         seed: cli.get_num("seed", 0)?,
     });
-    let report = runtime.run_modeled_telemetry(&m, &tel);
+    let tel_opt = if tel.is_enabled() { Some(&tel) } else { None };
+    let report = runtime.run_modeled(&m, tel_opt);
     println!(
         "  auto-tuner       : {:.2}s/epoch at {} ({} searches, {:.2}x of optimal)",
         report.best_epoch_time,
@@ -269,7 +303,7 @@ fn simulate(cli: &Cli) -> Result<(), String> {
     Ok(())
 }
 
-fn space(cli: &Cli) -> Result<(), String> {
+fn space(cli: &Cli) -> Result<(), Error> {
     let cores: usize = cli.get_num("cores", argo_rt::num_available_cores().max(4))?;
     let space = SearchSpace::for_cores(cores);
     println!(

@@ -148,6 +148,39 @@ pub fn render_report(events: &[(RunEvent, f64, Source)], live: Option<&Telemetry
         }
     }
 
+    // ---- Feature cache (only present when the cache was enabled) ------
+    let cache_epochs: Vec<_> = events
+        .iter()
+        .filter_map(|(e, _, _)| match e {
+            RunEvent::CacheSummary { epoch, summary } => Some((*epoch, *summary)),
+            _ => None,
+        })
+        .collect();
+    if !cache_epochs.is_empty() {
+        out.push_str("\nfeature cache (per epoch):\n");
+        for (epoch, s) in &cache_epochs {
+            out.push_str(&format!(
+                "  epoch {epoch:>3} hit rate {:>6.1}% ({} hits / {} lookups), \
+                 {} evictions, {} / {} rows resident ({:.1} MB)\n",
+                s.hit_rate() * 100.0,
+                s.hits,
+                s.hits + s.misses,
+                s.evictions,
+                s.resident_rows,
+                s.capacity_rows,
+                s.bytes as f64 / 1e6,
+            ));
+        }
+        let hits: u64 = cache_epochs.iter().map(|(_, s)| s.hits).sum();
+        let lookups: u64 = cache_epochs.iter().map(|(_, s)| s.hits + s.misses).sum();
+        if lookups > 0 {
+            out.push_str(&format!(
+                "  overall hit rate {:.1}% over {lookups} lookups\n",
+                hits as f64 / lookups as f64 * 100.0
+            ));
+        }
+    }
+
     // ---- Tuner convergence -------------------------------------------
     let trials: Vec<_> = events
         .iter()
@@ -291,5 +324,38 @@ mod tests {
         let text = render_report(&[], None);
         assert!(text.contains("epochs: 0"));
         assert!(!text.contains("tuner convergence"));
+        assert!(!text.contains("feature cache"));
+    }
+
+    #[test]
+    fn report_renders_cache_section_only_when_present() {
+        use argo_rt::CacheSummaryRecord;
+        let without = render_report(&evs(), None);
+        assert!(!without.contains("feature cache"));
+        let mut events = evs();
+        events.push((
+            RunEvent::CacheSummary {
+                epoch: 0,
+                summary: CacheSummaryRecord {
+                    hits: 75,
+                    misses: 25,
+                    evictions: 3,
+                    resident_rows: 40,
+                    capacity_rows: 64,
+                    bytes: 2_000_000,
+                },
+            },
+            0.0,
+            Source::Measured,
+        ));
+        let with = render_report(&events, None);
+        assert!(with.contains("feature cache (per epoch):"));
+        assert!(
+            with.contains("hit rate   75.0% (75 hits / 100 lookups)"),
+            "{with}"
+        );
+        assert!(with.contains("3 evictions"));
+        assert!(with.contains("40 / 64 rows resident (2.0 MB)"));
+        assert!(with.contains("overall hit rate 75.0% over 100 lookups"));
     }
 }

@@ -18,25 +18,31 @@
 //! use argo_core::{Argo, ArgoOptions};
 //!
 //! // A toy "training function": epoch time depends on the configuration.
-//! let mut runtime = Argo::new(ArgoOptions {
-//!     n_search: 10,
-//!     epochs: 40,
-//!     total_cores: 16,
-//!     seed: 0,
-//! });
-//! let report = runtime.run(|config, epochs| {
-//!     let per_epoch = 1.0 + (config.n_proc as f64 - 4.0).powi(2) * 0.05
-//!         + (config.n_samp as f64 - 2.0).powi(2) * 0.1;
-//!     per_epoch * epochs as f64
-//! });
+//! let mut runtime = Argo::new(
+//!     ArgoOptions::builder()
+//!         .with_n_search(10)
+//!         .with_epochs(40)
+//!         .with_total_cores(16),
+//! );
+//! let report = runtime.run(
+//!     |config, epochs| {
+//!         let per_epoch = 1.0 + (config.n_proc as f64 - 4.0).powi(2) * 0.05
+//!             + (config.n_samp as f64 - 2.0).powi(2) * 0.1;
+//!         per_epoch * epochs as f64
+//!     },
+//!     None, // pass Some(&telemetry) to record tuner introspection
+//! );
 //! assert_eq!(report.epochs_run, 40);
 //! assert!(report.config_opt.fits(16));
 //! ```
 //!
 //! For training real models, [`Argo::train`] drives an
 //! [`argo_engine::Engine`] directly; for paper-scale studies,
-//! [`Argo::run_modeled`] drives an [`argo_platform::PerfModel`].
+//! [`Argo::run_modeled`] drives an [`argo_platform::PerfModel`]. Each entry
+//! point takes an `Option<&Telemetry>`; the former `*_telemetry` variants
+//! remain as deprecated shims for one release.
 
+use std::fmt;
 use std::time::Instant;
 
 use argo_engine::{Engine, EpochStats};
@@ -46,6 +52,42 @@ use argo_rt::{Config, RunEvent, Telemetry, TrialRecord};
 use argo_tune::{BayesOpt, SearchSpace, Searcher};
 
 pub use argo_rt::Config as ArgoConfig;
+
+/// Errors surfaced by ARGO entry points (CLI flag parsing, telemetry
+/// sinks). Each renders as a one-line diagnostic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Error {
+    /// A command-line flag or option had an invalid value.
+    InvalidArgument(String),
+    /// An I/O operation (e.g. writing `--metrics-out`) failed.
+    Io(String),
+    /// Any other runtime failure.
+    Other(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            Error::Io(msg) => write!(f, "i/o error: {msg}"),
+            Error::Other(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<String> for Error {
+    fn from(msg: String) -> Self {
+        Error::Other(msg)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
+    }
+}
 
 /// Options of the ARGO runtime (mirrors `ARGO(n_search=…, epoch=…)`).
 #[derive(Clone, Copy, Debug)]
@@ -73,6 +115,37 @@ impl Default for ArgoOptions {
             total_cores,
             seed: 0,
         }
+    }
+}
+
+impl ArgoOptions {
+    /// Fluent starting point: defaults, refined with the `with_*` methods.
+    pub fn builder() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of online-learning search epochs.
+    pub fn with_n_search(mut self, n_search: usize) -> Self {
+        self.n_search = n_search;
+        self
+    }
+
+    /// Sets the total training epochs.
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Sets the core budget the runtime may allocate.
+    pub fn with_total_cores(mut self, total_cores: usize) -> Self {
+        self.total_cores = total_cores;
+        self
+    }
+
+    /// Sets the tuner's RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
     }
 }
 
@@ -134,16 +207,34 @@ impl Argo {
     /// seconds. During online learning it is called with `epochs = 1`;
     /// afterwards once with the remaining epochs (mirroring the `ep`
     /// variable of Listing 3).
-    pub fn run(&mut self, train: impl FnMut(Config, usize) -> f64) -> ArgoReport {
-        self.run_telemetry(train, &Telemetry::disabled())
-    }
-
-    /// Like [`Argo::run`], but emits the tuner's introspection telemetry:
-    /// one `tuner_trial` event per search epoch (candidate configuration,
+    ///
+    /// With `Some(telemetry)`, the tuner's introspection is recorded: one
+    /// `tuner_trial` event per search epoch (candidate configuration,
     /// observed epoch time, incumbent best, suggest/observe CPU seconds), a
     /// `config_applied` event on every configuration switch, and tuner
-    /// metrics into `telemetry.metrics`.
+    /// metrics into `telemetry.metrics`. `None` runs without any recording.
+    pub fn run(
+        &mut self,
+        train: impl FnMut(Config, usize) -> f64,
+        telemetry: Option<&Telemetry>,
+    ) -> ArgoReport {
+        match telemetry {
+            Some(t) => self.run_impl(train, t),
+            None => self.run_impl(train, &Telemetry::disabled()),
+        }
+    }
+
+    /// Deprecated alias for [`Argo::run`] with `Some(telemetry)`.
+    #[deprecated(since = "0.2.0", note = "use run(train, Some(&telemetry))")]
     pub fn run_telemetry(
+        &mut self,
+        train: impl FnMut(Config, usize) -> f64,
+        telemetry: &Telemetry,
+    ) -> ArgoReport {
+        self.run(train, Some(telemetry))
+    }
+
+    fn run_impl(
         &mut self,
         mut train: impl FnMut(Config, usize) -> f64,
         telemetry: &Telemetry,
@@ -213,31 +304,22 @@ impl Argo {
     }
 
     /// Trains a real [`Engine`] under ARGO, reporting per-epoch statistics
-    /// through `on_epoch`.
+    /// through `on_epoch`. With `Some(telemetry)`, the full layer is
+    /// recorded: per-epoch engine telemetry (stage histograms, structured
+    /// epoch events, cache summaries) plus the tuner introspection of
+    /// [`Argo::run`], all into the same sinks.
     pub fn train(
         &mut self,
         engine: &mut Engine,
-        on_epoch: impl FnMut(usize, Config, &EpochStats),
-    ) -> ArgoReport {
-        self.train_telemetry(engine, &Telemetry::disabled(), on_epoch)
-    }
-
-    /// Trains a real [`Engine`] under ARGO with the full telemetry layer:
-    /// per-epoch engine telemetry (stage histograms, structured epoch
-    /// events) plus the tuner introspection of [`Argo::run_telemetry`], all
-    /// into the same sinks.
-    pub fn train_telemetry(
-        &mut self,
-        engine: &mut Engine,
-        telemetry: &Telemetry,
+        telemetry: Option<&Telemetry>,
         mut on_epoch: impl FnMut(usize, Config, &EpochStats),
     ) -> ArgoReport {
         let mut epoch_idx = 0usize;
-        self.run_telemetry(
+        self.run(
             |config, epochs| {
                 let mut elapsed = 0.0;
                 for _ in 0..epochs {
-                    let stats = engine.train_epoch_telemetry(config, telemetry);
+                    let stats = engine.train_epoch(config, telemetry);
                     on_epoch(epoch_idx, config, &stats);
                     epoch_idx += 1;
                     elapsed += stats.epoch_time;
@@ -248,33 +330,57 @@ impl Argo {
         )
     }
 
-    /// Runs the full schedule against a modeled platform (paper-scale
-    /// studies on hardware this host does not have).
-    pub fn run_modeled(&mut self, model: &PerfModel) -> ArgoReport {
-        self.run(|config, epochs| model.epoch_time(config) * epochs as f64)
+    /// Deprecated alias for [`Argo::train`] with `Some(telemetry)`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use train(engine, Some(&telemetry), on_epoch)"
+    )]
+    pub fn train_telemetry(
+        &mut self,
+        engine: &mut Engine,
+        telemetry: &Telemetry,
+        on_epoch: impl FnMut(usize, Config, &EpochStats),
+    ) -> ArgoReport {
+        self.train(engine, Some(telemetry), on_epoch)
     }
 
-    /// Like [`Argo::run_modeled`], but emits per-epoch modeled telemetry
-    /// through [`PerfModel::record_epoch`] alongside the tuner events —
-    /// the same schema a measured run produces. Build `telemetry` with
+    /// Runs the full schedule against a modeled platform (paper-scale
+    /// studies on hardware this host does not have). With
+    /// `Some(telemetry)`, per-epoch modeled telemetry is emitted through
+    /// [`PerfModel::record_epoch`] alongside the tuner events — the same
+    /// schema a measured run produces. Build such telemetry with
     /// [`argo_rt::Source::Modeled`] so the provenance is tagged.
+    pub fn run_modeled(&mut self, model: &PerfModel, telemetry: Option<&Telemetry>) -> ArgoReport {
+        match telemetry {
+            Some(tel) => {
+                let mut epoch_idx = 0u64;
+                self.run(
+                    |config, epochs| {
+                        let mut elapsed = 0.0;
+                        for _ in 0..epochs {
+                            elapsed += model.record_epoch(tel, epoch_idx, config);
+                            epoch_idx += 1;
+                        }
+                        elapsed
+                    },
+                    Some(tel),
+                )
+            }
+            None => self.run(
+                |config, epochs| model.epoch_time(config) * epochs as f64,
+                None,
+            ),
+        }
+    }
+
+    /// Deprecated alias for [`Argo::run_modeled`] with `Some(telemetry)`.
+    #[deprecated(since = "0.2.0", note = "use run_modeled(model, Some(&telemetry))")]
     pub fn run_modeled_telemetry(
         &mut self,
         model: &PerfModel,
         telemetry: &Telemetry,
     ) -> ArgoReport {
-        let mut epoch_idx = 0u64;
-        self.run_telemetry(
-            |config, epochs| {
-                let mut elapsed = 0.0;
-                for _ in 0..epochs {
-                    elapsed += model.record_epoch(telemetry, epoch_idx, config);
-                    epoch_idx += 1;
-                }
-                elapsed
-            },
-            telemetry,
-        )
+        self.run_modeled(model, Some(telemetry))
     }
 }
 
@@ -305,14 +411,17 @@ mod tests {
         });
         let mut search_calls = 0usize;
         let mut reuse_epochs = 0usize;
-        let report = argo.run(|c, e| {
-            if e == 1 {
-                search_calls += 1;
-            } else {
-                reuse_epochs += e;
-            }
-            toy_objective(c, e)
-        });
+        let report = argo.run(
+            |c, e| {
+                if e == 1 {
+                    search_calls += 1;
+                } else {
+                    reuse_epochs += e;
+                }
+                toy_objective(c, e)
+            },
+            None,
+        );
         assert_eq!(search_calls, 8);
         assert_eq!(reuse_epochs, 42);
         assert_eq!(report.epochs_run, 50);
@@ -328,7 +437,7 @@ mod tests {
             total_cores: 16,
             seed: 2,
         });
-        let report = argo.run(toy_objective);
+        let report = argo.run(toy_objective, None);
         let search_sum: f64 = report.history.iter().map(|(_, t)| t).sum();
         let expect = search_sum + toy_objective(report.config_opt, 15);
         assert!((report.total_time - expect).abs() < 1e-9);
@@ -342,7 +451,7 @@ mod tests {
             total_cores: 16,
             seed: 3,
         });
-        let report = argo.run(toy_objective);
+        let report = argo.run(toy_objective, None);
         assert_eq!(report.history.len(), 6);
     }
 
@@ -372,7 +481,7 @@ mod tests {
             total_cores: 112,
             seed: 4,
         });
-        let report = argo.run_modeled(&model);
+        let report = argo.run_modeled(&model, None);
         // The reused configuration is near-optimal (≥85% of exhaustive).
         let opt = model.argo_best_epoch_time(112).1;
         assert!(
@@ -405,7 +514,7 @@ mod tests {
             seed: 5,
         });
         let mut epochs_seen = Vec::new();
-        let report = argo.train(&mut engine, |i, c, stats| {
+        let report = argo.train(&mut engine, None, |i, c, stats| {
             epochs_seen.push((i, c, stats.loss));
         });
         assert_eq!(epochs_seen.len(), 5);
@@ -427,7 +536,7 @@ mod tests {
             total_cores: 32,
             seed: 7,
         });
-        let report = argo.run_telemetry(toy_objective, &tel);
+        let report = argo.run(toy_objective, Some(&tel));
         let events = tel.logger.events();
         let trials: Vec<_> = events
             .iter()
@@ -449,7 +558,7 @@ mod tests {
             total_cores: 32,
             seed: 7,
         });
-        let plain = argo2.run(toy_objective);
+        let plain = argo2.run(toy_objective, None);
         assert_eq!(plain.config_opt, report.config_opt);
         assert_eq!(plain.history, report.history);
     }
@@ -471,7 +580,7 @@ mod tests {
             total_cores: 112,
             seed: 4,
         });
-        let report = argo.run_modeled_telemetry(&model, &tel);
+        let report = argo.run_modeled(&model, Some(&tel));
         let parsed = argo_rt::RunLogger::parse_jsonl(&tel.logger.to_jsonl()).unwrap();
         assert!(parsed.iter().all(|(_, _, s)| *s == Source::Modeled));
         let ends: Vec<_> = parsed
@@ -491,5 +600,52 @@ mod tests {
             })
             .sum();
         assert!((total - report.total_time).abs() < 1e-9 * report.total_time.max(1.0));
+    }
+
+    #[test]
+    fn options_builder_matches_struct_literal() {
+        let b = ArgoOptions::builder()
+            .with_n_search(7)
+            .with_epochs(42)
+            .with_total_cores(24)
+            .with_seed(9);
+        assert_eq!(b.n_search, 7);
+        assert_eq!(b.epochs, 42);
+        assert_eq!(b.total_cores, 24);
+        assert_eq!(b.seed, 9);
+    }
+
+    #[test]
+    fn error_renders_one_line_diagnostics() {
+        let e = Error::InvalidArgument("--cache-rows wants a number, got 'many'".into());
+        let line = e.to_string();
+        assert!(line.starts_with("invalid argument:"), "{line}");
+        assert!(!line.contains('\n'));
+        let io: Error = std::io::Error::new(std::io::ErrorKind::NotFound, "no dir").into();
+        assert!(matches!(io, Error::Io(_)));
+        let other: Error = String::from("boom").into();
+        assert_eq!(other.to_string(), "boom");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_delegate_to_unified_api() {
+        let tel = Telemetry::disabled();
+        let mut argo = Argo::new(ArgoOptions {
+            n_search: 3,
+            epochs: 10,
+            total_cores: 16,
+            seed: 7,
+        });
+        let shim = argo.run_telemetry(toy_objective, &tel);
+        let mut argo2 = Argo::new(ArgoOptions {
+            n_search: 3,
+            epochs: 10,
+            total_cores: 16,
+            seed: 7,
+        });
+        let unified = argo2.run(toy_objective, Some(&tel));
+        assert_eq!(shim.config_opt, unified.config_opt);
+        assert_eq!(shim.history, unified.history);
     }
 }

@@ -4,16 +4,16 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use argo_graph::partition::random_partition;
-use argo_graph::Dataset;
+use argo_graph::{Dataset, Features};
 use argo_nn::{AnyModel, AnyOptimizer, Arch, LrSchedule, Optimizer, OptimizerKind};
 use argo_rt::affinity::CoreSet;
 use argo_rt::metrics::{Counter, Histogram, MetricsRegistry};
 use argo_rt::telemetry::names;
 use argo_rt::{
-    AllReduce, Config, CoreBinder, EpochRecord, RunEvent, RunLogger, SeedSequence, Stage,
-    StageSummaryRecord, Telemetry, ThreadPool, TraceRecorder,
+    AllReduce, CacheSummaryRecord, Config, CoreBinder, EpochRecord, RunEvent, RunLogger,
+    SeedSequence, Stage, StageSummaryRecord, Telemetry, ThreadPool, TraceRecorder,
 };
-use argo_sample::{PipelinedLoader, Sampler};
+use argo_sample::{FeatureCache, LoadedBatch, LoaderSpec, Sampler};
 
 /// Construction options for an [`Engine`].
 #[derive(Clone)]
@@ -44,6 +44,9 @@ pub struct EngineOptions {
     /// Learning-rate schedule, keyed on the shared epoch counter so every
     /// replica applies the same rate.
     pub lr_schedule: LrSchedule,
+    /// Default cross-batch feature-cache capacity in rows (0 = cache
+    /// disabled). A per-epoch [`Config::cache_rows`] > 0 overrides this.
+    pub cache_capacity: usize,
 }
 
 impl Default for EngineOptions {
@@ -60,7 +63,89 @@ impl Default for EngineOptions {
             prefetch: 4,
             grad_clip: None,
             lr_schedule: LrSchedule::Constant,
+            cache_capacity: 0,
         }
+    }
+}
+
+/// Fluent builder-style constructors, so adding fields (like
+/// `cache_capacity`) never breaks existing call sites.
+impl EngineOptions {
+    /// Starts from [`EngineOptions::default`].
+    pub fn builder() -> Self {
+        Self::default()
+    }
+
+    /// GNN architecture.
+    pub fn with_kind(mut self, kind: Arch) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Hidden feature dimension.
+    pub fn with_hidden(mut self, hidden: usize) -> Self {
+        self.hidden = hidden;
+        self
+    }
+
+    /// Number of GNN layers.
+    pub fn with_num_layers(mut self, num_layers: usize) -> Self {
+        self.num_layers = num_layers;
+        self
+    }
+
+    /// Global mini-batch size.
+    pub fn with_global_batch(mut self, global_batch: usize) -> Self {
+        self.global_batch = global_batch;
+        self
+    }
+
+    /// Optimizer kind.
+    pub fn with_optimizer(mut self, optimizer: OptimizerKind) -> Self {
+        self.optimizer = optimizer;
+        self
+    }
+
+    /// Learning rate.
+    pub fn with_lr(mut self, lr: f32) -> Self {
+        self.lr = lr;
+        self
+    }
+
+    /// Master RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Total cores the core binder may plan over.
+    pub fn with_total_cores(mut self, total_cores: usize) -> Self {
+        self.total_cores = total_cores;
+        self
+    }
+
+    /// Prefetch depth of each process's sampling pipeline.
+    pub fn with_prefetch(mut self, prefetch: usize) -> Self {
+        self.prefetch = prefetch;
+        self
+    }
+
+    /// Global-L2 gradient clipping threshold.
+    pub fn with_grad_clip(mut self, max_norm: f32) -> Self {
+        self.grad_clip = Some(max_norm);
+        self
+    }
+
+    /// Learning-rate schedule.
+    pub fn with_lr_schedule(mut self, lr_schedule: LrSchedule) -> Self {
+        self.lr_schedule = lr_schedule;
+        self
+    }
+
+    /// Default feature-cache capacity in rows (0 disables the cache).
+    pub fn with_cache_capacity(mut self, cache_capacity: usize) -> Self {
+        self.cache_capacity = cache_capacity;
+        self
     }
 }
 
@@ -144,6 +229,12 @@ pub struct Engine {
     opt: AnyOptimizer,
     epoch: u64,
     seeds: SeedSequence,
+    /// Cross-batch feature cache, persistent across epochs so reuse
+    /// compounds; rebuilt only when the effective capacity changes.
+    cache: Option<Arc<FeatureCache>>,
+    /// Shared handle to the node features for loader-side pre-gathering
+    /// (built lazily the first time the cache is enabled).
+    features_arc: Option<Arc<Features>>,
 }
 
 impl Engine {
@@ -175,6 +266,8 @@ impl Engine {
             opt,
             epoch: 0,
             seeds,
+            cache: None,
+            features_arc: None,
         }
     }
 
@@ -215,25 +308,60 @@ impl Engine {
     /// Trains one epoch under `config`. Returns measured statistics; the
     /// master parameters and optimizer state advance.
     ///
-    /// Pass a [`TraceRecorder`] to collect Figure-2 style stage intervals
-    /// (adds a small instrumentation overhead; use
-    /// [`TraceRecorder::disabled`] otherwise).
-    pub fn train_epoch(&mut self, config: Config, trace: &TraceRecorder) -> EpochStats {
-        self.train_epoch_impl(config, trace, None, None)
+    /// Pass `Some(&telemetry)` to wire the epoch to the full telemetry
+    /// layer: stage intervals go to `telemetry.trace`, per-iteration stage
+    /// durations and workload counters to `telemetry.metrics`, and
+    /// `epoch_start`/`stage_summary`/`cache_summary`/`epoch_end` events to
+    /// `telemetry.logger`. Pass `None` for zero instrumentation overhead
+    /// (trace-only callers can use [`Telemetry::with_trace`]).
+    pub fn train_epoch(&mut self, config: Config, telemetry: Option<&Telemetry>) -> EpochStats {
+        match telemetry {
+            Some(t) => self.train_epoch_impl(config, &t.trace, Some(&t.metrics), Some(&t.logger)),
+            None => self.train_epoch_impl(config, &TraceRecorder::disabled(), None, None),
+        }
     }
 
-    /// Like [`Engine::train_epoch`], but wired to the full telemetry layer:
-    /// stage intervals go to `telemetry.trace`, per-iteration stage
-    /// durations and workload counters to `telemetry.metrics`, and
-    /// `epoch_start`/`epoch_end`/`stage_summary` events to
-    /// `telemetry.logger`.
+    /// Deprecated alias of [`Engine::train_epoch`] with `Some(telemetry)`.
+    #[deprecated(since = "0.2.0", note = "use train_epoch(config, Some(&telemetry))")]
     pub fn train_epoch_telemetry(&mut self, config: Config, telemetry: &Telemetry) -> EpochStats {
-        self.train_epoch_impl(
-            config,
-            &telemetry.trace,
-            Some(&telemetry.metrics),
-            Some(&telemetry.logger),
-        )
+        self.train_epoch(config, Some(telemetry))
+    }
+
+    /// The feature cache for this epoch's effective capacity
+    /// (`config.cache_rows`, falling back to `opts.cache_capacity`), or
+    /// `None` when caching is off. The cache persists across epochs and is
+    /// rebuilt only when the capacity knob moves.
+    fn cache_for(&mut self, config: Config) -> Option<Arc<FeatureCache>> {
+        let rows = if config.cache_rows > 0 {
+            config.cache_rows
+        } else {
+            self.opts.cache_capacity
+        };
+        if rows == 0 {
+            self.cache = None;
+            return None;
+        }
+        match &self.cache {
+            Some(c) if c.capacity_rows() == rows => Some(Arc::clone(c)),
+            _ => {
+                let c = Arc::new(FeatureCache::new(rows, self.dataset.feat_dim()));
+                self.cache = Some(Arc::clone(&c));
+                Some(c)
+            }
+        }
+    }
+
+    /// Shared features handle for loader-side pre-gathering (one clone of
+    /// the feature matrix, amortized over the whole run).
+    fn features_arc(&mut self) -> Arc<Features> {
+        match &self.features_arc {
+            Some(f) => Arc::clone(f),
+            None => {
+                let f = Arc::new(self.dataset.features.clone());
+                self.features_arc = Some(Arc::clone(&f));
+                f
+            }
+        }
     }
 
     fn train_epoch_impl(
@@ -262,6 +390,12 @@ impl Engine {
             .set_learning_rate(self.opts.lr * self.opts.lr_schedule.multiplier(self.epoch));
         let allreduce = Arc::new(AllReduce::new(n_proc, self.params.len()));
         let epoch = self.epoch;
+
+        // Cross-batch feature cache (tentpole): shared by all processes so
+        // neighborhoods re-gathered anywhere hit everywhere.
+        let cache = self.cache_for(config);
+        let features = cache.as_ref().map(|_| self.features_arc());
+        let cache_snapshot = cache.as_ref().map(|c| c.stats());
 
         let stage_metrics = metrics.filter(|m| m.is_enabled()).map(StageMetrics::new);
         // Histograms are cumulative across epochs; snapshot them so the
@@ -296,25 +430,25 @@ impl Engine {
                 let proc_seeds = self.seeds.child(rank as u64);
                 let opts = self.opts.clone();
                 let stage_metrics = stage_metrics.clone();
-                handles.push(scope.spawn(move || {
-                    run_process(
-                        rank,
-                        dataset,
-                        sampler,
-                        opts,
-                        params0,
-                        opt0,
-                        seeds_part,
-                        local_batch,
-                        epoch,
-                        proc_seeds,
-                        binding.sampling,
-                        binding.training,
-                        allreduce,
-                        trace,
-                        stage_metrics,
-                    )
-                }));
+                let spec = ProcessSpec {
+                    rank,
+                    dataset,
+                    sampler,
+                    opts,
+                    params0,
+                    opt0,
+                    seeds_part,
+                    local_batch,
+                    epoch,
+                    proc_seeds,
+                    sampling_cores: binding.sampling,
+                    training_cores: binding.training,
+                    allreduce,
+                    features: features.clone(),
+                    cache: cache.clone(),
+                    stage_metrics,
+                };
+                handles.push(scope.spawn(move || run_process(spec, trace)));
             }
             handles
                 .into_iter()
@@ -353,12 +487,33 @@ impl Engine {
             sync_time: r0.sync_time,
         };
 
+        // Per-epoch cache counters (only when the cache is enabled, so
+        // cache-less runs keep the PR-1 event sequence exactly).
+        let cache_delta = cache.as_ref().zip(cache_snapshot.as_ref()).map(|(c, s0)| {
+            let d = c.stats().delta(s0);
+            CacheSummaryRecord {
+                hits: d.hits,
+                misses: d.misses,
+                evictions: d.evictions,
+                resident_rows: d.resident_rows,
+                capacity_rows: d.capacity_rows,
+                bytes: d.bytes,
+            }
+        });
+
         if let Some(m) = metrics.filter(|m| m.is_enabled()) {
             m.time_histogram(names::EPOCH_SECONDS).observe(epoch_time);
             m.counter(names::EPOCHS_TOTAL).inc();
             if trace.is_enabled() {
                 m.gauge(names::OVERLAP_FRACTION)
                     .set(trace.overlap_fraction(trace.now()));
+            }
+            if let Some(d) = &cache_delta {
+                m.counter(names::CACHE_HITS_TOTAL).add(d.hits);
+                m.counter(names::CACHE_MISSES_TOTAL).add(d.misses);
+                m.counter(names::CACHE_EVICTIONS_TOTAL).add(d.evictions);
+                m.gauge(names::CACHE_BYTES).set(d.bytes as f64);
+                m.gauge(names::CACHE_HIT_RATE).set(d.hit_rate());
             }
         }
         if let Some(l) = logger {
@@ -374,6 +529,9 @@ impl Engine {
                         },
                     });
                 }
+            }
+            if let Some(summary) = cache_delta {
+                l.log(RunEvent::CacheSummary { epoch, summary });
             }
             l.log(RunEvent::EpochEnd {
                 epoch,
@@ -395,8 +553,10 @@ impl Engine {
 
 const ALL_STAGES: [Stage; 4] = [Stage::Sample, Stage::Gather, Stage::Compute, Stage::Sync];
 
-#[allow(clippy::too_many_arguments)]
-fn run_process(
+/// Everything one training process needs, bundled so [`run_process`] takes
+/// two arguments instead of fifteen (the old signature needed an
+/// `allow(clippy::too_many_arguments)` escape hatch).
+struct ProcessSpec {
     rank: usize,
     dataset: Arc<Dataset>,
     sampler: Arc<dyn Sampler>,
@@ -410,9 +570,33 @@ fn run_process(
     sampling_cores: CoreSet,
     training_cores: CoreSet,
     allreduce: Arc<AllReduce>,
-    trace: &TraceRecorder,
+    /// Feature table handle for loader-side pre-gather; `Some` iff the
+    /// cross-batch cache is enabled for this epoch.
+    features: Option<Arc<Features>>,
+    cache: Option<Arc<FeatureCache>>,
     stage_metrics: Option<StageMetrics>,
-) -> ProcessResult {
+}
+
+fn run_process(spec: ProcessSpec, trace: &TraceRecorder) -> ProcessResult {
+    let ProcessSpec {
+        rank,
+        dataset,
+        sampler,
+        opts,
+        params0,
+        opt0,
+        seeds_part,
+        local_batch,
+        epoch,
+        proc_seeds,
+        sampling_cores,
+        training_cores,
+        allreduce,
+        features,
+        cache,
+        stage_metrics,
+    } = spec;
+
     // Local model replica (DDP-style).
     let mut model = AnyModel::build(
         opts.kind,
@@ -428,17 +612,17 @@ fn run_process(
 
     let n_samp = sampling_cores.len();
     let graph = Arc::new(dataset.graph.clone());
-    let loader = PipelinedLoader::start(
-        graph,
-        Arc::clone(&sampler),
-        Arc::clone(&seeds_part),
-        local_batch,
-        epoch,
-        proc_seeds,
-        n_samp,
-        sampling_cores,
-        opts.prefetch,
-    );
+    let mut loader_spec = LoaderSpec::builder(graph, Arc::clone(&sampler), Arc::clone(&seeds_part))
+        .batch_size(local_batch)
+        .epoch(epoch)
+        .epoch_seeds(proc_seeds)
+        .n_samp(n_samp)
+        .cores(sampling_cores)
+        .prefetch(opts.prefetch);
+    if let (Some(f), Some(c)) = (&features, &cache) {
+        loader_spec = loader_spec.features(Arc::clone(f)).cache(Arc::clone(c));
+    }
+    let loader = loader_spec.start();
     let train_pool = if training_cores.len() > 1 {
         Some(ThreadPool::pinned("argo-train", &training_cores))
     } else {
@@ -461,24 +645,48 @@ fn run_process(
     };
 
     let mut wait_from = trace.now();
-    for (_i, batch) in loader {
+    for (_i, loaded) in loader {
         observe(Stage::Sample, wait_from, trace.now());
-        if trace.is_enabled() || sm.is_some() {
-            // Instrument the bandwidth-bound feature gather separately
-            // (Figure 2's `aten::index_select`); the gather inside
-            // `train_step` is what actually feeds the model.
-            let g0 = trace.now();
-            std::hint::black_box(dataset.features.gather(batch.input_nodes()));
-            observe(Stage::Gather, g0, trace.now());
-        }
-        let c0 = trace.now();
-        let stats = model.train_step(
-            &batch,
-            &dataset.features,
-            &dataset.labels,
-            train_pool.as_ref(),
-        );
-        observe(Stage::Compute, c0, trace.now());
+        let LoadedBatch {
+            batch,
+            input,
+            gather_seconds,
+        } = loaded;
+        let stats = match input {
+            Some(input) => {
+                // The loader already gathered the input rows (through the
+                // cross-batch cache); attribute that measured time to the
+                // Gather stage instead of re-touching the feature table.
+                if trace.is_enabled() || sm.is_some() {
+                    let g0 = trace.now();
+                    observe(Stage::Gather, g0, g0 + gather_seconds);
+                }
+                let c0 = trace.now();
+                let stats =
+                    model.train_step_gathered(&batch, input, &dataset.labels, train_pool.as_ref());
+                observe(Stage::Compute, c0, trace.now());
+                stats
+            }
+            None => {
+                if trace.is_enabled() || sm.is_some() {
+                    // Instrument the bandwidth-bound feature gather separately
+                    // (Figure 2's `aten::index_select`); the gather inside
+                    // `train_step` is what actually feeds the model.
+                    let g0 = trace.now();
+                    std::hint::black_box(dataset.features.gather(batch.input_nodes()));
+                    observe(Stage::Gather, g0, trace.now());
+                }
+                let c0 = trace.now();
+                let stats = model.train_step(
+                    &batch,
+                    &dataset.features,
+                    &dataset.labels,
+                    train_pool.as_ref(),
+                );
+                observe(Stage::Compute, c0, trace.now());
+                stats
+            }
+        };
         edges += batch.total_edges(opts.num_layers);
         loss_sum += f64::from(stats.loss);
         acc_sum += stats.accuracy;
@@ -548,7 +756,7 @@ mod tests {
     fn epoch_runs_and_advances() {
         let mut e = Engine::new(tiny(), neighbor(), opts(64));
         let before = e.params().to_vec();
-        let stats = e.train_epoch(Config::new(2, 1, 2), &TraceRecorder::disabled());
+        let stats = e.train_epoch(Config::new(2, 1, 2), None);
         assert!(stats.epoch_time > 0.0);
         assert!(stats.iterations > 0);
         assert_eq!(stats.minibatches, stats.iterations * 2);
@@ -564,9 +772,9 @@ mod tests {
         let d = tiny();
         let n_train = d.train_nodes.len();
         let mut e1 = Engine::new(Arc::clone(&d), neighbor(), opts(64));
-        let s1 = e1.train_epoch(Config::new(1, 1, 1), &TraceRecorder::disabled());
+        let s1 = e1.train_epoch(Config::new(1, 1, 1), None);
         let mut e4 = Engine::new(Arc::clone(&d), neighbor(), opts(64));
-        let s4 = e4.train_epoch(Config::new(4, 1, 1), &TraceRecorder::disabled());
+        let s4 = e4.train_epoch(Config::new(4, 1, 1), None);
         let expect = n_train / 64;
         assert!(
             (s1.iterations as i64 - expect as i64).abs() <= 1,
@@ -587,10 +795,10 @@ mod tests {
     #[test]
     fn loss_decreases_over_epochs() {
         let mut e = Engine::new(tiny(), neighbor(), opts(64));
-        let first = e.train_epoch(Config::new(2, 1, 1), &TraceRecorder::disabled());
+        let first = e.train_epoch(Config::new(2, 1, 1), None);
         let mut last = first;
         for _ in 0..5 {
-            last = e.train_epoch(Config::new(2, 1, 1), &TraceRecorder::disabled());
+            last = e.train_epoch(Config::new(2, 1, 1), None);
         }
         assert!(
             last.loss < first.loss,
@@ -604,7 +812,7 @@ mod tests {
     fn config_can_change_between_epochs() {
         let mut e = Engine::new(tiny(), neighbor(), opts(32));
         for (p, s, t) in [(1, 1, 1), (2, 1, 2), (4, 1, 1), (2, 2, 1)] {
-            let stats = e.train_epoch(Config::new(p, s, t), &TraceRecorder::disabled());
+            let stats = e.train_epoch(Config::new(p, s, t), None);
             assert!(stats.iterations > 0);
         }
         assert_eq!(e.epochs_done(), 4);
@@ -617,7 +825,7 @@ mod tests {
             Arc::new(ShadowSampler::new(vec![6, 3], 2)),
             opts(48),
         );
-        let stats = e.train_epoch(Config::new(2, 1, 1), &TraceRecorder::disabled());
+        let stats = e.train_epoch(Config::new(2, 1, 1), None);
         assert!(stats.loss.is_finite());
         assert!(stats.edges > 0);
     }
@@ -625,8 +833,9 @@ mod tests {
     #[test]
     fn trace_records_all_stages() {
         let mut e = Engine::new(tiny(), neighbor(), opts(64));
-        let trace = TraceRecorder::new();
-        e.train_epoch(Config::new(2, 1, 1), &trace);
+        let trace = Arc::new(TraceRecorder::new());
+        let tel = Telemetry::with_trace(Arc::clone(&trace));
+        e.train_epoch(Config::new(2, 1, 1), Some(&tel));
         let events = trace.events();
         for stage in [Stage::Sample, Stage::Gather, Stage::Compute, Stage::Sync] {
             assert!(
@@ -643,7 +852,7 @@ mod tests {
         use argo_rt::telemetry::names;
         let mut e = Engine::new(tiny(), neighbor(), opts(64));
         let tel = Telemetry::new();
-        let stats = e.train_epoch_telemetry(Config::new(2, 1, 1), &tel);
+        let stats = e.train_epoch(Config::new(2, 1, 1), Some(&tel));
 
         // Counters track the stats exactly.
         let counters: std::collections::BTreeMap<_, _> =
@@ -700,7 +909,7 @@ mod tests {
         // EpochStats sync_time (both sum the same rank-0 intervals).
         let mut e = Engine::new(tiny(), neighbor(), opts(64));
         let tel = Telemetry::new();
-        let stats = e.train_epoch_telemetry(Config::new(1, 1, 1), &tel);
+        let stats = e.train_epoch(Config::new(1, 1, 1), Some(&tel));
         let hists: BTreeMap<_, _> = tel.metrics.histograms().into_iter().collect();
         let sync = &hists[&Telemetry::stage_histogram_name(Stage::Sync)];
         let tol = 1e-6 + 0.05 * stats.sync_time;
@@ -716,7 +925,7 @@ mod tests {
         // histogram total must be at least that and count every rank.
         let mut e = Engine::new(tiny(), neighbor(), opts(64));
         let tel = Telemetry::new();
-        let stats = e.train_epoch_telemetry(Config::new(2, 1, 1), &tel);
+        let stats = e.train_epoch(Config::new(2, 1, 1), Some(&tel));
         let hists: BTreeMap<_, _> = tel.metrics.histograms().into_iter().collect();
         let sync = &hists[&Telemetry::stage_histogram_name(Stage::Sync)];
         assert!(sync.sum() >= stats.sync_time * 0.95);
@@ -727,7 +936,7 @@ mod tests {
     fn telemetry_disabled_is_inert_and_stats_match() {
         let mut e = Engine::new(tiny(), neighbor(), opts(64));
         let tel = Telemetry::disabled();
-        let stats = e.train_epoch_telemetry(Config::new(2, 1, 1), &tel);
+        let stats = e.train_epoch(Config::new(2, 1, 1), Some(&tel));
         assert!(stats.iterations > 0);
         assert!(tel.metrics.counters().is_empty());
         assert!(tel.metrics.histograms().is_empty());
@@ -739,7 +948,7 @@ mod tests {
     fn more_processes_than_batch_still_works() {
         // Degenerate split: global batch 4 over 4 processes → local batch 1.
         let mut e = Engine::new(tiny(), neighbor(), opts(4));
-        let stats = e.train_epoch(Config::new(4, 1, 1), &TraceRecorder::disabled());
+        let stats = e.train_epoch(Config::new(4, 1, 1), None);
         assert!(stats.iterations > 0);
         assert!(stats.loss.is_finite());
     }
@@ -751,7 +960,7 @@ mod tests {
         let mut d = (*tiny()).clone();
         d.train_nodes.truncate(9);
         let mut e = Engine::new(Arc::new(d), neighbor(), opts(2));
-        let stats = e.train_epoch(Config::new(3, 1, 1), &TraceRecorder::disabled());
+        let stats = e.train_epoch(Config::new(3, 1, 1), None);
         // 9 nodes over 3 procs = 3 each; batch max(2/3,1)=1 → 3 iterations.
         assert_eq!(stats.iterations, 3);
         assert_eq!(stats.minibatches, 9);
@@ -773,10 +982,10 @@ mod tests {
                 ..Default::default()
             },
         );
-        let first = e.train_epoch(Config::new(2, 1, 1), &TraceRecorder::disabled());
+        let first = e.train_epoch(Config::new(2, 1, 1), None);
         let mut last = first;
         for _ in 0..4 {
-            last = e.train_epoch(Config::new(2, 1, 1), &TraceRecorder::disabled());
+            last = e.train_epoch(Config::new(2, 1, 1), None);
         }
         assert!(
             last.loss < first.loss,
@@ -797,10 +1006,10 @@ mod tests {
         };
         let mut e = Engine::new(tiny(), neighbor(), o);
         for _ in 0..2 {
-            e.train_epoch(Config::new(1, 1, 1), &TraceRecorder::disabled());
+            e.train_epoch(Config::new(1, 1, 1), None);
         }
         // After epochs 0 and 1, epoch 2 runs at lr/2.
-        e.train_epoch(Config::new(1, 1, 1), &TraceRecorder::disabled());
+        e.train_epoch(Config::new(1, 1, 1), None);
         assert!((e.opt.learning_rate() - 5e-3).abs() < 1e-9);
     }
 
@@ -811,7 +1020,7 @@ mod tests {
         // one worker, so FP summation order is unchanged.
         let run = |t: usize| {
             let mut e = Engine::new(tiny(), neighbor(), opts(64));
-            e.train_epoch(Config::new(2, 1, t), &TraceRecorder::disabled());
+            e.train_epoch(Config::new(2, 1, t), None);
             e.params().to_vec()
         };
         assert_eq!(run(1), run(2));
@@ -822,10 +1031,10 @@ mod tests {
         let mut o = opts(64);
         o.grad_clip = Some(0.5);
         let mut e = Engine::new(tiny(), neighbor(), o);
-        let first = e.train_epoch(Config::new(2, 1, 1), &TraceRecorder::disabled());
+        let first = e.train_epoch(Config::new(2, 1, 1), None);
         let mut last = first;
         for _ in 0..3 {
-            last = e.train_epoch(Config::new(2, 1, 1), &TraceRecorder::disabled());
+            last = e.train_epoch(Config::new(2, 1, 1), None);
         }
         // Training still converges under clipping, and parameters stayed
         // finite (replica divergence would blow up the loss).
@@ -866,9 +1075,9 @@ mod tests {
         let n = d.train_nodes.len();
         o.global_batch = n;
         let mut e1 = Engine::new(Arc::clone(&d), Arc::clone(&sampler), o.clone());
-        let s1 = e1.train_epoch(Config::new(1, 1, 1), &TraceRecorder::disabled());
+        let s1 = e1.train_epoch(Config::new(1, 1, 1), None);
         let mut e2 = Engine::new(Arc::clone(&d), Arc::clone(&sampler), o.clone());
-        let s2 = e2.train_epoch(Config::new(2, 1, 1), &TraceRecorder::disabled());
+        let s2 = e2.train_epoch(Config::new(2, 1, 1), None);
         assert_eq!(s1.iterations, 1);
         assert_eq!(s2.iterations, 1);
         let p1 = e1.params();
@@ -882,5 +1091,117 @@ mod tests {
             max_diff < 2e-3,
             "parameter divergence {max_diff} between 1-proc and 2-proc"
         );
+    }
+
+    #[test]
+    fn cached_training_matches_uncached_bitwise() {
+        // The cache returns feature rows verbatim, so enabling it must not
+        // perturb training at all: parameters stay bit-identical.
+        let run = |cache_rows: usize| {
+            let mut o = opts(64);
+            o.cache_capacity = cache_rows;
+            let mut e = Engine::new(tiny(), neighbor(), o);
+            for _ in 0..3 {
+                e.train_epoch(Config::new(2, 1, 1), None);
+            }
+            e.params().to_vec()
+        };
+        assert_eq!(run(0), run(512));
+    }
+
+    #[test]
+    fn config_cache_rows_overrides_engine_default() {
+        let mut e = Engine::new(tiny(), neighbor(), opts(64));
+        // Engine built without a cache; the per-epoch config switches it on.
+        e.train_epoch(Config::new(2, 1, 1).with_cache_rows(256), None);
+        let c = e.cache.as_ref().expect("config should enable the cache");
+        assert_eq!(c.capacity_rows(), 256);
+        // Back to a cache-less config: the cache is dropped again.
+        e.train_epoch(Config::new(2, 1, 1), None);
+        assert!(e.cache.is_none());
+    }
+
+    #[test]
+    fn cache_telemetry_emits_summary_and_hit_rate() {
+        use argo_rt::telemetry::names;
+        let mut o = opts(64);
+        o.cache_capacity = 4096;
+        let mut e = Engine::new(tiny(), neighbor(), o);
+        let tel = Telemetry::new();
+        e.train_epoch(Config::new(2, 1, 1), Some(&tel));
+        e.train_epoch(Config::new(2, 1, 1), Some(&tel));
+
+        let counters: std::collections::BTreeMap<_, _> =
+            tel.metrics.counters().into_iter().collect();
+        assert!(counters[names::CACHE_MISSES_TOTAL] > 0);
+        assert!(
+            counters[names::CACHE_HITS_TOTAL] > 0,
+            "shared neighborhoods should hit by the second epoch"
+        );
+        let gauges: std::collections::BTreeMap<_, _> = tel.metrics.gauges().into_iter().collect();
+        let rate = gauges[names::CACHE_HIT_RATE];
+        assert!(rate > 0.0 && rate <= 1.0, "hit rate {rate} out of range");
+        assert!(gauges[names::CACHE_BYTES] > 0.0);
+
+        // Each epoch logs exactly one cache_summary, between the stage
+        // summaries and epoch_end.
+        let events = tel.logger.events();
+        let kinds: Vec<&str> = events.iter().map(|(_, e)| e.kind()).collect();
+        assert_eq!(
+            kinds.iter().filter(|k| **k == "cache_summary").count(),
+            2,
+            "kinds: {kinds:?}"
+        );
+        let epoch1: Vec<&str> = kinds[kinds.len() / 2..].to_vec();
+        assert_eq!(
+            epoch1,
+            vec![
+                "epoch_start",
+                "stage_summary",
+                "stage_summary",
+                "stage_summary",
+                "stage_summary",
+                "cache_summary",
+                "epoch_end"
+            ]
+        );
+        match events.iter().rev().find_map(|(_, e)| match e {
+            argo_rt::RunEvent::CacheSummary { epoch, summary } => Some((*epoch, *summary)),
+            _ => None,
+        }) {
+            Some((epoch, s)) => {
+                assert_eq!(epoch, 1);
+                assert!(s.hits > 0, "second epoch should re-hit resident rows");
+                assert!(s.hit_rate() > 0.0);
+            }
+            None => panic!("no cache_summary event"),
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_telemetry_shim_still_works() {
+        let mut e = Engine::new(tiny(), neighbor(), opts(64));
+        let tel = Telemetry::disabled();
+        let stats = e.train_epoch_telemetry(Config::new(1, 1, 1), &tel);
+        assert!(stats.iterations > 0);
+    }
+
+    #[test]
+    fn engine_options_builder_matches_struct_literal() {
+        let built = EngineOptions::builder()
+            .with_hidden(16)
+            .with_num_layers(2)
+            .with_global_batch(64)
+            .with_lr(5e-3)
+            .with_seed(3)
+            .with_total_cores(8)
+            .with_cache_capacity(128);
+        let mut lit = opts(64);
+        lit.cache_capacity = 128;
+        assert_eq!(built.hidden, lit.hidden);
+        assert_eq!(built.global_batch, lit.global_batch);
+        assert_eq!(built.cache_capacity, 128);
+        assert_eq!(built.total_cores, lit.total_cores);
     }
 }

@@ -33,7 +33,7 @@ mod tests {
     use super::*;
     use crate::engine::{Engine, EngineOptions};
     use argo_graph::datasets::FLICKR;
-    use argo_rt::{Config, TraceRecorder};
+    use argo_rt::Config;
     use std::sync::Arc;
 
     #[test]
@@ -55,7 +55,7 @@ mod tests {
         );
         let before = evaluate_accuracy(&e.model(), &d, &d.val_nodes);
         for _ in 0..8 {
-            e.train_epoch(Config::new(2, 1, 1), &TraceRecorder::disabled());
+            e.train_epoch(Config::new(2, 1, 1), None);
         }
         let after = evaluate_accuracy(&e.model(), &d, &d.val_nodes);
         assert!(

@@ -101,6 +101,20 @@ impl AnyModel {
         }
     }
 
+    /// [`AnyModel::forward`] with the input-node feature rows already
+    /// gathered (in `input_nodes()` order).
+    pub fn forward_gathered(
+        &self,
+        batch: &SampledBatch,
+        input: Matrix,
+        pool: Option<&ThreadPool>,
+    ) -> Matrix {
+        match self {
+            AnyModel::Gnn(m) => m.forward_gathered(batch, input, pool),
+            AnyModel::Gat(m) => m.forward_gathered(batch, input, pool),
+        }
+    }
+
     /// One training step (loss + backward into the gradient buffers).
     pub fn train_step(
         &mut self,
@@ -112,6 +126,22 @@ impl AnyModel {
         match self {
             AnyModel::Gnn(m) => m.train_step(batch, feats, labels, pool),
             AnyModel::Gat(m) => m.train_step(batch, feats, labels, pool),
+        }
+    }
+
+    /// [`AnyModel::train_step`] with the input-node feature rows already
+    /// gathered (e.g. pre-gathered by the loader, possibly through the
+    /// cross-batch feature cache).
+    pub fn train_step_gathered(
+        &mut self,
+        batch: &SampledBatch,
+        input: Matrix,
+        labels: &[u32],
+        pool: Option<&ThreadPool>,
+    ) -> StepStats {
+        match self {
+            AnyModel::Gnn(m) => m.train_step_gathered(batch, input, labels, pool),
+            AnyModel::Gat(m) => m.train_step_gathered(batch, input, labels, pool),
         }
     }
 

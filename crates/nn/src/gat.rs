@@ -245,8 +245,19 @@ impl Gat {
         feats: &Features,
         pool: Option<&ThreadPool>,
     ) -> Matrix {
+        self.forward_gathered(batch, gather(feats, batch.input_nodes()), pool)
+    }
+
+    /// [`Gat::forward`] with the input-node feature rows already gathered
+    /// (in `input_nodes()` order).
+    pub fn forward_gathered(
+        &self,
+        batch: &SampledBatch,
+        input: Matrix,
+        pool: Option<&ThreadPool>,
+    ) -> Matrix {
         let adjs = self.layer_adjs(batch);
-        let mut hcur = gather(feats, batch.input_nodes());
+        let mut hcur = input;
         for (l, (adj, n_dst)) in adjs.iter().enumerate() {
             let relu = l + 1 < self.layers.len();
             let (out, _) = self.layer_forward(l, adj, *n_dst, hcur, relu, pool);
@@ -267,8 +278,21 @@ impl Gat {
         labels: &[u32],
         pool: Option<&ThreadPool>,
     ) -> StepStats {
+        let input = gather(feats, batch.input_nodes());
+        self.train_step_gathered(batch, input, labels, pool)
+    }
+
+    /// [`Gat::train_step`] with the input-node feature rows already
+    /// gathered; see [`Gat::forward_gathered`].
+    pub fn train_step_gathered(
+        &mut self,
+        batch: &SampledBatch,
+        input: Matrix,
+        labels: &[u32],
+        pool: Option<&ThreadPool>,
+    ) -> StepStats {
         let adjs = self.layer_adjs(batch);
-        let mut hcur = gather(feats, batch.input_nodes());
+        let mut hcur = input;
         let mut caches = Vec::with_capacity(self.layers.len());
         for (l, (adj, n_dst)) in adjs.iter().enumerate() {
             let relu = l + 1 < self.layers.len();

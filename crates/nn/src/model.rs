@@ -193,8 +193,20 @@ impl Gnn {
         feats: &Features,
         pool: Option<&ThreadPool>,
     ) -> Matrix {
+        self.forward_gathered(batch, gather_features(feats, batch.input_nodes()), pool)
+    }
+
+    /// [`Gnn::forward`] with the input-node feature rows already gathered
+    /// (e.g. pre-gathered on the sampling side, possibly through the
+    /// cross-batch feature cache). `input` must be the batch's input-node
+    /// rows in `input_nodes()` order.
+    pub fn forward_gathered(
+        &self,
+        batch: &SampledBatch,
+        input: Matrix,
+        pool: Option<&ThreadPool>,
+    ) -> Matrix {
         let adjs = self.layer_adjs(batch);
-        let input = gather_features(feats, batch.input_nodes());
         let mut h = input;
         for (l, adj) in adjs.iter().enumerate() {
             let relu = l + 1 < self.layers.len();
@@ -218,8 +230,20 @@ impl Gnn {
         labels: &[u32],
         pool: Option<&ThreadPool>,
     ) -> StepStats {
-        let adjs = self.layer_adjs(batch);
         let input = gather_features(feats, batch.input_nodes());
+        self.train_step_gathered(batch, input, labels, pool)
+    }
+
+    /// [`Gnn::train_step`] with the input-node feature rows already
+    /// gathered; see [`Gnn::forward_gathered`].
+    pub fn train_step_gathered(
+        &mut self,
+        batch: &SampledBatch,
+        input: Matrix,
+        labels: &[u32],
+        pool: Option<&ThreadPool>,
+    ) -> StepStats {
+        let adjs = self.layer_adjs(batch);
         // Forward, caching per-layer inputs, concats and masks.
         let mut h = input;
         let mut caches: Vec<(Matrix, Matrix, Option<Vec<bool>>)> =

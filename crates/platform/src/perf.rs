@@ -154,9 +154,26 @@ impl PerfModel {
         cpu / speedup * contention
     }
 
+    /// Expected hit rate of the cross-batch feature cache under `config`
+    /// (0 when `config.cache_rows == 0`, i.e. cache disabled).
+    ///
+    /// Hit rates on power-law neighbor distributions grow sublinearly in
+    /// cache coverage: a small cache already captures the hub nodes that
+    /// dominate re-gathers, while the long tail needs disproportionally more
+    /// rows. Modeled as `coverage^0.35`, capped below 1 (cold misses).
+    pub fn cache_hit_rate(&self, config: Config) -> f64 {
+        if config.cache_rows == 0 {
+            return 0.0;
+        }
+        let coverage = (config.cache_rows as f64 / self.setup.dataset.num_nodes as f64).min(1.0);
+        coverage.powf(0.35).min(0.95)
+    }
+
     /// Wall-clock duration of the memory-bound phase of one iteration
     /// (global across processes — they share the memory system): feature
-    /// gathering plus the library's scatter/message traffic.
+    /// gathering plus the library's scatter/message traffic. Cache hits
+    /// skip the feature-table traffic, so the gather term scales by the
+    /// expected miss rate.
     pub fn gather_time(&self, config: Config) -> f64 {
         let w = self.setup.workload().iteration(config.n_proc);
         let prof = self.setup.library.profile();
@@ -164,7 +181,8 @@ impl PerfModel {
         // Mean feature width of aggregated messages over the three layers.
         let f_avg = (d.f0 as f64 + 2.0 * 128.0) / 3.0;
         let scatter_bytes = w.edges * f_avg * 4.0 * prof.scatter_traffic_factor;
-        let bytes = w.gather_bytes * MEM_AMPLIFICATION + scatter_bytes;
+        let miss_rate = 1.0 - self.cache_hit_rate(config);
+        let bytes = w.gather_bytes * MEM_AMPLIFICATION * miss_rate + scatter_bytes;
         bytes / 1e9 / self.achievable_bandwidth(config)
     }
 
@@ -388,7 +406,11 @@ fn splitmix(mut z: u64) -> u64 {
 }
 
 fn hash_config(c: Config) -> u64 {
-    splitmix((c.n_proc as u64) << 32 | (c.n_samp as u64) << 16 | c.n_train as u64)
+    let mut h = splitmix((c.n_proc as u64) << 32 | (c.n_samp as u64) << 16 | c.n_train as u64);
+    if c.cache_rows > 0 {
+        h ^= splitmix(c.cache_rows as u64);
+    }
+    h
 }
 
 #[cfg(test)]
@@ -486,6 +508,36 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn cache_reduces_modeled_gather_time() {
+        let m = setup(
+            ICE_LAKE_8380H,
+            Library::Dgl,
+            SamplerKind::Neighbor,
+            ModelKind::Sage,
+            OGBN_PRODUCTS,
+        );
+        let c = Config::new(4, 2, 8);
+        assert_eq!(m.cache_hit_rate(c), 0.0);
+        let base = m.gather_time(c);
+        let mut prev_rate = 0.0;
+        let mut prev_time = base;
+        for rows in [1 << 16, 1 << 20, 1 << 22] {
+            let cc = c.with_cache_rows(rows);
+            let rate = m.cache_hit_rate(cc);
+            let t = m.gather_time(cc);
+            assert!(rate > prev_rate, "hit rate monotone in capacity");
+            assert!(rate <= 0.95);
+            assert!(t < prev_time, "gather time shrinks as the cache grows");
+            assert!(t > 0.0, "scatter traffic keeps the term positive");
+            prev_rate = rate;
+            prev_time = t;
+        }
+        // Cache capacity is part of the modeled config identity.
+        assert_ne!(hash_config(c), hash_config(c.with_cache_rows(1 << 20)));
+        assert!(m.epoch_time(c.with_cache_rows(1 << 22)) < m.epoch_time(c));
     }
 
     #[test]

@@ -93,6 +93,35 @@ pub struct TrialRecord {
     pub observe_seconds: f64,
 }
 
+/// Per-epoch feature-cache counters carried by [`RunEvent::CacheSummary`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CacheSummaryRecord {
+    /// Lookups served from the cache this epoch.
+    pub hits: u64,
+    /// Lookups that fell through to the backing feature store this epoch.
+    pub misses: u64,
+    /// Rows displaced by eviction this epoch.
+    pub evictions: u64,
+    /// Rows resident at epoch end.
+    pub resident_rows: u64,
+    /// Configured capacity in rows.
+    pub capacity_rows: u64,
+    /// Bytes of feature data resident at epoch end.
+    pub bytes: u64,
+}
+
+impl CacheSummaryRecord {
+    /// Fraction of this epoch's lookups served from the cache.
+    pub fn hit_rate(&self) -> f64 {
+        let n = self.hits + self.misses;
+        if n == 0 {
+            0.0
+        } else {
+            self.hits as f64 / n as f64
+        }
+    }
+}
+
 /// A structured event in a training run.
 #[derive(Clone, Debug, PartialEq)]
 pub enum RunEvent {
@@ -109,6 +138,12 @@ pub enum RunEvent {
         epoch: u64,
         summary: StageSummaryRecord,
     },
+    /// Feature-cache counters for one epoch (emitted only when the cache
+    /// is enabled).
+    CacheSummary {
+        epoch: u64,
+        summary: CacheSummaryRecord,
+    },
     /// One online-learning search step of the auto-tuner.
     TunerTrial(TrialRecord),
     /// The runtime switched to `config` (`reason` = `search` while
@@ -117,11 +152,16 @@ pub enum RunEvent {
 }
 
 fn config_json(c: Config) -> Json {
-    Json::obj(vec![
+    let mut fields = vec![
         ("n_proc", Json::Num(c.n_proc as f64)),
         ("n_samp", Json::Num(c.n_samp as f64)),
         ("n_train", Json::Num(c.n_train as f64)),
-    ])
+    ];
+    // Omitted when 0 so PR-1 readers keep parsing cache-less runs.
+    if c.cache_rows > 0 {
+        fields.push(("cache_rows", Json::Num(c.cache_rows as f64)));
+    }
+    Json::obj(fields)
 }
 
 fn config_from_json(v: &Json) -> Result<Config, String> {
@@ -130,11 +170,13 @@ fn config_from_json(v: &Json) -> Result<Config, String> {
             .and_then(Json::as_u64)
             .ok_or_else(|| format!("config missing '{k}'"))
     };
+    let cache_rows = v.get("cache_rows").and_then(Json::as_u64).unwrap_or(0);
     Ok(Config::new(
         field("n_proc")? as usize,
         field("n_samp")? as usize,
         field("n_train")? as usize,
-    ))
+    )
+    .with_cache_rows(cache_rows as usize))
 }
 
 impl RunEvent {
@@ -144,6 +186,7 @@ impl RunEvent {
             RunEvent::EpochStart { .. } => "epoch_start",
             RunEvent::EpochEnd { .. } => "epoch_end",
             RunEvent::StageSummary { .. } => "stage_summary",
+            RunEvent::CacheSummary { .. } => "cache_summary",
             RunEvent::TunerTrial(_) => "tuner_trial",
             RunEvent::ConfigApplied { .. } => "config_applied",
         }
@@ -187,6 +230,15 @@ impl RunEvent {
                 fields.push(("stage", Json::str(&summary.stage)));
                 fields.push(("seconds", Json::Num(summary.seconds)));
                 fields.push(("count", Json::Num(summary.count as f64)));
+            }
+            RunEvent::CacheSummary { epoch, summary } => {
+                fields.push(("epoch", Json::Num(*epoch as f64)));
+                fields.push(("hits", Json::Num(summary.hits as f64)));
+                fields.push(("misses", Json::Num(summary.misses as f64)));
+                fields.push(("evictions", Json::Num(summary.evictions as f64)));
+                fields.push(("resident_rows", Json::Num(summary.resident_rows as f64)));
+                fields.push(("capacity_rows", Json::Num(summary.capacity_rows as f64)));
+                fields.push(("bytes", Json::Num(summary.bytes as f64)));
             }
             RunEvent::TunerTrial(t) => {
                 fields.push(("trial", Json::Num(t.trial as f64)));
@@ -259,6 +311,17 @@ impl RunEvent {
                         .to_string(),
                     seconds: num(v, "seconds")?,
                     count: num(v, "count")? as u64,
+                },
+            },
+            "cache_summary" => RunEvent::CacheSummary {
+                epoch: epoch()?,
+                summary: CacheSummaryRecord {
+                    hits: num(v, "hits")? as u64,
+                    misses: num(v, "misses")? as u64,
+                    evictions: num(v, "evictions")? as u64,
+                    resident_rows: num(v, "resident_rows")? as u64,
+                    capacity_rows: num(v, "capacity_rows")? as u64,
+                    bytes: num(v, "bytes")? as u64,
                 },
             },
             "tuner_trial" => RunEvent::TunerTrial(TrialRecord {
@@ -497,6 +560,61 @@ mod tests {
         assert!(RunLogger::parse_jsonl("not json").is_err());
         // Blank lines are fine.
         assert_eq!(RunLogger::parse_jsonl("\n\n").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn cache_summary_roundtrip() {
+        let logger = RunLogger::new();
+        logger.log(RunEvent::CacheSummary {
+            epoch: 4,
+            summary: CacheSummaryRecord {
+                hits: 900,
+                misses: 100,
+                evictions: 7,
+                resident_rows: 512,
+                capacity_rows: 512,
+                bytes: 512 * 64 * 4,
+            },
+        });
+        let parsed = RunLogger::parse_jsonl(&logger.to_jsonl()).unwrap();
+        assert_eq!(parsed.len(), 1);
+        let (event, _, _) = &parsed[0];
+        assert_eq!(event.kind(), "cache_summary");
+        match event {
+            RunEvent::CacheSummary { epoch, summary } => {
+                assert_eq!(*epoch, 4);
+                assert_eq!(summary.hits, 900);
+                assert!((summary.hit_rate() - 0.9).abs() < 1e-12);
+            }
+            other => panic!("wrong event: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn config_cache_rows_survives_roundtrip_and_stays_optional() {
+        let logger = RunLogger::new();
+        logger.log(RunEvent::EpochStart {
+            epoch: 0,
+            config: Config::new(2, 1, 2).with_cache_rows(1024),
+        });
+        logger.log(RunEvent::EpochStart {
+            epoch: 1,
+            config: Config::new(2, 1, 2),
+        });
+        let text = logger.to_jsonl();
+        let mut lines = text.lines();
+        assert!(lines.next().unwrap().contains("cache_rows"));
+        // Cache-less configs keep the PR-1 wire format exactly.
+        assert!(!lines.next().unwrap().contains("cache_rows"));
+        let parsed = RunLogger::parse_jsonl(&text).unwrap();
+        match &parsed[0].0 {
+            RunEvent::EpochStart { config, .. } => assert_eq!(config.cache_rows, 1024),
+            other => panic!("wrong event: {other:?}"),
+        }
+        match &parsed[1].0 {
+            RunEvent::EpochStart { config, .. } => assert_eq!(config.cache_rows, 0),
+            other => panic!("wrong event: {other:?}"),
+        }
     }
 
     #[test]

@@ -37,7 +37,9 @@ pub mod trace;
 pub use affinity::{bind_current_thread, num_available_cores, CoreBinder, CoreSet, StageBinding};
 pub use allreduce::AllReduce;
 pub use config::{enumerate_space, Config};
-pub use events::{EpochRecord, RunEvent, RunLogger, Source, StageSummaryRecord, TrialRecord};
+pub use events::{
+    CacheSummaryRecord, EpochRecord, RunEvent, RunLogger, Source, StageSummaryRecord, TrialRecord,
+};
 pub use json::Json;
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use pool::ThreadPool;

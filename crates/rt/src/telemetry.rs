@@ -52,6 +52,16 @@ impl Telemetry {
         }
     }
 
+    /// A live trace recorder with metrics and events disabled — for callers
+    /// (e.g. the figure benches) that only want Figure-2 interval traces.
+    pub fn with_trace(trace: Arc<TraceRecorder>) -> Self {
+        Self {
+            trace,
+            metrics: Arc::new(MetricsRegistry::disabled()),
+            logger: Arc::new(RunLogger::disabled()),
+        }
+    }
+
     /// Builds a handle around existing sinks.
     pub fn from_parts(
         trace: Arc<TraceRecorder>,
@@ -63,6 +73,12 @@ impl Telemetry {
             metrics,
             logger,
         }
+    }
+
+    /// Whether any sink is live. Callers of the unified entry points can use
+    /// this to decide between `Some(&tel)` and `None`.
+    pub fn is_enabled(&self) -> bool {
+        self.trace.is_enabled() || self.metrics.is_enabled() || self.logger.is_enabled()
     }
 
     /// Canonical histogram name for per-iteration stage durations, e.g.
@@ -100,6 +116,16 @@ pub mod names {
     pub const TUNER_BEST_EPOCH_SECONDS: &str = "tuner_best_epoch_seconds";
     /// Gauge: overlap fraction of the most recent epoch (Figure 2).
     pub const OVERLAP_FRACTION: &str = "overlap_fraction";
+    /// Counter of feature-cache lookups served from the cache.
+    pub const CACHE_HITS_TOTAL: &str = "cache_hits_total";
+    /// Counter of feature-cache lookups that fell through to DRAM.
+    pub const CACHE_MISSES_TOTAL: &str = "cache_misses_total";
+    /// Counter of feature-cache evictions.
+    pub const CACHE_EVICTIONS_TOTAL: &str = "cache_evictions_total";
+    /// Gauge: feature-cache resident bytes at the last epoch end.
+    pub const CACHE_BYTES: &str = "cache_bytes";
+    /// Gauge: feature-cache hit rate over the most recent epoch.
+    pub const CACHE_HIT_RATE: &str = "cache_hit_rate";
 }
 
 #[cfg(test)]
@@ -122,6 +148,19 @@ mod tests {
         assert!(!t.trace.is_enabled());
         assert!(!t.metrics.is_enabled());
         assert!(!t.logger.is_enabled());
+        assert!(!t.is_enabled());
+        assert!(Telemetry::new().is_enabled());
+    }
+
+    #[test]
+    fn with_trace_enables_only_the_trace() {
+        let rec = Arc::new(TraceRecorder::new());
+        let t = Telemetry::with_trace(Arc::clone(&rec));
+        assert!(t.is_enabled());
+        assert!(!t.metrics.is_enabled());
+        assert!(!t.logger.is_enabled());
+        t.trace.record(0, Stage::Gather, 0.0, 0.1);
+        assert_eq!(rec.events().len(), 1);
     }
 
     #[test]

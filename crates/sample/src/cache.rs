@@ -1,0 +1,432 @@
+//! Cross-batch neighborhood feature cache.
+//!
+//! Figure 5's observation — consecutive mini-batches share heavily-reused
+//! neighborhoods — means the gather stage re-reads the same feature rows
+//! over and over. [`FeatureCache`] is a sharded, bounded cache keyed by
+//! [`NodeId`] that holds gathered feature rows across batches, consulted by
+//! [`PipelinedLoader`](crate::PipelinedLoader) workers before touching
+//! [`Features::gather`]. Eviction is CLOCK / second-chance — an
+//! LRU-with-frequency approximation whose per-hit cost is one atomic-free
+//! counter bump under the shard lock, so hot rows (shared neighbors) stick
+//! while cold rows cycle out.
+//!
+//! Cached and uncached gathers are **bitwise identical**: rows are copied
+//! verbatim, so enabling the cache never perturbs training semantics.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use argo_graph::{Features, NodeId};
+use parking_lot::Mutex;
+
+/// Reference-count ceiling: a row needs this many consecutive CLOCK sweeps
+/// without a hit before it becomes an eviction candidate.
+const MAX_FREQ: u8 = 3;
+
+/// Point-in-time cache counters (cumulative since construction unless
+/// produced by [`CacheStats::delta`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the backing [`Features`].
+    pub misses: u64,
+    /// Rows displaced by CLOCK second-chance eviction.
+    pub evictions: u64,
+    /// Rows currently resident.
+    pub resident_rows: u64,
+    /// Maximum rows the cache may hold.
+    pub capacity_rows: u64,
+    /// Bytes of feature data currently resident.
+    pub bytes: u64,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups served from the cache (0.0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let n = self.lookups();
+        if n == 0 {
+            0.0
+        } else {
+            self.hits as f64 / n as f64
+        }
+    }
+
+    /// Counters accumulated since `earlier` (a prior snapshot of the same
+    /// cache); occupancy fields are carried from `self`.
+    pub fn delta(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            evictions: self.evictions - earlier.evictions,
+            resident_rows: self.resident_rows,
+            capacity_rows: self.capacity_rows,
+            bytes: self.bytes,
+        }
+    }
+}
+
+struct Slot {
+    node: NodeId,
+    freq: u8,
+    row: Box<[f32]>,
+}
+
+struct Shard {
+    map: HashMap<NodeId, usize>,
+    slots: Vec<Slot>,
+    hand: usize,
+    capacity: usize,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Self {
+        Self {
+            map: HashMap::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            hand: 0,
+            capacity,
+        }
+    }
+
+    /// Copies `v`'s row into `out` if resident, bumping its frequency.
+    fn get(&mut self, v: NodeId, out: &mut [f32]) -> bool {
+        match self.map.get(&v) {
+            Some(&i) => {
+                let slot = &mut self.slots[i];
+                slot.freq = (slot.freq + 1).min(MAX_FREQ);
+                out.copy_from_slice(&slot.row);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Inserts `v`'s row, evicting via CLOCK when full. Returns whether an
+    /// eviction happened.
+    fn insert(&mut self, v: NodeId, row: &[f32]) -> bool {
+        if self.capacity == 0 || self.map.contains_key(&v) {
+            return false; // no room, or raced in by a concurrent miss
+        }
+        if self.slots.len() < self.capacity {
+            self.map.insert(v, self.slots.len());
+            self.slots.push(Slot {
+                node: v,
+                freq: 1,
+                row: row.into(),
+            });
+            return false;
+        }
+        // CLOCK sweep: decrement second-chance counters until a victim with
+        // freq 0 comes under the hand. Terminates within MAX_FREQ+1 laps.
+        loop {
+            let slot = &mut self.slots[self.hand];
+            if slot.freq == 0 {
+                self.map.remove(&slot.node);
+                self.map.insert(v, self.hand);
+                *slot = Slot {
+                    node: v,
+                    freq: 1,
+                    row: row.into(),
+                };
+                self.hand = (self.hand + 1) % self.slots.len();
+                return true;
+            }
+            slot.freq -= 1;
+            self.hand = (self.hand + 1) % self.slots.len();
+        }
+    }
+}
+
+/// Sharded, bounded, CLOCK-evicting cache of gathered feature rows.
+///
+/// Thread-safe: lookups and insertions take only the shard lock for the key
+/// in question, so concurrent [`PipelinedLoader`](crate::PipelinedLoader)
+/// workers proceed mostly in parallel. Hit/miss/eviction counters are
+/// atomics read via [`FeatureCache::stats`].
+pub struct FeatureCache {
+    shards: Vec<Mutex<Shard>>,
+    dim: usize,
+    capacity_rows: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl FeatureCache {
+    /// A cache holding up to `capacity_rows` rows of `dim` floats, sharded
+    /// for concurrent access. Small caches get fewer shards so per-shard
+    /// capacity stays useful (≥ 8 rows per shard, up to 16 shards).
+    pub fn new(capacity_rows: usize, dim: usize) -> Self {
+        Self::with_shards(capacity_rows, dim, (capacity_rows / 8).clamp(1, 16))
+    }
+
+    /// Like [`FeatureCache::new`] with an explicit shard count (use 1 for
+    /// deterministic eviction-order tests).
+    pub fn with_shards(capacity_rows: usize, dim: usize, n_shards: usize) -> Self {
+        assert!(dim > 0, "feature dim must be positive");
+        assert!(n_shards > 0, "need at least one shard");
+        let base = capacity_rows / n_shards;
+        let extra = capacity_rows % n_shards;
+        let shards = (0..n_shards)
+            .map(|i| Mutex::new(Shard::new(base + usize::from(i < extra))))
+            .collect();
+        Self {
+            shards,
+            dim,
+            capacity_rows,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum number of rows the cache may hold.
+    pub fn capacity_rows(&self) -> usize {
+        self.capacity_rows
+    }
+
+    /// Feature dimension of cached rows.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn shard_of(&self, v: NodeId) -> usize {
+        // Fibonacci multiplicative hash: spreads consecutive node ids.
+        let h = (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((h >> 32) as usize) % self.shards.len()
+    }
+
+    /// Gathers rows `ids` from `feats` through the cache into a row-major
+    /// `ids.len() x dim` buffer — bitwise identical to
+    /// `feats.gather(ids)`. Hits are copied out of the cache; misses are
+    /// filled from `feats` in one partitioned pass and then inserted.
+    pub fn gather_rows(&self, feats: &Features, ids: &[NodeId]) -> Vec<f32> {
+        assert_eq!(feats.dim(), self.dim, "feature dim mismatch");
+        let d = self.dim;
+        let mut out = vec![0.0f32; ids.len() * d];
+        let mut missed: Vec<usize> = Vec::new();
+        // Each shard lock is taken once per batch, not once per row: group
+        // the positions by shard, then walk each group under one guard.
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (p, &v) in ids.iter().enumerate() {
+            by_shard[self.shard_of(v)].push(p);
+        }
+        for (s, positions) in by_shard.iter().enumerate() {
+            if positions.is_empty() {
+                continue;
+            }
+            let mut shard = self.shards[s].lock();
+            for &p in positions {
+                if !shard.get(ids[p], &mut out[p * d..(p + 1) * d]) {
+                    missed.push(p);
+                }
+            }
+        }
+        missed.sort_unstable(); // restore position order for sequential fill
+        self.hits
+            .fetch_add((ids.len() - missed.len()) as u64, Ordering::Relaxed);
+        self.misses
+            .fetch_add(missed.len() as u64, Ordering::Relaxed);
+        // Zero-copy partition fill: only the missed positions touch the
+        // backing store.
+        feats.fill_rows(ids, &missed, &mut out);
+        let mut evicted = 0u64;
+        // Reuse the shard grouping for insertion, again one lock per shard.
+        for positions in by_shard.iter_mut() {
+            positions.retain(|p| missed.binary_search(p).is_ok());
+        }
+        let miss_by_shard = by_shard;
+        for (s, positions) in miss_by_shard.iter().enumerate() {
+            if positions.is_empty() {
+                continue;
+            }
+            let mut shard = self.shards[s].lock();
+            for &p in positions {
+                if shard.insert(ids[p], &out[p * d..(p + 1) * d]) {
+                    evicted += 1;
+                }
+            }
+        }
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// [`FeatureCache::gather_rows`] packaged as a [`Features`] matrix.
+    pub fn gather(&self, feats: &Features, ids: &[NodeId]) -> Features {
+        Features::new(self.gather_rows(feats, ids), self.dim)
+    }
+
+    /// Current counters and occupancy.
+    pub fn stats(&self) -> CacheStats {
+        let resident: usize = self.shards.iter().map(|s| s.lock().slots.len()).sum();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            resident_rows: resident as u64,
+            capacity_rows: self.capacity_rows as u64,
+            bytes: (resident * self.dim * std::mem::size_of::<f32>()) as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::neighbor::NeighborSampler;
+    use crate::Sampler;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn feats(n: usize, dim: usize) -> Features {
+        Features::new((0..n * dim).map(|x| x as f32 * 0.25 - 3.0).collect(), dim)
+    }
+
+    #[test]
+    fn hits_after_first_gather() {
+        let f = feats(10, 4);
+        let c = FeatureCache::new(10, 4);
+        let a = c.gather_rows(&f, &[1, 2, 3]);
+        let b = c.gather_rows(&f, &[1, 2, 3]);
+        assert_eq!(a, b);
+        let s = c.stats();
+        assert_eq!(s.misses, 3);
+        assert_eq!(s.hits, 3);
+        assert_eq!(s.evictions, 0);
+        assert_eq!(s.resident_rows, 3);
+        assert_eq!(s.bytes, 3 * 4 * 4);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clock_evicts_cold_row_before_hot_row() {
+        // Capacity 2, one shard for determinism. A is touched twice (hot),
+        // B once (cold); inserting C must displace B.
+        let f = feats(10, 2);
+        let c = FeatureCache::with_shards(2, 2, 1);
+        c.gather_rows(&f, &[0, 1]); // A=0, B=1 resident
+        c.gather_rows(&f, &[0]); // A hot
+        c.gather_rows(&f, &[2]); // C evicts the cold row
+        assert_eq!(c.stats().evictions, 1);
+        c.gather_rows(&f, &[0]); // A survived
+        assert_eq!(c.stats().hits, 2);
+        c.gather_rows(&f, &[1]); // B was the victim
+        assert_eq!(c.stats().misses, 4);
+    }
+
+    #[test]
+    fn eviction_keeps_occupancy_at_capacity() {
+        let f = feats(64, 3);
+        let c = FeatureCache::with_shards(8, 3, 2);
+        for start in 0..32u32 {
+            c.gather_rows(&f, &[start, start + 16]);
+        }
+        let s = c.stats();
+        assert!(s.resident_rows <= 8);
+        assert!(s.evictions > 0);
+        assert_eq!(s.bytes, s.resident_rows * 3 * 4);
+    }
+
+    #[test]
+    fn zero_capacity_cache_is_a_pure_passthrough() {
+        let f = feats(6, 2);
+        let c = FeatureCache::new(0, 2);
+        assert_eq!(c.gather_rows(&f, &[5, 0]), f.gather(&[5, 0]).data());
+        let s = c.stats();
+        assert_eq!((s.hits, s.resident_rows), (0, 0));
+        assert_eq!(s.misses, 2);
+    }
+
+    #[test]
+    fn delta_isolates_one_epoch() {
+        let f = feats(8, 2);
+        let c = FeatureCache::new(8, 2);
+        c.gather_rows(&f, &[0, 1]);
+        let snap = c.stats();
+        c.gather_rows(&f, &[0, 1, 2]);
+        let d = c.stats().delta(&snap);
+        assert_eq!((d.hits, d.misses), (2, 1));
+        assert_eq!(d.resident_rows, 3);
+    }
+
+    #[test]
+    fn concurrent_workers_see_consistent_rows() {
+        // Cross-thread shard consistency: many threads gather overlapping id
+        // sets through one shared cache while eviction churns; every result
+        // must stay bitwise identical to the uncached gather.
+        let f = std::sync::Arc::new(feats(256, 8));
+        let c = std::sync::Arc::new(FeatureCache::new(64, 8));
+        std::thread::scope(|s| {
+            for t in 0..8u32 {
+                let f = std::sync::Arc::clone(&f);
+                let c = std::sync::Arc::clone(&c);
+                s.spawn(move || {
+                    for round in 0..50u32 {
+                        let ids: Vec<NodeId> = (0..32)
+                            .map(|k| (t * 31 + round * 7 + k * 5) % 256)
+                            .collect();
+                        assert_eq!(c.gather_rows(&f, &ids), f.gather(&ids).data());
+                    }
+                });
+            }
+        });
+        let s = c.stats();
+        assert_eq!(s.lookups(), 8 * 50 * 32);
+        assert!(s.resident_rows <= 64);
+    }
+
+    #[test]
+    fn hit_rate_is_monotone_in_capacity_on_shared_neighbor_workload() {
+        // The fig05 workload: shared neighborhoods re-gathered across
+        // consecutive batches. Bigger caches must never hit less.
+        let g = argo_graph::generators::power_law(400, 4000, 0.8, 3);
+        let f = feats(400, 4);
+        let sampler = NeighborSampler::new(vec![5, 3]);
+        let seeds: Vec<NodeId> = (0..200).collect();
+        let mut rates = Vec::new();
+        for cap in [16, 64, 256, 400] {
+            let c = FeatureCache::new(cap, 4);
+            let mut rng = SmallRng::seed_from_u64(7);
+            for chunk in seeds.chunks(32) {
+                let b = sampler.sample(&g, chunk, &mut rng);
+                c.gather_rows(&f, b.input_nodes());
+            }
+            rates.push(c.stats().hit_rate());
+        }
+        for w in rates.windows(2) {
+            assert!(
+                w[1] >= w[0] - 1e-12,
+                "hit rate regressed with capacity: {rates:?}"
+            );
+        }
+        assert!(rates[rates.len() - 1] > 0.5, "full-size cache: {rates:?}");
+    }
+
+    proptest! {
+        #[test]
+        fn cached_gather_is_bitwise_identical(
+            ids in prop::collection::vec(0u32..40, 1..64),
+            cap in 0usize..32,
+            shards in 1usize..5,
+            dim in 1usize..6,
+        ) {
+            let f = feats(40, dim);
+            let c = FeatureCache::with_shards(cap, dim, shards);
+            // Repeated gathers exercise hit, miss and eviction paths.
+            for _ in 0..3 {
+                let got = c.gather_rows(&f, &ids);
+                let want = f.gather(&ids);
+                prop_assert_eq!(&got, want.data());
+            }
+        }
+    }
+}

@@ -20,6 +20,7 @@
 //! while the training cores consume them **in deterministic order**.
 
 pub mod batch;
+pub mod cache;
 pub mod cluster;
 pub mod loader;
 pub mod neighbor;
@@ -28,8 +29,9 @@ pub mod shadow;
 pub mod stats;
 
 pub use batch::{Block, MiniBatch, SampledBatch, SubgraphBatch};
+pub use cache::{CacheStats, FeatureCache};
 pub use cluster::{full_graph_batch, ClusterGcnSampler};
-pub use loader::PipelinedLoader;
+pub use loader::{LoadedBatch, LoaderSpec, LoaderSpecBuilder, PipelinedLoader};
 pub use neighbor::NeighborSampler;
 pub use saint::SaintRwSampler;
 pub use shadow::ShadowSampler;

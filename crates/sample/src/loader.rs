@@ -8,24 +8,168 @@
 //! consumes them **in deterministic batch order** — batch `i` of epoch `e`
 //! is always drawn from RNG seed `seed_for(e, i)` regardless of which worker
 //! produced it, so pipelining never perturbs training semantics.
+//!
+//! When the [`LoaderSpec`] carries the node features, workers also
+//! *pre-gather* each batch's input rows — optionally through a shared
+//! [`FeatureCache`] — so the memory-bound gather runs on the sampling cores,
+//! overlapped with training, instead of on the training cores.
 
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
-use argo_graph::{Graph, NodeId};
+use argo_graph::{Features, Graph, NodeId};
 use argo_rt::affinity::{bind_current_thread, CoreSet};
 use argo_rt::SeedSequence;
+use argo_tensor::Matrix;
 use crossbeam::channel::{bounded, Receiver};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::batch::SampledBatch;
+use crate::cache::FeatureCache;
 use crate::Sampler;
+
+/// Everything [`PipelinedLoader::start`] needs for one epoch of one
+/// process. Construct via [`LoaderSpec::builder`].
+#[derive(Clone)]
+pub struct LoaderSpec {
+    /// The (shared) graph to sample from.
+    pub graph: Arc<Graph>,
+    /// Sampling algorithm.
+    pub sampler: Arc<dyn Sampler>,
+    /// This process's training targets (already partitioned).
+    pub seeds: Arc<Vec<NodeId>>,
+    /// Local batch size (global batch / number of processes, per the
+    /// Multi-Process Engine).
+    pub batch_size: usize,
+    /// Epoch number (selects the deterministic RNG stream).
+    pub epoch: u64,
+    /// The [`SeedSequence`] child for this process; batch `i` of `epoch`
+    /// uses `epoch_seeds.seed_for(epoch, i)`.
+    pub epoch_seeds: SeedSequence,
+    /// Number of sampler threads.
+    pub n_samp: usize,
+    /// Sampling cores to bind the workers to (empty = unbound).
+    pub cores: CoreSet,
+    /// Channel capacity (bounds memory).
+    pub prefetch: usize,
+    /// Node features; when present, workers pre-gather each batch's input
+    /// rows into [`LoadedBatch::input`].
+    pub features: Option<Arc<Features>>,
+    /// Shared cross-batch feature cache consulted before
+    /// [`Features::gather`]. Ignored unless `features` is set.
+    pub cache: Option<Arc<FeatureCache>>,
+}
+
+impl LoaderSpec {
+    /// A builder seeded with the three mandatory handles; everything else
+    /// defaults (`batch_size` 1, `epoch` 0, one worker, unbound, prefetch 4,
+    /// no pre-gather).
+    pub fn builder(
+        graph: Arc<Graph>,
+        sampler: Arc<dyn Sampler>,
+        seeds: Arc<Vec<NodeId>>,
+    ) -> LoaderSpecBuilder {
+        LoaderSpecBuilder {
+            spec: LoaderSpec {
+                graph,
+                sampler,
+                seeds,
+                batch_size: 1,
+                epoch: 0,
+                epoch_seeds: SeedSequence::new(0),
+                n_samp: 1,
+                cores: CoreSet::default(),
+                prefetch: 4,
+                features: None,
+                cache: None,
+            },
+        }
+    }
+}
+
+/// Builder for [`LoaderSpec`]; see [`LoaderSpec::builder`].
+pub struct LoaderSpecBuilder {
+    spec: LoaderSpec,
+}
+
+impl LoaderSpecBuilder {
+    /// Local batch size.
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.spec.batch_size = batch_size;
+        self
+    }
+
+    /// Epoch number.
+    pub fn epoch(mut self, epoch: u64) -> Self {
+        self.spec.epoch = epoch;
+        self
+    }
+
+    /// Per-process seed stream.
+    pub fn epoch_seeds(mut self, epoch_seeds: SeedSequence) -> Self {
+        self.spec.epoch_seeds = epoch_seeds;
+        self
+    }
+
+    /// Number of sampler threads.
+    pub fn n_samp(mut self, n_samp: usize) -> Self {
+        self.spec.n_samp = n_samp;
+        self
+    }
+
+    /// Sampling cores to bind to.
+    pub fn cores(mut self, cores: CoreSet) -> Self {
+        self.spec.cores = cores;
+        self
+    }
+
+    /// Prefetch channel capacity.
+    pub fn prefetch(mut self, prefetch: usize) -> Self {
+        self.spec.prefetch = prefetch;
+        self
+    }
+
+    /// Enables worker-side feature pre-gathering.
+    pub fn features(mut self, features: Arc<Features>) -> Self {
+        self.spec.features = Some(features);
+        self
+    }
+
+    /// Routes pre-gathering through a shared cross-batch cache.
+    pub fn cache(mut self, cache: Arc<FeatureCache>) -> Self {
+        self.spec.cache = Some(cache);
+        self
+    }
+
+    /// Finalizes the spec.
+    pub fn build(self) -> LoaderSpec {
+        self.spec
+    }
+
+    /// Shorthand for `PipelinedLoader::start(self.build())`.
+    pub fn start(self) -> PipelinedLoader {
+        PipelinedLoader::start(self.build())
+    }
+}
+
+/// One sampled (and possibly pre-gathered) mini-batch.
+pub struct LoadedBatch {
+    /// The sampled computation structure.
+    pub batch: SampledBatch,
+    /// Input-node feature rows, pre-gathered on the sampling side. `None`
+    /// when the spec carried no features.
+    pub input: Option<Matrix>,
+    /// Wall-clock seconds the worker spent gathering `input` (0 when no
+    /// pre-gather happened).
+    pub gather_seconds: f64,
+}
 
 struct Indexed {
     index: usize,
-    batch: SampledBatch,
+    batch: LoadedBatch,
 }
 
 impl PartialEq for Indexed {
@@ -46,7 +190,7 @@ impl Ord for Indexed {
 }
 
 /// Prefetching mini-batch loader. Iterate it to receive
-/// `(batch_index, SampledBatch)` in index order.
+/// `(batch_index, LoadedBatch)` in index order.
 pub struct PipelinedLoader {
     rx: Receiver<Indexed>,
     reorder: BinaryHeap<Indexed>,
@@ -56,27 +200,22 @@ pub struct PipelinedLoader {
 }
 
 impl PipelinedLoader {
-    /// Starts `n_samp` sampler threads producing all batches of one epoch.
-    ///
-    /// * `seeds` — this process's training targets (already partitioned).
-    /// * `batch_size` — local batch size (global batch / number of
-    ///   processes, per the Multi-Process Engine).
-    /// * `epoch_seeds` — the [`SeedSequence`] child for this process;
-    ///   batch `i` of epoch `epoch` uses `epoch_seeds.seed_for(epoch, i)`.
-    /// * `cores` — sampling cores to bind the workers to (empty = unbound).
-    /// * `prefetch` — channel capacity (bounds memory).
-    #[allow(clippy::too_many_arguments)]
-    pub fn start(
-        graph: Arc<Graph>,
-        sampler: Arc<dyn Sampler>,
-        seeds: Arc<Vec<NodeId>>,
-        batch_size: usize,
-        epoch: u64,
-        epoch_seeds: SeedSequence,
-        n_samp: usize,
-        cores: CoreSet,
-        prefetch: usize,
-    ) -> Self {
+    /// Starts `spec.n_samp` sampler threads producing all batches of one
+    /// epoch.
+    pub fn start(spec: LoaderSpec) -> Self {
+        let LoaderSpec {
+            graph,
+            sampler,
+            seeds,
+            batch_size,
+            epoch,
+            epoch_seeds,
+            n_samp,
+            cores,
+            prefetch,
+            features,
+            cache,
+        } = spec;
         assert!(batch_size > 0 && n_samp > 0);
         let total = seeds.len().div_ceil(batch_size);
         let (tx, rx) = bounded::<Indexed>(prefetch.max(1));
@@ -87,6 +226,8 @@ impl PipelinedLoader {
             let sampler = Arc::clone(&sampler);
             let seeds = Arc::clone(&seeds);
             let cursor = Arc::clone(&cursor);
+            let features = features.clone();
+            let cache = cache.clone();
             let tx = tx.clone();
             let my_core = if cores.is_empty() {
                 None
@@ -110,7 +251,31 @@ impl PipelinedLoader {
                             let mut rng =
                                 SmallRng::seed_from_u64(epoch_seeds.seed_for(epoch, i as u64));
                             let batch = sampler.sample(&graph, &seeds[lo..hi], &mut rng);
-                            if tx.send(Indexed { index: i, batch }).is_err() {
+                            let (input, gather_seconds) = match &features {
+                                Some(f) => {
+                                    let t0 = Instant::now();
+                                    let ids = batch.input_nodes();
+                                    let rows = match &cache {
+                                        Some(c) => c.gather_rows(f, ids),
+                                        None => f.gather(ids).data().to_vec(),
+                                    };
+                                    let m = Matrix::from_vec(ids.len(), f.dim(), rows);
+                                    (Some(m), t0.elapsed().as_secs_f64())
+                                }
+                                None => (None, 0.0),
+                            };
+                            let loaded = LoadedBatch {
+                                batch,
+                                input,
+                                gather_seconds,
+                            };
+                            if tx
+                                .send(Indexed {
+                                    index: i,
+                                    batch: loaded,
+                                })
+                                .is_err()
+                            {
                                 break; // consumer dropped
                             }
                         }
@@ -134,7 +299,7 @@ impl PipelinedLoader {
 }
 
 impl Iterator for PipelinedLoader {
-    type Item = (usize, SampledBatch);
+    type Item = (usize, LoadedBatch);
 
     fn next(&mut self) -> Option<Self::Item> {
         if self.next >= self.total {
@@ -183,17 +348,11 @@ mod tests {
     #[test]
     fn yields_all_batches_in_order() {
         let (g, s, seeds) = setup();
-        let loader = PipelinedLoader::start(
-            g,
-            s,
-            seeds,
-            16,
-            0,
-            SeedSequence::new(42),
-            3,
-            CoreSet::default(),
-            4,
-        );
+        let loader = LoaderSpec::builder(g, s, seeds)
+            .batch_size(16)
+            .epoch_seeds(SeedSequence::new(42))
+            .n_samp(3)
+            .start();
         assert_eq!(loader.num_batches(), 7);
         let idxs: Vec<usize> = loader.map(|(i, _)| i).collect();
         assert_eq!(idxs, vec![0, 1, 2, 3, 4, 5, 6]);
@@ -203,19 +362,15 @@ mod tests {
     fn batch_content_independent_of_worker_count() {
         let (g, s, seeds) = setup();
         let run = |n_samp: usize| -> Vec<Vec<NodeId>> {
-            PipelinedLoader::start(
-                Arc::clone(&g),
-                Arc::clone(&s),
-                Arc::clone(&seeds),
-                10,
-                3,
-                SeedSequence::new(7),
-                n_samp,
-                CoreSet::default(),
-                2,
-            )
-            .map(|(_, b)| b.input_nodes().to_vec())
-            .collect()
+            LoaderSpec::builder(Arc::clone(&g), Arc::clone(&s), Arc::clone(&seeds))
+                .batch_size(10)
+                .epoch(3)
+                .epoch_seeds(SeedSequence::new(7))
+                .n_samp(n_samp)
+                .prefetch(2)
+                .start()
+                .map(|(_, b)| b.batch.input_nodes().to_vec())
+                .collect()
         };
         assert_eq!(run(1), run(4));
     }
@@ -224,35 +379,25 @@ mod tests {
     fn last_batch_is_short() {
         let (g, s, _) = setup();
         let seeds: Arc<Vec<NodeId>> = Arc::new((0..25).collect());
-        let loader = PipelinedLoader::start(
-            g,
-            s,
-            seeds,
-            10,
-            0,
-            SeedSequence::new(1),
-            2,
-            CoreSet::default(),
-            2,
-        );
-        let sizes: Vec<usize> = loader.map(|(_, b)| b.num_seeds()).collect();
+        let loader = LoaderSpec::builder(g, s, seeds)
+            .batch_size(10)
+            .epoch_seeds(SeedSequence::new(1))
+            .n_samp(2)
+            .prefetch(2)
+            .start();
+        let sizes: Vec<usize> = loader.map(|(_, b)| b.batch.num_seeds()).collect();
         assert_eq!(sizes, vec![10, 10, 5]);
     }
 
     #[test]
     fn early_drop_does_not_hang() {
         let (g, s, seeds) = setup();
-        let mut loader = PipelinedLoader::start(
-            g,
-            s,
-            seeds,
-            4,
-            0,
-            SeedSequence::new(5),
-            2,
-            CoreSet::default(),
-            1,
-        );
+        let mut loader = LoaderSpec::builder(g, s, seeds)
+            .batch_size(4)
+            .epoch_seeds(SeedSequence::new(5))
+            .n_samp(2)
+            .prefetch(1)
+            .start();
         let _ = loader.next();
         drop(loader); // must join cleanly even with batches unconsumed
     }
@@ -261,20 +406,60 @@ mod tests {
     fn different_epochs_differ() {
         let (g, s, seeds) = setup();
         let collect = |epoch: u64| -> Vec<Vec<NodeId>> {
-            PipelinedLoader::start(
-                Arc::clone(&g),
-                Arc::clone(&s),
-                Arc::clone(&seeds),
-                10,
-                epoch,
-                SeedSequence::new(7),
-                2,
-                CoreSet::default(),
-                2,
-            )
-            .map(|(_, b)| b.input_nodes().to_vec())
-            .collect()
+            LoaderSpec::builder(Arc::clone(&g), Arc::clone(&s), Arc::clone(&seeds))
+                .batch_size(10)
+                .epoch(epoch)
+                .epoch_seeds(SeedSequence::new(7))
+                .n_samp(2)
+                .prefetch(2)
+                .start()
+                .map(|(_, b)| b.batch.input_nodes().to_vec())
+                .collect()
         };
         assert_ne!(collect(0), collect(1));
+    }
+
+    #[test]
+    fn pre_gathered_input_matches_direct_gather() {
+        // With features in the spec — cached or not — every yielded batch
+        // carries input rows bitwise identical to Features::gather.
+        let (g, s, seeds) = setup();
+        let feats = Arc::new(Features::new(
+            (0..500 * 4).map(|x| x as f32 * 0.01).collect(),
+            4,
+        ));
+        let run = |cache: Option<Arc<FeatureCache>>| {
+            let mut b = LoaderSpec::builder(Arc::clone(&g), Arc::clone(&s), Arc::clone(&seeds))
+                .batch_size(16)
+                .epoch_seeds(SeedSequence::new(9))
+                .n_samp(3)
+                .features(Arc::clone(&feats));
+            if let Some(c) = cache {
+                b = b.cache(c);
+            }
+            for (_, lb) in b.start() {
+                let input = lb.input.expect("features requested");
+                assert_eq!(input.data(), feats.gather(lb.batch.input_nodes()).data());
+                assert!(lb.gather_seconds >= 0.0);
+            }
+        };
+        run(None);
+        let cache = Arc::new(FeatureCache::new(200, 4));
+        run(Some(Arc::clone(&cache)));
+        let stats = cache.stats();
+        assert!(stats.lookups() > 0);
+    }
+
+    #[test]
+    fn without_features_input_is_none() {
+        let (g, s, seeds) = setup();
+        let loader = LoaderSpec::builder(g, s, seeds)
+            .batch_size(50)
+            .epoch_seeds(SeedSequence::new(2))
+            .start();
+        for (_, lb) in loader {
+            assert!(lb.input.is_none());
+            assert_eq!(lb.gather_seconds, 0.0);
+        }
     }
 }

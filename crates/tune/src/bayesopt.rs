@@ -63,7 +63,7 @@ impl BayesOpt {
     }
 
     fn argmax_ei(&mut self) -> Config {
-        let x: Vec<[f64; 3]> = self
+        let x: Vec<[f64; 4]> = self
             .observed
             .iter()
             .map(|(c, _)| self.space.normalize(*c))

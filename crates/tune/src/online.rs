@@ -66,15 +66,38 @@ impl<S: Searcher> OnlineAutoTuner<S> {
 
     /// Runs `total_epochs` of training through `objective` (which trains one
     /// epoch under the given configuration and returns its epoch time).
-    pub fn run(self, total_epochs: usize, objective: impl FnMut(Config) -> f64) -> TuningReport {
-        self.run_telemetry(total_epochs, objective, &Telemetry::disabled())
+    ///
+    /// With `Some(telemetry)`, one `tuner_trial` event per search epoch is
+    /// emitted (candidate config, observed epoch time, incumbent best, GP
+    /// fit/acquisition CPU time), a `config_applied` event on every
+    /// configuration switch, and tuner metrics into `telemetry.metrics`.
+    pub fn run(
+        self,
+        total_epochs: usize,
+        objective: impl FnMut(Config) -> f64,
+        telemetry: Option<&Telemetry>,
+    ) -> TuningReport {
+        match telemetry {
+            Some(t) => self.run_impl(total_epochs, objective, t),
+            None => self.run_impl(total_epochs, objective, &Telemetry::disabled()),
+        }
     }
 
-    /// Like [`OnlineAutoTuner::run`], but emits one `tuner_trial` event per
-    /// search epoch (candidate config, observed epoch time, incumbent best,
-    /// GP fit/acquisition CPU time), a `config_applied` event on every
-    /// configuration switch, and tuner metrics into `telemetry.metrics`.
+    /// Deprecated alias for [`OnlineAutoTuner::run`] with `Some(telemetry)`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use run(total_epochs, objective, Some(&telemetry))"
+    )]
     pub fn run_telemetry(
+        self,
+        total_epochs: usize,
+        objective: impl FnMut(Config) -> f64,
+        telemetry: &Telemetry,
+    ) -> TuningReport {
+        self.run(total_epochs, objective, Some(telemetry))
+    }
+
+    fn run_impl(
         mut self,
         total_epochs: usize,
         mut objective: impl FnMut(Config) -> f64,
@@ -163,7 +186,7 @@ mod tests {
 
     #[test]
     fn algorithm1_reuses_best_after_learning() {
-        let report = tuner(3, 20).run(200, objective);
+        let report = tuner(3, 20).run(200, objective, None);
         assert_eq!(report.history.len(), 20);
         // Total = search epochs at their own cost + 180 reuse epochs at the
         // best cost.
@@ -175,7 +198,7 @@ mod tests {
 
     #[test]
     fn config_opt_is_best_of_history() {
-        let report = tuner(9, 25).run(25, objective);
+        let report = tuner(9, 25).run(25, objective, None);
         let hist_best = report
             .history
             .iter()
@@ -186,7 +209,7 @@ mod tests {
 
     #[test]
     fn overhead_is_small_and_measured() {
-        let report = tuner(1, 20).run(40, objective);
+        let report = tuner(1, 20).run(40, objective, None);
         assert!(report.tuner_overhead > 0.0);
         // The paper requires <1% of training time; with a sub-millisecond
         // Rust GP the bar is easily met for second-scale epochs, but here
@@ -197,14 +220,14 @@ mod tests {
     #[test]
     #[should_panic]
     fn rejects_budget_below_searches() {
-        tuner(1, 30).run(10, objective);
+        tuner(1, 30).run(10, objective, None);
     }
 
     #[test]
     fn telemetry_emits_trial_per_search_epoch() {
         use argo_rt::telemetry::names;
         let tel = Telemetry::new();
-        let report = tuner(7, 12).run_telemetry(20, objective, &tel);
+        let report = tuner(7, 12).run(20, objective, Some(&tel));
 
         let events = tel.logger.events();
         let trials: Vec<&TrialRecord> = events
@@ -247,8 +270,9 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn run_without_telemetry_matches_run_telemetry() {
-        let a = tuner(5, 10).run(15, objective);
+        let a = tuner(5, 10).run(15, objective, None);
         let b = tuner(5, 10).run_telemetry(15, objective, &Telemetry::disabled());
         assert_eq!(a.config_opt, b.config_opt);
         assert_eq!(a.history, b.history);

@@ -4,29 +4,68 @@ use argo_rt::{enumerate_space, Config};
 
 /// The valid-configuration set for a machine, with index↔config mapping and
 /// coordinate normalization for the GP surrogate.
+///
+/// The space is four-dimensional: the paper's `(n_proc, n_samp, n_train)`
+/// knobs plus the optional feature-cache capacity (`cache_rows`). Plain
+/// spaces built with [`SearchSpace::for_cores`] keep the cache axis
+/// degenerate (every member has `cache_rows = 0`), so the GP sees a constant
+/// fourth coordinate there; [`SearchSpace::with_cache_levels`] crosses the
+/// core partition with explicit cache capacities.
 #[derive(Clone, Debug)]
 pub struct SearchSpace {
     configs: Vec<Config>,
     cores: usize,
-    max: [f64; 3],
-    min: [f64; 3],
+    max: [f64; 4],
+    min: [f64; 4],
+}
+
+fn coords(c: &Config) -> [f64; 4] {
+    [
+        c.n_proc as f64,
+        c.n_samp as f64,
+        c.n_train as f64,
+        c.cache_rows as f64,
+    ]
 }
 
 impl SearchSpace {
     /// The space for a machine with `cores` cores (see
     /// [`argo_rt::enumerate_space`] for the rule and its relation to the
-    /// paper's 726/408 counts).
+    /// paper's 726/408 counts). The cache axis stays at 0.
     pub fn for_cores(cores: usize) -> Self {
-        let configs = enumerate_space(cores);
+        Self::from_configs(enumerate_space(cores), cores)
+    }
+
+    /// The core-partition space crossed with the given feature-cache
+    /// capacities (in rows). `levels` may include 0 (cache off); levels are
+    /// deduplicated and sorted so the index order is deterministic.
+    pub fn with_cache_levels(cores: usize, levels: &[usize]) -> Self {
+        let mut levels: Vec<usize> = levels.to_vec();
+        levels.sort_unstable();
+        levels.dedup();
+        if levels.is_empty() {
+            levels.push(0);
+        }
+        let base = enumerate_space(cores);
+        let mut configs = Vec::with_capacity(base.len() * levels.len());
+        for &rows in &levels {
+            for &c in &base {
+                configs.push(c.with_cache_rows(rows));
+            }
+        }
+        Self::from_configs(configs, cores)
+    }
+
+    fn from_configs(configs: Vec<Config>, cores: usize) -> Self {
         assert!(
             !configs.is_empty(),
             "machine too small for ARGO ({cores} cores)"
         );
-        let mut min = [f64::INFINITY; 3];
-        let mut max = [f64::NEG_INFINITY; 3];
+        let mut min = [f64::INFINITY; 4];
+        let mut max = [f64::NEG_INFINITY; 4];
         for c in &configs {
-            let v = [c.n_proc as f64, c.n_samp as f64, c.n_train as f64];
-            for d in 0..3 {
+            let v = coords(c);
+            for d in 0..4 {
                 min[d] = min[d].min(v[d]);
                 max[d] = max[d].max(v[d]);
             }
@@ -74,24 +113,26 @@ impl SearchSpace {
         self.index_of(config).is_some()
     }
 
-    /// Normalizes a configuration into `[0,1]³` for the GP kernel.
-    pub fn normalize(&self, config: Config) -> [f64; 3] {
-        let v = [
-            config.n_proc as f64,
-            config.n_samp as f64,
-            config.n_train as f64,
-        ];
-        let mut out = [0.0; 3];
-        for d in 0..3 {
-            let span = (self.max[d] - self.min[d]).max(1e-12);
-            out[d] = (v[d] - self.min[d]) / span;
+    /// Normalizes a configuration into `[0,1]⁴` for the GP kernel. A
+    /// degenerate axis (all members share the value, e.g. `cache_rows` in a
+    /// plain space) maps to 0.
+    pub fn normalize(&self, config: Config) -> [f64; 4] {
+        let v = coords(&config);
+        let mut out = [0.0; 4];
+        for d in 0..4 {
+            let span = self.max[d] - self.min[d];
+            if span > 1e-12 {
+                out[d] = (v[d] - self.min[d]) / span;
+            }
         }
         out
     }
 
     /// Projects an arbitrary `(p, s, t)` proposal onto the nearest member of
     /// the space (L1 distance in raw coordinates) — used by simulated
-    /// annealing moves that step outside the valid region.
+    /// annealing moves that step outside the valid region. The cache axis is
+    /// ignored, so the projection lands on the proposal's nearest core
+    /// partition at whatever cache level minimizes nothing (first match).
     pub fn project(&self, p: i64, s: i64, t: i64) -> Config {
         *self
             .configs
@@ -122,6 +163,7 @@ mod tests {
             assert!(c.fits(32));
             assert!(c.n_proc >= 2 && c.n_proc <= 8);
             assert!(c.n_samp >= 1 && c.n_samp <= 4);
+            assert_eq!(c.cache_rows, 0, "plain space keeps the cache off");
         }
     }
 
@@ -139,12 +181,14 @@ mod tests {
         let s = SearchSpace::for_cores(64);
         for &c in s.configs() {
             let v = s.normalize(c);
-            for d in 0..3 {
+            for d in 0..4 {
                 assert!((0.0..=1.0).contains(&v[d]), "{c} -> {v:?}");
             }
+            // Degenerate cache axis pins to 0 in a plain space.
+            assert_eq!(v[3], 0.0);
         }
-        // Extremes hit 0 and 1.
-        let all: Vec<[f64; 3]> = s.configs().iter().map(|&c| s.normalize(c)).collect();
+        // Extremes hit 0 and 1 on the three core axes.
+        let all: Vec<[f64; 4]> = s.configs().iter().map(|&c| s.normalize(c)).collect();
         for d in 0..3 {
             assert!(all.iter().any(|v| v[d] < 1e-9));
             assert!(all.iter().any(|v| v[d] > 1.0 - 1e-9));
@@ -169,5 +213,26 @@ mod tests {
         let s = SearchSpace::for_cores(16);
         assert!(!s.contains(Config::new(1, 1, 1))); // p=1 not in space
         assert!(!s.contains(Config::new(2, 1, 100)));
+    }
+
+    #[test]
+    fn cache_levels_cross_the_core_partition() {
+        let plain = SearchSpace::for_cores(16);
+        let s = SearchSpace::with_cache_levels(16, &[0, 4096, 4096, 1024]);
+        assert_eq!(s.len(), plain.len() * 3, "3 deduped levels");
+        for &c in s.configs() {
+            assert!([0, 1024, 4096].contains(&c.cache_rows));
+            assert!(c.fits(16));
+        }
+        // The cache axis now spans the unit interval.
+        let v_on = s.normalize(plain.get(0).with_cache_rows(4096));
+        let v_off = s.normalize(plain.get(0));
+        assert!((v_on[3] - 1.0).abs() < 1e-12);
+        assert_eq!(v_off[3], 0.0);
+        // Members at distinct cache levels are distinct configurations.
+        assert_ne!(
+            s.index_of(plain.get(0)),
+            s.index_of(plain.get(0).with_cache_rows(1024))
+        );
     }
 }

@@ -101,7 +101,7 @@ fn main() {
         epochs: 15,
         ..Default::default()
     });
-    let report = runtime.train(&mut engine, |epoch, config, stats| {
+    let report = runtime.train(&mut engine, None, |epoch, config, stats| {
         if epoch % 3 == 0 {
             println!(
                 "epoch {epoch:>2} {config}: loss {:.4} ({} iterations)",

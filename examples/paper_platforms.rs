@@ -32,7 +32,7 @@ fn main() {
             total_cores: platform.total_cores,
             seed: 0,
         });
-        let report = runtime.run_modeled(&model);
+        let report = runtime.run_modeled(&model, None);
         println!(
             "online learning ({n_search} searches over {} configs):",
             report.space_size

@@ -51,7 +51,7 @@ fn main() {
         epochs: 20,
         ..Default::default()
     });
-    let report = runtime.train(&mut engine, |epoch, config, stats| {
+    let report = runtime.train(&mut engine, None, |epoch, config, stats| {
         println!(
             "epoch {epoch:>3} under {config}: {:.3}s, loss {:.4}, train acc {:.3}",
             stats.epoch_time, stats.loss, stats.train_accuracy

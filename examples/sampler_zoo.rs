@@ -67,7 +67,7 @@ fn main() {
             epochs: 10,
             ..Default::default()
         });
-        let report = runtime.train(&mut engine, |_, _, _| {});
+        let report = runtime.train(&mut engine, None, |_, _, _| {});
         let acc = evaluate_accuracy(&engine.model(), &dataset, &dataset.val_nodes);
         println!(
             "{:<20} {:>12} {:>12} {:>10.3} {:>10.2}",

@@ -14,7 +14,7 @@ use std::sync::Arc;
 use argo::engine::{evaluate_accuracy, Engine, EngineOptions};
 use argo::graph::datasets::OGBN_PRODUCTS;
 use argo::nn::OptimizerKind;
-use argo::rt::{Config, TraceRecorder};
+use argo::rt::Config;
 use argo::sample::NeighborSampler;
 
 fn main() {
@@ -48,7 +48,7 @@ fn main() {
         let sampler: Arc<dyn argo::sample::Sampler> =
             Arc::new(NeighborSampler::new(vec![max_deg, max_deg]));
         let mut engine = Engine::new(Arc::clone(&dataset), sampler, opts.clone());
-        engine.train_epoch(Config::new(n_proc, 1, 1), &TraceRecorder::disabled());
+        engine.train_epoch(Config::new(n_proc, 1, 1), None);
         params.push(engine.params().to_vec());
     }
     for (i, n) in [2usize, 4].iter().enumerate() {
@@ -82,7 +82,7 @@ fn main() {
         );
         let mut curve = Vec::new();
         for _ in 0..epochs {
-            engine.train_epoch(Config::new(n_proc, 1, 1), &TraceRecorder::disabled());
+            engine.train_epoch(Config::new(n_proc, 1, 1), None);
             curve.push(evaluate_accuracy(
                 &engine.model(),
                 &dataset,

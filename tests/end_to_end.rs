@@ -39,7 +39,7 @@ fn train_and_eval(kind: Arch, sampler: Arc<dyn Sampler>, dataset: Arc<Dataset>) 
         total_cores: 8,
         seed: 1,
     });
-    let report = runtime.train(&mut engine, |_, _, _| {});
+    let report = runtime.train(&mut engine, None, |_, _, _| {});
     assert!(report.total_time > 0.0);
     assert!(report.config_opt.fits(8));
     let after = evaluate_accuracy(&engine.model(), &dataset, &dataset.val_nodes);
@@ -150,10 +150,7 @@ fn minibatch_converges_faster_per_epoch_than_full_graph() {
     let mut mb_loss = f32::INFINITY;
     for _ in 0..epochs {
         mb_loss = engine
-            .train_epoch(
-                argo::rt::Config::new(2, 1, 1),
-                &argo::rt::TraceRecorder::disabled(),
-            )
+            .train_epoch(argo::rt::Config::new(2, 1, 1), None)
             .loss;
     }
     assert!(
@@ -177,10 +174,7 @@ fn three_layer_paper_model_runs() {
             ..Default::default()
         },
     );
-    let stats = engine.train_epoch(
-        argo::rt::Config::new(2, 1, 2),
-        &argo::rt::TraceRecorder::disabled(),
-    );
+    let stats = engine.train_epoch(argo::rt::Config::new(2, 1, 2), None);
     assert!(stats.loss.is_finite());
     assert!(stats.edges > 0);
 }
@@ -202,14 +196,8 @@ fn reddit_like_density_works() {
             ..Default::default()
         },
     );
-    let s1 = engine.train_epoch(
-        argo::rt::Config::new(2, 2, 1),
-        &argo::rt::TraceRecorder::disabled(),
-    );
-    let s2 = engine.train_epoch(
-        argo::rt::Config::new(4, 1, 1),
-        &argo::rt::TraceRecorder::disabled(),
-    );
+    let s1 = engine.train_epoch(argo::rt::Config::new(2, 2, 1), None);
+    let s2 = engine.train_epoch(argo::rt::Config::new(4, 1, 1), None);
     assert!(
         s2.loss < s1.loss * 1.5,
         "training must not diverge across configs"

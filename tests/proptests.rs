@@ -348,26 +348,21 @@ proptest! {
     /// the number of sampler workers, for any batch size.
     #[test]
     fn loader_order_invariant_to_workers(batch_size in 1usize..40, workers in 1usize..5, seed in 0u64..20) {
-        use argo::sample::PipelinedLoader;
-        use argo::rt::{CoreSet, SeedSequence};
+        use argo::sample::LoaderSpec;
+        use argo::rt::SeedSequence;
         use std::sync::Arc;
         let g = Arc::new(power_law(200, 1600, 0.8, seed));
         let sampler: Arc<dyn Sampler> = Arc::new(NeighborSampler::new(vec![4, 3]));
         let seeds: Arc<Vec<NodeId>> = Arc::new((0..60).collect());
         let collect = |n_samp: usize| -> Vec<Vec<NodeId>> {
-            PipelinedLoader::start(
-                Arc::clone(&g),
-                Arc::clone(&sampler),
-                Arc::clone(&seeds),
-                batch_size,
-                0,
-                SeedSequence::new(seed),
-                n_samp,
-                CoreSet::default(),
-                2,
-            )
-            .map(|(_, b)| b.input_nodes().to_vec())
-            .collect()
+            LoaderSpec::builder(Arc::clone(&g), Arc::clone(&sampler), Arc::clone(&seeds))
+                .batch_size(batch_size)
+                .epoch_seeds(SeedSequence::new(seed))
+                .n_samp(n_samp)
+                .prefetch(2)
+                .start()
+                .map(|(_, b)| b.batch.input_nodes().to_vec())
+                .collect()
         };
         prop_assert_eq!(collect(1), collect(workers));
     }

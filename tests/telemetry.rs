@@ -41,7 +41,7 @@ fn measured_run_produces_full_telemetry() {
         seed: 11,
     });
     let tel = Telemetry::new();
-    let report = argo.train_telemetry(&mut engine, &tel, |_, _, _| {});
+    let report = argo.train(&mut engine, Some(&tel), |_, _, _| {});
 
     // --- JSONL: parseable, with epoch_end and tuner_trial events --------
     let jsonl = tel.logger.to_jsonl();
@@ -132,7 +132,7 @@ fn modeled_run_shares_schema_with_measured() {
         total_cores: 112,
         seed: 2,
     });
-    argo.run_modeled_telemetry(&model, &tel);
+    argo.run_modeled(&model, Some(&tel));
     let parsed = RunLogger::parse_jsonl(&tel.logger.to_jsonl()).unwrap();
     assert!(parsed.iter().all(|(_, _, s)| *s == Source::Modeled));
     // Exactly the same event kinds a measured run emits.
@@ -168,7 +168,7 @@ fn cli_flow_writes_and_reads_back_files() {
         seed: 5,
     });
     let tel = Telemetry::new();
-    argo.train_telemetry(&mut engine, &tel, |_, _, _| {});
+    argo.train(&mut engine, Some(&tel), |_, _, _| {});
 
     let dir = std::env::temp_dir();
     let path = dir.join(format!("argo-telemetry-test-{}.jsonl", std::process::id()));
