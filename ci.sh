@@ -13,6 +13,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo clippy (-D clippy::too_many_arguments)"
 cargo clippy --workspace --all-targets -- -D clippy::too_many_arguments
 
+echo "==> argo-lint (static analysis: unsafe/SAFETY, no-panic, no-instant, telemetry schema)"
+cargo run -q -p argo-check --bin argo-lint
+
+echo "==> cargo test -q -p argo-check --features sanitize (lock-order sanitizer + mini-loom)"
+cargo test -q -p argo-check --features sanitize
+
 echo "==> cargo build --release"
 cargo build --workspace --release
 

@@ -1,0 +1,47 @@
+//! `argo-lint` — the workspace's own static analyzer.
+//!
+//! Usage: `cargo run -p argo-check --bin argo-lint [-- <repo-root>]`
+//!
+//! Scans `crates/`, `shims/` and `tests/` under the repo root (default:
+//! two levels above this crate's manifest), prints every finding as
+//! `path:line: [rule] message`, and exits 1 if anything was found —
+//! which is how `ci.sh` gates on it. Exit 2 means the scan itself failed.
+
+use std::path::PathBuf;
+
+fn main() {
+    let root = match std::env::args().nth(1) {
+        Some(arg) => PathBuf::from(arg),
+        None => PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .unwrap_or_else(|_| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")),
+    };
+    let files = match argo_check::scan_tree(&root) {
+        Ok(files) => files,
+        Err(e) => {
+            eprintln!("argo-lint: scan failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    let total_lines: usize = files.iter().map(|f| f.lines.len()).sum();
+    let diagnostics = argo_check::lint_files(&files);
+    if diagnostics.is_empty() {
+        println!(
+            "argo-lint: OK ({} files, {} lines, 0 findings)",
+            files.len(),
+            total_lines
+        );
+        return;
+    }
+    for d in &diagnostics {
+        println!("{d}");
+    }
+    eprintln!(
+        "argo-lint: {} finding(s) in {} files ({} lines scanned)",
+        diagnostics.len(),
+        files.len(),
+        total_lines
+    );
+    std::process::exit(1);
+}

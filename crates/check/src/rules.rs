@@ -1,0 +1,290 @@
+//! Per-file lint rules over the scanned source channels.
+//!
+//! Each rule reports `file:line` diagnostics; deliberate exceptions are
+//! routed through the embedded [`crate::allowlist`], never inline `#[allow]`
+//! attributes, so every exemption carries a reviewed justification.
+
+use crate::allowlist::AllowTracker;
+use crate::source::SourceFile;
+use crate::Diagnostic;
+
+/// Crates whose non-test code must not contain panicking constructs: these
+/// run inside the training loop or on pool workers, where a panic tears
+/// down an epoch (or the whole run) instead of surfacing an `argo_core::Error`.
+const NO_PANIC_CRATES: &[&str] = &[
+    "crates/rt/",
+    "crates/sample/",
+    "crates/engine/",
+    "crates/tensor/",
+    "crates/cli/",
+];
+
+/// Files allowed to read the wall clock: the trace timeline and the metrics
+/// registry own all timing; everything else is either deterministic
+/// (modeled platform, replay) or explicitly allowlisted as a measured path.
+const INSTANT_ALLOWED_FILES: &[&str] = &["crates/rt/src/trace.rs", "crates/rt/src/metrics.rs"];
+
+/// Deprecated `Option<&Telemetry>`-era shims: kept for external callers,
+/// but no internal code may call them (tests exercising the shims exempt
+/// themselves by being tests).
+const DEPRECATED_CALLS: &[&str] = &[
+    ".run_telemetry(",
+    ".train_telemetry(",
+    ".run_modeled_telemetry(",
+    ".train_epoch_telemetry(",
+];
+
+/// How many lines above an `unsafe` token a `SAFETY:` comment may sit.
+/// Generous enough for a multi-line justification, tight enough that the
+/// comment stays adjacent to the block it justifies.
+const SAFETY_LOOKBACK: usize = 8;
+
+/// True for files that are test/bench/example code wholesale.
+pub fn is_test_path(path: &str) -> bool {
+    path.contains("/tests/")
+        || path.starts_with("tests/")
+        || path.contains("/benches/")
+        || path.contains("/examples/")
+}
+
+fn in_no_panic_scope(path: &str) -> bool {
+    NO_PANIC_CRATES.iter().any(|c| path.starts_with(c))
+}
+
+/// Whether `code` contains `needle` with no identifier character directly
+/// before it (so `panic!` does not match `dont_panic!`). Needles that start
+/// with a non-identifier char (`.unwrap()`) are their own boundary.
+fn contains_token(code: &str, needle: &str) -> bool {
+    let ident_start = needle
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_');
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(needle) {
+        let at = from + pos;
+        let boundary = !ident_start
+            || code[..at]
+                .chars()
+                .next_back()
+                .is_none_or(|c| !(c.is_alphanumeric() || c == '_'));
+        if boundary {
+            return true;
+        }
+        from = at + needle.len();
+    }
+    false
+}
+
+/// Runs every per-file rule on one scanned file.
+pub fn check_file(file: &SourceFile, allow: &mut AllowTracker, out: &mut Vec<Diagnostic>) {
+    let test_file = is_test_path(&file.path);
+    check_unsafe_safety(file, out);
+    if !test_file {
+        check_no_panic(file, allow, out);
+        check_no_instant(file, allow, out);
+        check_no_deprecated_telemetry(file, out);
+    }
+}
+
+/// Rule `unsafe-safety`: every `unsafe` token (block, fn, impl) must have a
+/// `SAFETY:` comment — or a `# Safety` doc section for `unsafe fn` — on the
+/// same line or within [`SAFETY_LOOKBACK`] lines above. Applies to test
+/// code too: an unexplained `unsafe` is no better for living in a test.
+fn check_unsafe_safety(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for (n, line) in file.numbered() {
+        if !contains_token(&line.code, "unsafe") {
+            continue;
+        }
+        let start = n.saturating_sub(SAFETY_LOOKBACK + 1);
+        let justified = file.lines[start..n]
+            .iter()
+            .any(|l| l.comment.contains("SAFETY:") || l.comment.contains("# Safety"));
+        if !justified {
+            out.push(Diagnostic {
+                path: file.path.clone(),
+                line: n,
+                rule: "unsafe-safety",
+                message: format!(
+                    "`unsafe` without a `// SAFETY:` comment within {SAFETY_LOOKBACK} lines"
+                ),
+            });
+        }
+    }
+}
+
+/// Rule `no-panic`: no `.unwrap()` / `.expect(` / `panic!` / `unreachable!`
+/// / `todo!` / `unimplemented!` in non-test code of the hot-path crates.
+fn check_no_panic(file: &SourceFile, allow: &mut AllowTracker, out: &mut Vec<Diagnostic>) {
+    if !in_no_panic_scope(&file.path) {
+        return;
+    }
+    const NEEDLES: &[&str] = &[
+        ".unwrap()",
+        ".expect(",
+        "panic!",
+        "unreachable!",
+        "todo!",
+        "unimplemented!",
+    ];
+    for (n, line) in file.numbered() {
+        if line.test {
+            continue;
+        }
+        for needle in NEEDLES {
+            if contains_token(&line.code, needle)
+                && !allow.permits("no-panic", &file.path, &line.raw)
+            {
+                out.push(Diagnostic {
+                    path: file.path.clone(),
+                    line: n,
+                    rule: "no-panic",
+                    message: format!(
+                        "`{needle}` in hot-path crate; return `argo_core::Error` \
+                         or add an allowlist entry with a justification"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Rule `no-instant`: `Instant::now` only in the trace/metrics modules (or
+/// allowlisted measured paths). Keeps the modeled platform deterministic.
+fn check_no_instant(file: &SourceFile, allow: &mut AllowTracker, out: &mut Vec<Diagnostic>) {
+    if !file.path.starts_with("crates/") || file.path.starts_with("crates/bench/") {
+        return;
+    }
+    if INSTANT_ALLOWED_FILES.iter().any(|f| file.path.ends_with(f)) {
+        return;
+    }
+    for (n, line) in file.numbered() {
+        if line.test || !line.code.contains("Instant::now") {
+            continue;
+        }
+        if allow.permits("no-instant", &file.path, &line.raw) {
+            continue;
+        }
+        out.push(Diagnostic {
+            path: file.path.clone(),
+            line: n,
+            rule: "no-instant",
+            message: "`Instant::now` outside rt::trace/rt::metrics; modeled paths must be \
+                      deterministic — route timing through the trace timeline or allowlist \
+                      a measured path"
+                .to_string(),
+        });
+    }
+}
+
+/// Rule `no-deprecated-telemetry`: internal code must use the unified
+/// `Option<&Telemetry>` entry points, not the deprecated `*_telemetry` shims.
+fn check_no_deprecated_telemetry(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !file.path.starts_with("crates/") {
+        return;
+    }
+    for (n, line) in file.numbered() {
+        if line.test {
+            continue;
+        }
+        for needle in DEPRECATED_CALLS {
+            if line.code.contains(needle) {
+                out.push(Diagnostic {
+                    path: file.path.clone(),
+                    line: n,
+                    rule: "no-deprecated-telemetry",
+                    message: format!(
+                        "call to deprecated shim `{}`; pass `Option<&Telemetry>` to the \
+                         unified entry point instead",
+                        needle.trim_start_matches('.').trim_end_matches('(')
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(path: &str, src: &str) -> Vec<Diagnostic> {
+        let file = SourceFile::scan(path, src);
+        let mut allow = AllowTracker::new();
+        let mut out = Vec::new();
+        check_file(&file, &mut allow, &mut out);
+        out
+    }
+
+    #[test]
+    fn uncommented_unsafe_is_flagged() {
+        let d = lint("crates/rt/src/x.rs", "fn f() {\n    unsafe { g(); }\n}\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "unsafe-safety");
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn safety_comment_within_lookback_passes() {
+        let src = "fn f() {\n    // SAFETY: g has no preconditions here.\n    unsafe { g(); }\n}\n";
+        assert!(lint("crates/rt/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn safety_doc_section_covers_unsafe_fn() {
+        let src = "/// # Safety\n/// Caller must pass a valid pointer.\npub unsafe fn f() {}\n";
+        assert!(lint("shims/libc/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_hot_path_is_flagged() {
+        let d = lint("crates/engine/src/x.rs", "fn f() { v.last().unwrap(); }\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "no-panic");
+    }
+
+    #[test]
+    fn unwrap_in_tests_and_cold_crates_passes() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { v.last().unwrap(); }\n}\n";
+        assert!(lint("crates/engine/src/x.rs", src).is_empty());
+        assert!(lint("crates/platform/src/x.rs", "fn f() { v.unwrap(); }\n").is_empty());
+        assert!(lint("crates/engine/tests/x.rs", "fn f() { v.unwrap(); }\n").is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_string_literal_passes() {
+        let src = "fn f() { log(\"never .unwrap() here\"); }\n";
+        assert!(lint("crates/engine/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allowlisted_expect_passes_and_panic_needles_match() {
+        let src = "fn f() { h.join().expect(\"process panicked\"); }\n";
+        assert!(lint("crates/engine/src/engine.rs", src).is_empty());
+        let d = lint("crates/rt/src/x.rs", "fn f() { unreachable!() }\n");
+        assert_eq!(d.len(), 1);
+        // `dont_panic!` must not match `panic!`.
+        assert!(lint("crates/rt/src/x.rs", "fn f() { dont_panic!() }\n").is_empty());
+    }
+
+    #[test]
+    fn instant_flagged_outside_trace_and_metrics() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        let d = lint("crates/platform/src/perf.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "no-instant");
+        assert!(lint("crates/rt/src/trace.rs", src).is_empty());
+        assert!(lint("crates/bench/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn deprecated_telemetry_call_is_flagged() {
+        let d = lint(
+            "crates/cli/src/x.rs",
+            "fn f() { argo.run_telemetry(obj, &tel); }\n",
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "no-deprecated-telemetry");
+        // The definition site (no leading dot) is not a call.
+        assert!(lint("crates/core/src/x.rs", "pub fn run_telemetry(\n").is_empty());
+    }
+}

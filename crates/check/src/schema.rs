@@ -1,0 +1,465 @@
+//! Telemetry schema consistency: the event kinds and metric names the
+//! runtime *produces* must exactly match what `argo report` *consumes*.
+//!
+//! Three contracts are checked across the scanned tree:
+//!
+//! 1. Every event kind string in `rt/src/events.rs` appears in the
+//!    `CONSUMED_EVENT_KINDS` manifest in `cli/src/report.rs` (and vice
+//!    versa — a consumed kind no producer emits is stale), and report.rs
+//!    actually matches on the corresponding `RunEvent::Variant`.
+//! 2. Every metric name constant in `rt/src/telemetry.rs`'s `names` module
+//!    is referenced (as `names::IDENT`) by at least one producer crate and
+//!    by report.rs — an emitted-but-never-rendered metric is dead weight,
+//!    a rendered-but-never-emitted one is a stale dashboard.
+//! 3. Every stage label in `rt/src/trace.rs` appears as a string in
+//!    report.rs (the per-stage table would silently drop a renamed stage).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::rules::is_test_path;
+use crate::source::SourceFile;
+use crate::Diagnostic;
+
+const EVENTS_FILE: &str = "crates/rt/src/events.rs";
+const TELEMETRY_FILE: &str = "crates/rt/src/telemetry.rs";
+const TRACE_FILE: &str = "crates/rt/src/trace.rs";
+const REPORT_FILE: &str = "crates/cli/src/report.rs";
+
+fn find<'a>(files: &'a [SourceFile], suffix: &str) -> Option<&'a SourceFile> {
+    files.iter().find(|f| f.path.ends_with(suffix))
+}
+
+/// `snake_case` → `CamelCase` (event kind → `RunEvent` variant name).
+fn camel(kind: &str) -> String {
+    kind.split('_')
+        .map(|w| {
+            let mut cs = w.chars();
+            match cs.next() {
+                Some(c) => c.to_uppercase().collect::<String>() + cs.as_str(),
+                None => String::new(),
+            }
+        })
+        .collect()
+}
+
+/// Event kind literals in events.rs: strings on non-test lines that map a
+/// `RunEvent::` variant (`kind()` match arms and the JSONL parse arms — the
+/// two stay in sync by construction, so either yields the same set).
+fn producer_event_kinds(events: &SourceFile) -> BTreeMap<String, usize> {
+    let mut kinds = BTreeMap::new();
+    for (n, line) in events.numbered() {
+        if line.test || !line.code.contains("RunEvent::") || !line.code.contains("=>") {
+            continue;
+        }
+        for s in &line.strings {
+            kinds.entry(s.clone()).or_insert(n);
+        }
+    }
+    kinds
+}
+
+/// Strings in report.rs's `CONSUMED_EVENT_KINDS` manifest. Collected from
+/// the declaration line until the closing `]`.
+fn consumed_event_kinds(report: &SourceFile) -> Option<(usize, BTreeSet<String>)> {
+    let mut at = None;
+    let mut set = BTreeSet::new();
+    let mut in_manifest = false;
+    for (n, line) in report.numbered() {
+        if !in_manifest {
+            if line.code.contains("CONSUMED_EVENT_KINDS") {
+                in_manifest = true;
+                at = Some(n);
+            } else {
+                continue;
+            }
+        }
+        set.extend(line.strings.iter().cloned());
+        // `];` ends the manifest — a bare `]` would false-match the `&[&str]`
+        // type annotation on the declaration line.
+        if line.code.contains("];") {
+            break;
+        }
+    }
+    at.map(|n| (n, set))
+}
+
+/// Metric name constants in telemetry.rs: `pub const IDENT: &str = "lit";`.
+fn metric_names(telemetry: &SourceFile) -> Vec<(String, String, usize)> {
+    let mut out = Vec::new();
+    for (n, line) in telemetry.numbered() {
+        if line.test || !line.code.contains("pub const ") || !line.code.contains(": &str") {
+            continue;
+        }
+        let after = match line.code.split("pub const ").nth(1) {
+            Some(a) => a,
+            None => continue,
+        };
+        let ident: String = after
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if ident.is_empty() {
+            continue;
+        }
+        if let Some(lit) = line.strings.first() {
+            out.push((ident, lit.clone(), n));
+        }
+    }
+    out
+}
+
+/// Stage labels in trace.rs: strings on `Stage::… =>` match arms.
+fn stage_labels(trace: &SourceFile) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    for (n, line) in trace.numbered() {
+        if line.test || !line.code.contains("Stage::") || !line.code.contains("=>") {
+            continue;
+        }
+        for s in &line.strings {
+            out.push((s.clone(), n));
+        }
+    }
+    out
+}
+
+/// Whether any non-test line of `file` references `names::IDENT` as a whole
+/// token (no trailing identifier char, so `CACHE_HITS` ≠ `CACHE_HITS_TOTAL`).
+fn references_name(file: &SourceFile, ident: &str) -> bool {
+    let needle = format!("names::{ident}");
+    file.lines.iter().any(|l| {
+        if l.test {
+            return false;
+        }
+        let mut from = 0;
+        while let Some(pos) = l.code[from..].find(&needle) {
+            let end = from + pos + needle.len();
+            let whole = l.code[end..]
+                .chars()
+                .next()
+                .is_none_or(|c| !(c.is_alphanumeric() || c == '_'));
+            if whole {
+                return true;
+            }
+            from = end;
+        }
+        false
+    })
+}
+
+/// Runs the three cross-file schema checks over the scanned tree.
+pub fn check_schema(files: &[SourceFile]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let (events, telemetry, trace, report) = match (
+        find(files, EVENTS_FILE),
+        find(files, TELEMETRY_FILE),
+        find(files, TRACE_FILE),
+        find(files, REPORT_FILE),
+    ) {
+        (Some(e), Some(m), Some(t), Some(r)) => (e, m, t, r),
+        _ => {
+            out.push(Diagnostic {
+                path: REPORT_FILE.to_string(),
+                line: 0,
+                rule: "schema",
+                message: "schema check needs events.rs, telemetry.rs, trace.rs and report.rs; \
+                          one or more were not found in the scanned tree"
+                    .to_string(),
+            });
+            return out;
+        }
+    };
+
+    // ---- 1. event kinds ----------------------------------------------
+    let produced = producer_event_kinds(events);
+    match consumed_event_kinds(report) {
+        None => out.push(Diagnostic {
+            path: report.path.clone(),
+            line: 1,
+            rule: "schema",
+            message: "report.rs must declare a CONSUMED_EVENT_KINDS manifest listing every \
+                      event kind it renders"
+                .to_string(),
+        }),
+        Some((manifest_line, consumed)) => {
+            for (kind, line) in &produced {
+                if !consumed.contains(kind) {
+                    out.push(Diagnostic {
+                        path: events.path.clone(),
+                        line: *line,
+                        rule: "schema",
+                        message: format!(
+                            "event kind \"{kind}\" is produced but missing from \
+                             CONSUMED_EVENT_KINDS in report.rs — render it or record why not"
+                        ),
+                    });
+                }
+            }
+            for kind in &consumed {
+                if !produced.contains_key(kind) {
+                    out.push(Diagnostic {
+                        path: report.path.clone(),
+                        line: manifest_line,
+                        rule: "schema",
+                        message: format!(
+                            "CONSUMED_EVENT_KINDS lists \"{kind}\" but no such event kind \
+                             exists in events.rs (stale name?)"
+                        ),
+                    });
+                }
+            }
+            // The manifest must be honest: report.rs must actually match on
+            // the corresponding variant.
+            for kind in produced.keys() {
+                if !consumed.contains(kind) {
+                    continue;
+                }
+                let variant = format!("RunEvent::{}", camel(kind));
+                let used = report
+                    .lines
+                    .iter()
+                    .any(|l| !l.test && l.code.contains(&variant));
+                if !used {
+                    out.push(Diagnostic {
+                        path: report.path.clone(),
+                        line: manifest_line,
+                        rule: "schema",
+                        message: format!(
+                            "CONSUMED_EVENT_KINDS claims \"{kind}\" but report.rs never \
+                             matches `{variant}`"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // ---- 2. metric names ---------------------------------------------
+    let producers: Vec<&SourceFile> = files
+        .iter()
+        .filter(|f| {
+            f.path.starts_with("crates/")
+                && !f.path.ends_with(TELEMETRY_FILE)
+                && !f.path.ends_with(REPORT_FILE)
+                && !is_test_path(&f.path)
+        })
+        .collect();
+    for (ident, lit, line) in metric_names(telemetry) {
+        if !producers.iter().any(|f| references_name(f, &ident)) {
+            out.push(Diagnostic {
+                path: telemetry.path.clone(),
+                line,
+                rule: "schema",
+                message: format!(
+                    "metric `names::{ident}` (\"{lit}\") is never emitted by any producer \
+                     crate — dead name or missing instrumentation"
+                ),
+            });
+        }
+        if !references_name(report, &ident) {
+            out.push(Diagnostic {
+                path: telemetry.path.clone(),
+                line,
+                rule: "schema",
+                message: format!(
+                    "metric `names::{ident}` (\"{lit}\") is never consumed by report.rs — \
+                     the report would silently drop it"
+                ),
+            });
+        }
+    }
+
+    // ---- 3. stage labels ---------------------------------------------
+    for (label, line) in stage_labels(trace) {
+        let rendered = report
+            .lines
+            .iter()
+            .any(|l| !l.test && l.strings.contains(&label));
+        if !rendered {
+            out.push(Diagnostic {
+                path: trace.path.clone(),
+                line,
+                rule: "schema",
+                message: format!(
+                    "stage label \"{label}\" from trace.rs does not appear in report.rs's \
+                     per-stage table — a renamed stage would vanish from reports"
+                ),
+            });
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(path: &str, src: &str) -> SourceFile {
+        SourceFile::scan(path, src)
+    }
+
+    fn base_events() -> SourceFile {
+        scan(
+            EVENTS_FILE,
+            "impl RunEvent {\n\
+             pub fn kind(&self) -> &'static str {\n\
+             match self {\n\
+             RunEvent::EpochEnd { .. } => \"epoch_end\",\n\
+             RunEvent::TunerTrial(_) => \"tuner_trial\",\n\
+             }\n}\n}\n",
+        )
+    }
+
+    fn base_telemetry() -> SourceFile {
+        scan(
+            TELEMETRY_FILE,
+            "pub mod names {\n    pub const EPOCH_SECONDS: &str = \"epoch_seconds\";\n}\n",
+        )
+    }
+
+    fn base_trace() -> SourceFile {
+        scan(
+            TRACE_FILE,
+            "fn label(&self) -> &'static str {\nmatch self {\nStage::Sample => \"sample\",\n}\n}\n",
+        )
+    }
+
+    fn good_report() -> SourceFile {
+        scan(
+            REPORT_FILE,
+            "const CONSUMED_EVENT_KINDS: &[&str] = &[\"epoch_end\", \"tuner_trial\"];\n\
+             fn render() {\n\
+             if let RunEvent::EpochEnd { .. } = e {}\n\
+             if let RunEvent::TunerTrial(t) = e {}\n\
+             let s = \"sample\";\n\
+             let v = names::EPOCH_SECONDS;\n\
+             }\n",
+        )
+    }
+
+    fn producer() -> SourceFile {
+        scan(
+            "crates/engine/src/engine.rs",
+            "fn emit() { m.observe(names::EPOCH_SECONDS, 1.0); }\n",
+        )
+    }
+
+    #[test]
+    fn consistent_schema_passes() {
+        let files = vec![
+            base_events(),
+            base_telemetry(),
+            base_trace(),
+            good_report(),
+            producer(),
+        ];
+        assert!(check_schema(&files).is_empty());
+    }
+
+    #[test]
+    fn unconsumed_event_kind_is_flagged() {
+        let report = scan(
+            REPORT_FILE,
+            "const CONSUMED_EVENT_KINDS: &[&str] = &[\"epoch_end\"];\n\
+             fn render() {\n\
+             if let RunEvent::EpochEnd { .. } = e {}\n\
+             let s = \"sample\";\n\
+             let v = names::EPOCH_SECONDS;\n\
+             }\n",
+        );
+        let files = vec![
+            base_events(),
+            base_telemetry(),
+            base_trace(),
+            report,
+            producer(),
+        ];
+        let d = check_schema(&files);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("tuner_trial"));
+    }
+
+    #[test]
+    fn manifest_claim_without_variant_match_is_flagged() {
+        let report = scan(
+            REPORT_FILE,
+            "const CONSUMED_EVENT_KINDS: &[&str] = &[\"epoch_end\", \"tuner_trial\"];\n\
+             fn render() {\n\
+             if let RunEvent::EpochEnd { .. } = e {}\n\
+             let s = \"sample\";\n\
+             let v = names::EPOCH_SECONDS;\n\
+             }\n",
+        );
+        let files = vec![
+            base_events(),
+            base_telemetry(),
+            base_trace(),
+            report,
+            producer(),
+        ];
+        let d = check_schema(&files);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("RunEvent::TunerTrial"));
+    }
+
+    #[test]
+    fn unproduced_and_unconsumed_metric_is_flagged() {
+        let telemetry = scan(
+            TELEMETRY_FILE,
+            "pub mod names {\n\
+             pub const EPOCH_SECONDS: &str = \"epoch_seconds\";\n\
+             pub const GHOST_TOTAL: &str = \"ghost_total\";\n}\n",
+        );
+        let files = vec![
+            base_events(),
+            telemetry,
+            base_trace(),
+            good_report(),
+            producer(),
+        ];
+        let d = check_schema(&files);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d.iter().any(|x| x.message.contains("never emitted")));
+        assert!(d.iter().any(|x| x.message.contains("never consumed")));
+    }
+
+    #[test]
+    fn prefix_name_reference_does_not_satisfy_longer_ident() {
+        let telemetry = scan(
+            TELEMETRY_FILE,
+            "pub mod names {\n    pub const CACHE_HITS_TOTAL: &str = \"cache_hits_total\";\n}\n",
+        );
+        // Referencing CACHE_HITS (a prefix) must not count for CACHE_HITS_TOTAL.
+        let producer = scan(
+            "crates/engine/src/engine.rs",
+            "fn emit() { m.inc(names::CACHE_HITS, 1); }\n",
+        );
+        let files = vec![
+            base_events(),
+            telemetry,
+            base_trace(),
+            good_report(),
+            producer,
+        ];
+        let d = check_schema(&files);
+        assert_eq!(d.len(), 2, "{d:?}");
+    }
+
+    #[test]
+    fn missing_stage_label_is_flagged() {
+        let trace = scan(
+            TRACE_FILE,
+            "fn label(&self) -> &'static str {\nmatch self {\nStage::Flush => \"flush\",\n}\n}\n",
+        );
+        let files = vec![
+            base_events(),
+            base_telemetry(),
+            trace,
+            good_report(),
+            producer(),
+        ];
+        let d = check_schema(&files);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("\"flush\""));
+    }
+}

@@ -12,6 +12,20 @@ use std::collections::BTreeMap;
 use argo_rt::telemetry::names;
 use argo_rt::{RunEvent, Source, Telemetry};
 
+/// Event kinds this renderer consumes. `argo-lint`'s telemetry-schema rule
+/// checks this manifest against the producer set in `rt/src/events.rs` in
+/// both directions — an event the runtime emits but the report drops (or a
+/// stale name listed here) fails CI — and verifies each entry is backed by
+/// a real `RunEvent::…` match below.
+pub const CONSUMED_EVENT_KINDS: &[&str] = &[
+    "epoch_start",
+    "epoch_end",
+    "stage_summary",
+    "cache_summary",
+    "tuner_trial",
+    "config_applied",
+];
+
 /// p50/p95/max of a sample set.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Percentiles {
@@ -32,10 +46,11 @@ pub fn percentiles(samples: &[f64]) -> Option<Percentiles> {
         let idx = ((q * v.len() as f64).ceil() as usize).clamp(1, v.len()) - 1;
         v[idx]
     };
+    let max = *v.last()?;
     Some(Percentiles {
         p50: rank(0.50),
         p95: rank(0.95),
-        max: *v.last().unwrap(),
+        max,
     })
 }
 
@@ -59,13 +74,20 @@ pub fn render_report(events: &[(RunEvent, f64, Source)], live: Option<&Telemetry
     // ---- Run summary --------------------------------------------------
     let mut epoch_times = Vec::new();
     let mut sources = (0usize, 0usize); // (measured, modeled)
+    let mut first_config = None;
     for (e, _, s) in events {
-        if let RunEvent::EpochEnd { record, .. } = e {
-            epoch_times.push(record.epoch_time);
-            match s {
-                Source::Measured => sources.0 += 1,
-                Source::Modeled => sources.1 += 1,
+        match e {
+            RunEvent::EpochEnd { record, .. } => {
+                epoch_times.push(record.epoch_time);
+                match s {
+                    Source::Measured => sources.0 += 1,
+                    Source::Modeled => sources.1 += 1,
+                }
             }
+            RunEvent::EpochStart { config, .. } if first_config.is_none() => {
+                first_config = Some(*config);
+            }
+            _ => {}
         }
     }
     out.push_str(&format!(
@@ -75,6 +97,9 @@ pub fn render_report(events: &[(RunEvent, f64, Source)], live: Option<&Telemetry
         sources.1,
         epoch_times.iter().sum::<f64>()
     ));
+    if let Some(c) = first_config {
+        out.push_str(&format!("initial config: {c}\n"));
+    }
     if let Some(p) = percentiles(&epoch_times) {
         out.push_str(&format!(
             "epoch time: p50 {} p95 {} max {}\n",
@@ -189,7 +214,7 @@ pub fn render_report(events: &[(RunEvent, f64, Source)], live: Option<&Telemetry
             _ => None,
         })
         .collect();
-    if !trials.is_empty() {
+    if let Some(last) = trials.last() {
         out.push_str("\ntuner convergence (incumbent best per trial):\n");
         for t in &trials {
             let marker = if (t.epoch_time - t.best_epoch_time).abs() < 1e-12 {
@@ -205,7 +230,6 @@ pub fn render_report(events: &[(RunEvent, f64, Source)], live: Option<&Telemetry
                 fmt_seconds(t.best_epoch_time),
             ));
         }
-        let last = trials.last().unwrap();
         out.push_str(&format!(
             "  selected {} at {} after {} trials (tuner cpu: suggest {}, observe {})\n",
             last.best_config,
@@ -214,6 +238,74 @@ pub fn render_report(events: &[(RunEvent, f64, Source)], live: Option<&Telemetry
             fmt_seconds(trials.iter().map(|t| t.suggest_seconds).sum::<f64>()),
             fmt_seconds(trials.iter().map(|t| t.observe_seconds).sum::<f64>()),
         ));
+    }
+
+    // ---- Config applications -----------------------------------------
+    // Every `ConfigApplied` event: which configuration the runtime switched
+    // to and why (search trial, final selection, …).
+    let applied: Vec<_> = events
+        .iter()
+        .filter_map(|(e, _, _)| match e {
+            RunEvent::ConfigApplied { config, reason } => Some((config, reason)),
+            _ => None,
+        })
+        .collect();
+    if !applied.is_empty() {
+        out.push_str("\nconfig applications:\n");
+        for (config, reason) in &applied {
+            out.push_str(&format!("  {reason:<10} {config}\n"));
+        }
+    }
+
+    // ---- Metrics snapshot (live handle only) --------------------------
+    // Renders the registry under its schema names. Together with the
+    // overlap gauge above this consumes every constant in `names`;
+    // argo-lint's schema rule enforces that coverage stays complete.
+    if let Some(t) = live {
+        let counters: BTreeMap<String, u64> = t.metrics.counters().into_iter().collect();
+        let gauges: BTreeMap<String, f64> = t.metrics.gauges().into_iter().collect();
+        let mut section = String::new();
+        for name in [
+            names::EPOCHS_TOTAL,
+            names::ITERATIONS_TOTAL,
+            names::MINIBATCHES_TOTAL,
+            names::EDGES_TOTAL,
+            names::TUNER_TRIALS_TOTAL,
+            names::CACHE_HITS_TOTAL,
+            names::CACHE_MISSES_TOTAL,
+            names::CACHE_EVICTIONS_TOTAL,
+        ] {
+            if let Some(v) = counters.get(name) {
+                section.push_str(&format!("  {name:<26} {v}\n"));
+            }
+        }
+        for name in [
+            names::TUNER_BEST_EPOCH_SECONDS,
+            names::CACHE_BYTES,
+            names::CACHE_HIT_RATE,
+        ] {
+            if let Some(v) = gauges.get(name) {
+                section.push_str(&format!("  {name:<26} {v:.3}\n"));
+            }
+        }
+        for name in [
+            names::EPOCH_SECONDS,
+            names::TUNER_SUGGEST_SECONDS,
+            names::TUNER_OBSERVE_SECONDS,
+        ] {
+            if let Some(h) = live_hists.get(name).filter(|h| h.count() > 0) {
+                section.push_str(&format!(
+                    "  {name:<26} p50 {:>10} p95 {:>10} n={}\n",
+                    fmt_seconds(h.quantile(0.50)),
+                    fmt_seconds(h.quantile(0.95)),
+                    h.count()
+                ));
+            }
+        }
+        if !section.is_empty() {
+            out.push_str("\nmetrics snapshot:\n");
+            out.push_str(&section);
+        }
     }
 
     out

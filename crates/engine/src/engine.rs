@@ -383,7 +383,7 @@ impl Engine {
             n_proc,
             self.seeds.seed_for(self.epoch, u64::MAX),
         );
-        let min_len = parts.iter().map(Vec::len).min().unwrap();
+        let min_len = parts.iter().map(Vec::len).min().unwrap_or(0);
         let local_batch = (self.opts.global_batch / n_proc).max(1);
         // Schedule the learning rate for this epoch (identical on replicas).
         self.opt

@@ -195,6 +195,10 @@ impl CoreBinder {
 pub fn num_available_cores() -> usize {
     #[cfg(target_os = "linux")]
     {
+        // SAFETY: `cpu_set_t` is a plain `repr(C)` bitmask for which the
+        // all-zero pattern is a valid (empty) value, so `zeroed` is sound.
+        // `sched_getaffinity` is passed the exact size of `set` and writes
+        // only within it; `CPU_COUNT` just reads the mask.
         unsafe {
             let mut set: libc::cpu_set_t = std::mem::zeroed();
             if libc::sched_getaffinity(0, std::mem::size_of::<libc::cpu_set_t>(), &mut set) == 0 {
@@ -223,6 +227,10 @@ pub fn bind_current_thread(cores: &CoreSet) -> bool {
         if usable.is_empty() {
             return false;
         }
+        // SAFETY: the all-zero `cpu_set_t` is a valid empty mask; `CPU_SET`
+        // bounds-checks the core id against the mask width internally; and
+        // `sched_setaffinity` only reads `size_of::<cpu_set_t>()` bytes from
+        // the fully initialized mask it is handed.
         unsafe {
             let mut set: libc::cpu_set_t = std::mem::zeroed();
             for &c in &usable {

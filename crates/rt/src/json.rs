@@ -256,7 +256,10 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
                     Some(_) => {
                         // Consume one UTF-8 scalar.
                         let rest = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
-                        let c = rest.chars().next().unwrap();
+                        let c = rest
+                            .chars()
+                            .next()
+                            .ok_or_else(|| "unterminated string".to_string())?;
                         s.push(c);
                         *pos += c.len_utf8();
                     }

@@ -306,9 +306,14 @@ impl Iterator for PipelinedLoader {
             return None;
         }
         loop {
-            if let Some(top) = self.reorder.peek() {
-                if top.index == self.next {
-                    let item = self.reorder.pop().unwrap();
+            // pop-if: take the heap top only when it is the batch the
+            // consumer is waiting for (avoids a peek-then-unwrap pair).
+            if self
+                .reorder
+                .peek()
+                .is_some_and(|top| top.index == self.next)
+            {
+                if let Some(item) = self.reorder.pop() {
                     self.next += 1;
                     return Some((item.index, item.batch));
                 }

@@ -29,7 +29,7 @@ impl SparseMatrix {
     ) -> Self {
         assert_eq!(indptr.len(), rows + 1, "indptr length");
         assert_eq!(indptr[0], 0, "indptr[0]");
-        assert_eq!(*indptr.last().unwrap(), indices.len(), "indptr end");
+        assert_eq!(indptr[rows], indices.len(), "indptr end");
         assert!(indptr.windows(2).all(|w| w[0] <= w[1]), "indptr monotone");
         assert!(indices.iter().all(|&c| (c as usize) < cols), "col in range");
         if let Some(v) = &values {

@@ -4,9 +4,6 @@
 //! helpers mirror the glibc macros.
 
 #![allow(non_camel_case_types, non_snake_case)]
-// The CPU_* helpers are `unsafe fn` purely for signature parity with the
-// real `libc` crate; they are safe in this pure-Rust implementation.
-#![allow(clippy::missing_safety_doc)]
 
 pub type c_int = i32;
 pub type pid_t = i32;
@@ -31,11 +28,19 @@ impl Default for cpu_set_t {
 }
 
 /// Clears every CPU in `set` (glibc `CPU_ZERO`).
+///
+/// # Safety
+/// Always safe: pure-Rust bit manipulation on a valid reference. `unsafe fn`
+/// purely for signature parity with the real `libc` crate.
 pub unsafe fn CPU_ZERO(set: &mut cpu_set_t) {
     set.bits = [0; MASK_WORDS];
 }
 
 /// Adds `cpu` to `set` (glibc `CPU_SET`). CPUs beyond the mask are ignored.
+///
+/// # Safety
+/// Always safe: the core id is bounds-checked against the mask width.
+/// `unsafe fn` purely for signature parity with the real `libc` crate.
 pub unsafe fn CPU_SET(cpu: usize, set: &mut cpu_set_t) {
     if cpu < CPU_SETSIZE_BITS {
         set.bits[cpu / 64] |= 1u64 << (cpu % 64);
@@ -43,11 +48,19 @@ pub unsafe fn CPU_SET(cpu: usize, set: &mut cpu_set_t) {
 }
 
 /// Whether `cpu` is in `set` (glibc `CPU_ISSET`).
+///
+/// # Safety
+/// Always safe: the core id is bounds-checked against the mask width.
+/// `unsafe fn` purely for signature parity with the real `libc` crate.
 pub unsafe fn CPU_ISSET(cpu: usize, set: &cpu_set_t) -> bool {
     cpu < CPU_SETSIZE_BITS && set.bits[cpu / 64] & (1u64 << (cpu % 64)) != 0
 }
 
 /// Number of CPUs in `set` (glibc `CPU_COUNT`).
+///
+/// # Safety
+/// Always safe: pure-Rust bit counting on a valid reference. `unsafe fn`
+/// purely for signature parity with the real `libc` crate.
 pub unsafe fn CPU_COUNT(set: &cpu_set_t) -> c_int {
     set.bits.iter().map(|w| w.count_ones()).sum::<u32>() as c_int
 }
@@ -65,6 +78,8 @@ mod tests {
     #[test]
     fn set_and_count() {
         let mut set = cpu_set_t::default();
+        // SAFETY: the CPU_* helpers are pure-Rust and bounds-checked; they
+        // are `unsafe fn` only for parity with the real libc crate.
         unsafe {
             CPU_ZERO(&mut set);
             assert_eq!(CPU_COUNT(&set), 0);
@@ -83,8 +98,11 @@ mod tests {
     #[test]
     fn getaffinity_reports_at_least_one_cpu() {
         let mut set = cpu_set_t::default();
+        // SAFETY: the kernel is given the exact size of `set` and writes
+        // only within it; CPU_COUNT then reads the initialized mask.
         let rc = unsafe { sched_getaffinity(0, std::mem::size_of::<cpu_set_t>(), &mut set) };
         assert_eq!(rc, 0);
+        // SAFETY: pure-Rust bit counting; unsafe only for libc parity.
         assert!(unsafe { CPU_COUNT(&set) } >= 1);
     }
 }

@@ -5,20 +5,32 @@
 
 use std::ops::{Deref, DerefMut};
 
+#[cfg(feature = "sanitize")]
+pub mod sanitizer;
+
+#[cfg(feature = "sanitize")]
+use sanitizer::LockClass;
+
 /// Poison-free mutex: `lock()` returns the guard directly.
 pub struct Mutex<T: ?Sized> {
+    #[cfg(feature = "sanitize")]
+    id: sanitizer::LockId,
     inner: std::sync::Mutex<T>,
 }
 
 /// RAII guard for [`Mutex`]. Holds an `Option` so [`Condvar::wait`] can
 /// temporarily take std's guard out and put the re-acquired one back.
 pub struct MutexGuard<'a, T: ?Sized> {
+    #[cfg(feature = "sanitize")]
+    id: sanitizer::LockId,
     inner: Option<std::sync::MutexGuard<'a, T>>,
 }
 
 impl<T> Mutex<T> {
     pub fn new(value: T) -> Self {
         Self {
+            #[cfg(feature = "sanitize")]
+            id: sanitizer::register(LockClass::Mutex),
             inner: std::sync::Mutex::new(value),
         }
     }
@@ -30,23 +42,48 @@ impl<T> Mutex<T> {
 
 impl<T: ?Sized> Mutex<T> {
     pub fn lock(&self) -> MutexGuard<'_, T> {
+        #[cfg(feature = "sanitize")]
+        sanitizer::before_acquire(self.id, LockClass::Mutex);
+        let g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        #[cfg(feature = "sanitize")]
+        sanitizer::after_acquire(self.id, LockClass::Mutex);
         MutexGuard {
-            inner: Some(self.inner.lock().unwrap_or_else(|e| e.into_inner())),
+            #[cfg(feature = "sanitize")]
+            id: self.id,
+            inner: Some(g),
         }
     }
 
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.inner.try_lock() {
-            Ok(g) => Some(MutexGuard { inner: Some(g) }),
-            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard {
-                inner: Some(e.into_inner()),
-            }),
-            Err(std::sync::TryLockError::WouldBlock) => None,
-        }
+        let g = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return None,
+        };
+        // A successful try_lock cannot deadlock, but it still establishes a
+        // hold that later blocking acquisitions must order against.
+        #[cfg(feature = "sanitize")]
+        sanitizer::after_acquire(self.id, LockClass::Mutex);
+        Some(MutexGuard {
+            #[cfg(feature = "sanitize")]
+            id: self.id,
+            inner: Some(g),
+        })
     }
 
     pub fn get_mut(&mut self) -> &mut T {
         self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(feature = "sanitize")]
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // `Condvar::wait` takes the inner guard out and releases bookkeeping
+        // itself; only a guard still holding the lock releases here.
+        if self.inner.is_some() {
+            sanitizer::on_release(self.id);
+        }
     }
 }
 
@@ -84,11 +121,21 @@ impl Condvar {
 
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         let std_guard = guard.inner.take().expect("guard taken during wait");
-        guard.inner = Some(
-            self.inner
-                .wait(std_guard)
-                .unwrap_or_else(|e| e.into_inner()),
-        );
+        // The wait releases the mutex until woken: mirror that in the
+        // sanitizer's held-lock bookkeeping so other acquisitions made by
+        // this thread while blocked do not order against it.
+        #[cfg(feature = "sanitize")]
+        sanitizer::on_release(guard.id);
+        let reacquired = self
+            .inner
+            .wait(std_guard)
+            .unwrap_or_else(|e| e.into_inner());
+        #[cfg(feature = "sanitize")]
+        {
+            sanitizer::before_acquire(guard.id, LockClass::Mutex);
+            sanitizer::after_acquire(guard.id, LockClass::Mutex);
+        }
+        guard.inner = Some(reacquired);
     }
 
     pub fn notify_one(&self) {
@@ -108,20 +155,28 @@ impl Default for Condvar {
 
 /// Poison-free reader-writer lock.
 pub struct RwLock<T: ?Sized> {
+    #[cfg(feature = "sanitize")]
+    id: sanitizer::LockId,
     inner: std::sync::RwLock<T>,
 }
 
 pub struct RwLockReadGuard<'a, T: ?Sized> {
+    #[cfg(feature = "sanitize")]
+    id: sanitizer::LockId,
     inner: std::sync::RwLockReadGuard<'a, T>,
 }
 
 pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    #[cfg(feature = "sanitize")]
+    id: sanitizer::LockId,
     inner: std::sync::RwLockWriteGuard<'a, T>,
 }
 
 impl<T> RwLock<T> {
     pub fn new(value: T) -> Self {
         Self {
+            #[cfg(feature = "sanitize")]
+            id: sanitizer::register(LockClass::RwLock),
             inner: std::sync::RwLock::new(value),
         }
     }
@@ -133,19 +188,47 @@ impl<T> RwLock<T> {
 
 impl<T: ?Sized> RwLock<T> {
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        #[cfg(feature = "sanitize")]
+        sanitizer::before_acquire(self.id, LockClass::RwLock);
+        let g = self.inner.read().unwrap_or_else(|e| e.into_inner());
+        #[cfg(feature = "sanitize")]
+        sanitizer::after_acquire(self.id, LockClass::RwLock);
         RwLockReadGuard {
-            inner: self.inner.read().unwrap_or_else(|e| e.into_inner()),
+            #[cfg(feature = "sanitize")]
+            id: self.id,
+            inner: g,
         }
     }
 
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        #[cfg(feature = "sanitize")]
+        sanitizer::before_acquire(self.id, LockClass::RwLock);
+        let g = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        #[cfg(feature = "sanitize")]
+        sanitizer::after_acquire(self.id, LockClass::RwLock);
         RwLockWriteGuard {
-            inner: self.inner.write().unwrap_or_else(|e| e.into_inner()),
+            #[cfg(feature = "sanitize")]
+            id: self.id,
+            inner: g,
         }
     }
 
     pub fn get_mut(&mut self) -> &mut T {
         self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(feature = "sanitize")]
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        sanitizer::on_release(self.id);
+    }
+}
+
+#[cfg(feature = "sanitize")]
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        sanitizer::on_release(self.id);
     }
 }
 
