@@ -22,6 +22,9 @@ cargo test -q -p argo-check --features sanitize
 echo "==> cargo build --release"
 cargo build --workspace --release
 
+echo "==> micro_kernels quick perf gate (blocked kernels must not lose to serial)"
+ARGO_BENCH_QUICK=1 cargo bench -q -p argo-bench --bench micro_kernels
+
 echo "==> cargo test -q -p argo-sample"
 cargo test -q -p argo-sample
 

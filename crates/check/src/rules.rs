@@ -34,6 +34,25 @@ const DEPRECATED_CALLS: &[&str] = &[
     ".train_epoch_telemetry(",
 ];
 
+/// Raw serial/pool kernel entry points that model and engine code must not
+/// call directly: serial-vs-parallel selection (and the blocked kernels
+/// behind it) lives in `argo_tensor::DispatchPolicy`, so a direct call
+/// silently bypasses both the auto-tuned pool routing and the cache
+/// blocking.
+const RAW_KERNEL_CALLS: &[&str] = &[
+    ".matmul(",
+    ".matmul_pool(",
+    ".spmm(",
+    ".spmm_pool(",
+    ".spmm_transpose(",
+    ".matmul_transpose_self(",
+    ".matmul_transpose_other(",
+];
+
+/// Crates whose non-test code must route matmul/SpMM through the dispatch
+/// policy rather than the raw kernels.
+const DISPATCH_ONLY_CRATES: &[&str] = &["crates/nn/", "crates/engine/"];
+
 /// How many lines above an `unsafe` token a `SAFETY:` comment may sit.
 /// Generous enough for a multi-line justification, tight enough that the
 /// comment stays adjacent to the block it justifies.
@@ -83,6 +102,7 @@ pub fn check_file(file: &SourceFile, allow: &mut AllowTracker, out: &mut Vec<Dia
         check_no_panic(file, allow, out);
         check_no_instant(file, allow, out);
         check_no_deprecated_telemetry(file, out);
+        check_kernel_dispatch(file, allow, out);
     }
 }
 
@@ -203,6 +223,39 @@ fn check_no_deprecated_telemetry(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// Rule `kernel-dispatch`: model/engine non-test code must go through
+/// `DispatchPolicy` (`gemm`, `aggregate`, `grad_weights`, …) instead of the
+/// raw serial or pool kernels on `Matrix`/`SparseMatrix`.
+fn check_kernel_dispatch(file: &SourceFile, allow: &mut AllowTracker, out: &mut Vec<Diagnostic>) {
+    if !DISPATCH_ONLY_CRATES
+        .iter()
+        .any(|c| file.path.starts_with(c))
+    {
+        return;
+    }
+    for (n, line) in file.numbered() {
+        if line.test {
+            continue;
+        }
+        for needle in RAW_KERNEL_CALLS {
+            if contains_token(&line.code, needle)
+                && !allow.permits("kernel-dispatch", &file.path, &line.raw)
+            {
+                out.push(Diagnostic {
+                    path: file.path.clone(),
+                    line: n,
+                    rule: "kernel-dispatch",
+                    message: format!(
+                        "raw kernel call `{needle}` in model/engine code; route it through \
+                         `argo_tensor::DispatchPolicy` so serial-vs-pool selection stays \
+                         centralized, or add an allowlist entry with a justification"
+                    ),
+                });
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -274,6 +327,32 @@ mod tests {
         assert_eq!(d[0].rule, "no-instant");
         assert!(lint("crates/rt/src/trace.rs", src).is_empty());
         assert!(lint("crates/bench/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_kernel_call_in_model_code_is_flagged() {
+        let d = lint("crates/nn/src/x.rs", "fn f() { let z = x.matmul(&w); }\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "kernel-dispatch");
+        let d = lint(
+            "crates/engine/src/x.rs",
+            "fn f() { let a = adj.spmm_transpose(&g); }\n",
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "kernel-dispatch");
+    }
+
+    #[test]
+    fn raw_kernel_call_outside_scope_or_in_tests_passes() {
+        // The tensor crate itself defines and reference-tests the kernels.
+        assert!(lint("crates/tensor/src/x.rs", "fn f() { x.matmul(&w); }\n").is_empty());
+        // Test modules may call the raw kernels as references.
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { x.matmul_pool(&w, p); }\n}\n";
+        assert!(lint("crates/nn/src/x.rs", src).is_empty());
+        assert!(lint("crates/nn/tests/x.rs", "fn f() { adj.spmm(&h); }\n").is_empty());
+        // Dispatch-policy calls do not match the raw needles.
+        let src = "fn f() { let z = dispatch.gemm(&x, &w, pool); }\n";
+        assert!(lint("crates/nn/src/x.rs", src).is_empty());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 use argo_graph::features::Features;
 use argo_rt::ThreadPool;
 use argo_sample::batch::SampledBatch;
-use argo_tensor::Matrix;
+use argo_tensor::{DispatchPolicy, Matrix};
 
 use crate::gat::Gat;
 use crate::model::{Gnn, GnnKind, StepStats};
@@ -85,6 +85,22 @@ impl AnyModel {
             Arch::Gat { heads } => {
                 AnyModel::Gat(Gat::new(in_dim, hidden, out_dim, num_layers, heads, seed))
             }
+        }
+    }
+
+    /// Replaces the kernel dispatch policy (builder style).
+    pub fn with_dispatch(self, dispatch: DispatchPolicy) -> Self {
+        match self {
+            AnyModel::Gnn(m) => AnyModel::Gnn(m.with_dispatch(dispatch)),
+            AnyModel::Gat(m) => AnyModel::Gat(m.with_dispatch(dispatch)),
+        }
+    }
+
+    /// The kernel dispatch policy in effect.
+    pub fn dispatch(&self) -> DispatchPolicy {
+        match self {
+            AnyModel::Gnn(m) => m.dispatch(),
+            AnyModel::Gat(m) => m.dispatch(),
         }
     }
 

@@ -19,10 +19,10 @@ use argo_graph::features::Features;
 use argo_rt::ThreadPool;
 use argo_sample::batch::SampledBatch;
 use argo_tensor::ops::{
-    accuracy, add_bias, bias_grad, leaky_relu_inplace, relu_backward, relu_inplace,
+    accuracy, add_bias, bias_grad_into, leaky_relu_inplace, relu_backward, relu_inplace,
     softmax_cross_entropy,
 };
-use argo_tensor::{Matrix, SparseMatrix};
+use argo_tensor::{DispatchPolicy, Matrix, SparseMatrix};
 
 use crate::model::StepStats;
 
@@ -90,6 +90,7 @@ struct GatCache {
 /// flat parameter/gradient API as [`crate::Gnn`].
 pub struct Gat {
     layers: Vec<GatLayer>,
+    dispatch: DispatchPolicy,
 }
 
 impl Gat {
@@ -126,7 +127,21 @@ impl Gat {
             ));
             d_in = layers[l].output_dim();
         }
-        Self { layers }
+        Self {
+            layers,
+            dispatch: DispatchPolicy::default(),
+        }
+    }
+
+    /// Replaces the kernel dispatch policy (builder style).
+    pub fn with_dispatch(mut self, dispatch: DispatchPolicy) -> Self {
+        self.dispatch = dispatch;
+        self
+    }
+
+    /// The kernel dispatch policy in effect.
+    pub fn dispatch(&self) -> DispatchPolicy {
+        self.dispatch
     }
 
     /// Number of layers.
@@ -178,10 +193,7 @@ impl Gat {
         pool: Option<&ThreadPool>,
     ) -> (Matrix, GatCache) {
         let layer = &self.layers[l];
-        let z = match pool {
-            Some(p) if p.size() > 1 && x.rows() >= 64 => x.matmul_pool(&layer.w, p),
-            _ => x.matmul(&layer.w),
-        };
+        let z = self.dispatch.gemm(&x, &layer.w, pool);
         let (h, d) = (layer.heads, layer.out_dim);
         let mut out = Matrix::zeros(n_dst, layer.output_dim());
         let mut head_caches = Vec::with_capacity(h);
@@ -213,7 +225,7 @@ impl Gat {
             let deriv = leaky_relu_inplace(&mut logits, ATTN_SLOPE);
             let alpha = adj.with_values(logits).row_softmax();
             // out_head = α @ z_head (attention-weighted aggregation).
-            let agg = alpha.spmm(&zc);
+            let agg = self.dispatch.aggregate(&alpha, &zc, pool);
             if layer.concat {
                 copy_into_cols(&mut out, &agg, head * d);
             } else {
@@ -317,7 +329,7 @@ impl Gat {
             if let Some(mask) = &cache.relu_mask {
                 relu_backward(&mut grad, mask);
             }
-            grad = self.layer_backward(l, cache, grad);
+            grad = self.layer_backward(l, cache, grad, pool);
         }
         StepStats {
             loss,
@@ -327,11 +339,17 @@ impl Gat {
     }
 
     /// Backward of one layer: consumes d(output) and produces d(input).
-    fn layer_backward(&mut self, l: usize, cache: &GatCache, dout: Matrix) -> Matrix {
+    fn layer_backward(
+        &mut self,
+        l: usize,
+        cache: &GatCache,
+        dout: Matrix,
+        pool: Option<&ThreadPool>,
+    ) -> Matrix {
         let (h, d) = (self.layers[l].heads, self.layers[l].out_dim);
         let n_dst = dout.rows();
         let concat = self.layers[l].concat;
-        self.layers[l].db = bias_grad(&dout);
+        bias_grad_into(&dout, &mut self.layers[l].db);
         let mut dz = Matrix::zeros(cache.z.rows(), cache.z.cols());
         for head in 0..h {
             let (alpha, deriv) = &cache.heads[head];
@@ -344,8 +362,8 @@ impl Gat {
                 m.scale(1.0 / h as f32);
                 m
             };
-            // dz from the aggregation: αᵀ dh.
-            let dz_head = alpha.spmm_transpose(&dh);
+            // dz from the aggregation: αᵀ dh (CSC gather).
+            let dz_head = self.dispatch.aggregate_transpose(alpha, &dh, pool);
             // dα_k = dh_i · z_j per edge (SDDMM).
             let dalpha = alpha.sddmm(&dh, &zc);
             // Softmax and LeakyReLU backward to edge logits.
@@ -393,8 +411,11 @@ impl Gat {
             self.layers[l].dar.row_mut(head).copy_from_slice(&dar);
         }
         // Through the projection: dW = xᵀ dz, dx = dz Wᵀ.
-        self.layers[l].dw = cache.x.matmul_transpose_self(&dz);
-        dz.matmul_transpose_other(&self.layers[l].w)
+        let dispatch = self.dispatch;
+        let rows = cache.x.rows();
+        dispatch.grad_weights_into(&cache.x, 0..rows, &dz, pool, &mut self.layers[l].dw, 0);
+        let w = &self.layers[l].w;
+        dispatch.grad_input(&dz, w, 0..w.rows(), pool)
     }
 
     /// Flattens parameters (layer order: W, aₗ, aᵣ, b).
@@ -646,6 +667,30 @@ mod tests {
     #[test]
     fn backward_matches_finite_difference_shadow_2heads() {
         fd_check(true, 2);
+    }
+
+    #[test]
+    fn pool_and_serial_backward_agree() {
+        use argo_rt::ThreadPool;
+        let d = tiny();
+        let b = blocks(&d, 48);
+        let mk = || {
+            Gat::new(d.feat_dim(), 8, d.num_classes, 2, 2, 11)
+                .with_dispatch(argo_tensor::DispatchPolicy::new(1))
+        };
+        let mut serial = mk();
+        serial.train_step(&b, &d.features, &d.labels, None);
+        let mut gs = Vec::new();
+        serial.grads_flat(&mut gs);
+        let pool = ThreadPool::new("t", 4);
+        let mut pooled = mk();
+        pooled.train_step(&b, &d.features, &d.labels, Some(&pool));
+        let mut gp = Vec::new();
+        pooled.grads_flat(&mut gp);
+        assert_eq!(gs.len(), gp.len());
+        for (i, (a, b)) in gs.iter().zip(&gp).enumerate() {
+            assert!((a - b).abs() <= 1e-4, "grad {i}: serial {a} vs pooled {b}");
+        }
     }
 
     #[test]

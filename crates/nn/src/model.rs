@@ -1,12 +1,21 @@
 //! GCN / GraphSAGE models with manual forward and backward passes.
+//!
+//! Every matmul/SpMM goes through the crate-wide
+//! [`DispatchPolicy`](argo_tensor::DispatchPolicy) (blocked kernels, serial
+//! vs pool-parallel decided in one place), bias+ReLU are fused into the
+//! GEMM write-back, GraphSAGE's `[h ‖ agg]` concatenation is eliminated by
+//! multiplying against the self/neighbor halves of the stacked weight, and
+//! activations/gradient buffers round-trip through a per-model
+//! [`Workspace`](argo_tensor::Workspace) so steady-state training steps
+//! allocate (almost) nothing.
+
+use std::cell::RefCell;
 
 use argo_graph::features::Features;
 use argo_rt::ThreadPool;
 use argo_sample::batch::SampledBatch;
-use argo_tensor::ops::{
-    accuracy, add_bias, bias_grad, relu_backward, relu_inplace, softmax_cross_entropy,
-};
-use argo_tensor::{Matrix, SparseMatrix};
+use argo_tensor::ops::{accuracy, bias_grad_into, relu_backward, softmax_cross_entropy};
+use argo_tensor::{DispatchPolicy, Epilogue, Matrix, SparseMatrix, Workspace};
 
 /// Which aggregation rule a model uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -69,6 +78,10 @@ pub struct Gnn {
     kind: GnnKind,
     layers: Vec<Layer>,
     dims: Vec<usize>, // layer input/output dims: [in, hidden, ..., out]
+    dispatch: DispatchPolicy,
+    // Interior mutability so `forward` (&self) can recycle buffers too;
+    // a model is only ever driven from one thread at a time.
+    ws: RefCell<Workspace>,
 }
 
 impl Gnn {
@@ -98,7 +111,31 @@ impl Gnn {
                 Layer::new(fan_in, dims[l + 1], seed.wrapping_add(l as u64 * 7919))
             })
             .collect();
-        Self { kind, layers, dims }
+        Self {
+            kind,
+            layers,
+            dims,
+            dispatch: DispatchPolicy::default(),
+            ws: RefCell::new(Workspace::new()),
+        }
+    }
+
+    /// Replaces the kernel dispatch policy (builder-style).
+    pub fn with_dispatch(mut self, dispatch: DispatchPolicy) -> Self {
+        self.dispatch = dispatch;
+        self
+    }
+
+    /// The active kernel dispatch policy.
+    pub fn dispatch(&self) -> DispatchPolicy {
+        self.dispatch
+    }
+
+    /// Workspace arena counters `(fresh allocations, reuses)` — observability
+    /// for the cross-batch buffer recycling.
+    pub fn workspace_stats(&self) -> (usize, usize) {
+        let ws = self.ws.borrow();
+        (ws.allocs(), ws.reuses())
     }
 
     /// Model kind.
@@ -143,6 +180,10 @@ impl Gnn {
                     GnnKind::Gcn => sb.gcn_normalized(),
                     GnnKind::Sage => sb.mean_normalized(),
                 };
+                // Build the CSC mirror before cloning so every layer (and
+                // the backward pass) shares one mirror instead of each
+                // clone rebuilding it lazily.
+                norm.csc();
                 (0..self.layers.len())
                     .map(|_| LayerAdj {
                         norm: norm.clone(),
@@ -153,12 +194,16 @@ impl Gnn {
         }
     }
 
-    /// Layer forward: returns `(output, pre-activation cache)`.
+    /// Layer forward: returns `(output, aggregation cache, relu mask)`.
     ///
     /// * GCN: `z = (Â h) W + b`
-    /// * SAGE: `z = [h_self ‖ mean(h)] W + b`
+    /// * SAGE: `z = h_self W_self + mean(h) W_neigh + b` — the fused form
+    ///   of `[h_self ‖ mean(h)] W + b` with `W = [W_self; W_neigh]`
+    ///   stacked; the concatenation is never materialized.
     ///
-    /// ReLU is applied when `relu` is true (all layers except the last).
+    /// Bias (and ReLU when `relu` is true — all layers except the last) are
+    /// fused into the GEMM write-back. Output and aggregation buffers come
+    /// from the model's workspace arena.
     fn layer_forward(
         &self,
         l: usize,
@@ -167,23 +212,27 @@ impl Gnn {
         relu: bool,
         pool: Option<&ThreadPool>,
     ) -> (Matrix, Matrix, Option<Vec<bool>>) {
-        let agg = spmm(&adj.norm, h, pool);
-        let cat = match self.kind {
-            GnnKind::Gcn => agg,
-            GnnKind::Sage => {
-                // Self rows are the first n_dst rows of the layer input.
-                let self_rows = take_rows(h, adj.n_dst);
-                self_rows.concat_cols(&agg)
-            }
+        let layer = &self.layers[l];
+        let (mut agg, mut z) = {
+            let mut ws = self.ws.borrow_mut();
+            (
+                ws.take(adj.norm.rows(), h.cols()),
+                ws.take(adj.n_dst, layer.w.cols()),
+            )
         };
-        let mut z = matmul(&cat, &self.layers[l].w, pool);
-        add_bias(&mut z, &self.layers[l].b);
-        let mask = if relu {
-            Some(relu_inplace(&mut z))
+        self.dispatch.aggregate_into(&adj.norm, h, pool, &mut agg);
+        let epi = if relu {
+            Epilogue::bias_relu(&layer.b)
         } else {
-            None
+            Epilogue::bias(&layer.b)
         };
-        (z, cat, mask)
+        let mask = match self.kind {
+            GnnKind::Gcn => self.dispatch.gemm_into(&agg, &layer.w, epi, pool, &mut z),
+            GnnKind::Sage => self
+                .dispatch
+                .sage_gemm_into(h, &agg, &layer.w, epi, pool, &mut z),
+        };
+        (z, agg, mask)
     }
 
     /// Inference forward pass; returns logits over the batch's seeds.
@@ -210,12 +259,18 @@ impl Gnn {
         let mut h = input;
         for (l, adj) in adjs.iter().enumerate() {
             let relu = l + 1 < self.layers.len();
-            let (z, _, _) = self.layer_forward(l, adj, &h, relu, pool);
-            h = z;
+            let (z, agg, _) = self.layer_forward(l, adj, &h, relu, pool);
+            let mut ws = self.ws.borrow_mut();
+            ws.put(agg);
+            ws.put(std::mem::replace(&mut h, z));
         }
         match batch {
             SampledBatch::Blocks(_) => h,
-            SampledBatch::Subgraph(sb) => select_rows(&h, &sb.seed_positions),
+            SampledBatch::Subgraph(sb) => {
+                let logits = select_rows(&h, &sb.seed_positions);
+                self.ws.borrow_mut().put(h);
+                logits
+            }
         }
     }
 
@@ -244,59 +299,127 @@ impl Gnn {
         pool: Option<&ThreadPool>,
     ) -> StepStats {
         let adjs = self.layer_adjs(batch);
-        // Forward, caching per-layer inputs, concats and masks.
+        // Forward, caching per-layer inputs, aggregations and masks.
         let mut h = input;
         let mut caches: Vec<(Matrix, Matrix, Option<Vec<bool>>)> =
             Vec::with_capacity(self.layers.len());
         for (l, adj) in adjs.iter().enumerate() {
             let relu = l + 1 < self.layers.len();
-            let (z, cat, mask) = self.layer_forward(l, adj, &h, relu, pool);
-            caches.push((std::mem::replace(&mut h, z), cat, mask));
+            let (z, agg, mask) = self.layer_forward(l, adj, &h, relu, pool);
+            caches.push((std::mem::replace(&mut h, z), agg, mask));
         }
         // Loss over seeds.
         let seeds = batch.seeds();
         let seed_labels: Vec<u32> = seeds.iter().map(|&v| labels[v as usize]).collect();
-        let logits = match batch {
-            SampledBatch::Blocks(_) => h.clone(),
-            SampledBatch::Subgraph(sb) => select_rows(&h, &sb.seed_positions),
+        let (loss, acc, mut grad) = match batch {
+            SampledBatch::Blocks(_) => {
+                let (loss, dlogits) = softmax_cross_entropy(&h, &seed_labels);
+                (loss, accuracy(&h, &seed_labels), dlogits)
+            }
+            SampledBatch::Subgraph(sb) => {
+                let logits = select_rows(&h, &sb.seed_positions);
+                let (loss, dlogits) = softmax_cross_entropy(&logits, &seed_labels);
+                // Scatter the loss gradient back to the full output rows.
+                let grad = scatter_rows(&dlogits, &sb.seed_positions, h.rows());
+                (loss, accuracy(&logits, &seed_labels), grad)
+            }
         };
-        let (loss, dlogits) = softmax_cross_entropy(&logits, &seed_labels);
-        let acc = accuracy(&logits, &seed_labels);
-        // Scatter loss gradient back to the full output rows.
-        let mut grad = match batch {
-            SampledBatch::Blocks(_) => dlogits,
-            SampledBatch::Subgraph(sb) => scatter_rows(&dlogits, &sb.seed_positions, h.rows()),
-        };
-        // Backward through the layers.
+        // Backward through the layers. Weight/bias gradients are written in
+        // place into the model's persistent `dw`/`db` buffers; intermediate
+        // gradient matrices cycle through the workspace.
+        let dispatch = self.dispatch;
         for l in (0..self.layers.len()).rev() {
-            let (layer_input, cat, mask) = &caches[l];
+            let (layer_input, agg, mask) = &caches[l];
             if let Some(m) = mask {
                 relu_backward(&mut grad, m);
             }
-            let dw = cat.matmul_transpose_self(&grad);
-            let db = bias_grad(&grad);
-            let dcat = grad.matmul_transpose_other(&self.layers[l].w);
-            self.layers[l].dw = dw;
-            self.layers[l].db = db;
+            let n_dst = adjs[l].n_dst;
+            bias_grad_into(&grad, &mut self.layers[l].db);
+            match self.kind {
+                GnnKind::Gcn => {
+                    // dW = aggᵀ grad (agg is the layer's GEMM input).
+                    dispatch.grad_weights_into(
+                        agg,
+                        0..n_dst,
+                        &grad,
+                        pool,
+                        &mut self.layers[l].dw,
+                        0,
+                    );
+                }
+                GnnKind::Sage => {
+                    // Stacked halves of dW, no concatenation: the top f_in
+                    // rows reduce against the self features, the bottom
+                    // against the aggregation.
+                    let f_in = self.dims[l];
+                    dispatch.grad_weights_into(
+                        layer_input,
+                        0..n_dst,
+                        &grad,
+                        pool,
+                        &mut self.layers[l].dw,
+                        0,
+                    );
+                    dispatch.grad_weights_into(
+                        agg,
+                        0..n_dst,
+                        &grad,
+                        pool,
+                        &mut self.layers[l].dw,
+                        f_in,
+                    );
+                }
+            }
             if l == 0 {
                 break; // input features get no gradient
             }
             let adj = &adjs[l];
+            let w = &self.layers[l].w;
             grad = match self.kind {
-                GnnKind::Gcn => adj.norm.spmm_transpose(&dcat),
+                GnnKind::Gcn => {
+                    let dagg = dispatch.grad_input(&grad, w, 0..w.rows(), pool);
+                    let mut ws = self.ws.borrow_mut();
+                    let mut dh = ws.take(adj.norm.cols(), dagg.cols());
+                    drop(ws);
+                    dispatch.aggregate_transpose_into(&adj.norm, &dagg, pool, &mut dh);
+                    let mut ws = self.ws.borrow_mut();
+                    ws.put(dagg);
+                    ws.put(std::mem::replace(&mut grad, Matrix::zeros(0, 0)));
+                    dh
+                }
                 GnnKind::Sage => {
-                    let f_in = layer_input.cols();
-                    let (dself, dmean) = dcat.split_cols(f_in);
-                    let mut dh = adj.norm.spmm_transpose(&dmean);
+                    // Pull d_self / d_neigh out of the stacked weight by row
+                    // window instead of splitting a concatenated gradient.
+                    let f_in = self.dims[l];
+                    let dself = dispatch.grad_input(&grad, w, 0..f_in, pool);
+                    let dmean = dispatch.grad_input(&grad, w, f_in..2 * f_in, pool);
+                    let mut ws = self.ws.borrow_mut();
+                    let mut dh = ws.take(adj.norm.cols(), f_in);
+                    drop(ws);
+                    dispatch.aggregate_transpose_into(&adj.norm, &dmean, pool, &mut dh);
                     // Self-path gradient lands on the first n_dst src rows.
                     for r in 0..adj.n_dst {
                         for (a, b) in dh.row_mut(r).iter_mut().zip(dself.row(r)) {
                             *a += b;
                         }
                     }
+                    let mut ws = self.ws.borrow_mut();
+                    ws.put(dself);
+                    ws.put(dmean);
+                    ws.put(std::mem::replace(&mut grad, Matrix::zeros(0, 0)));
                     dh
                 }
             };
+        }
+        // Recycle every per-step buffer for the next batch.
+        {
+            let mut ws = self.ws.borrow_mut();
+            for (layer_input, agg, _) in caches {
+                ws.put(layer_input);
+                ws.put(agg);
+            }
+            ws.put(h);
+            ws.put(grad);
         }
         StepStats {
             loss,
@@ -358,31 +481,9 @@ impl Gnn {
     }
 }
 
-fn spmm(a: &SparseMatrix, h: &Matrix, pool: Option<&ThreadPool>) -> Matrix {
-    match pool {
-        Some(p) if p.size() > 1 && a.rows() >= 64 => a.spmm_pool(h, p),
-        _ => a.spmm(h),
-    }
-}
-
-fn matmul(a: &Matrix, b: &Matrix, pool: Option<&ThreadPool>) -> Matrix {
-    match pool {
-        Some(p) if p.size() > 1 && a.rows() >= 64 => a.matmul_pool(b, p),
-        _ => a.matmul(b),
-    }
-}
-
 fn gather_features(feats: &Features, ids: &[u32]) -> Matrix {
     let g = feats.gather(ids);
     Matrix::from_vec(ids.len(), feats.dim(), g.data().to_vec())
-}
-
-fn take_rows(m: &Matrix, n: usize) -> Matrix {
-    let mut out = Matrix::zeros(n, m.cols());
-    for r in 0..n {
-        out.row_mut(r).copy_from_slice(m.row(r));
-    }
-    out
 }
 
 fn select_rows(m: &Matrix, rows: &[usize]) -> Matrix {
@@ -557,6 +658,77 @@ mod tests {
         for (x, y) in a.data().iter().zip(b.data()) {
             assert!((x - y).abs() < 1e-5);
         }
+    }
+
+    /// The pool-parallel backward (per-worker partial dW reduction, CSC
+    /// gather, parallel input-grad GEMMs) must agree with the serial
+    /// backward to accumulation-order tolerance.
+    fn backward_agree(kind: GnnKind, use_shadow: bool) {
+        let d = tiny_dataset();
+        let batch = if use_shadow {
+            let s = ShadowSampler::new(vec![4, 3], 2);
+            let seeds: Vec<u32> = d.train_nodes.iter().copied().take(48).collect();
+            s.sample(&d.graph, &seeds, &mut SmallRng::seed_from_u64(17))
+        } else {
+            sample_blocks(&d, 64, 2)
+        };
+        // Threshold 1 forces every kernel onto the pool, including the
+        // small inner layers a 64-row default would leave serial.
+        let mk = || {
+            Gnn::new(kind, d.feat_dim(), 16, d.num_classes, 2, 6)
+                .with_dispatch(argo_tensor::DispatchPolicy::new(1))
+        };
+        let mut serial = mk();
+        serial.train_step(&batch, &d.features, &d.labels, None);
+        let mut gs = Vec::new();
+        serial.grads_flat(&mut gs);
+        let pool = ThreadPool::new("t", 4);
+        let mut pooled = mk();
+        pooled.train_step(&batch, &d.features, &d.labels, Some(&pool));
+        let mut gp = Vec::new();
+        pooled.grads_flat(&mut gp);
+        assert_eq!(gs.len(), gp.len());
+        for (i, (a, b)) in gs.iter().zip(&gp).enumerate() {
+            assert!(
+                (a - b).abs() <= 1e-4,
+                "{kind:?} shadow={use_shadow} grad {i}: serial {a} vs pooled {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn pool_and_serial_backward_agree_gcn() {
+        backward_agree(GnnKind::Gcn, false);
+    }
+
+    #[test]
+    fn pool_and_serial_backward_agree_sage() {
+        backward_agree(GnnKind::Sage, false);
+    }
+
+    #[test]
+    fn pool_and_serial_backward_agree_sage_shadow() {
+        backward_agree(GnnKind::Sage, true);
+    }
+
+    #[test]
+    fn workspace_recycles_buffers_across_steps() {
+        let d = tiny_dataset();
+        let batch = sample_blocks(&d, 16, 2);
+        let mut m = Gnn::new(GnnKind::Sage, d.feat_dim(), 16, d.num_classes, 2, 3);
+        m.train_step(&batch, &d.features, &d.labels, None);
+        let (allocs_first, _) = m.workspace_stats();
+        assert!(allocs_first > 0, "first step should allocate");
+        m.train_step(&batch, &d.features, &d.labels, None);
+        let (allocs_second, reuses) = m.workspace_stats();
+        assert!(
+            reuses >= allocs_first,
+            "second step should reuse first-step buffers: {reuses} reuses, {allocs_first} first-step allocs"
+        );
+        assert_eq!(
+            allocs_second, allocs_first,
+            "steady state should allocate nothing new"
+        );
     }
 
     #[test]

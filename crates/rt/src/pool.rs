@@ -199,6 +199,52 @@ impl ThreadPool {
         });
     }
 
+    /// Maps `map` over a partition of `0..n` into contiguous ranges (the
+    /// same partition [`ThreadPool::parallel_ranges`] hands out) and folds
+    /// the per-range results with `reduce` **on the calling thread, in
+    /// ascending range order**. Returns `None` when `n == 0`.
+    ///
+    /// Workers only ever write their own result slot; the fold order depends
+    /// solely on `n` and the pool size, never on thread scheduling — so for
+    /// deterministic `map` the result is deterministic even when `reduce` is
+    /// not associative/commutative (e.g. float accumulation). This is the
+    /// primitive behind the pool-parallel `dW = Xᵀ dY` reduction in
+    /// `argo-tensor`, where each worker produces a partial gradient over its
+    /// row range.
+    pub fn parallel_map_reduce<T, M, R>(&self, n: usize, map: M, mut reduce: R) -> Option<T>
+    where
+        T: Send,
+        M: Fn(std::ops::Range<usize>) -> T + Sync,
+        R: FnMut(T, T) -> T,
+    {
+        if n == 0 {
+            return None;
+        }
+        let tasks = self.size.min(n);
+        if tasks == 1 {
+            return Some(map(0..n));
+        }
+        // `parallel_ranges` partitions 0..n with exactly this chunk size, so
+        // `range.start / chunk` recovers a stable per-range slot index.
+        let chunk = n.div_ceil(tasks);
+        let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..tasks).map(|_| None).collect());
+        self.parallel_ranges(n, |range| {
+            let idx = range.start / chunk;
+            let value = map(range);
+            slots.lock()[idx] = Some(value);
+        });
+        let mut acc: Option<T> = None;
+        for slot in slots.into_inner() {
+            // Trailing empty ranges never ran `map`; their slots stay None.
+            let Some(v) = slot else { continue };
+            acc = Some(match acc {
+                Some(a) => reduce(a, v),
+                None => v,
+            });
+        }
+        acc
+    }
+
     /// Maps `f` over `0..n` in parallel and sums the results.
     pub fn parallel_sum<F>(&self, n: usize, f: F) -> f64
     where
@@ -277,6 +323,62 @@ mod tests {
         });
         let expect: Vec<usize> = (0..64).collect();
         assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn parallel_map_reduce_sums_match_serial() {
+        let pool = ThreadPool::new("t", 4);
+        let got =
+            pool.parallel_map_reduce(1000, |r| r.map(|i| i as u64).sum::<u64>(), |a, b| a + b);
+        assert_eq!(got, Some((0..1000u64).sum()));
+    }
+
+    #[test]
+    fn parallel_map_reduce_empty_is_none() {
+        let pool = ThreadPool::new("t", 3);
+        let got = pool.parallel_map_reduce(0, |_| 1u32, |a, b| a + b);
+        assert_eq!(got, None);
+    }
+
+    #[test]
+    fn parallel_map_reduce_folds_in_range_order() {
+        // The fold must see partials in ascending range order regardless of
+        // which worker finishes first: reduce with a non-commutative op
+        // (sequence concatenation) and check the result is sorted.
+        let pool = ThreadPool::new("t", 4);
+        for n in [1usize, 2, 7, 64, 137] {
+            let got = pool
+                .parallel_map_reduce(
+                    n,
+                    |r| r.collect::<Vec<usize>>(),
+                    |mut a, b| {
+                        a.extend(b);
+                        a
+                    },
+                )
+                .expect("n > 0");
+            let expect: Vec<usize> = (0..n).collect();
+            assert_eq!(got, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn parallel_map_reduce_float_accumulation_is_deterministic() {
+        // Same pool size + same n → identical bits across repeated runs,
+        // even though f32 addition is not associative.
+        let pool = ThreadPool::new("t", 4);
+        let run = || {
+            pool.parallel_map_reduce(
+                10_000,
+                |r| r.map(|i| (i as f32).sin()).sum::<f32>(),
+                |a, b| a + b,
+            )
+            .expect("n > 0")
+        };
+        let first = run();
+        for _ in 0..5 {
+            assert_eq!(first.to_bits(), run().to_bits());
+        }
     }
 
     #[test]

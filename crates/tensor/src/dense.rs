@@ -58,6 +58,12 @@ impl Matrix {
         &mut self.data
     }
 
+    /// Consumes the matrix, returning its backing storage (so a
+    /// [`crate::workspace::Workspace`] can recycle the allocation).
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
     /// Row `r` as a slice.
     pub fn row(&self, r: usize) -> &[f32] {
         &self.data[r * self.cols..(r + 1) * self.cols]

@@ -1,0 +1,628 @@
+//! The kernel dispatch policy: one place that decides serial vs
+//! pool-parallel and routes every model-side matmul/SpMM through the
+//! blocked kernels.
+//!
+//! Before this module, `nn/model.rs` carried a hard-coded
+//! `a.rows() >= 64 && pool.size() > 1` heuristic copy-pasted across private
+//! helpers. [`DispatchPolicy`] hoists that decision behind a tunable row
+//! threshold and exposes the *semantic* operations a GNN layer needs —
+//! `gemm`, `aggregate`, `grad_weights`, … — so callers in `nn`/`engine`
+//! never touch the raw serial kernels (enforced by the `kernel-dispatch`
+//! argo-lint rule).
+//!
+//! Parallelization strategies per operation:
+//!
+//! * forward GEMM / SpMM / input gradients — partition **output rows**
+//!   across workers; each worker writes a disjoint row window.
+//! * transposed SpMM — gather over the cached [`crate::sparse::CscMirror`]
+//!   (output rows again disjoint).
+//! * weight gradients (`dW = Xᵀ dY`, a reduction over rows) — per-worker
+//!   partial accumulators folded **in range order** on the caller via
+//!   [`ThreadPool::parallel_map_reduce`], so results are deterministic for
+//!   a fixed pool size.
+
+use std::ops::Range;
+
+use argo_rt::ThreadPool;
+
+use crate::dense::Matrix;
+use crate::kernels;
+use crate::sparse::SparseMatrix;
+
+/// Default minimum number of rows before a kernel goes pool-parallel —
+/// below this the fork/join overhead outweighs the work.
+pub const DEFAULT_ROW_THRESHOLD: usize = 64;
+
+/// What a GEMM does to its output as it is written back: nothing, a bias
+/// add, or bias + ReLU (recording the activation mask for backward).
+#[derive(Clone, Copy, Debug)]
+pub struct Epilogue<'a> {
+    bias: Option<&'a [f32]>,
+    relu: bool,
+}
+
+impl<'a> Epilogue<'a> {
+    /// Plain GEMM write-back.
+    pub fn none() -> Epilogue<'static> {
+        Epilogue {
+            bias: None,
+            relu: false,
+        }
+    }
+
+    /// Adds `bias` to every output row.
+    pub fn bias(bias: &'a [f32]) -> Self {
+        Epilogue {
+            bias: Some(bias),
+            relu: false,
+        }
+    }
+
+    /// Adds `bias`, then clamps negatives, recording the activation mask.
+    pub fn bias_relu(bias: &'a [f32]) -> Self {
+        Epilogue {
+            bias: Some(bias),
+            relu: true,
+        }
+    }
+
+    /// Whether this epilogue produces an activation mask.
+    pub fn has_mask(&self) -> bool {
+        self.relu
+    }
+}
+
+/// Serial-vs-parallel dispatch for the training kernels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DispatchPolicy {
+    row_threshold: usize,
+}
+
+impl Default for DispatchPolicy {
+    fn default() -> Self {
+        Self::new(DEFAULT_ROW_THRESHOLD)
+    }
+}
+
+impl DispatchPolicy {
+    /// A policy that parallelizes once an operation spans at least
+    /// `row_threshold` rows (clamped to ≥ 1) *and* a multi-worker pool is
+    /// available.
+    pub fn new(row_threshold: usize) -> Self {
+        Self {
+            row_threshold: row_threshold.max(1),
+        }
+    }
+
+    /// The configured row threshold.
+    pub fn row_threshold(&self) -> usize {
+        self.row_threshold
+    }
+
+    /// Whether an operation over `rows` rows runs on the pool. This is the
+    /// single copy of the heuristic previously duplicated in `nn/model.rs`.
+    pub fn goes_parallel(&self, rows: usize, pool: Option<&ThreadPool>) -> bool {
+        self.pool_for(rows, pool).is_some()
+    }
+
+    fn pool_for<'p>(&self, rows: usize, pool: Option<&'p ThreadPool>) -> Option<&'p ThreadPool> {
+        pool.filter(|p| p.size() > 1 && rows >= self.row_threshold)
+    }
+
+    /// Blocked GEMM `a @ b`, no epilogue.
+    pub fn gemm(&self, a: &Matrix, b: &Matrix, pool: Option<&ThreadPool>) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        self.gemm_into(a, b, Epilogue::none(), pool, &mut out);
+        out
+    }
+
+    /// Blocked GEMM `out = a @ b` with the epilogue fused into each
+    /// worker's write-back. Returns the ReLU activation mask when the
+    /// epilogue has one.
+    pub fn gemm_into(
+        &self,
+        a: &Matrix,
+        b: &Matrix,
+        epi: Epilogue<'_>,
+        pool: Option<&ThreadPool>,
+        out: &mut Matrix,
+    ) -> Option<Vec<bool>> {
+        assert_eq!(a.cols(), b.rows(), "gemm shape mismatch");
+        assert_eq!((out.rows(), out.cols()), (a.rows(), b.cols()), "gemm out");
+        let m = a.rows();
+        let n = b.cols();
+        let mut mask = if epi.relu {
+            vec![false; m * n]
+        } else {
+            Vec::new()
+        };
+        match self.pool_for(m, pool) {
+            Some(p) => {
+                let out_ptr = out.data_mut().as_mut_ptr() as usize;
+                let mask_ptr = mask.as_mut_ptr() as usize;
+                p.parallel_ranges(m, |range| {
+                    // SAFETY: ranges partition 0..m, so each worker writes a
+                    // disjoint row window of `out`; the pool call blocks
+                    // until every worker finishes.
+                    let dst = unsafe {
+                        std::slice::from_raw_parts_mut(
+                            (out_ptr as *mut f32).add(range.start * n),
+                            range.len() * n,
+                        )
+                    };
+                    kernels::gemm_into(a, range.clone(), b, 0, dst, false);
+                    if let Some(bias) = epi.bias {
+                        let mrow = if epi.relu {
+                            // SAFETY: same disjoint row window as `dst`.
+                            Some(unsafe {
+                                std::slice::from_raw_parts_mut(
+                                    (mask_ptr as *mut bool).add(range.start * n),
+                                    range.len() * n,
+                                )
+                            })
+                        } else {
+                            None
+                        };
+                        kernels::epilogue_bias_relu(dst, bias, epi.relu, mrow);
+                    }
+                });
+            }
+            None => {
+                kernels::gemm_into(a, 0..m, b, 0, out.data_mut(), false);
+                if let Some(bias) = epi.bias {
+                    kernels::epilogue_bias_relu(
+                        out.data_mut(),
+                        bias,
+                        epi.relu,
+                        epi.relu.then_some(mask.as_mut_slice()),
+                    );
+                }
+            }
+        }
+        epi.relu.then_some(mask)
+    }
+
+    /// Fused GraphSAGE GEMM: `out = h[0..n_dst] @ w[0..f] + agg @ w[f..2f]`
+    /// plus the epilogue — the `[h ‖ agg]` concatenation is never built.
+    /// `w` stores `W_self` stacked above `W_neigh` (`2f × o`), `agg` is
+    /// `n_dst × f`, and `h` supplies self features in its first `n_dst`
+    /// rows. Returns the ReLU mask when the epilogue has one.
+    pub fn sage_gemm_into(
+        &self,
+        h: &Matrix,
+        agg: &Matrix,
+        w: &Matrix,
+        epi: Epilogue<'_>,
+        pool: Option<&ThreadPool>,
+        out: &mut Matrix,
+    ) -> Option<Vec<bool>> {
+        let f = h.cols();
+        let n_dst = agg.rows();
+        assert_eq!(agg.cols(), f, "sage_gemm agg width");
+        assert_eq!(w.rows(), 2 * f, "sage_gemm weight rows");
+        assert!(h.rows() >= n_dst, "sage_gemm h rows");
+        assert_eq!((out.rows(), out.cols()), (n_dst, w.cols()), "sage out");
+        let n = w.cols();
+        let mut mask = if epi.relu {
+            vec![false; n_dst * n]
+        } else {
+            Vec::new()
+        };
+        let run_range = |range: Range<usize>, dst: &mut [f32], mrow: Option<&mut [bool]>| {
+            kernels::gemm_into(h, range.clone(), w, 0, dst, false);
+            kernels::gemm_into(agg, range, w, f, dst, true);
+            if let Some(bias) = epi.bias {
+                kernels::epilogue_bias_relu(dst, bias, epi.relu, mrow);
+            }
+        };
+        match self.pool_for(n_dst, pool) {
+            Some(p) => {
+                let out_ptr = out.data_mut().as_mut_ptr() as usize;
+                let mask_ptr = mask.as_mut_ptr() as usize;
+                p.parallel_ranges(n_dst, |range| {
+                    // SAFETY: disjoint output-row windows per worker; the
+                    // pool call blocks until every worker finishes.
+                    let dst = unsafe {
+                        std::slice::from_raw_parts_mut(
+                            (out_ptr as *mut f32).add(range.start * n),
+                            range.len() * n,
+                        )
+                    };
+                    let mrow = if epi.relu {
+                        // SAFETY: same disjoint row window as `dst`.
+                        Some(unsafe {
+                            std::slice::from_raw_parts_mut(
+                                (mask_ptr as *mut bool).add(range.start * n),
+                                range.len() * n,
+                            )
+                        })
+                    } else {
+                        None
+                    };
+                    run_range(range, dst, mrow);
+                });
+            }
+            None => run_range(
+                0..n_dst,
+                out.data_mut(),
+                if mask.is_empty() {
+                    None
+                } else {
+                    Some(&mut mask)
+                },
+            ),
+        }
+        epi.relu.then_some(mask)
+    }
+
+    /// Feature aggregation `adj @ h` (SpMM).
+    pub fn aggregate(&self, adj: &SparseMatrix, h: &Matrix, pool: Option<&ThreadPool>) -> Matrix {
+        let mut out = Matrix::zeros(adj.rows(), h.cols());
+        self.aggregate_into(adj, h, pool, &mut out);
+        out
+    }
+
+    /// [`DispatchPolicy::aggregate`] into a caller-provided matrix.
+    pub fn aggregate_into(
+        &self,
+        adj: &SparseMatrix,
+        h: &Matrix,
+        pool: Option<&ThreadPool>,
+        out: &mut Matrix,
+    ) {
+        match self.pool_for(adj.rows(), pool) {
+            Some(p) => adj.spmm_pool_into(h, p, out),
+            None => adj.spmm_into(h, out),
+        }
+    }
+
+    /// Backward of aggregation: `adjᵀ @ grad`, as a CSC gather (builds and
+    /// caches the mirror on first use).
+    pub fn aggregate_transpose(
+        &self,
+        adj: &SparseMatrix,
+        grad: &Matrix,
+        pool: Option<&ThreadPool>,
+    ) -> Matrix {
+        let mut out = Matrix::zeros(adj.cols(), grad.cols());
+        self.aggregate_transpose_into(adj, grad, pool, &mut out);
+        out
+    }
+
+    /// [`DispatchPolicy::aggregate_transpose`] into a caller-provided
+    /// matrix.
+    pub fn aggregate_transpose_into(
+        &self,
+        adj: &SparseMatrix,
+        grad: &Matrix,
+        pool: Option<&ThreadPool>,
+        out: &mut Matrix,
+    ) {
+        // Output rows = adj columns, so that is the parallel dimension.
+        match self.pool_for(adj.cols(), pool) {
+            Some(p) => adj.spmm_transpose_csc_pool_into(grad, p, out),
+            None => adj.spmm_transpose_csc_into(grad, out),
+        }
+    }
+
+    /// Weight gradient `dst[dst_row_offset..][..] = x[x_rows]ᵀ @ grad` —
+    /// the reduction-over-rows GEMM of the backward pass. The row offset
+    /// lets fused GraphSAGE write the `W_self` and `W_neigh` halves of one
+    /// stacked gradient without concatenating inputs.
+    ///
+    /// Parallelized with per-worker partial accumulators reduced in range
+    /// order (deterministic for a fixed pool size, tolerance-level equal to
+    /// serial).
+    pub fn grad_weights_into(
+        &self,
+        x: &Matrix,
+        x_rows: Range<usize>,
+        grad: &Matrix,
+        pool: Option<&ThreadPool>,
+        dst: &mut Matrix,
+        dst_row_offset: usize,
+    ) {
+        let k = x.cols();
+        let n = grad.cols();
+        assert_eq!(dst.cols(), n, "grad_weights dst cols");
+        assert!(dst_row_offset + k <= dst.rows(), "grad_weights dst rows");
+        assert!(x_rows.end <= x.rows(), "grad_weights x range");
+        assert_eq!(x_rows.len(), grad.rows(), "grad_weights reduction len");
+        let m = x_rows.len();
+        let lo = dst_row_offset * n;
+        let region = &mut dst.data_mut()[lo..lo + k * n];
+        match self.pool_for(m, pool) {
+            Some(p) => {
+                let partial = p.parallel_map_reduce(
+                    m,
+                    |r| {
+                        let mut buf = vec![0.0f32; k * n];
+                        // grad row r.start corresponds to x row
+                        // x_rows.start + r.start: slide both windows.
+                        kernels::transpose_self_into(x, grad, r, x_rows.start, &mut buf, false);
+                        buf
+                    },
+                    |mut a, b| {
+                        for (av, bv) in a.iter_mut().zip(&b) {
+                            *av += bv;
+                        }
+                        a
+                    },
+                );
+                match partial {
+                    Some(buf) => region.copy_from_slice(&buf),
+                    None => region.fill(0.0),
+                }
+            }
+            None => {
+                kernels::transpose_self_into(x, grad, 0..m, x_rows.start, region, false);
+            }
+        }
+    }
+
+    /// Convenience allocating form of [`DispatchPolicy::grad_weights_into`]
+    /// over all rows: `xᵀ @ grad`.
+    pub fn grad_weights(&self, x: &Matrix, grad: &Matrix, pool: Option<&ThreadPool>) -> Matrix {
+        let mut out = Matrix::zeros(x.cols(), grad.cols());
+        self.grad_weights_into(x, 0..x.rows(), grad, pool, &mut out, 0);
+        out
+    }
+
+    /// Input gradient `grad @ w[w_rows]ᵀ`: every output element is a dot of
+    /// a `grad` row with a `w` row. The row window lets fused GraphSAGE
+    /// pull `d_self` / `d_neigh` out of the stacked weight without
+    /// splitting it.
+    pub fn grad_input(
+        &self,
+        grad: &Matrix,
+        w: &Matrix,
+        w_rows: Range<usize>,
+        pool: Option<&ThreadPool>,
+    ) -> Matrix {
+        let mut out = Matrix::zeros(grad.rows(), w_rows.len());
+        self.grad_input_into(grad, w, w_rows, pool, &mut out);
+        out
+    }
+
+    /// [`DispatchPolicy::grad_input`] into a caller-provided matrix.
+    pub fn grad_input_into(
+        &self,
+        grad: &Matrix,
+        w: &Matrix,
+        w_rows: Range<usize>,
+        pool: Option<&ThreadPool>,
+        out: &mut Matrix,
+    ) {
+        assert_eq!(grad.cols(), w.cols(), "grad_input inner dim");
+        assert!(w_rows.end <= w.rows(), "grad_input w range");
+        let m = grad.rows();
+        let n = w_rows.len();
+        assert_eq!((out.rows(), out.cols()), (m, n), "grad_input out");
+        match self.pool_for(m, pool) {
+            Some(p) => {
+                let out_ptr = out.data_mut().as_mut_ptr() as usize;
+                p.parallel_ranges(m, |range| {
+                    // SAFETY: disjoint output-row windows per worker; the
+                    // pool call blocks until every worker finishes.
+                    let dst = unsafe {
+                        std::slice::from_raw_parts_mut(
+                            (out_ptr as *mut f32).add(range.start * n),
+                            range.len() * n,
+                        )
+                    };
+                    kernels::transpose_other_into(grad, range, w, w_rows.clone(), dst);
+                });
+            }
+            None => {
+                kernels::transpose_other_into(grad, 0..m, w, w_rows, out.data_mut());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool2() -> ThreadPool {
+        ThreadPool::new("t", 2)
+    }
+
+    #[test]
+    fn threshold_boundary_63_64_65() {
+        let policy = DispatchPolicy::default();
+        let pool = pool2();
+        assert!(!policy.goes_parallel(63, Some(&pool)));
+        assert!(policy.goes_parallel(64, Some(&pool)));
+        assert!(policy.goes_parallel(65, Some(&pool)));
+    }
+
+    #[test]
+    fn no_pool_or_single_worker_stays_serial() {
+        let policy = DispatchPolicy::default();
+        assert!(!policy.goes_parallel(1_000_000, None));
+        let single = ThreadPool::new("t", 1);
+        assert!(!policy.goes_parallel(1_000_000, Some(&single)));
+    }
+
+    #[test]
+    fn custom_threshold_moves_the_boundary() {
+        let pool = pool2();
+        let policy = DispatchPolicy::new(10);
+        assert!(!policy.goes_parallel(9, Some(&pool)));
+        assert!(policy.goes_parallel(10, Some(&pool)));
+        // Zero threshold is clamped: even a 1-row op may go parallel but
+        // the policy never divides by zero or panics.
+        let zero = DispatchPolicy::new(0);
+        assert_eq!(zero.row_threshold(), 1);
+        assert!(zero.goes_parallel(1, Some(&pool)));
+    }
+
+    #[test]
+    fn gemm_serial_and_parallel_match_naive() {
+        let pool = pool2();
+        let policy = DispatchPolicy::new(1);
+        let a = Matrix::xavier(70, 17, 1);
+        let b = Matrix::xavier(17, 11, 2);
+        let naive = a.matmul(&b);
+        let serial = DispatchPolicy::default().gemm(&a, &b, None);
+        let par = policy.gemm(&a, &b, Some(&pool));
+        assert_eq!(naive.data(), serial.data());
+        assert_eq!(naive.data(), par.data());
+    }
+
+    #[test]
+    fn gemm_epilogue_fuses_bias_and_relu() {
+        let pool = pool2();
+        for use_pool in [false, true] {
+            let policy = DispatchPolicy::new(1);
+            let a = Matrix::xavier(40, 8, 3);
+            let b = Matrix::xavier(8, 6, 4);
+            let bias: Vec<f32> = (0..6).map(|i| (i as f32) * 0.3 - 0.8).collect();
+            let p = use_pool.then_some(&pool);
+            let mut out = Matrix::zeros(40, 6);
+            let mask = policy.gemm_into(&a, &b, Epilogue::bias_relu(&bias), p, &mut out);
+            let mask = mask.expect("relu epilogue yields mask");
+            // Reference: unfused ops.
+            let mut want = a.matmul(&b);
+            for r in 0..want.rows() {
+                for (c, &bc) in bias.iter().enumerate() {
+                    let z = want.get(r, c) + bc;
+                    let idx = r * 6 + c;
+                    assert_eq!(mask[idx], z > 0.0, "mask at {r},{c} pool={use_pool}");
+                    want.set(r, c, if z > 0.0 { z } else { 0.0 });
+                }
+            }
+            assert_eq!(out.data(), want.data(), "pool={use_pool}");
+        }
+    }
+
+    #[test]
+    fn sage_gemm_equals_concat_reference() {
+        let pool = pool2();
+        let f = 5;
+        let o = 4;
+        let n_dst = 30;
+        let h = Matrix::xavier(50, f, 5); // more src rows than dst
+        let agg = Matrix::xavier(n_dst, f, 6);
+        let w = Matrix::xavier(2 * f, o, 7);
+        let bias: Vec<f32> = (0..o).map(|i| 0.1 * i as f32 - 0.15).collect();
+        // Reference: materialize cat = [h_dst | agg] and one GEMM.
+        let h_dst = h.gather_rows(&(0..n_dst as u32).collect::<Vec<_>>());
+        let cat = h_dst.concat_cols(&agg);
+        let mut want = cat.matmul(&w);
+        let mut want_mask = vec![false; n_dst * o];
+        for r in 0..n_dst {
+            for c in 0..o {
+                let z = want.get(r, c) + bias[c];
+                want_mask[r * o + c] = z > 0.0;
+                want.set(r, c, if z > 0.0 { z } else { 0.0 });
+            }
+        }
+        for use_pool in [false, true] {
+            let policy = DispatchPolicy::new(1);
+            let p = use_pool.then_some(&pool);
+            let mut out = Matrix::zeros(n_dst, o);
+            let mask = policy
+                .sage_gemm_into(&h, &agg, &w, Epilogue::bias_relu(&bias), p, &mut out)
+                .expect("mask");
+            assert_eq!(mask, want_mask, "pool={use_pool}");
+            for (g, w_) in out.data().iter().zip(want.data()) {
+                assert!((g - w_).abs() <= 1e-5, "pool={use_pool}");
+            }
+        }
+    }
+
+    fn ragged_adj() -> SparseMatrix {
+        let rows = 70;
+        let cols = 40;
+        let mut indptr = vec![0usize];
+        let mut indices = Vec::new();
+        let mut vals = Vec::new();
+        for i in 0..rows {
+            for j in 0..cols {
+                if (i * 3 + j * 7) % 11 == 0 {
+                    indices.push(j as u32);
+                    vals.push(((i + 2 * j) % 5) as f32 * 0.4 - 0.6);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        SparseMatrix::new(rows, cols, indptr, indices, Some(vals))
+    }
+
+    #[test]
+    fn aggregate_and_transpose_match_naive() {
+        let pool = pool2();
+        let adj = ragged_adj();
+        let h = Matrix::xavier(adj.cols(), 9, 8);
+        let grad = Matrix::xavier(adj.rows(), 9, 9);
+        for (policy, p) in [
+            (DispatchPolicy::default(), None),
+            (DispatchPolicy::new(1), Some(&pool)),
+        ] {
+            let agg = policy.aggregate(&adj, &h, p);
+            assert_eq!(agg.data(), adj.spmm(&h).data());
+            let back = policy.aggregate_transpose(&adj, &grad, p);
+            assert_eq!(back.data(), adj.spmm_transpose(&grad).data());
+        }
+    }
+
+    #[test]
+    fn grad_weights_serial_exact_parallel_tolerance() {
+        let pool = pool2();
+        let x = Matrix::xavier(90, 7, 10);
+        let grad = Matrix::xavier(90, 5, 11);
+        let naive = x.matmul_transpose_self(&grad);
+        let serial = DispatchPolicy::default().grad_weights(&x, &grad, None);
+        assert_eq!(naive.data(), serial.data());
+        let par = DispatchPolicy::new(1).grad_weights(&x, &grad, Some(&pool));
+        for (a, b) in naive.data().iter().zip(par.data()) {
+            assert!((a - b).abs() <= 1e-5);
+        }
+    }
+
+    #[test]
+    fn grad_weights_row_offset_writes_stacked_halves() {
+        // The fused-SAGE layout: dW is 2f x o; the top half comes from
+        // h_dst, the bottom from agg, with no concatenation.
+        let f = 4;
+        let o = 3;
+        let n_dst = 20;
+        let policy = DispatchPolicy::default();
+        let h = Matrix::xavier(35, f, 12);
+        let agg = Matrix::xavier(n_dst, f, 13);
+        let grad = Matrix::xavier(n_dst, o, 14);
+        let mut dw = Matrix::zeros(2 * f, o);
+        policy.grad_weights_into(&h, 0..n_dst, &grad, None, &mut dw, 0);
+        policy.grad_weights_into(&agg, 0..n_dst, &grad, None, &mut dw, f);
+        let h_dst = h.gather_rows(&(0..n_dst as u32).collect::<Vec<_>>());
+        let want = h_dst.concat_cols(&agg).matmul_transpose_self(&grad);
+        for (a, b) in dw.data().iter().zip(want.data()) {
+            assert!((a - b).abs() <= 1e-5);
+        }
+    }
+
+    #[test]
+    fn grad_input_window_equals_split_reference() {
+        let pool = pool2();
+        let f = 4;
+        let o = 3;
+        let grad = Matrix::xavier(80, o, 15);
+        let w = Matrix::xavier(2 * f, o, 16);
+        let naive_full = grad.matmul_transpose_other(&w);
+        for (policy, p) in [
+            (DispatchPolicy::default(), None),
+            (DispatchPolicy::new(1), Some(&pool)),
+        ] {
+            let full = policy.grad_input(&grad, &w, 0..2 * f, p);
+            assert_eq!(full.data(), naive_full.data());
+            // Row windows = columns of the split reference.
+            let d_self = policy.grad_input(&grad, &w, 0..f, p);
+            let d_neigh = policy.grad_input(&grad, &w, f..2 * f, p);
+            let (want_self, want_neigh) = naive_full.split_cols(f);
+            assert_eq!(d_self.data(), want_self.data());
+            assert_eq!(d_neigh.data(), want_neigh.data());
+        }
+    }
+}

@@ -14,8 +14,13 @@
 //! compute to the *training cores* chosen by the auto-tuner.
 
 pub mod dense;
+pub mod dispatch;
+mod kernels;
 pub mod ops;
 pub mod sparse;
+pub mod workspace;
 
 pub use dense::Matrix;
-pub use sparse::SparseMatrix;
+pub use dispatch::{DispatchPolicy, Epilogue};
+pub use sparse::{CscMirror, SparseMatrix};
+pub use workspace::Workspace;

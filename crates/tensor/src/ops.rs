@@ -85,12 +85,20 @@ pub fn add_bias(x: &mut Matrix, bias: &[f32]) {
 /// Bias gradient: column-wise sum of the output gradient.
 pub fn bias_grad(dy: &Matrix) -> Vec<f32> {
     let mut g = vec![0.0f32; dy.cols()];
+    bias_grad_into(dy, &mut g);
+    g
+}
+
+/// [`bias_grad`] into a caller-provided (model-owned) buffer, so the
+/// per-layer `db` allocation is reused across training steps.
+pub fn bias_grad_into(dy: &Matrix, out: &mut [f32]) {
+    assert_eq!(out.len(), dy.cols(), "bias grad length mismatch");
+    out.fill(0.0);
     for r in 0..dy.rows() {
-        for (acc, v) in g.iter_mut().zip(dy.row(r)) {
+        for (acc, v) in out.iter_mut().zip(dy.row(r)) {
             *acc += v;
         }
     }
-    g
 }
 
 /// Softmax cross-entropy over rows of `logits` against integer `labels`.

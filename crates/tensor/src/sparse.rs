@@ -1,6 +1,8 @@
 //! CSR sparse matrix with the two fundamental GNN kernels: SpMM and SDDMM
 //! (paper Section II-C).
 
+use std::sync::{Arc, OnceLock};
+
 use argo_rt::ThreadPool;
 
 use crate::dense::Matrix;
@@ -9,13 +11,75 @@ use crate::dense::Matrix;
 /// (implicit value 1.0 when `values` is `None`) — exactly the shape of a
 /// sampled message-passing block: rows are destination nodes, columns are
 /// source nodes, values are normalization coefficients.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// A [`CscMirror`] (column-major view of the same entries) is built lazily
+/// on first transposed SpMM and cached; clones share an already-built
+/// mirror via `Arc`, so every layer and the backward pass of a training
+/// step reuse one mirror per adjacency.
+#[derive(Debug)]
 pub struct SparseMatrix {
     rows: usize,
     cols: usize,
     indptr: Vec<usize>,
     indices: Vec<u32>,
     values: Option<Vec<f32>>,
+    csc: OnceLock<Arc<CscMirror>>,
+}
+
+impl Clone for SparseMatrix {
+    fn clone(&self) -> Self {
+        let csc = OnceLock::new();
+        // Share an already-built mirror; an unbuilt one stays lazy.
+        if let Some(m) = self.csc.get() {
+            let _ = csc.set(Arc::clone(m));
+        }
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            indptr: self.indptr.clone(),
+            indices: self.indices.clone(),
+            values: self.values.clone(),
+            csc,
+        }
+    }
+}
+
+impl PartialEq for SparseMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        // The CSC mirror is derived state: equality is structural.
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.indptr == other.indptr
+            && self.indices == other.indices
+            && self.values == other.values
+    }
+}
+
+/// Column-major mirror of a [`SparseMatrix`]: the same entries grouped by
+/// CSR *column*, with the originating row of each entry in `rowidx`.
+///
+/// Built by a counting sort over the CSR entries in row-major order, so
+/// within every column the rows appear in **ascending** order — a CSC
+/// gather therefore accumulates each output element in exactly the order
+/// the naive CSR scatter ([`SparseMatrix::spmm_transpose`]) does, and the
+/// two kernels agree bitwise.
+#[derive(Debug)]
+pub struct CscMirror {
+    colptr: Vec<usize>,
+    rowidx: Vec<u32>,
+    values: Option<Vec<f32>>,
+}
+
+impl CscMirror {
+    /// Column pointer array (`cols + 1` entries).
+    pub fn colptr(&self) -> &[usize] {
+        &self.colptr
+    }
+
+    /// CSR row index of each entry, ascending within each column.
+    pub fn rowidx(&self) -> &[u32] {
+        &self.rowidx
+    }
 }
 
 impl SparseMatrix {
@@ -41,6 +105,7 @@ impl SparseMatrix {
             indptr,
             indices,
             values,
+            csc: OnceLock::new(),
         }
     }
 
@@ -82,16 +147,33 @@ impl SparseMatrix {
 
     /// **SpMM**: `self @ dense`, the feature-aggregation kernel (Eq. 1–2).
     pub fn spmm(&self, dense: &Matrix) -> Matrix {
-        assert_eq!(self.cols, dense.rows(), "spmm shape mismatch");
         let mut out = Matrix::zeros(self.rows, dense.cols());
-        self.spmm_rows_into(dense, 0..self.rows, &mut out);
+        self.spmm_into(dense, &mut out);
         out
+    }
+
+    /// [`SparseMatrix::spmm`] writing into a caller-provided (e.g.
+    /// workspace-recycled) output matrix; prior contents are overwritten.
+    pub fn spmm_into(&self, dense: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, dense.rows(), "spmm shape mismatch");
+        assert_eq!((out.rows(), out.cols()), (self.rows, dense.cols()));
+        out.data_mut().fill(0.0);
+        self.spmm_rows_into(dense, 0..self.rows, out);
     }
 
     /// SpMM with the row loop parallelized over `pool`.
     pub fn spmm_pool(&self, dense: &Matrix, pool: &ThreadPool) -> Matrix {
-        assert_eq!(self.cols, dense.rows(), "spmm shape mismatch");
         let mut out = Matrix::zeros(self.rows, dense.cols());
+        self.spmm_pool_into(dense, pool, &mut out);
+        out
+    }
+
+    /// [`SparseMatrix::spmm_pool`] writing into a caller-provided output
+    /// matrix; prior contents are overwritten.
+    pub fn spmm_pool_into(&self, dense: &Matrix, pool: &ThreadPool, out: &mut Matrix) {
+        assert_eq!(self.cols, dense.rows(), "spmm shape mismatch");
+        assert_eq!((out.rows(), out.cols()), (self.rows, dense.cols()));
+        out.data_mut().fill(0.0);
         let n = dense.cols();
         let out_ptr = out.data_mut().as_mut_ptr() as usize;
         pool.parallel_ranges(self.rows, |range| {
@@ -102,7 +184,6 @@ impl SparseMatrix {
                 self.row_accumulate(dense, i, drow);
             }
         });
-        out
     }
 
     fn spmm_rows_into(&self, dense: &Matrix, range: std::ops::Range<usize>, out: &mut Matrix) {
@@ -143,6 +224,116 @@ impl SparseMatrix {
             }
         }
         out
+    }
+
+    /// Returns the cached CSC mirror, building it on first use (a counting
+    /// sort, `O(nnz + cols)`). Clones made after this call share the mirror.
+    pub fn csc(&self) -> &CscMirror {
+        self.csc.get_or_init(|| Arc::new(self.build_csc()))
+    }
+
+    /// Whether the CSC mirror has been built (for cache-reuse assertions).
+    pub fn csc_is_built(&self) -> bool {
+        self.csc.get().is_some()
+    }
+
+    fn build_csc(&self) -> CscMirror {
+        let mut colptr = vec![0usize; self.cols + 1];
+        for &j in &self.indices {
+            colptr[j as usize + 1] += 1;
+        }
+        for c in 0..self.cols {
+            colptr[c + 1] += colptr[c];
+        }
+        let mut next = colptr.clone();
+        let mut rowidx = vec![0u32; self.nnz()];
+        let mut values = self.values.as_ref().map(|_| vec![0.0f32; self.nnz()]);
+        // Visiting CSR entries in row-major order fills each column's slots
+        // with ascending rows — the invariant the exactness claim rests on.
+        for i in 0..self.rows {
+            for k in self.indptr[i]..self.indptr[i + 1] {
+                let j = self.indices[k] as usize;
+                let slot = next[j];
+                next[j] += 1;
+                rowidx[slot] = i as u32;
+                if let (Some(dst), Some(src)) = (values.as_mut(), self.values.as_ref()) {
+                    dst[slot] = src[k];
+                }
+            }
+        }
+        CscMirror {
+            colptr,
+            rowidx,
+            values,
+        }
+    }
+
+    /// Transposed SpMM as a CSC **gather**: output row `j` is assembled from
+    /// column `j`'s entries alone. Bitwise-equal to the scatter version
+    /// (see [`CscMirror`]) but row-parallelizable — each output row touches
+    /// disjoint state.
+    pub fn spmm_transpose_csc(&self, dense: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, dense.cols());
+        self.spmm_transpose_csc_into(dense, &mut out);
+        out
+    }
+
+    /// [`SparseMatrix::spmm_transpose_csc`] writing into a caller-provided
+    /// output matrix; prior contents are overwritten.
+    pub fn spmm_transpose_csc_into(&self, dense: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.rows, dense.rows(), "spmm_transpose shape mismatch");
+        assert_eq!((out.rows(), out.cols()), (self.cols, dense.cols()));
+        out.data_mut().fill(0.0);
+        let csc = self.csc();
+        let n = dense.cols();
+        for j in 0..self.cols {
+            Self::csc_gather_row(csc, dense, j, &mut out.data_mut()[j * n..(j + 1) * n]);
+        }
+    }
+
+    /// [`SparseMatrix::spmm_transpose_csc`] with the output rows
+    /// parallelized over `pool`.
+    pub fn spmm_transpose_csc_pool(&self, dense: &Matrix, pool: &ThreadPool) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, dense.cols());
+        self.spmm_transpose_csc_pool_into(dense, pool, &mut out);
+        out
+    }
+
+    /// [`SparseMatrix::spmm_transpose_csc_pool`] writing into a
+    /// caller-provided output matrix; prior contents are overwritten.
+    pub fn spmm_transpose_csc_pool_into(
+        &self,
+        dense: &Matrix,
+        pool: &ThreadPool,
+        out: &mut Matrix,
+    ) {
+        assert_eq!(self.rows, dense.rows(), "spmm_transpose shape mismatch");
+        assert_eq!((out.rows(), out.cols()), (self.cols, dense.cols()));
+        out.data_mut().fill(0.0);
+        let csc = self.csc();
+        let n = dense.cols();
+        let out_ptr = out.data_mut().as_mut_ptr() as usize;
+        pool.parallel_ranges(self.cols, |range| {
+            for j in range {
+                // SAFETY: each output row is written by exactly one worker,
+                // and the pool call blocks until all workers finish.
+                let drow =
+                    unsafe { std::slice::from_raw_parts_mut((out_ptr as *mut f32).add(j * n), n) };
+                Self::csc_gather_row(csc, dense, j, drow);
+            }
+        });
+    }
+
+    #[inline]
+    fn csc_gather_row(csc: &CscMirror, dense: &Matrix, j: usize, drow: &mut [f32]) {
+        for k in csc.colptr[j]..csc.colptr[j + 1] {
+            let i = csc.rowidx[k] as usize;
+            let w = csc.values.as_ref().map_or(1.0, |v| v[k]);
+            let src = dense.row(i);
+            for (d, &s) in drow.iter_mut().zip(src) {
+                *d += w * s;
+            }
+        }
     }
 
     /// **SDDMM**: for every stored entry `(i, j)` computes `a_i · b_j`
@@ -363,6 +554,65 @@ mod tests {
         }
         let want = st.matmul(&d);
         assert_eq!(got.data(), want.data());
+    }
+
+    #[test]
+    fn csc_gather_matches_scatter_bitwise() {
+        // Ragged structure with values: gather vs scatter must agree exactly.
+        let rows = 37;
+        let cols = 23;
+        let mut indptr = vec![0usize];
+        let mut indices = Vec::new();
+        let mut vals = Vec::new();
+        for i in 0..rows {
+            for j in 0..cols {
+                if (i * 5 + j * 11) % 7 == 0 {
+                    indices.push(j as u32);
+                    vals.push(((i * j) % 13) as f32 * 0.37 - 1.0);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        let s = SparseMatrix::new(rows, cols, indptr, indices, Some(vals));
+        let d = Matrix::xavier(rows, 9, 11);
+        assert_eq!(s.spmm_transpose(&d).data(), s.spmm_transpose_csc(&d).data());
+    }
+
+    #[test]
+    fn csc_pool_matches_serial() {
+        let pool = ThreadPool::new("t", 4);
+        let s = SparseMatrix::new(3, 4, vec![0, 2, 3, 5], vec![0, 3, 1, 0, 2], None);
+        let d = Matrix::xavier(3, 6, 12);
+        let serial = s.spmm_transpose_csc(&d);
+        let par = s.spmm_transpose_csc_pool(&d, &pool);
+        assert_eq!(serial.data(), par.data());
+    }
+
+    #[test]
+    fn csc_rows_ascend_within_columns() {
+        let s = sample();
+        let csc = s.csc();
+        for j in 0..s.cols() {
+            let col = &csc.rowidx()[csc.colptr()[j]..csc.colptr()[j + 1]];
+            assert!(col.windows(2).all(|w| w[0] < w[1]), "col {j}: {col:?}");
+        }
+    }
+
+    #[test]
+    fn clone_shares_built_csc_mirror() {
+        let s = sample();
+        assert!(!s.csc_is_built());
+        let before = s.clone();
+        assert!(!before.csc_is_built(), "lazy mirror is not cloned eagerly");
+        let _ = s.csc();
+        let after = s.clone();
+        assert!(after.csc_is_built(), "built mirror is shared into clones");
+        assert!(
+            std::ptr::eq(s.csc(), after.csc()),
+            "same Arc, not a rebuild"
+        );
+        assert_eq!(s, after, "equality ignores the cache");
+        assert_eq!(s, before);
     }
 
     #[test]

@@ -1,0 +1,143 @@
+//! A free-list arena for recycling matrix allocations across batches.
+//!
+//! Every training step allocates the same family of buffers — layer
+//! activations, aggregation outputs, gradient matrices — whose shapes are
+//! stable across batches of similar size. Instead of returning them to the
+//! allocator (and paging fresh zero pages back in next step), a model owns a
+//! [`Workspace`] and round-trips buffers through it: [`Workspace::take`]
+//! hands out a zeroed matrix reusing the best-fitting retired allocation,
+//! [`Workspace::put`] retires one.
+//!
+//! The arena is deliberately dumb: a capacity-sorted free list with
+//! best-fit lookup. It is **not** thread-safe — each model keeps its own
+//! (behind a `RefCell`), which is the right granularity because kernels
+//! parallelize *inside* one step, never across steps of one model.
+
+use crate::dense::Matrix;
+
+/// Maximum retired buffers kept; beyond this the smallest is dropped.
+const MAX_FREE: usize = 32;
+
+/// A capacity-sorted free list of retired `Vec<f32>` allocations.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// Retired buffers, sorted ascending by capacity (best-fit = first fit).
+    free: Vec<Vec<f32>>,
+    allocs: usize,
+    reuses: usize,
+}
+
+impl Workspace {
+    /// An empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a zeroed `rows × cols` matrix, reusing the smallest retired
+    /// buffer whose capacity suffices, or allocating fresh.
+    pub fn take(&mut self, rows: usize, cols: usize) -> Matrix {
+        let need = rows * cols;
+        let pick = self.free.iter().position(|b| b.capacity() >= need);
+        match pick {
+            Some(i) => {
+                self.reuses += 1;
+                let mut buf = self.free.remove(i);
+                buf.clear();
+                buf.resize(need, 0.0);
+                Matrix::from_vec(rows, cols, buf)
+            }
+            None => {
+                self.allocs += 1;
+                Matrix::zeros(rows, cols)
+            }
+        }
+    }
+
+    /// Retires a matrix's allocation into the free list.
+    pub fn put(&mut self, m: Matrix) {
+        let buf = m.into_data();
+        if buf.capacity() == 0 {
+            return;
+        }
+        let at = self.free.partition_point(|b| b.capacity() < buf.capacity());
+        self.free.insert(at, buf);
+        if self.free.len() > MAX_FREE {
+            // Drop the smallest: large buffers are the expensive ones.
+            self.free.remove(0);
+        }
+    }
+
+    /// Fresh allocations served so far.
+    pub fn allocs(&self) -> usize {
+        self.allocs
+    }
+
+    /// Takes satisfied from the free list so far.
+    pub fn reuses(&self) -> usize {
+        self.reuses
+    }
+
+    /// Buffers currently parked in the free list.
+    pub fn free_len(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_is_zeroed_even_after_reuse() {
+        let mut ws = Workspace::new();
+        let mut m = ws.take(3, 4);
+        m.data_mut().fill(7.5);
+        ws.put(m);
+        let m2 = ws.take(3, 4);
+        assert!(m2.data().iter().all(|&x| x == 0.0));
+        assert_eq!((ws.allocs(), ws.reuses()), (1, 1));
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_sufficient_buffer() {
+        let mut ws = Workspace::new();
+        ws.put(Matrix::zeros(10, 10)); // cap 100
+        ws.put(Matrix::zeros(2, 3)); // cap 6
+        let m = ws.take(2, 2); // needs 4 → the 6-cap buffer
+        assert_eq!(m.data().len(), 4);
+        assert_eq!(ws.free_len(), 1);
+        let big = ws.take(5, 10); // needs 50 → the 100-cap buffer
+        assert_eq!(big.data().len(), 50);
+        assert_eq!(ws.allocs(), 0);
+        assert_eq!(ws.reuses(), 2);
+    }
+
+    #[test]
+    fn shape_can_differ_as_long_as_capacity_fits() {
+        let mut ws = Workspace::new();
+        ws.put(Matrix::zeros(8, 8));
+        let m = ws.take(4, 16);
+        assert_eq!((m.rows(), m.cols()), (4, 16));
+        assert_eq!(ws.reuses(), 1);
+    }
+
+    #[test]
+    fn free_list_is_capped() {
+        let mut ws = Workspace::new();
+        for i in 1..=(MAX_FREE + 5) {
+            ws.put(Matrix::zeros(i, 1));
+        }
+        assert_eq!(ws.free_len(), MAX_FREE);
+        // The survivors are the largest ones.
+        let m = ws.take(MAX_FREE + 5, 1);
+        assert_eq!(ws.reuses(), 1);
+        assert_eq!(m.data().len(), MAX_FREE + 5);
+    }
+
+    #[test]
+    fn empty_matrices_are_not_parked() {
+        let mut ws = Workspace::new();
+        ws.put(Matrix::zeros(0, 5));
+        assert_eq!(ws.free_len(), 0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Property tests pinning the blocked kernels to the naive references.
+//!
+//! The blocked GEMM family and the CSC-gather transposed SpMM are written
+//! so their per-element accumulation order matches the naive kernels
+//! exactly (ascending `k` for GEMM, ascending row within column for the
+//! CSC mirror) — so the strongest possible property holds: **bitwise
+//! equality**, not just tolerance, across ragged shapes that straddle
+//! every blocking boundary (1×1, primes, tall-skinny, rows below the
+//! 64-row block). Pool-parallel weight gradients reduce per-worker
+//! partials, which legally reorders across ranges, so those are held to
+//! max-abs-error ≤ 1e-5 instead.
+
+use argo_rt::ThreadPool;
+use argo_tensor::{DispatchPolicy, Matrix, SparseMatrix};
+use proptest::prelude::*;
+
+/// A deterministic ragged sparse matrix with controllable density and
+/// optionally explicit (non-unit) values.
+fn sparse(
+    rows: usize,
+    cols: usize,
+    density_mod: usize,
+    with_values: bool,
+    salt: usize,
+) -> SparseMatrix {
+    let mut indptr = vec![0usize];
+    let mut indices = Vec::new();
+    let mut vals = Vec::new();
+    for i in 0..rows {
+        for j in 0..cols {
+            if (i * 7 + j * 13 + salt).is_multiple_of(density_mod) {
+                indices.push(j as u32);
+                vals.push(((i * 5 + j * 3 + salt) % 9) as f32 * 0.35 - 1.2);
+            }
+        }
+        indptr.push(indices.len());
+    }
+    SparseMatrix::new(rows, cols, indptr, indices, with_values.then_some(vals))
+}
+
+/// Shapes that straddle the MC=64 / KC=256 / NC=512 blocking boundaries
+/// plus degenerate and prime-dimension cases.
+const EDGE_DIMS: &[usize] = &[1, 2, 3, 5, 7, 31, 63, 64, 65, 127, 130];
+
+#[test]
+fn blocked_gemm_bitwise_equals_naive_at_edge_shapes() {
+    for (s, &m) in EDGE_DIMS.iter().enumerate() {
+        let k = EDGE_DIMS[(s + 3) % EDGE_DIMS.len()];
+        let n = EDGE_DIMS[(s + 7) % EDGE_DIMS.len()];
+        let a = Matrix::xavier(m, k, s as u64);
+        let b = Matrix::xavier(k, n, s as u64 + 100);
+        assert_eq!(
+            a.matmul_blocked(&b).data(),
+            a.matmul(&b).data(),
+            "gemm {m}x{k}x{n}"
+        );
+        let b2 = Matrix::xavier(m, n, s as u64 + 150);
+        assert_eq!(
+            a.matmul_transpose_self_blocked(&b2).data(),
+            a.matmul_transpose_self(&b2).data(),
+            "AtB {m}x{k}x{n}"
+        );
+        let bt = Matrix::xavier(n, k, s as u64 + 200);
+        assert_eq!(
+            a.matmul_transpose_other_blocked(&bt).data(),
+            a.matmul_transpose_other(&bt).data(),
+            "ABt {m}x{k}x{n}"
+        );
+    }
+}
+
+#[test]
+fn csc_spmm_bitwise_equals_scatter_at_edge_shapes() {
+    for (s, &rows) in EDGE_DIMS.iter().enumerate() {
+        let cols = EDGE_DIMS[(s + 5) % EDGE_DIMS.len()];
+        for with_values in [false, true] {
+            let adj = sparse(rows, cols, 3 + s % 5, with_values, s);
+            let grad = Matrix::xavier(rows, 9, s as u64 + 300);
+            assert_eq!(
+                adj.spmm_transpose_csc(&grad).data(),
+                adj.spmm_transpose(&grad).data(),
+                "rows={rows} cols={cols} values={with_values}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Blocked GEMM == naive GEMM, bitwise, over random ragged shapes
+    /// (tall-skinny, short-wide, sub-block) and seeds.
+    #[test]
+    fn blocked_gemm_matches_naive(
+        m in 1usize..140,
+        k in 1usize..70,
+        n in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let a = Matrix::xavier(m, k, seed);
+        let b = Matrix::xavier(k, n, seed ^ 0x5EED);
+        prop_assert_eq!(a.matmul_blocked(&b).data(), a.matmul(&b).data());
+    }
+
+    /// Both transpose flavors == naive, bitwise, over random shapes.
+    #[test]
+    fn blocked_transposes_match_naive(
+        m in 1usize..140,
+        k in 1usize..24,
+        n in 1usize..24,
+        seed in 0u64..1000,
+    ) {
+        let a = Matrix::xavier(m, k, seed);
+        let b = Matrix::xavier(m, n, seed ^ 0xA11);
+        prop_assert_eq!(
+            a.matmul_transpose_self_blocked(&b).data(),
+            a.matmul_transpose_self(&b).data()
+        );
+        let c = Matrix::xavier(n, k, seed ^ 0xB22);
+        prop_assert_eq!(
+            a.matmul_transpose_other_blocked(&c).data(),
+            a.matmul_transpose_other(&c).data()
+        );
+    }
+
+    /// CSC-gather transposed SpMM == naive scatter, bitwise, with and
+    /// without explicit values, over random sparsity patterns.
+    #[test]
+    fn csc_spmm_matches_scatter(
+        rows in 1usize..120,
+        cols in 1usize..90,
+        density_mod in 2usize..12,
+        dim in 1usize..12,
+        with_values in any::<bool>(),
+        salt in 0usize..64,
+    ) {
+        let adj = sparse(rows, cols, density_mod, with_values, salt);
+        let grad = Matrix::xavier(rows, dim, salt as u64);
+        prop_assert_eq!(
+            adj.spmm_transpose_csc(&grad).data(),
+            adj.spmm_transpose(&grad).data()
+        );
+    }
+
+    /// Pool-parallel dispatch: row-partitioned kernels stay bitwise equal
+    /// (disjoint writes, unchanged per-row order); the reduction-based
+    /// weight gradient is tolerance-equal (≤ 1e-5).
+    #[test]
+    fn pooled_dispatch_matches_naive(
+        m in 1usize..120,
+        k in 1usize..16,
+        n in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        let pool = ThreadPool::new("prop", 3);
+        let policy = DispatchPolicy::new(1);
+        let a = Matrix::xavier(m, k, seed);
+        let b = Matrix::xavier(k, n, seed ^ 0x33);
+        prop_assert_eq!(
+            policy.gemm(&a, &b, Some(&pool)).data(),
+            a.matmul(&b).data()
+        );
+        let g = Matrix::xavier(m, n, seed ^ 0x44);
+        let dw = policy.grad_weights(&a, &g, Some(&pool));
+        let want = a.matmul_transpose_self(&g);
+        for (x, y) in dw.data().iter().zip(want.data()) {
+            prop_assert!((x - y).abs() <= 1e-5, "dw {x} vs {y}");
+        }
+    }
+}
