@@ -25,6 +25,9 @@ cargo build --workspace --release
 echo "==> micro_kernels quick perf gate (blocked kernels must not lose to serial)"
 ARGO_BENCH_QUICK=1 cargo bench -q -p argo-bench --bench micro_kernels
 
+echo "==> micro_sampling quick perf gate (scratch sampler must not lose to the pre-scratch reference)"
+ARGO_BENCH_QUICK=1 cargo bench -q -p argo-bench --bench micro_sampling
+
 echo "==> cargo test -q -p argo-sample"
 cargo test -q -p argo-sample
 

@@ -1,0 +1,214 @@
+//! Micro-benchmark of the sampling hot path: the pre-scratch serial
+//! reference (per-batch `HashMap` relabeling plus full-neighbor-list copies
+//! with a partial Fisher–Yates) vs the scratch-arena sampler vs the
+//! scratch-arena sampler with a 2-worker pick pool.
+//!
+//! Emits machine-readable `BENCH_sampling.json` at the repository root
+//! (seeds/s and sampled-edges/s per variant, speedup vs the reference) so
+//! future PRs can diff sampling throughput against this baseline.
+//!
+//! `ARGO_BENCH_QUICK=1` switches to a fast CI mode: smaller graph, fewer
+//! samples, and a sanity perf gate — the process exits non-zero if the
+//! scratch sampler is slower than the serial reference (generous 1.0×
+//! threshold; the pool column is *recorded* but never gated, since CI may
+//! have a single core).
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use argo_graph::generators::power_law;
+use argo_graph::{Graph, NodeId};
+use argo_rt::json::Json;
+use argo_rt::{SeedSequence, ThreadPool};
+use argo_sample::{NeighborSampler, SampleRun, Sampler, SamplerScratch};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Minimum wall-clock seconds across `samples` runs (after one warmup).
+fn time_min<R>(samples: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut sink = f(); // warmup; also keeps the result observable
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        let t = Instant::now();
+        sink = f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    std::hint::black_box(sink);
+    best
+}
+
+/// The pre-scratch sampler, preserved here as the timing reference: per
+/// layer it clones the frontier, relabels through a freshly allocated
+/// `HashMap`, and picks neighbors by copying each node's *entire* neighbor
+/// slice and running a partial Fisher–Yates over it — O(degree) work and a
+/// degree-sized allocation per row, which is exactly what hurts on
+/// power-law hubs. Returns the total number of sampled edges.
+fn reference_sample(g: &Graph, seeds: &[NodeId], fanouts: &[usize], rng: &mut SmallRng) -> usize {
+    let mut dst: Vec<NodeId> = seeds.to_vec();
+    let mut total = 0usize;
+    for &fanout in fanouts.iter().rev() {
+        let mut src = dst.clone();
+        let mut relabel: HashMap<NodeId, u32> = HashMap::new();
+        for (i, &v) in src.iter().enumerate() {
+            relabel.insert(v, i as u32);
+        }
+        let mut indices: Vec<u32> = Vec::new();
+        let mut indptr = vec![0usize];
+        for &v in &dst {
+            let mut pool: Vec<NodeId> = g.neighbors(v).to_vec();
+            let take = fanout.min(pool.len());
+            for j in 0..take {
+                let k = rng.gen_range(j..pool.len());
+                pool.swap(j, k);
+            }
+            for &u in &pool[..take] {
+                let next = src.len() as u32;
+                let id = *relabel.entry(u).or_insert_with(|| {
+                    src.push(u);
+                    next
+                });
+                indices.push(id);
+            }
+            indptr.push(indices.len());
+        }
+        total += indices.len();
+        std::hint::black_box(&indptr);
+        dst = src;
+    }
+    total
+}
+
+struct SampRow {
+    name: &'static str,
+    seeds_per_s: f64,
+    edges_per_s: f64,
+    batch_ms: f64,
+    speedup: f64,
+}
+
+impl SampRow {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::str(self.name)),
+            ("batch_ms", Json::Num(self.batch_ms)),
+            ("seeds_per_s", Json::Num(self.seeds_per_s)),
+            ("edges_per_s", Json::Num(self.edges_per_s)),
+            ("speedup_vs_serial", Json::Num(self.speedup)),
+        ])
+    }
+}
+
+fn main() {
+    let quick = std::env::var("ARGO_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let samples = if quick { 3 } else { 8 };
+    let (nodes, edges) = if quick {
+        (20_000, 200_000)
+    } else {
+        (100_000, 1_000_000)
+    };
+    // Heavy-tailed degrees: hub rows are where full-neighbor-copy loses to
+    // Floyd position sampling.
+    let graph = power_law(nodes, edges, 0.8, 11);
+    let fanouts = vec![15usize, 10];
+    let n_seeds = if quick { 512 } else { 1024 };
+    let seeds: Vec<NodeId> = (0..n_seeds as u32).collect();
+    let sampler = NeighborSampler::new(fanouts.clone());
+
+    // -- Serial reference (pre-scratch allocation behavior). --
+    let mut rng = SmallRng::seed_from_u64(17);
+    let serial_s = time_min(samples, || {
+        reference_sample(&graph, &seeds, &fanouts, &mut rng)
+    });
+    let ref_edges = reference_sample(&graph, &seeds, &fanouts, &mut rng);
+
+    // -- Scratch arena, steady state: one warm arena reused per batch. --
+    let mut scratch = SamplerScratch::new();
+    let stream = SeedSequence::new(17);
+    let scratch_s = time_min(samples, || {
+        let run = SampleRun::new(stream, &mut scratch);
+        sampler.sample_with(&graph, &seeds, run)
+    });
+    let run = SampleRun::new(stream, &mut scratch);
+    let batch = sampler.sample_with(&graph, &seeds, run);
+    let scratch_edges = batch.total_edges(fanouts.len());
+
+    // -- Scratch arena + 2-worker pick pool (content-identical batches). --
+    let pool = ThreadPool::new("samp", 2);
+    let mut pool_scratch = SamplerScratch::new();
+    let pool_s = time_min(samples, || {
+        let run = SampleRun::new(stream, &mut pool_scratch).with_pool(Some(&pool));
+        sampler.sample_with(&graph, &seeds, run)
+    });
+
+    let row = |name: &'static str, secs: f64, edges: usize| SampRow {
+        name,
+        seeds_per_s: n_seeds as f64 / secs,
+        edges_per_s: edges as f64 / secs,
+        batch_ms: secs * 1e3,
+        speedup: serial_s / secs,
+    };
+    let rows = [
+        row("serial_reference", serial_s, ref_edges),
+        row("scratch", scratch_s, scratch_edges),
+        row("scratch_pool2", pool_s, scratch_edges),
+    ];
+
+    // -- Report. --
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("=== micro_sampling (quick={quick}, host_threads={host_threads}) ===\n");
+    println!(
+        "graph: power_law {nodes} nodes / {edges} edges, fanouts {fanouts:?}, {n_seeds} seeds\n"
+    );
+    println!(
+        "{:<18} {:>10} {:>14} {:>16} {:>8}",
+        "variant", "batch ms", "seeds/s", "edges/s", "x serial"
+    );
+    for r in &rows {
+        println!(
+            "{:<18} {:>10.3} {:>14.0} {:>16.0} {:>8.2}",
+            r.name, r.batch_ms, r.seeds_per_s, r.edges_per_s, r.speedup
+        );
+    }
+
+    let json = Json::obj(vec![
+        ("host_threads", Json::Num(host_threads as f64)),
+        ("quick", Json::Bool(quick)),
+        ("graph_nodes", Json::Num(nodes as f64)),
+        ("graph_edges", Json::Num(edges as f64)),
+        ("n_seeds", Json::Num(n_seeds as f64)),
+        (
+            "fanouts",
+            Json::Arr(fanouts.iter().map(|&f| Json::Num(f as f64)).collect()),
+        ),
+        (
+            "variants",
+            Json::Arr(rows.iter().map(SampRow::to_json).collect()),
+        ),
+    ]);
+    // Quick (CI) runs land in target/ so they never dirty the committed
+    // full-mode baseline at the repository root.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let out_path = if quick {
+        root.join("target/BENCH_sampling.quick.json")
+    } else {
+        root.join("BENCH_sampling.json")
+    };
+    match std::fs::write(&out_path, json.encode() + "\n") {
+        Ok(()) => println!("\nbaseline written to {}", out_path.display()),
+        Err(e) => eprintln!("\nfailed to write {}: {e}", out_path.display()),
+    }
+
+    // -- Quick-mode perf gate: the scratch sampler must not lose to the
+    // pre-scratch reference. The pool column is informational only. --
+    if quick {
+        let speedup = serial_s / scratch_s;
+        if speedup < 1.0 {
+            eprintln!(
+                "PERF GATE: scratch sampler is slower than the serial reference \
+                 ({speedup:.2}x < required 1.00x)"
+            );
+            std::process::exit(1);
+        }
+        println!("perf gate OK: scratch sampler at {speedup:.2}x vs serial reference");
+    }
+}

@@ -53,6 +53,24 @@ const RAW_KERNEL_CALLS: &[&str] = &[
 /// policy rather than the raw kernels.
 const DISPATCH_ONLY_CRATES: &[&str] = &["crates/nn/", "crates/engine/"];
 
+/// Sampler hot-path files that must stay on the scratch arena
+/// (`crates/sample/src/scratch.rs`): per-batch `HashMap`/`HashSet`
+/// relabeling or `.clone()` of node-id vectors is exactly the allocation
+/// churn the scratch rewrite removed — the epoch-stamped dense dedup table
+/// and the recycled pick buffers replace them. `cache.rs` (long-lived
+/// cross-batch map) and `loader.rs` (Arc handle clones) are deliberately
+/// out of scope.
+const SAMPLER_HOT_FILES: &[&str] = &[
+    "crates/sample/src/neighbor.rs",
+    "crates/sample/src/shadow.rs",
+    "crates/sample/src/saint.rs",
+    "crates/sample/src/cluster.rs",
+    "crates/sample/src/scratch.rs",
+];
+
+/// Allocation-churn constructs forbidden in [`SAMPLER_HOT_FILES`].
+const SCRATCH_NEEDLES: &[&str] = &["HashMap", "HashSet", ".clone()"];
+
 /// How many lines above an `unsafe` token a `SAFETY:` comment may sit.
 /// Generous enough for a multi-line justification, tight enough that the
 /// comment stays adjacent to the block it justifies.
@@ -103,6 +121,7 @@ pub fn check_file(file: &SourceFile, allow: &mut AllowTracker, out: &mut Vec<Dia
         check_no_instant(file, allow, out);
         check_no_deprecated_telemetry(file, out);
         check_kernel_dispatch(file, allow, out);
+        check_sampler_scratch(file, allow, out);
     }
 }
 
@@ -256,6 +275,38 @@ fn check_kernel_dispatch(file: &SourceFile, allow: &mut AllowTracker, out: &mut 
     }
 }
 
+/// Rule `sampler-scratch`: sampler hot-path files must not reintroduce
+/// per-batch hash containers or node-id vector clones — batch-lifetime state
+/// belongs in `SamplerScratch` so steady-state sampling stays allocation-free
+/// (pinned by `loader.rs::steady_state_sampling_is_allocation_free`).
+fn check_sampler_scratch(file: &SourceFile, allow: &mut AllowTracker, out: &mut Vec<Diagnostic>) {
+    if !SAMPLER_HOT_FILES.iter().any(|f| file.path.ends_with(f)) {
+        return;
+    }
+    for (n, line) in file.numbered() {
+        if line.test {
+            continue;
+        }
+        for needle in SCRATCH_NEEDLES {
+            if contains_token(&line.code, needle)
+                && !allow.permits("sampler-scratch", &file.path, &line.raw)
+            {
+                out.push(Diagnostic {
+                    path: file.path.clone(),
+                    line: n,
+                    rule: "sampler-scratch",
+                    message: format!(
+                        "`{needle}` in sampler hot path; use the `SamplerScratch` arena \
+                         (epoch-stamped dedup table, recycled buffers) so steady-state \
+                         sampling stays allocation-free, or add an allowlist entry with \
+                         a justification"
+                    ),
+                });
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -353,6 +404,46 @@ mod tests {
         // Dispatch-policy calls do not match the raw needles.
         let src = "fn f() { let z = dispatch.gemm(&x, &w, pool); }\n";
         assert!(lint("crates/nn/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hash_container_in_sampler_hot_path_is_flagged() {
+        let d = lint(
+            "crates/sample/src/neighbor.rs",
+            "fn f() { let m: HashMap<u32, u32> = HashMap::new(); }\n",
+        );
+        assert_eq!(d.len(), 1, "one diagnostic per offending line");
+        assert_eq!(d[0].rule, "sampler-scratch");
+        let d = lint(
+            "crates/sample/src/cluster.rs",
+            "fn f() { let s = HashSet::new(); }\n",
+        );
+        assert_eq!(d.len(), 1);
+        let d = lint(
+            "crates/sample/src/shadow.rs",
+            "fn f() { let ids = nodes.clone(); }\n",
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "sampler-scratch");
+    }
+
+    #[test]
+    fn sampler_scratch_exempts_tests_and_cold_files() {
+        // The cross-batch feature cache legitimately owns a long-lived map,
+        // and the loader clones Arc handles into worker threads.
+        assert!(lint(
+            "crates/sample/src/cache.rs",
+            "fn f() { let m = HashMap::new(); }\n"
+        )
+        .is_empty());
+        assert!(lint(
+            "crates/sample/src/loader.rs",
+            "fn f() { let g = graph.clone(); }\n"
+        )
+        .is_empty());
+        // Test modules inside hot files may clone for reference checks.
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { let ids = b.src_nodes.clone(); }\n}\n";
+        assert!(lint("crates/sample/src/neighbor.rs", src).is_empty());
     }
 
     #[test]

@@ -638,7 +638,8 @@ fn run_process(spec: ProcessSpec, trace: &TraceRecorder) -> ProcessResult {
         .epoch_seeds(proc_seeds)
         .n_samp(n_samp)
         .cores(sampling_cores)
-        .prefetch(opts.prefetch);
+        .prefetch(opts.prefetch)
+        .normalization(opts.kind.normalization());
     if let (Some(f), Some(c)) = (&features, &cache) {
         loader_spec = loader_spec.features(Arc::clone(f)).cache(Arc::clone(c));
     }
@@ -671,6 +672,7 @@ fn run_process(spec: ProcessSpec, trace: &TraceRecorder) -> ProcessResult {
             batch,
             input,
             gather_seconds,
+            ..
         } = loaded;
         let stats = match input {
             Some(input) => {

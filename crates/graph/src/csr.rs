@@ -1,5 +1,7 @@
 //! Compressed-sparse-row graph storage.
 
+use std::sync::OnceLock;
+
 use crate::NodeId;
 
 /// An unweighted directed graph in CSR form. Undirected graphs are stored
@@ -7,11 +9,38 @@ use crate::NodeId;
 ///
 /// `indptr` has `num_nodes + 1` entries; the out-neighbors of node `v` are
 /// `indices[indptr[v]..indptr[v+1]]`.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Debug)]
 pub struct Graph {
     indptr: Vec<usize>,
     indices: Vec<NodeId>,
+    /// Lazily built `1/sqrt(max(degree, 1))` table for fused GCN
+    /// normalization; shared so every sampled batch reads one table instead
+    /// of recomputing square roots per edge.
+    inv_sqrt_degrees: OnceLock<Vec<f32>>,
 }
+
+impl Clone for Graph {
+    fn clone(&self) -> Self {
+        // The derived impl would clone the cache cell too; rebuilding it
+        // lazily on the clone is cheaper than cloning and keeps `clone`
+        // equivalent to reconstruction.
+        Self {
+            indptr: self.indptr.clone(),
+            indices: self.indices.clone(),
+            inv_sqrt_degrees: OnceLock::new(),
+        }
+    }
+}
+
+/// Equality is structural over the CSR arrays; the lazily built degree
+/// table is a cache, not identity.
+impl PartialEq for Graph {
+    fn eq(&self, other: &Self) -> bool {
+        self.indptr == other.indptr && self.indices == other.indices
+    }
+}
+
+impl Eq for Graph {}
 
 impl Graph {
     /// Builds a graph from an edge list.
@@ -49,7 +78,11 @@ impl Graph {
                 cursor[d as usize] += 1;
             }
         }
-        let mut g = Self { indptr, indices };
+        let mut g = Self {
+            indptr,
+            indices,
+            inv_sqrt_degrees: OnceLock::new(),
+        };
         g.sort_adjacency();
         g
     }
@@ -63,7 +96,11 @@ impl Graph {
 
     /// Fallible variant of [`Graph::from_csr`] (used by deserialization).
     pub fn from_csr_checked(indptr: Vec<usize>, indices: Vec<NodeId>) -> Result<Self, String> {
-        let g = Self { indptr, indices };
+        let g = Self {
+            indptr,
+            indices,
+            inv_sqrt_degrees: OnceLock::new(),
+        };
         g.validate()?;
         Ok(g)
     }
@@ -103,6 +140,19 @@ impl Graph {
     /// The CSR column-index array.
     pub fn indices(&self) -> &[NodeId] {
         &self.indices
+    }
+
+    /// Per-node `1/sqrt(max(degree, 1))`, built once on first use and cached.
+    ///
+    /// Samplers fuse GCN normalization into adjacency assembly by writing
+    /// `inv_sqrt[v] * inv_sqrt[u]` per sampled edge, so the table is read on
+    /// every batch but the square roots are computed once per graph.
+    pub fn inv_sqrt_degrees(&self) -> &[f32] {
+        self.inv_sqrt_degrees.get_or_init(|| {
+            (0..self.num_nodes())
+                .map(|v| 1.0 / ((self.degree(v as NodeId).max(1)) as f32).sqrt())
+                .collect()
+        })
     }
 
     /// Average out-degree.
@@ -189,7 +239,11 @@ impl Graph {
                 cursor[u as usize] += 1;
             }
         }
-        let mut g = Graph { indptr, indices };
+        let mut g = Graph {
+            indptr,
+            indices,
+            inv_sqrt_degrees: OnceLock::new(),
+        };
         g.sort_adjacency();
         g
     }
@@ -285,6 +339,22 @@ mod tests {
         assert_eq!(r.num_edges(), g.num_edges());
         // Transposing twice is the identity.
         assert_eq!(r.reverse(), g);
+    }
+
+    #[test]
+    fn inv_sqrt_degrees_matches_definition() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (1, 2)], false);
+        let t = g.inv_sqrt_degrees();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t[0], 1.0 / (2.0f32).sqrt());
+        assert_eq!(t[1], 1.0);
+        assert_eq!(t[3], 1.0, "isolated node clamps degree to 1");
+        // Cached: second call returns the same table.
+        assert_eq!(t.as_ptr(), g.inv_sqrt_degrees().as_ptr());
+        // Clones compare equal and rebuild the cache lazily.
+        let c = g.clone();
+        assert_eq!(c, g);
+        assert_eq!(c.inv_sqrt_degrees(), t);
     }
 
     #[test]

@@ -36,6 +36,18 @@ impl Arch {
             Arch::Gat { .. } => "GAT",
         }
     }
+
+    /// The adjacency normalization this architecture consumes — what the
+    /// loader asks the samplers to fuse into batch values at assembly time.
+    /// GAT computes attention coefficients instead of fixed weights, so its
+    /// batches stay unnormalized.
+    pub fn normalization(&self) -> argo_sample::Normalization {
+        match self {
+            Arch::Gcn => argo_sample::Normalization::Gcn,
+            Arch::Sage => argo_sample::Normalization::Mean,
+            Arch::Gat { .. } => argo_sample::Normalization::None,
+        }
+    }
 }
 
 impl From<GnnKind> for Arch {

@@ -13,7 +13,7 @@ use std::cell::RefCell;
 
 use argo_graph::features::Features;
 use argo_rt::ThreadPool;
-use argo_sample::batch::SampledBatch;
+use argo_sample::batch::{Normalization, SampledBatch};
 use argo_tensor::ops::{accuracy, bias_grad_into, relu_backward, softmax_cross_entropy};
 use argo_tensor::{DispatchPolicy, Epilogue, Matrix, SparseMatrix, Workspace};
 
@@ -65,11 +65,28 @@ pub struct StepStats {
     pub num_seeds: usize,
 }
 
+/// One layer's normalized adjacency: either a borrow of the pre-normalized
+/// matrix the sampler fused during block assembly, or an owned matrix
+/// normalized here (legacy path for batches sampled without fusion).
+enum NormAdj<'a> {
+    Pre(&'a SparseMatrix),
+    Owned(SparseMatrix),
+}
+
 /// One layer's normalized adjacency plus the output-row count; uniform view
 /// over bipartite blocks and square ShaDow subgraphs.
-struct LayerAdj {
-    norm: SparseMatrix,
+struct LayerAdj<'a> {
+    adj: NormAdj<'a>,
     n_dst: usize,
+}
+
+impl LayerAdj<'_> {
+    fn norm(&self) -> &SparseMatrix {
+        match &self.adj {
+            NormAdj::Pre(m) => m,
+            NormAdj::Owned(m) => m,
+        }
+    }
 }
 
 /// A multi-layer GNN (hidden dims all equal, ReLU between layers, no
@@ -156,7 +173,16 @@ impl Gnn {
             .sum()
     }
 
-    fn layer_adjs(&self, batch: &SampledBatch) -> Vec<LayerAdj> {
+    /// The normalization this model wants fused into its batches.
+    fn wanted_norm(&self) -> Normalization {
+        match self.kind {
+            GnnKind::Gcn => Normalization::Gcn,
+            GnnKind::Sage => Normalization::Mean,
+        }
+    }
+
+    fn layer_adjs<'a>(&self, batch: &'a SampledBatch) -> Vec<LayerAdj<'a>> {
+        let want = self.wanted_norm();
         match batch {
             SampledBatch::Blocks(mb) => {
                 assert_eq!(
@@ -167,15 +193,32 @@ impl Gnn {
                 mb.blocks
                     .iter()
                     .map(|b| LayerAdj {
-                        norm: match self.kind {
-                            GnnKind::Gcn => b.gcn_normalized(),
-                            GnnKind::Sage => b.mean_normalized(),
+                        adj: if b.norm == want && b.adj.values().is_some() {
+                            // The sampler already fused this normalization
+                            // into the adjacency values — consume in place.
+                            NormAdj::Pre(&b.adj)
+                        } else {
+                            NormAdj::Owned(match self.kind {
+                                GnnKind::Gcn => b.gcn_normalized(),
+                                GnnKind::Sage => b.mean_normalized(),
+                            })
                         },
                         n_dst: b.dst_nodes.len(),
                     })
                     .collect()
             }
             SampledBatch::Subgraph(sb) => {
+                if sb.norm == want && sb.adj.values().is_some() {
+                    // Every layer (and the backward pass) borrows the one
+                    // pre-normalized matrix; its CSC mirror is shared too.
+                    sb.adj.csc();
+                    return (0..self.layers.len())
+                        .map(|_| LayerAdj {
+                            adj: NormAdj::Pre(&sb.adj),
+                            n_dst: sb.nodes.len(),
+                        })
+                        .collect();
+                }
                 let norm = match self.kind {
                     GnnKind::Gcn => sb.gcn_normalized(),
                     GnnKind::Sage => sb.mean_normalized(),
@@ -186,7 +229,7 @@ impl Gnn {
                 norm.csc();
                 (0..self.layers.len())
                     .map(|_| LayerAdj {
-                        norm: norm.clone(),
+                        adj: NormAdj::Owned(norm.clone()),
                         n_dst: sb.nodes.len(),
                     })
                     .collect()
@@ -216,11 +259,11 @@ impl Gnn {
         let (mut agg, mut z) = {
             let mut ws = self.ws.borrow_mut();
             (
-                ws.take(adj.norm.rows(), h.cols()),
+                ws.take(adj.norm().rows(), h.cols()),
                 ws.take(adj.n_dst, layer.w.cols()),
             )
         };
-        self.dispatch.aggregate_into(&adj.norm, h, pool, &mut agg);
+        self.dispatch.aggregate_into(adj.norm(), h, pool, &mut agg);
         let epi = if relu {
             Epilogue::bias_relu(&layer.b)
         } else {
@@ -379,9 +422,9 @@ impl Gnn {
                 GnnKind::Gcn => {
                     let dagg = dispatch.grad_input(&grad, w, 0..w.rows(), pool);
                     let mut ws = self.ws.borrow_mut();
-                    let mut dh = ws.take(adj.norm.cols(), dagg.cols());
+                    let mut dh = ws.take(adj.norm().cols(), dagg.cols());
                     drop(ws);
-                    dispatch.aggregate_transpose_into(&adj.norm, &dagg, pool, &mut dh);
+                    dispatch.aggregate_transpose_into(adj.norm(), &dagg, pool, &mut dh);
                     let mut ws = self.ws.borrow_mut();
                     ws.put(dagg);
                     ws.put(std::mem::replace(&mut grad, Matrix::zeros(0, 0)));
@@ -394,9 +437,9 @@ impl Gnn {
                     let dself = dispatch.grad_input(&grad, w, 0..f_in, pool);
                     let dmean = dispatch.grad_input(&grad, w, f_in..2 * f_in, pool);
                     let mut ws = self.ws.borrow_mut();
-                    let mut dh = ws.take(adj.norm.cols(), f_in);
+                    let mut dh = ws.take(adj.norm().cols(), f_in);
                     drop(ws);
-                    dispatch.aggregate_transpose_into(&adj.norm, &dmean, pool, &mut dh);
+                    dispatch.aggregate_transpose_into(adj.norm(), &dmean, pool, &mut dh);
                     // Self-path gradient lands on the first n_dst src rows.
                     for r in 0..adj.n_dst {
                         for (a, b) in dh.row_mut(r).iter_mut().zip(dself.row(r)) {

@@ -43,6 +43,6 @@ pub use events::{
 pub use json::Json;
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use pool::ThreadPool;
-pub use rng::SeedSequence;
+pub use rng::{SeedSequence, StreamRng};
 pub use telemetry::Telemetry;
 pub use trace::{Stage, TraceEvent, TraceRecorder};

@@ -3,6 +3,24 @@
 use argo_graph::NodeId;
 use argo_tensor::SparseMatrix;
 
+/// Which normalization the values of a sampled adjacency already carry.
+///
+/// Samplers fuse normalization into block construction (the values are
+/// written while the adjacency is assembled, using the graph's precomputed
+/// `inv_sqrt_degrees` table), so consumers that want the same scheme can use
+/// `adj` directly instead of re-walking every block to allocate a second
+/// values vector per batch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Normalization {
+    /// `adj` carries no values (binary adjacency).
+    #[default]
+    None,
+    /// Row-mean: `1/k_i` per sampled in-edge of dst `i` (GraphSAGE, Eq. 2).
+    Mean,
+    /// Symmetric GCN: `1/sqrt(D(v)·D(u))` with *global* degrees (Eq. 1).
+    Gcn,
+}
+
 /// One bipartite message-passing layer of a sampled mini-batch
 /// (DGL calls this a *block*).
 ///
@@ -23,6 +41,8 @@ pub struct Block {
     pub dst_degree: Vec<f32>,
     /// Global degree of each src node.
     pub src_degree: Vec<f32>,
+    /// Normalization already fused into `adj`'s values (if any).
+    pub norm: Normalization,
 }
 
 impl Block {
@@ -97,12 +117,17 @@ impl MiniBatch {
 pub struct SubgraphBatch {
     /// Global ids of subgraph nodes (features gathered for all of them).
     pub nodes: Vec<NodeId>,
-    /// Square relabeled adjacency over `nodes` (no values).
+    /// Square relabeled adjacency over `nodes`.
     pub adj: SparseMatrix,
     /// Positions of the seeds within `nodes`.
     pub seed_positions: Vec<usize>,
+    /// Global ids of the seeds (`nodes[p]` for each `p` in `seed_positions`),
+    /// precomputed so [`SampledBatch::seeds`] can borrow instead of allocate.
+    pub seeds: Vec<NodeId>,
     /// Global degree of each subgraph node.
     pub degree: Vec<f32>,
+    /// Normalization already fused into `adj`'s values (if any).
+    pub norm: Normalization,
 }
 
 impl SubgraphBatch {
@@ -148,11 +173,12 @@ pub enum SampledBatch {
 }
 
 impl SampledBatch {
-    /// Target nodes of the batch.
-    pub fn seeds(&self) -> Vec<NodeId> {
+    /// Target nodes of the batch. Borrows — the engine calls this per batch,
+    /// and cloning a seed vector per step was a measurable allocation.
+    pub fn seeds(&self) -> &[NodeId] {
         match self {
-            SampledBatch::Blocks(mb) => mb.seeds.clone(),
-            SampledBatch::Subgraph(sb) => sb.seed_positions.iter().map(|&p| sb.nodes[p]).collect(),
+            SampledBatch::Blocks(mb) => &mb.seeds,
+            SampledBatch::Subgraph(sb) => &sb.seeds,
         }
     }
 
@@ -194,6 +220,7 @@ mod tests {
             adj: SparseMatrix::new(2, 3, vec![0, 2, 3], vec![0, 2, 1], None),
             dst_degree: vec![4.0, 9.0],
             src_degree: vec![4.0, 9.0, 1.0],
+            norm: Normalization::None,
         }
     }
 
@@ -240,7 +267,9 @@ mod tests {
             nodes: vec![5, 6, 7],
             adj: SparseMatrix::new(3, 3, vec![0, 1, 2, 2], vec![1, 0], None),
             seed_positions: vec![0],
+            seeds: vec![5],
             degree: vec![1.0, 1.0, 0.0],
+            norm: Normalization::None,
         };
         let s = SampledBatch::Subgraph(sb);
         assert_eq!(s.seeds(), vec![5]);
@@ -254,7 +283,9 @@ mod tests {
             nodes: vec![1, 2],
             adj: SparseMatrix::new(2, 2, vec![0, 1, 1], vec![1], None),
             seed_positions: vec![0, 1],
+            seeds: vec![1, 2],
             degree: vec![3.0, 3.0],
+            norm: Normalization::None,
         };
         let m = sb.mean_normalized();
         assert_eq!(m.values().unwrap(), &[1.0]);

@@ -6,15 +6,13 @@
 //! seeds. All GNN layers run inside that subgraph, so [`SubgraphBatch`] is
 //! reused; the loss is evaluated at the seed positions.
 
-use std::collections::HashMap;
-
 use argo_graph::partition::bfs_partition;
 use argo_graph::{Graph, NodeId};
 use argo_tensor::SparseMatrix;
-use rand::rngs::SmallRng;
 
-use crate::batch::{SampledBatch, SubgraphBatch};
-use crate::Sampler;
+use crate::batch::{Normalization, SampledBatch, SubgraphBatch};
+use crate::scratch::induced_batch;
+use crate::{SampleRun, Sampler};
 
 /// Cluster-based subgraph sampler with a precomputed clustering.
 #[derive(Clone, Debug)]
@@ -58,50 +56,45 @@ impl ClusterGcnSampler {
 }
 
 impl Sampler for ClusterGcnSampler {
-    fn sample(&self, graph: &Graph, seeds: &[NodeId], _rng: &mut SmallRng) -> SampledBatch {
-        // Union of the clusters the seeds live in, seeds first.
-        let mut nodes: Vec<NodeId> = seeds.to_vec();
-        let mut local: HashMap<NodeId, u32> = HashMap::with_capacity(seeds.len() * 4);
+    fn sample_with(&self, graph: &Graph, seeds: &[NodeId], run: SampleRun<'_>) -> SampledBatch {
+        // Union of the clusters the seeds live in, seeds first. Entirely
+        // deterministic — the RNG stream and pool are unused.
+        let SampleRun { norm, scratch, .. } = run;
+        scratch.begin_dedup(graph.num_nodes());
+        let mut nodes: Vec<NodeId> = Vec::with_capacity(seeds.len() * 4);
+        nodes.extend_from_slice(seeds);
         for (i, &v) in seeds.iter().enumerate() {
-            assert!(local.insert(v, i as u32).is_none(), "duplicate seed {v}");
+            assert!(scratch.dedup_insert(v, i as u32), "duplicate seed {v}");
         }
-        let mut chosen: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
+        // Distinct cluster ids in ascending order: collect into the recycled
+        // buffer, then sort + dedup (replaces the old per-batch BTreeSet).
+        scratch.acquire_chosen(seeds.len());
+        let mut chosen = std::mem::take(&mut scratch.chosen);
         for &v in seeds {
-            chosen.insert(self.node_cluster[v as usize]);
+            chosen.push(self.node_cluster[v as usize]);
         }
-        'outer: for c in chosen {
+        chosen.sort_unstable();
+        chosen.dedup();
+        'outer: for &c in &chosen {
             for &v in &self.clusters[c as usize] {
                 if nodes.len() >= self.max_nodes {
                     break 'outer;
                 }
-                if let std::collections::hash_map::Entry::Vacant(e) = local.entry(v) {
-                    e.insert(nodes.len() as u32);
+                if scratch.dedup_insert(v, nodes.len() as u32) {
                     nodes.push(v);
                 }
             }
         }
-        let n = nodes.len();
-        let mut indptr = Vec::with_capacity(n + 1);
-        indptr.push(0usize);
-        let mut indices: Vec<u32> = Vec::new();
-        for &v in &nodes {
-            let mut row: Vec<u32> = graph
-                .neighbors(v)
-                .iter()
-                .filter_map(|u| local.get(u).copied())
-                .collect();
-            row.sort_unstable();
-            indices.extend_from_slice(&row);
-            indptr.push(indices.len());
-        }
-        let adj = SparseMatrix::new(n, n, indptr, indices, None);
-        let degree = nodes.iter().map(|&v| graph.degree(v) as f32).collect();
-        SampledBatch::Subgraph(SubgraphBatch {
-            seed_positions: (0..seeds.len()).collect(),
+        scratch.chosen = chosen;
+        let batch = induced_batch(
+            graph,
             nodes,
-            adj,
-            degree,
-        })
+            (0..seeds.len()).collect(),
+            seeds.to_vec(),
+            scratch,
+            norm,
+        );
+        SampledBatch::Subgraph(batch)
     }
 
     fn name(&self) -> &'static str {
@@ -130,7 +123,9 @@ pub fn full_graph_batch(graph: &Graph, train_nodes: &[NodeId]) -> SampledBatch {
         nodes: (0..n as NodeId).collect(),
         adj,
         seed_positions: train_nodes.iter().map(|&v| v as usize).collect(),
+        seeds: train_nodes.to_vec(),
         degree,
+        norm: Normalization::None,
     })
 }
 
@@ -138,6 +133,7 @@ pub fn full_graph_batch(graph: &Graph, train_nodes: &[NodeId]) -> SampledBatch {
 mod tests {
     use super::*;
     use argo_graph::generators::planted_communities;
+    use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
     fn subgraph(b: SampledBatch) -> SubgraphBatch {

@@ -25,25 +25,84 @@ pub mod cluster;
 pub mod loader;
 pub mod neighbor;
 pub mod saint;
+pub mod scratch;
 pub mod shadow;
 pub mod stats;
 
-pub use batch::{Block, MiniBatch, SampledBatch, SubgraphBatch};
+pub use batch::{Block, MiniBatch, Normalization, SampledBatch, SubgraphBatch};
 pub use cache::{CacheStats, FeatureCache};
 pub use cluster::{full_graph_batch, ClusterGcnSampler};
 pub use loader::{LoadedBatch, LoaderSpec, LoaderSpecBuilder, PipelinedLoader};
 pub use neighbor::NeighborSampler;
 pub use saint::SaintRwSampler;
+pub use scratch::SamplerScratch;
 pub use shadow::ShadowSampler;
 pub use stats::{batch_workload, WorkloadStats};
 
 use argo_graph::{Graph, NodeId};
+use argo_rt::{SeedSequence, ThreadPool};
 use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Everything one [`Sampler::sample_with`] call needs beyond the graph and
+/// the seeds: the deterministic RNG stream root, the normalization to fuse
+/// into the adjacency values, the caller-owned scratch arena, and an
+/// optional pool for within-batch parallelism.
+pub struct SampleRun<'a> {
+    /// Root of this batch's counter-based RNG streams. Samplers key
+    /// per-row streams off `stream.seed_for(layer, row)`, so the draws a row
+    /// consumes depend only on its logical coordinate — never on how rows
+    /// were partitioned across pool workers.
+    pub stream: SeedSequence,
+    /// Normalization to write into the adjacency values during assembly.
+    pub norm: Normalization,
+    /// Recycled per-worker scratch buffers.
+    pub scratch: &'a mut SamplerScratch,
+    /// Pool for within-batch parallel sampling (the sampling core set).
+    /// `None` runs serial; batch content is bitwise identical either way.
+    pub pool: Option<&'a ThreadPool>,
+}
+
+impl<'a> SampleRun<'a> {
+    /// A serial, unnormalized run.
+    pub fn new(stream: SeedSequence, scratch: &'a mut SamplerScratch) -> Self {
+        Self {
+            stream,
+            norm: Normalization::None,
+            scratch,
+            pool: None,
+        }
+    }
+
+    /// Fuses `norm` into the sampled adjacency values.
+    pub fn with_norm(mut self, norm: Normalization) -> Self {
+        self.norm = norm;
+        self
+    }
+
+    /// Row-partitions the per-layer pick phase across `pool`.
+    pub fn with_pool(mut self, pool: Option<&'a ThreadPool>) -> Self {
+        self.pool = pool;
+        self
+    }
+}
 
 /// A mini-batch subgraph sampler.
 pub trait Sampler: Send + Sync {
-    /// Samples the computation structure for `seeds`.
-    fn sample(&self, graph: &Graph, seeds: &[NodeId], rng: &mut SmallRng) -> SampledBatch;
+    /// Samples the computation structure for `seeds` using caller-provided
+    /// scratch state and a counter-based RNG stream. This is the hot path:
+    /// steady-state calls perform no heap allocation for sampler metadata
+    /// (the returned batch owns fresh payload memory only).
+    fn sample_with(&self, graph: &Graph, seeds: &[NodeId], run: SampleRun<'_>) -> SampledBatch;
+
+    /// Convenience wrapper: samples with throwaway scratch, seeding the
+    /// stream from `rng`. Equivalent output distribution to
+    /// [`Sampler::sample_with`]; prefer that in loops.
+    fn sample(&self, graph: &Graph, seeds: &[NodeId], rng: &mut SmallRng) -> SampledBatch {
+        let mut scratch = SamplerScratch::new();
+        let stream = SeedSequence::new(rng.next_u64());
+        self.sample_with(graph, seeds, SampleRun::new(stream, &mut scratch))
+    }
 
     /// Human-readable name ("Neighbor", "ShaDow").
     fn name(&self) -> &'static str;

@@ -21,15 +21,14 @@ use std::time::Instant;
 
 use argo_graph::{Features, Graph, NodeId};
 use argo_rt::affinity::{bind_current_thread, CoreSet};
-use argo_rt::SeedSequence;
+use argo_rt::{SeedSequence, ThreadPool};
 use argo_tensor::Matrix;
 use crossbeam::channel::{bounded, Receiver};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
-use crate::batch::SampledBatch;
+use crate::batch::{Normalization, SampledBatch};
 use crate::cache::FeatureCache;
-use crate::Sampler;
+use crate::scratch::SamplerScratch;
+use crate::{SampleRun, Sampler};
 
 /// Everything [`PipelinedLoader::start`] needs for one epoch of one
 /// process. Construct via [`LoaderSpec::builder`].
@@ -61,6 +60,14 @@ pub struct LoaderSpec {
     /// Shared cross-batch feature cache consulted before
     /// [`Features::gather`]. Ignored unless `features` is set.
     pub cache: Option<Arc<FeatureCache>>,
+    /// Fused normalization the samplers write into each batch's adjacency
+    /// values during construction (no post-pass on the training side).
+    pub normalization: Normalization,
+    /// Within-batch sampling parallelism. When > 1, each worker
+    /// row-partitions a batch's seed rows over a thread pool spanning the
+    /// sampling core set. Batch content is bitwise independent of this knob
+    /// because every pick row draws from its own counter-based RNG stream.
+    pub samp_pool: usize,
 }
 
 impl LoaderSpec {
@@ -85,6 +92,8 @@ impl LoaderSpec {
                 prefetch: 4,
                 features: None,
                 cache: None,
+                normalization: Normalization::None,
+                samp_pool: 1,
             },
         }
     }
@@ -144,6 +153,18 @@ impl LoaderSpecBuilder {
         self
     }
 
+    /// Fused normalization written into each batch's adjacency values.
+    pub fn normalization(mut self, normalization: Normalization) -> Self {
+        self.spec.normalization = normalization;
+        self
+    }
+
+    /// Within-batch sampling parallelism (1 = off).
+    pub fn samp_pool(mut self, samp_pool: usize) -> Self {
+        self.spec.samp_pool = samp_pool;
+        self
+    }
+
     /// Finalizes the spec.
     pub fn build(self) -> LoaderSpec {
         self.spec
@@ -165,6 +186,9 @@ pub struct LoadedBatch {
     /// Wall-clock seconds the worker spent gathering `input` (0 when no
     /// pre-gather happened).
     pub gather_seconds: f64,
+    /// Scratch-arena allocations this batch charged to the producing
+    /// worker's [`SamplerScratch`] (0 once the arena is warm).
+    pub scratch_allocs: u64,
 }
 
 struct Indexed {
@@ -215,8 +239,10 @@ impl PipelinedLoader {
             prefetch,
             features,
             cache,
+            normalization,
+            samp_pool,
         } = spec;
-        assert!(batch_size > 0 && n_samp > 0);
+        assert!(batch_size > 0 && n_samp > 0 && samp_pool > 0);
         let total = seeds.len().div_ceil(batch_size);
         let (tx, rx) = bounded::<Indexed>(prefetch.max(1));
         let cursor = Arc::new(AtomicUsize::new(0));
@@ -234,6 +260,7 @@ impl PipelinedLoader {
             } else {
                 Some(CoreSet::new(vec![cores.ids()[w % cores.len()]]))
             };
+            let pool_cores = cores.clone();
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("argo-sampler-{w}"))
@@ -241,6 +268,17 @@ impl PipelinedLoader {
                         if let Some(c) = &my_core {
                             let _ = bind_current_thread(c);
                         }
+                        // Per-worker persistent state: the scratch arena is
+                        // warm after the first batch, and the within-batch
+                        // pool (when enabled) spans the sampling core set.
+                        let mut scratch = SamplerScratch::new();
+                        let pool = (samp_pool > 1).then(|| {
+                            if pool_cores.is_empty() {
+                                ThreadPool::new("argo-samp", samp_pool)
+                            } else {
+                                ThreadPool::pinned("argo-samp", &pool_cores)
+                            }
+                        });
                         loop {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
                             if i >= total {
@@ -248,9 +286,13 @@ impl PipelinedLoader {
                             }
                             let lo = i * batch_size;
                             let hi = ((i + 1) * batch_size).min(seeds.len());
-                            let mut rng =
-                                SmallRng::seed_from_u64(epoch_seeds.seed_for(epoch, i as u64));
-                            let batch = sampler.sample(&graph, &seeds[lo..hi], &mut rng);
+                            let stream = SeedSequence::new(epoch_seeds.seed_for(epoch, i as u64));
+                            let allocs_before = scratch.allocs();
+                            let run = SampleRun::new(stream, &mut scratch)
+                                .with_norm(normalization)
+                                .with_pool(pool.as_ref());
+                            let batch = sampler.sample_with(&graph, &seeds[lo..hi], run);
+                            let scratch_allocs = scratch.allocs() - allocs_before;
                             let (input, gather_seconds) = match &features {
                                 Some(f) => {
                                     let t0 = Instant::now();
@@ -268,6 +310,7 @@ impl PipelinedLoader {
                                 batch,
                                 input,
                                 gather_seconds,
+                                scratch_allocs,
                             };
                             if tx
                                 .send(Indexed {
@@ -365,19 +408,52 @@ mod tests {
 
     #[test]
     fn batch_content_independent_of_worker_count() {
+        // Neither the number of sampler threads nor the within-batch pool
+        // width may change what gets sampled: batch i of epoch e is a pure
+        // function of (epoch_seeds, e, i).
         let (g, s, seeds) = setup();
-        let run = |n_samp: usize| -> Vec<Vec<NodeId>> {
+        let run = |n_samp: usize, samp_pool: usize| -> Vec<Vec<NodeId>> {
             LoaderSpec::builder(Arc::clone(&g), Arc::clone(&s), Arc::clone(&seeds))
                 .batch_size(10)
                 .epoch(3)
                 .epoch_seeds(SeedSequence::new(7))
                 .n_samp(n_samp)
+                .samp_pool(samp_pool)
                 .prefetch(2)
                 .start()
                 .map(|(_, b)| b.batch.input_nodes().to_vec())
                 .collect()
         };
-        assert_eq!(run(1), run(4));
+        let reference = run(1, 1);
+        assert_eq!(reference, run(4, 1));
+        assert_eq!(reference, run(1, 2));
+        assert_eq!(reference, run(1, 4));
+        assert_eq!(reference, run(2, 2));
+    }
+
+    #[test]
+    fn steady_state_sampling_is_allocation_free() {
+        // The scratch arena warms up on the first batch; after that the
+        // worker loop charges zero allocations for sampler metadata. Every
+        // batch here has identical seed content (nodes 0..16), so the warm
+        // arena is provably large enough for all later batches.
+        let g = Arc::new(power_law(500, 5000, 0.8, 1));
+        let s: Arc<dyn Sampler> = Arc::new(NeighborSampler::new(vec![5, 3]));
+        let seeds: Arc<Vec<NodeId>> = Arc::new((0..12).flat_map(|_| 0..16).collect());
+        let allocs: Vec<u64> = LoaderSpec::builder(g, s, seeds)
+            .batch_size(16)
+            .epoch_seeds(SeedSequence::new(11))
+            .normalization(Normalization::Gcn)
+            .n_samp(1)
+            .start()
+            .map(|(_, b)| b.scratch_allocs)
+            .collect();
+        assert_eq!(allocs.len(), 12);
+        assert!(allocs[0] > 0, "first batch must warm the arena: {allocs:?}");
+        assert!(
+            allocs[1..].iter().all(|&a| a == 0),
+            "steady state must not allocate: {allocs:?}"
+        );
     }
 
     #[test]

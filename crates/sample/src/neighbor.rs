@@ -1,12 +1,12 @@
 //! Layer-wise neighbor sampling (Hamilton et al. 2017; paper Section II-B).
 
 use argo_graph::{Graph, NodeId};
+use argo_rt::{SeedSequence, StreamRng, ThreadPool};
 use argo_tensor::SparseMatrix;
-use rand::rngs::SmallRng;
-use rand::Rng;
 
-use crate::batch::{Block, MiniBatch, SampledBatch};
-use crate::Sampler;
+use crate::batch::{Block, MiniBatch, Normalization, SampledBatch};
+use crate::scratch::SamplerScratch;
+use crate::{SampleRun, Sampler};
 
 /// Neighbor sampler with per-layer fanouts, ordered input layer → output
 /// layer (the paper uses `[15, 10, 5]`: the layer nearest the input samples
@@ -34,74 +34,215 @@ impl NeighborSampler {
     }
 }
 
-/// Samples up to `fanout` distinct neighbors of `v` without replacement
-/// (partial Fisher–Yates over a scratch copy when the neighborhood is
-/// larger than the fanout).
-fn sample_neighbors(
+/// Picks up to `fanout` neighbors of `v` into `out` (length ≥ `fanout`),
+/// returning the pick count.
+///
+/// When the row is no larger than the fanout the whole row is copied. When
+/// it is larger, Robert Floyd's algorithm samples `fanout` *distinct
+/// positions* in `0..deg` — uniform without replacement, O(fanout log
+/// fanout), and crucially no degree-sized copy of the adjacency row: a hub
+/// node with thousands of neighbors costs the same as any other row.
+/// Distinct positions preserve the multi-edge semantics of the old partial
+/// Fisher–Yates (a neighbor repeats only as often as its multiplicity).
+fn pick_row(
     graph: &Graph,
     v: NodeId,
     fanout: usize,
-    rng: &mut SmallRng,
-    scratch: &mut Vec<NodeId>,
-    out: &mut Vec<NodeId>,
-) {
+    mut rng: StreamRng,
+    out: &mut [NodeId],
+    positions: &mut Vec<u32>,
+) -> u32 {
     let neigh = graph.neighbors(v);
-    if neigh.len() <= fanout {
-        out.extend_from_slice(neigh);
-        return;
+    let deg = neigh.len();
+    if deg <= fanout {
+        out[..deg].copy_from_slice(neigh);
+        return deg as u32;
     }
-    scratch.clear();
-    scratch.extend_from_slice(neigh);
-    for i in 0..fanout {
-        let j = rng.gen_range(i..scratch.len());
-        scratch.swap(i, j);
-        out.push(scratch[i]);
+    crate::scratch::floyd_positions(&mut rng, deg, fanout, positions);
+    for (k, &p) in positions.iter().enumerate() {
+        out[k] = neigh[p as usize];
+    }
+    fanout as u32
+}
+
+/// Pick phase for one layer: fills `scratch.picked` (stride `fanout`) and
+/// `scratch.counts` for every row of `dst`. Each row draws from its own
+/// counter-based stream keyed by `(layer, row)`, so the picks are a pure
+/// function of the row's logical coordinate — the pool path partitions rows
+/// across workers and produces bitwise-identical buffers to the serial path.
+fn pick_layer(
+    graph: &Graph,
+    dst: &[NodeId],
+    fanout: usize,
+    stream: SeedSequence,
+    layer: u64,
+    scratch: &mut SamplerScratch,
+    pool: Option<&ThreadPool>,
+) {
+    let rows = dst.len();
+    scratch.acquire_picks(rows, fanout);
+    match pool {
+        Some(pool) if pool.size() > 1 && rows >= 2 => {
+            // Workers write disjoint row windows of the two buffers; share
+            // the base pointers as plain addresses (same idiom as
+            // `ThreadPool::parallel_chunks_mut`).
+            let picked_addr = scratch.picked.as_mut_ptr() as usize;
+            let counts_addr = scratch.counts.as_mut_ptr() as usize;
+            pool.parallel_ranges(rows, |range| {
+                // SAFETY: `parallel_ranges` hands out disjoint row ranges
+                // and both buffers were sized for `rows` rows above, so each
+                // worker touches a private, in-bounds window; the buffers
+                // outlive the call because `parallel_ranges` blocks.
+                let picked = unsafe {
+                    std::slice::from_raw_parts_mut(
+                        (picked_addr as *mut NodeId).add(range.start * fanout),
+                        range.len() * fanout,
+                    )
+                };
+                // SAFETY: as above — disjoint per-worker window of `counts`.
+                let counts = unsafe {
+                    std::slice::from_raw_parts_mut(
+                        (counts_addr as *mut u32).add(range.start),
+                        range.len(),
+                    )
+                };
+                let mut positions = Vec::with_capacity(fanout);
+                for (k, i) in range.enumerate() {
+                    let rng = StreamRng::new(stream.seed_for(layer, i as u64));
+                    counts[k] = pick_row(
+                        graph,
+                        dst[i],
+                        fanout,
+                        rng,
+                        &mut picked[k * fanout..(k + 1) * fanout],
+                        &mut positions,
+                    );
+                }
+            });
+        }
+        _ => {
+            scratch.acquire_positions(fanout);
+            let picked = &mut scratch.picked;
+            let counts = &mut scratch.counts;
+            let positions = &mut scratch.positions;
+            for (i, &v) in dst.iter().enumerate() {
+                let rng = StreamRng::new(stream.seed_for(layer, i as u64));
+                counts[i] = pick_row(
+                    graph,
+                    v,
+                    fanout,
+                    rng,
+                    &mut picked[i * fanout..(i + 1) * fanout],
+                    positions,
+                );
+            }
+        }
     }
 }
 
 impl Sampler for NeighborSampler {
-    fn sample(&self, graph: &Graph, seeds: &[NodeId], rng: &mut SmallRng) -> SampledBatch {
+    fn sample_with(&self, graph: &Graph, seeds: &[NodeId], run: SampleRun<'_>) -> SampledBatch {
+        let SampleRun {
+            stream,
+            norm,
+            scratch,
+            pool,
+        } = run;
         let num_layers = self.fanouts.len();
+        let inv_sqrt: &[f32] = if norm == Normalization::Gcn {
+            graph.inv_sqrt_degrees()
+        } else {
+            &[]
+        };
         let mut blocks_rev: Vec<Block> = Vec::with_capacity(num_layers);
         let mut dst: Vec<NodeId> = seeds.to_vec();
-        let mut scratch: Vec<NodeId> = Vec::new();
+        // Warm the pick buffers to their worst case up front. Realized
+        // per-layer row counts drift batch to batch (dedup), but this bound
+        // depends only on the seed count and the graph size, so a warm
+        // arena never grows mid-epoch.
+        {
+            let n = graph.num_nodes();
+            let mut rows_bound = seeds.len();
+            let (mut worst_rows, mut worst_picked) = (0usize, 0usize);
+            for layer in (0..num_layers).rev() {
+                let fanout = self.fanouts[layer];
+                let r = rows_bound.min(n);
+                worst_rows = worst_rows.max(r);
+                worst_picked = worst_picked.max(r * fanout);
+                rows_bound = r + r * fanout;
+            }
+            scratch.warm_picks(worst_rows, worst_picked);
+        }
         // Build from the output layer inward (fanouts accessed in reverse).
         for layer in (0..num_layers).rev() {
             let fanout = self.fanouts[layer];
-            // src starts with a copy of dst so layers can self-reference.
-            let mut src: Vec<NodeId> = dst.clone();
-            let mut local: std::collections::HashMap<NodeId, u32> =
-                std::collections::HashMap::with_capacity(dst.len() * (fanout + 1));
+            let rows = dst.len();
+            pick_layer(graph, &dst, fanout, stream, layer as u64, scratch, pool);
+            // Relabel phase (serial): dense-table dedup in row order. src
+            // starts with a copy of dst so layers can self-reference.
+            scratch.begin_dedup(graph.num_nodes());
+            let mut src: Vec<NodeId> = Vec::with_capacity(rows * (fanout / 2 + 1));
+            src.extend_from_slice(&dst);
             for (i, &v) in dst.iter().enumerate() {
-                local.insert(v, i as u32);
+                scratch.dedup_insert(v, i as u32);
             }
-            let mut indptr = Vec::with_capacity(dst.len() + 1);
+            let mut indptr = Vec::with_capacity(rows + 1);
             indptr.push(0usize);
-            let mut indices: Vec<u32> = Vec::with_capacity(dst.len() * fanout);
-            let mut picked: Vec<NodeId> = Vec::with_capacity(fanout);
-            for &v in dst.iter() {
-                picked.clear();
-                sample_neighbors(graph, v, fanout, rng, &mut scratch, &mut picked);
-                for &u in &picked {
-                    let idx = *local.entry(u).or_insert_with(|| {
-                        src.push(u);
-                        (src.len() - 1) as u32
-                    });
+            let mut indices: Vec<u32> = Vec::with_capacity(rows * fanout);
+            let mut values: Option<Vec<f32>> =
+                (norm != Normalization::None).then(|| Vec::with_capacity(rows * fanout));
+            // Move the pick buffers out so the dedup table can be borrowed
+            // mutably alongside them (moved back below; no allocation).
+            let picked = std::mem::take(&mut scratch.picked);
+            let counts = std::mem::take(&mut scratch.counts);
+            for i in 0..rows {
+                let cnt = counts[i] as usize;
+                let row = &picked[i * fanout..i * fanout + cnt];
+                for &u in row {
+                    let idx = match scratch.dedup_get(u) {
+                        Some(idx) => idx,
+                        None => {
+                            let idx = src.len() as u32;
+                            scratch.dedup_insert(u, idx);
+                            src.push(u);
+                            idx
+                        }
+                    };
                     indices.push(idx);
+                }
+                // Fused normalization: values land during assembly instead
+                // of a second walk over the finished block.
+                if let Some(vals) = &mut values {
+                    if norm == Normalization::Mean {
+                        let inv = 1.0 / (cnt.max(1)) as f32;
+                        for _ in 0..cnt {
+                            vals.push(inv);
+                        }
+                    } else {
+                        let dv = inv_sqrt[dst[i] as usize];
+                        for &u in row {
+                            vals.push(dv * inv_sqrt[u as usize]);
+                        }
+                    }
                 }
                 indptr.push(indices.len());
             }
-            let adj = SparseMatrix::new(dst.len(), src.len(), indptr, indices, None);
+            scratch.picked = picked;
+            scratch.counts = counts;
+            let adj = SparseMatrix::new(rows, src.len(), indptr, indices, values);
             let dst_degree = dst.iter().map(|&v| graph.degree(v) as f32).collect();
             let src_degree = src.iter().map(|&v| graph.degree(v) as f32).collect();
+            let mut next: Vec<NodeId> = Vec::with_capacity(src.len());
+            next.extend_from_slice(&src);
             blocks_rev.push(Block {
-                src_nodes: src.clone(),
-                dst_nodes: std::mem::take(&mut dst),
+                src_nodes: src,
+                dst_nodes: dst,
                 adj,
                 dst_degree,
                 src_degree,
+                norm,
             });
-            dst = src;
+            dst = next;
         }
         blocks_rev.reverse();
         SampledBatch::Blocks(MiniBatch {
@@ -123,6 +264,7 @@ impl Sampler for NeighborSampler {
 mod tests {
     use super::*;
     use argo_graph::generators::power_law;
+    use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
     fn rng(seed: u64) -> SmallRng {

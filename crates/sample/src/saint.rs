@@ -7,12 +7,11 @@
 //! sampler reuses [`SubgraphBatch`].
 
 use argo_graph::{Graph, NodeId};
-use argo_tensor::SparseMatrix;
-use rand::rngs::SmallRng;
-use rand::Rng;
+use argo_rt::StreamRng;
 
-use crate::batch::{SampledBatch, SubgraphBatch};
-use crate::Sampler;
+use crate::batch::SampledBatch;
+use crate::scratch::induced_batch;
+use crate::{SampleRun, Sampler};
 
 /// Random-walk subgraph sampler.
 #[derive(Clone, Debug)]
@@ -45,50 +44,45 @@ impl SaintRwSampler {
 }
 
 impl Sampler for SaintRwSampler {
-    fn sample(&self, graph: &Graph, seeds: &[NodeId], rng: &mut SmallRng) -> SampledBatch {
-        let mut nodes: Vec<NodeId> = seeds.to_vec();
-        let mut local: std::collections::HashMap<NodeId, u32> =
-            std::collections::HashMap::with_capacity(seeds.len() * (self.walk_length + 1));
+    fn sample_with(&self, graph: &Graph, seeds: &[NodeId], run: SampleRun<'_>) -> SampledBatch {
+        // Dedup-dominated like ShaDow; the pool is intentionally unused.
+        let SampleRun {
+            stream,
+            norm,
+            scratch,
+            ..
+        } = run;
+        scratch.begin_dedup(graph.num_nodes());
+        let mut nodes: Vec<NodeId> = Vec::with_capacity(seeds.len() * (self.walk_length + 1));
+        nodes.extend_from_slice(seeds);
         for (i, &v) in seeds.iter().enumerate() {
-            assert!(local.insert(v, i as u32).is_none(), "duplicate seed {v}");
+            assert!(scratch.dedup_insert(v, i as u32), "duplicate seed {v}");
         }
-        for &root in seeds {
+        for (ri, &root) in seeds.iter().enumerate() {
+            // One counter stream per root: the walk a root takes depends
+            // only on its position in the batch.
+            let mut rng = StreamRng::new(stream.seed_for(0, ri as u64));
             let mut cur = root;
             for _ in 0..self.walk_length {
                 let neigh = graph.neighbors(cur);
                 if neigh.is_empty() {
                     break;
                 }
-                cur = neigh[rng.gen_range(0..neigh.len())];
-                if let std::collections::hash_map::Entry::Vacant(e) = local.entry(cur) {
-                    e.insert(nodes.len() as u32);
+                cur = neigh[rng.index(neigh.len())];
+                if scratch.dedup_insert(cur, nodes.len() as u32) {
                     nodes.push(cur);
                 }
             }
         }
-        // Induced adjacency over the visited set.
-        let n = nodes.len();
-        let mut indptr = Vec::with_capacity(n + 1);
-        indptr.push(0usize);
-        let mut indices: Vec<u32> = Vec::new();
-        for &v in &nodes {
-            let mut row: Vec<u32> = graph
-                .neighbors(v)
-                .iter()
-                .filter_map(|u| local.get(u).copied())
-                .collect();
-            row.sort_unstable();
-            indices.extend_from_slice(&row);
-            indptr.push(indices.len());
-        }
-        let adj = SparseMatrix::new(n, n, indptr, indices, None);
-        let degree = nodes.iter().map(|&v| graph.degree(v) as f32).collect();
-        SampledBatch::Subgraph(SubgraphBatch {
-            seed_positions: (0..seeds.len()).collect(),
+        let batch = induced_batch(
+            graph,
             nodes,
-            adj,
-            degree,
-        })
+            (0..seeds.len()).collect(),
+            seeds.to_vec(),
+            scratch,
+            norm,
+        );
+        SampledBatch::Subgraph(batch)
     }
 
     fn name(&self) -> &'static str {
@@ -103,7 +97,9 @@ impl Sampler for SaintRwSampler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::batch::SubgraphBatch;
     use argo_graph::generators::power_law;
+    use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
     fn subgraph(b: SampledBatch) -> SubgraphBatch {

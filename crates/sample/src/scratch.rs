@@ -1,0 +1,309 @@
+//! Reusable per-worker sampler scratch state.
+//!
+//! Mirrors the tensor crate's workspace arena: every sampler obtains its
+//! bookkeeping buffers — the dense dedup table, the per-row pick buffers,
+//! Floyd position sets, BFS frontiers — from a [`SamplerScratch`] owned by
+//! the calling worker, so the steady-state sampling loop performs **zero
+//! per-batch heap allocations for sampler metadata**. (The returned batch
+//! itself owns fresh memory, of course: it is payload handed across the
+//! pipeline, not bookkeeping.)
+//!
+//! The dedup table is *epoch-stamped*: membership of node `v` is
+//! `stamp[v] == generation`, so clearing between dedup sessions is a single
+//! generation bump instead of an O(num_nodes) wipe or a `HashMap` rebuild.
+//! The table resets itself on the (once per ~4 billion sessions) generation
+//! wraparound.
+//!
+//! Growth is tracked by the same two counters the tensor workspace exposes:
+//! an acquisition that must grow a buffer's capacity counts as an alloc,
+//! one served from existing capacity counts as a reuse. The loader's
+//! recycle test pins allocs to the first batch only.
+
+use argo_graph::{Graph, NodeId};
+use argo_rt::StreamRng;
+use argo_tensor::SparseMatrix;
+
+use crate::batch::{Normalization, SubgraphBatch};
+
+/// Scratch buffers recycled across [`Sampler::sample_with`](crate::Sampler)
+/// calls.
+#[derive(Debug, Default)]
+pub struct SamplerScratch {
+    /// Dense dedup table: `stamp[v] == generation` means `v` is present.
+    stamp: Vec<u32>,
+    /// Local (relabeled) index of `v`, valid only when stamped.
+    slot: Vec<u32>,
+    generation: u32,
+    /// Flat per-row neighbor picks, stride `fanout`.
+    pub(crate) picked: Vec<NodeId>,
+    /// Number of valid picks per row.
+    pub(crate) counts: Vec<u32>,
+    /// Floyd sample of distinct in-row positions (serial pick path).
+    pub(crate) positions: Vec<u32>,
+    /// Current BFS frontier (ShaDow) / walk roots.
+    pub(crate) frontier: Vec<NodeId>,
+    /// Next BFS frontier being built.
+    pub(crate) next_frontier: Vec<NodeId>,
+    /// Chosen cluster ids (Cluster-GCN).
+    pub(crate) chosen: Vec<u32>,
+    allocs: u64,
+    reuses: u64,
+}
+
+/// Clears `buf` and resizes it to `len`, reporting whether capacity grew.
+fn prep(buf: &mut Vec<u32>, len: usize) -> bool {
+    let grew = buf.capacity() < len;
+    buf.clear();
+    buf.resize(len, 0);
+    grew
+}
+
+impl SamplerScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Acquisitions that had to grow a buffer (cold path).
+    pub fn allocs(&self) -> u64 {
+        self.allocs
+    }
+
+    /// Acquisitions served entirely from recycled capacity.
+    pub fn reuses(&self) -> u64 {
+        self.reuses
+    }
+
+    fn note(&mut self, grew: bool) {
+        if grew {
+            self.allocs += 1;
+        } else {
+            self.reuses += 1;
+        }
+    }
+
+    /// Starts a dedup session over a graph with `num_nodes` nodes. All
+    /// previous membership is forgotten in O(1).
+    pub(crate) fn begin_dedup(&mut self, num_nodes: usize) {
+        if self.stamp.len() < num_nodes {
+            let grew = self.stamp.capacity() < num_nodes || self.slot.capacity() < num_nodes;
+            self.stamp.resize(num_nodes, 0);
+            self.slot.resize(num_nodes, 0);
+            self.note(grew);
+        } else {
+            self.note(false);
+        }
+        if self.generation == u32::MAX {
+            self.stamp.fill(0);
+            self.generation = 0;
+        }
+        self.generation += 1;
+    }
+
+    /// Inserts `v` with local index `slot` unless already present. Returns
+    /// whether it was newly inserted.
+    #[inline]
+    pub(crate) fn dedup_insert(&mut self, v: NodeId, slot: u32) -> bool {
+        let i = v as usize;
+        if self.stamp[i] == self.generation {
+            return false;
+        }
+        self.stamp[i] = self.generation;
+        self.slot[i] = slot;
+        true
+    }
+
+    /// Local index of `v` in the current dedup session, if present.
+    #[inline]
+    pub(crate) fn dedup_get(&self, v: NodeId) -> Option<u32> {
+        let i = v as usize;
+        (self.stamp[i] == self.generation).then(|| self.slot[i])
+    }
+
+    /// Ensures the pick buffers can hold `rows` rows / `picked` flat entries
+    /// without growing. Called once per batch with a worst-case bound that
+    /// depends only on the seed count, so realized per-layer row counts —
+    /// which drift batch to batch under dedup — never grow a warm arena.
+    pub(crate) fn warm_picks(&mut self, rows: usize, picked: usize) {
+        let grew = self.picked.capacity() < picked || self.counts.capacity() < rows;
+        self.note(grew);
+        if grew {
+            self.picked.reserve(picked);
+            self.counts.reserve(rows);
+        }
+    }
+
+    /// Acquires the flat pick buffer (`rows * fanout`) and the per-row count
+    /// buffer for one layer's pick phase.
+    pub(crate) fn acquire_picks(&mut self, rows: usize, fanout: usize) {
+        let g1 = prep(&mut self.picked, rows * fanout);
+        let g2 = prep(&mut self.counts, rows);
+        self.note(g1 || g2);
+    }
+
+    /// Acquires the Floyd position buffer with room for `fanout` entries.
+    pub(crate) fn acquire_positions(&mut self, fanout: usize) {
+        let grew = self.positions.capacity() < fanout;
+        self.positions.clear();
+        self.note(grew);
+        if grew {
+            self.positions.reserve(fanout);
+        }
+    }
+
+    /// Acquires both frontier buffers with room for `hint` nodes each.
+    pub(crate) fn acquire_frontiers(&mut self, hint: usize) {
+        let grew = self.frontier.capacity() < hint || self.next_frontier.capacity() < hint;
+        self.frontier.clear();
+        self.next_frontier.clear();
+        self.note(grew);
+        if grew {
+            self.frontier.reserve(hint);
+            self.next_frontier.reserve(hint);
+        }
+    }
+
+    /// Acquires the chosen-cluster buffer with room for `hint` entries.
+    pub(crate) fn acquire_chosen(&mut self, hint: usize) {
+        let grew = self.chosen.capacity() < hint;
+        self.chosen.clear();
+        self.note(grew);
+        if grew {
+            self.chosen.reserve(hint);
+        }
+    }
+
+    /// Records buffer growth observed outside an `acquire_*` call (e.g. a
+    /// BFS frontier that outgrew its hint while being pushed to).
+    pub(crate) fn note_growth(&mut self, grew: bool) {
+        self.note(grew);
+    }
+}
+
+/// Robert Floyd's algorithm: a uniform sample of `fanout` *distinct*
+/// positions in `0..deg` (`deg > fanout`), left sorted in `positions`.
+///
+/// For `j` in `deg-fanout..deg`, draw `t` in `0..=j`; on a collision insert
+/// `j` instead. `j` strictly exceeds every entry already present, so the
+/// collision case appends at the end and fresh draws binary-search to their
+/// slot — O(fanout log fanout), no degree-sized copy, no hash set.
+pub(crate) fn floyd_positions(
+    rng: &mut StreamRng,
+    deg: usize,
+    fanout: usize,
+    positions: &mut Vec<u32>,
+) {
+    positions.clear();
+    for j in (deg - fanout)..deg {
+        let t = rng.index(j + 1) as u32;
+        match positions.binary_search(&t) {
+            Ok(_) => positions.push(j as u32),
+            Err(at) => positions.insert(at, t),
+        }
+    }
+}
+
+/// Builds the induced, relabeled [`SubgraphBatch`] over `nodes`, using the
+/// scratch's *current* dedup session as the relabel map (every entry of
+/// `nodes` must be registered in it) and writing fused normalization values
+/// during row assembly instead of a second pass over the finished batch.
+pub(crate) fn induced_batch(
+    graph: &Graph,
+    nodes: Vec<NodeId>,
+    seed_positions: Vec<usize>,
+    seeds: Vec<NodeId>,
+    scratch: &SamplerScratch,
+    norm: Normalization,
+) -> SubgraphBatch {
+    let inv_sqrt: &[f32] = if norm == Normalization::Gcn {
+        graph.inv_sqrt_degrees()
+    } else {
+        &[]
+    };
+    let n = nodes.len();
+    let mut indptr = Vec::with_capacity(n + 1);
+    indptr.push(0usize);
+    let mut indices: Vec<u32> = Vec::new();
+    let mut values: Option<Vec<f32>> = (norm != Normalization::None).then(Vec::new);
+    for &v in &nodes {
+        let start = indices.len();
+        for &u in graph.neighbors(v) {
+            if let Some(j) = scratch.dedup_get(u) {
+                indices.push(j);
+            }
+        }
+        // The graph's adjacency is sorted by *global* id; local ids follow
+        // discovery order, so re-sort the row segment in place.
+        indices[start..].sort_unstable();
+        if let Some(vals) = &mut values {
+            let cnt = indices.len() - start;
+            if norm == Normalization::Mean {
+                let inv = 1.0 / (cnt.max(1)) as f32;
+                for _ in 0..cnt {
+                    vals.push(inv);
+                }
+            } else {
+                let dv = inv_sqrt[v as usize];
+                for &j in &indices[start..] {
+                    vals.push(dv * inv_sqrt[nodes[j as usize] as usize]);
+                }
+            }
+        }
+        indptr.push(indices.len());
+    }
+    let adj = SparseMatrix::new(n, n, indptr, indices, values);
+    let degree = nodes.iter().map(|&v| graph.degree(v) as f32).collect();
+    SubgraphBatch {
+        nodes,
+        adj,
+        seed_positions,
+        seeds,
+        degree,
+        norm,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_session_isolates_generations() {
+        let mut s = SamplerScratch::new();
+        s.begin_dedup(8);
+        assert!(s.dedup_insert(3, 0));
+        assert!(!s.dedup_insert(3, 1));
+        assert_eq!(s.dedup_get(3), Some(0));
+        assert_eq!(s.dedup_get(4), None);
+        s.begin_dedup(8);
+        assert_eq!(s.dedup_get(3), None, "new session forgets old members");
+        assert!(s.dedup_insert(3, 7));
+        assert_eq!(s.dedup_get(3), Some(7));
+    }
+
+    #[test]
+    fn generation_wraparound_resets_table() {
+        let mut s = SamplerScratch::new();
+        s.begin_dedup(4);
+        s.dedup_insert(1, 0);
+        s.generation = u32::MAX; // fast-forward to the wraparound edge
+        s.begin_dedup(4);
+        assert_eq!(s.generation, 1);
+        assert_eq!(s.dedup_get(1), None, "stale stamps must not alias");
+    }
+
+    #[test]
+    fn buffers_alloc_once_then_recycle() {
+        let mut s = SamplerScratch::new();
+        s.acquire_picks(64, 10);
+        s.acquire_positions(10);
+        assert!(s.allocs() > 0);
+        let after_first = s.allocs();
+        for _ in 0..5 {
+            s.acquire_picks(64, 10);
+            s.acquire_picks(16, 5); // smaller shapes reuse the same capacity
+            s.acquire_positions(10);
+        }
+        assert_eq!(s.allocs(), after_first, "steady state must not allocate");
+        assert!(s.reuses() > 0);
+    }
+}

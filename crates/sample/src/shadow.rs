@@ -6,12 +6,11 @@
 //! receptive-field scope and avoiding neighbor explosion.
 
 use argo_graph::{Graph, NodeId};
-use argo_tensor::SparseMatrix;
-use rand::rngs::SmallRng;
-use rand::Rng;
+use argo_rt::StreamRng;
 
-use crate::batch::{SampledBatch, SubgraphBatch};
-use crate::Sampler;
+use crate::batch::SampledBatch;
+use crate::scratch::{floyd_positions, induced_batch};
+use crate::{SampleRun, Sampler};
 
 /// ShaDow sampler: localized-subgraph fanouts plus the number of GNN layers
 /// that will run on the subgraph.
@@ -46,70 +45,76 @@ impl ShadowSampler {
 }
 
 impl Sampler for ShadowSampler {
-    fn sample(&self, graph: &Graph, seeds: &[NodeId], rng: &mut SmallRng) -> SampledBatch {
-        // Hop-limited randomized BFS from all seeds at once; dedup keeps the
-        // union of the localized subgraphs, seeds first.
-        let mut nodes: Vec<NodeId> = seeds.to_vec();
-        let mut local: std::collections::HashMap<NodeId, u32> =
-            std::collections::HashMap::with_capacity(seeds.len() * 8);
+    fn sample_with(&self, graph: &Graph, seeds: &[NodeId], run: SampleRun<'_>) -> SampledBatch {
+        // Hop-limited randomized BFS from all seeds at once; the dense dedup
+        // table keeps the union of the localized subgraphs, seeds first.
+        // The pool is intentionally unused: this sampler is dedup-dominated
+        // and its frontier order is inherently sequential.
+        let SampleRun {
+            stream,
+            norm,
+            scratch,
+            ..
+        } = run;
+        scratch.begin_dedup(graph.num_nodes());
+        let mut nodes: Vec<NodeId> = Vec::with_capacity(seeds.len() * 8);
+        nodes.extend_from_slice(seeds);
         for (i, &v) in seeds.iter().enumerate() {
             assert!(
-                local.insert(v, i as u32).is_none(),
+                scratch.dedup_insert(v, i as u32),
                 "duplicate seed {v} in ShaDow batch"
             );
         }
-        let mut frontier: Vec<NodeId> = seeds.to_vec();
-        let mut scratch: Vec<NodeId> = Vec::new();
-        for &fanout in &self.fanouts {
-            let mut next: Vec<NodeId> = Vec::new();
-            for &v in &frontier {
+        scratch.acquire_frontiers(seeds.len());
+        let max_fanout = self.fanouts.iter().copied().fold(0, usize::max);
+        scratch.acquire_positions(max_fanout);
+        // Move the buffers out so the dedup table stays borrowable (moved
+        // back below; no allocation).
+        let mut frontier = std::mem::take(&mut scratch.frontier);
+        let mut next = std::mem::take(&mut scratch.next_frontier);
+        let mut positions = std::mem::take(&mut scratch.positions);
+        let caps_before = frontier.capacity() + next.capacity();
+        frontier.extend_from_slice(seeds);
+        for (hop, &fanout) in self.fanouts.iter().enumerate() {
+            next.clear();
+            for (fi, &v) in frontier.iter().enumerate() {
                 let neigh = graph.neighbors(v);
-                let take = fanout.min(neigh.len());
-                if neigh.len() <= fanout {
-                    scratch.clear();
-                    scratch.extend_from_slice(neigh);
-                } else {
-                    scratch.clear();
-                    scratch.extend_from_slice(neigh);
-                    for i in 0..take {
-                        let j = rng.gen_range(i..scratch.len());
-                        scratch.swap(i, j);
-                    }
-                    scratch.truncate(take);
-                }
-                for &u in scratch.iter().take(take) {
-                    if let std::collections::hash_map::Entry::Vacant(e) = local.entry(u) {
-                        e.insert(nodes.len() as u32);
+                let deg = neigh.len();
+                // Per-(hop, frontier-position) counter stream: draws depend
+                // only on the node's logical BFS coordinate.
+                let mut rng = StreamRng::new(stream.seed_for(hop as u64, fi as u64));
+                let mut grow = |u: NodeId, nodes: &mut Vec<NodeId>, next: &mut Vec<NodeId>| {
+                    if scratch.dedup_insert(u, nodes.len() as u32) {
                         nodes.push(u);
                         next.push(u);
                     }
+                };
+                if deg <= fanout {
+                    for &u in neigh {
+                        grow(u, &mut nodes, &mut next);
+                    }
+                } else {
+                    floyd_positions(&mut rng, deg, fanout, &mut positions);
+                    for &p in positions.iter() {
+                        grow(neigh[p as usize], &mut nodes, &mut next);
+                    }
                 }
             }
-            frontier = next;
+            std::mem::swap(&mut frontier, &mut next);
         }
-        // Induced adjacency over the collected nodes, relabeled.
-        let n = nodes.len();
-        let mut indptr = Vec::with_capacity(n + 1);
-        indptr.push(0usize);
-        let mut indices: Vec<u32> = Vec::new();
-        for &v in &nodes {
-            let mut row: Vec<u32> = graph
-                .neighbors(v)
-                .iter()
-                .filter_map(|u| local.get(u).copied())
-                .collect();
-            row.sort_unstable();
-            indices.extend_from_slice(&row);
-            indptr.push(indices.len());
-        }
-        let adj = SparseMatrix::new(n, n, indptr, indices, None);
-        let degree = nodes.iter().map(|&v| graph.degree(v) as f32).collect();
-        SampledBatch::Subgraph(SubgraphBatch {
-            seed_positions: (0..seeds.len()).collect(),
+        scratch.note_growth(frontier.capacity() + next.capacity() > caps_before);
+        scratch.frontier = frontier;
+        scratch.next_frontier = next;
+        scratch.positions = positions;
+        let batch = induced_batch(
+            graph,
             nodes,
-            adj,
-            degree,
-        })
+            (0..seeds.len()).collect(),
+            seeds.to_vec(),
+            scratch,
+            norm,
+        );
+        SampledBatch::Subgraph(batch)
     }
 
     fn name(&self) -> &'static str {
@@ -124,7 +129,9 @@ impl Sampler for ShadowSampler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::batch::SubgraphBatch;
     use argo_graph::generators::power_law;
+    use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
     fn rng(seed: u64) -> SmallRng {

@@ -1,0 +1,199 @@
+//! Property tests pinning the scratch-arena samplers to reference behavior.
+//!
+//! The PR 5 rewrite replaced per-batch `HashMap` relabeling and full
+//! neighbor-list copies with an epoch-stamped dense dedup table, recycled
+//! pick buffers and Floyd position sampling. These properties pin the
+//! structural contract the old samplers satisfied — fanout bounds,
+//! src-prefix-is-dst, no duplicate src nodes, every sampled edge exists in
+//! the parent graph — across seed counts 1..130 and all four samplers, and
+//! pin the pool-parallel pick path to the serial one bitwise.
+
+use argo_graph::generators::power_law;
+use argo_graph::{Graph, NodeId};
+use argo_rt::{SeedSequence, ThreadPool};
+use argo_sample::{
+    ClusterGcnSampler, NeighborSampler, Normalization, SaintRwSampler, SampleRun, SampledBatch,
+    Sampler, SamplerScratch, ShadowSampler,
+};
+use proptest::prelude::*;
+
+fn graph() -> Graph {
+    power_law(600, 9000, 0.8, 7)
+}
+
+fn run_with(
+    s: &dyn Sampler,
+    g: &Graph,
+    seeds: &[NodeId],
+    key: u64,
+    scratch: &mut SamplerScratch,
+) -> SampledBatch {
+    s.sample_with(g, seeds, SampleRun::new(SeedSequence::new(key), scratch))
+}
+
+fn assert_subgraph_invariants(g: &Graph, seeds: &[NodeId], batch: &SampledBatch, who: &str) {
+    let SampledBatch::Subgraph(sb) = batch else {
+        panic!("{who}: expected subgraph batch");
+    };
+    // Seeds lead the node list, in order, and seeds() mirrors them.
+    assert_eq!(&sb.nodes[..seeds.len()], seeds, "{who}: seeds must lead");
+    assert_eq!(sb.seeds, seeds, "{who}: seeds field mismatch");
+    for (&pos, &v) in sb.seed_positions.iter().zip(seeds) {
+        assert_eq!(sb.nodes[pos], v, "{who}: seed position wrong");
+    }
+    // No duplicate nodes.
+    let mut ids = sb.nodes.clone();
+    ids.sort_unstable();
+    let before = ids.len();
+    ids.dedup();
+    assert_eq!(ids.len(), before, "{who}: duplicate node");
+    // Every induced edge exists in the parent graph.
+    for i in 0..sb.adj.rows() {
+        for k in sb.adj.indptr()[i]..sb.adj.indptr()[i + 1] {
+            let u = sb.nodes[sb.adj.indices()[k] as usize];
+            assert!(g.has_edge(sb.nodes[i], u), "{who}: edge not in graph");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn neighbor_sampler_respects_reference_structure(
+        count in 1usize..130,
+        offset in 0usize..400,
+        key in 0u64..(1u64 << 48),
+    ) {
+        let g = graph();
+        let seeds: Vec<NodeId> = (offset..offset + count).map(|v| v as u32).collect();
+        let s = NeighborSampler::new(vec![7, 4]);
+        let mut scratch = SamplerScratch::new();
+        let batch = run_with(&s, &g, &seeds, key, &mut scratch);
+        let SampledBatch::Blocks(mb) = &batch else {
+            panic!("expected blocks");
+        };
+        prop_assert_eq!(mb.blocks.len(), 2);
+        prop_assert_eq!(&mb.seeds, &seeds);
+        for (l, blk) in mb.blocks.iter().enumerate() {
+            let fanout = s.fanouts()[l];
+            // Fanout bounds per row.
+            for i in 0..blk.adj.rows() {
+                let deg = blk.adj.indptr()[i + 1] - blk.adj.indptr()[i];
+                prop_assert!(deg <= fanout, "layer {} row {} degree {} > {}", l, i, deg, fanout);
+            }
+            // src prefix is dst (layers self-reference through the prefix).
+            prop_assert_eq!(&blk.src_nodes[..blk.dst_nodes.len()], &blk.dst_nodes[..]);
+            // No duplicate src node after dense-table relabeling.
+            let mut ids = blk.src_nodes.clone();
+            ids.sort_unstable();
+            let before = ids.len();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), before, "duplicate src node in layer {}", l);
+            // Every sampled edge exists in the parent graph.
+            for i in 0..blk.adj.rows() {
+                let v = blk.dst_nodes[i];
+                for k in blk.adj.indptr()[i]..blk.adj.indptr()[i + 1] {
+                    let u = blk.src_nodes[blk.adj.indices()[k] as usize];
+                    prop_assert!(g.has_edge(v, u), "edge {}->{} not in graph", v, u);
+                }
+            }
+        }
+        // Output-layer dst is exactly the seed list.
+        prop_assert_eq!(&mb.blocks[1].dst_nodes, &seeds);
+    }
+
+    #[test]
+    fn subgraph_samplers_respect_reference_structure(
+        count in 1usize..130,
+        offset in 0usize..400,
+        key in 0u64..(1u64 << 48),
+    ) {
+        let g = graph();
+        let seeds: Vec<NodeId> = (offset..offset + count).map(|v| v as u32).collect();
+        let shadow = ShadowSampler::new(vec![6, 3], 2);
+        let saint = SaintRwSampler::new(3, 2);
+        let cluster = ClusterGcnSampler::new(&g, 12, 2);
+        let samplers: [&dyn Sampler; 3] = [&shadow, &saint, &cluster];
+        let mut scratch = SamplerScratch::new();
+        for s in samplers {
+            let batch = run_with(s, &g, &seeds, key, &mut scratch);
+            assert_subgraph_invariants(&g, &seeds, &batch, s.name());
+        }
+    }
+
+    #[test]
+    fn recycled_scratch_is_equivalent_to_fresh(
+        count in 1usize..130,
+        offset in 0usize..400,
+        key in 0u64..(1u64 << 48),
+    ) {
+        // A scratch arena warmed by unrelated prior batches must produce
+        // batches identical to a fresh one: recycling is invisible.
+        let g = graph();
+        let seeds: Vec<NodeId> = (offset..offset + count).map(|v| v as u32).collect();
+        let neighbor = NeighborSampler::new(vec![5, 3]);
+        let shadow = ShadowSampler::new(vec![4, 2], 2);
+        let samplers: [&dyn Sampler; 2] = [&neighbor, &shadow];
+        for s in samplers {
+            let mut fresh = SamplerScratch::new();
+            let want = run_with(s, &g, &seeds, key, &mut fresh);
+            let mut warm = SamplerScratch::new();
+            // Pollute the arena with differently-shaped batches first.
+            run_with(s, &g, &[1, 2, 3], key ^ 0x55, &mut warm);
+            run_with(s, &g, &(200..260).collect::<Vec<_>>(), key ^ 0xAA, &mut warm);
+            let got = run_with(s, &g, &seeds, key, &mut warm);
+            prop_assert_eq!(got.input_nodes(), want.input_nodes(), "{} drifted", s.name());
+            prop_assert_eq!(got.total_edges(2), want.total_edges(2));
+        }
+    }
+}
+
+/// One block's content: (src_nodes, dst_nodes, indptr, indices, values).
+type BlockContent = (Vec<u32>, Vec<u32>, Vec<usize>, Vec<u32>, Vec<f32>);
+
+/// Collects everything content-bearing from a blocks batch.
+fn block_fingerprint(b: &SampledBatch) -> Vec<BlockContent> {
+    let SampledBatch::Blocks(mb) = b else {
+        panic!("expected blocks");
+    };
+    mb.blocks
+        .iter()
+        .map(|blk| {
+            (
+                blk.src_nodes.clone(),
+                blk.dst_nodes.clone(),
+                blk.adj.indptr().to_vec(),
+                blk.adj.indices().to_vec(),
+                blk.adj.values().map(<[f32]>::to_vec).unwrap_or_default(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn batches_identical_across_pool_sizes_1_2_4() {
+    // The tentpole determinism invariant: per-row counter-based RNG streams
+    // make the sampled batch a pure function of (stream, seeds), so the
+    // pool-parallel pick phase is bitwise identical to the serial one at
+    // any worker count — including the fused GCN normalization values.
+    let g = graph();
+    let seeds: Vec<NodeId> = (0..96).collect();
+    let s = NeighborSampler::new(vec![9, 5]);
+    let sample_at = |pool: Option<&ThreadPool>| {
+        let mut scratch = SamplerScratch::new();
+        let run = SampleRun::new(SeedSequence::new(33), &mut scratch)
+            .with_norm(Normalization::Gcn)
+            .with_pool(pool);
+        block_fingerprint(&s.sample_with(&g, &seeds, run))
+    };
+    let serial = sample_at(None);
+    for size in [2usize, 4] {
+        let pool = ThreadPool::new("t", size);
+        assert_eq!(
+            sample_at(Some(&pool)),
+            serial,
+            "pool size {size} changed batch content"
+        );
+    }
+}

@@ -6,7 +6,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use crate::acquisition::Acquisition;
-use crate::gp::GaussianProcess;
+use crate::gp::IncrementalGp;
 use crate::space::SearchSpace;
 use crate::Searcher;
 
@@ -25,6 +25,11 @@ pub struct BayesOpt {
     init_order: Vec<usize>,
     pending: Option<Config>,
     acquisition: Acquisition,
+    /// Incrementally maintained surrogate over (normalized config,
+    /// log epoch time): each observation extends the per-scale Cholesky
+    /// factors in O(n²) instead of refitting in O(n³), with bitwise-
+    /// identical posteriors.
+    surrogate: IncrementalGp<4>,
 }
 
 impl BayesOpt {
@@ -42,6 +47,7 @@ impl BayesOpt {
             init_order,
             pending: None,
             acquisition: Acquisition::ExpectedImprovement,
+            surrogate: IncrementalGp::new(),
         }
     }
 
@@ -63,20 +69,16 @@ impl BayesOpt {
     }
 
     fn argmax_ei(&mut self) -> Config {
-        let x: Vec<[f64; 4]> = self
-            .observed
+        // The surrogate already holds every (normalized config, log epoch
+        // time) pair — `observe` extends it as results arrive, so this is an
+        // O(n²) posterior refresh rather than an O(n³) refit.
+        let gp = self.surrogate.gp();
+        let best = self
+            .surrogate
+            .targets()
             .iter()
-            .map(|(c, _)| self.space.normalize(*c))
-            .collect();
-        // Model log epoch time: multiplicative effects become additive and
-        // the GP is less distorted by heavy-tailed slow configs.
-        let y: Vec<f64> = self
-            .observed
-            .iter()
-            .map(|(_, v)| v.max(1e-9).ln())
-            .collect();
-        let gp = GaussianProcess::fit(&x, &y);
-        let best = y.iter().copied().fold(f64::INFINITY, f64::min);
+            .copied()
+            .fold(f64::INFINITY, f64::min);
         let mut top: Option<(f64, usize)> = None;
         for i in 0..self.space.len() {
             if self.observed_idx[i] {
@@ -136,6 +138,10 @@ impl Searcher for BayesOpt {
         if let Some(i) = self.space.index_of(config) {
             self.observed_idx[i] = true;
         }
+        // Model log epoch time: multiplicative effects become additive and
+        // the GP is less distorted by heavy-tailed slow configs.
+        self.surrogate
+            .push(self.space.normalize(config), value.max(1e-9).ln());
         self.observed.push((config, value));
         self.pending = None;
     }

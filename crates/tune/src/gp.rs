@@ -64,7 +64,64 @@ impl Cholesky {
             .sum::<f64>()
             * 2.0
     }
+
+    /// An empty (0×0) factor, ready to be grown with [`Cholesky::extend`].
+    pub fn empty() -> Self {
+        Self {
+            n: 0,
+            l: Vec::new(),
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Rank-1 bordering update: grows the factor of `A` to the factor of
+    /// `[[A, col], [colᵀ, diag]]` in O(n²) instead of refactoring in O(n³).
+    /// Returns `false` (leaving the factor unchanged) when the extended
+    /// matrix is not positive definite.
+    ///
+    /// The bottom row replicates [`Cholesky::factor`]'s exact operation
+    /// order, and the first `n` rows of a from-scratch factor only ever read
+    /// the leading block, so the incrementally grown factor is **bitwise
+    /// identical** to a from-scratch factorization of the extended matrix.
+    pub fn extend(&mut self, col: &[f64], diag: f64) -> bool {
+        assert_eq!(col.len(), self.n);
+        let n = self.n;
+        let m = n + 1;
+        // Re-lay the existing rows onto the wider stride (values unchanged).
+        let mut l = vec![0.0f64; m * m];
+        for i in 0..n {
+            l[i * m..i * m + n].copy_from_slice(&self.l[i * n..i * n + n]);
+        }
+        for j in 0..n {
+            let mut sum = col[j];
+            for k in 0..j {
+                sum -= l[m * n + k] * l[j * m + k];
+            }
+            l[m * n + j] = sum / l[j * m + j];
+        }
+        let mut sum = diag;
+        for k in 0..n {
+            sum -= l[m * n + k] * l[m * n + k];
+        }
+        if sum <= 0.0 {
+            return false;
+        }
+        l[m * n + n] = sum.sqrt();
+        self.n = m;
+        self.l = l;
+        true
+    }
 }
+
+/// Length-scale grid searched by log-marginal-likelihood maximization.
+const LENGTH_SCALES: [f64; 4] = [0.15, 0.3, 0.6, 1.2];
+
+/// Observation noise added to the kernel diagonal.
+const NOISE: f64 = 1e-3;
 
 /// Matérn-5/2 covariance between two points at scaled distance `r/ℓ`.
 fn matern52(r: f64, length_scale: f64) -> f64 {
@@ -109,12 +166,12 @@ impl<const D: usize> GaussianProcess<D> {
         let y_var = y.iter().map(|v| (v - y_mean).powi(2)).sum::<f64>() / n as f64;
         let y_std = y_var.sqrt().max(1e-9);
         let ys: Vec<f64> = y.iter().map(|v| (v - y_mean) / y_std).collect();
-        let noise = 1e-3;
+        let noise = NOISE;
 
         // Select the kernel length scale by maximizing the log marginal
         // likelihood over a small grid.
         let mut best: Option<(f64, f64, Cholesky, Vec<f64>)> = None;
-        for &ls in &[0.15, 0.3, 0.6, 1.2] {
+        for &ls in &LENGTH_SCALES {
             let mut k = vec![0.0f64; n * n];
             for i in 0..n {
                 for j in 0..n {
@@ -165,6 +222,101 @@ impl<const D: usize> GaussianProcess<D> {
     }
 }
 
+/// Incrementally maintained GP state: one growing Cholesky factor per
+/// length-scale candidate, extended by a rank-1 bordering step per
+/// observation. Refitting after the `n`-th observation costs O(n²) per scale
+/// instead of [`GaussianProcess::fit`]'s O(n³) refactorization, and —
+/// because [`Cholesky::extend`] replicates `factor`'s operation order —
+/// [`IncrementalGp::gp`] is **bitwise identical** to a from-scratch fit on
+/// the same observations.
+#[derive(Clone, Debug, Default)]
+pub struct IncrementalGp<const D: usize = 3> {
+    x: Vec<[f64; D]>,
+    y: Vec<f64>,
+    /// Factor of `K + σ²I` per length scale; `None` once an extension hits a
+    /// non-PD pivot (a from-scratch factor of any larger matrix stops at
+    /// that same pivot, so the scale stays dead — exactly like `fit`
+    /// skipping it).
+    chols: [Option<Cholesky>; 4],
+}
+
+impl<const D: usize> IncrementalGp<D> {
+    /// An empty model.
+    pub fn new() -> Self {
+        Self {
+            x: Vec::new(),
+            y: Vec::new(),
+            chols: std::array::from_fn(|_| Some(Cholesky::empty())),
+        }
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// Whether no observation has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Observed targets, in push order.
+    pub fn targets(&self) -> &[f64] {
+        &self.y
+    }
+
+    /// Adds one observation, extending every live per-scale factor by its
+    /// new kernel row.
+    pub fn push(&mut self, x: [f64; D], y: f64) {
+        let mut col = Vec::with_capacity(self.x.len());
+        for (si, &ls) in LENGTH_SCALES.iter().enumerate() {
+            if let Some(c) = &mut self.chols[si] {
+                col.clear();
+                col.extend(self.x.iter().map(|xi| matern52(dist(xi, &x), ls)));
+                // Same diagonal as `fit`: matern52(0) is exactly 1.0.
+                if !c.extend(&col, matern52(0.0, ls) + NOISE) {
+                    self.chols[si] = None;
+                }
+            }
+        }
+        self.x.push(x);
+        self.y.push(y);
+    }
+
+    /// The posterior over everything pushed so far — bitwise identical to
+    /// `GaussianProcess::fit(&x, &y)` on the same data. Needs ≥ 2 points.
+    pub fn gp(&self) -> GaussianProcess<D> {
+        let n = self.y.len();
+        assert!(n >= 2, "GP needs at least two observations");
+        let y_mean = self.y.iter().sum::<f64>() / n as f64;
+        let y_var = self.y.iter().map(|v| (v - y_mean).powi(2)).sum::<f64>() / n as f64;
+        let y_std = y_var.sqrt().max(1e-9);
+        let ys: Vec<f64> = self.y.iter().map(|v| (v - y_mean) / y_std).collect();
+        let mut best: Option<(f64, f64, &Cholesky, Vec<f64>)> = None;
+        for (si, &ls) in LENGTH_SCALES.iter().enumerate() {
+            let Some(chol) = &self.chols[si] else {
+                continue;
+            };
+            let alpha = chol.solve(&ys);
+            let fit_term: f64 = ys.iter().zip(&alpha).map(|(a, b)| a * b).sum();
+            let lml = -0.5 * fit_term - 0.5 * chol.log_det();
+            if best.as_ref().is_none_or(|(b, _, _, _)| lml > *b) {
+                best = Some((lml, ls, chol, alpha));
+            }
+        }
+        let (_, length_scale, chol, alpha) = best.expect("at least one length scale factors");
+        GaussianProcess {
+            x: self.x.clone(),
+            alpha,
+            chol: chol.clone(),
+            length_scale,
+            noise: NOISE,
+            y_mean,
+            y_std,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +337,83 @@ mod tests {
     fn cholesky_rejects_indefinite() {
         let a = vec![1.0, 2.0, 2.0, 1.0]; // eigenvalues 3, −1
         assert!(Cholesky::factor(&a, 2).is_none());
+    }
+
+    #[test]
+    fn extend_matches_from_scratch_factor_bitwise() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let n = 8usize;
+        let mut rng = SmallRng::seed_from_u64(42);
+        let b: Vec<f64> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        // SPD by construction: A = B Bᵀ + n·I.
+        let mut a = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                a[i * n + j] = (0..n).map(|k| b[i * n + k] * b[j * n + k]).sum::<f64>();
+            }
+            a[i * n + i] += n as f64;
+        }
+        let mut inc = Cholesky::empty();
+        for k in 0..n {
+            let col: Vec<f64> = (0..k).map(|j| a[k * n + j]).collect();
+            assert!(inc.extend(&col, a[k * n + k]), "PD extension refused");
+            let m = k + 1;
+            let mut block = Vec::with_capacity(m * m);
+            for i in 0..m {
+                for j in 0..m {
+                    block.push(a[i * n + j]);
+                }
+            }
+            let full = Cholesky::factor(&block, m).unwrap();
+            assert_eq!(inc.dim(), m);
+            for (x, y) in inc.l.iter().zip(&full.l) {
+                assert_eq!(x.to_bits(), y.to_bits(), "factor drifted at n={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn extend_rejects_non_pd_extension() {
+        let mut c = Cholesky::factor(&[1.0], 1).unwrap();
+        // [[1,2],[2,1]] has eigenvalues 3 and −1.
+        assert!(!c.extend(&[2.0], 1.0));
+        // The factor is untouched and still usable.
+        assert_eq!(c.dim(), 1);
+        assert_eq!(c.solve(&[3.0]), vec![3.0]);
+    }
+
+    #[test]
+    fn incremental_gp_matches_fit_bitwise() {
+        let xs: Vec<[f64; 3]> = vec![
+            [0.0, 0.0, 0.0],
+            [0.5, 0.2, 0.1],
+            [1.0, 1.0, 1.0],
+            [0.2, 0.8, 0.4],
+            [0.9, 0.1, 0.6],
+            [0.3, 0.3, 0.9],
+        ];
+        let ys = [3.0, 1.0, 5.0, 2.0, 4.0, 2.5];
+        let mut inc = IncrementalGp::<3>::new();
+        for (x, y) in xs.iter().zip(&ys) {
+            inc.push(*x, *y);
+            if inc.len() < 2 {
+                continue;
+            }
+            let full = GaussianProcess::fit(&xs[..inc.len()], &ys[..inc.len()]);
+            let fast = inc.gp();
+            assert_eq!(fast.length_scale().to_bits(), full.length_scale().to_bits());
+            assert_eq!(fast.alpha.len(), full.alpha.len());
+            for (a, b) in fast.alpha.iter().zip(&full.alpha) {
+                assert_eq!(a.to_bits(), b.to_bits(), "alpha drifted at n={}", inc.len());
+            }
+            for q in [[0.4, 0.4, 0.4], [0.05, 0.9, 0.5]] {
+                let (m1, s1) = fast.predict(&q);
+                let (m2, s2) = full.predict(&q);
+                assert_eq!(m1.to_bits(), m2.to_bits());
+                assert_eq!(s1.to_bits(), s2.to_bits());
+            }
+        }
     }
 
     #[test]
