@@ -25,8 +25,11 @@ cargo build --workspace --release
 echo "==> micro_kernels quick perf gate (blocked kernels must not lose to serial)"
 ARGO_BENCH_QUICK=1 cargo bench -q -p argo-bench --bench micro_kernels
 
-echo "==> micro_sampling quick perf gate (scratch sampler must not lose to the pre-scratch reference)"
+echo "==> micro_sampling quick perf gate (scratch sampler must not lose to the pre-scratch reference; span profiler overhead <= 5%)"
 ARGO_BENCH_QUICK=1 cargo bench -q -p argo-bench --bench micro_sampling
+
+echo "==> argo perf-diff (speedup ratios of the quick run vs committed BENCH_*.json, 15% tolerance)"
+cargo run -q -p argo-cli --bin argo -- perf-diff --quick true
 
 echo "==> cargo test -q -p argo-sample"
 cargo test -q -p argo-sample

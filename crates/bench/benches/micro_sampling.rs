@@ -19,6 +19,7 @@ use std::time::Instant;
 use argo_graph::generators::power_law;
 use argo_graph::{Graph, NodeId};
 use argo_rt::json::Json;
+use argo_rt::spans::{Role, SpanKind, SpanProfiler};
 use argo_rt::{SeedSequence, ThreadPool};
 use argo_sample::{NeighborSampler, SampleRun, Sampler, SamplerScratch};
 use rand::rngs::SmallRng;
@@ -140,6 +141,34 @@ fn main() {
         sampler.sample_with(&graph, &seeds, run)
     });
 
+    // -- Span-profiler overhead: the steady-state scratch loop with an
+    // enabled profiler recording one begin/end pair per batch, vs the bare
+    // loop. The pair is what the loader pays per stage, so this bounds the
+    // observability tax on the hot path. Off/on timings are *interleaved*
+    // (alternating single timed executions, min of each) so background load
+    // drift on a shared runner hits both sides equally instead of skewing
+    // whichever loop ran second. --
+    let profiler = SpanProfiler::new();
+    let ring = profiler.ring(Role::Producer);
+    let mut prof_scratch = SamplerScratch::new();
+    let mut run_off = || {
+        let run = SampleRun::new(stream, &mut prof_scratch);
+        sampler.sample_with(&graph, &seeds, run)
+    };
+    std::hint::black_box(run_off()); // warm the arena
+    let (mut off_s, mut on_s) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..samples.max(8) {
+        let t = Instant::now();
+        std::hint::black_box(run_off());
+        off_s = off_s.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        let span = ring.span_begin(SpanKind::Pick, 0);
+        std::hint::black_box(run_off());
+        ring.span_end(span);
+        on_s = on_s.min(t.elapsed().as_secs_f64());
+    }
+    let span_overhead_pct = (on_s / off_s - 1.0) * 100.0;
+
     let row = |name: &'static str, secs: f64, edges: usize| SampRow {
         name,
         seeds_per_s: n_seeds as f64 / secs,
@@ -169,10 +198,18 @@ fn main() {
             r.name, r.batch_ms, r.seeds_per_s, r.edges_per_s, r.speedup
         );
     }
+    println!(
+        "\nspan profiler overhead: {span_overhead_pct:+.2}% \
+         ({:.3}ms with spans vs {:.3}ms without, interleaved; {} spans recorded)",
+        on_s * 1e3,
+        off_s * 1e3,
+        profiler.drain().records.len()
+    );
 
     let json = Json::obj(vec![
         ("host_threads", Json::Num(host_threads as f64)),
         ("quick", Json::Bool(quick)),
+        ("span_overhead_pct", Json::Num(span_overhead_pct)),
         ("graph_nodes", Json::Num(nodes as f64)),
         ("graph_edges", Json::Num(edges as f64)),
         ("n_seeds", Json::Num(n_seeds as f64)),
@@ -210,5 +247,14 @@ fn main() {
             std::process::exit(1);
         }
         println!("perf gate OK: scratch sampler at {speedup:.2}x vs serial reference");
+        // Observability must stay effectively free: one span pair per batch
+        // may not cost more than 5% of the bare sampling loop.
+        if span_overhead_pct > 5.0 {
+            eprintln!(
+                "PERF GATE: span profiler overhead {span_overhead_pct:.2}% exceeds the 5% budget"
+            );
+            std::process::exit(1);
+        }
+        println!("perf gate OK: span profiler overhead {span_overhead_pct:+.2}% (budget 5%)");
     }
 }

@@ -22,7 +22,11 @@ const NO_PANIC_CRATES: &[&str] = &[
 /// Files allowed to read the wall clock: the trace timeline and the metrics
 /// registry own all timing; everything else is either deterministic
 /// (modeled platform, replay) or explicitly allowlisted as a measured path.
-const INSTANT_ALLOWED_FILES: &[&str] = &["crates/rt/src/trace.rs", "crates/rt/src/metrics.rs"];
+const INSTANT_ALLOWED_FILES: &[&str] = &[
+    "crates/rt/src/trace.rs",
+    "crates/rt/src/metrics.rs",
+    "crates/rt/src/spans.rs",
+];
 
 /// Deprecated `Option<&Telemetry>`-era shims: kept for external callers,
 /// but no internal code may call them (tests exercising the shims exempt
@@ -122,6 +126,82 @@ pub fn check_file(file: &SourceFile, allow: &mut AllowTracker, out: &mut Vec<Dia
         check_no_deprecated_telemetry(file, out);
         check_kernel_dispatch(file, allow, out);
         check_sampler_scratch(file, allow, out);
+        check_span_pairing(file, allow, out);
+    }
+}
+
+/// Rule `span-pairing`: every profiler `.span_begin(` in non-test code must
+/// be lexically paired with a `.span_end(` before its enclosing scope closes.
+/// An unended span corrupts critical-path attribution silently (the interval
+/// never reaches the ring), so the invariant is enforced at lint time: track
+/// brace depth across the file; a `span_begin` opens an obligation at its
+/// depth, a `span_end` discharges the most recent one, and a scope closing
+/// below an open obligation's depth (or EOF) reports the orphaned begin.
+fn check_span_pairing(file: &SourceFile, allow: &mut AllowTracker, out: &mut Vec<Diagnostic>) {
+    if !file.path.starts_with("crates/") {
+        return;
+    }
+    let mut depth: i64 = 0;
+    // Open obligations: (line of the `span_begin`, brace depth it sits at).
+    let mut open: Vec<(usize, i64)> = Vec::new();
+    let orphan = |out: &mut Vec<Diagnostic>, allow: &mut AllowTracker, bn: usize, why: &str| {
+        let raw = file
+            .lines
+            .get(bn - 1)
+            .map(|l| l.raw.as_str())
+            .unwrap_or_default();
+        if !allow.permits("span-pairing", &file.path, raw) {
+            out.push(Diagnostic {
+                path: file.path.clone(),
+                line: bn,
+                rule: "span-pairing",
+                message: format!(
+                    "`span_begin` {why}; every span must reach `span_end` on all paths \
+                     or its interval silently never reaches the profiler ring"
+                ),
+            });
+        }
+    };
+    for (n, line) in file.numbered() {
+        let code = line.code.as_bytes();
+        // Brace depth is tracked through test modules too (their braces
+        // enclose real scopes), but span tokens inside tests are exempt.
+        let track = !line.test;
+        let mut i = 0;
+        while i < code.len() {
+            if track && code[i..].starts_with(b".span_begin(") {
+                open.push((n, depth));
+                i += ".span_begin(".len();
+            } else if track && code[i..].starts_with(b".span_end(") {
+                if open.pop().is_none() && !allow.permits("span-pairing", &file.path, &line.raw) {
+                    out.push(Diagnostic {
+                        path: file.path.clone(),
+                        line: n,
+                        rule: "span-pairing",
+                        message: "`span_end` without a lexically earlier `span_begin` in scope"
+                            .to_string(),
+                    });
+                }
+                i += ".span_end(".len();
+            } else {
+                match code[i] {
+                    b'{' => depth += 1,
+                    b'}' => {
+                        depth -= 1;
+                        while open.last().is_some_and(|&(_, bd)| bd > depth) {
+                            if let Some((bn, _)) = open.pop() {
+                                orphan(out, allow, bn, "scope closed before `span_end`");
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+        }
+    }
+    for (bn, _) in open {
+        orphan(out, allow, bn, "still open at end of file");
     }
 }
 
@@ -444,6 +524,73 @@ mod tests {
         // Test modules inside hot files may clone for reference checks.
         let src = "#[cfg(test)]\nmod tests {\n    fn t() { let ids = b.src_nodes.clone(); }\n}\n";
         assert!(lint("crates/sample/src/neighbor.rs", src).is_empty());
+    }
+
+    #[test]
+    fn paired_spans_pass() {
+        let src = "fn f(ring: &WorkerRing) {\n\
+                   \x20   let s = ring.span_begin(SpanKind::Pick, 0);\n\
+                   \x20   work();\n\
+                   \x20   ring.span_end(s);\n\
+                   }\n";
+        assert!(lint("crates/sample/src/x.rs", src).is_empty());
+        // Nested blocks between begin and end are fine.
+        let src = "fn f() {\n\
+                   \x20   let s = ring.span_begin(SpanKind::Pick, 0);\n\
+                   \x20   if x { inner(); }\n\
+                   \x20   ring.span_end(s);\n\
+                   }\n";
+        assert!(lint("crates/sample/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unended_span_is_flagged() {
+        // Begin whose enclosing scope closes before any end.
+        let src = "fn f() {\n\
+                   \x20   if x {\n\
+                   \x20       let s = ring.span_begin(SpanKind::Pick, 0);\n\
+                   \x20   }\n\
+                   \x20   ring.span_end(s);\n\
+                   }\n";
+        let d = lint("crates/engine/src/x.rs", src);
+        assert_eq!(d.len(), 2, "orphaned begin and unmatched end: {d:?}");
+        assert!(d.iter().all(|x| x.rule == "span-pairing"));
+        assert_eq!(d[0].line, 3);
+        // Begin still open at end of file.
+        let src = "fn f() {\n    let s = ring.span_begin(SpanKind::Pick, 0);\n}\n";
+        let d = lint("crates/engine/src/x.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn end_without_begin_is_flagged() {
+        let d = lint("crates/rt/src/x.rs", "fn f() { ring.span_end(s); }\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "span-pairing");
+    }
+
+    #[test]
+    fn span_pairing_exempts_tests_and_foreign_paths() {
+        let src =
+            "#[cfg(test)]\nmod tests {\n    fn t() { ring.span_begin(SpanKind::Pick, 0); }\n}\n";
+        assert!(lint("crates/rt/src/x.rs", src).is_empty());
+        assert!(lint(
+            "crates/bench/benches/micro.rs",
+            "fn f() { ring.span_begin(SpanKind::Pick, 0); }\n"
+        )
+        .is_empty());
+        assert!(lint(
+            "shims/x/src/lib.rs",
+            "fn f() { ring.span_begin(SpanKind::Pick, 0); }\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn spans_module_may_read_the_clock() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        assert!(lint("crates/rt/src/spans.rs", src).is_empty());
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //!    a rendered-but-never-emitted one is a stale dashboard.
 //! 3. Every stage label in `rt/src/trace.rs` appears as a string in
 //!    report.rs (the per-stage table would silently drop a renamed stage).
+//! 4. Every span label in `rt/src/spans.rs` appears as a string in
+//!    report.rs — the critical-path section (and its legend) must keep up
+//!    with new span kinds, or their attribution would render namelessly.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -23,6 +26,7 @@ use crate::Diagnostic;
 const EVENTS_FILE: &str = "crates/rt/src/events.rs";
 const TELEMETRY_FILE: &str = "crates/rt/src/telemetry.rs";
 const TRACE_FILE: &str = "crates/rt/src/trace.rs";
+const SPANS_FILE: &str = "crates/rt/src/spans.rs";
 const REPORT_FILE: &str = "crates/cli/src/report.rs";
 
 fn find<'a>(files: &'a [SourceFile], suffix: &str) -> Option<&'a SourceFile> {
@@ -113,6 +117,20 @@ fn stage_labels(trace: &SourceFile) -> Vec<(String, usize)> {
     let mut out = Vec::new();
     for (n, line) in trace.numbered() {
         if line.test || !line.code.contains("Stage::") || !line.code.contains("=>") {
+            continue;
+        }
+        for s in &line.strings {
+            out.push((s.clone(), n));
+        }
+    }
+    out
+}
+
+/// Span labels in spans.rs: strings on `SpanKind::… =>` match arms.
+fn span_labels(spans: &SourceFile) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    for (n, line) in spans.numbered() {
+        if line.test || !line.code.contains("SpanKind::") || !line.code.contains("=>") {
             continue;
         }
         for s in &line.strings {
@@ -287,6 +305,28 @@ pub fn check_schema(files: &[SourceFile]) -> Vec<Diagnostic> {
         }
     }
 
+    // ---- 4. span labels ----------------------------------------------
+    // Guarded: synthetic trees without a spans.rs simply skip this check.
+    if let Some(spans) = find(files, SPANS_FILE) {
+        for (label, line) in span_labels(spans) {
+            let rendered = report
+                .lines
+                .iter()
+                .any(|l| !l.test && l.strings.iter().any(|s| s.contains(&label)));
+            if !rendered {
+                out.push(Diagnostic {
+                    path: spans.path.clone(),
+                    line,
+                    rule: "schema",
+                    message: format!(
+                        "span label \"{label}\" from spans.rs does not appear in report.rs — \
+                         the critical-path section (or its legend) must name every span kind"
+                    ),
+                });
+            }
+        }
+    }
+
     out
 }
 
@@ -443,6 +483,65 @@ mod tests {
         ];
         let d = check_schema(&files);
         assert_eq!(d.len(), 2, "{d:?}");
+    }
+
+    #[test]
+    fn span_labels_match_via_substring_or_flag() {
+        let spans = scan(
+            SPANS_FILE,
+            "fn label(self) -> &'static str {\nmatch self {\n\
+             SpanKind::Pick => \"sample\",\nSpanKind::EnqueueWait => \"channel_wait\",\n}\n}\n",
+        );
+        // "sample" appears verbatim in good_report(); "channel_wait" only as
+        // a substring of a longer legend string — both must satisfy check 4.
+        let report = scan(
+            REPORT_FILE,
+            "const CONSUMED_EVENT_KINDS: &[&str] = &[\"epoch_end\", \"tuner_trial\"];\n\
+             fn render() {\n\
+             if let RunEvent::EpochEnd { .. } = e {}\n\
+             if let RunEvent::TunerTrial(t) = e {}\n\
+             let s = \"sample\";\n\
+             let legend = \"channel_wait = enqueue backpressure\";\n\
+             let v = names::EPOCH_SECONDS;\n\
+             }\n",
+        );
+        let files = vec![
+            base_events(),
+            base_telemetry(),
+            base_trace(),
+            report,
+            producer(),
+            spans,
+        ];
+        assert!(check_schema(&files).is_empty());
+
+        let spans = scan(
+            SPANS_FILE,
+            "fn label(self) -> &'static str {\nmatch self {\nSpanKind::Ghost => \"ghost_wait\",\n}\n}\n",
+        );
+        let files = vec![
+            base_events(),
+            base_telemetry(),
+            base_trace(),
+            good_report(),
+            producer(),
+            spans,
+        ];
+        let d = check_schema(&files);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("\"ghost_wait\""));
+    }
+
+    #[test]
+    fn trees_without_spans_file_skip_span_check() {
+        let files = vec![
+            base_events(),
+            base_telemetry(),
+            base_trace(),
+            good_report(),
+            producer(),
+        ];
+        assert!(check_schema(&files).is_empty());
     }
 
     #[test]

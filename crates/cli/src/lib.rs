@@ -7,6 +7,7 @@
 
 use std::collections::HashMap;
 
+pub mod perf;
 pub mod report;
 
 use argo_graph::datasets::{DatasetSpec, FLICKR, OGBN_PAPERS100M, OGBN_PRODUCTS, REDDIT};
@@ -141,8 +142,25 @@ USAGE:
       evaluate the paper-scale platform model: default vs auto-tuned vs optimal
 
   argo report   --metrics run.jsonl
-      render a telemetry report (per-stage p50/p95/max, feature-cache hit
-      rates, tuner convergence) from a JSONL file written with --metrics-out
+      render a telemetry report (per-stage p50/p95/max, critical-path
+      attribution, bytes/batch, feature-cache hit rates, bottleneck audit,
+      tuner convergence) from a JSONL file written with --metrics-out
+
+  argo top      --metrics run.jsonl [--refresh 2] [--frames 1]
+      compact live view of the latest epoch (critical path, bytes/batch,
+      cache, bottleneck audit); re-reads the JSONL every --refresh seconds
+      for --frames iterations
+
+  argo perf-diff [--quick true] [--tolerance 0.15]
+                 [--baseline-sampling FILE] [--baseline-kernels FILE]
+                 [--current-sampling FILE] [--current-kernels FILE]
+      perf-regression gate: compare a fresh bench run's speedup ratios
+      against the committed baselines; fails when any ratio drops more
+      than --tolerance (default 15%) below its baseline. --quick true
+      compares target/BENCH_*.quick.json (ARGO_BENCH_QUICK=1 artifacts)
+      against the committed BENCH_*.quick.json, as wired into ci.sh;
+      without it, baselines are BENCH_*.json and --current-* is required
+      (quick and full ratios are not cross-comparable)
 
   argo space    [--cores 112]
       inspect the configuration design space

@@ -4,14 +4,17 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use argo_cli::{
-    dataset_by_name, library_by_name, model_kind_by_name, parse_args, platform_by_name,
-    report::render_report, sampler_kind_by_name, usage, Cli,
+    dataset_by_name, library_by_name, model_kind_by_name, parse_args,
+    perf::{diff_all, render_top, DEFAULT_TOLERANCE},
+    platform_by_name,
+    report::render_report,
+    sampler_kind_by_name, usage, Cli,
 };
 use argo_core::{Argo, ArgoOptions, Error};
 use argo_engine::{evaluate_accuracy, Engine, EngineOptions};
 use argo_graph::Dataset;
 use argo_nn::{Arch, ConfusionMatrix};
-use argo_platform::{PerfModel, Setup};
+use argo_platform::{Library, ModelKind, PerfModel, SamplerKind, Setup, ICE_LAKE_8380H};
 use argo_rt::{RunLogger, Source, Telemetry};
 use argo_sample::{ClusterGcnSampler, NeighborSampler, SaintRwSampler, Sampler, ShadowSampler};
 use argo_tune::{paper_num_searches, SearchSpace};
@@ -37,6 +40,8 @@ fn run(args: &[String]) -> Result<(), Error> {
         "train" => train(&cli),
         "simulate" => simulate(&cli),
         "report" => report(&cli),
+        "top" => top(&cli),
+        "perf-diff" => perf_diff(&cli),
         "space" => space(&cli),
         "info" => {
             info();
@@ -110,6 +115,94 @@ fn flush_telemetry(cli: &Cli, tel: &Telemetry, want_report: bool) -> Result<(), 
             .map(|(ts, e)| (e, ts, tel.logger.source()))
             .collect();
         print!("\n{}", render_report(&events, Some(tel)));
+    }
+    Ok(())
+}
+
+/// `argo top` — compact live view of the most recent epoch in a metrics
+/// JSONL. Re-reads the file every `--refresh` seconds for `--frames`
+/// iterations, so it can watch a run that is appending with `--metrics-out`.
+fn top(cli: &Cli) -> Result<(), Error> {
+    let path = cli.options.get("metrics").ok_or_else(|| {
+        Error::InvalidArgument(
+            "top needs --metrics FILE (a JSONL written with --metrics-out)".into(),
+        )
+    })?;
+    let refresh: f64 = cli.get_num("refresh", 2.0)?;
+    let frames: usize = cli.get_num("frames", 1)?;
+    for frame in 0..frames.max(1) {
+        if frame > 0 {
+            std::thread::sleep(std::time::Duration::from_secs_f64(refresh.clamp(0.1, 60.0)));
+            // ANSI clear + home so successive frames overwrite in place.
+            print!("\x1b[2J\x1b[H");
+        }
+        // A file that does not exist yet (run not started) or a torn tail
+        // line renders as "waiting" rather than an error.
+        let events = std::fs::read_to_string(path)
+            .ok()
+            .and_then(|text| RunLogger::parse_jsonl(&text).ok())
+            .unwrap_or_default();
+        print!("{}", render_top(&events));
+    }
+    Ok(())
+}
+
+/// `argo perf-diff` — the perf-regression gate. Compares speedup ratios in
+/// a fresh bench run against the committed baselines and fails (non-zero
+/// exit) when any ratio falls more than the tolerance below its baseline.
+fn perf_diff(cli: &Cli) -> Result<(), Error> {
+    let quick = cli.get_bool("quick").map_err(Error::InvalidArgument)?;
+    let tolerance: f64 = cli.get_num("tolerance", DEFAULT_TOLERANCE)?;
+    if !(0.0..1.0).contains(&tolerance) {
+        return Err(Error::InvalidArgument(format!(
+            "--tolerance must be in [0, 1), got {tolerance}"
+        )));
+    }
+    // Quick and full bench modes use different shapes, so ratios are only
+    // comparable within a mode: quick runs diff against the committed
+    // quick baselines (conservative min-of-several-runs), full runs against
+    // the committed full-mode baselines. Full-mode bench runs write to the
+    // full baseline paths themselves, so a non-quick diff needs explicit
+    // current paths.
+    let (def_base_s, def_base_k, def_cur_s, def_cur_k) = if quick {
+        (
+            "BENCH_sampling.quick.json",
+            "BENCH_kernels.quick.json",
+            "target/BENCH_sampling.quick.json",
+            "target/BENCH_kernels.quick.json",
+        )
+    } else {
+        ("BENCH_sampling.json", "BENCH_kernels.json", "", "")
+    };
+    let base_s = cli.get("baseline-sampling", def_base_s);
+    let base_k = cli.get("baseline-kernels", def_base_k);
+    let cur_s = cli.get("current-sampling", def_cur_s);
+    let cur_k = cli.get("current-kernels", def_cur_k);
+    if cur_s.is_empty() || cur_k.is_empty() {
+        return Err(Error::InvalidArgument(
+            "perf-diff needs --quick true (compares target/BENCH_*.quick.json) or explicit \
+             --current-sampling/--current-kernels paths"
+                .into(),
+        ));
+    }
+    let load = |path: &str| -> Result<argo_rt::Json, Error> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| Error::Io(format!("read {path}: {e} (run the bench first)")))?;
+        argo_rt::Json::parse(&text).map_err(|e| Error::Io(format!("parse {path}: {e}")))
+    };
+    let rep = diff_all(
+        &load(base_s)?,
+        &load(cur_s)?,
+        &load(base_k)?,
+        &load(cur_k)?,
+        tolerance,
+    );
+    print!("{}", rep.render());
+    if rep.regressions() > 0 {
+        return Err(Error::Other(format!(
+            "{} perf metric(s) regressed past tolerance",
+            rep.regressions()
+        )));
     }
     Ok(())
 }
@@ -198,13 +291,34 @@ fn train(cli: &Cli) -> Result<(), Error> {
         epochs: epochs.max(n_search.max(1)),
         ..Default::default()
     });
-    let tel_opt = if tel.is_enabled() { Some(&tel) } else { None };
-    let report = runtime.train(&mut engine, tel_opt, |epoch, config, stats| {
-        println!(
-            "epoch {epoch:>3} {config}: {:.3}s loss {:.4} acc {:.3}",
-            stats.epoch_time, stats.loss, stats.train_accuracy
-        );
+    // During the search phase, cross-check the measured critical path
+    // against the stage the analytic model predicts to be binding (the
+    // `bottleneck_check` events rendered by `argo report`).
+    let audit_model = PerfModel::new(Setup {
+        platform: ICE_LAKE_8380H,
+        library: Library::Dgl,
+        sampler: match cli.get("sampler", "neighbor") {
+            "shadow" => SamplerKind::Shadow,
+            _ => SamplerKind::Neighbor,
+        },
+        model: match cli.get("model", "sage") {
+            "gcn" => ModelKind::Gcn,
+            _ => ModelKind::Sage,
+        },
+        dataset: dataset.spec,
     });
+    let tel_opt = if tel.is_enabled() { Some(&tel) } else { None };
+    let report = runtime.train_audited(
+        &mut engine,
+        &audit_model,
+        tel_opt,
+        |epoch, config, stats| {
+            println!(
+                "epoch {epoch:>3} {config}: {:.3}s loss {:.4} acc {:.3}",
+                stats.epoch_time, stats.loss, stats.train_accuracy
+            );
+        },
+    );
     println!(
         "\nselected {} (space: {} configs)",
         report.config_opt, report.space_size

@@ -1,0 +1,556 @@
+//! `argo perf diff` — the perf-regression gate — and `argo top`'s live view.
+//!
+//! The bench crate emits machine-readable baselines (`BENCH_sampling.json`
+//! / `BENCH_kernels.json` at the repository root for full mode, committed;
+//! quick CI runs land in `target/BENCH_*.quick.json` and diff against the
+//! committed `BENCH_*.quick.json` baselines, recorded as the per-metric
+//! minimum over several reference-container runs). Absolute milliseconds
+//! are not comparable across modes or machines — but the *speedup ratios*
+//! (scratch vs serial reference, pool/blocked kernels vs serial) are
+//! shape-normalized, so the diff compares those within a mode: a current
+//! ratio may not fall more than the tolerance below its baseline.
+
+use argo_rt::json::Json;
+use argo_rt::{RunEvent, Source};
+
+/// Default regression tolerance: a current speedup ratio passes when it is
+/// at least `baseline × (1 − tolerance)`. 15% absorbs CI-runner noise while
+/// still catching real hot-path regressions.
+pub const DEFAULT_TOLERANCE: f64 = 0.15;
+
+/// One compared metric.
+#[derive(Clone, Debug)]
+pub struct DiffLine {
+    /// Human-readable metric label, e.g. `kernels/gemm:speedup_pool`.
+    pub metric: String,
+    /// Committed baseline value.
+    pub baseline: f64,
+    /// Value from the current run.
+    pub current: f64,
+    /// Whether `current >= baseline * (1 - tolerance)`.
+    pub ok: bool,
+}
+
+/// Outcome of a baseline-vs-current comparison.
+#[derive(Clone, Debug, Default)]
+pub struct DiffReport {
+    /// All compared metrics, in file order.
+    pub lines: Vec<DiffLine>,
+    /// Non-fatal observations (missing counterparts, new variants).
+    pub notes: Vec<String>,
+    /// Tolerance the lines were judged with.
+    pub tolerance: f64,
+}
+
+impl DiffReport {
+    fn new(tolerance: f64) -> Self {
+        Self {
+            tolerance,
+            ..Self::default()
+        }
+    }
+
+    fn push(&mut self, metric: String, baseline: f64, current: f64) {
+        let ok = current >= baseline * (1.0 - self.tolerance);
+        self.lines.push(DiffLine {
+            metric,
+            baseline,
+            current,
+            ok,
+        });
+    }
+
+    fn note(&mut self, msg: String) {
+        self.notes.push(msg);
+    }
+
+    /// Absorbs another report's lines and notes (same tolerance assumed).
+    pub fn merge(&mut self, other: DiffReport) {
+        self.lines.extend(other.lines);
+        self.notes.extend(other.notes);
+    }
+
+    /// Number of metrics below the tolerance band.
+    pub fn regressions(&self) -> usize {
+        self.lines.iter().filter(|l| !l.ok).count()
+    }
+
+    /// Text rendering: one line per metric, notes, and a verdict.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "perf diff (tolerance: current >= baseline * {:.2}):\n",
+            1.0 - self.tolerance
+        ));
+        for l in &self.lines {
+            let delta = if l.baseline.abs() > f64::EPSILON {
+                (l.current / l.baseline - 1.0) * 100.0
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "  {:<52} base {:>6.3}x cur {:>6.3}x ({delta:>+6.1}%) {}\n",
+                l.metric,
+                l.baseline,
+                l.current,
+                if l.ok { "ok" } else { "REGRESSED" }
+            ));
+        }
+        for n in &self.notes {
+            out.push_str(&format!("  note: {n}\n"));
+        }
+        let r = self.regressions();
+        if r == 0 {
+            out.push_str(&format!(
+                "perf gate OK ({} metrics compared)\n",
+                self.lines.len()
+            ));
+        } else {
+            out.push_str(&format!(
+                "perf gate FAILED: {r} of {} metrics regressed past tolerance\n",
+                self.lines.len()
+            ));
+        }
+        out
+    }
+}
+
+fn num(j: &Json, key: &str) -> Option<f64> {
+    j.get(key).and_then(Json::as_f64)
+}
+
+fn text(j: &Json, key: &str) -> Option<String> {
+    j.get(key).and_then(Json::as_str).map(str::to_string)
+}
+
+/// `(name, speedup_vs_serial)` rows of a `BENCH_sampling.json` document.
+fn sampling_variants(doc: &Json) -> Vec<(String, f64)> {
+    doc.get("variants")
+        .and_then(Json::as_arr)
+        .map(|vs| {
+            vs.iter()
+                .filter_map(|v| Some((text(v, "name")?, num(v, "speedup_vs_serial")?)))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Compares sampling speedups by variant name. The serial reference is its
+/// own baseline (always 1.0), so it is skipped.
+pub fn diff_sampling(baseline: &Json, current: &Json, tolerance: f64) -> DiffReport {
+    let mut rep = DiffReport::new(tolerance);
+    let base = sampling_variants(baseline);
+    let cur = sampling_variants(current);
+    for (name, b) in &base {
+        if name == "serial_reference" {
+            continue;
+        }
+        match cur.iter().find(|(n, _)| n == name) {
+            Some((_, c)) => rep.push(format!("sampling/{name}:speedup_vs_serial"), *b, *c),
+            None => rep.note(format!(
+                "sampling variant '{name}' missing from current run"
+            )),
+        }
+    }
+    for (name, _) in &cur {
+        if base.iter().all(|(n, _)| n != name) {
+            rep.note(format!("sampling variant '{name}' is new (no baseline)"));
+        }
+    }
+    if let Some(pct) = num(current, "span_overhead_pct") {
+        rep.note(format!(
+            "span profiler overhead: {pct:.2}% (bench-gated at 5%)"
+        ));
+    }
+    rep
+}
+
+struct KernelRow {
+    name: String,
+    shape: String,
+    pool: Option<f64>,
+    blocked: Option<f64>,
+}
+
+fn kernel_rows(doc: &Json) -> Vec<KernelRow> {
+    doc.get("kernels")
+        .and_then(Json::as_arr)
+        .map(|ks| {
+            ks.iter()
+                .filter_map(|k| {
+                    Some(KernelRow {
+                        name: text(k, "name")?,
+                        shape: text(k, "shape").unwrap_or_default(),
+                        pool: num(k, "speedup_pool"),
+                        blocked: num(k, "speedup_blocked"),
+                    })
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Compares kernel speedups. Kernel names repeat (two `gemm` shapes), so
+/// rows are paired by ordered name occurrence: the i-th baseline `gemm`
+/// matches the i-th current `gemm`. Shapes may differ between quick and
+/// full mode — both are shown in the metric label.
+pub fn diff_kernels(baseline: &Json, current: &Json, tolerance: f64) -> DiffReport {
+    let mut rep = DiffReport::new(tolerance);
+    let base = kernel_rows(baseline);
+    let cur = kernel_rows(current);
+    let mut used = vec![false; cur.len()];
+    for b in &base {
+        let hit = cur
+            .iter()
+            .enumerate()
+            .find(|(i, k)| !used[*i] && k.name == b.name);
+        match hit {
+            Some((i, k)) => {
+                used[i] = true;
+                let shapes = if b.shape == k.shape {
+                    b.shape.clone()
+                } else {
+                    format!("{} vs {}", b.shape, k.shape)
+                };
+                if let (Some(bp), Some(cp)) = (b.pool, k.pool) {
+                    rep.push(format!("kernels/{}[{shapes}]:speedup_pool", b.name), bp, cp);
+                }
+                if let (Some(bb), Some(cb)) = (b.blocked, k.blocked) {
+                    rep.push(
+                        format!("kernels/{}[{shapes}]:speedup_blocked", b.name),
+                        bb,
+                        cb,
+                    );
+                }
+            }
+            None => rep.note(format!(
+                "kernel '{}' [{}] missing from current run",
+                b.name, b.shape
+            )),
+        }
+    }
+    for (i, k) in cur.iter().enumerate() {
+        if !used[i] {
+            rep.note(format!(
+                "kernel '{}' [{}] is new (no baseline)",
+                k.name, k.shape
+            ));
+        }
+    }
+    let pair = (
+        baseline
+            .get("train_step_gathered")
+            .and_then(|t| num(t, "speedup_pool")),
+        current
+            .get("train_step_gathered")
+            .and_then(|t| num(t, "speedup_pool")),
+    );
+    if let (Some(b), Some(c)) = pair {
+        rep.push("train_step_gathered:speedup_pool".to_string(), b, c);
+    }
+    rep
+}
+
+/// Full diff over both artifact pairs.
+pub fn diff_all(
+    base_sampling: &Json,
+    cur_sampling: &Json,
+    base_kernels: &Json,
+    cur_kernels: &Json,
+    tolerance: f64,
+) -> DiffReport {
+    let mut rep = diff_sampling(base_sampling, cur_sampling, tolerance);
+    rep.merge(diff_kernels(base_kernels, cur_kernels, tolerance));
+    rep
+}
+
+/// One-screen live view of a run's most recent telemetry, rendered from the
+/// structured events (`argo top --metrics run.jsonl` re-reads and re-renders
+/// the file as the run appends to it).
+pub fn render_top(events: &[(RunEvent, f64, Source)]) -> String {
+    let mut out = String::new();
+    let mut last_epoch: Option<(u64, &argo_rt::EpochRecord)> = None;
+    let mut last_cp: Option<&Vec<(String, f64)>> = None;
+    let mut last_bytes: Option<&argo_rt::BytesRecord> = None;
+    let mut last_cache: Option<&argo_rt::CacheSummaryRecord> = None;
+    let mut last_trial: Option<&argo_rt::TrialRecord> = None;
+    let mut last_check: Option<(&String, &String)> = None;
+    let mut modeled = false;
+    for (e, _, s) in events {
+        modeled |= *s == Source::Modeled;
+        match e {
+            RunEvent::EpochEnd { epoch, record, .. } => last_epoch = Some((*epoch, record)),
+            RunEvent::CriticalPath { fractions, .. } => last_cp = Some(fractions),
+            RunEvent::BytesSummary { record, .. } => last_bytes = Some(record),
+            RunEvent::CacheSummary { summary, .. } => last_cache = Some(summary),
+            RunEvent::TunerTrial(t) => last_trial = Some(t),
+            RunEvent::BottleneckCheck {
+                predicted,
+                measured,
+                ..
+            } => last_check = Some((predicted, measured)),
+            _ => {}
+        }
+    }
+    let Some((epoch, r)) = last_epoch else {
+        return "argo top — waiting for events…\n".to_string();
+    };
+    out.push_str(&format!(
+        "argo top — epoch {epoch}{}\n",
+        if modeled { " (modeled)" } else { "" }
+    ));
+    out.push_str(&format!(
+        "  epoch: {:.3}s, loss {:.4}, acc {:.3}, {} iterations, {} edges\n",
+        r.epoch_time, r.loss, r.train_accuracy, r.iterations, r.edges
+    ));
+    if let Some(fractions) = last_cp {
+        let mut sorted: Vec<&(String, f64)> = fractions.iter().filter(|(_, f)| *f > 0.0).collect();
+        sorted.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let parts: Vec<String> = sorted
+            .iter()
+            .map(|(s, f)| format!("{s} {:.0}%", f * 100.0))
+            .collect();
+        out.push_str(&format!("  critical path: {}\n", parts.join(" | ")));
+    }
+    if let Some(b) = last_bytes {
+        out.push_str(&format!(
+            "  bytes/batch: {:.1} KB metadata, {:.1} MB cache-served, {} scratch allocs\n",
+            b.metadata_bytes_per_batch() / 1e3,
+            b.cache_bytes as f64 / 1e6,
+            b.scratch_allocs
+        ));
+    }
+    if let Some(c) = last_cache {
+        out.push_str(&format!(
+            "  cache: hit rate {:.1}%, {} / {} rows resident\n",
+            c.hit_rate() * 100.0,
+            c.resident_rows,
+            c.capacity_rows
+        ));
+    }
+    if let Some((predicted, measured)) = last_check {
+        out.push_str(&format!(
+            "  bottleneck: predicted {predicted}, measured {measured} ({})\n",
+            if predicted == measured {
+                "agree"
+            } else {
+                "DISAGREE"
+            }
+        ));
+    }
+    if let Some(t) = last_trial {
+        out.push_str(&format!(
+            "  tuner: trial {} — best {:.3}s at {}\n",
+            t.trial, t.best_epoch_time, t.best_config
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use argo_rt::{BytesRecord, Config, EpochRecord};
+
+    fn sampling_doc(scratch: f64, pool: f64) -> Json {
+        let variant = |name: &str, s: f64| {
+            Json::obj(vec![
+                ("name", Json::str(name)),
+                ("speedup_vs_serial", Json::Num(s)),
+            ])
+        };
+        Json::obj(vec![(
+            "variants",
+            Json::Arr(vec![
+                variant("serial_reference", 1.0),
+                variant("scratch", scratch),
+                variant("scratch_pool2", pool),
+            ]),
+        )])
+    }
+
+    fn kernels_doc(gemm1: f64, gemm2: f64, train: f64) -> Json {
+        let kernel = |name: &str, shape: &str, pool: f64| {
+            Json::obj(vec![
+                ("name", Json::str(name)),
+                ("shape", Json::str(shape)),
+                ("speedup_pool", Json::Num(pool)),
+                ("speedup_blocked", Json::Num(pool + 0.1)),
+            ])
+        };
+        Json::obj(vec![
+            (
+                "kernels",
+                Json::Arr(vec![
+                    kernel("gemm", "256x64x32", gemm1),
+                    kernel("gemm", "1024x256x128", gemm2),
+                ]),
+            ),
+            (
+                "train_step_gathered",
+                Json::obj(vec![("speedup_pool", Json::Num(train))]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let rep = diff_all(
+            &sampling_doc(1.9, 1.95),
+            &sampling_doc(1.9, 1.95),
+            &kernels_doc(1.4, 1.45, 0.89),
+            &kernels_doc(1.4, 1.45, 0.89),
+            DEFAULT_TOLERANCE,
+        );
+        assert_eq!(rep.regressions(), 0);
+        // scratch + pool2 + 2 gemms × (pool, blocked) + train_step = 7.
+        assert_eq!(rep.lines.len(), 7);
+        assert!(rep.render().contains("perf gate OK"));
+    }
+
+    #[test]
+    fn within_tolerance_passes_beyond_fails() {
+        // 10% down: inside the 15% band.
+        let rep = diff_sampling(&sampling_doc(2.0, 2.0), &sampling_doc(1.8, 2.0), 0.15);
+        assert_eq!(rep.regressions(), 0);
+        // 20% down: outside.
+        let rep = diff_sampling(&sampling_doc(2.0, 2.0), &sampling_doc(1.6, 2.0), 0.15);
+        assert_eq!(rep.regressions(), 1);
+        let text = rep.render();
+        assert!(text.contains("REGRESSED"), "{text}");
+        assert!(text.contains("perf gate FAILED"), "{text}");
+    }
+
+    #[test]
+    fn a_baseline_below_one_does_not_require_reaching_one() {
+        // Some committed speedups are < 1.0 (pool losses on small shapes);
+        // the gate is relative to the baseline, not to 1.0.
+        let rep = diff_kernels(
+            &kernels_doc(1.4, 1.45, 0.86),
+            &kernels_doc(1.4, 1.45, 0.80),
+            0.15,
+        );
+        assert_eq!(rep.regressions(), 0);
+    }
+
+    #[test]
+    fn duplicate_kernel_names_pair_by_occurrence() {
+        // Regressing only the SECOND gemm must be caught even though both
+        // rows share a name.
+        let rep = diff_kernels(
+            &kernels_doc(1.4, 1.45, 0.89),
+            &kernels_doc(1.4, 0.9, 0.89),
+            0.15,
+        );
+        assert_eq!(rep.regressions(), 2); // its pool and blocked columns
+        assert!(rep.render().contains("1024x256x128"));
+    }
+
+    #[test]
+    fn missing_counterparts_become_notes_not_failures() {
+        let base = sampling_doc(1.9, 1.95);
+        let cur = Json::obj(vec![(
+            "variants",
+            Json::Arr(vec![Json::obj(vec![
+                ("name", Json::str("scratch")),
+                ("speedup_vs_serial", Json::Num(1.9)),
+            ])]),
+        )]);
+        let rep = diff_sampling(&base, &cur, 0.15);
+        assert_eq!(rep.regressions(), 0);
+        assert!(rep
+            .notes
+            .iter()
+            .any(|n| n.contains("scratch_pool2") && n.contains("missing")));
+    }
+
+    #[test]
+    fn committed_baselines_parse_and_self_diff_clean() {
+        // The repository's committed artifacts must stay consumable.
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let read = |name: &str| {
+            let text = std::fs::read_to_string(root.join(name))
+                .unwrap_or_else(|e| panic!("read {name}: {e}"));
+            Json::parse(&text).unwrap_or_else(|e| panic!("parse {name}: {e}"))
+        };
+        let s = read("BENCH_sampling.json");
+        let k = read("BENCH_kernels.json");
+        let qs = read("BENCH_sampling.quick.json");
+        let qk = read("BENCH_kernels.quick.json");
+        let rep = diff_all(&qs, &qs, &qk, &qk, DEFAULT_TOLERANCE);
+        assert_eq!(rep.regressions(), 0, "{}", rep.render());
+        let rep = diff_all(&s, &k, &k, &k, DEFAULT_TOLERANCE);
+        // Self-comparison of the kernels file is trivially clean; sampling
+        // baseline vs kernels doc yields only notes.
+        assert_eq!(rep.regressions(), 0);
+        let rep = diff_all(&s, &s, &k, &k, DEFAULT_TOLERANCE);
+        assert_eq!(rep.regressions(), 0);
+        assert!(rep.lines.len() >= 7, "{}", rep.render());
+    }
+
+    #[test]
+    fn top_renders_latest_state() {
+        let c = Config::new(2, 1, 2);
+        let mk = |e: RunEvent| (e, 0.0, Source::Measured);
+        let events = vec![
+            mk(RunEvent::EpochEnd {
+                epoch: 0,
+                config: c,
+                record: EpochRecord {
+                    epoch_time: 2.0,
+                    loss: 0.9,
+                    train_accuracy: 0.5,
+                    iterations: 4,
+                    minibatches: 8,
+                    edges: 100,
+                    sync_time: 0.1,
+                },
+            }),
+            mk(RunEvent::CriticalPath {
+                epoch: 1,
+                fractions: vec![("compute".to_string(), 0.7), ("heap_wait".to_string(), 0.3)],
+                spans: 10,
+                dropped: 0,
+            }),
+            mk(RunEvent::BytesSummary {
+                epoch: 1,
+                record: BytesRecord {
+                    batches: 4,
+                    metadata_bytes: 8_000,
+                    cache_bytes: 0,
+                    scratch_allocs: 2,
+                },
+            }),
+            mk(RunEvent::BottleneckCheck {
+                epoch: 1,
+                config: c,
+                predicted: "compute".to_string(),
+                measured: "compute".to_string(),
+            }),
+            mk(RunEvent::EpochEnd {
+                epoch: 1,
+                config: c,
+                record: EpochRecord {
+                    epoch_time: 1.5,
+                    loss: 0.7,
+                    train_accuracy: 0.6,
+                    iterations: 4,
+                    minibatches: 8,
+                    edges: 100,
+                    sync_time: 0.1,
+                },
+            }),
+        ];
+        let text = render_top(&events);
+        assert!(text.contains("epoch 1"), "{text}");
+        assert!(text.contains("1.500s"), "{text}");
+        assert!(text.contains("compute 70% | heap_wait 30%"), "{text}");
+        assert!(text.contains("2.0 KB metadata"), "{text}");
+        assert!(text.contains("2 scratch allocs"), "{text}");
+        assert!(
+            text.contains("predicted compute, measured compute (agree)"),
+            "{text}"
+        );
+        assert!(render_top(&[]).contains("waiting for events"));
+    }
+}

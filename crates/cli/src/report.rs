@@ -24,6 +24,9 @@ pub const CONSUMED_EVENT_KINDS: &[&str] = &[
     "cache_summary",
     "tuner_trial",
     "config_applied",
+    "critical_path",
+    "bytes_summary",
+    "bottleneck_check",
 ];
 
 /// p50/p95/max of a sample set.
@@ -61,6 +64,17 @@ fn fmt_seconds(s: f64) -> String {
         format!("{:.3}ms", s * 1e3)
     } else {
         format!("{:.1}µs", s * 1e6)
+    }
+}
+
+/// Saturation note for a fixed-bucket histogram: observations past the last
+/// finite bound land in the +Inf bucket, where quantiles clip.
+fn overflow_note(h: &argo_rt::metrics::Histogram) -> String {
+    let o = h.overflow_count();
+    if o > 0 {
+        format!(" overflow={o}")
+    } else {
+        String::new()
     }
 }
 
@@ -138,12 +152,13 @@ pub fn render_report(events: &[(RunEvent, f64, Source)], live: Option<&Telemetry
                     continue;
                 }
                 out.push_str(&format!(
-                    "  {stage:<8} p50 {:>10} p95 {:>10} max {:>10} total {:>10} n={}\n",
+                    "  {stage:<8} p50 {:>10} p95 {:>10} max {:>10} total {:>10} n={}{}\n",
                     fmt_seconds(h.quantile(0.50)),
                     fmt_seconds(h.quantile(0.95)),
                     fmt_seconds(h.max()),
                     fmt_seconds(h.sum()),
-                    h.count()
+                    h.count(),
+                    overflow_note(h)
                 ));
             } else if let Some((samples, count)) = by_stage.get(stage) {
                 if let Some(p) = percentiles(samples) {
@@ -169,6 +184,67 @@ pub fn render_report(events: &[(RunEvent, f64, Source)], live: Option<&Telemetry
             out.push_str(&format!(
                 "\ngather/compute overlap fraction: {:.3}\n",
                 t.trace.overlap_fraction(t.trace.now())
+            ));
+        }
+    }
+
+    // ---- Critical path (span profiler attribution) --------------------
+    // Per-epoch fractions of wall time each stage — or wait on the channel
+    // or reorder heap — was the binding constraint, averaged over epochs.
+    // (epoch, per-stage fractions, spans recorded, spans dropped)
+    type CpRow<'a> = (u64, &'a Vec<(String, f64)>, u64, u64);
+    let cp: Vec<CpRow> = events
+        .iter()
+        .filter_map(|(e, _, _)| match e {
+            RunEvent::CriticalPath {
+                epoch,
+                fractions,
+                spans,
+                dropped,
+            } => Some((*epoch, fractions, *spans, *dropped)),
+            _ => None,
+        })
+        .collect();
+    if !cp.is_empty() {
+        out.push_str("\ncritical path (fraction of epoch each stage or wait was binding):\n");
+        let mut avg: BTreeMap<&str, f64> = BTreeMap::new();
+        for (_, fractions, _, _) in &cp {
+            for (stage, f) in fractions.iter() {
+                *avg.entry(stage.as_str()).or_default() += f;
+            }
+        }
+        let n = cp.len() as f64;
+        for stage in argo_rt::CRITICAL_PATH_STAGES {
+            if let Some(v) = avg.get(stage).filter(|v| **v > 0.0) {
+                out.push_str(&format!("  {stage:<12} {:>5.1}%\n", v / n * 100.0));
+            }
+        }
+        let spans: u64 = cp.iter().map(|c| c.2).sum();
+        let dropped: u64 = cp.iter().map(|c| c.3).sum();
+        out.push_str(&format!(
+            "  ({spans} spans, {dropped} dropped; channel_wait = enqueue backpressure, \
+             heap_wait = reorder stall, other = unattributed)\n"
+        ));
+    }
+
+    // ---- Bytes/batch (loader and cache data movement) ------------------
+    let bytes: Vec<_> = events
+        .iter()
+        .filter_map(|(e, _, _)| match e {
+            RunEvent::BytesSummary { epoch, record } => Some((*epoch, *record)),
+            _ => None,
+        })
+        .collect();
+    if !bytes.is_empty() {
+        out.push_str("\nbytes/batch:\n");
+        for (epoch, r) in &bytes {
+            out.push_str(&format!(
+                "  epoch {epoch:>3} {:>8.1} KB metadata/batch, {:>7.1} MB cache-served, \
+                 {} scratch allocs ({} batches)\n",
+                r.metadata_bytes_per_batch() / 1e3,
+                r.cache_bytes as f64 / 1e6,
+                r.scratch_allocs,
+                r.batches,
             ));
         }
     }
@@ -240,6 +316,39 @@ pub fn render_report(events: &[(RunEvent, f64, Source)], live: Option<&Telemetry
         ));
     }
 
+    // ---- Bottleneck audit ---------------------------------------------
+    // Each search epoch of an audited run: the perf model's predicted
+    // bottleneck vs what the span profiler actually measured as binding.
+    let audits: Vec<_> = events
+        .iter()
+        .filter_map(|(e, _, _)| match e {
+            RunEvent::BottleneckCheck {
+                epoch,
+                config,
+                predicted,
+                measured,
+            } => Some((*epoch, config, predicted, measured)),
+            _ => None,
+        })
+        .collect();
+    if !audits.is_empty() {
+        out.push_str("\nbottleneck audit (perf model vs measured critical path):\n");
+        let mut agree = 0usize;
+        for (epoch, config, predicted, measured) in &audits {
+            let verdict = if predicted == measured {
+                agree += 1;
+                "agree"
+            } else {
+                "DISAGREE"
+            };
+            out.push_str(&format!(
+                "  epoch {epoch:>3} {:<22} predicted {predicted:<8} measured {measured:<12} {verdict}\n",
+                config.to_string(),
+            ));
+        }
+        out.push_str(&format!("  {agree}/{} agreements\n", audits.len()));
+    }
+
     // ---- Config applications -----------------------------------------
     // Every `ConfigApplied` event: which configuration the runtime switched
     // to and why (search trial, final selection, …).
@@ -274,6 +383,11 @@ pub fn render_report(events: &[(RunEvent, f64, Source)], live: Option<&Telemetry
             names::CACHE_HITS_TOTAL,
             names::CACHE_MISSES_TOTAL,
             names::CACHE_EVICTIONS_TOTAL,
+            names::CACHE_MOVED_BYTES_TOTAL,
+            names::SCRATCH_ALLOCS_TOTAL,
+            names::METADATA_BYTES_TOTAL,
+            names::SPANS_RECORDED_TOTAL,
+            names::SPANS_DROPPED_TOTAL,
         ] {
             if let Some(v) = counters.get(name) {
                 section.push_str(&format!("  {name:<26} {v}\n"));
@@ -295,10 +409,11 @@ pub fn render_report(events: &[(RunEvent, f64, Source)], live: Option<&Telemetry
         ] {
             if let Some(h) = live_hists.get(name).filter(|h| h.count() > 0) {
                 section.push_str(&format!(
-                    "  {name:<26} p50 {:>10} p95 {:>10} n={}\n",
+                    "  {name:<26} p50 {:>10} p95 {:>10} n={}{}\n",
                     fmt_seconds(h.quantile(0.50)),
                     fmt_seconds(h.quantile(0.95)),
-                    h.count()
+                    h.count(),
+                    overflow_note(h)
                 ));
             }
         }
@@ -417,6 +532,92 @@ mod tests {
         assert!(text.contains("epochs: 0"));
         assert!(!text.contains("tuner convergence"));
         assert!(!text.contains("feature cache"));
+    }
+
+    #[test]
+    fn report_renders_critical_path_and_bytes_sections() {
+        use argo_rt::BytesRecord;
+        let without = render_report(&evs(), None);
+        assert!(!without.contains("critical path"));
+        assert!(!without.contains("bytes/batch"));
+        let mut events = evs();
+        events.push((
+            RunEvent::CriticalPath {
+                epoch: 0,
+                fractions: vec![
+                    ("compute".to_string(), 0.6),
+                    ("gather".to_string(), 0.25),
+                    ("channel_wait".to_string(), 0.15),
+                ],
+                spans: 1234,
+                dropped: 0,
+            },
+            0.0,
+            Source::Measured,
+        ));
+        events.push((
+            RunEvent::BytesSummary {
+                epoch: 0,
+                record: BytesRecord {
+                    batches: 10,
+                    metadata_bytes: 50_000,
+                    cache_bytes: 3_000_000,
+                    scratch_allocs: 4,
+                },
+            },
+            0.0,
+            Source::Measured,
+        ));
+        let with = render_report(&events, None);
+        assert!(with.contains("critical path"), "{with}");
+        assert!(with.contains("compute       60.0%"), "{with}");
+        assert!(with.contains("channel_wait  15.0%"), "{with}");
+        assert!(with.contains("1234 spans, 0 dropped"), "{with}");
+        assert!(with.contains("bytes/batch:"), "{with}");
+        assert!(with.contains("5.0 KB metadata/batch"), "{with}");
+        assert!(with.contains("3.0 MB cache-served"), "{with}");
+        assert!(with.contains("4 scratch allocs (10 batches)"), "{with}");
+    }
+
+    #[test]
+    fn report_renders_bottleneck_audit() {
+        let mut events = evs();
+        let c = Config::new(2, 1, 2);
+        events.push((
+            RunEvent::BottleneckCheck {
+                epoch: 0,
+                config: c,
+                predicted: "gather".to_string(),
+                measured: "gather".to_string(),
+            },
+            0.0,
+            Source::Measured,
+        ));
+        events.push((
+            RunEvent::BottleneckCheck {
+                epoch: 1,
+                config: c,
+                predicted: "compute".to_string(),
+                measured: "heap_wait".to_string(),
+            },
+            0.0,
+            Source::Measured,
+        ));
+        let text = render_report(&events, None);
+        assert!(text.contains("bottleneck audit"), "{text}");
+        assert!(text.contains("agree"), "{text}");
+        assert!(text.contains("DISAGREE"), "{text}");
+        assert!(text.contains("1/2 agreements"), "{text}");
+    }
+
+    #[test]
+    fn histogram_overflow_is_rendered() {
+        let tel = Telemetry::new();
+        let h = tel.metrics.time_histogram(names::EPOCH_SECONDS);
+        h.observe(0.5);
+        h.observe(1e9); // past the last finite bound → +Inf bucket
+        let text = render_report(&[], Some(&tel));
+        assert!(text.contains("overflow=1"), "{text}");
     }
 
     #[test]

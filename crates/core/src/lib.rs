@@ -43,6 +43,7 @@
 //! remain as deprecated shims for one release.
 
 use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
 use argo_engine::{Engine, EpochStats};
@@ -330,6 +331,49 @@ impl Argo {
         )
     }
 
+    /// Like [`Argo::train`], but audits the span profiler's measured
+    /// critical-path attribution against `model`'s predicted bottleneck.
+    ///
+    /// After each search epoch, the most recent `critical_path` event the
+    /// engine logged is compared with [`PerfModel::predicted_bottleneck`]
+    /// for that epoch's configuration, and one `bottleneck_check` event is
+    /// emitted carrying both labels — `argo report` renders per-trial
+    /// agreement or disagreement. Requires an enabled event logger in
+    /// `telemetry`; with `None` (or events off) this is exactly
+    /// [`Argo::train`].
+    pub fn train_audited(
+        &mut self,
+        engine: &mut Engine,
+        model: &PerfModel,
+        telemetry: Option<&Telemetry>,
+        mut on_epoch: impl FnMut(usize, Config, &EpochStats),
+    ) -> ArgoReport {
+        let n_search = self.opts.n_search;
+        let logger = telemetry.map(|t| Arc::clone(&t.logger));
+        self.train(engine, telemetry, move |epoch_idx, config, stats| {
+            if epoch_idx < n_search {
+                if let Some(l) = logger.as_ref().filter(|l| l.is_enabled()) {
+                    let measured = l.events().iter().rev().find_map(|(_, e)| match e {
+                        RunEvent::CriticalPath { fractions, .. } => fractions
+                            .iter()
+                            .max_by(|a, b| a.1.total_cmp(&b.1))
+                            .map(|(stage, _)| stage.clone()),
+                        _ => None,
+                    });
+                    if let Some(measured) = measured {
+                        l.log(RunEvent::BottleneckCheck {
+                            epoch: epoch_idx as u64,
+                            config,
+                            predicted: model.predicted_bottleneck(config).to_string(),
+                            measured,
+                        });
+                    }
+                }
+            }
+            on_epoch(epoch_idx, config, stats);
+        })
+    }
+
     /// Deprecated alias for [`Argo::train`] with `Some(telemetry)`.
     #[deprecated(
         since = "0.2.0",
@@ -600,6 +644,84 @@ mod tests {
             })
             .sum();
         assert!((total - report.total_time).abs() < 1e-9 * report.total_time.max(1.0));
+    }
+
+    #[test]
+    fn train_audited_emits_bottleneck_checks() {
+        use argo_rt::RunEvent;
+        let dataset = Arc::new(FLICKR.synthesize(0.008, 3));
+        let sampler: Arc<dyn argo_sample::Sampler> = Arc::new(NeighborSampler::new(vec![6, 3]));
+        let mut engine = Engine::new(
+            dataset,
+            sampler,
+            EngineOptions {
+                hidden: 8,
+                num_layers: 2,
+                global_batch: 64,
+                total_cores: 16,
+                ..Default::default()
+            },
+        );
+        let model = PerfModel::new(Setup {
+            platform: ICE_LAKE_8380H,
+            library: Library::Dgl,
+            sampler: SamplerKind::Neighbor,
+            model: ModelKind::Sage,
+            dataset: FLICKR,
+        });
+        let tel = Telemetry::new();
+        let mut argo = Argo::new(ArgoOptions {
+            n_search: 3,
+            epochs: 5,
+            total_cores: 16,
+            seed: 5,
+        });
+        argo.train_audited(&mut engine, &model, Some(&tel), |_, _, _| {});
+        let checks: Vec<_> = tel
+            .logger
+            .events()
+            .iter()
+            .filter_map(|(_, e)| match e {
+                RunEvent::BottleneckCheck {
+                    epoch,
+                    predicted,
+                    measured,
+                    ..
+                } => Some((*epoch, predicted.clone(), measured.clone())),
+                _ => None,
+            })
+            .collect();
+        // One audit per search epoch, none for the reuse phase.
+        assert_eq!(checks.len(), 3);
+        for (epoch, predicted, measured) in &checks {
+            assert!(*epoch < 3);
+            assert!(["sample", "gather", "compute", "sync"].contains(&predicted.as_str()));
+            assert!(argo_rt::CRITICAL_PATH_STAGES.contains(&measured.as_str()));
+        }
+
+        // Without telemetry the audited path is exactly Argo::train.
+        let dataset = Arc::new(FLICKR.synthesize(0.008, 3));
+        let sampler: Arc<dyn argo_sample::Sampler> = Arc::new(NeighborSampler::new(vec![6, 3]));
+        let mut engine2 = Engine::new(
+            dataset,
+            sampler,
+            EngineOptions {
+                hidden: 8,
+                num_layers: 2,
+                global_batch: 64,
+                total_cores: 16,
+                ..Default::default()
+            },
+        );
+        let mut argo2 = Argo::new(ArgoOptions {
+            n_search: 3,
+            epochs: 5,
+            total_cores: 16,
+            seed: 5,
+        });
+        let mut n = 0usize;
+        argo2.train_audited(&mut engine2, &model, None, |_, _, _| n += 1);
+        assert_eq!(n, 5);
     }
 
     #[test]

@@ -4,14 +4,15 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use argo_graph::partition::random_partition;
-use argo_graph::{Dataset, Features};
+use argo_graph::{Dataset, Features, NodeId};
 use argo_nn::{AnyModel, AnyOptimizer, Arch, LrSchedule, Optimizer, OptimizerKind};
 use argo_rt::affinity::CoreSet;
 use argo_rt::metrics::{Counter, Histogram, MetricsRegistry};
+use argo_rt::spans::{critical_path, Role, SpanKind, SpanProfiler};
 use argo_rt::telemetry::names;
 use argo_rt::{
-    AllReduce, CacheSummaryRecord, Config, CoreBinder, EpochRecord, RunEvent, RunLogger,
-    SeedSequence, Stage, StageSummaryRecord, Telemetry, ThreadPool, TraceRecorder,
+    AllReduce, BytesRecord, CacheSummaryRecord, Config, CoreBinder, EpochRecord, RunEvent,
+    RunLogger, SeedSequence, Stage, StageSummaryRecord, Telemetry, ThreadPool, TraceRecorder,
 };
 use argo_sample::{FeatureCache, LoadedBatch, LoaderSpec, Sampler};
 
@@ -192,6 +193,12 @@ struct ProcessResult {
     iterations: usize,
     edges: usize,
     sync_time: f64,
+    /// Sampler scratch-arena growth events across this process's batches
+    /// (steady state: 0).
+    scratch_allocs: u64,
+    /// Batch-metadata bytes (node ids + edge endpoint indices) produced by
+    /// this process's loader.
+    metadata_bytes: u64,
     params: Vec<f32>,
     opt: AnyOptimizer,
 }
@@ -434,6 +441,14 @@ impl Engine {
         if let Some(l) = logger {
             l.log(RunEvent::EpochStart { epoch, config });
         }
+        // The causal span profiler rides on the structured-event sink: when
+        // events are off, a disabled profiler hands out detached rings and
+        // the hot paths pay a single branch per span.
+        let spans = if logger.is_some_and(|l| l.is_enabled()) {
+            Arc::new(SpanProfiler::new())
+        } else {
+            Arc::new(SpanProfiler::disabled())
+        };
 
         let start = Instant::now();
         let results: Vec<ProcessResult> = std::thread::scope(|scope| {
@@ -466,6 +481,7 @@ impl Engine {
                     features: features.clone(),
                     cache: cache.clone(),
                     stage_metrics,
+                    spans: Arc::clone(&spans),
                 };
                 handles.push(scope.spawn(move || run_process(spec, trace)));
             }
@@ -475,6 +491,11 @@ impl Engine {
                 .collect()
         });
         let epoch_time = start.elapsed().as_secs_f64();
+        // Drain the span rings on the profiler clock: the horizon is the
+        // profiler-relative instant of the drain, so critical-path bins
+        // line up with the recorded span timestamps.
+        let span_horizon = spans.now();
+        let drained = spans.drain();
 
         // All replicas end bit-identical; adopt rank 0's state as master.
         let mut results = results;
@@ -487,6 +508,10 @@ impl Engine {
         let total_edges = r0.edges + results.iter().map(|r| r.edges).sum::<usize>();
         let loss_sum = r0.loss_sum + results.iter().map(|r| r.loss_sum).sum::<f64>();
         let acc_sum = r0.acc_sum + results.iter().map(|r| r.acc_sum).sum::<f64>();
+        let scratch_allocs =
+            r0.scratch_allocs + results.iter().map(|r| r.scratch_allocs).sum::<u64>();
+        let metadata_bytes =
+            r0.metadata_bytes + results.iter().map(|r| r.metadata_bytes).sum::<u64>();
         let batches = iterations * n_proc;
         let stats = EpochStats {
             epoch_time,
@@ -520,6 +545,19 @@ impl Engine {
             }
         });
 
+        // Byte/alloc accounting for this epoch: how much batch metadata the
+        // loaders produced, how many feature bytes the cross-batch cache
+        // served, and whether the scratch arena stayed allocation-free.
+        let row_bytes = self.dataset.feat_dim() * std::mem::size_of::<f32>();
+        let bytes_record = BytesRecord {
+            batches: stats.minibatches as u64,
+            metadata_bytes,
+            cache_bytes: cache_delta
+                .as_ref()
+                .map_or(0, |d| d.hits * row_bytes as u64),
+            scratch_allocs,
+        };
+
         if let Some(m) = metrics.filter(|m| m.is_enabled()) {
             m.time_histogram(names::EPOCH_SECONDS).observe(epoch_time);
             m.counter(names::EPOCHS_TOTAL).inc();
@@ -527,10 +565,17 @@ impl Engine {
                 m.gauge(names::OVERLAP_FRACTION)
                     .set(trace.overlap_fraction(trace.now()));
             }
+            m.counter(names::SCRATCH_ALLOCS_TOTAL).add(scratch_allocs);
+            m.counter(names::METADATA_BYTES_TOTAL).add(metadata_bytes);
+            m.counter(names::SPANS_RECORDED_TOTAL)
+                .add(drained.records.len() as u64);
+            m.counter(names::SPANS_DROPPED_TOTAL).add(drained.dropped);
             if let Some(d) = &cache_delta {
                 m.counter(names::CACHE_HITS_TOTAL).add(d.hits);
                 m.counter(names::CACHE_MISSES_TOTAL).add(d.misses);
                 m.counter(names::CACHE_EVICTIONS_TOTAL).add(d.evictions);
+                m.counter(names::CACHE_MOVED_BYTES_TOTAL)
+                    .add(bytes_record.cache_bytes);
                 m.gauge(names::CACHE_BYTES).set(d.bytes as f64);
                 m.gauge(names::CACHE_HIT_RATE).set(d.hit_rate());
             }
@@ -549,6 +594,24 @@ impl Engine {
                     });
                 }
             }
+            // Critical-path attribution: which stage (or wait) was the
+            // binding constraint, sampled over the epoch's span timeline.
+            if !drained.records.is_empty() {
+                let fractions = critical_path(&drained.records, span_horizon)
+                    .into_iter()
+                    .map(|(stage, f)| (stage.to_string(), f))
+                    .collect();
+                l.log(RunEvent::CriticalPath {
+                    epoch,
+                    fractions,
+                    spans: drained.records.len() as u64,
+                    dropped: drained.dropped,
+                });
+            }
+            l.log(RunEvent::BytesSummary {
+                epoch,
+                record: bytes_record,
+            });
             if let Some(summary) = cache_delta {
                 l.log(RunEvent::CacheSummary { epoch, summary });
             }
@@ -594,6 +657,9 @@ struct ProcessSpec {
     features: Option<Arc<Features>>,
     cache: Option<Arc<FeatureCache>>,
     stage_metrics: Option<StageMetrics>,
+    /// Causal span profiler shared by every process of this epoch (a
+    /// disabled profiler hands out detached rings — zero overhead).
+    spans: Arc<SpanProfiler>,
 }
 
 fn run_process(spec: ProcessSpec, trace: &TraceRecorder) -> ProcessResult {
@@ -614,6 +680,7 @@ fn run_process(spec: ProcessSpec, trace: &TraceRecorder) -> ProcessResult {
         features,
         cache,
         stage_metrics,
+        spans,
     } = spec;
 
     // Local model replica (DDP-style).
@@ -639,11 +706,15 @@ fn run_process(spec: ProcessSpec, trace: &TraceRecorder) -> ProcessResult {
         .n_samp(n_samp)
         .cores(sampling_cores)
         .prefetch(opts.prefetch)
-        .normalization(opts.kind.normalization());
+        .normalization(opts.kind.normalization())
+        .spans(Arc::clone(&spans));
     if let (Some(f), Some(c)) = (&features, &cache) {
         loader_spec = loader_spec.features(Arc::clone(f)).cache(Arc::clone(c));
     }
     let loader = loader_spec.start();
+    // Consumer-side span ring: compute/sync spans here chain (by batch id)
+    // onto the producer spans the loader records.
+    let ring = spans.ring(Role::Consumer);
     let train_pool = if training_cores.len() > 1 {
         Some(ThreadPool::pinned("argo-train", &training_cores))
     } else {
@@ -656,6 +727,8 @@ fn run_process(spec: ProcessSpec, trace: &TraceRecorder) -> ProcessResult {
     let mut iterations = 0usize;
     let mut edges = 0usize;
     let mut sync_time = 0.0f64;
+    let mut scratch_allocs = 0u64;
+    let mut metadata_bytes = 0u64;
 
     let sm = stage_metrics.as_ref();
     let observe = |stage: Stage, start: f64, end: f64| {
@@ -666,8 +739,9 @@ fn run_process(spec: ProcessSpec, trace: &TraceRecorder) -> ProcessResult {
     };
 
     let mut wait_from = trace.now();
-    for (_i, loaded) in loader {
+    for (i, loaded) in loader {
         observe(Stage::Sample, wait_from, trace.now());
+        scratch_allocs += loaded.scratch_allocs;
         let LoadedBatch {
             batch,
             input,
@@ -684,8 +758,10 @@ fn run_process(spec: ProcessSpec, trace: &TraceRecorder) -> ProcessResult {
                     observe(Stage::Gather, g0, g0 + gather_seconds);
                 }
                 let c0 = trace.now();
+                let sp = ring.span_begin(SpanKind::Compute, i as u64);
                 let stats =
                     model.train_step_gathered(&batch, input, &dataset.labels, train_pool.as_ref());
+                ring.span_end(sp);
                 observe(Stage::Compute, c0, trace.now());
                 stats
             }
@@ -695,21 +771,29 @@ fn run_process(spec: ProcessSpec, trace: &TraceRecorder) -> ProcessResult {
                     // (Figure 2's `aten::index_select`); the gather inside
                     // `train_step` is what actually feeds the model.
                     let g0 = trace.now();
+                    let gsp = ring.span_begin(SpanKind::Gather, i as u64);
                     std::hint::black_box(dataset.features.gather(batch.input_nodes()));
+                    ring.span_end(gsp);
                     observe(Stage::Gather, g0, trace.now());
                 }
                 let c0 = trace.now();
+                let sp = ring.span_begin(SpanKind::Compute, i as u64);
                 let stats = model.train_step(
                     &batch,
                     &dataset.features,
                     &dataset.labels,
                     train_pool.as_ref(),
                 );
+                ring.span_end(sp);
                 observe(Stage::Compute, c0, trace.now());
                 stats
             }
         };
         edges += batch.total_edges(opts.num_layers);
+        metadata_bytes += ((batch.input_nodes().len()
+            + batch.num_seeds()
+            + batch.total_edges(opts.num_layers) * 2)
+            * std::mem::size_of::<NodeId>()) as u64;
         loss_sum += f64::from(stats.loss);
         acc_sum += stats.accuracy;
 
@@ -717,7 +801,9 @@ fn run_process(spec: ProcessSpec, trace: &TraceRecorder) -> ProcessResult {
         // optimizer step on every replica.
         model.grads_flat(&mut grads);
         let t0 = trace.now();
+        let sy = ring.span_begin(SpanKind::Sync, i as u64);
         allreduce.reduce_mean(&mut grads);
+        ring.span_end(sy);
         let t1 = trace.now();
         sync_time += t1 - t0;
         observe(Stage::Sync, t0, t1);
@@ -743,6 +829,8 @@ fn run_process(spec: ProcessSpec, trace: &TraceRecorder) -> ProcessResult {
         iterations,
         edges,
         sync_time,
+        scratch_allocs,
+        metadata_bytes,
         params,
         opt,
     }
@@ -894,8 +982,9 @@ mod tests {
         assert_eq!(epoch_h.count(), 1);
         assert!((epoch_h.sum() - stats.epoch_time).abs() < 1e-9);
 
-        // Structured events: one epoch_start, four stage summaries, one
-        // epoch_end whose record mirrors the returned stats.
+        // Structured events: one epoch_start, four stage summaries, the
+        // profiler's critical-path and bytes summaries, one epoch_end whose
+        // record mirrors the returned stats.
         let events = tel.logger.events();
         let kinds: Vec<&str> = events.iter().map(|(_, e)| e.kind()).collect();
         assert_eq!(
@@ -906,9 +995,41 @@ mod tests {
                 "stage_summary",
                 "stage_summary",
                 "stage_summary",
+                "critical_path",
+                "bytes_summary",
                 "epoch_end"
             ]
         );
+        // Critical-path fractions cover the whole epoch (sum ≈ 1).
+        match events.iter().find_map(|(_, e)| match e {
+            argo_rt::RunEvent::CriticalPath {
+                fractions, spans, ..
+            } => Some((fractions.clone(), *spans)),
+            _ => None,
+        }) {
+            Some((fractions, spans)) => {
+                assert!(spans > 0);
+                let total: f64 = fractions.iter().map(|(_, f)| f).sum();
+                assert!((total - 1.0).abs() < 1e-6, "fractions sum {total}");
+            }
+            None => panic!("no critical_path event"),
+        }
+        // Byte accounting: metadata flowed, the scratch counter matched the
+        // metric, and no cache means no cache bytes.
+        match events.iter().find_map(|(_, e)| match e {
+            argo_rt::RunEvent::BytesSummary { record, .. } => Some(*record),
+            _ => None,
+        }) {
+            Some(r) => {
+                assert_eq!(r.batches, stats.minibatches as u64);
+                assert!(r.metadata_bytes > 0);
+                assert!(r.metadata_bytes_per_batch() > 0.0);
+                assert_eq!(r.cache_bytes, 0);
+                assert_eq!(counters[names::SCRATCH_ALLOCS_TOTAL], r.scratch_allocs);
+                assert_eq!(counters[names::METADATA_BYTES_TOTAL], r.metadata_bytes);
+            }
+            None => panic!("no bytes_summary event"),
+        }
         match &events.last().unwrap().1 {
             argo_rt::RunEvent::EpochEnd {
                 epoch,
@@ -1193,10 +1314,22 @@ mod tests {
                 "stage_summary",
                 "stage_summary",
                 "stage_summary",
+                "critical_path",
+                "bytes_summary",
                 "cache_summary",
                 "epoch_end"
             ]
         );
+        // With the cache on, the loader pre-gathers through it, so the
+        // epoch's bytes summary reports cache traffic.
+        let moved = events
+            .iter()
+            .filter_map(|(_, e)| match e {
+                argo_rt::RunEvent::BytesSummary { record, .. } => Some(record.cache_bytes),
+                _ => None,
+            })
+            .sum::<u64>();
+        assert!(moved > 0, "cache served no bytes");
         match events.iter().rev().find_map(|(_, e)| match e {
             argo_rt::RunEvent::CacheSummary { epoch, summary } => Some((*epoch, *summary)),
             _ => None,

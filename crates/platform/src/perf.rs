@@ -325,6 +325,28 @@ impl PerfModel {
         best.expect("non-empty space")
     }
 
+    /// The stage the model predicts to be the binding constraint under
+    /// `config`: the largest of the per-iteration sample/gather/compute/sync
+    /// durations, by the same stage labels the span profiler's
+    /// critical-path attribution uses — so a measured run can be audited
+    /// against the model's prediction (`argo report`'s bottleneck audit).
+    pub fn predicted_bottleneck(&self, config: Config) -> &'static str {
+        let prof = self.setup.library.profile();
+        let candidates = [
+            ("sample", self.sampling_time(config)),
+            ("gather", self.gather_time(config)),
+            ("compute", self.compute_time(config)),
+            ("sync", prof.sync_cost_per_proc * config.n_proc as f64),
+        ];
+        let mut best = candidates[0];
+        for c in &candidates[1..] {
+            if c.1 > best.1 {
+                best = *c;
+            }
+        }
+        best.0
+    }
+
     /// Emits the modeled telemetry of one epoch under `config` — the same
     /// event schema and metric names a measured [`argo_engine`] epoch
     /// produces, so real and modeled runs are directly comparable. Pass a
@@ -750,5 +772,36 @@ mod tests {
     fn oversized_config_panics() {
         let m = products_dgl_il();
         m.epoch_time(Config::new(16, 4, 4)); // 128 > 112 cores
+    }
+
+    #[test]
+    fn predicted_bottleneck_is_the_slowest_stage() {
+        let m = products_dgl_il();
+        let c = Config::new(2, 2, 4);
+        let prof = m.setup().library.profile();
+        let mut times = [
+            ("sample", m.sampling_time(c)),
+            ("gather", m.gather_time(c)),
+            ("compute", m.compute_time(c)),
+            ("sync", prof.sync_cost_per_proc * c.n_proc as f64),
+        ];
+        times.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let predicted = m.predicted_bottleneck(c);
+        assert_eq!(predicted, times[0].0);
+        // The label vocabulary matches the span profiler's, so measured
+        // critical-path attribution can be compared against the prediction.
+        assert!(argo_rt::CRITICAL_PATH_STAGES.contains(&predicted));
+    }
+
+    #[test]
+    fn predicted_bottleneck_tracks_the_config() {
+        // Piling processes on shifts the prediction toward sync-dominated
+        // or memory-bound regimes, never toward a fixed answer: at minimum
+        // the function is total over the search space.
+        let m = products_dgl_il();
+        for config in enumerate_space(16) {
+            let b = m.predicted_bottleneck(config);
+            assert!(["sample", "gather", "compute", "sync"].contains(&b));
+        }
     }
 }

@@ -122,6 +122,34 @@ impl CacheSummaryRecord {
     }
 }
 
+/// Per-epoch byte/alloc accounting carried by [`RunEvent::BytesSummary`] —
+/// the "metadata tax" view: how many bytes of batch metadata (node ids,
+/// edge indices) the host pipeline shuffled per batch, how many feature
+/// bytes the cache served, and how often the sampler scratch arena had to
+/// grow.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct BytesRecord {
+    /// Mini-batches the epoch processed (denominator for per-batch rates).
+    pub batches: u64,
+    /// Bytes of batch metadata (node-id + edge-index arrays) produced.
+    pub metadata_bytes: u64,
+    /// Bytes of feature rows served out of the cross-batch cache.
+    pub cache_bytes: u64,
+    /// Scratch-arena allocations observed (steady state should be 0).
+    pub scratch_allocs: u64,
+}
+
+impl BytesRecord {
+    /// Average metadata bytes per mini-batch (0 when no batches ran).
+    pub fn metadata_bytes_per_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.metadata_bytes as f64 / self.batches as f64
+        }
+    }
+}
+
 /// A structured event in a training run.
 #[derive(Clone, Debug, PartialEq)]
 pub enum RunEvent {
@@ -149,6 +177,27 @@ pub enum RunEvent {
     /// The runtime switched to `config` (`reason` = `search` while
     /// learning online, `reuse` once the optimum is locked in).
     ConfigApplied { config: Config, reason: String },
+    /// Per-epoch critical-path attribution from the span profiler: for each
+    /// stage (or channel/heap wait) the fraction of epoch wall time it was
+    /// the binding constraint; fractions sum to ~1.0. `spans`/`dropped`
+    /// record profiler coverage.
+    CriticalPath {
+        epoch: u64,
+        fractions: Vec<(String, f64)>,
+        spans: u64,
+        dropped: u64,
+    },
+    /// Per-epoch byte/alloc accounting (the metadata tax).
+    BytesSummary { epoch: u64, record: BytesRecord },
+    /// Audit of one tuner decision: the stage `PerfModel` predicted to be
+    /// the bottleneck under `config` vs. the stage the measured critical
+    /// path actually crowned.
+    BottleneckCheck {
+        epoch: u64,
+        config: Config,
+        predicted: String,
+        measured: String,
+    },
 }
 
 fn config_json(c: Config) -> Json {
@@ -189,6 +238,9 @@ impl RunEvent {
             RunEvent::CacheSummary { .. } => "cache_summary",
             RunEvent::TunerTrial(_) => "tuner_trial",
             RunEvent::ConfigApplied { .. } => "config_applied",
+            RunEvent::CriticalPath { .. } => "critical_path",
+            RunEvent::BytesSummary { .. } => "bytes_summary",
+            RunEvent::BottleneckCheck { .. } => "bottleneck_check",
         }
     }
 
@@ -252,6 +304,48 @@ impl RunEvent {
             RunEvent::ConfigApplied { config, reason } => {
                 fields.push(("config", config_json(*config)));
                 fields.push(("reason", Json::str(reason)));
+            }
+            RunEvent::CriticalPath {
+                epoch,
+                fractions,
+                spans,
+                dropped,
+            } => {
+                fields.push(("epoch", Json::Num(*epoch as f64)));
+                fields.push((
+                    "fractions",
+                    Json::Arr(
+                        fractions
+                            .iter()
+                            .map(|(stage, f)| {
+                                Json::obj(vec![
+                                    ("stage", Json::str(stage)),
+                                    ("fraction", Json::Num(*f)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ));
+                fields.push(("spans", Json::Num(*spans as f64)));
+                fields.push(("dropped", Json::Num(*dropped as f64)));
+            }
+            RunEvent::BytesSummary { epoch, record } => {
+                fields.push(("epoch", Json::Num(*epoch as f64)));
+                fields.push(("batches", Json::Num(record.batches as f64)));
+                fields.push(("metadata_bytes", Json::Num(record.metadata_bytes as f64)));
+                fields.push(("cache_bytes", Json::Num(record.cache_bytes as f64)));
+                fields.push(("scratch_allocs", Json::Num(record.scratch_allocs as f64)));
+            }
+            RunEvent::BottleneckCheck {
+                epoch,
+                config,
+                predicted,
+                measured,
+            } => {
+                fields.push(("epoch", Json::Num(*epoch as f64)));
+                fields.push(("config", config_json(*config)));
+                fields.push(("predicted", Json::str(predicted)));
+                fields.push(("measured", Json::str(measured)));
             }
         }
         Json::obj(fields)
@@ -344,6 +438,50 @@ impl RunEvent {
                     .get("reason")
                     .and_then(Json::as_str)
                     .ok_or("missing 'reason'")?
+                    .to_string(),
+            },
+            "critical_path" => {
+                let arr = v
+                    .get("fractions")
+                    .and_then(Json::as_arr)
+                    .ok_or("missing 'fractions'")?;
+                let mut fractions = Vec::with_capacity(arr.len());
+                for f in arr {
+                    let stage = f
+                        .get("stage")
+                        .and_then(Json::as_str)
+                        .ok_or("missing 'stage'")?
+                        .to_string();
+                    fractions.push((stage, num(f, "fraction")?));
+                }
+                RunEvent::CriticalPath {
+                    epoch: epoch()?,
+                    fractions,
+                    spans: num(v, "spans")? as u64,
+                    dropped: num(v, "dropped")? as u64,
+                }
+            }
+            "bytes_summary" => RunEvent::BytesSummary {
+                epoch: epoch()?,
+                record: BytesRecord {
+                    batches: num(v, "batches")? as u64,
+                    metadata_bytes: num(v, "metadata_bytes")? as u64,
+                    cache_bytes: num(v, "cache_bytes")? as u64,
+                    scratch_allocs: num(v, "scratch_allocs")? as u64,
+                },
+            },
+            "bottleneck_check" => RunEvent::BottleneckCheck {
+                epoch: epoch()?,
+                config: config_from_json(v.get("config").ok_or("missing 'config'")?)?,
+                predicted: v
+                    .get("predicted")
+                    .and_then(Json::as_str)
+                    .ok_or("missing 'predicted'")?
+                    .to_string(),
+                measured: v
+                    .get("measured")
+                    .and_then(Json::as_str)
+                    .ok_or("missing 'measured'")?
                     .to_string(),
             },
             other => return Err(format!("unknown event kind '{other}'")),
@@ -615,6 +753,77 @@ mod tests {
             RunEvent::EpochStart { config, .. } => assert_eq!(config.cache_rows, 0),
             other => panic!("wrong event: {other:?}"),
         }
+    }
+
+    #[test]
+    fn critical_path_and_bytes_summary_roundtrip() {
+        let logger = RunLogger::new();
+        logger.log(RunEvent::CriticalPath {
+            epoch: 2,
+            fractions: vec![
+                ("compute".to_string(), 0.625),
+                ("sample".to_string(), 0.25),
+                ("heap_wait".to_string(), 0.125),
+            ],
+            spans: 321,
+            dropped: 0,
+        });
+        logger.log(RunEvent::BytesSummary {
+            epoch: 2,
+            record: BytesRecord {
+                batches: 16,
+                metadata_bytes: 65536,
+                cache_bytes: 4096,
+                scratch_allocs: 3,
+            },
+        });
+        logger.log(RunEvent::BottleneckCheck {
+            epoch: 2,
+            config: Config::new(4, 2, 2),
+            predicted: "gather".to_string(),
+            measured: "compute".to_string(),
+        });
+        let parsed = RunLogger::parse_jsonl(&logger.to_jsonl()).unwrap();
+        assert_eq!(parsed.len(), 3);
+        match &parsed[0].0 {
+            RunEvent::CriticalPath {
+                epoch,
+                fractions,
+                spans,
+                dropped,
+            } => {
+                assert_eq!(*epoch, 2);
+                assert_eq!(fractions.len(), 3);
+                assert_eq!(fractions[0], ("compute".to_string(), 0.625));
+                assert_eq!(*spans, 321);
+                assert_eq!(*dropped, 0);
+            }
+            other => panic!("wrong event: {other:?}"),
+        }
+        match &parsed[1].0 {
+            RunEvent::BytesSummary { record, .. } => {
+                assert_eq!(record.batches, 16);
+                assert_eq!(record.metadata_bytes, 65536);
+                assert!((record.metadata_bytes_per_batch() - 4096.0).abs() < 1e-12);
+            }
+            other => panic!("wrong event: {other:?}"),
+        }
+        match &parsed[2].0 {
+            RunEvent::BottleneckCheck {
+                config,
+                predicted,
+                measured,
+                ..
+            } => {
+                assert_eq!(*config, Config::new(4, 2, 2));
+                assert_eq!(predicted, "gather");
+                assert_eq!(measured, "compute");
+            }
+            other => panic!("wrong event: {other:?}"),
+        }
+        assert_eq!(parsed[0].0.kind(), "critical_path");
+        assert_eq!(parsed[1].0.kind(), "bytes_summary");
+        assert_eq!(parsed[2].0.kind(), "bottleneck_check");
     }
 
     #[test]

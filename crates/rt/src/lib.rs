@@ -31,6 +31,7 @@ pub mod json;
 pub mod metrics;
 pub mod pool;
 pub mod rng;
+pub mod spans;
 pub mod telemetry;
 pub mod trace;
 
@@ -38,11 +39,16 @@ pub use affinity::{bind_current_thread, num_available_cores, CoreBinder, CoreSet
 pub use allreduce::AllReduce;
 pub use config::{enumerate_space, Config};
 pub use events::{
-    CacheSummaryRecord, EpochRecord, RunEvent, RunLogger, Source, StageSummaryRecord, TrialRecord,
+    BytesRecord, CacheSummaryRecord, EpochRecord, RunEvent, RunLogger, Source, StageSummaryRecord,
+    TrialRecord,
 };
 pub use json::Json;
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use pool::ThreadPool;
 pub use rng::{SeedSequence, StreamRng};
+pub use spans::{
+    critical_path, Role, SpanDrain, SpanKind, SpanProfiler, SpanRecord, WorkerRing,
+    CRITICAL_PATH_STAGES,
+};
 pub use telemetry::Telemetry;
 pub use trace::{Stage, TraceEvent, TraceRecorder};

@@ -154,6 +154,15 @@ impl Histogram {
         &self.bounds
     }
 
+    /// Observations that saturated the histogram: samples above the last
+    /// finite bound, i.e. the `+Inf` bucket's count. A non-zero overflow
+    /// means the configured bounds are too tight for the workload — the
+    /// tail quantiles above the saturation point are untrustworthy, which
+    /// is why `argo report` renders this next to the quantiles.
+    pub fn overflow_count(&self) -> u64 {
+        self.buckets[self.bounds.len()].load(Ordering::Relaxed)
+    }
+
     /// Per-bucket counts (`bounds().len() + 1` entries, last = +Inf).
     pub fn bucket_counts(&self) -> Vec<u64> {
         self.buckets
@@ -416,6 +425,24 @@ mod tests {
         assert_eq!(h.quantile(0.95), 4.0);
         assert_eq!(h.quantile(1.0), 20.0); // overflow reports the max
         assert_eq!(h.quantile(0.0), 1.0); // first non-empty bucket
+    }
+
+    #[test]
+    fn overflow_count_tracks_saturation() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat", &[1.0, 2.0]);
+        assert_eq!(h.overflow_count(), 0);
+        h.observe(0.5);
+        h.observe(2.0); // on the last finite bound — not overflow
+        assert_eq!(h.overflow_count(), 0);
+        h.observe(3.0);
+        h.observe(100.0);
+        assert_eq!(h.overflow_count(), 2);
+        // Merging adds overflow like any other bucket.
+        let global = MetricsRegistry::new();
+        global.histogram("lat", &[1.0, 2.0]).observe(9.0);
+        global.merge(&reg);
+        assert_eq!(global.histogram("lat", &[1.0, 2.0]).overflow_count(), 3);
     }
 
     #[test]

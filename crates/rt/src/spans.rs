@@ -1,0 +1,625 @@
+//! argo-prof: causal span profiling with per-epoch critical-path attribution.
+//!
+//! The PR-1 telemetry layer answers *how long* each stage took; this module
+//! answers *why the epoch took as long as it did*. Every batch's life —
+//! seed pick, neighbor sampling, feature gather, cache service, channel
+//! enqueue, reorder-heap dequeue, forward/backward, gradient sync — is
+//! recorded as a span `(worker, role, kind, batch, start, end)` into a
+//! lock-free per-worker ring ([`WorkerRing`]): one writer per ring, no
+//! locks on the hot path, registration only touches a mutex once per
+//! worker. Spans from all rings share one clock origin, so after an epoch
+//! the drained set forms a causal chain keyed by batch id.
+//!
+//! [`critical_path`] then attributes each instant of the epoch to the
+//! stage (or channel/heap *wait*) that was the binding constraint, giving
+//! fractions that sum to 1.0 — the observability base for the metadata-tax
+//! and work-stealing work in ROADMAP items 2–3.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// Spans a single [`WorkerRing`] can hold before further pushes are counted
+/// as dropped. 8192 spans × 24 B ≈ 192 KiB per worker, far above the span
+/// volume of one epoch (a handful of spans per batch).
+pub const RING_CAPACITY: usize = 8192;
+
+/// Histogram bins used by [`critical_path`] attribution.
+const BINS: usize = 2048;
+
+/// Pipeline step a span measures. Unlike [`crate::Stage`] (the coarse
+/// 4-stage trace the perf model shares), span kinds separate the *waits* —
+/// a producer blocked on the bounded channel, a consumer blocked on the
+/// reorder heap — from the work, which is exactly what critical-path
+/// attribution needs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// Seed draw + neighbor sampling on a loader worker.
+    Pick,
+    /// Feature gather (`index_select`), on either side of the channel.
+    Gather,
+    /// Feature rows served through the cross-batch cache.
+    Cache,
+    /// Producer blocked enqueueing into the bounded channel (consumer slow).
+    EnqueueWait,
+    /// Consumer blocked on channel receive / reorder heap (producers slow).
+    DequeueWait,
+    /// Forward + backward propagation.
+    Compute,
+    /// Gradient synchronization across processes.
+    Sync,
+}
+
+impl SpanKind {
+    /// Attribution label, aligned with [`crate::Stage::label`] where the
+    /// concepts coincide.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SpanKind::Pick => "sample",
+            SpanKind::Gather => "gather",
+            SpanKind::Cache => "cache",
+            SpanKind::EnqueueWait => "channel_wait",
+            SpanKind::DequeueWait => "heap_wait",
+            SpanKind::Compute => "compute",
+            SpanKind::Sync => "sync",
+        }
+    }
+
+    fn code(self) -> u64 {
+        match self {
+            SpanKind::Pick => 0,
+            SpanKind::Gather => 1,
+            SpanKind::Cache => 2,
+            SpanKind::EnqueueWait => 3,
+            SpanKind::DequeueWait => 4,
+            SpanKind::Compute => 5,
+            SpanKind::Sync => 6,
+        }
+    }
+
+    fn from_code(code: u64) -> SpanKind {
+        match code {
+            0 => SpanKind::Pick,
+            1 => SpanKind::Gather,
+            2 => SpanKind::Cache,
+            3 => SpanKind::EnqueueWait,
+            4 => SpanKind::DequeueWait,
+            5 => SpanKind::Compute,
+            _ => SpanKind::Sync,
+        }
+    }
+}
+
+/// Which side of the batch channel a ring's owner works on. Producer rings
+/// belong to loader workers (pick/gather/cache/enqueue); consumer rings to
+/// the training processes and the reorder-heap drain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Role {
+    /// Loader-side: produces batches into the channel.
+    Producer,
+    /// Engine-side: drains batches and trains.
+    Consumer,
+}
+
+/// One drained span.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SpanRecord {
+    /// Ring (worker) index assigned at registration.
+    pub worker: usize,
+    /// Producer or consumer side.
+    pub role: Role,
+    /// What the interval measured.
+    pub kind: SpanKind,
+    /// Batch id linking this span into the batch's causal chain.
+    pub batch: u64,
+    /// Seconds since the profiler's origin.
+    pub start: f64,
+    /// Seconds since the profiler's origin (`>= start`).
+    pub end: f64,
+}
+
+/// Token returned by [`WorkerRing::span_begin`]; hand it back to
+/// [`WorkerRing::span_end`] to close the interval. The argo-lint
+/// `span-pairing` rule checks that every begin is lexically paired with an
+/// end on all paths.
+#[derive(Clone, Copy, Debug)]
+pub struct SpanStart {
+    kind: SpanKind,
+    batch: u64,
+    at: f64,
+}
+
+const BATCH_MASK: u64 = (1 << 56) - 1;
+
+struct Slot {
+    meta: AtomicU64,
+    start: AtomicU64,
+    end: AtomicU64,
+}
+
+/// A lock-free span ring owned by exactly one worker thread. Pushes are
+/// plain atomic stores (single writer); draining happens from the profiler
+/// after the worker quiesced. When full, further spans are counted in
+/// `dropped` instead of overwriting history, so attribution never sees a
+/// torn timeline.
+pub struct WorkerRing {
+    worker: usize,
+    role: Role,
+    origin: Instant,
+    enabled: bool,
+    head: AtomicUsize,
+    dropped: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+impl WorkerRing {
+    fn new(worker: usize, role: Role, origin: Instant, capacity: usize) -> Self {
+        let slots = (0..capacity)
+            .map(|_| Slot {
+                meta: AtomicU64::new(0),
+                start: AtomicU64::new(0),
+                end: AtomicU64::new(0),
+            })
+            .collect();
+        Self {
+            worker,
+            role,
+            origin,
+            enabled: true,
+            head: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+            slots,
+        }
+    }
+
+    /// A ring that records nothing — the zero-overhead stand-in used when
+    /// profiling is off, so instrumentation sites need no `Option` dance.
+    pub fn detached() -> Self {
+        Self {
+            worker: 0,
+            role: Role::Producer,
+            origin: Instant::now(),
+            enabled: false,
+            head: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+            slots: Box::new([]),
+        }
+    }
+
+    /// Whether spans are being kept.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Seconds since the owning profiler's origin.
+    pub fn now(&self) -> f64 {
+        if !self.enabled {
+            return 0.0;
+        }
+        self.origin.elapsed().as_secs_f64()
+    }
+
+    /// Opens a span of `kind` for `batch`. Pair with
+    /// [`WorkerRing::span_end`] on every path (enforced by argo-lint).
+    pub fn span_begin(&self, kind: SpanKind, batch: u64) -> SpanStart {
+        SpanStart {
+            kind,
+            batch,
+            at: self.now(),
+        }
+    }
+
+    /// Closes a span opened by [`WorkerRing::span_begin`].
+    pub fn span_end(&self, start: SpanStart) {
+        if !self.enabled {
+            return;
+        }
+        let end = self.now();
+        self.push(start.kind, start.batch, start.at, end);
+    }
+
+    /// Records a complete interval directly (timestamps from
+    /// [`WorkerRing::now`]). The begin/end API above is preferred in
+    /// instrumented code; `push` exists for synthetic fixtures and for
+    /// intervals whose endpoints were measured elsewhere.
+    pub fn push(&self, kind: SpanKind, batch: u64, start: f64, end: f64) {
+        if !self.enabled {
+            return;
+        }
+        let n = self.head.load(Ordering::Relaxed);
+        if n >= self.slots.len() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let slot = &self.slots[n];
+        slot.meta
+            .store(kind.code() << 56 | (batch & BATCH_MASK), Ordering::Relaxed);
+        slot.start.store(start.to_bits(), Ordering::Relaxed);
+        slot.end.store(end.max(start).to_bits(), Ordering::Relaxed);
+        // Publish the slot: readers load `head` with Acquire.
+        self.head.store(n + 1, Ordering::Release);
+    }
+
+    /// Spans currently held (for tests and diagnostics).
+    pub fn len(&self) -> usize {
+        self.head.load(Ordering::Acquire).min(self.slots.len())
+    }
+
+    /// Whether the ring holds no spans.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn drain_into(&self, out: &mut Vec<SpanRecord>) -> u64 {
+        let n = self.len();
+        for slot in self.slots.iter().take(n) {
+            let meta = slot.meta.load(Ordering::Relaxed);
+            out.push(SpanRecord {
+                worker: self.worker,
+                role: self.role,
+                kind: SpanKind::from_code(meta >> 56),
+                batch: meta & BATCH_MASK,
+                start: f64::from_bits(slot.start.load(Ordering::Relaxed)),
+                end: f64::from_bits(slot.end.load(Ordering::Relaxed)),
+            });
+        }
+        self.head.store(0, Ordering::Release);
+        self.dropped.swap(0, Ordering::Relaxed)
+    }
+}
+
+/// Everything one [`SpanProfiler::drain`] yields.
+#[derive(Clone, Debug, Default)]
+pub struct SpanDrain {
+    /// All spans from all rings, sorted by start time.
+    pub records: Vec<SpanRecord>,
+    /// Spans lost to full rings since the previous drain.
+    pub dropped: u64,
+}
+
+/// Hands out per-worker rings sharing one clock origin and drains them
+/// after the workers quiesced (epoch end). The registry mutex is touched
+/// once per worker registration and once per drain — never per span.
+pub struct SpanProfiler {
+    origin: Instant,
+    enabled: bool,
+    capacity: usize,
+    rings: Mutex<Vec<Arc<WorkerRing>>>,
+}
+
+impl SpanProfiler {
+    /// An active profiler with [`RING_CAPACITY`] spans per ring.
+    pub fn new() -> Self {
+        Self::with_capacity(RING_CAPACITY)
+    }
+
+    /// An active profiler whose rings hold `capacity` spans each.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            origin: Instant::now(),
+            enabled: true,
+            capacity,
+            rings: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A profiler whose rings record nothing (zero hot-path overhead).
+    pub fn disabled() -> Self {
+        Self {
+            origin: Instant::now(),
+            enabled: false,
+            capacity: 0,
+            rings: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Whether rings handed out by this profiler record spans.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Seconds since the profiler was created (the shared span clock).
+    pub fn now(&self) -> f64 {
+        self.origin.elapsed().as_secs_f64()
+    }
+
+    /// Registers a new ring for one worker thread. Disabled profilers hand
+    /// out detached rings and skip registration entirely.
+    pub fn ring(&self, role: Role) -> Arc<WorkerRing> {
+        if !self.enabled {
+            return Arc::new(WorkerRing::detached());
+        }
+        let mut rings = self.rings.lock();
+        let ring = Arc::new(WorkerRing::new(
+            rings.len(),
+            role,
+            self.origin,
+            self.capacity,
+        ));
+        rings.push(Arc::clone(&ring));
+        ring
+    }
+
+    /// Collects and clears every registered ring. Call only after the
+    /// owning workers quiesced (threads joined); concurrent pushes during a
+    /// drain are not torn, but may land in either epoch.
+    pub fn drain(&self) -> SpanDrain {
+        let rings = std::mem::take(&mut *self.rings.lock());
+        let mut out = SpanDrain::default();
+        for ring in &rings {
+            out.dropped += ring.drain_into(&mut out.records);
+        }
+        out.records.sort_by(|a, b| a.start.total_cmp(&b.start));
+        out
+    }
+}
+
+impl Default for SpanProfiler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Attribution categories [`critical_path`] reports, in render order. The
+/// first seven are [`SpanKind::label`]s; `"other"` absorbs epoch time not
+/// covered by any span (per-epoch setup, thread spawn/join, straggler
+/// skew).
+pub const CRITICAL_PATH_STAGES: &[&str] = &[
+    "compute",
+    "gather",
+    "sample",
+    "cache",
+    "sync",
+    "channel_wait",
+    "heap_wait",
+    "other",
+];
+
+/// Per-epoch critical-path attribution: the fraction of `[0, horizon]`
+/// for which each stage (or wait) was the binding constraint. Returns one
+/// `(label, fraction)` pair per [`CRITICAL_PATH_STAGES`] entry; fractions
+/// sum to exactly 1.0 when `horizon > 0` and spans exist.
+///
+/// The binding constraint of an instant is decided by a fixed priority:
+///
+/// 1. any consumer computing → `compute` (training makes progress);
+/// 2. any consumer gathering → `gather`; any consumer syncing → `sync`;
+/// 3. every active consumer waiting on the heap → whatever the producers
+///    are doing right then: `sample`, `gather`, or `cache` work means the
+///    loader is the constraint; producers stuck enqueueing means the
+///    channel is (`channel_wait`); idle producers mean the reorder heap
+///    itself is (`heap_wait`);
+/// 4. no span at all → `other`.
+pub fn critical_path(records: &[SpanRecord], horizon: f64) -> Vec<(&'static str, f64)> {
+    if horizon <= 0.0 || records.is_empty() {
+        return Vec::new();
+    }
+    // One activity bitmap per (side, kind) we distinguish.
+    let mut cons_compute = [false; BINS];
+    let mut cons_gather = [false; BINS];
+    let mut cons_sync = [false; BINS];
+    let mut cons_wait = [false; BINS];
+    let mut prod_sample = [false; BINS];
+    let mut prod_gather = [false; BINS];
+    let mut prod_cache = [false; BINS];
+    let mut prod_enqueue = [false; BINS];
+    for r in records {
+        // Clamp into [0, BINS]; spans may straddle the horizon (stragglers).
+        let lo = (((r.start / horizon) * BINS as f64).floor().max(0.0) as usize).min(BINS);
+        let hi = (((r.end / horizon) * BINS as f64).ceil().max(0.0) as usize).min(BINS);
+        if lo >= hi {
+            continue;
+        }
+        let map = match (r.role, r.kind) {
+            (Role::Consumer, SpanKind::Compute) => &mut cons_compute,
+            (Role::Consumer, SpanKind::Gather) => &mut cons_gather,
+            (Role::Consumer, SpanKind::Sync) => &mut cons_sync,
+            (Role::Consumer, SpanKind::DequeueWait) => &mut cons_wait,
+            (Role::Producer, SpanKind::Pick) => &mut prod_sample,
+            (Role::Producer, SpanKind::Gather) => &mut prod_gather,
+            (Role::Producer, SpanKind::Cache) => &mut prod_cache,
+            (Role::Producer, SpanKind::EnqueueWait) => &mut prod_enqueue,
+            // Kinds on the "wrong" side carry no attribution signal.
+            _ => continue,
+        };
+        for b in map.iter_mut().take(hi).skip(lo) {
+            *b = true;
+        }
+    }
+    let mut counts = [0u64; 8];
+    for b in 0..BINS {
+        let idx = if cons_compute[b] {
+            0 // compute
+        } else if cons_gather[b] {
+            1 // gather
+        } else if cons_sync[b] {
+            4 // sync
+        } else if cons_wait[b] {
+            if prod_sample[b] {
+                2 // sample
+            } else if prod_gather[b] {
+                1 // gather
+            } else if prod_cache[b] {
+                3 // cache
+            } else if prod_enqueue[b] {
+                5 // channel_wait
+            } else {
+                6 // heap_wait
+            }
+        } else {
+            7 // other
+        };
+        counts[idx] += 1;
+    }
+    CRITICAL_PATH_STAGES
+        .iter()
+        .zip(counts.iter())
+        .map(|(label, c)| (*label, *c as f64 / BINS as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn begin_end_records_interval() {
+        let prof = SpanProfiler::new();
+        let ring = prof.ring(Role::Producer);
+        let s = ring.span_begin(SpanKind::Pick, 7);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        ring.span_end(s);
+        let d = prof.drain();
+        assert_eq!(d.records.len(), 1);
+        assert_eq!(d.dropped, 0);
+        let r = d.records[0];
+        assert_eq!(r.kind, SpanKind::Pick);
+        assert_eq!(r.role, Role::Producer);
+        assert_eq!(r.batch, 7);
+        assert!(r.end > r.start);
+    }
+
+    #[test]
+    fn disabled_and_detached_record_nothing() {
+        let prof = SpanProfiler::disabled();
+        assert!(!prof.is_enabled());
+        let ring = prof.ring(Role::Consumer);
+        assert!(!ring.is_enabled());
+        let s = ring.span_begin(SpanKind::Compute, 0);
+        ring.span_end(s);
+        ring.push(SpanKind::Sync, 1, 0.0, 1.0);
+        assert!(prof.drain().records.is_empty());
+
+        let det = WorkerRing::detached();
+        det.push(SpanKind::Pick, 0, 0.0, 1.0);
+        assert!(det.is_empty());
+    }
+
+    #[test]
+    fn full_ring_counts_drops_instead_of_overwriting() {
+        let prof = SpanProfiler::with_capacity(4);
+        let ring = prof.ring(Role::Producer);
+        for i in 0..6 {
+            ring.push(SpanKind::Pick, i, i as f64, i as f64 + 0.5);
+        }
+        assert_eq!(ring.len(), 4);
+        let d = prof.drain();
+        assert_eq!(d.records.len(), 4);
+        assert_eq!(d.dropped, 2);
+        // Oldest spans were kept.
+        assert_eq!(d.records[0].batch, 0);
+        assert_eq!(d.records[3].batch, 3);
+    }
+
+    #[test]
+    fn drain_sorts_across_rings_and_resets() {
+        let prof = SpanProfiler::new();
+        let a = prof.ring(Role::Producer);
+        let b = prof.ring(Role::Consumer);
+        assert_ne!(a.worker, b.worker);
+        b.push(SpanKind::Compute, 1, 0.5, 0.9);
+        a.push(SpanKind::Pick, 1, 0.1, 0.4);
+        let d = prof.drain();
+        assert_eq!(d.records.len(), 2);
+        assert!(d.records[0].start < d.records[1].start);
+        assert_eq!(d.records[0].role, Role::Producer);
+        // Drained rings are unregistered; a second drain is empty.
+        assert!(prof.drain().records.is_empty());
+    }
+
+    #[test]
+    fn inverted_interval_is_clamped() {
+        let prof = SpanProfiler::new();
+        let ring = prof.ring(Role::Producer);
+        ring.push(SpanKind::Gather, 0, 1.0, 0.25);
+        let r = prof.drain().records[0];
+        assert_eq!(r.start, 1.0);
+        assert_eq!(r.end, 1.0);
+    }
+
+    #[test]
+    fn kind_codes_round_trip() {
+        for kind in [
+            SpanKind::Pick,
+            SpanKind::Gather,
+            SpanKind::Cache,
+            SpanKind::EnqueueWait,
+            SpanKind::DequeueWait,
+            SpanKind::Compute,
+            SpanKind::Sync,
+        ] {
+            assert_eq!(SpanKind::from_code(kind.code()), kind);
+            assert!(CRITICAL_PATH_STAGES.contains(&kind.label()));
+        }
+    }
+
+    fn rec(role: Role, kind: SpanKind, start: f64, end: f64) -> SpanRecord {
+        SpanRecord {
+            worker: 0,
+            role,
+            kind,
+            batch: 0,
+            start,
+            end,
+        }
+    }
+
+    #[test]
+    fn critical_path_fractions_sum_to_one() {
+        let records = vec![
+            rec(Role::Consumer, SpanKind::Compute, 0.0, 0.5),
+            rec(Role::Consumer, SpanKind::DequeueWait, 0.5, 0.8),
+            rec(Role::Producer, SpanKind::Pick, 0.5, 0.8),
+        ];
+        let cp = critical_path(&records, 1.0);
+        assert_eq!(cp.len(), CRITICAL_PATH_STAGES.len());
+        let total: f64 = cp.iter().map(|(_, f)| f).sum();
+        assert!((total - 1.0).abs() < 1e-12, "sum {total}");
+        let get = |label: &str| cp.iter().find(|(l, _)| *l == label).map(|(_, f)| *f);
+        assert!((get("compute").expect("compute") - 0.5).abs() < 2e-3);
+        assert!((get("sample").expect("sample") - 0.3).abs() < 2e-3);
+        assert!((get("other").expect("other") - 0.2).abs() < 2e-3);
+    }
+
+    #[test]
+    fn waits_attribute_to_producer_activity() {
+        // Consumer waits the whole time. Producers: enqueue-blocked first
+        // half, idle second half → channel_wait then heap_wait.
+        let records = vec![
+            rec(Role::Consumer, SpanKind::DequeueWait, 0.0, 1.0),
+            rec(Role::Producer, SpanKind::EnqueueWait, 0.0, 0.5),
+        ];
+        let cp = critical_path(&records, 1.0);
+        let get = |label: &str| {
+            cp.iter()
+                .find(|(l, _)| *l == label)
+                .map(|(_, f)| *f)
+                .expect("label present")
+        };
+        assert!((get("channel_wait") - 0.5).abs() < 2e-3);
+        assert!((get("heap_wait") - 0.5).abs() < 2e-3);
+        assert_eq!(get("other"), 0.0);
+    }
+
+    #[test]
+    fn compute_beats_concurrent_producer_work() {
+        // While any consumer computes, the epoch is compute-bound even if
+        // producers are busy sampling underneath.
+        let records = vec![
+            rec(Role::Consumer, SpanKind::Compute, 0.0, 1.0),
+            rec(Role::Producer, SpanKind::Pick, 0.0, 1.0),
+        ];
+        let cp = critical_path(&records, 1.0);
+        assert!((cp[0].1 - 1.0).abs() < 1e-12);
+        assert_eq!(cp[0].0, "compute");
+    }
+
+    #[test]
+    fn critical_path_empty_inputs() {
+        assert!(critical_path(&[], 1.0).is_empty());
+        let r = [rec(Role::Consumer, SpanKind::Compute, 0.0, 1.0)];
+        assert!(critical_path(&r, 0.0).is_empty());
+    }
+}

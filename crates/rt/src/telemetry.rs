@@ -126,6 +126,16 @@ pub mod names {
     pub const CACHE_BYTES: &str = "cache_bytes";
     /// Gauge: feature-cache hit rate over the most recent epoch.
     pub const CACHE_HIT_RATE: &str = "cache_hit_rate";
+    /// Counter of sampler scratch-arena allocations (steady state: 0).
+    pub const SCRATCH_ALLOCS_TOTAL: &str = "loader_scratch_allocs_total";
+    /// Counter of batch-metadata bytes (node ids + edge indices) produced.
+    pub const METADATA_BYTES_TOTAL: &str = "batch_metadata_bytes_total";
+    /// Counter of feature bytes served out of the cross-batch cache.
+    pub const CACHE_MOVED_BYTES_TOTAL: &str = "cache_moved_bytes_total";
+    /// Counter of profiler spans recorded across all rings.
+    pub const SPANS_RECORDED_TOTAL: &str = "prof_spans_total";
+    /// Counter of profiler spans lost to full rings.
+    pub const SPANS_DROPPED_TOTAL: &str = "prof_spans_dropped_total";
 }
 
 #[cfg(test)]

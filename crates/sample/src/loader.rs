@@ -21,6 +21,7 @@ use std::time::Instant;
 
 use argo_graph::{Features, Graph, NodeId};
 use argo_rt::affinity::{bind_current_thread, CoreSet};
+use argo_rt::spans::{Role, SpanKind, SpanProfiler, WorkerRing};
 use argo_rt::{SeedSequence, ThreadPool};
 use argo_tensor::Matrix;
 use crossbeam::channel::{bounded, Receiver};
@@ -68,6 +69,11 @@ pub struct LoaderSpec {
     /// sampling core set. Batch content is bitwise independent of this knob
     /// because every pick row draws from its own counter-based RNG stream.
     pub samp_pool: usize,
+    /// Causal span profiler. When present, each worker registers a
+    /// producer ring (pick/gather/cache/enqueue-wait spans keyed by batch
+    /// id) and the consuming thread a consumer ring (channel/heap dequeue
+    /// waits), feeding per-epoch critical-path attribution.
+    pub spans: Option<Arc<SpanProfiler>>,
 }
 
 impl LoaderSpec {
@@ -94,6 +100,7 @@ impl LoaderSpec {
                 cache: None,
                 normalization: Normalization::None,
                 samp_pool: 1,
+                spans: None,
             },
         }
     }
@@ -165,6 +172,12 @@ impl LoaderSpecBuilder {
         self
     }
 
+    /// Attaches a causal span profiler.
+    pub fn spans(mut self, spans: Arc<SpanProfiler>) -> Self {
+        self.spec.spans = Some(spans);
+        self
+    }
+
     /// Finalizes the spec.
     pub fn build(self) -> LoaderSpec {
         self.spec
@@ -220,6 +233,7 @@ pub struct PipelinedLoader {
     reorder: BinaryHeap<Indexed>,
     next: usize,
     total: usize,
+    ring: Arc<WorkerRing>,
     workers: Vec<std::thread::JoinHandle<()>>,
 }
 
@@ -241,11 +255,16 @@ impl PipelinedLoader {
             cache,
             normalization,
             samp_pool,
+            spans,
         } = spec;
         assert!(batch_size > 0 && n_samp > 0 && samp_pool > 0);
         let total = seeds.len().div_ceil(batch_size);
         let (tx, rx) = bounded::<Indexed>(prefetch.max(1));
         let cursor = Arc::new(AtomicUsize::new(0));
+        let consumer_ring = match &spans {
+            Some(p) => p.ring(Role::Consumer),
+            None => Arc::new(WorkerRing::detached()),
+        };
         let mut workers = Vec::with_capacity(n_samp);
         for w in 0..n_samp {
             let graph = Arc::clone(&graph);
@@ -255,6 +274,10 @@ impl PipelinedLoader {
             let features = features.clone();
             let cache = cache.clone();
             let tx = tx.clone();
+            let ring = match &spans {
+                Some(p) => p.ring(Role::Producer),
+                None => Arc::new(WorkerRing::detached()),
+            };
             let my_core = if cores.is_empty() {
                 None
             } else {
@@ -288,20 +311,29 @@ impl PipelinedLoader {
                             let hi = ((i + 1) * batch_size).min(seeds.len());
                             let stream = SeedSequence::new(epoch_seeds.seed_for(epoch, i as u64));
                             let allocs_before = scratch.allocs();
+                            let pick = ring.span_begin(SpanKind::Pick, i as u64);
                             let run = SampleRun::new(stream, &mut scratch)
                                 .with_norm(normalization)
                                 .with_pool(pool.as_ref());
                             let batch = sampler.sample_with(&graph, &seeds[lo..hi], run);
+                            ring.span_end(pick);
                             let scratch_allocs = scratch.allocs() - allocs_before;
                             let (input, gather_seconds) = match &features {
                                 Some(f) => {
                                     let t0 = Instant::now();
                                     let ids = batch.input_nodes();
+                                    let kind = if cache.is_some() {
+                                        SpanKind::Cache
+                                    } else {
+                                        SpanKind::Gather
+                                    };
+                                    let span = ring.span_begin(kind, i as u64);
                                     let rows = match &cache {
                                         Some(c) => c.gather_rows(f, ids),
                                         None => f.gather(ids).data().to_vec(),
                                     };
                                     let m = Matrix::from_vec(ids.len(), f.dim(), rows);
+                                    ring.span_end(span);
                                     (Some(m), t0.elapsed().as_secs_f64())
                                 }
                                 None => (None, 0.0),
@@ -312,13 +344,17 @@ impl PipelinedLoader {
                                 gather_seconds,
                                 scratch_allocs,
                             };
-                            if tx
+                            // The enqueue-wait span measures backpressure:
+                            // time blocked on a full prefetch channel.
+                            let enq = ring.span_begin(SpanKind::EnqueueWait, i as u64);
+                            let sent = tx
                                 .send(Indexed {
                                     index: i,
                                     batch: loaded,
                                 })
-                                .is_err()
-                            {
+                                .is_ok();
+                            ring.span_end(enq);
+                            if !sent {
                                 break; // consumer dropped
                             }
                         }
@@ -331,6 +367,7 @@ impl PipelinedLoader {
             reorder: BinaryHeap::new(),
             next: 0,
             total,
+            ring: consumer_ring,
             workers,
         }
     }
@@ -348,6 +385,20 @@ impl Iterator for PipelinedLoader {
         if self.next >= self.total {
             return None;
         }
+        // The dequeue-wait span covers both the channel recv and the
+        // reorder-heap stall for the in-order batch, so the critical-path
+        // attribution can tell "producers too slow" from "heap reordering".
+        let wait = self
+            .ring
+            .span_begin(SpanKind::DequeueWait, self.next as u64);
+        let item = self.advance();
+        self.ring.span_end(wait);
+        item
+    }
+}
+
+impl PipelinedLoader {
+    fn advance(&mut self) -> Option<(usize, LoadedBatch)> {
         loop {
             // pop-if: take the heap top only when it is the batch the
             // consumer is waiting for (avoids a peek-then-unwrap pair).
@@ -542,5 +593,59 @@ mod tests {
             assert!(lb.input.is_none());
             assert_eq!(lb.gather_seconds, 0.0);
         }
+    }
+
+    #[test]
+    fn profiler_records_one_span_chain_per_batch() {
+        let (g, s, seeds) = setup();
+        let feats = Arc::new(Features::new(
+            (0..500 * 4).map(|x| x as f32 * 0.01).collect(),
+            4,
+        ));
+        let prof = Arc::new(SpanProfiler::new());
+        let loader = LoaderSpec::builder(g, s, seeds)
+            .batch_size(16)
+            .epoch_seeds(SeedSequence::new(11))
+            .n_samp(2)
+            .features(feats)
+            .spans(Arc::clone(&prof))
+            .start();
+        let n = loader.num_batches();
+        let got: Vec<_> = loader.collect();
+        assert_eq!(got.len(), n);
+        let drained = prof.drain();
+        assert_eq!(drained.dropped, 0);
+        let count = |role: Role, kind: SpanKind| {
+            drained
+                .records
+                .iter()
+                .filter(|r| r.role == role && r.kind == kind)
+                .count()
+        };
+        // One pick, one gather, one enqueue wait per batch on the producer
+        // side; one dequeue wait per batch on the consumer side — each
+        // keyed by the batch id so the chain is linkable.
+        assert_eq!(count(Role::Producer, SpanKind::Pick), n);
+        assert_eq!(count(Role::Producer, SpanKind::Gather), n);
+        assert_eq!(count(Role::Producer, SpanKind::EnqueueWait), n);
+        assert_eq!(count(Role::Consumer, SpanKind::DequeueWait), n);
+        let mut picked: Vec<u64> = drained
+            .records
+            .iter()
+            .filter(|r| r.kind == SpanKind::Pick)
+            .map(|r| r.batch)
+            .collect();
+        picked.sort_unstable();
+        assert_eq!(picked, (0..n as u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn no_profiler_records_nothing() {
+        let (g, s, seeds) = setup();
+        let loader = LoaderSpec::builder(g, s, seeds)
+            .batch_size(32)
+            .epoch_seeds(SeedSequence::new(3))
+            .start();
+        assert_eq!(loader.count(), 4);
     }
 }

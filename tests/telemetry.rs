@@ -184,6 +184,213 @@ fn cli_flow_writes_and_reads_back_files() {
 }
 
 #[test]
+fn new_event_kinds_round_trip_through_jsonl() {
+    // Hand-rolled property test: many pseudo-random instances of the
+    // profiler event kinds (critical_path, bytes_summary, bottleneck_check)
+    // must survive encode → parse bit-exactly.
+    use argo::rt::{BytesRecord, Config};
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 16
+    };
+    let stages = ["compute", "gather", "sample", "channel_wait", "heap_wait"];
+    let tel = Telemetry::new();
+    let mut originals = Vec::new();
+    for i in 0..64u64 {
+        let mut fractions = Vec::new();
+        for s in stages.iter().take(1 + (next() % 5) as usize) {
+            fractions.push((s.to_string(), (next() % 4096) as f64 / 4096.0));
+        }
+        let config = Config::new(
+            1 + (next() % 8) as usize,
+            1 + (next() % 4) as usize,
+            1 + (next() % 4) as usize,
+        );
+        let events = [
+            RunEvent::CriticalPath {
+                epoch: i,
+                fractions,
+                spans: next() % (1 << 48),
+                dropped: next() % 17,
+            },
+            RunEvent::BytesSummary {
+                epoch: i,
+                record: BytesRecord {
+                    batches: next() % 1024,
+                    metadata_bytes: next() % (1 << 48),
+                    cache_bytes: next() % (1 << 48),
+                    scratch_allocs: next() % 64,
+                },
+            },
+            RunEvent::BottleneckCheck {
+                epoch: i,
+                config,
+                predicted: stages[(next() % 5) as usize].to_string(),
+                measured: stages[(next() % 5) as usize].to_string(),
+            },
+        ];
+        for e in events {
+            tel.logger.log(e.clone());
+            originals.push(e);
+        }
+    }
+    let parsed = RunLogger::parse_jsonl(&tel.logger.to_jsonl()).expect("JSONL must parse");
+    assert_eq!(parsed.len(), originals.len());
+    for ((got, _, src), want) in parsed.iter().zip(&originals) {
+        assert_eq!(got, want);
+        assert_eq!(*src, Source::Measured);
+    }
+}
+
+#[test]
+fn two_worker_pipeline_attribution_is_exact() {
+    // Deterministic two-producer/one-consumer fixture over a 10 s horizon:
+    //   consumer: compute [0,4], heap/channel wait [4,6], compute [6,9],
+    //             sync [9,10]
+    //   producer A: gather [4,6]   (active during the consumer's wait →
+    //                               the wait is *caused* by gathering)
+    //   producer B: pick [0,3]     (concurrent with compute — compute wins)
+    // Expected attribution: compute 0.7, gather 0.2, sync 0.1.
+    use argo::rt::{critical_path, Role, SpanKind, SpanRecord, CRITICAL_PATH_STAGES};
+    let span = |role, kind, batch, start: f64, end: f64| SpanRecord {
+        role,
+        kind,
+        batch,
+        start,
+        end,
+        worker: batch as usize % 2,
+    };
+    let records = vec![
+        span(Role::Consumer, SpanKind::Compute, 0, 0.0, 4.0),
+        span(Role::Consumer, SpanKind::DequeueWait, 1, 4.0, 6.0),
+        span(Role::Consumer, SpanKind::Compute, 1, 6.0, 9.0),
+        span(Role::Consumer, SpanKind::Sync, 1, 9.0, 10.0),
+        span(Role::Producer, SpanKind::Gather, 1, 4.0, 6.0),
+        span(Role::Producer, SpanKind::Pick, 2, 0.0, 3.0),
+    ];
+    let fractions = critical_path(&records, 10.0);
+    let sum: f64 = fractions.iter().map(|(_, f)| f).sum();
+    assert!(
+        (sum - 1.0).abs() < 1e-9,
+        "fractions must sum to 1, got {sum}"
+    );
+    let get = |name: &str| {
+        fractions
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, f)| *f)
+            .unwrap_or(0.0)
+    };
+    // Binning quantizes at horizon/2048, so allow 1%.
+    assert!((get("compute") - 0.7).abs() < 0.01, "{fractions:?}");
+    assert!((get("gather") - 0.2).abs() < 0.01, "{fractions:?}");
+    assert!((get("sync") - 0.1).abs() < 0.01, "{fractions:?}");
+    assert_eq!(get("heap_wait"), 0.0, "the wait was caused by gathering");
+    // The known bottleneck wins the argmax — the same reduction the
+    // bottleneck audit applies to measured epochs.
+    let top = fractions
+        .iter()
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .map(|(n, _)| *n);
+    assert_eq!(top, Some("compute"));
+    for (name, _) in &fractions {
+        assert!(CRITICAL_PATH_STAGES.contains(name), "unknown stage {name}");
+    }
+}
+
+#[test]
+fn measured_run_emits_critical_path_and_bytes_events() {
+    let mut engine = tiny_engine(7);
+    let mut argo = Argo::new(ArgoOptions {
+        n_search: 2,
+        epochs: 3,
+        total_cores: 16,
+        seed: 7,
+    });
+    let tel = Telemetry::new();
+    argo.train(&mut engine, Some(&tel), |_, _, _| {});
+    let parsed = RunLogger::parse_jsonl(&tel.logger.to_jsonl()).unwrap();
+
+    let cps: Vec<_> = parsed
+        .iter()
+        .filter_map(|(e, _, _)| match e {
+            RunEvent::CriticalPath {
+                fractions, spans, ..
+            } => Some((fractions.clone(), *spans)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(cps.len(), 3, "one critical_path per epoch");
+    for (fractions, spans) in &cps {
+        assert!(*spans > 0, "the loader and engine must have recorded spans");
+        let sum: f64 = fractions.iter().map(|(_, f)| f).sum();
+        assert!((sum - 1.0).abs() < 1e-6, "fractions sum to {sum}");
+    }
+
+    let bytes: Vec<_> = parsed
+        .iter()
+        .filter_map(|(e, _, _)| match e {
+            RunEvent::BytesSummary { record, .. } => Some(*record),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(bytes.len(), 3, "one bytes_summary per epoch");
+    for r in &bytes {
+        assert!(r.batches > 0);
+        assert!(r.metadata_bytes_per_batch() > 0.0);
+    }
+
+    let text = argo_cli::report::render_report(&parsed, Some(&tel));
+    assert!(text.contains("critical path"));
+    assert!(text.contains("bytes/batch"));
+    assert!(text.contains("metadata/batch"));
+}
+
+#[test]
+fn audited_run_emits_bottleneck_checks_and_report_section() {
+    use argo::rt::CRITICAL_PATH_STAGES;
+    let model = PerfModel::new(Setup {
+        platform: ICE_LAKE_8380H,
+        library: Library::Dgl,
+        sampler: SamplerKind::Neighbor,
+        model: ModelKind::Sage,
+        dataset: FLICKR,
+    });
+    let mut engine = tiny_engine(3);
+    let mut argo = Argo::new(ArgoOptions {
+        n_search: 2,
+        epochs: 3,
+        total_cores: 16,
+        seed: 3,
+    });
+    let tel = Telemetry::new();
+    argo.train_audited(&mut engine, &model, Some(&tel), |_, _, _| {});
+    let parsed = RunLogger::parse_jsonl(&tel.logger.to_jsonl()).unwrap();
+    let checks: Vec<_> = parsed
+        .iter()
+        .filter_map(|(e, _, _)| match e {
+            RunEvent::BottleneckCheck {
+                predicted,
+                measured,
+                ..
+            } => Some((predicted.clone(), measured.clone())),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(checks.len(), 2, "one audit per search epoch");
+    for (predicted, measured) in &checks {
+        assert!(["sample", "gather", "compute", "sync"].contains(&predicted.as_str()));
+        assert!(CRITICAL_PATH_STAGES.contains(&measured.as_str()));
+    }
+    let text = argo_cli::report::render_report(&parsed, Some(&tel));
+    assert!(text.contains("bottleneck audit"));
+    assert!(text.contains("agreements"));
+}
+
+#[test]
 fn chrome_json_empty_and_disabled_recorders() {
     use argo::rt::TraceRecorder;
     assert_eq!(TraceRecorder::new().to_chrome_json(), "[]");
