@@ -28,11 +28,17 @@ ARGO_BENCH_QUICK=1 cargo bench -q -p argo-bench --bench micro_kernels
 echo "==> micro_sampling quick perf gate (scratch sampler must not lose to the pre-scratch reference; span profiler overhead <= 5%)"
 ARGO_BENCH_QUICK=1 cargo bench -q -p argo-bench --bench micro_sampling
 
+echo "==> micro_serving quick perf gate (tuned p99 must not lose to the library default; warm result-cache hit rate > 0.9)"
+ARGO_BENCH_QUICK=1 cargo bench -q -p argo-bench --bench micro_serving
+
 echo "==> argo perf-diff (speedup ratios of the quick run vs committed BENCH_*.json, 15% tolerance)"
 cargo run -q -p argo-cli --bin argo -- perf-diff --quick true
 
 echo "==> cargo test -q -p argo-sample"
 cargo test -q -p argo-sample
+
+echo "==> cargo test -q -p argo-serve"
+cargo test -q -p argo-serve
 
 echo "==> cargo test -q"
 cargo test --workspace -q

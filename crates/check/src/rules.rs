@@ -17,6 +17,7 @@ const NO_PANIC_CRATES: &[&str] = &[
     "crates/engine/",
     "crates/tensor/",
     "crates/cli/",
+    "crates/serve/",
 ];
 
 /// Files allowed to read the wall clock: the trace timeline and the metrics
@@ -26,11 +27,15 @@ const INSTANT_ALLOWED_FILES: &[&str] = &[
     "crates/rt/src/trace.rs",
     "crates/rt/src/metrics.rs",
     "crates/rt/src/spans.rs",
+    // The serving wall clock: `WallClock` is the one measured `Clock`
+    // implementation; every other serving path takes timestamps through the
+    // `Clock` trait (deterministic under `ManualClock`).
+    "crates/serve/src/clock.rs",
 ];
 
-/// Deprecated `Option<&Telemetry>`-era shims: kept for external callers,
-/// but no internal code may call them (tests exercising the shims exempt
-/// themselves by being tests).
+/// Removed `*_telemetry`-era shim names: the methods were deleted in 0.2,
+/// and this list stays as a tripwire so the old spellings never
+/// reappear — in new call sites or in resurrected shims.
 const DEPRECATED_CALLS: &[&str] = &[
     ".run_telemetry(",
     ".train_telemetry(",

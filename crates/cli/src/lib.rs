@@ -153,14 +153,18 @@ USAGE:
 
   argo perf-diff [--quick true] [--tolerance 0.15]
                  [--baseline-sampling FILE] [--baseline-kernels FILE]
+                 [--baseline-serving FILE]
                  [--current-sampling FILE] [--current-kernels FILE]
+                 [--current-serving FILE]
       perf-regression gate: compare a fresh bench run's speedup ratios
       against the committed baselines; fails when any ratio drops more
       than --tolerance (default 15%) below its baseline. --quick true
       compares target/BENCH_*.quick.json (ARGO_BENCH_QUICK=1 artifacts)
       against the committed BENCH_*.quick.json, as wired into ci.sh;
       without it, baselines are BENCH_*.json and --current-* is required
-      (quick and full ratios are not cross-comparable)
+      (quick and full ratios are not cross-comparable). The serving pair
+      gates the tuned-vs-default p99 improvement and the warm result-cache
+      hit rate from BENCH_serving.json
 
   argo space    [--cores 112]
       inspect the configuration design space

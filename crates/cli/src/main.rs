@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use argo_cli::{
     dataset_by_name, library_by_name, model_kind_by_name, parse_args,
-    perf::{diff_all, render_top, DEFAULT_TOLERANCE},
+    perf::{diff_all, diff_serving, render_top, DEFAULT_TOLERANCE},
     platform_by_name,
     report::render_report,
     sampler_kind_by_name, usage, Cli,
@@ -164,20 +164,31 @@ fn perf_diff(cli: &Cli) -> Result<(), Error> {
     // the committed full-mode baselines. Full-mode bench runs write to the
     // full baseline paths themselves, so a non-quick diff needs explicit
     // current paths.
-    let (def_base_s, def_base_k, def_cur_s, def_cur_k) = if quick {
+    let (def_base_s, def_base_k, def_base_v, def_cur_s, def_cur_k, def_cur_v) = if quick {
         (
             "BENCH_sampling.quick.json",
             "BENCH_kernels.quick.json",
+            "BENCH_serving.quick.json",
             "target/BENCH_sampling.quick.json",
             "target/BENCH_kernels.quick.json",
+            "target/BENCH_serving.quick.json",
         )
     } else {
-        ("BENCH_sampling.json", "BENCH_kernels.json", "", "")
+        (
+            "BENCH_sampling.json",
+            "BENCH_kernels.json",
+            "BENCH_serving.json",
+            "",
+            "",
+            "",
+        )
     };
     let base_s = cli.get("baseline-sampling", def_base_s);
     let base_k = cli.get("baseline-kernels", def_base_k);
+    let base_v = cli.get("baseline-serving", def_base_v);
     let cur_s = cli.get("current-sampling", def_cur_s);
     let cur_k = cli.get("current-kernels", def_cur_k);
+    let cur_v = cli.get("current-serving", def_cur_v);
     if cur_s.is_empty() || cur_k.is_empty() {
         return Err(Error::InvalidArgument(
             "perf-diff needs --quick true (compares target/BENCH_*.quick.json) or explicit \
@@ -190,13 +201,22 @@ fn perf_diff(cli: &Cli) -> Result<(), Error> {
             .map_err(|e| Error::Io(format!("read {path}: {e} (run the bench first)")))?;
         argo_rt::Json::parse(&text).map_err(|e| Error::Io(format!("parse {path}: {e}")))
     };
-    let rep = diff_all(
+    let mut rep = diff_all(
         &load(base_s)?,
         &load(cur_s)?,
         &load(base_k)?,
         &load(cur_k)?,
         tolerance,
     );
+    // The serving artifact arrived later than the training pair; tolerate a
+    // missing current file (e.g. the serving bench wasn't run) with a note
+    // rather than failing the whole diff.
+    if !cur_v.is_empty() {
+        match (load(base_v), load(cur_v)) {
+            (Ok(b), Ok(c)) => rep.merge(diff_serving(&b, &c, tolerance)),
+            (Err(e), _) | (_, Err(e)) => rep.notes.push(format!("serving diff skipped: {e}")),
+        }
+    }
     print!("{}", rep.render());
     if rep.regressions() > 0 {
         return Err(Error::Other(format!(

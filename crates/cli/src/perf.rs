@@ -251,6 +251,35 @@ pub fn diff_kernels(baseline: &Json, current: &Json, tolerance: f64) -> DiffRepo
     rep
 }
 
+/// Compares serving-baseline ratios from `BENCH_serving.json`. The gated
+/// metrics are shape-normalized and deterministic on any host: the
+/// p99 improvement of the tuned configuration over the library default
+/// (from the pure open-loop simulation driven by the platform model) and
+/// the warm result-cache hit rate of the closed-loop load generator
+/// (structural — a function of the request mix, not the clock).
+pub fn diff_serving(baseline: &Json, current: &Json, tolerance: f64) -> DiffReport {
+    let mut rep = DiffReport::new(tolerance);
+    for key in ["p99_improvement", "warm_hit_rate"] {
+        match (num(baseline, key), num(current, key)) {
+            (Some(b), Some(c)) => rep.push(format!("serving:{key}"), b, c),
+            (Some(_), None) => rep.note(format!("serving metric '{key}' missing from current run")),
+            (None, _) => rep.note(format!("serving metric '{key}' has no baseline")),
+        }
+    }
+    let points = |doc: &Json| {
+        doc.get("qps_curve")
+            .and_then(Json::as_arr)
+            .map_or(0, |c| c.len())
+    };
+    let (bp, cp) = (points(baseline), points(current));
+    if bp != cp {
+        rep.note(format!(
+            "serving qps curve has {cp} points vs {bp} in the baseline"
+        ));
+    }
+    rep
+}
+
 /// Full diff over both artifact pairs.
 pub fn diff_all(
     base_sampling: &Json,
@@ -464,6 +493,59 @@ mod tests {
             .any(|n| n.contains("scratch_pool2") && n.contains("missing")));
     }
 
+    fn serving_doc(improvement: f64, hit_rate: f64, points: usize) -> Json {
+        let row = |qps: f64| {
+            Json::obj(vec![
+                ("qps", Json::Num(qps)),
+                ("default_p99_ms", Json::Num(10.0)),
+                ("tuned_p99_ms", Json::Num(10.0 / improvement)),
+            ])
+        };
+        Json::obj(vec![
+            ("p99_improvement", Json::Num(improvement)),
+            ("warm_hit_rate", Json::Num(hit_rate)),
+            (
+                "qps_curve",
+                Json::Arr((0..points).map(|i| row(100.0 * (i + 1) as f64)).collect()),
+            ),
+        ])
+    }
+
+    #[test]
+    fn serving_diff_gates_improvement_and_hit_rate() {
+        let rep = diff_serving(&serving_doc(1.5, 0.95, 4), &serving_doc(1.5, 0.95, 4), 0.15);
+        assert_eq!(rep.regressions(), 0);
+        assert_eq!(rep.lines.len(), 2);
+
+        // A collapsed improvement ratio fails the gate.
+        let rep = diff_serving(&serving_doc(1.5, 0.95, 4), &serving_doc(1.0, 0.95, 4), 0.15);
+        assert_eq!(rep.regressions(), 1);
+        assert!(rep.render().contains("serving:p99_improvement"));
+
+        // A cold result cache fails the gate.
+        let rep = diff_serving(&serving_doc(1.5, 0.95, 4), &serving_doc(1.5, 0.30, 4), 0.15);
+        assert_eq!(rep.regressions(), 1);
+        assert!(rep.render().contains("serving:warm_hit_rate"));
+    }
+
+    #[test]
+    fn serving_diff_notes_curve_shape_and_missing_metrics() {
+        let rep = diff_serving(&serving_doc(1.5, 0.95, 4), &serving_doc(1.5, 0.95, 2), 0.15);
+        assert_eq!(rep.regressions(), 0);
+        assert!(rep.notes.iter().any(|n| n.contains("2 points vs 4")));
+
+        let rep = diff_serving(&serving_doc(1.5, 0.95, 4), &Json::obj(vec![]), 0.15);
+        assert_eq!(
+            rep.regressions(),
+            0,
+            "missing metrics are notes, not failures"
+        );
+        assert_eq!(
+            rep.notes.iter().filter(|n| n.contains("missing")).count(),
+            2
+        );
+    }
+
     #[test]
     fn committed_baselines_parse_and_self_diff_clean() {
         // The repository's committed artifacts must stay consumable.
@@ -477,6 +559,27 @@ mod tests {
         let k = read("BENCH_kernels.json");
         let qs = read("BENCH_sampling.quick.json");
         let qk = read("BENCH_kernels.quick.json");
+
+        // The serving artifacts: self-diff is clean, the committed curve
+        // shows the tuned configuration beating the default p99, and the
+        // warm result-cache hit rate clears the 0.9 bar.
+        for name in ["BENCH_serving.json", "BENCH_serving.quick.json"] {
+            let v = read(name);
+            let rep = diff_serving(&v, &v, DEFAULT_TOLERANCE);
+            assert_eq!(rep.regressions(), 0, "{name}: {}", rep.render());
+            assert_eq!(rep.lines.len(), 2, "{name}: {}", rep.render());
+            let improvement = v.get("p99_improvement").and_then(Json::as_f64).unwrap();
+            assert!(improvement > 1.0, "{name}: tuned must beat default p99");
+            let hit_rate = v.get("warm_hit_rate").and_then(Json::as_f64).unwrap();
+            assert!(hit_rate > 0.9, "{name}: warm hit rate {hit_rate}");
+            let curve = v.get("qps_curve").and_then(Json::as_arr).unwrap();
+            assert!(curve.len() >= 3, "{name}: qps curve too short");
+            for row in curve {
+                assert!(row.get("qps").and_then(Json::as_f64).is_some());
+                assert!(row.get("default_p99_ms").and_then(Json::as_f64).is_some());
+                assert!(row.get("tuned_p99_ms").and_then(Json::as_f64).is_some());
+            }
+        }
         let rep = diff_all(&qs, &qs, &qk, &qk, DEFAULT_TOLERANCE);
         assert_eq!(rep.regressions(), 0, "{}", rep.render());
         let rep = diff_all(&s, &k, &k, &k, DEFAULT_TOLERANCE);

@@ -27,6 +27,8 @@ pub const CONSUMED_EVENT_KINDS: &[&str] = &[
     "critical_path",
     "bytes_summary",
     "bottleneck_check",
+    "serve_request",
+    "serve_batch",
 ];
 
 /// p50/p95/max of a sample set.
@@ -55,6 +57,18 @@ pub fn percentiles(samples: &[f64]) -> Option<Percentiles> {
         p95: rank(0.95),
         max,
     })
+}
+
+/// Nearest-rank quantile of raw samples (0 for an empty set) — for the
+/// quantiles [`Percentiles`] doesn't carry, like serving's p99.
+fn nearest_rank(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut v: Vec<f64> = samples.to_vec();
+    v.sort_by(f64::total_cmp);
+    let idx = ((q * v.len() as f64).ceil() as usize).clamp(1, v.len()) - 1;
+    v[idx]
 }
 
 fn fmt_seconds(s: f64) -> String {
@@ -282,6 +296,74 @@ pub fn render_report(events: &[(RunEvent, f64, Source)], live: Option<&Telemetry
         }
     }
 
+    // ---- Serving (only present for `argo-serve` sessions) --------------
+    let requests: Vec<_> = events
+        .iter()
+        .filter_map(|(e, _, _)| match e {
+            RunEvent::ServeRequest { record } => Some(record),
+            _ => None,
+        })
+        .collect();
+    let batches: Vec<_> = events
+        .iter()
+        .filter_map(|(e, _, _)| match e {
+            RunEvent::ServeBatch { record } => Some(record),
+            _ => None,
+        })
+        .collect();
+    if !requests.is_empty() {
+        let latencies: Vec<f64> = requests.iter().map(|r| r.latency_seconds).collect();
+        let queues: Vec<f64> = requests.iter().map(|r| r.queue_seconds).collect();
+        let hits = requests.iter().filter(|r| r.cache_hit).count();
+        out.push_str(&format!(
+            "\nserving ({} requests, {} micro-batches):\n",
+            requests.len(),
+            batches.len()
+        ));
+        if let Some(p) = percentiles(&latencies) {
+            out.push_str(&format!(
+                "  latency   p50 {:>10} p95 {:>10} p99 {:>10} max {:>10}\n",
+                fmt_seconds(p.p50),
+                fmt_seconds(p.p95),
+                fmt_seconds(nearest_rank(&latencies, 0.99)),
+                fmt_seconds(p.max),
+            ));
+        }
+        if let Some(p) = percentiles(&queues) {
+            out.push_str(&format!(
+                "  queue     p50 {:>10} p95 {:>10} max {:>10}  (serve_queue spans)\n",
+                fmt_seconds(p.p50),
+                fmt_seconds(p.p95),
+                fmt_seconds(p.max),
+            ));
+        }
+        out.push_str(&format!(
+            "  result cache: {hits} hits / {} requests ({:.1}%)\n",
+            requests.len(),
+            hits as f64 / requests.len() as f64 * 100.0
+        ));
+        if !batches.is_empty() {
+            let exec: Vec<f64> = batches.iter().map(|b| b.exec_seconds).collect();
+            let total_reqs: u64 = batches.iter().map(|b| b.requests).sum();
+            let full = batches.iter().filter(|b| b.flush == "full").count();
+            let deadline = batches.iter().filter(|b| b.flush == "deadline").count();
+            let drain = batches.len() - full - deadline;
+            out.push_str(&format!(
+                "  batches: mean size {:.1}, flushes {full} full / {deadline} deadline / \
+                 {drain} drain\n",
+                total_reqs as f64 / batches.len() as f64,
+            ));
+            if let Some(p) = percentiles(&exec) {
+                out.push_str(&format!(
+                    "  exec      p50 {:>10} p95 {:>10} max {:>10}  (serve_exec spans)\n",
+                    fmt_seconds(p.p50),
+                    fmt_seconds(p.p95),
+                    fmt_seconds(p.max),
+                ));
+            }
+        }
+    }
+
     // ---- Tuner convergence -------------------------------------------
     let trials: Vec<_> = events
         .iter()
@@ -388,6 +470,10 @@ pub fn render_report(events: &[(RunEvent, f64, Source)], live: Option<&Telemetry
             names::METADATA_BYTES_TOTAL,
             names::SPANS_RECORDED_TOTAL,
             names::SPANS_DROPPED_TOTAL,
+            names::SERVE_REQUESTS_TOTAL,
+            names::SERVE_BATCHES_TOTAL,
+            names::SERVE_RESULT_HITS_TOTAL,
+            names::SERVE_RESULT_MISSES_TOTAL,
         ] {
             if let Some(v) = counters.get(name) {
                 section.push_str(&format!("  {name:<26} {v}\n"));
@@ -397,6 +483,7 @@ pub fn render_report(events: &[(RunEvent, f64, Source)], live: Option<&Telemetry
             names::TUNER_BEST_EPOCH_SECONDS,
             names::CACHE_BYTES,
             names::CACHE_HIT_RATE,
+            names::SERVE_RESULT_HIT_RATE,
         ] {
             if let Some(v) = gauges.get(name) {
                 section.push_str(&format!("  {name:<26} {v:.3}\n"));
@@ -412,6 +499,20 @@ pub fn render_report(events: &[(RunEvent, f64, Source)], live: Option<&Telemetry
                     "  {name:<26} p50 {:>10} p95 {:>10} n={}{}\n",
                     fmt_seconds(h.quantile(0.50)),
                     fmt_seconds(h.quantile(0.95)),
+                    h.count(),
+                    overflow_note(h)
+                ));
+            }
+        }
+        // Serving latency is a tail-latency metric: its snapshot line leads
+        // with the p99 the serve tuner objective optimizes.
+        {
+            let name = names::SERVE_REQUEST_SECONDS;
+            if let Some(h) = live_hists.get(name).filter(|h| h.count() > 0) {
+                section.push_str(&format!(
+                    "  {name:<26} p50 {:>10} p99 {:>10} n={}{}\n",
+                    fmt_seconds(h.quantile(0.50)),
+                    fmt_seconds(h.quantile(0.99)),
                     h.count(),
                     overflow_note(h)
                 ));
@@ -608,6 +709,87 @@ mod tests {
         assert!(text.contains("agree"), "{text}");
         assert!(text.contains("DISAGREE"), "{text}");
         assert!(text.contains("1/2 agreements"), "{text}");
+    }
+
+    #[test]
+    fn report_renders_serving_section_only_when_present() {
+        use argo_rt::{ServeBatchRecord, ServeRequestRecord};
+        let without = render_report(&evs(), None);
+        assert!(!without.contains("serving ("));
+        let mut events = evs();
+        for i in 0..4u64 {
+            events.push((
+                RunEvent::ServeRequest {
+                    record: ServeRequestRecord {
+                        request: i,
+                        batch: i / 2,
+                        seeds: 1,
+                        queue_seconds: 0.001 * (i + 1) as f64,
+                        latency_seconds: 0.002 * (i + 1) as f64,
+                        cache_hit: i >= 2,
+                    },
+                },
+                0.0,
+                Source::Measured,
+            ));
+        }
+        for b in 0..2u64 {
+            events.push((
+                RunEvent::ServeBatch {
+                    record: ServeBatchRecord {
+                        batch: b,
+                        requests: 2,
+                        flush: if b == 0 { "full" } else { "deadline" }.to_string(),
+                        exec_seconds: 0.0005,
+                    },
+                },
+                0.0,
+                Source::Measured,
+            ));
+        }
+        let with = render_report(&events, None);
+        assert!(
+            with.contains("serving (4 requests, 2 micro-batches):"),
+            "{with}"
+        );
+        assert!(with.contains("p99"), "{with}");
+        assert!(
+            with.contains("result cache: 2 hits / 4 requests (50.0%)"),
+            "{with}"
+        );
+        assert!(with.contains("mean size 2.0"), "{with}");
+        assert!(with.contains("1 full / 1 deadline / 0 drain"), "{with}");
+        assert!(with.contains("serve_queue"), "{with}");
+        assert!(with.contains("serve_exec"), "{with}");
+        // p99 of 4 samples (nearest rank) is the max: 8ms.
+        assert!(with.contains("p99    8.000ms"), "{with}");
+    }
+
+    #[test]
+    fn serve_metrics_appear_in_the_live_snapshot() {
+        let tel = Telemetry::new();
+        tel.metrics.counter(names::SERVE_REQUESTS_TOTAL).add(7);
+        tel.metrics.counter(names::SERVE_BATCHES_TOTAL).add(3);
+        tel.metrics.counter(names::SERVE_RESULT_HITS_TOTAL).add(5);
+        tel.metrics.counter(names::SERVE_RESULT_MISSES_TOTAL).add(2);
+        tel.metrics
+            .gauge(names::SERVE_RESULT_HIT_RATE)
+            .set(5.0 / 7.0);
+        let h = tel.metrics.time_histogram(names::SERVE_REQUEST_SECONDS);
+        h.observe(0.001);
+        h.observe(0.004);
+        let text = render_report(&[], Some(&tel));
+        for name in [
+            names::SERVE_REQUESTS_TOTAL,
+            names::SERVE_BATCHES_TOTAL,
+            names::SERVE_RESULT_HITS_TOTAL,
+            names::SERVE_RESULT_MISSES_TOTAL,
+            names::SERVE_RESULT_HIT_RATE,
+            names::SERVE_REQUEST_SECONDS,
+        ] {
+            assert!(text.contains(name), "missing {name} in:\n{text}");
+        }
+        assert!(text.contains("p99"), "{text}");
     }
 
     #[test]

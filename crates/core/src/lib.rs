@@ -39,8 +39,8 @@
 //! For training real models, [`Argo::train`] drives an
 //! [`argo_engine::Engine`] directly; for paper-scale studies,
 //! [`Argo::run_modeled`] drives an [`argo_platform::PerfModel`]. Each entry
-//! point takes an `Option<&Telemetry>`; the former `*_telemetry` variants
-//! remain as deprecated shims for one release.
+//! point takes an `Option<&Telemetry>` (the pre-0.2 `*_telemetry` variants
+//! have been removed).
 
 use std::fmt;
 use std::sync::Arc;
@@ -62,6 +62,12 @@ pub enum Error {
     InvalidArgument(String),
     /// An I/O operation (e.g. writing `--metrics-out`) failed.
     Io(String),
+    /// A serving request could not finish before its deadline budget.
+    DeadlineExceeded(String),
+    /// The serving admission queue was at capacity; the request was shed.
+    QueueFull(String),
+    /// A serving query named a seed node outside the loaded graph.
+    UnknownSeedNode(String),
     /// Any other runtime failure.
     Other(String),
 }
@@ -71,6 +77,9 @@ impl fmt::Display for Error {
         match self {
             Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
             Error::Io(msg) => write!(f, "i/o error: {msg}"),
+            Error::DeadlineExceeded(msg) => write!(f, "deadline exceeded: {msg}"),
+            Error::QueueFull(msg) => write!(f, "queue full: {msg}"),
+            Error::UnknownSeedNode(msg) => write!(f, "unknown seed node: {msg}"),
             Error::Other(msg) => write!(f, "{msg}"),
         }
     }
@@ -225,16 +234,6 @@ impl Argo {
         }
     }
 
-    /// Deprecated alias for [`Argo::run`] with `Some(telemetry)`.
-    #[deprecated(since = "0.2.0", note = "use run(train, Some(&telemetry))")]
-    pub fn run_telemetry(
-        &mut self,
-        train: impl FnMut(Config, usize) -> f64,
-        telemetry: &Telemetry,
-    ) -> ArgoReport {
-        self.run(train, Some(telemetry))
-    }
-
     fn run_impl(
         &mut self,
         mut train: impl FnMut(Config, usize) -> f64,
@@ -374,20 +373,6 @@ impl Argo {
         })
     }
 
-    /// Deprecated alias for [`Argo::train`] with `Some(telemetry)`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use train(engine, Some(&telemetry), on_epoch)"
-    )]
-    pub fn train_telemetry(
-        &mut self,
-        engine: &mut Engine,
-        telemetry: &Telemetry,
-        on_epoch: impl FnMut(usize, Config, &EpochStats),
-    ) -> ArgoReport {
-        self.train(engine, Some(telemetry), on_epoch)
-    }
-
     /// Runs the full schedule against a modeled platform (paper-scale
     /// studies on hardware this host does not have). With
     /// `Some(telemetry)`, per-epoch modeled telemetry is emitted through
@@ -415,16 +400,6 @@ impl Argo {
                 None,
             ),
         }
-    }
-
-    /// Deprecated alias for [`Argo::run_modeled`] with `Some(telemetry)`.
-    #[deprecated(since = "0.2.0", note = "use run_modeled(model, Some(&telemetry))")]
-    pub fn run_modeled_telemetry(
-        &mut self,
-        model: &PerfModel,
-        telemetry: &Telemetry,
-    ) -> ArgoReport {
-        self.run_modeled(model, Some(telemetry))
     }
 }
 
@@ -750,24 +725,15 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_delegate_to_unified_api() {
-        let tel = Telemetry::disabled();
-        let mut argo = Argo::new(ArgoOptions {
-            n_search: 3,
-            epochs: 10,
-            total_cores: 16,
-            seed: 7,
-        });
-        let shim = argo.run_telemetry(toy_objective, &tel);
-        let mut argo2 = Argo::new(ArgoOptions {
-            n_search: 3,
-            epochs: 10,
-            total_cores: 16,
-            seed: 7,
-        });
-        let unified = argo2.run(toy_objective, Some(&tel));
-        assert_eq!(shim.config_opt, unified.config_opt);
-        assert_eq!(shim.history, unified.history);
+    fn serving_errors_render_one_line_diagnostics() {
+        let d = Error::DeadlineExceeded("request 4 queued 900us".into());
+        assert_eq!(d.to_string(), "deadline exceeded: request 4 queued 900us");
+        let q = Error::QueueFull("1024 requests pending (cap 1024)".into());
+        assert_eq!(
+            q.to_string(),
+            "queue full: 1024 requests pending (cap 1024)"
+        );
+        let u = Error::UnknownSeedNode("node 9000 out of range".into());
+        assert_eq!(u.to_string(), "unknown seed node: node 9000 out of range");
     }
 }

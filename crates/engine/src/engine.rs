@@ -301,6 +301,12 @@ impl Engine {
         &self.dataset
     }
 
+    /// The sampler this session trains with (shared with e.g. a serving
+    /// session built via `ServeSpec::from_engine`).
+    pub fn sampler(&self) -> &Arc<dyn Sampler> {
+        &self.sampler
+    }
+
     /// Epochs completed so far.
     pub fn epochs_done(&self) -> u64 {
         self.epoch
@@ -345,12 +351,6 @@ impl Engine {
             Some(t) => self.train_epoch_impl(config, &t.trace, Some(&t.metrics), Some(&t.logger)),
             None => self.train_epoch_impl(config, &TraceRecorder::disabled(), None, None),
         }
-    }
-
-    /// Deprecated alias of [`Engine::train_epoch`] with `Some(telemetry)`.
-    #[deprecated(since = "0.2.0", note = "use train_epoch(config, Some(&telemetry))")]
-    pub fn train_epoch_telemetry(&mut self, config: Config, telemetry: &Telemetry) -> EpochStats {
-        self.train_epoch(config, Some(telemetry))
     }
 
     /// The feature cache for this epoch's effective capacity
@@ -1344,12 +1344,10 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_telemetry_shim_still_works() {
-        let mut e = Engine::new(tiny(), neighbor(), opts(64));
-        let tel = Telemetry::disabled();
-        let stats = e.train_epoch_telemetry(Config::new(1, 1, 1), &tel);
-        assert!(stats.iterations > 0);
+    fn sampler_accessor_shares_the_training_sampler() {
+        let e = Engine::new(tiny(), neighbor(), opts(64));
+        assert_eq!(e.sampler().name(), "Neighbor");
+        assert_eq!(e.sampler().num_layers(), e.options().num_layers);
     }
 
     #[test]

@@ -1,357 +1,45 @@
 //! Calibration dashboard: prints modeled epoch times next to the paper's
 //! Table IV/V values plus the Figure 1/8 scaling curves, so the platform
-//! model's coefficients can be tuned against the published numbers.
+//! model's coefficients can be tuned against the published numbers. The
+//! paper rows come from `argo_platform::calibration` (one source of truth,
+//! shared with the table benches); setups are built with
+//! `PerfModel::builder()`.
 
-use argo_graph::datasets::{FLICKR, OGBN_PAPERS100M, OGBN_PRODUCTS, REDDIT};
-use argo_platform::{
-    Library, ModelKind, PerfModel, SamplerKind, Setup, ICE_LAKE_8380H, SAPPHIRE_RAPIDS_6430L,
-};
+use argo_graph::datasets::OGBN_PRODUCTS;
+use argo_platform::{table4_dgl, table5_pyg, Library, ModelKind, PerfModel, SamplerKind};
+use argo_rt::Config;
 
 fn main() {
-    // (platform, lib, sampler, model, dataset, paper_exhaustive, paper_default_x)
-    let rows = [
-        (
-            "IL ",
-            Library::Dgl,
-            SamplerKind::Neighbor,
-            ModelKind::Sage,
-            FLICKR,
-            1.98,
-            0.93,
-        ),
-        (
-            "IL ",
-            Library::Dgl,
-            SamplerKind::Neighbor,
-            ModelKind::Sage,
-            REDDIT,
-            13.83,
-            0.81,
-        ),
-        (
-            "IL ",
-            Library::Dgl,
-            SamplerKind::Neighbor,
-            ModelKind::Sage,
-            OGBN_PRODUCTS,
-            11.19,
-            0.54,
-        ),
-        (
-            "IL ",
-            Library::Dgl,
-            SamplerKind::Neighbor,
-            ModelKind::Sage,
-            OGBN_PAPERS100M,
-            115.4,
-            0.75,
-        ),
-        (
-            "IL ",
-            Library::Dgl,
-            SamplerKind::Shadow,
-            ModelKind::Gcn,
-            FLICKR,
-            1.34,
-            0.73,
-        ),
-        (
-            "IL ",
-            Library::Dgl,
-            SamplerKind::Shadow,
-            ModelKind::Gcn,
-            REDDIT,
-            32.68,
-            0.16,
-        ),
-        (
-            "IL ",
-            Library::Dgl,
-            SamplerKind::Shadow,
-            ModelKind::Gcn,
-            OGBN_PRODUCTS,
-            14.68,
-            0.29,
-        ),
-        (
-            "IL ",
-            Library::Dgl,
-            SamplerKind::Shadow,
-            ModelKind::Gcn,
-            OGBN_PAPERS100M,
-            107.8,
-            0.62,
-        ),
-        (
-            "SPR",
-            Library::Dgl,
-            SamplerKind::Neighbor,
-            ModelKind::Sage,
-            FLICKR,
-            1.81,
-            0.94,
-        ),
-        (
-            "SPR",
-            Library::Dgl,
-            SamplerKind::Neighbor,
-            ModelKind::Sage,
-            REDDIT,
-            11.25,
-            0.79,
-        ),
-        (
-            "SPR",
-            Library::Dgl,
-            SamplerKind::Neighbor,
-            ModelKind::Sage,
-            OGBN_PRODUCTS,
-            7.40,
-            0.48,
-        ),
-        (
-            "SPR",
-            Library::Dgl,
-            SamplerKind::Neighbor,
-            ModelKind::Sage,
-            OGBN_PAPERS100M,
-            41.48,
-            0.61,
-        ),
-        (
-            "SPR",
-            Library::Dgl,
-            SamplerKind::Shadow,
-            ModelKind::Gcn,
-            FLICKR,
-            1.28,
-            0.73,
-        ),
-        (
-            "SPR",
-            Library::Dgl,
-            SamplerKind::Shadow,
-            ModelKind::Gcn,
-            REDDIT,
-            32.12,
-            0.23,
-        ),
-        (
-            "SPR",
-            Library::Dgl,
-            SamplerKind::Shadow,
-            ModelKind::Gcn,
-            OGBN_PRODUCTS,
-            11.42,
-            0.23,
-        ),
-        (
-            "SPR",
-            Library::Dgl,
-            SamplerKind::Shadow,
-            ModelKind::Gcn,
-            OGBN_PAPERS100M,
-            54.56,
-            0.49,
-        ),
-        (
-            "IL ",
-            Library::Pyg,
-            SamplerKind::Neighbor,
-            ModelKind::Sage,
-            FLICKR,
-            5.46,
-            1.00,
-        ),
-        (
-            "IL ",
-            Library::Pyg,
-            SamplerKind::Neighbor,
-            ModelKind::Sage,
-            REDDIT,
-            41.83,
-            0.78,
-        ),
-        (
-            "IL ",
-            Library::Pyg,
-            SamplerKind::Neighbor,
-            ModelKind::Sage,
-            OGBN_PRODUCTS,
-            161.4,
-            0.87,
-        ),
-        (
-            "IL ",
-            Library::Pyg,
-            SamplerKind::Neighbor,
-            ModelKind::Sage,
-            OGBN_PAPERS100M,
-            321.8,
-            0.82,
-        ),
-        (
-            "IL ",
-            Library::Pyg,
-            SamplerKind::Shadow,
-            ModelKind::Gcn,
-            FLICKR,
-            9.48,
-            0.33,
-        ),
-        (
-            "IL ",
-            Library::Pyg,
-            SamplerKind::Shadow,
-            ModelKind::Gcn,
-            REDDIT,
-            40.75,
-            0.23,
-        ),
-        (
-            "IL ",
-            Library::Pyg,
-            SamplerKind::Shadow,
-            ModelKind::Gcn,
-            OGBN_PRODUCTS,
-            71.94,
-            0.19,
-        ),
-        (
-            "IL ",
-            Library::Pyg,
-            SamplerKind::Shadow,
-            ModelKind::Gcn,
-            OGBN_PAPERS100M,
-            315.5,
-            0.94,
-        ),
-        (
-            "SPR",
-            Library::Pyg,
-            SamplerKind::Neighbor,
-            ModelKind::Sage,
-            FLICKR,
-            5.67,
-            0.92,
-        ),
-        (
-            "SPR",
-            Library::Pyg,
-            SamplerKind::Neighbor,
-            ModelKind::Sage,
-            REDDIT,
-            47.36,
-            0.87,
-        ),
-        (
-            "SPR",
-            Library::Pyg,
-            SamplerKind::Neighbor,
-            ModelKind::Sage,
-            OGBN_PRODUCTS,
-            117.9,
-            0.76,
-        ),
-        (
-            "SPR",
-            Library::Pyg,
-            SamplerKind::Neighbor,
-            ModelKind::Sage,
-            OGBN_PAPERS100M,
-            256.4,
-            0.87,
-        ),
-        (
-            "SPR",
-            Library::Pyg,
-            SamplerKind::Shadow,
-            ModelKind::Gcn,
-            FLICKR,
-            8.49,
-            0.30,
-        ),
-        (
-            "SPR",
-            Library::Pyg,
-            SamplerKind::Shadow,
-            ModelKind::Gcn,
-            REDDIT,
-            36.41,
-            0.21,
-        ),
-        (
-            "SPR",
-            Library::Pyg,
-            SamplerKind::Shadow,
-            ModelKind::Gcn,
-            OGBN_PRODUCTS,
-            64.52,
-            0.20,
-        ),
-        (
-            "SPR",
-            Library::Pyg,
-            SamplerKind::Shadow,
-            ModelKind::Gcn,
-            OGBN_PAPERS100M,
-            191.2,
-            0.81,
-        ),
-    ];
     println!(
-        "{:<4} {:<4} {:<9} {:<5} {:<16} {:>9} {:>9} {:>6} | {:>7} {:>7} {:>6} | best-config",
-        "plat",
-        "lib",
-        "sampler",
-        "model",
-        "dataset",
-        "paper(s)",
-        "model(s)",
-        "ratio",
-        "pap d×",
-        "mod d×",
-        ""
+        "{:<26} {:<34} {:>9} {:>9} {:>6} | {:>7} {:>7} | best",
+        "platform", "task", "paper(s)", "model(s)", "ratio", "pap d\u{d7}", "mod d\u{d7}"
     );
-    for (plat, lib, sampler, model, dataset, paper, paper_dx) in rows {
-        let platform = if plat == "IL " {
-            ICE_LAKE_8380H
-        } else {
-            SAPPHIRE_RAPIDS_6430L
-        };
-        let m = PerfModel::new(Setup {
-            platform,
-            library: lib,
-            sampler,
-            model,
-            dataset,
-        });
-        let (best, t) = m.argo_best_epoch_time(platform.total_cores);
+    for row in table4_dgl().into_iter().chain(table5_pyg()) {
+        let m = PerfModel::new(row.setup());
+        let (best, t) = m.argo_best_epoch_time(row.platform.total_cores);
         let def = m.epoch_time(m.default_config());
+        let paper = row
+            .exhaustive_s
+            .map_or_else(|| "      --".into(), |s| format!("{s:>8.2}"));
+        let ratio = row
+            .exhaustive_s
+            .map_or_else(|| "    --".into(), |s| format!("{:>6.2}", t / s));
         println!(
-            "{:<4} {:<4} {:<9} {:<5} {:<16} {:>9.2} {:>9.2} {:>6.2} | {:>7.2} {:>7.2} {:>6} | {}",
-            plat,
-            lib.name(),
-            sampler.name(),
-            model.name(),
-            dataset.name,
-            paper,
-            t,
-            t / paper,
-            paper_dx,
-            t / def,
-            "",
-            best
+            "{:<26} {:<34} {paper:>9} {t:>9.2} {ratio:>6} | {:>7.2} {:>7.2} | {best}",
+            row.platform.name,
+            m.setup().label(),
+            row.default_x,
+            def / t,
         );
     }
+
     // Figure 1/8 baseline scaling (DGL Neighbor-SAGE products, Ice Lake).
-    let m = PerfModel::new(Setup {
-        platform: ICE_LAKE_8380H,
-        library: Library::Dgl,
-        sampler: SamplerKind::Neighbor,
-        model: ModelKind::Sage,
-        dataset: OGBN_PRODUCTS,
-    });
+    let m = PerfModel::builder()
+        .with_library(Library::Dgl)
+        .with_sampler(SamplerKind::Neighbor)
+        .with_model(ModelKind::Sage)
+        .with_dataset(OGBN_PRODUCTS)
+        .build();
     println!("\nbaseline scaling (normalized to 4 cores): cores -> speedup (paper: flat after 16)");
     let t4 = m.baseline_epoch_time(4);
     for cores in [4usize, 8, 16, 32, 64, 112] {
@@ -362,6 +50,22 @@ fn main() {
             t4 / m.baseline_epoch_time(cores),
             t4 / ta,
             bc
+        );
+    }
+
+    // Serving terms: per-request latency vs micro-batch size on a 16-core
+    // slice, with and without the feature cache (see DESIGN.md §12).
+    let m = PerfModel::builder().build(); // Neighbor-SAGE / Flickr / DGL
+    let plain = Config::new(1, 4, 12);
+    let cached = plain.with_cache_rows(m.setup().dataset.num_nodes);
+    println!("\nserving (16-core slice): batch -> predicted ms/request, bottleneck");
+    for batch in [1usize, 4, 8, 32] {
+        println!(
+            "  batch {batch:>3}: plain {:>7.3} ms ({:<7}) cached {:>7.3} ms ({})",
+            m.predicted_request_seconds(plain, batch) / batch as f64 * 1e3,
+            m.predicted_serve_bottleneck(plain, batch),
+            m.predicted_request_seconds(cached, batch) / batch as f64 * 1e3,
+            m.predicted_serve_bottleneck(cached, batch),
         );
     }
 }

@@ -150,6 +150,39 @@ impl BytesRecord {
     }
 }
 
+/// Per-request serving record carried by [`RunEvent::ServeRequest`]: one
+/// line per answered query so tail latency can be recomputed offline from
+/// the JSONL alone.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeRequestRecord {
+    /// Session-unique request id (admission order).
+    pub request: u64,
+    /// Micro-batch id the request executed in.
+    pub batch: u64,
+    /// Number of seed nodes in the query.
+    pub seeds: u64,
+    /// Seconds spent queued between admission and micro-batch flush.
+    pub queue_seconds: f64,
+    /// End-to-end seconds from admission to response.
+    pub latency_seconds: f64,
+    /// Whether the response came from the layered result cache.
+    pub cache_hit: bool,
+}
+
+/// Per-micro-batch serving record carried by [`RunEvent::ServeBatch`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeBatchRecord {
+    /// Session-unique micro-batch id.
+    pub batch: u64,
+    /// Requests flushed together in this micro-batch.
+    pub requests: u64,
+    /// Why the batcher flushed: `"full"` (hit `max_batch`) or
+    /// `"deadline"` (oldest admit aged past `deadline_us`).
+    pub flush: String,
+    /// Seconds spent executing the batch (sample + gather + forward).
+    pub exec_seconds: f64,
+}
+
 /// A structured event in a training run.
 #[derive(Clone, Debug, PartialEq)]
 pub enum RunEvent {
@@ -198,6 +231,10 @@ pub enum RunEvent {
         predicted: String,
         measured: String,
     },
+    /// One serving request completed (online inference path).
+    ServeRequest { record: ServeRequestRecord },
+    /// One serving micro-batch flushed and executed.
+    ServeBatch { record: ServeBatchRecord },
 }
 
 fn config_json(c: Config) -> Json {
@@ -241,6 +278,8 @@ impl RunEvent {
             RunEvent::CriticalPath { .. } => "critical_path",
             RunEvent::BytesSummary { .. } => "bytes_summary",
             RunEvent::BottleneckCheck { .. } => "bottleneck_check",
+            RunEvent::ServeRequest { .. } => "serve_request",
+            RunEvent::ServeBatch { .. } => "serve_batch",
         }
     }
 
@@ -346,6 +385,20 @@ impl RunEvent {
                 fields.push(("config", config_json(*config)));
                 fields.push(("predicted", Json::str(predicted)));
                 fields.push(("measured", Json::str(measured)));
+            }
+            RunEvent::ServeRequest { record } => {
+                fields.push(("request", Json::Num(record.request as f64)));
+                fields.push(("batch", Json::Num(record.batch as f64)));
+                fields.push(("seeds", Json::Num(record.seeds as f64)));
+                fields.push(("queue_seconds", Json::Num(record.queue_seconds)));
+                fields.push(("latency_seconds", Json::Num(record.latency_seconds)));
+                fields.push(("cache_hit", Json::Bool(record.cache_hit)));
+            }
+            RunEvent::ServeBatch { record } => {
+                fields.push(("batch", Json::Num(record.batch as f64)));
+                fields.push(("requests", Json::Num(record.requests as f64)));
+                fields.push(("flush", Json::str(&record.flush)));
+                fields.push(("exec_seconds", Json::Num(record.exec_seconds)));
             }
         }
         Json::obj(fields)
@@ -483,6 +536,31 @@ impl RunEvent {
                     .and_then(Json::as_str)
                     .ok_or("missing 'measured'")?
                     .to_string(),
+            },
+            "serve_request" => RunEvent::ServeRequest {
+                record: ServeRequestRecord {
+                    request: num(v, "request")? as u64,
+                    batch: num(v, "batch")? as u64,
+                    seeds: num(v, "seeds")? as u64,
+                    queue_seconds: num(v, "queue_seconds")?,
+                    latency_seconds: num(v, "latency_seconds")?,
+                    cache_hit: match v.get("cache_hit") {
+                        Some(Json::Bool(b)) => *b,
+                        _ => return Err("missing 'cache_hit'".to_string()),
+                    },
+                },
+            },
+            "serve_batch" => RunEvent::ServeBatch {
+                record: ServeBatchRecord {
+                    batch: num(v, "batch")? as u64,
+                    requests: num(v, "requests")? as u64,
+                    flush: v
+                        .get("flush")
+                        .and_then(Json::as_str)
+                        .ok_or("missing 'flush'")?
+                        .to_string(),
+                    exec_seconds: num(v, "exec_seconds")?,
+                },
             },
             other => return Err(format!("unknown event kind '{other}'")),
         };
@@ -824,6 +902,67 @@ mod tests {
         assert_eq!(parsed[0].0.kind(), "critical_path");
         assert_eq!(parsed[1].0.kind(), "bytes_summary");
         assert_eq!(parsed[2].0.kind(), "bottleneck_check");
+    }
+
+    #[test]
+    fn serve_events_roundtrip() {
+        let logger = RunLogger::new();
+        logger.log(RunEvent::ServeBatch {
+            record: ServeBatchRecord {
+                batch: 7,
+                requests: 3,
+                flush: "deadline".to_string(),
+                exec_seconds: 0.004,
+            },
+        });
+        logger.log(RunEvent::ServeRequest {
+            record: ServeRequestRecord {
+                request: 21,
+                batch: 7,
+                seeds: 4,
+                queue_seconds: 0.001,
+                latency_seconds: 0.005,
+                cache_hit: true,
+            },
+        });
+        let parsed = RunLogger::parse_jsonl(&logger.to_jsonl()).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].0.kind(), "serve_batch");
+        assert_eq!(parsed[1].0.kind(), "serve_request");
+        match &parsed[0].0 {
+            RunEvent::ServeBatch { record } => {
+                assert_eq!(record.batch, 7);
+                assert_eq!(record.requests, 3);
+                assert_eq!(record.flush, "deadline");
+                assert!((record.exec_seconds - 0.004).abs() < 1e-12);
+            }
+            other => panic!("wrong event: {other:?}"),
+        }
+        match &parsed[1].0 {
+            RunEvent::ServeRequest { record } => {
+                assert_eq!(record.request, 21);
+                assert_eq!(record.batch, 7);
+                assert_eq!(record.seeds, 4);
+                assert!(record.cache_hit);
+                assert!((record.latency_seconds - 0.005).abs() < 1e-12);
+            }
+            other => panic!("wrong event: {other:?}"),
+        }
+        // A request served uncached keeps `cache_hit: false` on the wire.
+        let miss = RunEvent::ServeRequest {
+            record: ServeRequestRecord {
+                request: 22,
+                batch: 8,
+                seeds: 1,
+                queue_seconds: 0.0,
+                latency_seconds: 0.002,
+                cache_hit: false,
+            },
+        };
+        let line = miss.to_json(0.5, Source::Measured).encode();
+        assert!(line.contains("\"cache_hit\":false"));
+        let (back, _, _) = RunEvent::from_json(&Json::parse(&line).unwrap()).unwrap();
+        assert_eq!(back, miss);
     }
 
     #[test]

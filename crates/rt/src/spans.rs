@@ -50,6 +50,10 @@ pub enum SpanKind {
     Compute,
     /// Gradient synchronization across processes.
     Sync,
+    /// Serving: a request queued in the deadline micro-batcher.
+    ServeQueue,
+    /// Serving: a micro-batch executing (sample + gather + forward).
+    ServeExec,
 }
 
 impl SpanKind {
@@ -64,6 +68,8 @@ impl SpanKind {
             SpanKind::DequeueWait => "heap_wait",
             SpanKind::Compute => "compute",
             SpanKind::Sync => "sync",
+            SpanKind::ServeQueue => "serve_queue",
+            SpanKind::ServeExec => "serve_exec",
         }
     }
 
@@ -76,6 +82,8 @@ impl SpanKind {
             SpanKind::DequeueWait => 4,
             SpanKind::Compute => 5,
             SpanKind::Sync => 6,
+            SpanKind::ServeQueue => 7,
+            SpanKind::ServeExec => 8,
         }
     }
 
@@ -87,6 +95,8 @@ impl SpanKind {
             3 => SpanKind::EnqueueWait,
             4 => SpanKind::DequeueWait,
             5 => SpanKind::Compute,
+            7 => SpanKind::ServeQueue,
+            8 => SpanKind::ServeExec,
             _ => SpanKind::Sync,
         }
     }
@@ -421,7 +431,9 @@ pub fn critical_path(records: &[SpanRecord], horizon: f64) -> Vec<(&'static str,
             (Role::Producer, SpanKind::Gather) => &mut prod_gather,
             (Role::Producer, SpanKind::Cache) => &mut prod_cache,
             (Role::Producer, SpanKind::EnqueueWait) => &mut prod_enqueue,
-            // Kinds on the "wrong" side carry no attribution signal.
+            // Kinds on the "wrong" side carry no attribution signal; the
+            // `Serve*` kinds belong to the request path, whose attribution
+            // is per-request latency histograms, not the epoch timeline.
             _ => continue,
         };
         for b in map.iter_mut().take(hi).skip(lo) {
@@ -553,6 +565,23 @@ mod tests {
             assert_eq!(SpanKind::from_code(kind.code()), kind);
             assert!(CRITICAL_PATH_STAGES.contains(&kind.label()));
         }
+        // Serving kinds round-trip too but live outside the epoch
+        // critical-path taxonomy.
+        for kind in [SpanKind::ServeQueue, SpanKind::ServeExec] {
+            assert_eq!(SpanKind::from_code(kind.code()), kind);
+            assert!(!CRITICAL_PATH_STAGES.contains(&kind.label()));
+        }
+    }
+
+    #[test]
+    fn serve_spans_do_not_perturb_critical_path() {
+        let records = vec![
+            rec(Role::Consumer, SpanKind::Compute, 0.0, 1.0),
+            rec(Role::Consumer, SpanKind::ServeExec, 0.0, 1.0),
+            rec(Role::Producer, SpanKind::ServeQueue, 0.0, 1.0),
+        ];
+        let cp = critical_path(&records, 1.0);
+        assert_eq!(cp[0], ("compute", 1.0));
     }
 
     fn rec(role: Role, kind: SpanKind, start: f64, end: f64) -> SpanRecord {

@@ -136,6 +136,18 @@ pub mod names {
     pub const SPANS_RECORDED_TOTAL: &str = "prof_spans_total";
     /// Counter of profiler spans lost to full rings.
     pub const SPANS_DROPPED_TOTAL: &str = "prof_spans_dropped_total";
+    /// Counter of serving requests completed.
+    pub const SERVE_REQUESTS_TOTAL: &str = "serve_requests_total";
+    /// Counter of serving micro-batches executed.
+    pub const SERVE_BATCHES_TOTAL: &str = "serve_batches_total";
+    /// Histogram of end-to-end request latency seconds (queue + execute).
+    pub const SERVE_REQUEST_SECONDS: &str = "serve_request_seconds";
+    /// Counter of serving responses answered from the result cache.
+    pub const SERVE_RESULT_HITS_TOTAL: &str = "serve_result_hits_total";
+    /// Counter of serving responses that required sampling + a forward pass.
+    pub const SERVE_RESULT_MISSES_TOTAL: &str = "serve_result_misses_total";
+    /// Gauge: result-cache hit rate over the session so far.
+    pub const SERVE_RESULT_HIT_RATE: &str = "serve_result_hit_rate";
 }
 
 #[cfg(test)]

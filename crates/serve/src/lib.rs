@@ -1,0 +1,42 @@
+//! # argo-serve — online GNN inference serving
+//!
+//! ARGO's training runtime (the paper's contribution) tunes core allocation
+//! offline, once per training run. Serving flips the problem online: queries
+//! for "embed/classify these seed nodes" arrive continuously, and the
+//! latency target is a *tail* (p99), not epoch throughput. This crate
+//! reuses the training substrate — the zero-allocation samplers, the CLOCK
+//! feature cache, the blocked forward kernels — behind a request loop built
+//! from three pieces:
+//!
+//! * [`MicroBatcher`] — deadline-driven admission: requests queue until
+//!   either `max_batch` are pending or the oldest has aged `deadline_us`,
+//!   bounding both batch occupancy and worst-case queueing delay. All
+//!   decisions are pure functions of [`Clock`] readings, so admission edges
+//!   are deterministic and unit-testable via [`ManualClock`].
+//! * [`ResultCache`] — a layered response cache keyed by
+//!   `(seed list, config epoch)`. The counter-based sampler makes every
+//!   response a pure function of that key, so a cached response is
+//!   *bitwise identical* to re-executing the query (property-tested).
+//! * [`ServeSession`] — ties them together: validates and admits queries,
+//!   executes flushed micro-batches over the shared sampler/cache/model
+//!   stack, and reports per-request telemetry (`serve_request` /
+//!   `serve_batch` events, request-latency histograms, `serve_queue` /
+//!   `serve_exec` spans) through the same `Option<&Telemetry>` surface as
+//!   every other ARGO entry point.
+//!
+//! Sessions are built with [`ServeSpec::builder`] (or
+//! [`ServeSpec::from_engine`] to serve a training checkpoint in place), the
+//! same builder shape as the pipelined loader's `LoaderSpec`. The `argo-tune`
+//! crate pairs this with a `ServeObjective` that retargets the paper's
+//! auto-tuner from epoch time to p99 latency under an open-loop arrival
+//! model.
+
+pub mod batcher;
+pub mod clock;
+pub mod result_cache;
+pub mod session;
+
+pub use batcher::{Admitted, FlushReason, MicroBatch, MicroBatcher};
+pub use clock::{Clock, ManualClock, WallClock};
+pub use result_cache::{ResultCache, ResultCacheStats};
+pub use session::{ServeResponse, ServeSession, ServeSpec, ServeSpecBuilder, Submitted};

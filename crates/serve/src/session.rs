@@ -1,0 +1,556 @@
+//! The serving session: admission → micro-batch → execute → respond.
+//!
+//! [`ServeSession`] is the online counterpart of the training engine. A
+//! caller submits "embed/classify these seed nodes" queries; the session
+//! queues them in the deadline [`MicroBatcher`](crate::batcher::MicroBatcher),
+//! and executes each flushed micro-batch over the same zero-allocation
+//! sampler, feature cache and forward kernels the training path uses.
+//!
+//! Requests inside a micro-batch execute *individually*, on purpose: the
+//! counter-based sampler keys a row's RNG stream off its position in the
+//! seed list, so merging queries into one combined seed list would change
+//! what every request samples. Keeping each request a pure function of
+//! `(its own seed list, config epoch)` is what makes the layered
+//! [`ResultCache`](crate::result_cache::ResultCache) sound — a cached
+//! response is bitwise identical to re-executing the query. The micro-batch
+//! instead amortizes everything around the math: one clock read, one
+//! scratch arena, one telemetry flush, one warm thread pool.
+//!
+//! All timing flows through the [`Clock`](crate::clock::Clock) abstraction;
+//! this file never reads the wall clock directly, so every admission and
+//! deadline decision is deterministic under [`ManualClock`](crate::clock::ManualClock).
+
+use std::sync::Arc;
+
+use argo_core::Error;
+use argo_engine::Engine;
+use argo_graph::{Dataset, NodeId};
+use argo_nn::AnyModel;
+use argo_rt::telemetry::names;
+use argo_rt::{
+    Config, Role, RunEvent, SeedSequence, ServeBatchRecord, ServeRequestRecord, SpanDrain,
+    SpanKind, SpanProfiler, Telemetry, ThreadPool, WorkerRing,
+};
+use argo_sample::{CacheStats, FeatureCache, Normalization, SampleRun, Sampler, SamplerScratch};
+use argo_tensor::Matrix;
+
+use crate::batcher::{Admitted, FlushReason, MicroBatch, MicroBatcher};
+use crate::clock::{Clock, WallClock};
+use crate::result_cache::{key_hash, ResultCache, ResultCacheStats};
+
+const US_PER_SEC: f64 = 1e6;
+
+/// One finished query.
+#[derive(Clone, Debug)]
+pub struct ServeResponse {
+    /// Request id assigned at admission.
+    pub request: u64,
+    /// Micro-batch the request executed in.
+    pub batch: u64,
+    /// Logits over the request's seed nodes (`seeds.len() x num_classes`).
+    /// Shared with the result cache, hence the `Arc`.
+    pub logits: Arc<Matrix>,
+    /// Seconds spent queued in the micro-batcher.
+    pub queue_seconds: f64,
+    /// End-to-end seconds from admission to completion.
+    pub latency_seconds: f64,
+    /// Whether the response came from the result cache.
+    pub cache_hit: bool,
+}
+
+/// What one [`ServeSession::submit`] produced: the admitted request's id,
+/// plus any responses completed by a flush this admission triggered.
+#[derive(Debug, Default)]
+pub struct Submitted {
+    /// Id of the request just admitted.
+    pub request: u64,
+    /// Responses (or per-request failures) from an immediate flush; empty
+    /// when the request merely queued.
+    pub completed: Vec<Result<ServeResponse, Error>>,
+}
+
+/// Everything a [`ServeSession`] needs, assembled via
+/// [`ServeSpec::builder`] (mirroring `LoaderSpec::builder`).
+pub struct ServeSpec {
+    dataset: Arc<Dataset>,
+    sampler: Arc<dyn Sampler>,
+    model: AnyModel,
+    max_batch: usize,
+    deadline_us: u64,
+    queue_cap: usize,
+    feature_cache_rows: usize,
+    result_cache_entries: usize,
+    normalization: Normalization,
+    seed: u64,
+    cores: usize,
+    shed_after_us: Option<u64>,
+    clock: Arc<dyn Clock>,
+}
+
+impl ServeSpec {
+    /// Starts a builder over the given dataset, sampler and model (the
+    /// model carries whatever parameters it was built with — pass
+    /// `Engine::model()` to serve the current training checkpoint).
+    pub fn builder(
+        dataset: Arc<Dataset>,
+        sampler: Arc<dyn Sampler>,
+        model: AnyModel,
+    ) -> ServeSpecBuilder {
+        ServeSpecBuilder {
+            spec: ServeSpec {
+                dataset,
+                sampler,
+                model,
+                max_batch: 8,
+                deadline_us: 1_000,
+                queue_cap: 1_024,
+                feature_cache_rows: 0,
+                result_cache_entries: 0,
+                normalization: Normalization::None,
+                seed: 0,
+                cores: 0,
+                shed_after_us: None,
+                clock: Arc::new(WallClock::new()),
+            },
+        }
+    }
+
+    /// A builder pre-wired to a training session: shares its dataset and
+    /// sampler, snapshots its current model parameters, and inherits its
+    /// seed and the architecture's adjacency normalization so serving
+    /// batches match what the model was trained on.
+    pub fn from_engine(engine: &Engine) -> ServeSpecBuilder {
+        let opts = engine.options();
+        let seed = opts.seed;
+        let norm = opts.kind.normalization();
+        ServeSpec::builder(
+            Arc::clone(engine.dataset()),
+            Arc::clone(engine.sampler()),
+            engine.model(),
+        )
+        .seed(seed)
+        .normalization(norm)
+    }
+}
+
+/// Builder for [`ServeSpec`] — bare field methods plus `build`/`start`,
+/// the same shape as `LoaderSpecBuilder`.
+pub struct ServeSpecBuilder {
+    spec: ServeSpec,
+}
+
+impl ServeSpecBuilder {
+    /// Flush a micro-batch once this many requests are pending (default 8).
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.spec.max_batch = max_batch;
+        self
+    }
+
+    /// Flush once the oldest pending request is this old, in microseconds
+    /// (default 1000; 0 = flush every admit immediately).
+    pub fn deadline_us(mut self, deadline_us: u64) -> Self {
+        self.spec.deadline_us = deadline_us;
+        self
+    }
+
+    /// Reject admissions beyond this many pending requests (default 1024).
+    pub fn queue_cap(mut self, queue_cap: usize) -> Self {
+        self.spec.queue_cap = queue_cap;
+        self
+    }
+
+    /// Rows of the feature cache fronting the gather stage (default 0 =
+    /// gather straight from DRAM).
+    pub fn feature_cache_rows(mut self, rows: usize) -> Self {
+        self.spec.feature_cache_rows = rows;
+        self
+    }
+
+    /// Entries of the layered result cache (default 0 = off). Repeated
+    /// identical queries under the same config epoch are answered without
+    /// sampling or compute.
+    pub fn result_cache_entries(mut self, entries: usize) -> Self {
+        self.spec.result_cache_entries = entries;
+        self
+    }
+
+    /// Adjacency normalization fused into sampled batches (default `None`).
+    pub fn normalization(mut self, normalization: Normalization) -> Self {
+        self.spec.normalization = normalization;
+        self
+    }
+
+    /// Root seed of the per-request RNG streams (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.spec.seed = seed;
+        self
+    }
+
+    /// Worker threads for within-request parallel sampling and compute
+    /// (default 0 = serial; batch content is identical either way).
+    pub fn cores(mut self, cores: usize) -> Self {
+        self.spec.cores = cores;
+        self
+    }
+
+    /// Shed requests that queued longer than this many microseconds: they
+    /// fail with [`Error::DeadlineExceeded`] instead of executing (default:
+    /// never shed).
+    pub fn shed_after_us(mut self, shed_after_us: u64) -> Self {
+        self.spec.shed_after_us = Some(shed_after_us);
+        self
+    }
+
+    /// Clock driving admission and latency accounting (default
+    /// [`WallClock`]; tests inject [`crate::clock::ManualClock`]).
+    pub fn clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.spec.clock = clock;
+        self
+    }
+
+    /// Finalizes the spec.
+    pub fn build(self) -> ServeSpec {
+        self.spec
+    }
+
+    /// Builds the spec and starts a session.
+    pub fn start(self) -> ServeSession {
+        ServeSession::start(self.build())
+    }
+}
+
+/// An online inference session. Single-driver: one caller thread submits,
+/// polls and drains (concurrency lives inside the pool, as in training).
+pub struct ServeSession {
+    dataset: Arc<Dataset>,
+    sampler: Arc<dyn Sampler>,
+    model: AnyModel,
+    normalization: Normalization,
+    seed: u64,
+    shed_after_us: Option<u64>,
+    clock: Arc<dyn Clock>,
+    batcher: MicroBatcher,
+    pool: Option<ThreadPool>,
+    scratch: SamplerScratch,
+    feature_cache: Option<FeatureCache>,
+    result_cache: Option<ResultCache>,
+    profiler: SpanProfiler,
+    ring: Arc<WorkerRing>,
+    /// Bumped by [`ServeSession::apply_config`]; part of every result-cache
+    /// key and RNG stream root, so a reconfiguration atomically invalidates
+    /// all cached responses.
+    config_epoch: u64,
+}
+
+impl ServeSession {
+    /// Starts a session from a finalized spec.
+    pub fn start(spec: ServeSpec) -> Self {
+        let ServeSpec {
+            dataset,
+            sampler,
+            model,
+            max_batch,
+            deadline_us,
+            queue_cap,
+            feature_cache_rows,
+            result_cache_entries,
+            normalization,
+            seed,
+            cores,
+            shed_after_us,
+            clock,
+        } = spec;
+        let pool = if cores > 1 {
+            Some(ThreadPool::new("serve", cores))
+        } else {
+            None
+        };
+        let feature_cache = if feature_cache_rows > 0 {
+            Some(FeatureCache::new(feature_cache_rows, dataset.feat_dim()))
+        } else {
+            None
+        };
+        let result_cache = if result_cache_entries > 0 {
+            Some(ResultCache::new(result_cache_entries))
+        } else {
+            None
+        };
+        let profiler = SpanProfiler::new();
+        let ring = profiler.ring(Role::Consumer);
+        Self {
+            dataset,
+            sampler,
+            model,
+            normalization,
+            seed,
+            shed_after_us,
+            clock,
+            batcher: MicroBatcher::new(max_batch, deadline_us, queue_cap),
+            pool,
+            scratch: SamplerScratch::new(),
+            feature_cache,
+            result_cache,
+            profiler,
+            ring,
+            config_epoch: 0,
+        }
+    }
+
+    /// Submits one query. Validates the seeds, admits the request, and — if
+    /// the admission filled the batch or the deadline is zero — executes the
+    /// flushed micro-batch inline, returning its responses in
+    /// [`Submitted::completed`].
+    ///
+    /// Outer errors reject the *admission*: [`Error::InvalidArgument`] for
+    /// an empty seed list, [`Error::UnknownSeedNode`] for out-of-graph ids,
+    /// [`Error::QueueFull`] at capacity. Per-request failures of an
+    /// executed batch (e.g. [`Error::DeadlineExceeded`] sheds) come back
+    /// inside `completed`.
+    pub fn submit(
+        &mut self,
+        seeds: Vec<NodeId>,
+        telemetry: Option<&Telemetry>,
+    ) -> Result<Submitted, Error> {
+        if seeds.is_empty() {
+            return Err(Error::InvalidArgument(
+                "serve query needs at least one seed node".to_string(),
+            ));
+        }
+        let num_nodes = self.dataset.graph.num_nodes() as u64;
+        for &s in &seeds {
+            if u64::from(s) >= num_nodes {
+                return Err(Error::UnknownSeedNode(format!(
+                    "node {s} out of range (graph has {num_nodes} nodes)"
+                )));
+            }
+        }
+        let now = self.clock.now_us();
+        let (request, flushed) = self.batcher.admit(seeds, now)?;
+        let completed = match flushed {
+            Some(batch) => self.execute_batch(batch, telemetry),
+            None => Vec::new(),
+        };
+        Ok(Submitted { request, completed })
+    }
+
+    /// Executes a micro-batch if the oldest pending request's deadline has
+    /// passed. Call at (or after) [`ServeSession::next_deadline_us`].
+    pub fn poll(&mut self, telemetry: Option<&Telemetry>) -> Vec<Result<ServeResponse, Error>> {
+        let now = self.clock.now_us();
+        match self.batcher.poll(now) {
+            Some(batch) => self.execute_batch(batch, telemetry),
+            None => Vec::new(),
+        }
+    }
+
+    /// Flushes and executes everything still pending (session shutdown).
+    pub fn drain(&mut self, telemetry: Option<&Telemetry>) -> Vec<Result<ServeResponse, Error>> {
+        let mut out = Vec::new();
+        loop {
+            let now = self.clock.now_us();
+            match self.batcher.flush(now, FlushReason::Drain) {
+                Some(batch) => out.extend(self.execute_batch(batch, telemetry)),
+                None => return out,
+            }
+        }
+    }
+
+    /// Adopts a tuner-chosen configuration: `n_samp` resizes the worker
+    /// pool, `cache_rows` resizes the feature cache, and the config epoch
+    /// is bumped — which invalidates every cached response, since results
+    /// are only reusable under the configuration that produced them.
+    pub fn apply_config(&mut self, config: Config) {
+        let cores = config.n_samp;
+        let pool_size = self.pool.as_ref().map_or(0, ThreadPool::size);
+        if cores != pool_size {
+            self.pool = if cores > 1 {
+                Some(ThreadPool::new("serve", cores))
+            } else {
+                None
+            };
+        }
+        let cache_rows = self
+            .feature_cache
+            .as_ref()
+            .map_or(0, FeatureCache::capacity_rows);
+        if config.cache_rows != cache_rows {
+            self.feature_cache = if config.cache_rows > 0 {
+                Some(FeatureCache::new(
+                    config.cache_rows,
+                    self.dataset.feat_dim(),
+                ))
+            } else {
+                None
+            };
+        }
+        self.config_epoch += 1;
+    }
+
+    /// The current configuration epoch (bumps on every
+    /// [`ServeSession::apply_config`]).
+    pub fn config_epoch(&self) -> u64 {
+        self.config_epoch
+    }
+
+    /// Requests currently queued.
+    pub fn pending(&self) -> usize {
+        self.batcher.pending()
+    }
+
+    /// Clock reading at which the oldest pending request must flush.
+    pub fn next_deadline_us(&self) -> Option<u64> {
+        self.batcher.next_deadline_us()
+    }
+
+    /// Result-cache counters, when the cache is enabled.
+    pub fn result_cache_stats(&self) -> Option<ResultCacheStats> {
+        self.result_cache.as_ref().map(ResultCache::stats)
+    }
+
+    /// Feature-cache counters, when the cache is enabled.
+    pub fn feature_cache_stats(&self) -> Option<CacheStats> {
+        self.feature_cache.as_ref().map(FeatureCache::stats)
+    }
+
+    /// Collects the `serve_queue`/`serve_exec` spans recorded so far (for
+    /// `argo report` and tests).
+    pub fn drain_spans(&self) -> SpanDrain {
+        self.profiler.drain()
+    }
+
+    fn execute_batch(
+        &mut self,
+        batch: MicroBatch,
+        telemetry: Option<&Telemetry>,
+    ) -> Vec<Result<ServeResponse, Error>> {
+        let exec_start_us = batch.flushed_us;
+        let mut out = Vec::with_capacity(batch.requests.len());
+        for req in &batch.requests {
+            out.push(self.execute_request(req, batch.id, batch.flushed_us, telemetry));
+        }
+        let exec_end_us = self.clock.now_us().max(exec_start_us);
+        let exec_seconds = (exec_end_us - exec_start_us) as f64 / US_PER_SEC;
+        // Interval endpoints come from the serving clock, not ring.now():
+        // push() exists exactly for spans measured elsewhere.
+        self.ring.push(
+            SpanKind::ServeExec,
+            batch.id,
+            exec_start_us as f64 / US_PER_SEC,
+            exec_end_us as f64 / US_PER_SEC,
+        );
+        if let Some(t) = telemetry {
+            t.metrics.counter(names::SERVE_BATCHES_TOTAL).inc();
+            t.logger.log(RunEvent::ServeBatch {
+                record: ServeBatchRecord {
+                    batch: batch.id,
+                    requests: batch.requests.len() as u64,
+                    flush: batch.reason.label().to_string(),
+                    exec_seconds,
+                },
+            });
+        }
+        out
+    }
+
+    fn execute_request(
+        &mut self,
+        req: &Admitted,
+        batch_id: u64,
+        flushed_us: u64,
+        telemetry: Option<&Telemetry>,
+    ) -> Result<ServeResponse, Error> {
+        let queue_us = flushed_us.saturating_sub(req.admitted_us);
+        self.ring.push(
+            SpanKind::ServeQueue,
+            req.id,
+            req.admitted_us as f64 / US_PER_SEC,
+            flushed_us as f64 / US_PER_SEC,
+        );
+        if let Some(limit) = self.shed_after_us {
+            if queue_us > limit {
+                return Err(Error::DeadlineExceeded(format!(
+                    "request {} queued {queue_us}us (shed after {limit}us)",
+                    req.id
+                )));
+            }
+        }
+        let mut cache_hit = true;
+        let logits = match self
+            .result_cache
+            .as_mut()
+            .and_then(|c| c.get(&req.seeds, self.config_epoch))
+        {
+            Some(cached) => cached,
+            None => {
+                cache_hit = false;
+                let computed = Arc::new(self.run_query(&req.seeds));
+                if let Some(c) = self.result_cache.as_mut() {
+                    c.insert(req.seeds.clone(), self.config_epoch, Arc::clone(&computed));
+                }
+                computed
+            }
+        };
+        let done_us = self.clock.now_us().max(flushed_us);
+        let queue_seconds = queue_us as f64 / US_PER_SEC;
+        let latency_seconds = done_us.saturating_sub(req.admitted_us) as f64 / US_PER_SEC;
+        if let Some(t) = telemetry {
+            t.metrics.counter(names::SERVE_REQUESTS_TOTAL).inc();
+            t.metrics
+                .time_histogram(names::SERVE_REQUEST_SECONDS)
+                .observe(latency_seconds);
+            if self.result_cache.is_some() {
+                if cache_hit {
+                    t.metrics.counter(names::SERVE_RESULT_HITS_TOTAL).inc();
+                } else {
+                    t.metrics.counter(names::SERVE_RESULT_MISSES_TOTAL).inc();
+                }
+            }
+            if let Some(stats) = self.result_cache_stats() {
+                t.metrics
+                    .gauge(names::SERVE_RESULT_HIT_RATE)
+                    .set(stats.hit_rate());
+            }
+            t.logger.log(RunEvent::ServeRequest {
+                record: ServeRequestRecord {
+                    request: req.id,
+                    batch: batch_id,
+                    seeds: req.seeds.len() as u64,
+                    queue_seconds,
+                    latency_seconds,
+                    cache_hit,
+                },
+            });
+        }
+        Ok(ServeResponse {
+            request: req.id,
+            batch: batch_id,
+            logits,
+            queue_seconds,
+            latency_seconds,
+            cache_hit,
+        })
+    }
+
+    /// Samples, gathers and runs the forward pass for one query. The RNG
+    /// stream root folds the session seed, config epoch and the seed list
+    /// itself, so the response is a pure function of the cache key — which
+    /// is exactly what makes cached responses bitwise-identical to
+    /// recomputed ones.
+    fn run_query(&mut self, seeds: &[NodeId]) -> Matrix {
+        let stream = SeedSequence::new(
+            key_hash(seeds, self.config_epoch) ^ self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        let run = SampleRun::new(stream, &mut self.scratch)
+            .with_norm(self.normalization)
+            .with_pool(self.pool.as_ref());
+        let batch = self.sampler.sample_with(&self.dataset.graph, seeds, run);
+        let ids = batch.input_nodes();
+        let rows = match self.feature_cache.as_ref() {
+            Some(cache) => cache.gather_rows(&self.dataset.features, ids),
+            None => self.dataset.features.gather(ids).data().to_vec(),
+        };
+        let input = Matrix::from_vec(ids.len(), self.dataset.features.dim(), rows);
+        self.model
+            .forward_gathered(&batch, input, self.pool.as_ref())
+    }
+}

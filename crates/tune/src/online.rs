@@ -83,20 +83,6 @@ impl<S: Searcher> OnlineAutoTuner<S> {
         }
     }
 
-    /// Deprecated alias for [`OnlineAutoTuner::run`] with `Some(telemetry)`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use run(total_epochs, objective, Some(&telemetry))"
-    )]
-    pub fn run_telemetry(
-        self,
-        total_epochs: usize,
-        objective: impl FnMut(Config) -> f64,
-        telemetry: &Telemetry,
-    ) -> TuningReport {
-        self.run(total_epochs, objective, Some(telemetry))
-    }
-
     fn run_impl(
         mut self,
         total_epochs: usize,
@@ -270,10 +256,9 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn run_without_telemetry_matches_run_telemetry() {
+    fn run_without_telemetry_matches_disabled_telemetry() {
         let a = tuner(5, 10).run(15, objective, None);
-        let b = tuner(5, 10).run_telemetry(15, objective, &Telemetry::disabled());
+        let b = tuner(5, 10).run(15, objective, Some(&Telemetry::disabled()));
         assert_eq!(a.config_opt, b.config_opt);
         assert_eq!(a.history, b.history);
         assert!((a.total_time - b.total_time).abs() < 1e-9);

@@ -56,6 +56,30 @@ impl SearchSpace {
         Self::from_configs(configs, cores)
     }
 
+    /// The single-process serving space: an inference session never shards
+    /// a query across training processes (the paper's `n_proc` axis exists
+    /// to stagger training mini-batches), so the serving knobs are the
+    /// in-process split — sampling cores `s ∈ {1..cores−1}`, compute cores
+    /// `t ∈ {1..cores−s}` — crossed with the feature-cache levels the same
+    /// way [`SearchSpace::with_cache_levels`] does.
+    pub fn for_serving(cores: usize, cache_levels: &[usize]) -> Self {
+        let mut levels: Vec<usize> = cache_levels.to_vec();
+        levels.sort_unstable();
+        levels.dedup();
+        if levels.is_empty() {
+            levels.push(0);
+        }
+        let mut configs = Vec::new();
+        for &rows in &levels {
+            for s in 1..cores {
+                for t in 1..=(cores - s) {
+                    configs.push(Config::new(1, s, t).with_cache_rows(rows));
+                }
+            }
+        }
+        Self::from_configs(configs, cores)
+    }
+
     fn from_configs(configs: Vec<Config>, cores: usize) -> Self {
         assert!(
             !configs.is_empty(),
@@ -165,6 +189,23 @@ mod tests {
             assert!(c.n_samp >= 1 && c.n_samp <= 4);
             assert_eq!(c.cache_rows, 0, "plain space keeps the cache off");
         }
+    }
+
+    #[test]
+    fn serving_space_is_single_process_and_crosses_cache_levels() {
+        let s = SearchSpace::for_serving(16, &[0, 1_000]);
+        // s ∈ {1..15}, t ∈ {1..16−s}: Σ (16−s) = 120 splits per cache level.
+        assert_eq!(s.len(), 240);
+        for &c in s.configs() {
+            assert_eq!(c.n_proc, 1);
+            assert!(c.n_samp >= 1 && c.n_samp + c.n_train <= 16);
+            assert!(c.cache_rows == 0 || c.cache_rows == 1_000);
+        }
+        assert!(s.contains(argo_rt::Config::new(1, 4, 12)));
+        assert!(s.contains(argo_rt::Config::new(1, 4, 12).with_cache_rows(1_000)));
+        // Duplicate/empty levels collapse like with_cache_levels.
+        assert_eq!(SearchSpace::for_serving(16, &[]).len(), 120);
+        assert_eq!(SearchSpace::for_serving(16, &[5, 5, 5]).len(), 120);
     }
 
     #[test]
