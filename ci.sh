@@ -19,6 +19,9 @@ cargo run -q -p argo-check --bin argo-lint
 echo "==> cargo test -q -p argo-check --features sanitize (lock-order sanitizer + mini-loom)"
 cargo test -q -p argo-check --features sanitize
 
+echo "==> cargo test -q -p argo-check --features race (happens-before race detector: seeded-bug corpus + zero-FP train/serve runs)"
+cargo test -q -p argo-check --features race
+
 echo "==> cargo build --release"
 cargo build --workspace --release
 

@@ -59,8 +59,10 @@ const RAW_KERNEL_CALLS: &[&str] = &[
 ];
 
 /// Crates whose non-test code must route matmul/SpMM through the dispatch
-/// policy rather than the raw kernels.
-const DISPATCH_ONLY_CRATES: &[&str] = &["crates/nn/", "crates/engine/"];
+/// policy rather than the raw kernels. `crates/serve/` joined in PR 8: the
+/// serving forward pass reuses the training model, so it must inherit the
+/// same serial-vs-pool routing rather than pinning kernels by hand.
+const DISPATCH_ONLY_CRATES: &[&str] = &["crates/nn/", "crates/engine/", "crates/serve/"];
 
 /// Sampler hot-path files that must stay on the scratch arena
 /// (`crates/sample/src/scratch.rs`): per-batch `HashMap`/`HashSet`
@@ -75,6 +77,12 @@ const SAMPLER_HOT_FILES: &[&str] = &[
     "crates/sample/src/saint.rs",
     "crates/sample/src/cluster.rs",
     "crates/sample/src/scratch.rs",
+    // The serving request path runs the same sampler per query: per-request
+    // hash containers or seed-vector clones would charge the allocation
+    // churn to every single query's latency. `result_cache.rs` (long-lived
+    // keyed map, like `cache.rs`) is deliberately out of scope.
+    "crates/serve/src/session.rs",
+    "crates/serve/src/batcher.rs",
 ];
 
 /// Allocation-churn constructs forbidden in [`SAMPLER_HOT_FILES`].
@@ -84,6 +92,15 @@ const SCRATCH_NEEDLES: &[&str] = &["HashMap", "HashSet", ".clone()"];
 /// Generous enough for a multi-line justification, tight enough that the
 /// comment stays adjacent to the block it justifies.
 const SAFETY_LOOKBACK: usize = 8;
+
+/// The raw-pointer window escape: a buffer's base address smuggled across a
+/// closure boundary as `usize` so workers can carve claimed-disjoint `&mut`
+/// windows out of it.
+const WINDOW_ESCAPE: &str = "as_mut_ptr() as usize";
+
+/// Shadow-memory annotations that make a window escape *checked* rather
+/// than merely claimed (see `argo_rt::racecheck`).
+const RACECHECK_MARKS: &[&str] = &["racecheck::region", "racecheck::write", "racecheck::read"];
 
 /// True for files that are test/bench/example code wholesale.
 pub fn is_test_path(path: &str) -> bool {
@@ -132,6 +149,45 @@ pub fn check_file(file: &SourceFile, allow: &mut AllowTracker, out: &mut Vec<Dia
         check_kernel_dispatch(file, allow, out);
         check_sampler_scratch(file, allow, out);
         check_span_pairing(file, allow, out);
+        check_window_racecheck(file, allow, out);
+    }
+}
+
+/// Rule `window-racecheck`: every `as_mut_ptr() as usize` escape in
+/// non-test code must sit within [`SAFETY_LOOKBACK`] lines of a
+/// `racecheck::region`/`write`/`read` annotation — the runtime-checked twin
+/// of the `// SAFETY:` proximity rule. A window that is only *claimed*
+/// disjoint in a comment drifts silently; one registered with the race
+/// detector is verified on every `--features race` run.
+fn check_window_racecheck(file: &SourceFile, allow: &mut AllowTracker, out: &mut Vec<Diagnostic>) {
+    if !file.path.starts_with("crates/") {
+        return;
+    }
+    for (n, line) in file.numbered() {
+        if line.test || !line.code.contains(WINDOW_ESCAPE) {
+            continue;
+        }
+        // The annotation may precede the escape (region registered next to
+        // the base pointer) or follow it (write recorded inside the worker
+        // closure), so the window looks both ways.
+        let start = n.saturating_sub(SAFETY_LOOKBACK + 1);
+        let end = (n + SAFETY_LOOKBACK).min(file.lines.len());
+        let annotated = file.lines[start..end]
+            .iter()
+            .any(|l| RACECHECK_MARKS.iter().any(|m| contains_token(&l.code, m)));
+        if !annotated && !allow.permits("window-racecheck", &file.path, &line.raw) {
+            out.push(Diagnostic {
+                path: file.path.clone(),
+                line: n,
+                rule: "window-racecheck",
+                message: format!(
+                    "`{WINDOW_ESCAPE}` without a `racecheck::` shadow-memory annotation \
+                     within {SAFETY_LOOKBACK} lines; register the window with \
+                     `argo_rt::racecheck::region` and record its accesses so the race \
+                     detector can verify the disjointness claim"
+                ),
+            });
+        }
     }
 }
 
@@ -529,6 +585,100 @@ mod tests {
         // Test modules inside hot files may clone for reference checks.
         let src = "#[cfg(test)]\nmod tests {\n    fn t() { let ids = b.src_nodes.clone(); }\n}\n";
         assert!(lint("crates/sample/src/neighbor.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unannotated_window_escape_is_flagged() {
+        let src = "fn f(v: &mut [f32]) {\n\
+                   \x20   // SAFETY: windows are disjoint.\n\
+                   \x20   let base = v.as_mut_ptr() as usize;\n\
+                   \x20   go(base);\n\
+                   }\n";
+        let d = lint("crates/tensor/src/x.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "window-racecheck");
+        assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn annotated_window_escape_passes_before_and_after() {
+        // Region registered just before the escape.
+        let src = "fn f(v: &mut [f32]) {\n\
+                   \x20   let shadow = racecheck::region(\"x\", v.len());\n\
+                   \x20   // SAFETY: windows are disjoint.\n\
+                   \x20   let base = v.as_mut_ptr() as usize;\n\
+                   }\n";
+        assert!(lint("crates/tensor/src/x.rs", src).is_empty());
+        // Write recorded a few lines after the escape (inside the closure).
+        let src = "fn f(v: &mut [f32]) {\n\
+                   \x20   // SAFETY: windows are disjoint.\n\
+                   \x20   let base = v.as_mut_ptr() as usize;\n\
+                   \x20   pool.run(|r| {\n\
+                   \x20       racecheck::write(&shadow, r.start, r.len());\n\
+                   \x20   });\n\
+                   }\n";
+        assert!(lint("crates/rt/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn window_racecheck_annotation_outside_lookback_still_flags() {
+        let filler = "    no_op();\n".repeat(SAFETY_LOOKBACK + 1);
+        let src = format!(
+            "fn f(v: &mut [f32]) {{\n\
+             \x20   let shadow = racecheck::region(\"x\", v.len());\n\
+             {filler}\
+             \x20   // SAFETY: windows are disjoint.\n\
+             \x20   let base = v.as_mut_ptr() as usize;\n\
+             }}\n"
+        );
+        let d = lint("crates/tensor/src/x.rs", &src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "window-racecheck");
+    }
+
+    #[test]
+    fn window_racecheck_exempts_tests_and_foreign_paths() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t(v: &mut [u8]) { let b = v.as_mut_ptr() as usize; }\n}\n";
+        assert!(lint("crates/rt/src/x.rs", src).is_empty());
+        assert!(lint(
+            "crates/rt/tests/x.rs",
+            "fn f(v: &mut [u8]) { let b = v.as_mut_ptr() as usize; }\n"
+        )
+        .is_empty());
+        assert!(lint(
+            "shims/x/src/lib.rs",
+            "fn f(v: &mut [u8]) { let b = v.as_mut_ptr() as usize; }\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn serve_is_dispatch_only_and_scratch_checked() {
+        // PR 8 extended both rules to the serving pipeline.
+        let d = lint(
+            "crates/serve/src/x.rs",
+            "fn f() { let z = x.matmul(&w); }\n",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "kernel-dispatch");
+        let d = lint(
+            "crates/serve/src/session.rs",
+            "fn f() { let s = seeds.clone(); }\n",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "sampler-scratch");
+        let d = lint(
+            "crates/serve/src/batcher.rs",
+            "fn f() { let m: HashMap<u64, u64> = HashMap::new(); }\n",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "sampler-scratch");
+        // The result cache, like the feature cache, owns a long-lived map.
+        assert!(lint(
+            "crates/serve/src/result_cache.rs",
+            "fn f() { let m: HashMap<u64, usize> = HashMap::new(); }\n"
+        )
+        .is_empty());
     }
 
     #[test]

@@ -1,0 +1,211 @@
+//! Exhaustive interleaving tests for the serve deadline micro-batcher,
+//! driven by the mini-loom in `argo_check::schedule`.
+//!
+//! The batcher itself is a single-driver state machine, but the *session*
+//! around it interleaves three operations whose relative order the wall
+//! clock decides at runtime: admissions, deadline polls, and the shutdown
+//! drain. Each test models two logical drivers as step lists, enumerates
+//! every interleaving under a [`ManualClock`], and asserts the invariants
+//! the serving path relies on — no request lost, duplicated or reordered;
+//! `Full` flushes carry exactly `max_batch`; `Deadline` flushes only once
+//! the *oldest* admit has aged out. A failure names the exact schedule
+//! (e.g. `ABBAB`) that broke it.
+
+use std::sync::Arc;
+
+use argo_check::schedule::{all_interleavings, explore};
+use argo_serve::{Clock, FlushReason, ManualClock, MicroBatch, MicroBatcher};
+
+/// Shared state for one explored schedule: the batcher, its manual clock,
+/// and every batch flushed so far (by either driver).
+struct Harness {
+    clock: Arc<ManualClock>,
+    batcher: MicroBatcher,
+    batches: Vec<MicroBatch>,
+    admitted: u64,
+}
+
+impl Harness {
+    fn new(max_batch: usize, deadline_us: u64) -> Self {
+        Self {
+            clock: Arc::new(ManualClock::new()),
+            batcher: MicroBatcher::new(max_batch, deadline_us, 64),
+            batches: Vec::new(),
+            admitted: 0,
+        }
+    }
+
+    fn admit(&mut self) {
+        let now = self.clock.now_us();
+        let (_, batch) = self.batcher.admit(vec![1], now).expect("under cap");
+        self.admitted += 1;
+        self.batches.extend(batch);
+    }
+
+    fn poll(&mut self) {
+        let batch = self.batcher.poll(self.clock.now_us());
+        self.batches.extend(batch);
+    }
+
+    fn drain(&mut self) {
+        while let Some(b) = self.batcher.flush(self.clock.now_us(), FlushReason::Drain) {
+            self.batches.push(b);
+        }
+    }
+
+    /// The invariants every schedule must uphold.
+    fn check(&self, max_batch: usize, deadline_us: u64, schedule: &str) {
+        for (i, b) in self.batches.iter().enumerate() {
+            assert_eq!(b.id, i as u64, "batch ids sequential [{schedule}]");
+            assert!(!b.requests.is_empty(), "no empty flushes [{schedule}]");
+            assert!(
+                b.requests.len() <= max_batch,
+                "batch within max_batch [{schedule}]"
+            );
+            match b.reason {
+                FlushReason::Full => assert_eq!(
+                    b.requests.len(),
+                    max_batch,
+                    "Full means exactly max_batch [{schedule}]"
+                ),
+                FlushReason::Deadline if deadline_us > 0 => {
+                    let oldest = b.requests[0].admitted_us;
+                    assert!(
+                        b.flushed_us >= oldest.saturating_add(deadline_us),
+                        "Deadline flush before the oldest admit aged out: \
+                         admitted {oldest}, flushed {} [{schedule}]",
+                        b.flushed_us
+                    );
+                }
+                _ => {}
+            }
+        }
+        // Conservation + FIFO: the queue flushes from the front, so the
+        // concatenated flushed ids must be exactly 0..k in order, with the
+        // remaining admitted - k requests still pending.
+        let ids: Vec<u64> = self
+            .batches
+            .iter()
+            .flat_map(|b| b.requests.iter().map(|r| r.id))
+            .collect();
+        let expect: Vec<u64> = (0..ids.len() as u64).collect();
+        assert_eq!(
+            ids, expect,
+            "no request lost, duplicated or reordered [{schedule}]"
+        );
+        assert_eq!(
+            ids.len() + self.batcher.pending(),
+            self.admitted as usize,
+            "flushed + pending accounts for every admit [{schedule}]"
+        );
+    }
+}
+
+/// Flush-on-full racing flush-on-deadline: driver A admits 4 requests
+/// (max_batch 3, so a `Full` flush leaves a straggler) then drains; driver
+/// B advances the clock past the deadline and polls. Depending on where the
+/// polls land, the same requests flush as `Full`, `Deadline`, `Drain`, or a
+/// mix — every interleaving must conserve and order them.
+#[test]
+fn full_and_deadline_flushes_conserve_requests_in_every_interleaving() {
+    let (max_batch, deadline_us) = (3, 1_000);
+    let n = explore(
+        5,
+        2,
+        || Harness::new(max_batch, deadline_us),
+        |h, i| {
+            if i < 4 {
+                h.admit();
+                h.clock.advance_us(10);
+            } else {
+                h.drain(); // shutdown after the last admit
+            }
+        },
+        |h, _| {
+            h.clock.advance_us(deadline_us); // age the oldest past its deadline
+            h.poll();
+        },
+        |h, schedule| {
+            assert_eq!(
+                h.batcher.pending(),
+                0,
+                "drain left the queue empty [{schedule}]"
+            );
+            h.check(max_batch, deadline_us, schedule);
+        },
+    );
+    assert_eq!(n, all_interleavings(5, 2).len());
+}
+
+/// Deadline keyed to the *oldest* admit: driver A admits at 300 µs spacing,
+/// driver B polls at absolute times straddling the first request's deadline
+/// (900, 999, 1 200 µs). No interleaving may flush a `Deadline` batch
+/// early, and a poll that lands at/after a pending request's deadline must
+/// flush it — both asserted inside the poll step, where the due time is
+/// known exactly.
+#[test]
+fn deadline_is_keyed_to_the_oldest_admit_in_every_interleaving() {
+    let (max_batch, deadline_us) = (8, 1_000);
+    explore(
+        4,
+        3,
+        || Harness::new(max_batch, deadline_us),
+        |h, i| {
+            if i < 3 {
+                h.admit();
+                h.clock.advance_us(300);
+            } else {
+                h.drain();
+            }
+        },
+        |h, i| {
+            let at = [900, 999, 1_200][i];
+            let now = h.clock.now_us();
+            if at > now {
+                h.clock.advance_us(at - now);
+            }
+            let due = h.batcher.next_deadline_us();
+            let batch = h.batcher.poll(h.clock.now_us());
+            match (&batch, due) {
+                (Some(b), _) => assert!(
+                    h.clock.now_us() >= b.requests[0].admitted_us + deadline_us,
+                    "flushed before the oldest aged out"
+                ),
+                (None, Some(due)) => assert!(
+                    h.clock.now_us() < due,
+                    "poll at {} missed a flush due at {due}",
+                    h.clock.now_us()
+                ),
+                (None, None) => {}
+            }
+            h.batches.extend(batch);
+        },
+        |h, schedule| {
+            assert_eq!(
+                h.batcher.pending(),
+                0,
+                "drain left the queue empty [{schedule}]"
+            );
+            h.check(max_batch, deadline_us, schedule);
+        },
+    );
+}
+
+/// Drain racing admissions: driver B drains mid-stream (session shutdown
+/// while requests still arrive). Requests admitted after the drain stay
+/// pending; everything flushed is still conserved FIFO.
+#[test]
+fn mid_stream_drain_conserves_flushed_requests_in_every_interleaving() {
+    let (max_batch, deadline_us) = (4, 10_000);
+    explore(
+        4,
+        2,
+        || Harness::new(max_batch, deadline_us),
+        |h, _| {
+            h.admit();
+            h.clock.advance_us(50);
+        },
+        |h, _| h.drain(),
+        |h, schedule| h.check(max_batch, deadline_us, schedule),
+    );
+}

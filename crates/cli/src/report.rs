@@ -479,6 +479,19 @@ pub fn render_report(events: &[(RunEvent, f64, Source)], live: Option<&Telemetry
                 section.push_str(&format!("  {name:<26} {v}\n"));
             }
         }
+        // Runtime-checker verdicts (only present under `--features race` /
+        // `sanitize` builds). Zero is the healthy steady state, so render
+        // the line whenever the counter exists and flag any non-zero count
+        // loudly — a race must not hide in a wall of healthy metrics.
+        for name in [
+            names::CHECK_RACE_REPORTS_TOTAL,
+            names::CHECK_LOCK_VIOLATIONS_TOTAL,
+        ] {
+            if let Some(v) = counters.get(name) {
+                let verdict = if *v == 0 { "" } else { "  <-- FAILED" };
+                section.push_str(&format!("  {name:<26} {v}{verdict}\n"));
+            }
+        }
         for name in [
             names::TUNER_BEST_EPOCH_SECONDS,
             names::CACHE_BYTES,

@@ -579,6 +579,10 @@ impl Engine {
                 m.gauge(names::CACHE_BYTES).set(d.bytes as f64);
                 m.gauge(names::CACHE_HIT_RATE).set(d.hit_rate());
             }
+            // Surface runtime-checker verdicts (race reports, lock-order
+            // violations) in the same snapshot the report renders; no-op
+            // unless a checker feature is compiled in.
+            argo_rt::racecheck::publish_verdicts(m);
         }
         if let Some(l) = logger {
             if let Some(sm) = &stage_metrics {

@@ -125,21 +125,25 @@ impl Histogram {
     }
 
     /// Number of observations.
+    #[must_use]
     pub fn count(&self) -> u64 {
         self.count.load(Ordering::Relaxed)
     }
 
     /// Sum of observations.
+    #[must_use]
     pub fn sum(&self) -> f64 {
         f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
     }
 
     /// Largest observation (0 when empty).
+    #[must_use]
     pub fn max(&self) -> f64 {
         f64::from_bits(self.max_bits.load(Ordering::Relaxed))
     }
 
     /// Mean observation (0 when empty).
+    #[must_use]
     pub fn mean(&self) -> f64 {
         let n = self.count();
         if n == 0 {
@@ -150,6 +154,7 @@ impl Histogram {
     }
 
     /// Bucket upper bounds.
+    #[must_use]
     pub fn bounds(&self) -> &[f64] {
         &self.bounds
     }
@@ -159,11 +164,13 @@ impl Histogram {
     /// means the configured bounds are too tight for the workload — the
     /// tail quantiles above the saturation point are untrustworthy, which
     /// is why `argo report` renders this next to the quantiles.
+    #[must_use]
     pub fn overflow_count(&self) -> u64 {
         self.buckets[self.bounds.len()].load(Ordering::Relaxed)
     }
 
     /// Per-bucket counts (`bounds().len() + 1` entries, last = +Inf).
+    #[must_use]
     pub fn bucket_counts(&self) -> Vec<u64> {
         self.buckets
             .iter()
@@ -175,6 +182,7 @@ impl Histogram {
     /// upper bound of the bucket containing the `q`-th observation, clamped
     /// to the observed maximum so no quantile ever exceeds `max()`. The
     /// overflow bucket reports the observed maximum. Returns 0 when empty.
+    #[must_use]
     pub fn quantile(&self, q: f64) -> f64 {
         let total = self.count();
         if total == 0 {

@@ -17,6 +17,7 @@ use crossbeam::channel::{unbounded, Sender};
 use parking_lot::{Condvar, Mutex};
 
 use crate::affinity::{bind_current_thread, CoreSet};
+use crate::racecheck;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -24,6 +25,10 @@ struct Completion {
     remaining: AtomicUsize,
     lock: Mutex<()>,
     cv: Condvar,
+    /// The join edge lives on a bare `fetch_sub`: only the *last* worker
+    /// touches `lock`, so the race detector needs this explicit fork/join
+    /// point to order every worker's writes before the waiter's return.
+    sync: racecheck::SyncPoint,
 }
 
 impl Completion {
@@ -32,10 +37,12 @@ impl Completion {
             remaining: AtomicUsize::new(n),
             lock: Mutex::new(()),
             cv: Condvar::new(),
+            sync: racecheck::SyncPoint::new(),
         }
     }
 
     fn finish_one(&self) {
+        self.sync.publish();
         if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
             let _g = self.lock.lock();
             self.cv.notify_all();
@@ -47,6 +54,8 @@ impl Completion {
         while self.remaining.load(Ordering::Acquire) != 0 {
             self.cv.wait(&mut g);
         }
+        drop(g);
+        self.sync.acquire();
     }
 }
 
@@ -187,8 +196,10 @@ impl ThreadPool {
         // so the ranges it hands out are precisely the chunks we want.
         let chunk = n.div_ceil(tasks);
         let base = data.as_mut_ptr() as usize;
+        let shadow = racecheck::region("pool.parallel_chunks_mut", n);
         self.parallel_ranges(n, move |range| {
             let idx = range.start / chunk;
+            racecheck::write(&shadow, range.start, range.len());
             // SAFETY: ranges from `parallel_ranges` are disjoint sub-ranges
             // of 0..n, so each reconstructed slice is a disjoint `&mut` view
             // into `data`, which outlives this blocking call.

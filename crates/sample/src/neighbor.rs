@@ -1,7 +1,7 @@
 //! Layer-wise neighbor sampling (Hamilton et al. 2017; paper Section II-B).
 
 use argo_graph::{Graph, NodeId};
-use argo_rt::{SeedSequence, StreamRng, ThreadPool};
+use argo_rt::{racecheck, SeedSequence, StreamRng, ThreadPool};
 use argo_tensor::SparseMatrix;
 
 use crate::batch::{Block, MiniBatch, Normalization, SampledBatch};
@@ -88,7 +88,12 @@ fn pick_layer(
             // `ThreadPool::parallel_chunks_mut`).
             let picked_addr = scratch.picked.as_mut_ptr() as usize;
             let counts_addr = scratch.counts.as_mut_ptr() as usize;
+            // Shadow cells are row-granular: one per destination row.
+            let picked_shadow = racecheck::region("sample.pick_layer.picked", rows);
+            let counts_shadow = racecheck::region("sample.pick_layer.counts", rows);
             pool.parallel_ranges(rows, |range| {
+                racecheck::write(&picked_shadow, range.start, range.len());
+                racecheck::write(&counts_shadow, range.start, range.len());
                 // SAFETY: `parallel_ranges` hands out disjoint row ranges
                 // and both buffers were sized for `rows` rows above, so each
                 // worker touches a private, in-bounds window; the buffers

@@ -14,6 +14,7 @@ use std::collections::VecDeque;
 
 use argo_core::Error;
 use argo_graph::NodeId;
+use argo_rt::racecheck;
 
 /// Why a micro-batch left the queue.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -70,6 +71,11 @@ pub struct MicroBatcher {
     pending: VecDeque<Admitted>,
     next_request: u64,
     next_batch: u64,
+    /// Shadow cells over queue positions (`id % queue_cap`): admission
+    /// writes, flushing reads, so a second driver pushing/draining the
+    /// queue concurrently would surface as a reported race rather than a
+    /// silently reordered batch.
+    shadow: racecheck::Region,
 }
 
 impl MicroBatcher {
@@ -78,13 +84,15 @@ impl MicroBatcher {
     /// pending requests beyond which admission fails with
     /// [`Error::QueueFull`].
     pub fn new(max_batch: usize, deadline_us: u64, queue_cap: usize) -> Self {
+        let queue_cap = queue_cap.max(1);
         Self {
             max_batch: max_batch.max(1),
             deadline_us,
-            queue_cap: queue_cap.max(1),
+            queue_cap,
             pending: VecDeque::new(),
             next_request: 0,
             next_batch: 0,
+            shadow: racecheck::region("serve.batcher.pending", queue_cap),
         }
     }
 
@@ -119,6 +127,7 @@ impl MicroBatcher {
         }
         let id = self.next_request;
         self.next_request += 1;
+        racecheck::write(&self.shadow, (id % self.queue_cap as u64) as usize, 1);
         self.pending.push_back(Admitted {
             id,
             seeds,
@@ -151,6 +160,9 @@ impl MicroBatcher {
         }
         let take = self.pending.len().min(self.max_batch);
         let requests: Vec<Admitted> = self.pending.drain(..take).collect();
+        for r in &requests {
+            racecheck::read(&self.shadow, (r.id % self.queue_cap as u64) as usize, 1);
+        }
         let id = self.next_batch;
         self.next_batch += 1;
         Some(MicroBatch {

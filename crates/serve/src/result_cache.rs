@@ -17,6 +17,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use argo_graph::NodeId;
+use argo_rt::racecheck;
 use argo_tensor::Matrix;
 
 /// Hit saturation for the CLOCK counters (matches the feature cache).
@@ -69,6 +70,10 @@ pub struct ResultCache {
     hits: u64,
     misses: u64,
     evictions: u64,
+    /// Shadow cells (one per slot) verifying the single-writer claim above:
+    /// every slot mutation is a shadow write, every hit a shadow read, so a
+    /// second concurrent writer would surface as a reported race.
+    shadow: racecheck::Region,
 }
 
 fn mix(h: u64, v: u64) -> u64 {
@@ -102,6 +107,7 @@ impl ResultCache {
             hits: 0,
             misses: 0,
             evictions: 0,
+            shadow: racecheck::region("serve.result_cache.slots", capacity),
         }
     }
 
@@ -111,6 +117,7 @@ impl ResultCache {
         if let Some(&slot) = self.index.get(&hash) {
             if let Some(e) = self.slots[slot].as_mut() {
                 if e.hash == hash && e.epoch == epoch && e.seeds == seeds {
+                    racecheck::read(&self.shadow, slot, 1);
                     e.freq = (e.freq + 1).min(MAX_FREQ);
                     self.hits += 1;
                     return Some(Arc::clone(&e.logits));
@@ -127,6 +134,7 @@ impl ResultCache {
         if let Some(&slot) = self.index.get(&hash) {
             // Same key raced a concurrent... no: single-writer; an existing
             // entry under this hash is simply replaced in place.
+            racecheck::write(&self.shadow, slot, 1);
             self.slots[slot] = Some(Entry {
                 hash,
                 seeds,
@@ -137,6 +145,7 @@ impl ResultCache {
             return;
         }
         let slot = self.find_victim();
+        racecheck::write(&self.shadow, slot, 1);
         if let Some(old) = self.slots[slot].take() {
             self.index.remove(&old.hash);
             self.evictions += 1;

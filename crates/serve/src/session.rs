@@ -26,6 +26,7 @@ use argo_core::Error;
 use argo_engine::Engine;
 use argo_graph::{Dataset, NodeId};
 use argo_nn::AnyModel;
+use argo_rt::racecheck;
 use argo_rt::telemetry::names;
 use argo_rt::{
     Config, Role, RunEvent, SeedSequence, ServeBatchRecord, ServeRequestRecord, SpanDrain,
@@ -350,7 +351,15 @@ impl ServeSession {
             let now = self.clock.now_us();
             match self.batcher.flush(now, FlushReason::Drain) {
                 Some(batch) => out.extend(self.execute_batch(batch, telemetry)),
-                None => return out,
+                None => {
+                    // Session teardown is the serving analogue of epoch end:
+                    // publish runtime-checker verdicts so a race found while
+                    // serving lands in the report's metric snapshot.
+                    if let Some(t) = telemetry {
+                        racecheck::publish_verdicts(&t.metrics);
+                    }
+                    return out;
+                }
             }
         }
     }

@@ -1,6 +1,6 @@
 //! Dense row-major matrix and GEMM kernels.
 
-use argo_rt::ThreadPool;
+use argo_rt::{racecheck, ThreadPool};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -101,7 +101,9 @@ impl Matrix {
         // row range.
         let rows = self.rows;
         let out_ptr = out.data.as_mut_ptr() as usize;
+        let shadow = racecheck::region("dense.matmul_pool", rows);
         pool.parallel_ranges(rows, |range| {
+            racecheck::write(&shadow, range.start, range.len());
             // SAFETY: each range is a disjoint set of output rows.
             let dst = unsafe {
                 std::slice::from_raw_parts_mut(

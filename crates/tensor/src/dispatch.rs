@@ -23,7 +23,7 @@
 
 use std::ops::Range;
 
-use argo_rt::ThreadPool;
+use argo_rt::{racecheck, ThreadPool};
 
 use crate::dense::Matrix;
 use crate::kernels;
@@ -140,7 +140,11 @@ impl DispatchPolicy {
             Some(p) => {
                 let out_ptr = out.data_mut().as_mut_ptr() as usize;
                 let mask_ptr = mask.as_mut_ptr() as usize;
+                // One shadow cell per output row covers `out` and `mask`
+                // alike: both are partitioned by the same row ranges.
+                let shadow = racecheck::region("tensor.gemm_into", m);
                 p.parallel_ranges(m, |range| {
+                    racecheck::write(&shadow, range.start, range.len());
                     // SAFETY: ranges partition 0..m, so each worker writes a
                     // disjoint row window of `out`; the pool call blocks
                     // until every worker finishes.
@@ -219,7 +223,10 @@ impl DispatchPolicy {
             Some(p) => {
                 let out_ptr = out.data_mut().as_mut_ptr() as usize;
                 let mask_ptr = mask.as_mut_ptr() as usize;
+                // Row-granular shadow covering both `out` and `mask`.
+                let shadow = racecheck::region("tensor.sage_gemm_into", n_dst);
                 p.parallel_ranges(n_dst, |range| {
+                    racecheck::write(&shadow, range.start, range.len());
                     // SAFETY: disjoint output-row windows per worker; the
                     // pool call blocks until every worker finishes.
                     let dst = unsafe {
@@ -401,7 +408,9 @@ impl DispatchPolicy {
         match self.pool_for(m, pool) {
             Some(p) => {
                 let out_ptr = out.data_mut().as_mut_ptr() as usize;
+                let shadow = racecheck::region("tensor.grad_input_into", m);
                 p.parallel_ranges(m, |range| {
+                    racecheck::write(&shadow, range.start, range.len());
                     // SAFETY: disjoint output-row windows per worker; the
                     // pool call blocks until every worker finishes.
                     let dst = unsafe {

@@ -3,7 +3,7 @@
 
 use std::sync::{Arc, OnceLock};
 
-use argo_rt::ThreadPool;
+use argo_rt::{racecheck, ThreadPool};
 
 use crate::dense::Matrix;
 
@@ -176,7 +176,9 @@ impl SparseMatrix {
         out.data_mut().fill(0.0);
         let n = dense.cols();
         let out_ptr = out.data_mut().as_mut_ptr() as usize;
+        let shadow = racecheck::region("tensor.spmm_pool", self.rows);
         pool.parallel_ranges(self.rows, |range| {
+            racecheck::write(&shadow, range.start, range.len());
             for i in range {
                 // SAFETY: each output row is written by exactly one worker.
                 let drow =
@@ -313,7 +315,9 @@ impl SparseMatrix {
         let csc = self.csc();
         let n = dense.cols();
         let out_ptr = out.data_mut().as_mut_ptr() as usize;
+        let shadow = racecheck::region("tensor.spmm_transpose_csc_pool", self.cols);
         pool.parallel_ranges(self.cols, |range| {
+            racecheck::write(&shadow, range.start, range.len());
             for j in range {
                 // SAFETY: each output row is written by exactly one worker,
                 // and the pool call blocks until all workers finish.

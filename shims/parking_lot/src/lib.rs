@@ -5,6 +5,8 @@
 
 use std::ops::{Deref, DerefMut};
 
+#[cfg(feature = "race")]
+pub mod race;
 #[cfg(feature = "sanitize")]
 pub mod sanitizer;
 
@@ -15,6 +17,8 @@ use sanitizer::LockClass;
 pub struct Mutex<T: ?Sized> {
     #[cfg(feature = "sanitize")]
     id: sanitizer::LockId,
+    #[cfg(feature = "race")]
+    rid: race::ObjectId,
     inner: std::sync::Mutex<T>,
 }
 
@@ -23,6 +27,8 @@ pub struct Mutex<T: ?Sized> {
 pub struct MutexGuard<'a, T: ?Sized> {
     #[cfg(feature = "sanitize")]
     id: sanitizer::LockId,
+    #[cfg(feature = "race")]
+    rid: race::ObjectId,
     inner: Option<std::sync::MutexGuard<'a, T>>,
 }
 
@@ -31,6 +37,8 @@ impl<T> Mutex<T> {
         Self {
             #[cfg(feature = "sanitize")]
             id: sanitizer::register(LockClass::Mutex),
+            #[cfg(feature = "race")]
+            rid: race::register_lock(),
             inner: std::sync::Mutex::new(value),
         }
     }
@@ -47,9 +55,13 @@ impl<T: ?Sized> Mutex<T> {
         let g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         #[cfg(feature = "sanitize")]
         sanitizer::after_acquire(self.id, LockClass::Mutex);
+        #[cfg(feature = "race")]
+        race::lock_acquire(self.rid);
         MutexGuard {
             #[cfg(feature = "sanitize")]
             id: self.id,
+            #[cfg(feature = "race")]
+            rid: self.rid,
             inner: Some(g),
         }
     }
@@ -64,9 +76,13 @@ impl<T: ?Sized> Mutex<T> {
         // hold that later blocking acquisitions must order against.
         #[cfg(feature = "sanitize")]
         sanitizer::after_acquire(self.id, LockClass::Mutex);
+        #[cfg(feature = "race")]
+        race::lock_acquire(self.rid);
         Some(MutexGuard {
             #[cfg(feature = "sanitize")]
             id: self.id,
+            #[cfg(feature = "race")]
+            rid: self.rid,
             inner: Some(g),
         })
     }
@@ -76,13 +92,18 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
-#[cfg(feature = "sanitize")]
+#[cfg(any(feature = "sanitize", feature = "race"))]
 impl<T: ?Sized> Drop for MutexGuard<'_, T> {
     fn drop(&mut self) {
         // `Condvar::wait` takes the inner guard out and releases bookkeeping
-        // itself; only a guard still holding the lock releases here.
+        // itself; only a guard still holding the lock releases here. The
+        // race hook runs in the drop *body*, i.e. before the std guard field
+        // drops, so the clock publishes while the lock is still held.
         if self.inner.is_some() {
+            #[cfg(feature = "sanitize")]
             sanitizer::on_release(self.id);
+            #[cfg(feature = "race")]
+            race::lock_release(self.rid);
         }
     }
 }
@@ -123,9 +144,13 @@ impl Condvar {
         let std_guard = guard.inner.take().expect("guard taken during wait");
         // The wait releases the mutex until woken: mirror that in the
         // sanitizer's held-lock bookkeeping so other acquisitions made by
-        // this thread while blocked do not order against it.
+        // this thread while blocked do not order against it. The race
+        // release publishes the waiter's clock before the lock actually
+        // opens, and the re-acquire joins whatever the wakers released.
         #[cfg(feature = "sanitize")]
         sanitizer::on_release(guard.id);
+        #[cfg(feature = "race")]
+        race::lock_release(guard.rid);
         let reacquired = self
             .inner
             .wait(std_guard)
@@ -135,6 +160,8 @@ impl Condvar {
             sanitizer::before_acquire(guard.id, LockClass::Mutex);
             sanitizer::after_acquire(guard.id, LockClass::Mutex);
         }
+        #[cfg(feature = "race")]
+        race::lock_acquire(guard.rid);
         guard.inner = Some(reacquired);
     }
 
@@ -157,18 +184,24 @@ impl Default for Condvar {
 pub struct RwLock<T: ?Sized> {
     #[cfg(feature = "sanitize")]
     id: sanitizer::LockId,
+    #[cfg(feature = "race")]
+    rid: race::ObjectId,
     inner: std::sync::RwLock<T>,
 }
 
 pub struct RwLockReadGuard<'a, T: ?Sized> {
     #[cfg(feature = "sanitize")]
     id: sanitizer::LockId,
+    #[cfg(feature = "race")]
+    rid: race::ObjectId,
     inner: std::sync::RwLockReadGuard<'a, T>,
 }
 
 pub struct RwLockWriteGuard<'a, T: ?Sized> {
     #[cfg(feature = "sanitize")]
     id: sanitizer::LockId,
+    #[cfg(feature = "race")]
+    rid: race::ObjectId,
     inner: std::sync::RwLockWriteGuard<'a, T>,
 }
 
@@ -177,6 +210,8 @@ impl<T> RwLock<T> {
         Self {
             #[cfg(feature = "sanitize")]
             id: sanitizer::register(LockClass::RwLock),
+            #[cfg(feature = "race")]
+            rid: race::register_lock(),
             inner: std::sync::RwLock::new(value),
         }
     }
@@ -193,9 +228,15 @@ impl<T: ?Sized> RwLock<T> {
         let g = self.inner.read().unwrap_or_else(|e| e.into_inner());
         #[cfg(feature = "sanitize")]
         sanitizer::after_acquire(self.id, LockClass::RwLock);
+        // Readers are modeled like mutex holders: the reader→reader edges
+        // this adds can only hide races, never invent them.
+        #[cfg(feature = "race")]
+        race::lock_acquire(self.rid);
         RwLockReadGuard {
             #[cfg(feature = "sanitize")]
             id: self.id,
+            #[cfg(feature = "race")]
+            rid: self.rid,
             inner: g,
         }
     }
@@ -206,9 +247,13 @@ impl<T: ?Sized> RwLock<T> {
         let g = self.inner.write().unwrap_or_else(|e| e.into_inner());
         #[cfg(feature = "sanitize")]
         sanitizer::after_acquire(self.id, LockClass::RwLock);
+        #[cfg(feature = "race")]
+        race::lock_acquire(self.rid);
         RwLockWriteGuard {
             #[cfg(feature = "sanitize")]
             id: self.id,
+            #[cfg(feature = "race")]
+            rid: self.rid,
             inner: g,
         }
     }
@@ -218,17 +263,23 @@ impl<T: ?Sized> RwLock<T> {
     }
 }
 
-#[cfg(feature = "sanitize")]
+#[cfg(any(feature = "sanitize", feature = "race"))]
 impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
     fn drop(&mut self) {
+        #[cfg(feature = "sanitize")]
         sanitizer::on_release(self.id);
+        #[cfg(feature = "race")]
+        race::lock_release(self.rid);
     }
 }
 
-#[cfg(feature = "sanitize")]
+#[cfg(any(feature = "sanitize", feature = "race"))]
 impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
     fn drop(&mut self) {
+        #[cfg(feature = "sanitize")]
         sanitizer::on_release(self.id);
+        #[cfg(feature = "race")]
+        race::lock_release(self.rid);
     }
 }
 
