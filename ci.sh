@@ -25,8 +25,11 @@ cargo test -q -p argo-check --features race
 echo "==> cargo build --release"
 cargo build --workspace --release
 
-echo "==> micro_kernels quick perf gate (blocked kernels must not lose to serial)"
+echo "==> micro_kernels quick perf gate (blocked must not lose to serial; simd must not lose to the tier below)"
 ARGO_BENCH_QUICK=1 cargo bench -q -p argo-bench --bench micro_kernels
+
+echo "==> cargo test -q -p argo-tensor with SIMD force-disabled (scalar fallback path)"
+ARGO_SIMD=off cargo test -q -p argo-tensor
 
 echo "==> micro_sampling quick perf gate (scratch sampler must not lose to the pre-scratch reference; span profiler overhead <= 5%)"
 ARGO_BENCH_QUICK=1 cargo bench -q -p argo-bench --bench micro_sampling

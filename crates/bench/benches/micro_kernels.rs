@@ -1,16 +1,21 @@
 //! Micro-benchmarks of the training kernels: serial naive vs blocked vs
-//! blocked+pool for every matmul/SpMM flavor, plus the end-to-end
+//! SIMD vs SIMD+pool for every matmul/SpMM flavor, plus the end-to-end
 //! `train_step_gathered` backward on a 4096-row batch.
 //!
 //! Emits machine-readable `BENCH_kernels.json` at the repository root
 //! (GFLOP/s and speedup-vs-serial per kernel and shape) so future PRs can
-//! diff kernel performance against this baseline.
+//! diff kernel performance against this baseline. The `simd` column runs
+//! the dispatch default tier serially (AVX2+FMA microkernel on hosts that
+//! have it, scalar otherwise); `pool` is the full dispatch stack.
 //!
 //! `ARGO_BENCH_QUICK=1` switches to a fast CI mode: fewer samples, smaller
 //! train-step batch, and a sanity perf gate — the process exits non-zero
 //! if any blocked kernel is slower than its naive serial counterpart at
-//! the large shape (generous 1.0× threshold; pool speedups are *recorded*
-//! but never gated, since CI may have a single core).
+//! the large shape (generous 1.0× threshold), or if a SIMD kernel loses to
+//! the tier below it (1.0× floor for the GEMM family, 0.95× for the
+//! memory-bound SpMM gathers, which are parity-by-design on feature dims
+//! too narrow for full vectors; pool speedups are *recorded* but never
+//! gated, since CI may have a single core).
 
 use std::time::Instant;
 
@@ -57,15 +62,26 @@ struct KernelRow {
     flops: f64,
     serial_s: f64,
     blocked_s: Option<f64>,
+    simd_s: Option<f64>,
     pool_s: f64,
     /// Quick-mode perf-gate floor for blocked-vs-serial speedup, when
     /// gated: 1.0 for the blocked GEMMs (generous — they sit at 1.2x+),
     /// 0.95 for the CSC transpose, which is parity-by-design on one core
     /// (its win is parallelizability) and only needs to not regress.
     gate_min: Option<f64>,
+    /// Quick-mode floor for SIMD vs the tier directly below it (blocked
+    /// when present, else serial): 1.0 for the FMA GEMM family, 0.95 for
+    /// the memory-bound SpMM gathers.
+    simd_gate_min: Option<f64>,
 }
 
 impl KernelRow {
+    /// The tier the SIMD column is gated against: blocked when the kernel
+    /// has one, naive serial otherwise (the SpMM rows).
+    fn simd_baseline_s(&self) -> f64 {
+        self.blocked_s.unwrap_or(self.serial_s)
+    }
+
     fn to_json(&self) -> Json {
         let gflops = |s: f64| self.flops / s / 1e9;
         let mut fields = vec![
@@ -82,6 +98,11 @@ impl KernelRow {
             fields.push(("blocked_ms", Json::Num(b * 1e3)));
             fields.push(("blocked_gflops", Json::Num(gflops(b))));
             fields.push(("speedup_blocked", Json::Num(self.serial_s / b)));
+        }
+        if let Some(s) = self.simd_s {
+            fields.push(("simd_ms", Json::Num(s * 1e3)));
+            fields.push(("simd_gflops", Json::Num(gflops(s))));
+            fields.push(("speedup_simd", Json::Num(self.serial_s / s)));
         }
         Json::obj(fields.iter().map(|(k, v)| (*k, v.clone())).collect())
     }
@@ -118,9 +139,18 @@ fn train_fixture(
 fn main() {
     let quick = std::env::var("ARGO_BENCH_QUICK").is_ok_and(|v| v == "1");
     let samples = if quick { 2 } else { 5 };
+    // The SpMM gathers run ~1 ms and are memory-bound, so a single noisy
+    // scheduler quantum can double one sample; min-of-2 is not enough to
+    // reject that on a shared CI core. More samples cost almost nothing.
+    let sparse_samples = if quick { 8 } else { samples };
     let pool = ThreadPool::new("bench", 4);
-    // Threshold 1 so the pool variants parallelize at every benched shape.
-    let policy = DispatchPolicy::new(1);
+    // Threshold 1 so the pool variants parallelize at every benched shape;
+    // `policy` is the full dispatch default (SIMD tier on), `scalar` pins
+    // the pre-SIMD tiers for the serial/blocked columns. The sparse work
+    // threshold is forced to 1 so the SpMM pool columns keep measuring the
+    // pool even below the dispatch crossover.
+    let policy = DispatchPolicy::new(1).with_sparse_work_threshold(1);
+    let scalar = policy.force_scalar();
     let mut rows: Vec<KernelRow> = Vec::new();
 
     // -- GEMM: small and large shapes; large is the gated one. --
@@ -129,6 +159,7 @@ fn main() {
         let b = Matrix::xavier(k, n, 2);
         let serial = time_min(samples, || a.matmul(&b));
         let blocked = time_min(samples, || a.matmul_blocked(&b));
+        let simd = time_min(samples, || policy.gemm(&a, &b, None));
         let pooled = time_min(samples, || policy.gemm(&a, &b, Some(&pool)));
         rows.push(KernelRow {
             name: "gemm",
@@ -136,8 +167,10 @@ fn main() {
             flops: 2.0 * (m * k * n) as f64,
             serial_s: serial,
             blocked_s: Some(blocked),
+            simd_s: Some(simd),
             pool_s: pooled,
             gate_min,
+            simd_gate_min: gate_min,
         });
     }
 
@@ -148,6 +181,7 @@ fn main() {
         let g = Matrix::xavier(m, n, 4);
         let serial = time_min(samples, || x.matmul_transpose_self(&g));
         let blocked = time_min(samples, || x.matmul_transpose_self_blocked(&g));
+        let simd = time_min(samples, || policy.grad_weights(&x, &g, None));
         let pooled = time_min(samples, || policy.grad_weights(&x, &g, Some(&pool)));
         rows.push(KernelRow {
             name: "grad_weights",
@@ -155,8 +189,10 @@ fn main() {
             flops: 2.0 * (m * k * n) as f64,
             serial_s: serial,
             blocked_s: Some(blocked),
+            simd_s: Some(simd),
             pool_s: pooled,
             gate_min: Some(1.0),
+            simd_gate_min: Some(1.0),
         });
     }
 
@@ -167,6 +203,7 @@ fn main() {
         let w = Matrix::xavier(k, n, 6);
         let serial = time_min(samples, || g.matmul_transpose_other(&w));
         let blocked = time_min(samples, || g.matmul_transpose_other_blocked(&w));
+        let simd = time_min(samples, || policy.grad_input(&g, &w, 0..k, None));
         let pooled = time_min(samples, || policy.grad_input(&g, &w, 0..k, Some(&pool)));
         rows.push(KernelRow {
             name: "grad_input",
@@ -174,8 +211,10 @@ fn main() {
             flops: 2.0 * (m * k * n) as f64,
             serial_s: serial,
             blocked_s: Some(blocked),
+            simd_s: Some(simd),
             pool_s: pooled,
             gate_min: Some(1.0),
+            simd_gate_min: Some(1.0),
         });
     }
 
@@ -183,26 +222,37 @@ fn main() {
     let adj = random_csr(4096, 4096, 16);
     {
         let h = Matrix::xavier(4096, 64, 7);
-        let serial = time_min(samples, || adj.spmm(&h));
-        let pooled = time_min(samples, || policy.aggregate(&adj, &h, Some(&pool)));
+        // Serial baseline is the scalar row gather — the public `spmm`
+        // auto-enables SIMD on capable hosts, which is what the simd
+        // column measures.
+        let serial = time_min(sparse_samples, || scalar.aggregate(&adj, &h, None));
+        let simd = time_min(sparse_samples, || policy.aggregate(&adj, &h, None));
+        let pooled = time_min(sparse_samples, || policy.aggregate(&adj, &h, Some(&pool)));
         rows.push(KernelRow {
             name: "spmm",
             shape: "4096x4096_nnz16_d64".to_string(),
             flops: 2.0 * (adj.nnz() * 64) as f64,
             serial_s: serial,
             blocked_s: None,
+            simd_s: Some(simd),
             pool_s: pooled,
             gate_min: None,
+            simd_gate_min: Some(0.95),
         });
     }
 
     // -- Transposed SpMM: naive scatter vs CSC gather vs CSC+pool. --
     {
         let g = Matrix::xavier(4096, 64, 8);
-        let serial = time_min(samples, || adj.spmm_transpose(&g));
+        let serial = time_min(sparse_samples, || adj.spmm_transpose(&g));
         adj.csc(); // build the mirror once, outside the timed region
-        let csc = time_min(samples, || adj.spmm_transpose_csc(&g));
-        let pooled = time_min(samples, || {
+        let csc = time_min(sparse_samples, || {
+            scalar.aggregate_transpose(&adj, &g, None)
+        });
+        let simd = time_min(sparse_samples, || {
+            policy.aggregate_transpose(&adj, &g, None)
+        });
+        let pooled = time_min(sparse_samples, || {
             policy.aggregate_transpose(&adj, &g, Some(&pool))
         });
         rows.push(KernelRow {
@@ -211,8 +261,10 @@ fn main() {
             flops: 2.0 * (adj.nnz() * 64) as f64,
             serial_s: serial,
             blocked_s: Some(csc),
+            simd_s: Some(simd),
             pool_s: pooled,
             gate_min: Some(0.95),
+            simd_gate_min: Some(0.95),
         });
     }
 
@@ -231,6 +283,10 @@ fn main() {
             argo_tensor::ops::relu_inplace(&mut z)
         });
         let blocked = time_min(samples, || {
+            let mut out = Matrix::zeros(n_dst, o);
+            scalar.sage_gemm_into(&h, &agg, &w, Epilogue::bias_relu(&bias), None, &mut out)
+        });
+        let simd = time_min(samples, || {
             let mut out = Matrix::zeros(n_dst, o);
             policy.sage_gemm_into(&h, &agg, &w, Epilogue::bias_relu(&bias), None, &mut out)
         });
@@ -251,8 +307,10 @@ fn main() {
             flops: 2.0 * (n_dst * 2 * f * o) as f64,
             serial_s: serial,
             blocked_s: Some(blocked),
+            simd_s: Some(simd),
             pool_s: pooled,
             gate_min: Some(1.0),
+            simd_gate_min: Some(1.0),
         });
     }
 
@@ -273,20 +331,24 @@ fn main() {
     let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!("=== micro_kernels (quick={quick}, host_threads={host_threads}) ===\n");
     println!(
-        "{:<16} {:<22} {:>10} {:>10} {:>10} {:>8} {:>8}",
-        "kernel", "shape", "serial ms", "blocked", "pool", "blk x", "pool x"
+        "{:<16} {:<22} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8} {:>8}",
+        "kernel", "shape", "serial ms", "blocked", "simd", "pool", "blk x", "simd x", "pool x"
     );
     for r in &rows {
         println!(
-            "{:<16} {:<22} {:>10.3} {:>10} {:>10.3} {:>8} {:>8.2}",
+            "{:<16} {:<22} {:>10.3} {:>10} {:>10} {:>10.3} {:>8} {:>8} {:>8.2}",
             r.name,
             r.shape,
             r.serial_s * 1e3,
             r.blocked_s
                 .map_or("-".to_string(), |b| format!("{:.3}", b * 1e3)),
+            r.simd_s
+                .map_or("-".to_string(), |s| format!("{:.3}", s * 1e3)),
             r.pool_s * 1e3,
             r.blocked_s
                 .map_or("-".to_string(), |b| format!("{:.2}", r.serial_s / b)),
+            r.simd_s
+                .map_or("-".to_string(), |s| format!("{:.2}", r.serial_s / s)),
             r.serial_s / r.pool_s,
         );
     }
@@ -328,26 +390,42 @@ fn main() {
         Err(e) => eprintln!("\nfailed to write {}: {e}", out_path.display()),
     }
 
-    // -- Quick-mode perf gate: blocked must not lose to naive serial. --
+    // -- Quick-mode perf gate: blocked must not lose to naive serial, and
+    // SIMD must not lose to the tier directly below it. The SIMD gate only
+    // bites on hosts where the AVX2 tier is actually live; on scalar
+    // fallback hosts both sides run the same kernels and sit at ~1.0x.
     if quick {
         let mut failed = false;
         for r in &rows {
-            let (Some(floor), Some(b)) = (r.gate_min, r.blocked_s) else {
-                continue;
-            };
-            let speedup = r.serial_s / b;
-            if speedup < floor {
-                eprintln!(
-                    "PERF GATE: {} @ {} blocked is slower than serial \
-                     ({speedup:.2}x < required {floor:.2}x)",
-                    r.name, r.shape
-                );
-                failed = true;
+            if let (Some(floor), Some(b)) = (r.gate_min, r.blocked_s) {
+                let speedup = r.serial_s / b;
+                if speedup < floor {
+                    eprintln!(
+                        "PERF GATE: {} @ {} blocked is slower than serial \
+                         ({speedup:.2}x < required {floor:.2}x)",
+                        r.name, r.shape
+                    );
+                    failed = true;
+                }
+            }
+            if let (Some(floor), Some(s)) = (r.simd_gate_min, r.simd_s) {
+                let vs_below = r.simd_baseline_s() / s;
+                if vs_below < floor {
+                    eprintln!(
+                        "PERF GATE: {} @ {} simd is slower than the tier below \
+                         ({vs_below:.2}x < required {floor:.2}x)",
+                        r.name, r.shape
+                    );
+                    failed = true;
+                }
             }
         }
         if failed {
             std::process::exit(1);
         }
-        println!("perf gate OK: no blocked kernel regresses against its serial counterpart");
+        println!(
+            "perf gate OK: no blocked kernel regresses against serial, \
+             no simd kernel regresses against the tier below"
+        );
     }
 }

@@ -93,6 +93,23 @@ const SCRATCH_NEEDLES: &[&str] = &["HashMap", "HashSet", ".clone()"];
 /// comment stays adjacent to the block it justifies.
 const SAFETY_LOOKBACK: usize = 8;
 
+/// The one file allowed to contain raw `core::arch` SIMD intrinsics. All
+/// explicit vectorization funnels through this module so the runtime
+/// feature detection, the scalar fallback and the numerical contract live
+/// in one reviewed place; intrinsics sprinkled elsewhere would bypass all
+/// three.
+const SIMD_FILE: &str = "crates/tensor/src/simd.rs";
+
+/// Tokens that mark raw SIMD usage: the arch module path, intrinsic calls
+/// (`_mm256_fmadd_ps`, …) and vector register types (`__m256`, …).
+const SIMD_NEEDLES: &[&str] = &["core::arch", "_mm", "__m"];
+
+/// Inside [`SIMD_FILE`], a `SAFETY:` justification must name the runtime
+/// feature check that guards the block — one of these, case-insensitive —
+/// so the comment states *which* detection makes the intrinsics sound,
+/// not just that they are.
+const SIMD_FEATURE_MARKS: &[&str] = &["avx2", "is_x86_feature_detected"];
+
 /// The raw-pointer window escape: a buffer's base address smuggled across a
 /// closure boundary as `usize` so workers can carve claimed-disjoint `&mut`
 /// windows out of it.
@@ -150,6 +167,71 @@ pub fn check_file(file: &SourceFile, allow: &mut AllowTracker, out: &mut Vec<Dia
         check_sampler_scratch(file, allow, out);
         check_span_pairing(file, allow, out);
         check_window_racecheck(file, allow, out);
+        check_simd_isolation(file, allow, out);
+    }
+}
+
+/// Rule `simd-isolation`: raw `core::arch` intrinsics live only in
+/// [`SIMD_FILE`] — everywhere else they would bypass the runtime feature
+/// dispatch, the scalar fallback and the documented numerical contract.
+/// Inside that file, every `unsafe` must carry a `SAFETY:` comment naming
+/// the runtime feature check guarding it (see [`SIMD_FEATURE_MARKS`]), so
+/// a reader can tell which detection makes the raw-pointer loads and
+/// feature-gated calls sound.
+fn check_simd_isolation(file: &SourceFile, allow: &mut AllowTracker, out: &mut Vec<Diagnostic>) {
+    if !file.path.starts_with("crates/") {
+        return;
+    }
+    if file.path.ends_with(SIMD_FILE) {
+        for (n, line) in file.numbered() {
+            if !contains_token(&line.code, "unsafe") {
+                continue;
+            }
+            let start = n.saturating_sub(SAFETY_LOOKBACK + 1);
+            let window = &file.lines[start..n];
+            let named = window.iter().any(|l| l.comment.contains("SAFETY:"))
+                && window.iter().any(|l| {
+                    let c = l.comment.to_lowercase();
+                    SIMD_FEATURE_MARKS.iter().any(|m| c.contains(m))
+                });
+            if !named && !allow.permits("simd-isolation", &file.path, &line.raw) {
+                out.push(Diagnostic {
+                    path: file.path.clone(),
+                    line: n,
+                    rule: "simd-isolation",
+                    message: format!(
+                        "`unsafe` in the SIMD module whose `SAFETY:` comment (within \
+                         {SAFETY_LOOKBACK} lines) does not name the runtime feature check \
+                         guarding it; say which detection (e.g. `available()` = AVX2+FMA) \
+                         makes this block sound"
+                    ),
+                });
+            }
+        }
+        return;
+    }
+    for (n, line) in file.numbered() {
+        if line.test {
+            continue;
+        }
+        for needle in SIMD_NEEDLES {
+            if contains_token(&line.code, needle)
+                && !allow.permits("simd-isolation", &file.path, &line.raw)
+            {
+                out.push(Diagnostic {
+                    path: file.path.clone(),
+                    line: n,
+                    rule: "simd-isolation",
+                    message: format!(
+                        "raw SIMD token `{needle}` outside `{SIMD_FILE}`; explicit \
+                         vectorization must go through the tensor SIMD module so runtime \
+                         dispatch, the scalar fallback and the numerical contract stay \
+                         centralized, or add an allowlist entry with a justification"
+                    ),
+                });
+                break;
+            }
+        }
     }
 }
 
@@ -679,6 +761,63 @@ mod tests {
             "fn f() { let m: HashMap<u64, usize> = HashMap::new(); }\n"
         )
         .is_empty());
+    }
+
+    #[test]
+    fn raw_intrinsics_outside_the_simd_module_are_flagged() {
+        let d = lint(
+            "crates/tensor/src/kernels.rs",
+            "fn f() { let v = _mm256_add_ps(a, b); }\n",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "simd-isolation");
+        let d = lint("crates/nn/src/x.rs", "use core::arch::x86_64::*;\n");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "simd-isolation");
+        let d = lint("crates/rt/src/x.rs", "fn f(a: __m256) -> __m256 { a }\n");
+        assert_eq!(d.len(), 1, "one diagnostic per line: {d:?}");
+    }
+
+    #[test]
+    fn simd_module_tests_and_foreign_paths_may_use_intrinsics() {
+        // The SIMD module itself is the sanctioned home.
+        assert!(lint(
+            "crates/tensor/src/simd.rs",
+            "use core::arch::x86_64::*;\nfn f(a: __m256) {}\n"
+        )
+        .is_empty());
+        // Test modules and non-crate paths are out of scope.
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { _mm256_setzero_ps(); }\n}\n";
+        assert!(lint("crates/tensor/src/kernels.rs", src).is_empty());
+        assert!(lint("shims/x/src/lib.rs", "fn f() { _mm256_setzero_ps(); }\n").is_empty());
+        // Ordinary identifiers that merely end in the needle don't match.
+        assert!(lint("crates/rt/src/x.rs", "fn f() { let comm_mm = 1; }\n").is_empty());
+    }
+
+    #[test]
+    fn simd_unsafe_must_name_the_feature_check() {
+        // SAFETY present but silent about the runtime feature check: the
+        // generic unsafe-safety rule passes, simd-isolation flags it.
+        let src = "fn f() {\n\
+                   \x20   // SAFETY: pointers are in bounds.\n\
+                   \x20   unsafe { g(); }\n\
+                   }\n";
+        let d = lint("crates/tensor/src/simd.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "simd-isolation");
+        assert_eq!(d[0].line, 3);
+        // Naming the guarding detection satisfies it.
+        let src = "fn f() {\n\
+                   \x20   // SAFETY: in bounds, and available() confirmed AVX2+FMA.\n\
+                   \x20   unsafe { g(); }\n\
+                   }\n";
+        assert!(lint("crates/tensor/src/simd.rs", src).is_empty());
+        // `is_x86_feature_detected` in the comment works too.
+        let src = "fn f() {\n\
+                   \x20   // SAFETY: guarded by is_x86_feature_detected above.\n\
+                   \x20   unsafe { g(); }\n\
+                   }\n";
+        assert!(lint("crates/tensor/src/simd.rs", src).is_empty());
     }
 
     #[test]

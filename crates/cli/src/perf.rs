@@ -170,6 +170,7 @@ struct KernelRow {
     shape: String,
     pool: Option<f64>,
     blocked: Option<f64>,
+    simd: Option<f64>,
 }
 
 fn kernel_rows(doc: &Json) -> Vec<KernelRow> {
@@ -183,6 +184,7 @@ fn kernel_rows(doc: &Json) -> Vec<KernelRow> {
                         shape: text(k, "shape").unwrap_or_default(),
                         pool: num(k, "speedup_pool"),
                         blocked: num(k, "speedup_blocked"),
+                        simd: num(k, "speedup_simd"),
                     })
                 })
                 .collect()
@@ -221,6 +223,9 @@ pub fn diff_kernels(baseline: &Json, current: &Json, tolerance: f64) -> DiffRepo
                         bb,
                         cb,
                     );
+                }
+                if let (Some(bs), Some(cs)) = (b.simd, k.simd) {
+                    rep.push(format!("kernels/{}[{shapes}]:speedup_simd", b.name), bs, cs);
                 }
             }
             None => rep.note(format!(
@@ -405,6 +410,7 @@ mod tests {
                 ("shape", Json::str(shape)),
                 ("speedup_pool", Json::Num(pool)),
                 ("speedup_blocked", Json::Num(pool + 0.1)),
+                ("speedup_simd", Json::Num(pool + 0.2)),
             ])
         };
         Json::obj(vec![
@@ -432,8 +438,8 @@ mod tests {
             DEFAULT_TOLERANCE,
         );
         assert_eq!(rep.regressions(), 0);
-        // scratch + pool2 + 2 gemms × (pool, blocked) + train_step = 7.
-        assert_eq!(rep.lines.len(), 7);
+        // scratch + pool2 + 2 gemms × (pool, blocked, simd) + train_step = 9.
+        assert_eq!(rep.lines.len(), 9);
         assert!(rep.render().contains("perf gate OK"));
     }
 
@@ -471,7 +477,7 @@ mod tests {
             &kernels_doc(1.4, 0.9, 0.89),
             0.15,
         );
-        assert_eq!(rep.regressions(), 2); // its pool and blocked columns
+        assert_eq!(rep.regressions(), 3); // its pool, blocked and simd columns
         assert!(rep.render().contains("1024x256x128"));
     }
 

@@ -53,6 +53,11 @@ pub struct EngineOptions {
     /// [`argo_tensor::DispatchPolicy`]); below it the fork/join overhead
     /// outweighs the work.
     pub parallel_row_threshold: usize,
+    /// Minimum sparse work (`nnz × dense columns` multiply-adds) before an
+    /// aggregation kernel runs on the pool. SpMM is memory-bound, so small
+    /// gathers lose to serial even with plenty of rows; the default
+    /// crossover comes from the committed kernel baselines.
+    pub sparse_work_threshold: usize,
 }
 
 impl Default for EngineOptions {
@@ -71,6 +76,7 @@ impl Default for EngineOptions {
             lr_schedule: LrSchedule::Constant,
             cache_capacity: 0,
             parallel_row_threshold: argo_tensor::dispatch::DEFAULT_ROW_THRESHOLD,
+            sparse_work_threshold: argo_tensor::dispatch::DEFAULT_SPARSE_WORK_THRESHOLD,
         }
     }
 }
@@ -161,9 +167,18 @@ impl EngineOptions {
         self
     }
 
-    /// The kernel dispatch policy these options induce.
+    /// Minimum `nnz × dense-cols` multiply-adds before an aggregation
+    /// (SpMM) kernel goes pool-parallel.
+    pub fn with_sparse_work_threshold(mut self, work: usize) -> Self {
+        self.sparse_work_threshold = work;
+        self
+    }
+
+    /// The kernel dispatch policy these options induce (SIMD tier on;
+    /// it self-disables on hosts without AVX2+FMA).
     pub fn dispatch_policy(&self) -> argo_tensor::DispatchPolicy {
         argo_tensor::DispatchPolicy::new(self.parallel_row_threshold)
+            .with_sparse_work_threshold(self.sparse_work_threshold)
     }
 }
 

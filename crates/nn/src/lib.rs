@@ -18,6 +18,7 @@ pub mod gat;
 pub mod metrics;
 pub mod model;
 pub mod optim;
+pub mod quant;
 pub mod schedule;
 
 pub use arch::{AnyModel, Arch};
@@ -25,4 +26,5 @@ pub use gat::Gat;
 pub use metrics::ConfusionMatrix;
 pub use model::{Gnn, GnnKind, StepStats};
 pub use optim::{clip_grad_norm, Adam, AnyOptimizer, Optimizer, OptimizerKind, Sgd};
+pub use quant::QuantizedGnn;
 pub use schedule::LrSchedule;

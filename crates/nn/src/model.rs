@@ -68,20 +68,20 @@ pub struct StepStats {
 /// One layer's normalized adjacency: either a borrow of the pre-normalized
 /// matrix the sampler fused during block assembly, or an owned matrix
 /// normalized here (legacy path for batches sampled without fusion).
-enum NormAdj<'a> {
+pub(crate) enum NormAdj<'a> {
     Pre(&'a SparseMatrix),
     Owned(SparseMatrix),
 }
 
 /// One layer's normalized adjacency plus the output-row count; uniform view
 /// over bipartite blocks and square ShaDow subgraphs.
-struct LayerAdj<'a> {
-    adj: NormAdj<'a>,
-    n_dst: usize,
+pub(crate) struct LayerAdj<'a> {
+    pub(crate) adj: NormAdj<'a>,
+    pub(crate) n_dst: usize,
 }
 
 impl LayerAdj<'_> {
-    fn norm(&self) -> &SparseMatrix {
+    pub(crate) fn norm(&self) -> &SparseMatrix {
         match &self.adj {
             NormAdj::Pre(m) => m,
             NormAdj::Owned(m) => m,
@@ -173,68 +173,14 @@ impl Gnn {
             .sum()
     }
 
-    /// The normalization this model wants fused into its batches.
-    fn wanted_norm(&self) -> Normalization {
-        match self.kind {
-            GnnKind::Gcn => Normalization::Gcn,
-            GnnKind::Sage => Normalization::Mean,
-        }
+    fn layer_adjs<'a>(&self, batch: &'a SampledBatch) -> Vec<LayerAdj<'a>> {
+        layer_adjs_for(self.kind, self.layers.len(), batch)
     }
 
-    fn layer_adjs<'a>(&self, batch: &'a SampledBatch) -> Vec<LayerAdj<'a>> {
-        let want = self.wanted_norm();
-        match batch {
-            SampledBatch::Blocks(mb) => {
-                assert_eq!(
-                    mb.blocks.len(),
-                    self.layers.len(),
-                    "batch depth != model depth"
-                );
-                mb.blocks
-                    .iter()
-                    .map(|b| LayerAdj {
-                        adj: if b.norm == want && b.adj.values().is_some() {
-                            // The sampler already fused this normalization
-                            // into the adjacency values — consume in place.
-                            NormAdj::Pre(&b.adj)
-                        } else {
-                            NormAdj::Owned(match self.kind {
-                                GnnKind::Gcn => b.gcn_normalized(),
-                                GnnKind::Sage => b.mean_normalized(),
-                            })
-                        },
-                        n_dst: b.dst_nodes.len(),
-                    })
-                    .collect()
-            }
-            SampledBatch::Subgraph(sb) => {
-                if sb.norm == want && sb.adj.values().is_some() {
-                    // Every layer (and the backward pass) borrows the one
-                    // pre-normalized matrix; its CSC mirror is shared too.
-                    sb.adj.csc();
-                    return (0..self.layers.len())
-                        .map(|_| LayerAdj {
-                            adj: NormAdj::Pre(&sb.adj),
-                            n_dst: sb.nodes.len(),
-                        })
-                        .collect();
-                }
-                let norm = match self.kind {
-                    GnnKind::Gcn => sb.gcn_normalized(),
-                    GnnKind::Sage => sb.mean_normalized(),
-                };
-                // Build the CSC mirror before cloning so every layer (and
-                // the backward pass) shares one mirror instead of each
-                // clone rebuilding it lazily.
-                norm.csc();
-                (0..self.layers.len())
-                    .map(|_| LayerAdj {
-                        adj: NormAdj::Owned(norm.clone()),
-                        n_dst: sb.nodes.len(),
-                    })
-                    .collect()
-            }
-        }
+    /// One layer's weights and bias — the quantized-inference builder in
+    /// [`crate::quant`] reads the trained parameters through this.
+    pub(crate) fn layer_params(&self, l: usize) -> (&Matrix, &[f32]) {
+        (&self.layers[l].w, &self.layers[l].b)
     }
 
     /// Layer forward: returns `(output, aggregation cache, relu mask)`.
@@ -524,12 +470,78 @@ impl Gnn {
     }
 }
 
-fn gather_features(feats: &Features, ids: &[u32]) -> Matrix {
+fn wanted_norm_for(kind: GnnKind) -> Normalization {
+    match kind {
+        GnnKind::Gcn => Normalization::Gcn,
+        GnnKind::Sage => Normalization::Mean,
+    }
+}
+
+/// The per-layer normalized adjacencies of a batch for a `depth`-layer
+/// model of the given kind — shared by [`Gnn`] and the quantized inference
+/// model in [`crate::quant`].
+pub(crate) fn layer_adjs_for(
+    kind: GnnKind,
+    depth: usize,
+    batch: &SampledBatch,
+) -> Vec<LayerAdj<'_>> {
+    let want = wanted_norm_for(kind);
+    match batch {
+        SampledBatch::Blocks(mb) => {
+            assert_eq!(mb.blocks.len(), depth, "batch depth != model depth");
+            mb.blocks
+                .iter()
+                .map(|b| LayerAdj {
+                    adj: if b.norm == want && b.adj.values().is_some() {
+                        // The sampler already fused this normalization
+                        // into the adjacency values — consume in place.
+                        NormAdj::Pre(&b.adj)
+                    } else {
+                        NormAdj::Owned(match kind {
+                            GnnKind::Gcn => b.gcn_normalized(),
+                            GnnKind::Sage => b.mean_normalized(),
+                        })
+                    },
+                    n_dst: b.dst_nodes.len(),
+                })
+                .collect()
+        }
+        SampledBatch::Subgraph(sb) => {
+            if sb.norm == want && sb.adj.values().is_some() {
+                // Every layer (and the backward pass) borrows the one
+                // pre-normalized matrix; its CSC mirror is shared too.
+                sb.adj.csc();
+                return (0..depth)
+                    .map(|_| LayerAdj {
+                        adj: NormAdj::Pre(&sb.adj),
+                        n_dst: sb.nodes.len(),
+                    })
+                    .collect();
+            }
+            let norm = match kind {
+                GnnKind::Gcn => sb.gcn_normalized(),
+                GnnKind::Sage => sb.mean_normalized(),
+            };
+            // Build the CSC mirror before cloning so every layer (and
+            // the backward pass) shares one mirror instead of each
+            // clone rebuilding it lazily.
+            norm.csc();
+            (0..depth)
+                .map(|_| LayerAdj {
+                    adj: NormAdj::Owned(norm.clone()),
+                    n_dst: sb.nodes.len(),
+                })
+                .collect()
+        }
+    }
+}
+
+pub(crate) fn gather_features(feats: &Features, ids: &[u32]) -> Matrix {
     let g = feats.gather(ids);
     Matrix::from_vec(ids.len(), feats.dim(), g.data().to_vec())
 }
 
-fn select_rows(m: &Matrix, rows: &[usize]) -> Matrix {
+pub(crate) fn select_rows(m: &Matrix, rows: &[usize]) -> Matrix {
     let mut out = Matrix::zeros(rows.len(), m.cols());
     for (i, &r) in rows.iter().enumerate() {
         out.row_mut(i).copy_from_slice(m.row(r));

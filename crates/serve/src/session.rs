@@ -25,7 +25,7 @@ use std::sync::Arc;
 use argo_core::Error;
 use argo_engine::Engine;
 use argo_graph::{Dataset, NodeId};
-use argo_nn::AnyModel;
+use argo_nn::{AnyModel, QuantizedGnn};
 use argo_rt::racecheck;
 use argo_rt::telemetry::names;
 use argo_rt::{
@@ -33,7 +33,7 @@ use argo_rt::{
     SpanKind, SpanProfiler, Telemetry, ThreadPool, WorkerRing,
 };
 use argo_sample::{CacheStats, FeatureCache, Normalization, SampleRun, Sampler, SamplerScratch};
-use argo_tensor::Matrix;
+use argo_tensor::{Matrix, QuantKind};
 
 use crate::batcher::{Admitted, FlushReason, MicroBatch, MicroBatcher};
 use crate::clock::{Clock, WallClock};
@@ -85,6 +85,7 @@ pub struct ServeSpec {
     seed: u64,
     cores: usize,
     shed_after_us: Option<u64>,
+    quantization: Option<QuantKind>,
     clock: Arc<dyn Clock>,
 }
 
@@ -111,6 +112,7 @@ impl ServeSpec {
                 seed: 0,
                 cores: 0,
                 shed_after_us: None,
+                quantization: None,
                 clock: Arc::new(WallClock::new()),
             },
         }
@@ -202,6 +204,19 @@ impl ServeSpecBuilder {
         self
     }
 
+    /// Serve from post-training-quantized weights (default: full f32).
+    /// The session quantizes the model's trained f32 weights once at
+    /// start-up and routes every forward pass through the quantized
+    /// kernels; responses stay within the documented accuracy delta of
+    /// f32 (see `argo_nn::quant`). GAT has no quantized form yet, so a
+    /// GAT model silently serves f32 — check
+    /// [`ServeSession::active_quantization`] for what actually took
+    /// effect.
+    pub fn quantization(mut self, quant: QuantKind) -> Self {
+        self.spec.quantization = Some(quant);
+        self
+    }
+
     /// Clock driving admission and latency accounting (default
     /// [`WallClock`]; tests inject [`crate::clock::ManualClock`]).
     pub fn clock(mut self, clock: Arc<dyn Clock>) -> Self {
@@ -226,6 +241,9 @@ pub struct ServeSession {
     dataset: Arc<Dataset>,
     sampler: Arc<dyn Sampler>,
     model: AnyModel,
+    /// Quantized twin of `model`, built once at start-up when the spec
+    /// asked for it; `run_query` routes through it when present.
+    quantized: Option<QuantizedGnn>,
     normalization: Normalization,
     seed: u64,
     shed_after_us: Option<u64>,
@@ -259,8 +277,15 @@ impl ServeSession {
             seed,
             cores,
             shed_after_us,
+            quantization,
             clock,
         } = spec;
+        // GAT has no quantized form; it keeps serving f32 (the getter
+        // `active_quantization` reports what actually took effect).
+        let quantized = match (&model, quantization) {
+            (AnyModel::Gnn(g), Some(q)) => Some(g.quantize(q)),
+            _ => None,
+        };
         let pool = if cores > 1 {
             Some(ThreadPool::new("serve", cores))
         } else {
@@ -282,6 +307,7 @@ impl ServeSession {
             dataset,
             sampler,
             model,
+            quantized,
             normalization,
             seed,
             shed_after_us,
@@ -399,6 +425,14 @@ impl ServeSession {
     /// [`ServeSession::apply_config`]).
     pub fn config_epoch(&self) -> u64 {
         self.config_epoch
+    }
+
+    /// The weight-quantization scheme forward passes actually run under,
+    /// or `None` when serving full f32 (either because the spec never
+    /// asked for quantization, or because the architecture has no
+    /// quantized form — GAT).
+    pub fn active_quantization(&self) -> Option<QuantKind> {
+        self.quantized.as_ref().map(QuantizedGnn::quant_kind)
     }
 
     /// Requests currently queued.
@@ -559,7 +593,11 @@ impl ServeSession {
             None => self.dataset.features.gather(ids).data().to_vec(),
         };
         let input = Matrix::from_vec(ids.len(), self.dataset.features.dim(), rows);
-        self.model
-            .forward_gathered(&batch, input, self.pool.as_ref())
+        match self.quantized.as_ref() {
+            Some(qm) => qm.forward_gathered(&batch, input, self.pool.as_ref()),
+            None => self
+                .model
+                .forward_gathered(&batch, input, self.pool.as_ref()),
+        }
     }
 }

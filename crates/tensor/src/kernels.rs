@@ -322,7 +322,16 @@ pub(crate) fn epilogue_bias_relu(
                 }
             }
         }
-        _ => {
+        (true, None) => {
+            // Inference: clamp without recording a mask (no backward pass).
+            for drow in dst.chunks_exact_mut(n) {
+                for (v, &bv) in drow.iter_mut().zip(bias) {
+                    let z = *v + bv;
+                    *v = if z > 0.0 { z } else { 0.0 };
+                }
+            }
+        }
+        (false, _) => {
             for drow in dst.chunks_exact_mut(n) {
                 for (v, &bv) in drow.iter_mut().zip(bias) {
                     *v += bv;

@@ -17,10 +17,14 @@ pub mod dense;
 pub mod dispatch;
 mod kernels;
 pub mod ops;
+pub mod quant;
+mod simd;
 pub mod sparse;
 pub mod workspace;
 
 pub use dense::Matrix;
 pub use dispatch::{DispatchPolicy, Epilogue};
+pub use quant::{QuantKind, QuantizedMatrix};
+pub use simd::available as simd_available;
 pub use sparse::{CscMirror, SparseMatrix};
 pub use workspace::Workspace;

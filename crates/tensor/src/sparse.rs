@@ -6,6 +6,7 @@ use std::sync::{Arc, OnceLock};
 use argo_rt::{racecheck, ThreadPool};
 
 use crate::dense::Matrix;
+use crate::simd;
 
 /// A `rows x cols` sparse matrix in CSR form with optional explicit values
 /// (implicit value 1.0 when `values` is `None`) — exactly the shape of a
@@ -155,10 +156,18 @@ impl SparseMatrix {
     /// [`SparseMatrix::spmm`] writing into a caller-provided (e.g.
     /// workspace-recycled) output matrix; prior contents are overwritten.
     pub fn spmm_into(&self, dense: &Matrix, out: &mut Matrix) {
+        self.spmm_into_opt(dense, out, simd::available());
+    }
+
+    /// [`SparseMatrix::spmm_into`] with an explicit SIMD-gather switch —
+    /// the vectorized and scalar gathers are bitwise-equal, so this only
+    /// exists for dispatch routing and for benchmarking both in one
+    /// process.
+    pub(crate) fn spmm_into_opt(&self, dense: &Matrix, out: &mut Matrix, use_simd: bool) {
         assert_eq!(self.cols, dense.rows(), "spmm shape mismatch");
         assert_eq!((out.rows(), out.cols()), (self.rows, dense.cols()));
         out.data_mut().fill(0.0);
-        self.spmm_rows_into(dense, 0..self.rows, out);
+        self.spmm_rows_into(dense, 0..self.rows, out, use_simd);
     }
 
     /// SpMM with the row loop parallelized over `pool`.
@@ -171,6 +180,18 @@ impl SparseMatrix {
     /// [`SparseMatrix::spmm_pool`] writing into a caller-provided output
     /// matrix; prior contents are overwritten.
     pub fn spmm_pool_into(&self, dense: &Matrix, pool: &ThreadPool, out: &mut Matrix) {
+        self.spmm_pool_into_opt(dense, pool, out, simd::available());
+    }
+
+    /// [`SparseMatrix::spmm_pool_into`] with an explicit SIMD switch (see
+    /// [`SparseMatrix::spmm_into_opt`]).
+    pub(crate) fn spmm_pool_into_opt(
+        &self,
+        dense: &Matrix,
+        pool: &ThreadPool,
+        out: &mut Matrix,
+        use_simd: bool,
+    ) {
         assert_eq!(self.cols, dense.rows(), "spmm shape mismatch");
         assert_eq!((out.rows(), out.cols()), (self.rows, dense.cols()));
         out.data_mut().fill(0.0);
@@ -183,27 +204,37 @@ impl SparseMatrix {
                 // SAFETY: each output row is written by exactly one worker.
                 let drow =
                     unsafe { std::slice::from_raw_parts_mut((out_ptr as *mut f32).add(i * n), n) };
-                self.row_accumulate(dense, i, drow);
+                self.row_accumulate(dense, i, drow, use_simd);
             }
         });
     }
 
-    fn spmm_rows_into(&self, dense: &Matrix, range: std::ops::Range<usize>, out: &mut Matrix) {
+    fn spmm_rows_into(
+        &self,
+        dense: &Matrix,
+        range: std::ops::Range<usize>,
+        out: &mut Matrix,
+        use_simd: bool,
+    ) {
         for i in range {
             let n = out.cols();
             let drow = &mut out.data_mut()[i * n..(i + 1) * n];
-            self.row_accumulate(dense, i, drow);
+            self.row_accumulate(dense, i, drow, use_simd);
         }
     }
 
     #[inline]
-    fn row_accumulate(&self, dense: &Matrix, i: usize, drow: &mut [f32]) {
+    fn row_accumulate(&self, dense: &Matrix, i: usize, drow: &mut [f32], use_simd: bool) {
         for k in self.indptr[i]..self.indptr[i + 1] {
             let j = self.indices[k] as usize;
             let w = self.value_at(k);
             let src = dense.row(j);
-            for (d, &s) in drow.iter_mut().zip(src) {
-                *d += w * s;
+            if use_simd {
+                simd::axpy(drow, w, src);
+            } else {
+                for (d, &s) in drow.iter_mut().zip(src) {
+                    *d += w * s;
+                }
             }
         }
     }
@@ -283,13 +314,30 @@ impl SparseMatrix {
     /// [`SparseMatrix::spmm_transpose_csc`] writing into a caller-provided
     /// output matrix; prior contents are overwritten.
     pub fn spmm_transpose_csc_into(&self, dense: &Matrix, out: &mut Matrix) {
+        self.spmm_transpose_csc_into_opt(dense, out, simd::available());
+    }
+
+    /// [`SparseMatrix::spmm_transpose_csc_into`] with an explicit SIMD
+    /// switch (see [`SparseMatrix::spmm_into_opt`]).
+    pub(crate) fn spmm_transpose_csc_into_opt(
+        &self,
+        dense: &Matrix,
+        out: &mut Matrix,
+        use_simd: bool,
+    ) {
         assert_eq!(self.rows, dense.rows(), "spmm_transpose shape mismatch");
         assert_eq!((out.rows(), out.cols()), (self.cols, dense.cols()));
         out.data_mut().fill(0.0);
         let csc = self.csc();
         let n = dense.cols();
         for j in 0..self.cols {
-            Self::csc_gather_row(csc, dense, j, &mut out.data_mut()[j * n..(j + 1) * n]);
+            Self::csc_gather_row(
+                csc,
+                dense,
+                j,
+                &mut out.data_mut()[j * n..(j + 1) * n],
+                use_simd,
+            );
         }
     }
 
@@ -309,6 +357,18 @@ impl SparseMatrix {
         pool: &ThreadPool,
         out: &mut Matrix,
     ) {
+        self.spmm_transpose_csc_pool_into_opt(dense, pool, out, simd::available());
+    }
+
+    /// [`SparseMatrix::spmm_transpose_csc_pool_into`] with an explicit SIMD
+    /// switch (see [`SparseMatrix::spmm_into_opt`]).
+    pub(crate) fn spmm_transpose_csc_pool_into_opt(
+        &self,
+        dense: &Matrix,
+        pool: &ThreadPool,
+        out: &mut Matrix,
+        use_simd: bool,
+    ) {
         assert_eq!(self.rows, dense.rows(), "spmm_transpose shape mismatch");
         assert_eq!((out.rows(), out.cols()), (self.cols, dense.cols()));
         out.data_mut().fill(0.0);
@@ -323,19 +383,23 @@ impl SparseMatrix {
                 // and the pool call blocks until all workers finish.
                 let drow =
                     unsafe { std::slice::from_raw_parts_mut((out_ptr as *mut f32).add(j * n), n) };
-                Self::csc_gather_row(csc, dense, j, drow);
+                Self::csc_gather_row(csc, dense, j, drow, use_simd);
             }
         });
     }
 
     #[inline]
-    fn csc_gather_row(csc: &CscMirror, dense: &Matrix, j: usize, drow: &mut [f32]) {
+    fn csc_gather_row(csc: &CscMirror, dense: &Matrix, j: usize, drow: &mut [f32], use_simd: bool) {
         for k in csc.colptr[j]..csc.colptr[j + 1] {
             let i = csc.rowidx[k] as usize;
             let w = csc.values.as_ref().map_or(1.0, |v| v[k]);
             let src = dense.row(i);
-            for (d, &s) in drow.iter_mut().zip(src) {
-                *d += w * s;
+            if use_simd {
+                simd::axpy(drow, w, src);
+            } else {
+                for (d, &s) in drow.iter_mut().zip(src) {
+                    *d += w * s;
+                }
             }
         }
     }

@@ -13,10 +13,59 @@
 //! (behind a `RefCell`), which is the right granularity because kernels
 //! parallelize *inside* one step, never across steps of one model.
 
+use std::cell::RefCell;
+
 use crate::dense::Matrix;
 
 /// Maximum retired buffers kept; beyond this the smallest is dropped.
 const MAX_FREE: usize = 32;
+
+/// Per-thread panel-packing scratch for the SIMD GEMM tier. Pool workers
+/// each pack their own row range concurrently, so these buffers are
+/// thread-local rather than routed through a model's (single-threaded)
+/// [`Workspace`]. They grow to the high-water panel size on first use and
+/// are reused for every subsequent GEMM on that thread — `grows` counts
+/// reallocations so tests can pin the zero-steady-state-alloc property.
+#[derive(Default)]
+struct PackScratch {
+    a: Vec<f32>,
+    b: Vec<f32>,
+    grows: usize,
+}
+
+thread_local! {
+    static PACK: RefCell<PackScratch> = const { RefCell::new(PackScratch { a: Vec::new(), b: Vec::new(), grows: 0 }) };
+}
+
+/// Runs `f` with this thread's packing buffers resized to at least
+/// `a_len` / `b_len` elements (contents unspecified on entry; callers
+/// overwrite before reading). Not reentrant — kernels never recurse into
+/// another GEMM while packing.
+pub(crate) fn with_pack_buffers<R>(
+    a_len: usize,
+    b_len: usize,
+    f: impl FnOnce(&mut [f32], &mut [f32]) -> R,
+) -> R {
+    PACK.with(|cell| {
+        let mut scratch = cell.borrow_mut();
+        if scratch.a.len() < a_len {
+            scratch.grows += 1;
+            scratch.a.resize(a_len, 0.0);
+        }
+        if scratch.b.len() < b_len {
+            scratch.grows += 1;
+            scratch.b.resize(b_len, 0.0);
+        }
+        let PackScratch { a, b, .. } = &mut *scratch;
+        f(&mut a[..a_len], &mut b[..b_len])
+    })
+}
+
+/// Times this thread's pack buffers have grown (ever). Steady-state
+/// kernels must leave this constant.
+pub fn pack_buffer_grows() -> usize {
+    PACK.with(|cell| cell.borrow().grows)
+}
 
 /// A capacity-sorted free list of retired `Vec<f32>` allocations.
 #[derive(Debug, Default)]
@@ -132,6 +181,38 @@ mod tests {
         let m = ws.take(MAX_FREE + 5, 1);
         assert_eq!(ws.reuses(), 1);
         assert_eq!(m.data().len(), MAX_FREE + 5);
+    }
+
+    #[test]
+    fn pack_buffers_grow_once_then_stabilize() {
+        // Run on a dedicated thread so other tests' pack use can't skew
+        // the thread-local counter.
+        std::thread::spawn(|| {
+            let before = pack_buffer_grows();
+            with_pack_buffers(16, 32, |a, b| {
+                assert_eq!((a.len(), b.len()), (16, 32));
+                a.fill(1.0);
+                b.fill(2.0);
+            });
+            assert_eq!(pack_buffer_grows(), before + 2);
+            for _ in 0..4 {
+                with_pack_buffers(16, 32, |a, b| {
+                    assert_eq!((a.len(), b.len()), (16, 32));
+                });
+            }
+            with_pack_buffers(8, 8, |a, b| {
+                assert_eq!((a.len(), b.len()), (8, 8));
+            });
+            assert_eq!(
+                pack_buffer_grows(),
+                before + 2,
+                "smaller takes must not grow"
+            );
+            with_pack_buffers(64, 32, |_, _| {});
+            assert_eq!(pack_buffer_grows(), before + 3, "only A grew");
+        })
+        .join()
+        .unwrap();
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Property tests pinning the blocked kernels to the naive references.
+//! Property tests pinning the blocked and SIMD kernels to the naive
+//! references.
 //!
 //! The blocked GEMM family and the CSC-gather transposed SpMM are written
 //! so their per-element accumulation order matches the naive kernels
@@ -9,10 +10,23 @@
 //! 64-row block). Pool-parallel weight gradients reduce per-worker
 //! partials, which legally reorders across ranges, so those are held to
 //! max-abs-error ≤ 1e-5 instead.
+//!
+//! The SIMD tier has a two-level contract against the scalar tier
+//! (`DispatchPolicy::force_scalar`, the forced-fallback path):
+//!
+//! * GEMM / weight gradients / input gradients use FMA, which fuses the
+//!   per-step rounding — **scaled 1e-5 tolerance**;
+//! * SpMM gathers and the bias/ReLU epilogue vectorize the feature
+//!   dimension with separate mul+add in scalar lane order — **bitwise**.
 
 use argo_rt::ThreadPool;
-use argo_tensor::{DispatchPolicy, Matrix, SparseMatrix};
+use argo_tensor::{DispatchPolicy, Epilogue, Matrix, SparseMatrix};
 use proptest::prelude::*;
+
+/// Scaled tolerance of the FMA contract.
+fn fma_close(got: f32, want: f32) -> bool {
+    (got - want).abs() <= 1e-5 * 1.0f32.max(want.abs())
+}
 
 /// A deterministic ragged sparse matrix with controllable density and
 /// optionally explicit (non-unit) values.
@@ -142,9 +156,9 @@ proptest! {
         );
     }
 
-    /// Pool-parallel dispatch: row-partitioned kernels stay bitwise equal
-    /// (disjoint writes, unchanged per-row order); the reduction-based
-    /// weight gradient is tolerance-equal (≤ 1e-5).
+    /// Pool-parallel dispatch on the scalar tier: row-partitioned kernels
+    /// stay bitwise equal (disjoint writes, unchanged per-row order); the
+    /// reduction-based weight gradient is tolerance-equal (≤ 1e-5).
     #[test]
     fn pooled_dispatch_matches_naive(
         m in 1usize..120,
@@ -153,7 +167,7 @@ proptest! {
         seed in 0u64..1000,
     ) {
         let pool = ThreadPool::new("prop", 3);
-        let policy = DispatchPolicy::new(1);
+        let policy = DispatchPolicy::new(1).force_scalar();
         let a = Matrix::xavier(m, k, seed);
         let b = Matrix::xavier(k, n, seed ^ 0x33);
         prop_assert_eq!(
@@ -166,5 +180,70 @@ proptest! {
         for (x, y) in dw.data().iter().zip(want.data()) {
             prop_assert!((x - y).abs() <= 1e-5, "dw {x} vs {y}");
         }
+    }
+
+    /// SIMD tier vs forced-scalar fallback, dense kernels: FMA paths are
+    /// scaled-1e-5 equal; the fused bias/ReLU epilogue values come out of
+    /// bitwise-equal lane ops on tolerance-close inputs. Shapes span
+    /// 1..130 across every register-tile and blocking boundary. On hosts
+    /// without AVX2+FMA both policies run the identical scalar kernels and
+    /// the properties hold trivially.
+    #[test]
+    fn simd_dispatch_matches_scalar_within_contract(
+        m in 1usize..130,
+        k in 1usize..130,
+        n in 1usize..36,
+        seed in 0u64..1000,
+    ) {
+        let scalar = DispatchPolicy::default().force_scalar();
+        let simd = DispatchPolicy::default();
+        let a = Matrix::xavier(m, k, seed);
+        let b = Matrix::xavier(k, n, seed ^ 0x77);
+        let bias: Vec<f32> = (0..n).map(|i| (i as f32) * 0.11 - 0.4).collect();
+        let mut got = Matrix::zeros(m, n);
+        simd.gemm_into(&a, &b, Epilogue::bias(&bias), None, &mut got);
+        let mut want = Matrix::zeros(m, n);
+        scalar.gemm_into(&a, &b, Epilogue::bias(&bias), None, &mut want);
+        for (x, y) in got.data().iter().zip(want.data()) {
+            prop_assert!(fma_close(*x, *y), "gemm+bias {x} vs {y}");
+        }
+        let g = Matrix::xavier(m, n, seed ^ 0x88);
+        let dw_s = simd.grad_weights(&a, &g, None);
+        let dw_c = scalar.grad_weights(&a, &g, None);
+        for (x, y) in dw_s.data().iter().zip(dw_c.data()) {
+            prop_assert!(fma_close(*x, *y), "dw {x} vs {y}");
+        }
+        let di_s = simd.grad_input(&g, &b, 0..k, None);
+        let di_c = scalar.grad_input(&g, &b, 0..k, None);
+        for (x, y) in di_s.data().iter().zip(di_c.data()) {
+            prop_assert!(fma_close(*x, *y), "di {x} vs {y}");
+        }
+    }
+
+    /// SIMD tier vs forced-scalar fallback, sparse kernels: the vectorized
+    /// row gather uses separate mul+add in scalar lane order, so both SpMM
+    /// directions are **bitwise** equal to the fallback.
+    #[test]
+    fn simd_spmm_bitwise_equals_scalar(
+        rows in 1usize..130,
+        cols in 1usize..90,
+        density_mod in 2usize..12,
+        dim in 1usize..20,
+        with_values in any::<bool>(),
+        salt in 0usize..64,
+    ) {
+        let scalar = DispatchPolicy::default().force_scalar();
+        let simd = DispatchPolicy::default();
+        let adj = sparse(rows, cols, density_mod, with_values, salt);
+        let h = Matrix::xavier(cols, dim, salt as u64 ^ 0x99);
+        prop_assert_eq!(
+            simd.aggregate(&adj, &h, None).data(),
+            scalar.aggregate(&adj, &h, None).data()
+        );
+        let grad = Matrix::xavier(rows, dim, salt as u64 ^ 0xAA);
+        prop_assert_eq!(
+            simd.aggregate_transpose(&adj, &grad, None).data(),
+            scalar.aggregate_transpose(&adj, &grad, None).data()
+        );
     }
 }
