@@ -31,7 +31,7 @@ ARGO_BENCH_QUICK=1 cargo bench -q -p argo-bench --bench micro_kernels
 echo "==> cargo test -q -p argo-tensor with SIMD force-disabled (scalar fallback path)"
 ARGO_SIMD=off cargo test -q -p argo-tensor
 
-echo "==> micro_sampling quick perf gate (scratch sampler must not lose to the pre-scratch reference; span profiler overhead <= 5%)"
+echo "==> micro_sampling quick perf gate (scratch sampler must not lose to the pre-scratch reference; arena assembly must not lose to legacy; span profiler overhead <= 5%)"
 ARGO_BENCH_QUICK=1 cargo bench -q -p argo-bench --bench micro_sampling
 
 echo "==> micro_serving quick perf gate (tuned p99 must not lose to the library default; warm result-cache hit rate > 0.9)"
@@ -42,6 +42,9 @@ cargo run -q -p argo-cli --bin argo -- perf-diff --quick true
 
 echo "==> cargo test -q -p argo-sample"
 cargo test -q -p argo-sample
+
+echo "==> cargo test -q -p argo-sample with SIMD force-disabled (arena assembly + gather on the scalar path)"
+ARGO_SIMD=off cargo test -q -p argo-sample
 
 echo "==> cargo test -q -p argo-serve"
 cargo test -q -p argo-serve

@@ -21,7 +21,7 @@ use argo_graph::{Graph, NodeId};
 use argo_rt::json::Json;
 use argo_rt::spans::{Role, SpanKind, SpanProfiler};
 use argo_rt::{SeedSequence, ThreadPool};
-use argo_sample::{NeighborSampler, SampleRun, Sampler, SamplerScratch};
+use argo_sample::{legacy, NeighborSampler, Normalization, SampleRun, Sampler, SamplerScratch};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -43,10 +43,18 @@ fn time_min<R>(samples: usize, mut f: impl FnMut() -> R) -> f64 {
 /// `HashMap`, and picks neighbors by copying each node's *entire* neighbor
 /// slice and running a partial Fisher–Yates over it — O(degree) work and a
 /// degree-sized allocation per row, which is exactly what hurts on
-/// power-law hubs. Returns the total number of sampled edges.
-fn reference_sample(g: &Graph, seeds: &[NodeId], fanouts: &[usize], rng: &mut SmallRng) -> usize {
+/// power-law hubs. Returns `(total sampled edges, metadata bytes)` — the
+/// bytes counting the separate node-id / edge-index / row-pointer `Vec`s
+/// this layout shuffles per batch.
+fn reference_sample(
+    g: &Graph,
+    seeds: &[NodeId],
+    fanouts: &[usize],
+    rng: &mut SmallRng,
+) -> (usize, usize) {
     let mut dst: Vec<NodeId> = seeds.to_vec();
     let mut total = 0usize;
+    let mut bytes = 0usize;
     for &fanout in fanouts.iter().rev() {
         let mut src = dst.clone();
         let mut relabel: HashMap<NodeId, u32> = HashMap::new();
@@ -73,10 +81,11 @@ fn reference_sample(g: &Graph, seeds: &[NodeId], fanouts: &[usize], rng: &mut Sm
             indptr.push(indices.len());
         }
         total += indices.len();
+        bytes += 4 * src.len() + 4 * indices.len() + 8 * indptr.len();
         std::hint::black_box(&indptr);
         dst = src;
     }
-    total
+    (total, bytes)
 }
 
 struct SampRow {
@@ -85,6 +94,8 @@ struct SampRow {
     edges_per_s: f64,
     batch_ms: f64,
     speedup: f64,
+    ns_per_edge: f64,
+    metadata_bytes: usize,
 }
 
 impl SampRow {
@@ -95,6 +106,11 @@ impl SampRow {
             ("seeds_per_s", Json::Num(self.seeds_per_s)),
             ("edges_per_s", Json::Num(self.edges_per_s)),
             ("speedup_vs_serial", Json::Num(self.speedup)),
+            ("ns_per_edge", Json::Num(self.ns_per_edge)),
+            (
+                "metadata_bytes_per_batch",
+                Json::Num(self.metadata_bytes as f64),
+            ),
         ])
     }
 }
@@ -131,9 +147,10 @@ fn main() {
     let serial_s = time_min(samples, || {
         reference_sample(&graph, &seeds, &fanouts, &mut rng)
     });
-    let ref_edges = reference_sample(&graph, &seeds, &fanouts, &mut rng);
+    let (ref_edges, ref_bytes) = reference_sample(&graph, &seeds, &fanouts, &mut rng);
 
-    // -- Scratch arena, steady state: one warm arena reused per batch. --
+    // -- Scratch arena, steady state: one warm arena reused per batch, owned
+    // batch materialized from it (the loader's reorder-channel handoff). --
     let mut scratch = SamplerScratch::new();
     let stream = SeedSequence::new(17);
     let scratch_s = time_min(samples, || {
@@ -143,6 +160,17 @@ fn main() {
     let run = SampleRun::new(stream, &mut scratch);
     let batch = sampler.sample_with(&graph, &seeds, run);
     let scratch_edges = batch.total_edges(fanouts.len());
+
+    // -- Fused arena view: assembly lands in the arena CSR and is consumed
+    // in place (the serving path) — no owned materialization at all. --
+    let mut view_scratch = SamplerScratch::new();
+    let view_s = time_min(samples, || {
+        let run = SampleRun::new(stream, &mut view_scratch);
+        let view = sampler.sample_into(&graph, &seeds, run);
+        std::hint::black_box(view.total_edges(2));
+    });
+    let run = SampleRun::new(stream, &mut view_scratch);
+    let view_bytes = sampler.sample_into(&graph, &seeds, run).metadata_bytes();
 
     // -- Scratch arena + 2-worker pick pool (content-identical batches). --
     let pool = ThreadPool::new("samp", 2);
@@ -180,17 +208,62 @@ fn main() {
     }
     let span_overhead_pct = (on_s / off_s - 1.0) * 100.0;
 
-    let row = |name: &'static str, secs: f64, edges: usize| SampRow {
+    // -- Batch assembly in isolation: the legacy edge-list build (owned
+    // `Vec`s + COO-style relabel + validating `SparseMatrix::new`) vs the
+    // fused arena-CSR build, over an *identical* pre-discovered node set on
+    // 1 core. This isolates the metadata tax the fused path removes from
+    // the (shared) discovery and pick phases. --
+    let asm_seeds: Vec<NodeId> = (0..if quick { 256u32 } else { 512 }).collect();
+    let mut asm_scratch = SamplerScratch::new();
+    let asm_nodes = legacy::bench_discover(
+        &graph,
+        &asm_seeds,
+        vec![10, 5],
+        SeedSequence::new(23),
+        &mut asm_scratch,
+    );
+    let asm_legacy_s = time_min(samples.max(8), || {
+        legacy::bench_assembly_legacy(
+            &graph,
+            &asm_nodes,
+            asm_seeds.len(),
+            &mut asm_scratch,
+            Normalization::Gcn,
+        )
+    });
+    let asm_arena_s = time_min(samples.max(8), || {
+        legacy::bench_assembly_arena(
+            &graph,
+            &asm_nodes,
+            asm_seeds.len(),
+            &mut asm_scratch,
+            Normalization::Gcn,
+        )
+    });
+    let asm_nnz = legacy::bench_assembly_arena(
+        &graph,
+        &asm_nodes,
+        asm_seeds.len(),
+        &mut asm_scratch,
+        Normalization::Gcn,
+    );
+    let assembly_speedup = asm_legacy_s / asm_arena_s;
+    let assembly_ns_per_edge = asm_arena_s * 1e9 / asm_nnz as f64;
+
+    let row = |name: &'static str, secs: f64, edges: usize, bytes: usize| SampRow {
         name,
         seeds_per_s: n_seeds as f64 / secs,
         edges_per_s: edges as f64 / secs,
         batch_ms: secs * 1e3,
         speedup: serial_s / secs,
+        ns_per_edge: secs * 1e9 / edges as f64,
+        metadata_bytes: bytes,
     };
     let rows = [
-        row("serial_reference", serial_s, ref_edges),
-        row("scratch", scratch_s, scratch_edges),
-        row("scratch_pool2", pool_s, scratch_edges),
+        row("serial_reference", serial_s, ref_edges, ref_bytes),
+        row("scratch", scratch_s, scratch_edges, view_bytes),
+        row("scratch_view", view_s, scratch_edges, view_bytes),
+        row("scratch_pool2", pool_s, scratch_edges, view_bytes),
     ];
 
     // -- Report. --
@@ -200,15 +273,29 @@ fn main() {
         "graph: power_law {nodes} nodes / {edges} edges, fanouts {fanouts:?}, {n_seeds} seeds\n"
     );
     println!(
-        "{:<18} {:>10} {:>14} {:>16} {:>8}",
-        "variant", "batch ms", "seeds/s", "edges/s", "x serial"
+        "{:<18} {:>10} {:>14} {:>16} {:>8} {:>9} {:>12}",
+        "variant", "batch ms", "seeds/s", "edges/s", "x serial", "ns/edge", "meta KB"
     );
     for r in &rows {
         println!(
-            "{:<18} {:>10.3} {:>14.0} {:>16.0} {:>8.2}",
-            r.name, r.batch_ms, r.seeds_per_s, r.edges_per_s, r.speedup
+            "{:<18} {:>10.3} {:>14.0} {:>16.0} {:>8.2} {:>9.2} {:>12.1}",
+            r.name,
+            r.batch_ms,
+            r.seeds_per_s,
+            r.edges_per_s,
+            r.speedup,
+            r.ns_per_edge,
+            r.metadata_bytes as f64 / 1e3
         );
     }
+    println!(
+        "\nassembly (1 core, {} nodes, {} nnz): legacy {:.3}ms, arena {:.3}ms \
+         ({assembly_speedup:.2}x, {assembly_ns_per_edge:.2} ns/edge)",
+        asm_nodes.len(),
+        asm_nnz,
+        asm_legacy_s * 1e3,
+        asm_arena_s * 1e3,
+    );
     println!(
         "\nspan profiler overhead: {span_overhead_pct:+.2}% \
          ({:.3}ms with spans vs {:.3}ms without, interleaved; {} spans recorded)",
@@ -232,6 +319,13 @@ fn main() {
             "variants",
             Json::Arr(rows.iter().map(SampRow::to_json).collect()),
         ),
+        // The two lower-is-better gated metrics (`argo perf diff` pairs
+        // them against the committed baseline with the standard tolerance):
+        // the fused arena assembly cost per sampled edge, and the compact
+        // arena metadata footprint of the steady-state batch.
+        ("assembly_ns_per_edge", Json::Num(assembly_ns_per_edge)),
+        ("metadata_bytes_per_batch", Json::Num(view_bytes as f64)),
+        ("assembly_speedup_vs_legacy", Json::Num(assembly_speedup)),
     ]);
     // Quick (CI) runs land in target/ so they never dirty the committed
     // full-mode baseline at the repository root.
@@ -267,5 +361,29 @@ fn main() {
             std::process::exit(1);
         }
         println!("perf gate OK: span profiler overhead {span_overhead_pct:+.2}% (budget 5%)");
+        // The fused arena-CSR assembly must beat the legacy edge-list
+        // assembly outright even on a noisy CI core (the full-mode bar is
+        // 1.5x; quick mode uses a generous floor and leaves the ns/edge
+        // regression gate to `argo perf diff --quick` vs the committed
+        // quick baseline).
+        if assembly_speedup < 1.0 {
+            eprintln!(
+                "PERF GATE: arena assembly is slower than legacy edge-list assembly \
+                 ({assembly_speedup:.2}x < required 1.00x)"
+            );
+            std::process::exit(1);
+        }
+        println!("perf gate OK: arena assembly at {assembly_speedup:.2}x vs legacy");
+    } else {
+        // Full mode regenerates the committed baseline; the tentpole
+        // acceptance bar is a >= 1.5x batch-assembly improvement on 1 core.
+        if assembly_speedup < 1.5 {
+            eprintln!(
+                "PERF GATE: arena assembly speedup {assembly_speedup:.2}x is below the \
+                 1.5x acceptance bar"
+            );
+            std::process::exit(1);
+        }
+        println!("\nperf gate OK: arena assembly at {assembly_speedup:.2}x vs legacy (bar 1.5x)");
     }
 }

@@ -77,6 +77,13 @@ const SAMPLER_HOT_FILES: &[&str] = &[
     "crates/sample/src/saint.rs",
     "crates/sample/src/cluster.rs",
     "crates/sample/src/scratch.rs",
+    // Batch assembly moved into the arena (`sample_into`): the batch types
+    // and the borrowed views over the arena are now hot-path assembly code
+    // too. `legacy.rs` (the reference edge-list assembly kept for the
+    // bitwise-equality proptests and benches) is deliberately out of scope —
+    // its allocation churn is the baseline being measured against.
+    "crates/sample/src/batch.rs",
+    "crates/sample/src/view.rs",
     // The serving request path runs the same sampler per query: per-request
     // hash containers or seed-vector clones would charge the allocation
     // churn to every single query's latency. `result_cache.rs` (long-lived
@@ -118,6 +125,12 @@ const WINDOW_ESCAPE: &str = "as_mut_ptr() as usize";
 /// Shadow-memory annotations that make a window escape *checked* rather
 /// than merely claimed (see `argo_rt::racecheck`).
 const RACECHECK_MARKS: &[&str] = &["racecheck::region", "racecheck::write", "racecheck::read"];
+
+/// Raw-pointer escapes a borrowed batch view must not take silently: a
+/// `SparseView` borrows the sampler's batch arena, and a pointer laundered
+/// out of it as `usize`/raw outlives the borrow checker's sight — the next
+/// `sample_into` reuses the arena under it.
+const VIEW_ESCAPES: &[&str] = &[".as_ptr()", ".as_mut_ptr()"];
 
 /// True for files that are test/bench/example code wholesale.
 pub fn is_test_path(path: &str) -> bool {
@@ -165,6 +178,7 @@ pub fn check_file(file: &SourceFile, allow: &mut AllowTracker, out: &mut Vec<Dia
         check_no_deprecated_telemetry(file, out);
         check_kernel_dispatch(file, allow, out);
         check_sampler_scratch(file, allow, out);
+        check_borrowed_batch(file, allow, out);
         check_span_pairing(file, allow, out);
         check_window_racecheck(file, allow, out);
         check_simd_isolation(file, allow, out);
@@ -530,6 +544,57 @@ fn check_sampler_scratch(file: &SourceFile, allow: &mut AllowTracker, out: &mut 
     }
 }
 
+/// Rule `borrowed-batch`: in non-test code of files that handle
+/// [`SparseView`]s (they mention the type), a raw-pointer escape
+/// (`.as_ptr()` / `.as_mut_ptr()`) must sit within [`SAFETY_LOOKBACK`]
+/// lines of a `racecheck::` shadow-memory annotation. A `SparseView`
+/// borrows the sampler's batch arena for exactly one batch; a pointer
+/// smuggled past that lifetime dangles the moment the next `sample_into`
+/// recycles the arena, and only the race detector can verify the window
+/// claim at runtime.
+fn check_borrowed_batch(file: &SourceFile, allow: &mut AllowTracker, out: &mut Vec<Diagnostic>) {
+    if !file.path.starts_with("crates/") {
+        return;
+    }
+    let handles_views = file
+        .lines
+        .iter()
+        .any(|l| contains_token(&l.code, "SparseView"));
+    if !handles_views {
+        return;
+    }
+    for (n, line) in file.numbered() {
+        if line.test {
+            continue;
+        }
+        for needle in VIEW_ESCAPES {
+            if !contains_token(&line.code, needle) {
+                continue;
+            }
+            let start = n.saturating_sub(SAFETY_LOOKBACK + 1);
+            let end = (n + SAFETY_LOOKBACK).min(file.lines.len());
+            let annotated = file.lines[start..end]
+                .iter()
+                .any(|l| RACECHECK_MARKS.iter().any(|m| contains_token(&l.code, m)));
+            if !annotated && !allow.permits("borrowed-batch", &file.path, &line.raw) {
+                out.push(Diagnostic {
+                    path: file.path.clone(),
+                    line: n,
+                    rule: "borrowed-batch",
+                    message: format!(
+                        "`{needle}` in a file handling `SparseView` without a `racecheck::` \
+                         annotation within {SAFETY_LOOKBACK} lines; a view borrows the batch \
+                         arena for one batch only — register the escape with \
+                         `argo_rt::racecheck` so the lifetime claim is runtime-verified, or \
+                         add an allowlist entry with a justification"
+                    ),
+                });
+                break;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -761,6 +826,73 @@ mod tests {
             "fn f() { let m: HashMap<u64, usize> = HashMap::new(); }\n"
         )
         .is_empty());
+    }
+
+    #[test]
+    fn batch_and_view_files_are_scratch_checked() {
+        // Assembly moved into the arena: the batch/view files are hot now.
+        let d = lint(
+            "crates/sample/src/batch.rs",
+            "fn f() { let ids = nodes.clone(); }\n",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "sampler-scratch");
+        let d = lint(
+            "crates/sample/src/view.rs",
+            "fn f() { let m: HashMap<u32, u32> = HashMap::new(); }\n",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "sampler-scratch");
+        // The legacy reference assembly is the measured baseline, not hot.
+        assert!(lint(
+            "crates/sample/src/legacy.rs",
+            "fn f() { let ids = nodes.clone(); }\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn view_pointer_escape_without_racecheck_is_flagged() {
+        let src = "fn f(v: &SparseView<'_>) {\n\
+                   \x20   let p = v.indices().as_ptr();\n\
+                   \x20   stash(p as usize);\n\
+                   }\n";
+        let d = lint("crates/nn/src/x.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "borrowed-batch");
+        assert_eq!(d[0].line, 2);
+        // `.as_mut_ptr()` escapes are caught too (alongside any
+        // window-racecheck hit on the ` as usize` form).
+        let src = "fn f(v: &mut Vec<u32>, view: SparseView<'_>) {\n\
+                   \x20   let p = v.as_mut_ptr();\n\
+                   }\n";
+        let d = lint("crates/nn/src/x.rs", src);
+        assert!(
+            d.iter().any(|x| x.rule == "borrowed-batch"),
+            "expected borrowed-batch: {d:?}"
+        );
+    }
+
+    #[test]
+    fn view_pointer_escape_with_racecheck_or_without_views_passes() {
+        // A racecheck annotation nearby makes the escape checked.
+        let src = "fn f(v: &SparseView<'_>) {\n\
+                   \x20   let shadow = racecheck::region(\"view\", v.nnz());\n\
+                   \x20   let p = v.indices().as_ptr();\n\
+                   }\n";
+        assert!(lint("crates/nn/src/x.rs", src).is_empty());
+        // Files that never touch SparseView are out of scope.
+        assert!(lint(
+            "crates/nn/src/y.rs",
+            "fn f(v: &[u32]) { let p = v.as_ptr(); }\n"
+        )
+        .is_empty());
+        // Test modules inside view-handling files are exempt.
+        let src = "fn f(v: &SparseView<'_>) {}\n\
+                   #[cfg(test)]\nmod tests {\n\
+                   \x20   fn t(v: &[u32]) { let p = v.as_ptr(); }\n\
+                   }\n";
+        assert!(lint("crates/nn/src/x.rs", src).is_empty());
     }
 
     #[test]

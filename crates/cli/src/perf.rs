@@ -27,8 +27,13 @@ pub struct DiffLine {
     pub baseline: f64,
     /// Value from the current run.
     pub current: f64,
-    /// Whether `current >= baseline * (1 - tolerance)`.
+    /// Whether the metric is inside its tolerance band:
+    /// `current >= baseline * (1 - tolerance)` for higher-better metrics,
+    /// `current <= baseline * (1 + tolerance)` for lower-better ones.
     pub ok: bool,
+    /// Whether this metric regresses *upward* (latency, bytes) rather than
+    /// downward (speedups).
+    pub lower_better: bool,
 }
 
 /// Outcome of a baseline-vs-current comparison.
@@ -57,6 +62,20 @@ impl DiffReport {
             baseline,
             current,
             ok,
+            lower_better: false,
+        });
+    }
+
+    /// Records a lower-better metric (ns/edge, bytes/batch): the gate trips
+    /// when the current value *exceeds* `baseline * (1 + tolerance)`.
+    fn push_lower(&mut self, metric: String, baseline: f64, current: f64) {
+        let ok = current <= baseline * (1.0 + self.tolerance);
+        self.lines.push(DiffLine {
+            metric,
+            baseline,
+            current,
+            ok,
+            lower_better: true,
         });
     }
 
@@ -88,13 +107,18 @@ impl DiffReport {
             } else {
                 0.0
             };
-            out.push_str(&format!(
-                "  {:<52} base {:>6.3}x cur {:>6.3}x ({delta:>+6.1}%) {}\n",
-                l.metric,
-                l.baseline,
-                l.current,
-                if l.ok { "ok" } else { "REGRESSED" }
-            ));
+            let verdict = if l.ok { "ok" } else { "REGRESSED" };
+            if l.lower_better {
+                out.push_str(&format!(
+                    "  {:<52} base {:>10.2} cur {:>10.2} ({delta:>+6.1}%) {verdict} (lower better)\n",
+                    l.metric, l.baseline, l.current,
+                ));
+            } else {
+                out.push_str(&format!(
+                    "  {:<52} base {:>6.3}x cur {:>6.3}x ({delta:>+6.1}%) {verdict}\n",
+                    l.metric, l.baseline, l.current,
+                ));
+            }
         }
         for n in &self.notes {
             out.push_str(&format!("  note: {n}\n"));
@@ -155,6 +179,17 @@ pub fn diff_sampling(baseline: &Json, current: &Json, tolerance: f64) -> DiffRep
     for (name, _) in &cur {
         if base.iter().all(|(n, _)| n != name) {
             rep.note(format!("sampling variant '{name}' is new (no baseline)"));
+        }
+    }
+    // Fused-assembly metrics are lower-better: ns per assembled edge and
+    // arena metadata bytes per batch. Baselines written before the arena
+    // assembly landed lack the keys — noted, not failed.
+    for key in ["assembly_ns_per_edge", "metadata_bytes_per_batch"] {
+        match (num(baseline, key), num(current, key)) {
+            (Some(b), Some(c)) => rep.push_lower(format!("sampling/{key}"), b, c),
+            (Some(_), None) => rep.note(format!("'{key}' missing from current run")),
+            (None, Some(_)) => rep.note(format!("'{key}' is new (no baseline)")),
+            (None, None) => {}
         }
     }
     if let Some(pct) = num(current, "span_overhead_pct") {
@@ -454,6 +489,68 @@ mod tests {
         let text = rep.render();
         assert!(text.contains("REGRESSED"), "{text}");
         assert!(text.contains("perf gate FAILED"), "{text}");
+    }
+
+    /// A sampling doc carrying the lower-better assembly metrics.
+    fn sampling_doc_with_assembly(scratch: f64, ns_per_edge: f64, bytes: f64) -> Json {
+        let Json::Obj(mut fields) = sampling_doc(scratch, scratch) else {
+            panic!("sampling_doc must be an object");
+        };
+        fields.insert("assembly_ns_per_edge".into(), Json::Num(ns_per_edge));
+        fields.insert("metadata_bytes_per_batch".into(), Json::Num(bytes));
+        Json::Obj(fields)
+    }
+
+    #[test]
+    fn lower_better_metrics_regress_upward() {
+        let base = sampling_doc_with_assembly(1.9, 16.0, 800_000.0);
+        // 10% slower / fatter: inside the 15% band.
+        let rep = diff_sampling(
+            &base,
+            &sampling_doc_with_assembly(1.9, 17.6, 880_000.0),
+            0.15,
+        );
+        assert_eq!(rep.regressions(), 0, "{}", rep.render());
+        assert_eq!(rep.lines.len(), 4, "2 variants + 2 assembly metrics");
+        assert!(rep.render().contains("(lower better)"));
+        // 25% up: past the band — both assembly metrics trip.
+        let rep = diff_sampling(
+            &base,
+            &sampling_doc_with_assembly(1.9, 20.0, 1_000_000.0),
+            0.15,
+        );
+        assert_eq!(rep.regressions(), 2, "{}", rep.render());
+        // Getting *faster* and *smaller* is never a regression.
+        let rep = diff_sampling(
+            &base,
+            &sampling_doc_with_assembly(1.9, 8.0, 400_000.0),
+            0.15,
+        );
+        assert_eq!(rep.regressions(), 0, "{}", rep.render());
+    }
+
+    #[test]
+    fn assembly_metrics_missing_counterparts_are_notes() {
+        let with = sampling_doc_with_assembly(1.9, 16.0, 800_000.0);
+        let without = sampling_doc(1.9, 1.9);
+        // Old baseline, new run: noted as new, not compared.
+        let rep = diff_sampling(&without, &with, 0.15);
+        assert_eq!(rep.regressions(), 0);
+        assert!(
+            rep.notes.iter().any(|n| n.contains("no baseline")),
+            "{:?}",
+            rep.notes
+        );
+        // New baseline, old run: noted as missing, not failed.
+        let rep = diff_sampling(&with, &without, 0.15);
+        assert_eq!(rep.regressions(), 0);
+        assert!(
+            rep.notes
+                .iter()
+                .any(|n| n.contains("missing from current run")),
+            "{:?}",
+            rep.notes
+        );
     }
 
     #[test]

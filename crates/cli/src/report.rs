@@ -241,7 +241,9 @@ pub fn render_report(events: &[(RunEvent, f64, Source)], live: Option<&Telemetry
         ));
     }
 
-    // ---- Bytes/batch (loader and cache data movement) ------------------
+    // ---- Bytes/batch (loader and cache data movement). Metadata is the
+    // measured arena-CSR footprint per batch (ids + degrees + indptr +
+    // indices + values), reported by the loader workers. -----------------
     let bytes: Vec<_> = events
         .iter()
         .filter_map(|(e, _, _)| match e {

@@ -4,7 +4,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use argo_graph::partition::random_partition;
-use argo_graph::{Dataset, Features, NodeId};
+use argo_graph::{Dataset, Features};
 use argo_nn::{AnyModel, AnyOptimizer, Arch, LrSchedule, Optimizer, OptimizerKind};
 use argo_rt::affinity::CoreSet;
 use argo_rt::metrics::{Counter, Histogram, MetricsRegistry};
@@ -765,6 +765,7 @@ fn run_process(spec: ProcessSpec, trace: &TraceRecorder) -> ProcessResult {
             batch,
             input,
             gather_seconds,
+            metadata_bytes: batch_metadata_bytes,
             ..
         } = loaded;
         let stats = match input {
@@ -809,10 +810,10 @@ fn run_process(spec: ProcessSpec, trace: &TraceRecorder) -> ProcessResult {
             }
         };
         edges += batch.total_edges(opts.num_layers);
-        metadata_bytes += ((batch.input_nodes().len()
-            + batch.num_seeds()
-            + batch.total_edges(opts.num_layers) * 2)
-            * std::mem::size_of::<NodeId>()) as u64;
+        // Measured on the arena-resident view by the loader worker: node
+        // ids, degrees, u32 row pointers, column indices and fused values —
+        // the compact CSR layout, not the old edge-list estimate.
+        metadata_bytes += batch_metadata_bytes;
         loss_sum += f64::from(stats.loss);
         acc_sum += stats.accuracy;
 

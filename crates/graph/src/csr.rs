@@ -17,6 +17,8 @@ pub struct Graph {
     /// normalization; shared so every sampled batch reads one table instead
     /// of recomputing square roots per edge.
     inv_sqrt_degrees: OnceLock<Vec<f32>>,
+    /// Lazily checked adjacency symmetry (see [`Graph::is_symmetric`]).
+    symmetric: OnceLock<bool>,
 }
 
 impl Clone for Graph {
@@ -28,6 +30,7 @@ impl Clone for Graph {
             indptr: self.indptr.clone(),
             indices: self.indices.clone(),
             inv_sqrt_degrees: OnceLock::new(),
+            symmetric: OnceLock::new(),
         }
     }
 }
@@ -82,6 +85,7 @@ impl Graph {
             indptr,
             indices,
             inv_sqrt_degrees: OnceLock::new(),
+            symmetric: OnceLock::new(),
         };
         g.sort_adjacency();
         g
@@ -100,6 +104,7 @@ impl Graph {
             indptr,
             indices,
             inv_sqrt_degrees: OnceLock::new(),
+            symmetric: OnceLock::new(),
         };
         g.validate()?;
         Ok(g)
@@ -199,6 +204,23 @@ impl Graph {
         self.neighbors(u).binary_search(&v).is_ok()
     }
 
+    /// Whether the adjacency is symmetric — every edge `u -> v` has a
+    /// matching `v -> u` *with equal multiplicity* (undirected construction
+    /// inserts both directions, so the transpose equals the graph exactly).
+    ///
+    /// Checked once per graph by building the transpose and comparing the
+    /// CSR arrays (both are sorted per row, so equality is a multiset
+    /// comparison), then cached. Samplers branch on this to pick the
+    /// sort-free induced-subgraph assembly, which enumerates the transposed
+    /// entry set; the O(E) one-time check amortizes over every batch drawn
+    /// from the graph.
+    pub fn is_symmetric(&self) -> bool {
+        *self.symmetric.get_or_init(|| {
+            let r = self.reverse();
+            r.indptr == self.indptr && r.indices == self.indices
+        })
+    }
+
     /// The subgraph induced by `nodes`, with nodes relabeled to
     /// `0..nodes.len()` in the order given. Returns the subgraph; the inverse
     /// mapping is `nodes` itself. `nodes` must not contain duplicates.
@@ -243,6 +265,7 @@ impl Graph {
             indptr,
             indices,
             inv_sqrt_degrees: OnceLock::new(),
+            symmetric: OnceLock::new(),
         };
         g.sort_adjacency();
         g
@@ -327,6 +350,23 @@ mod tests {
     #[should_panic]
     fn induced_subgraph_duplicate_panics() {
         triangle().induced_subgraph(&[0, 0]);
+    }
+
+    #[test]
+    fn symmetry_check_matches_structure() {
+        assert!(triangle().is_symmetric());
+        // Undirected multigraphs and self-loops stay symmetric.
+        let multi = Graph::from_edges(3, &[(0, 1), (0, 1), (2, 2)], true);
+        assert!(multi.is_symmetric());
+        // A directed edge breaks symmetry.
+        let directed = Graph::from_edges(3, &[(0, 1), (1, 0), (1, 2)], false);
+        assert!(!directed.is_symmetric());
+        // Existence-symmetric but multiplicity-asymmetric is NOT symmetric:
+        // the transposed assembly would over-count an entry.
+        let lopsided = Graph::from_edges(2, &[(0, 1), (0, 1), (1, 0)], false);
+        assert!(!lopsided.is_symmetric());
+        // Cached: second call agrees (and clones re-derive lazily).
+        assert!(triangle().clone().is_symmetric());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 use argo_graph::features::Features;
 use argo_rt::ThreadPool;
 use argo_sample::batch::SampledBatch;
+use argo_sample::view::SampledBatchView;
 use argo_tensor::{DispatchPolicy, Matrix};
 
 use crate::gat::Gat;
@@ -140,6 +141,22 @@ impl AnyModel {
         match self {
             AnyModel::Gnn(m) => m.forward_gathered(batch, input, pool),
             AnyModel::Gat(m) => m.forward_gathered(batch, input, pool),
+        }
+    }
+
+    /// [`AnyModel::forward_gathered`] over a borrowed [`SampledBatchView`] —
+    /// adjacencies consumed in place from the sampler's batch arena. GAT
+    /// recomputes attention over an owned adjacency, so it materializes the
+    /// batch (same cost as before the view path existed).
+    pub fn forward_gathered_view(
+        &self,
+        batch: &SampledBatchView<'_>,
+        input: Matrix,
+        pool: Option<&ThreadPool>,
+    ) -> Matrix {
+        match self {
+            AnyModel::Gnn(m) => m.forward_gathered_view(batch, input, pool),
+            AnyModel::Gat(m) => m.forward_gathered(&batch.to_owned(), input, pool),
         }
     }
 

@@ -14,8 +14,9 @@ use std::cell::RefCell;
 use argo_graph::features::Features;
 use argo_rt::ThreadPool;
 use argo_sample::batch::{Normalization, SampledBatch};
+use argo_sample::view::SampledBatchView;
 use argo_tensor::ops::{accuracy, bias_grad_into, relu_backward, softmax_cross_entropy};
-use argo_tensor::{DispatchPolicy, Epilogue, Matrix, SparseMatrix, Workspace};
+use argo_tensor::{DispatchPolicy, Epilogue, Matrix, SparseMatrix, SparseView, Workspace};
 
 /// Which aggregation rule a model uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -65,12 +66,15 @@ pub struct StepStats {
     pub num_seeds: usize,
 }
 
-/// One layer's normalized adjacency: either a borrow of the pre-normalized
-/// matrix the sampler fused during block assembly, or an owned matrix
-/// normalized here (legacy path for batches sampled without fusion).
+/// One layer's normalized adjacency: a borrow of the pre-normalized matrix
+/// the sampler fused during block assembly, an owned matrix normalized here
+/// (legacy path for batches sampled without fusion), or a borrowed
+/// [`SparseView`] straight out of the sampler's batch arena (zero-copy
+/// inference path).
 pub(crate) enum NormAdj<'a> {
     Pre(&'a SparseMatrix),
     Owned(SparseMatrix),
+    View(SparseView<'a>),
 }
 
 /// One layer's normalized adjacency plus the output-row count; uniform view
@@ -81,10 +85,38 @@ pub(crate) struct LayerAdj<'a> {
 }
 
 impl LayerAdj<'_> {
+    /// The owned/borrowed [`SparseMatrix`] — the backward pass needs its CSC
+    /// mirror, which a borrowed arena view cannot carry.
     pub(crate) fn norm(&self) -> &SparseMatrix {
         match &self.adj {
             NormAdj::Pre(m) => m,
             NormAdj::Owned(m) => m,
+            NormAdj::View(_) => unreachable!("views are forward-only"),
+        }
+    }
+
+    /// Row count of the adjacency (aggregation output rows).
+    pub(crate) fn rows(&self) -> usize {
+        match &self.adj {
+            NormAdj::Pre(m) => m.rows(),
+            NormAdj::Owned(m) => m.rows(),
+            NormAdj::View(v) => v.rows(),
+        }
+    }
+
+    /// Forward aggregation `out = adj × h` through the dispatch policy,
+    /// whichever representation the adjacency is in.
+    pub(crate) fn aggregate_into(
+        &self,
+        dispatch: &DispatchPolicy,
+        h: &Matrix,
+        pool: Option<&ThreadPool>,
+        out: &mut Matrix,
+    ) {
+        match &self.adj {
+            NormAdj::Pre(m) => dispatch.aggregate_into(m, h, pool, out),
+            NormAdj::Owned(m) => dispatch.aggregate_into(m, h, pool, out),
+            NormAdj::View(v) => dispatch.aggregate_view_into(v, h, pool, out),
         }
     }
 }
@@ -205,11 +237,11 @@ impl Gnn {
         let (mut agg, mut z) = {
             let mut ws = self.ws.borrow_mut();
             (
-                ws.take(adj.norm().rows(), h.cols()),
+                ws.take(adj.rows(), h.cols()),
                 ws.take(adj.n_dst, layer.w.cols()),
             )
         };
-        self.dispatch.aggregate_into(adj.norm(), h, pool, &mut agg);
+        adj.aggregate_into(&self.dispatch, h, pool, &mut agg);
         let epi = if relu {
             Epilogue::bias_relu(&layer.b)
         } else {
@@ -245,14 +277,7 @@ impl Gnn {
         pool: Option<&ThreadPool>,
     ) -> Matrix {
         let adjs = self.layer_adjs(batch);
-        let mut h = input;
-        for (l, adj) in adjs.iter().enumerate() {
-            let relu = l + 1 < self.layers.len();
-            let (z, agg, _) = self.layer_forward(l, adj, &h, relu, pool);
-            let mut ws = self.ws.borrow_mut();
-            ws.put(agg);
-            ws.put(std::mem::replace(&mut h, z));
-        }
+        let h = self.forward_core(&adjs, input, pool);
         match batch {
             SampledBatch::Blocks(_) => h,
             SampledBatch::Subgraph(sb) => {
@@ -261,6 +286,49 @@ impl Gnn {
                 logits
             }
         }
+    }
+
+    /// [`Gnn::forward_gathered`] over a borrowed [`SampledBatchView`]: the
+    /// adjacencies are consumed straight out of the sampler's batch arena
+    /// with zero copies. Falls back to materializing the owned batch when
+    /// the fused normalization does not match this model (the sampler then
+    /// re-normalizes the owned copy, exactly as before).
+    pub fn forward_gathered_view(
+        &self,
+        batch: &SampledBatchView<'_>,
+        input: Matrix,
+        pool: Option<&ThreadPool>,
+    ) -> Matrix {
+        match layer_adjs_view_for(self.kind, self.layers.len(), batch) {
+            Some(adjs) => {
+                let h = self.forward_core(&adjs, input, pool);
+                match batch {
+                    SampledBatchView::Blocks(_) => h,
+                    SampledBatchView::Subgraph(_) => {
+                        // Subgraph-view seeds are the node-list prefix.
+                        let logits = select_prefix_rows(&h, batch.num_seeds());
+                        self.ws.borrow_mut().put(h);
+                        logits
+                    }
+                }
+            }
+            None => self.forward_gathered(&batch.to_owned(), input, pool),
+        }
+    }
+
+    /// Shared layer loop of the forward passes: runs every layer over the
+    /// prepared adjacencies and returns the final hidden matrix (all output
+    /// rows, before any seed selection).
+    fn forward_core(&self, adjs: &[LayerAdj], input: Matrix, pool: Option<&ThreadPool>) -> Matrix {
+        let mut h = input;
+        for (l, adj) in adjs.iter().enumerate() {
+            let relu = l + 1 < self.layers.len();
+            let (z, agg, _) = self.layer_forward(l, adj, &h, relu, pool);
+            let mut ws = self.ws.borrow_mut();
+            ws.put(agg);
+            ws.put(std::mem::replace(&mut h, z));
+        }
+        h
     }
 
     /// One training step: forward, loss, full backward. Gradients are
@@ -536,6 +604,47 @@ pub(crate) fn layer_adjs_for(
     }
 }
 
+/// The per-layer adjacencies of a *borrowed* batch view, consumed in place
+/// from the sampler's arena. Returns `None` when the fused normalization
+/// does not match what the model wants (or the layer count disagrees) — the
+/// caller falls back to the owned path, which re-normalizes.
+pub(crate) fn layer_adjs_view_for<'a>(
+    kind: GnnKind,
+    depth: usize,
+    batch: &SampledBatchView<'a>,
+) -> Option<Vec<LayerAdj<'a>>> {
+    let want = wanted_norm_for(kind);
+    if batch.norm() != want {
+        return None;
+    }
+    match batch {
+        SampledBatchView::Blocks(mb) => {
+            if mb.num_blocks() != depth {
+                return None;
+            }
+            Some(
+                (0..depth)
+                    .map(|l| {
+                        let b = mb.block(l);
+                        LayerAdj {
+                            adj: NormAdj::View(b.adj),
+                            n_dst: b.dst_nodes.len(),
+                        }
+                    })
+                    .collect(),
+            )
+        }
+        SampledBatchView::Subgraph(sb) => Some(
+            (0..depth)
+                .map(|_| LayerAdj {
+                    adj: NormAdj::View(sb.adj()),
+                    n_dst: sb.nodes().len(),
+                })
+                .collect(),
+        ),
+    }
+}
+
 pub(crate) fn gather_features(feats: &Features, ids: &[u32]) -> Matrix {
     let g = feats.gather(ids);
     Matrix::from_vec(ids.len(), feats.dim(), g.data().to_vec())
@@ -546,6 +655,14 @@ pub(crate) fn select_rows(m: &Matrix, rows: &[usize]) -> Matrix {
     for (i, &r) in rows.iter().enumerate() {
         out.row_mut(i).copy_from_slice(m.row(r));
     }
+    out
+}
+
+/// [`select_rows`] specialized to the contiguous prefix `0..n` — the seed
+/// layout of every subgraph batch *view* — without a positions slice.
+pub(crate) fn select_prefix_rows(m: &Matrix, n: usize) -> Matrix {
+    let mut out = Matrix::zeros(n, m.cols());
+    out.data_mut().copy_from_slice(&m.data()[..n * m.cols()]);
     out
 }
 

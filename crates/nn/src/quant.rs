@@ -21,9 +21,13 @@ use std::cell::RefCell;
 use argo_graph::features::Features;
 use argo_rt::ThreadPool;
 use argo_sample::batch::SampledBatch;
+use argo_sample::view::SampledBatchView;
 use argo_tensor::{DispatchPolicy, Epilogue, Matrix, QuantKind, QuantizedMatrix, Workspace};
 
-use crate::model::{gather_features, layer_adjs_for, select_rows, Gnn, GnnKind};
+use crate::model::{
+    gather_features, layer_adjs_for, layer_adjs_view_for, select_prefix_rows, select_rows, Gnn,
+    GnnKind, LayerAdj,
+};
 
 struct QuantLayer {
     w: QuantizedMatrix,
@@ -109,6 +113,46 @@ impl QuantizedGnn {
         pool: Option<&ThreadPool>,
     ) -> Matrix {
         let adjs = layer_adjs_for(self.kind, self.layers.len(), batch);
+        let h = self.forward_core(&adjs, input, pool);
+        match batch {
+            SampledBatch::Blocks(_) => h,
+            SampledBatch::Subgraph(sb) => {
+                let logits = select_rows(&h, &sb.seed_positions);
+                self.ws.borrow_mut().put(h);
+                logits
+            }
+        }
+    }
+
+    /// [`QuantizedGnn::forward_gathered`] over a borrowed
+    /// [`SampledBatchView`]: adjacencies are consumed straight out of the
+    /// sampler's batch arena with zero copies. Falls back to the owned path
+    /// when the fused normalization does not match this model.
+    pub fn forward_gathered_view(
+        &self,
+        batch: &SampledBatchView<'_>,
+        input: Matrix,
+        pool: Option<&ThreadPool>,
+    ) -> Matrix {
+        match layer_adjs_view_for(self.kind, self.layers.len(), batch) {
+            Some(adjs) => {
+                let h = self.forward_core(&adjs, input, pool);
+                match batch {
+                    SampledBatchView::Blocks(_) => h,
+                    SampledBatchView::Subgraph(_) => {
+                        // Subgraph-view seeds are the node-list prefix.
+                        let logits = select_prefix_rows(&h, batch.num_seeds());
+                        self.ws.borrow_mut().put(h);
+                        logits
+                    }
+                }
+            }
+            None => self.forward_gathered(&batch.to_owned(), input, pool),
+        }
+    }
+
+    /// Shared layer loop of the quantized forward passes.
+    fn forward_core(&self, adjs: &[LayerAdj], input: Matrix, pool: Option<&ThreadPool>) -> Matrix {
         let mut h = input;
         for (l, adj) in adjs.iter().enumerate() {
             let relu = l + 1 < self.layers.len();
@@ -116,11 +160,11 @@ impl QuantizedGnn {
             let (mut agg, mut z) = {
                 let mut ws = self.ws.borrow_mut();
                 (
-                    ws.take(adj.norm().rows(), h.cols()),
+                    ws.take(adj.rows(), h.cols()),
                     ws.take(adj.n_dst, layer.w.cols()),
                 )
             };
-            self.dispatch.aggregate_into(adj.norm(), &h, pool, &mut agg);
+            adj.aggregate_into(&self.dispatch, &h, pool, &mut agg);
             let epi = if relu {
                 Epilogue::bias_relu(&layer.b)
             } else {
@@ -138,14 +182,7 @@ impl QuantizedGnn {
             ws.put(agg);
             ws.put(std::mem::replace(&mut h, z));
         }
-        match batch {
-            SampledBatch::Blocks(_) => h,
-            SampledBatch::Subgraph(sb) => {
-                let logits = select_rows(&h, &sb.seed_positions);
-                self.ws.borrow_mut().put(h);
-                logits
-            }
-        }
+        h
     }
 }
 

@@ -123,15 +123,17 @@ impl CacheSummaryRecord {
 }
 
 /// Per-epoch byte/alloc accounting carried by [`RunEvent::BytesSummary`] —
-/// the "metadata tax" view: how many bytes of batch metadata (node ids,
-/// edge indices) the host pipeline shuffled per batch, how many feature
-/// bytes the cache served, and how often the sampler scratch arena had to
-/// grow.
+/// the "metadata tax" view: how many bytes of batch metadata the host
+/// pipeline shuffled per batch, how many feature bytes the cache served,
+/// and how often the sampler scratch arena had to grow. Metadata bytes are
+/// measured on the arena-resident batch CSR (node ids, degrees, `u32` row
+/// pointers, column indices, fused normalization values), not estimated
+/// from separate node-id/edge-index arrays.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct BytesRecord {
     /// Mini-batches the epoch processed (denominator for per-batch rates).
     pub batches: u64,
-    /// Bytes of batch metadata (node-id + edge-index arrays) produced.
+    /// Bytes of batch metadata (compact arena-CSR layout) produced.
     pub metadata_bytes: u64,
     /// Bytes of feature rows served out of the cross-batch cache.
     pub cache_bytes: u64,

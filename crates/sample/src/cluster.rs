@@ -11,7 +11,8 @@ use argo_graph::{Graph, NodeId};
 use argo_tensor::SparseMatrix;
 
 use crate::batch::{Normalization, SampledBatch, SubgraphBatch};
-use crate::scratch::induced_batch;
+use crate::scratch::{arena_induced, SamplerScratch};
+use crate::view::SampledBatchView;
 use crate::{SampleRun, Sampler};
 
 /// Cluster-based subgraph sampler with a precomputed clustering.
@@ -53,15 +54,18 @@ impl ClusterGcnSampler {
     pub fn cluster_of(&self, v: NodeId) -> u32 {
         self.node_cluster[v as usize]
     }
-}
 
-impl Sampler for ClusterGcnSampler {
-    fn sample_with(&self, graph: &Graph, seeds: &[NodeId], run: SampleRun<'_>) -> SampledBatch {
-        // Union of the clusters the seeds live in, seeds first. Entirely
-        // deterministic — the RNG stream and pool are unused.
-        let SampleRun { norm, scratch, .. } = run;
+    /// Discovery phase: the union of the clusters the seeds live in, seeds
+    /// first, capped at `max_nodes`. Entirely deterministic. Appends to
+    /// `nodes` and leaves the dedup session ready for induced assembly.
+    pub(crate) fn discover_into(
+        &self,
+        graph: &Graph,
+        seeds: &[NodeId],
+        scratch: &mut SamplerScratch,
+        nodes: &mut Vec<NodeId>,
+    ) {
         scratch.begin_dedup(graph.num_nodes());
-        let mut nodes: Vec<NodeId> = Vec::with_capacity(seeds.len() * 4);
         nodes.extend_from_slice(seeds);
         for (i, &v) in seeds.iter().enumerate() {
             assert!(scratch.dedup_insert(v, i as u32), "duplicate seed {v}");
@@ -86,15 +90,27 @@ impl Sampler for ClusterGcnSampler {
             }
         }
         scratch.chosen = chosen;
-        let batch = induced_batch(
-            graph,
-            nodes,
-            (0..seeds.len()).collect(),
-            seeds.to_vec(),
-            scratch,
-            norm,
-        );
-        SampledBatch::Subgraph(batch)
+    }
+}
+
+impl Sampler for ClusterGcnSampler {
+    fn sample_into<'a>(
+        &self,
+        graph: &Graph,
+        seeds: &[NodeId],
+        run: SampleRun<'a>,
+    ) -> SampledBatchView<'a> {
+        // The RNG stream and pool are unused — see `discover_into`.
+        let SampleRun { norm, scratch, .. } = run;
+        let caps_before = scratch.arena.caps();
+        let mut arena = std::mem::take(&mut scratch.arena);
+        arena.begin(seeds.len(), norm);
+        self.discover_into(graph, seeds, scratch, &mut arena.nodes);
+        arena_induced(graph, &mut arena, scratch, norm);
+        scratch.note_growth(arena.caps() > caps_before);
+        scratch.arena = arena;
+        let scratch_ref: &'a SamplerScratch = scratch;
+        SampledBatchView::subgraph(&scratch_ref.arena)
     }
 
     fn name(&self) -> &'static str {

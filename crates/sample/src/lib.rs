@@ -22,12 +22,14 @@
 pub mod batch;
 pub mod cache;
 pub mod cluster;
+pub mod legacy;
 pub mod loader;
 pub mod neighbor;
 pub mod saint;
 pub mod scratch;
 pub mod shadow;
 pub mod stats;
+pub mod view;
 
 pub use batch::{Block, MiniBatch, Normalization, SampledBatch, SubgraphBatch};
 pub use cache::{CacheStats, FeatureCache};
@@ -38,6 +40,7 @@ pub use saint::SaintRwSampler;
 pub use scratch::SamplerScratch;
 pub use shadow::ShadowSampler;
 pub use stats::{batch_workload, WorkloadStats};
+pub use view::{BlockView, MiniBatchView, SampledBatchView, SubgraphView};
 
 use argo_graph::{Graph, NodeId};
 use argo_rt::{SeedSequence, ThreadPool};
@@ -89,11 +92,29 @@ impl<'a> SampleRun<'a> {
 
 /// A mini-batch subgraph sampler.
 pub trait Sampler: Send + Sync {
-    /// Samples the computation structure for `seeds` using caller-provided
-    /// scratch state and a counter-based RNG stream. This is the hot path:
-    /// steady-state calls perform no heap allocation for sampler metadata
-    /// (the returned batch owns fresh payload memory only).
-    fn sample_with(&self, graph: &Graph, seeds: &[NodeId], run: SampleRun<'_>) -> SampledBatch;
+    /// Samples the computation structure for `seeds`, assembling the batch
+    /// **in place** inside the scratch's batch arena and returning a
+    /// borrowed [`SampledBatchView`] over it. This is the hot path: the
+    /// batch-local CSR lands as `u32` ranges directly from pick positions —
+    /// no intermediate edge-list `Vec`s, no COO→CSR pass — and steady-state
+    /// calls perform **zero** heap allocations, assembly included. The view
+    /// borrows the scratch; call [`SampledBatchView::to_owned`] (or use
+    /// [`Sampler::sample_with`]) when the batch must outlive the next
+    /// sampling call on the same scratch.
+    fn sample_into<'a>(
+        &self,
+        graph: &Graph,
+        seeds: &[NodeId],
+        run: SampleRun<'a>,
+    ) -> SampledBatchView<'a>;
+
+    /// Samples and materializes an owned [`SampledBatch`] — the fallback for
+    /// callers that hand the batch across an ownership boundary (the
+    /// loader's reorder channel, training backward passes). Bitwise
+    /// identical to what the pre-arena assembly produced.
+    fn sample_with(&self, graph: &Graph, seeds: &[NodeId], run: SampleRun<'_>) -> SampledBatch {
+        self.sample_into(graph, seeds, run).to_owned()
+    }
 
     /// Convenience wrapper: samples with throwaway scratch, seeding the
     /// stream from `rng`. Equivalent output distribution to

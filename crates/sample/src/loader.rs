@@ -202,6 +202,11 @@ pub struct LoadedBatch {
     /// Scratch-arena allocations this batch charged to the producing
     /// worker's [`SamplerScratch`] (0 once the arena is warm).
     pub scratch_allocs: u64,
+    /// Bytes of batch metadata in the compact arena-CSR layout (node ids,
+    /// degrees, `u32` row pointers, column indices, fused values), measured
+    /// on the borrowed view before the reorder-channel handoff materialized
+    /// this owned copy.
+    pub metadata_bytes: u64,
 }
 
 struct Indexed {
@@ -315,7 +320,13 @@ impl PipelinedLoader {
                             let run = SampleRun::new(stream, &mut scratch)
                                 .with_norm(normalization)
                                 .with_pool(pool.as_ref());
-                            let batch = sampler.sample_with(&graph, &seeds[lo..hi], run);
+                            // Assemble in the scratch arena, account the
+                            // compact metadata footprint, then materialize
+                            // the owned copy the reorder channel requires
+                            // (the sanctioned ownership boundary).
+                            let view = sampler.sample_into(&graph, &seeds[lo..hi], run);
+                            let metadata_bytes = view.metadata_bytes() as u64;
+                            let batch = view.to_owned();
                             ring.span_end(pick);
                             let scratch_allocs = scratch.allocs() - allocs_before;
                             let (input, gather_seconds) = match &features {
@@ -343,6 +354,7 @@ impl PipelinedLoader {
                                 input,
                                 gather_seconds,
                                 scratch_allocs,
+                                metadata_bytes,
                             };
                             // The enqueue-wait span measures backpressure:
                             // time blocked on a full prefetch channel.

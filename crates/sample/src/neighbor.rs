@@ -2,10 +2,10 @@
 
 use argo_graph::{Graph, NodeId};
 use argo_rt::{racecheck, SeedSequence, StreamRng, ThreadPool};
-use argo_tensor::SparseMatrix;
 
-use crate::batch::{Block, MiniBatch, Normalization, SampledBatch};
-use crate::scratch::SamplerScratch;
+use crate::batch::Normalization;
+use crate::scratch::{LayerRec, SamplerScratch};
+use crate::view::SampledBatchView;
 use crate::{SampleRun, Sampler};
 
 /// Neighbor sampler with per-layer fanouts, ordered input layer → output
@@ -70,7 +70,7 @@ fn pick_row(
 /// counter-based stream keyed by `(layer, row)`, so the picks are a pure
 /// function of the row's logical coordinate — the pool path partitions rows
 /// across workers and produces bitwise-identical buffers to the serial path.
-fn pick_layer(
+pub(crate) fn pick_layer(
     graph: &Graph,
     dst: &[NodeId],
     fanout: usize,
@@ -146,7 +146,12 @@ fn pick_layer(
 }
 
 impl Sampler for NeighborSampler {
-    fn sample_with(&self, graph: &Graph, seeds: &[NodeId], run: SampleRun<'_>) -> SampledBatch {
+    fn sample_into<'a>(
+        &self,
+        graph: &Graph,
+        seeds: &[NodeId],
+        run: SampleRun<'a>,
+    ) -> SampledBatchView<'a> {
         let SampleRun {
             stream,
             norm,
@@ -159,43 +164,69 @@ impl Sampler for NeighborSampler {
         } else {
             &[]
         };
-        let mut blocks_rev: Vec<Block> = Vec::with_capacity(num_layers);
-        let mut dst: Vec<NodeId> = seeds.to_vec();
-        // Warm the pick buffers to their worst case up front. Realized
-        // per-layer row counts drift batch to batch (dedup), but this bound
-        // depends only on the seed count and the graph size, so a warm
-        // arena never grows mid-epoch.
+        // Warm every buffer to its worst case up front. Realized per-layer
+        // row counts drift batch to batch (dedup), but these bounds depend
+        // only on the seed count, the fanouts and the graph size, so a warm
+        // scratch — arena included — never grows mid-epoch.
+        let caps_before = scratch.arena.caps();
+        let mut arena = std::mem::take(&mut scratch.arena);
+        arena.begin(seeds.len(), norm);
         {
             let n = graph.num_nodes();
             let mut rows_bound = seeds.len();
             let (mut worst_rows, mut worst_picked) = (0usize, 0usize);
+            let mut nodes_bound = seeds.len();
+            let (mut indptr_bound, mut entries_bound) = (0usize, 0usize);
             for layer in (0..num_layers).rev() {
                 let fanout = self.fanouts[layer];
                 let r = rows_bound.min(n);
                 worst_rows = worst_rows.max(r);
                 worst_picked = worst_picked.max(r * fanout);
+                // Every pick lands one adjacency entry; at most that many
+                // (and never more than the whole graph) are new src nodes.
+                entries_bound += r * fanout;
+                indptr_bound += r + 1;
+                nodes_bound += (r * fanout).min(n);
                 rows_bound = r + r * fanout;
             }
             scratch.warm_picks(worst_rows, worst_picked);
+            arena.reserve(
+                nodes_bound,
+                indptr_bound,
+                entries_bound,
+                norm != Normalization::None,
+            );
+        }
+        arena.nodes.extend_from_slice(seeds);
+        for &v in seeds {
+            arena.degree.push(graph.degree(v) as f32);
         }
         // Build from the output layer inward (fanouts accessed in reverse).
+        // `prev` is the dst node range in the arena; each layer's src list
+        // extends it in place (the dst prefix is shared, not copied — the
+        // legacy path paid one `src` copy plus one `next` copy per layer).
+        let mut prev = 0..seeds.len();
         for layer in (0..num_layers).rev() {
             let fanout = self.fanouts[layer];
-            let rows = dst.len();
-            pick_layer(graph, &dst, fanout, stream, layer as u64, scratch, pool);
-            // Relabel phase (serial): dense-table dedup in row order. src
-            // starts with a copy of dst so layers can self-reference.
+            let rows = prev.len();
+            pick_layer(
+                graph,
+                &arena.nodes[prev.start..prev.end],
+                fanout,
+                stream,
+                layer as u64,
+                scratch,
+                pool,
+            );
+            // Relabel phase (serial): dense-table dedup in row order; column
+            // indices land directly in the arena CSR as they are assigned.
             scratch.begin_dedup(graph.num_nodes());
-            let mut src: Vec<NodeId> = Vec::with_capacity(rows * (fanout / 2 + 1));
-            src.extend_from_slice(&dst);
-            for (i, &v) in dst.iter().enumerate() {
-                scratch.dedup_insert(v, i as u32);
+            for (i, idx) in (prev.start..prev.end).enumerate() {
+                scratch.dedup_insert(arena.nodes[idx], i as u32);
             }
-            let mut indptr = Vec::with_capacity(rows + 1);
-            indptr.push(0usize);
-            let mut indices: Vec<u32> = Vec::with_capacity(rows * fanout);
-            let mut values: Option<Vec<f32>> =
-                (norm != Normalization::None).then(|| Vec::with_capacity(rows * fanout));
+            let entries_start = arena.indices.len();
+            let indptr_start = arena.indptr.len();
+            arena.indptr.push(0);
             // Move the pick buffers out so the dedup table can be borrowed
             // mutably alongside them (moved back below; no allocation).
             let picked = std::mem::take(&mut scratch.picked);
@@ -207,53 +238,51 @@ impl Sampler for NeighborSampler {
                     let idx = match scratch.dedup_get(u) {
                         Some(idx) => idx,
                         None => {
-                            let idx = src.len() as u32;
+                            let idx = (arena.nodes.len() - prev.start) as u32;
                             scratch.dedup_insert(u, idx);
-                            src.push(u);
+                            arena.nodes.push(u);
                             idx
                         }
                     };
-                    indices.push(idx);
+                    arena.indices.push(idx);
                 }
                 // Fused normalization: values land during assembly instead
                 // of a second walk over the finished block.
-                if let Some(vals) = &mut values {
+                if norm != Normalization::None {
                     if norm == Normalization::Mean {
                         let inv = 1.0 / (cnt.max(1)) as f32;
                         for _ in 0..cnt {
-                            vals.push(inv);
+                            arena.values.push(inv);
                         }
                     } else {
-                        let dv = inv_sqrt[dst[i] as usize];
+                        let dv = inv_sqrt[arena.nodes[prev.start + i] as usize];
                         for &u in row {
-                            vals.push(dv * inv_sqrt[u as usize]);
+                            arena.values.push(dv * inv_sqrt[u as usize]);
                         }
                     }
                 }
-                indptr.push(indices.len());
+                arena
+                    .indptr
+                    .push((arena.indices.len() - entries_start) as u32);
             }
             scratch.picked = picked;
             scratch.counts = counts;
-            let adj = SparseMatrix::new(rows, src.len(), indptr, indices, values);
-            let dst_degree = dst.iter().map(|&v| graph.degree(v) as f32).collect();
-            let src_degree = src.iter().map(|&v| graph.degree(v) as f32).collect();
-            let mut next: Vec<NodeId> = Vec::with_capacity(src.len());
-            next.extend_from_slice(&src);
-            blocks_rev.push(Block {
-                src_nodes: src,
-                dst_nodes: dst,
-                adj,
-                dst_degree,
-                src_degree,
-                norm,
+            for idx in prev.end..arena.nodes.len() {
+                arena.degree.push(graph.degree(arena.nodes[idx]) as f32);
+            }
+            let src_end = arena.nodes.len();
+            arena.layers.push(LayerRec {
+                nodes: prev.start..src_end,
+                rows,
+                indptr: indptr_start..arena.indptr.len(),
+                entries: entries_start..arena.indices.len(),
             });
-            dst = next;
+            prev = prev.start..src_end;
         }
-        blocks_rev.reverse();
-        SampledBatch::Blocks(MiniBatch {
-            seeds: seeds.to_vec(),
-            blocks: blocks_rev,
-        })
+        scratch.note_growth(arena.caps() > caps_before);
+        scratch.arena = arena;
+        let scratch_ref: &'a SamplerScratch = scratch;
+        SampledBatchView::blocks(&scratch_ref.arena)
     }
 
     fn name(&self) -> &'static str {
@@ -268,6 +297,7 @@ impl Sampler for NeighborSampler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::batch::{MiniBatch, SampledBatch};
     use argo_graph::generators::power_law;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;

@@ -7,10 +7,10 @@
 //! sampler reuses [`SubgraphBatch`].
 
 use argo_graph::{Graph, NodeId};
-use argo_rt::StreamRng;
+use argo_rt::{SeedSequence, StreamRng};
 
-use crate::batch::SampledBatch;
-use crate::scratch::induced_batch;
+use crate::scratch::{arena_induced, SamplerScratch};
+use crate::view::SampledBatchView;
 use crate::{SampleRun, Sampler};
 
 /// Random-walk subgraph sampler.
@@ -41,19 +41,19 @@ impl SaintRwSampler {
     pub fn walk_length(&self) -> usize {
         self.walk_length
     }
-}
 
-impl Sampler for SaintRwSampler {
-    fn sample_with(&self, graph: &Graph, seeds: &[NodeId], run: SampleRun<'_>) -> SampledBatch {
-        // Dedup-dominated like ShaDow; the pool is intentionally unused.
-        let SampleRun {
-            stream,
-            norm,
-            scratch,
-            ..
-        } = run;
+    /// Discovery phase: `walk_length` random-walk steps from every root,
+    /// dedup-registered in visit order with seeds first. Appends to `nodes`
+    /// and leaves the dedup session ready for induced assembly.
+    pub(crate) fn discover_into(
+        &self,
+        graph: &Graph,
+        seeds: &[NodeId],
+        stream: SeedSequence,
+        scratch: &mut SamplerScratch,
+        nodes: &mut Vec<NodeId>,
+    ) {
         scratch.begin_dedup(graph.num_nodes());
-        let mut nodes: Vec<NodeId> = Vec::with_capacity(seeds.len() * (self.walk_length + 1));
         nodes.extend_from_slice(seeds);
         for (i, &v) in seeds.iter().enumerate() {
             assert!(scratch.dedup_insert(v, i as u32), "duplicate seed {v}");
@@ -74,15 +74,32 @@ impl Sampler for SaintRwSampler {
                 }
             }
         }
-        let batch = induced_batch(
-            graph,
-            nodes,
-            (0..seeds.len()).collect(),
-            seeds.to_vec(),
-            scratch,
+    }
+}
+
+impl Sampler for SaintRwSampler {
+    fn sample_into<'a>(
+        &self,
+        graph: &Graph,
+        seeds: &[NodeId],
+        run: SampleRun<'a>,
+    ) -> SampledBatchView<'a> {
+        // Dedup-dominated like ShaDow; the pool is intentionally unused.
+        let SampleRun {
+            stream,
             norm,
-        );
-        SampledBatch::Subgraph(batch)
+            scratch,
+            ..
+        } = run;
+        let caps_before = scratch.arena.caps();
+        let mut arena = std::mem::take(&mut scratch.arena);
+        arena.begin(seeds.len(), norm);
+        self.discover_into(graph, seeds, stream, scratch, &mut arena.nodes);
+        arena_induced(graph, &mut arena, scratch, norm);
+        scratch.note_growth(arena.caps() > caps_before);
+        scratch.arena = arena;
+        let scratch_ref: &'a SamplerScratch = scratch;
+        SampledBatchView::subgraph(&scratch_ref.arena)
     }
 
     fn name(&self) -> &'static str {
@@ -97,6 +114,7 @@ impl Sampler for SaintRwSampler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::batch::SampledBatch;
     use crate::batch::SubgraphBatch;
     use argo_graph::generators::power_law;
     use rand::rngs::SmallRng;

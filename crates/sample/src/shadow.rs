@@ -6,10 +6,10 @@
 //! receptive-field scope and avoiding neighbor explosion.
 
 use argo_graph::{Graph, NodeId};
-use argo_rt::StreamRng;
+use argo_rt::{SeedSequence, StreamRng};
 
-use crate::batch::SampledBatch;
-use crate::scratch::{floyd_positions, induced_batch};
+use crate::scratch::{arena_induced, floyd_positions, SamplerScratch};
+use crate::view::SampledBatchView;
 use crate::{SampleRun, Sampler};
 
 /// ShaDow sampler: localized-subgraph fanouts plus the number of GNN layers
@@ -42,22 +42,20 @@ impl ShadowSampler {
     pub fn fanouts(&self) -> &[usize] {
         &self.fanouts
     }
-}
 
-impl Sampler for ShadowSampler {
-    fn sample_with(&self, graph: &Graph, seeds: &[NodeId], run: SampleRun<'_>) -> SampledBatch {
-        // Hop-limited randomized BFS from all seeds at once; the dense dedup
-        // table keeps the union of the localized subgraphs, seeds first.
-        // The pool is intentionally unused: this sampler is dedup-dominated
-        // and its frontier order is inherently sequential.
-        let SampleRun {
-            stream,
-            norm,
-            scratch,
-            ..
-        } = run;
+    /// Discovery phase: hop-limited randomized BFS from all seeds at once;
+    /// the dense dedup table keeps the union of the localized subgraphs,
+    /// seeds first. Appends the discovered node set to `nodes` and leaves
+    /// the dedup session registered over it, ready for induced assembly.
+    pub(crate) fn discover_into(
+        &self,
+        graph: &Graph,
+        seeds: &[NodeId],
+        stream: SeedSequence,
+        scratch: &mut SamplerScratch,
+        nodes: &mut Vec<NodeId>,
+    ) {
         scratch.begin_dedup(graph.num_nodes());
-        let mut nodes: Vec<NodeId> = Vec::with_capacity(seeds.len() * 8);
         nodes.extend_from_slice(seeds);
         for (i, &v) in seeds.iter().enumerate() {
             assert!(
@@ -91,12 +89,12 @@ impl Sampler for ShadowSampler {
                 };
                 if deg <= fanout {
                     for &u in neigh {
-                        grow(u, &mut nodes, &mut next);
+                        grow(u, nodes, &mut next);
                     }
                 } else {
                     floyd_positions(&mut rng, deg, fanout, &mut positions);
                     for &p in positions.iter() {
-                        grow(neigh[p as usize], &mut nodes, &mut next);
+                        grow(neigh[p as usize], nodes, &mut next);
                     }
                 }
             }
@@ -106,15 +104,33 @@ impl Sampler for ShadowSampler {
         scratch.frontier = frontier;
         scratch.next_frontier = next;
         scratch.positions = positions;
-        let batch = induced_batch(
-            graph,
-            nodes,
-            (0..seeds.len()).collect(),
-            seeds.to_vec(),
-            scratch,
+    }
+}
+
+impl Sampler for ShadowSampler {
+    fn sample_into<'a>(
+        &self,
+        graph: &Graph,
+        seeds: &[NodeId],
+        run: SampleRun<'a>,
+    ) -> SampledBatchView<'a> {
+        // The pool is intentionally unused: this sampler is dedup-dominated
+        // and its frontier order is inherently sequential.
+        let SampleRun {
+            stream,
             norm,
-        );
-        SampledBatch::Subgraph(batch)
+            scratch,
+            ..
+        } = run;
+        let caps_before = scratch.arena.caps();
+        let mut arena = std::mem::take(&mut scratch.arena);
+        arena.begin(seeds.len(), norm);
+        self.discover_into(graph, seeds, stream, scratch, &mut arena.nodes);
+        arena_induced(graph, &mut arena, scratch, norm);
+        scratch.note_growth(arena.caps() > caps_before);
+        scratch.arena = arena;
+        let scratch_ref: &'a SamplerScratch = scratch;
+        SampledBatchView::subgraph(&scratch_ref.arena)
     }
 
     fn name(&self) -> &'static str {
@@ -129,6 +145,7 @@ impl Sampler for ShadowSampler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::batch::SampledBatch;
     use crate::batch::SubgraphBatch;
     use argo_graph::generators::power_law;
     use rand::rngs::SmallRng;

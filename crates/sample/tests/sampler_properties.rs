@@ -12,13 +12,31 @@ use argo_graph::generators::power_law;
 use argo_graph::{Graph, NodeId};
 use argo_rt::{SeedSequence, ThreadPool};
 use argo_sample::{
-    ClusterGcnSampler, NeighborSampler, Normalization, SaintRwSampler, SampleRun, SampledBatch,
-    Sampler, SamplerScratch, ShadowSampler,
+    legacy, ClusterGcnSampler, NeighborSampler, Normalization, SaintRwSampler, SampleRun,
+    SampledBatch, Sampler, SamplerScratch, ShadowSampler,
 };
 use proptest::prelude::*;
 
 fn graph() -> Graph {
     power_law(600, 9000, 0.8, 7)
+}
+
+/// Asymmetric variant of the fixture: drops a deterministic subset of
+/// reverse edges, forcing the sort-based induced-assembly fallback (the
+/// counting path only runs on symmetric adjacencies).
+fn directed_graph() -> Graph {
+    let g = graph();
+    let mut edges = Vec::new();
+    for u in 0..g.num_nodes() as NodeId {
+        for &v in g.neighbors(u) {
+            if u < v || (u + v) % 3 == 0 {
+                edges.push((u, v));
+            }
+        }
+    }
+    let d = Graph::from_edges(g.num_nodes(), &edges, false);
+    assert!(!d.is_symmetric(), "fixture must exercise the fallback");
+    d
 }
 
 fn run_with(
@@ -194,6 +212,159 @@ fn batches_identical_across_pool_sizes_1_2_4() {
             sample_at(Some(&pool)),
             serial,
             "pool size {size} changed batch content"
+        );
+    }
+}
+
+/// f32 slices compared by bit pattern: "bitwise-identical" means exactly
+/// that, not approximate float equality.
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn opt_bits(v: Option<&[f32]>) -> Option<Vec<u32>> {
+    v.map(bits)
+}
+
+/// Asserts every content-bearing field of two batches is bitwise equal.
+fn assert_batches_bitwise_equal(got: &SampledBatch, want: &SampledBatch, who: &str) {
+    match (got, want) {
+        (SampledBatch::Blocks(g), SampledBatch::Blocks(w)) => {
+            assert_eq!(g.seeds, w.seeds, "{who}: seeds");
+            assert_eq!(g.blocks.len(), w.blocks.len(), "{who}: block count");
+            for (l, (gb, wb)) in g.blocks.iter().zip(&w.blocks).enumerate() {
+                assert_eq!(gb.src_nodes, wb.src_nodes, "{who} L{l}: src_nodes");
+                assert_eq!(gb.dst_nodes, wb.dst_nodes, "{who} L{l}: dst_nodes");
+                assert_eq!(gb.adj.rows(), wb.adj.rows(), "{who} L{l}: rows");
+                assert_eq!(gb.adj.cols(), wb.adj.cols(), "{who} L{l}: cols");
+                assert_eq!(gb.adj.indptr(), wb.adj.indptr(), "{who} L{l}: indptr");
+                assert_eq!(gb.adj.indices(), wb.adj.indices(), "{who} L{l}: indices");
+                assert_eq!(
+                    opt_bits(gb.adj.values()),
+                    opt_bits(wb.adj.values()),
+                    "{who} L{l}: values"
+                );
+                assert_eq!(
+                    bits(&gb.dst_degree),
+                    bits(&wb.dst_degree),
+                    "{who} L{l}: dst_degree"
+                );
+                assert_eq!(
+                    bits(&gb.src_degree),
+                    bits(&wb.src_degree),
+                    "{who} L{l}: src_degree"
+                );
+                assert_eq!(gb.norm, wb.norm, "{who} L{l}: norm");
+            }
+        }
+        (SampledBatch::Subgraph(g), SampledBatch::Subgraph(w)) => {
+            assert_eq!(g.nodes, w.nodes, "{who}: nodes");
+            assert_eq!(g.seed_positions, w.seed_positions, "{who}: seed_positions");
+            assert_eq!(g.seeds, w.seeds, "{who}: seeds");
+            assert_eq!(bits(&g.degree), bits(&w.degree), "{who}: degree");
+            assert_eq!(g.adj.rows(), w.adj.rows(), "{who}: rows");
+            assert_eq!(g.adj.cols(), w.adj.cols(), "{who}: cols");
+            assert_eq!(g.adj.indptr(), w.adj.indptr(), "{who}: indptr");
+            assert_eq!(g.adj.indices(), w.adj.indices(), "{who}: indices");
+            assert_eq!(
+                opt_bits(g.adj.values()),
+                opt_bits(w.adj.values()),
+                "{who}: values"
+            );
+            assert_eq!(g.norm, w.norm, "{who}: norm");
+        }
+        _ => panic!("{who}: batch shape mismatch"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The tentpole equality pin: arena-CSR assembly (`sample_into` +
+    /// `to_owned`) is bitwise-identical to the legacy edge-list assembly
+    /// for every sampler, seed count and normalization — same RNG stream,
+    /// independent scratch arenas.
+    #[test]
+    fn arena_assembly_matches_legacy_bitwise(
+        count in 1usize..130,
+        offset in 0usize..400,
+        key in 0u64..(1u64 << 48),
+    ) {
+        let seeds: Vec<NodeId> = (offset..offset + count).map(|v| v as u32).collect();
+        // Both fixtures: the symmetric graph routes through the counting
+        // assembly, the directed one through the sorting fallback.
+        for g in [graph(), directed_graph()] {
+            let neighbor = NeighborSampler::new(vec![7, 4]);
+            let shadow = ShadowSampler::new(vec![6, 3], 2);
+            let saint = SaintRwSampler::new(3, 2);
+            let cluster = ClusterGcnSampler::new(&g, 12, 2);
+            type LegacyFn<'s> = Box<dyn Fn(&Graph, &[NodeId], SampleRun<'_>) -> SampledBatch + 's>;
+            let pairs: [(&dyn Sampler, LegacyFn); 4] = [
+                (&neighbor, Box::new(|g, s, r| legacy::neighbor_sample(&neighbor, g, s, r))),
+                (&shadow, Box::new(|g, s, r| legacy::shadow_sample(&shadow, g, s, r))),
+                (&saint, Box::new(|g, s, r| legacy::saint_sample(&saint, g, s, r))),
+                (&cluster, Box::new(|g, s, r| legacy::cluster_sample(&cluster, g, s, r))),
+            ];
+            for (sampler, legacy_fn) in &pairs {
+                for norm in [Normalization::None, Normalization::Mean, Normalization::Gcn] {
+                    let mut legacy_scratch = SamplerScratch::new();
+                    let want = legacy_fn(
+                        &g,
+                        &seeds,
+                        SampleRun::new(SeedSequence::new(key), &mut legacy_scratch).with_norm(norm),
+                    );
+                    let mut arena_scratch = SamplerScratch::new();
+                    let got = sampler.sample_with(
+                        &g,
+                        &seeds,
+                        SampleRun::new(SeedSequence::new(key), &mut arena_scratch).with_norm(norm),
+                    );
+                    assert_batches_bitwise_equal(&got, &want, sampler.name());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn steady_state_assembly_is_allocation_free() {
+    // Zero-alloc must cover *assembly*, not just the pick phase: once the
+    // arena has seen every recurring batch shape, repeated `sample_into`
+    // calls — which build the batch CSR, dedup table and degree arrays in
+    // scratch — must not grow any buffer. `SamplerScratch::allocs()`
+    // charges one count per batch whose arena or pick buffers grew.
+    let g = graph();
+    let neighbor = NeighborSampler::new(vec![7, 4]);
+    let shadow = ShadowSampler::new(vec![6, 3], 2);
+    let saint = SaintRwSampler::new(3, 2);
+    let cluster = ClusterGcnSampler::new(&g, 12, 2);
+    let samplers: [&dyn Sampler; 4] = [&neighbor, &shadow, &saint, &cluster];
+    let seed_sets: Vec<Vec<NodeId>> = (0..4u32).map(|i| (i * 50..i * 50 + 64).collect()).collect();
+    for s in samplers {
+        let mut scratch = SamplerScratch::new();
+        // Warm: visit every recurring (seed set, stream) pair twice.
+        for _ in 0..2 {
+            for (j, seeds) in seed_sets.iter().enumerate() {
+                let run = SampleRun::new(SeedSequence::new(j as u64), &mut scratch)
+                    .with_norm(Normalization::Gcn);
+                let view = s.sample_into(&g, seeds, run);
+                std::hint::black_box(view.metadata_bytes());
+            }
+        }
+        let warm = scratch.allocs();
+        for _ in 0..3 {
+            for (j, seeds) in seed_sets.iter().enumerate() {
+                let run = SampleRun::new(SeedSequence::new(j as u64), &mut scratch)
+                    .with_norm(Normalization::Gcn);
+                let view = s.sample_into(&g, seeds, run);
+                std::hint::black_box(view.metadata_bytes());
+            }
+        }
+        assert_eq!(
+            scratch.allocs(),
+            warm,
+            "{}: assembly allocated in steady state",
+            s.name()
         );
     }
 }

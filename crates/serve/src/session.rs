@@ -586,7 +586,9 @@ impl ServeSession {
         let run = SampleRun::new(stream, &mut self.scratch)
             .with_norm(self.normalization)
             .with_pool(self.pool.as_ref());
-        let batch = self.sampler.sample_with(&self.dataset.graph, seeds, run);
+        // Borrowed view over the sampler's batch arena: the adjacency never
+        // leaves scratch, the forward pass aggregates straight out of it.
+        let batch = self.sampler.sample_into(&self.dataset.graph, seeds, run);
         let ids = batch.input_nodes();
         let rows = match self.feature_cache.as_ref() {
             Some(cache) => cache.gather_rows(&self.dataset.features, ids),
@@ -594,10 +596,10 @@ impl ServeSession {
         };
         let input = Matrix::from_vec(ids.len(), self.dataset.features.dim(), rows);
         match self.quantized.as_ref() {
-            Some(qm) => qm.forward_gathered(&batch, input, self.pool.as_ref()),
+            Some(qm) => qm.forward_gathered_view(&batch, input, self.pool.as_ref()),
             None => self
                 .model
-                .forward_gathered(&batch, input, self.pool.as_ref()),
+                .forward_gathered_view(&batch, input, self.pool.as_ref()),
         }
     }
 }

@@ -29,7 +29,7 @@ use crate::dense::Matrix;
 use crate::kernels;
 use crate::quant::{self, QuantizedMatrix};
 use crate::simd;
-use crate::sparse::SparseMatrix;
+use crate::sparse::{SparseMatrix, SparseView};
 
 /// Default minimum number of rows before a kernel goes pool-parallel —
 /// below this the fork/join overhead outweighs the work.
@@ -387,6 +387,24 @@ impl DispatchPolicy {
     pub fn aggregate_into(
         &self,
         adj: &SparseMatrix,
+        h: &Matrix,
+        pool: Option<&ThreadPool>,
+        out: &mut Matrix,
+    ) {
+        let work = adj.nnz().saturating_mul(h.cols());
+        match self.sparse_pool_for(adj.rows(), work, pool) {
+            Some(p) => adj.spmm_pool_into_opt(h, p, out, self.simd),
+            None => adj.spmm_into_opt(h, out, self.simd),
+        }
+    }
+
+    /// [`DispatchPolicy::aggregate_into`] over a **borrowed** arena-backed
+    /// adjacency ([`SparseView`]): same serial/pool routing, same row and
+    /// sparse-work thresholds, same SIMD tier — the view shares the inner
+    /// gather kernel with the owned path, so the two are bitwise-equal.
+    pub fn aggregate_view_into(
+        &self,
+        adj: &SparseView<'_>,
         h: &Matrix,
         pool: Option<&ThreadPool>,
         out: &mut Matrix,
@@ -861,6 +879,33 @@ mod tests {
             assert_eq!(agg.data(), adj.spmm(&h).data());
             let back = policy.aggregate_transpose(&adj, &grad, p);
             assert_eq!(back.data(), adj.spmm_transpose(&grad).data());
+        }
+    }
+
+    #[test]
+    fn aggregate_view_bitwise_matches_owned_across_tiers() {
+        let pool = pool2();
+        let adj = ragged_adj();
+        let indptr: Vec<u32> = adj.indptr().iter().map(|&p| p as u32).collect();
+        let view = SparseView::new(adj.rows(), adj.cols(), &indptr, adj.indices(), adj.values());
+        let h = Matrix::xavier(adj.cols(), 9, 8);
+        for (policy, p) in [
+            (DispatchPolicy::default(), None),
+            (
+                DispatchPolicy::new(1).with_sparse_work_threshold(1),
+                Some(&pool),
+            ),
+            (
+                DispatchPolicy::new(1)
+                    .with_sparse_work_threshold(1)
+                    .force_scalar(),
+                Some(&pool),
+            ),
+        ] {
+            let owned = policy.aggregate(&adj, &h, p);
+            let mut got = Matrix::zeros(adj.rows(), h.cols());
+            policy.aggregate_view_into(&view, &h, p, &mut got);
+            assert_eq!(got.data(), owned.data(), "view diverged from owned path");
         }
     }
 

@@ -225,18 +225,14 @@ impl SparseMatrix {
 
     #[inline]
     fn row_accumulate(&self, dense: &Matrix, i: usize, drow: &mut [f32], use_simd: bool) {
-        for k in self.indptr[i]..self.indptr[i + 1] {
-            let j = self.indices[k] as usize;
-            let w = self.value_at(k);
-            let src = dense.row(j);
-            if use_simd {
-                simd::axpy(drow, w, src);
-            } else {
-                for (d, &s) in drow.iter_mut().zip(src) {
-                    *d += w * s;
-                }
-            }
-        }
+        accumulate_entries(
+            &self.indices,
+            self.values.as_deref(),
+            self.indptr[i]..self.indptr[i + 1],
+            dense,
+            drow,
+            use_simd,
+        );
     }
 
     /// **Transposed SpMM**: `selfᵀ @ dense`. Needed by the backward pass of
@@ -390,18 +386,14 @@ impl SparseMatrix {
 
     #[inline]
     fn csc_gather_row(csc: &CscMirror, dense: &Matrix, j: usize, drow: &mut [f32], use_simd: bool) {
-        for k in csc.colptr[j]..csc.colptr[j + 1] {
-            let i = csc.rowidx[k] as usize;
-            let w = csc.values.as_ref().map_or(1.0, |v| v[k]);
-            let src = dense.row(i);
-            if use_simd {
-                simd::axpy(drow, w, src);
-            } else {
-                for (d, &s) in drow.iter_mut().zip(src) {
-                    *d += w * s;
-                }
-            }
-        }
+        accumulate_entries(
+            &csc.rowidx,
+            csc.values.as_deref(),
+            csc.colptr[j]..csc.colptr[j + 1],
+            dense,
+            drow,
+            use_simd,
+        );
     }
 
     /// **SDDMM**: for every stored entry `(i, j)` computes `a_i · b_j`
@@ -545,6 +537,192 @@ impl SparseMatrix {
             }
         }
         out
+    }
+}
+
+/// The single entry-accumulation kernel shared by every CSR/CSC gather in
+/// this crate: `drow += w_k * dense[row_of(k)]` for each stored entry `k`
+/// in `range`. Both the owned [`SparseMatrix`] paths and the borrowed
+/// [`SparseView`] paths funnel through here, so the SIMD gather tier (and
+/// its bitwise-equal scalar fallback) applies identically to both.
+#[inline]
+fn accumulate_entries(
+    indices: &[u32],
+    values: Option<&[f32]>,
+    range: std::ops::Range<usize>,
+    dense: &Matrix,
+    drow: &mut [f32],
+    use_simd: bool,
+) {
+    for k in range {
+        let j = indices[k] as usize;
+        let w = values.map_or(1.0, |v| v[k]);
+        let src = dense.row(j);
+        if use_simd {
+            simd::axpy(drow, w, src);
+        } else {
+            for (d, &s) in drow.iter_mut().zip(src) {
+                *d += w * s;
+            }
+        }
+    }
+}
+
+/// A **borrowed** CSR adjacency: the same shape as [`SparseMatrix`] but all
+/// three arrays are slices into caller-owned storage (in practice the
+/// sampler's epoch-stamped batch arena), with a compact `u32` row-pointer
+/// array — a sampled block never has more than `u32::MAX` entries.
+///
+/// This is the zero-copy handoff type of the fused sampling→assembly path:
+/// `nn`/`serve` aggregate straight out of the arena through
+/// [`SparseView::spmm_into`] (routed by `DispatchPolicy::aggregate_view_into`),
+/// which shares its inner gather kernel — including the SIMD tier — with the
+/// owned paths. Crossing an ownership boundary (the loader's reorder heap,
+/// training's CSC-backed backward pass) materializes via
+/// [`SparseView::to_owned`].
+#[derive(Clone, Copy, Debug)]
+pub struct SparseView<'a> {
+    rows: usize,
+    cols: usize,
+    indptr: &'a [u32],
+    indices: &'a [u32],
+    values: Option<&'a [f32]>,
+}
+
+impl<'a> SparseView<'a> {
+    /// Wraps borrowed CSR arrays. Cheap O(rows) structural checks run
+    /// always; the O(nnz) checks that [`SparseMatrix::new`] performs are
+    /// debug-only — skipping that per-batch revalidation pass is part of
+    /// the point of arena assembly, and the producing sampler is
+    /// property-tested bitwise-equal to the validated legacy path.
+    pub fn new(
+        rows: usize,
+        cols: usize,
+        indptr: &'a [u32],
+        indices: &'a [u32],
+        values: Option<&'a [f32]>,
+    ) -> Self {
+        assert_eq!(indptr.len(), rows + 1, "indptr length");
+        assert_eq!(indptr[0], 0, "indptr[0]");
+        assert_eq!(indptr[rows] as usize, indices.len(), "indptr end");
+        if let Some(v) = values {
+            assert_eq!(v.len(), indices.len(), "values length");
+        }
+        debug_assert!(indptr.windows(2).all(|w| w[0] <= w[1]), "indptr monotone");
+        debug_assert!(indices.iter().all(|&c| (c as usize) < cols), "col in range");
+        Self {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Row pointer array (compact `u32`).
+    pub fn indptr(&self) -> &'a [u32] {
+        self.indptr
+    }
+
+    /// Column indices.
+    pub fn indices(&self) -> &'a [u32] {
+        self.indices
+    }
+
+    /// Explicit values, if any.
+    pub fn values(&self) -> Option<&'a [f32]> {
+        self.values
+    }
+
+    /// **SpMM** `self @ dense` into a caller-provided matrix — the borrowed
+    /// twin of [`SparseMatrix::spmm_into`].
+    pub fn spmm_into(&self, dense: &Matrix, out: &mut Matrix) {
+        self.spmm_into_opt(dense, out, simd::available());
+    }
+
+    pub(crate) fn spmm_into_opt(&self, dense: &Matrix, out: &mut Matrix, use_simd: bool) {
+        assert_eq!(self.cols, dense.rows(), "spmm shape mismatch");
+        assert_eq!((out.rows(), out.cols()), (self.rows, dense.cols()));
+        out.data_mut().fill(0.0);
+        let n = out.cols();
+        for i in 0..self.rows {
+            let drow = &mut out.data_mut()[i * n..(i + 1) * n];
+            self.row_accumulate(dense, i, drow, use_simd);
+        }
+    }
+
+    /// [`SparseView::spmm_into`] with the row loop parallelized over `pool`.
+    pub fn spmm_pool_into(&self, dense: &Matrix, pool: &ThreadPool, out: &mut Matrix) {
+        self.spmm_pool_into_opt(dense, pool, out, simd::available());
+    }
+
+    pub(crate) fn spmm_pool_into_opt(
+        &self,
+        dense: &Matrix,
+        pool: &ThreadPool,
+        out: &mut Matrix,
+        use_simd: bool,
+    ) {
+        assert_eq!(self.cols, dense.rows(), "spmm shape mismatch");
+        assert_eq!((out.rows(), out.cols()), (self.rows, dense.cols()));
+        out.data_mut().fill(0.0);
+        let n = dense.cols();
+        let out_ptr = out.data_mut().as_mut_ptr() as usize;
+        let shadow = racecheck::region("tensor.spmm_view_pool", self.rows);
+        pool.parallel_ranges(self.rows, |range| {
+            racecheck::write(&shadow, range.start, range.len());
+            for i in range {
+                // SAFETY: each output row is written by exactly one worker,
+                // and the pool call blocks until all workers finish — the
+                // borrowed arena slices outlive the call for the same reason.
+                let drow =
+                    unsafe { std::slice::from_raw_parts_mut((out_ptr as *mut f32).add(i * n), n) };
+                self.row_accumulate(dense, i, drow, use_simd);
+            }
+        });
+    }
+
+    #[inline]
+    fn row_accumulate(&self, dense: &Matrix, i: usize, drow: &mut [f32], use_simd: bool) {
+        accumulate_entries(
+            self.indices,
+            self.values,
+            self.indptr[i] as usize..self.indptr[i + 1] as usize,
+            dense,
+            drow,
+            use_simd,
+        );
+    }
+
+    /// Materializes an owned [`SparseMatrix`] — the fallback at ownership
+    /// boundaries (loader channel handoff, CSC-backed backward pass). The
+    /// structure was validated at view construction, so this is three
+    /// straight copies (indptr widened to `usize`), not a revalidating
+    /// [`SparseMatrix::new`].
+    pub fn to_owned(&self) -> SparseMatrix {
+        SparseMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            indptr: self.indptr.iter().map(|&p| p as usize).collect(),
+            indices: self.indices.to_vec(),
+            values: self.values.map(|v| v.to_vec()),
+            csc: OnceLock::new(),
+        }
     }
 }
 
@@ -803,5 +981,75 @@ mod tests {
         let d = Matrix::from_vec(2, 1, vec![5., 7.]);
         let out = s.spmm(&d);
         assert_eq!(out.data(), &[0., 7., 0.]);
+    }
+
+    /// Borrowed-view twin of `sample()`.
+    fn sample_view_arrays() -> (Vec<u32>, Vec<u32>, Vec<f32>) {
+        (vec![0, 2, 3], vec![0, 2, 1], vec![1.0, 2.0, 3.0])
+    }
+
+    #[test]
+    fn view_spmm_bitwise_matches_owned() {
+        let (indptr, indices, values) = sample_view_arrays();
+        let v = SparseView::new(2, 3, &indptr, &indices, Some(&values));
+        let owned = sample();
+        let d = Matrix::xavier(3, 7, 5);
+        let mut a = Matrix::zeros(2, 7);
+        let mut b = Matrix::zeros(2, 7);
+        owned.spmm_into(&d, &mut a);
+        v.spmm_into(&d, &mut b);
+        assert_eq!(a.data(), b.data(), "view and owned SpMM must agree bitwise");
+    }
+
+    #[test]
+    fn view_spmm_scalar_and_simd_agree_bitwise() {
+        let (indptr, indices, values) = sample_view_arrays();
+        let v = SparseView::new(2, 3, &indptr, &indices, Some(&values));
+        let d = Matrix::xavier(3, 9, 6);
+        let mut a = Matrix::zeros(2, 9);
+        let mut b = Matrix::zeros(2, 9);
+        v.spmm_into_opt(&d, &mut a, false);
+        v.spmm_into_opt(&d, &mut b, simd::available());
+        assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn view_pool_matches_serial() {
+        let pool = ThreadPool::new("t", 4);
+        // Ragged structure, implicit ones.
+        let mut indptr = vec![0u32];
+        let mut indices: Vec<u32> = Vec::new();
+        for i in 0..40u32 {
+            for j in 0..30u32 {
+                if (i * 7 + j * 13) % 5 == 0 {
+                    indices.push(j);
+                }
+            }
+            indptr.push(indices.len() as u32);
+        }
+        let v = SparseView::new(40, 30, &indptr, &indices, None);
+        let d = Matrix::xavier(30, 8, 3);
+        let mut a = Matrix::zeros(40, 8);
+        let mut b = Matrix::zeros(40, 8);
+        v.spmm_into(&d, &mut a);
+        v.spmm_pool_into(&d, &pool, &mut b);
+        assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn view_to_owned_round_trips() {
+        let (indptr, indices, values) = sample_view_arrays();
+        let v = SparseView::new(2, 3, &indptr, &indices, Some(&values));
+        let owned = v.to_owned();
+        assert_eq!(owned, sample());
+        assert!(!owned.csc_is_built(), "materialized view starts lazy");
+    }
+
+    #[test]
+    #[should_panic]
+    fn view_bad_indptr_end_panics() {
+        let indptr = vec![0u32, 3];
+        let indices = vec![0u32, 1];
+        SparseView::new(1, 2, &indptr, &indices, None);
     }
 }
